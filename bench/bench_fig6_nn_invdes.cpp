@@ -1,0 +1,87 @@
+// Fig. 6 reproduction: neural solver inside MAPS-InvDes.
+//
+// (a) Bend inverse design driven purely by NN-predicted forward/adjoint
+//     fields ("Fwd & Adj Field" gradients); at every iteration the design is
+//     independently verified with FDFD. The two transmission curves should
+//     track each other and converge to a high-transmission structure.
+// (b) The final design's NN-predicted field vs the FDFD field (N-L2), plus
+//     final transmissions from both.
+#include <cstdio>
+
+#include "common.hpp"
+#include "math/stats.hpp"
+#include "core/invdes/engine.hpp"
+#include "core/invdes/init.hpp"
+#include "core/train/providers.hpp"
+
+using namespace maps;
+
+int main() {
+  bench::Stopwatch watch;
+  std::printf("=== Fig. 6: NN-driven inverse design (bending) ===\n");
+
+  const auto device = devices::make_device(devices::DeviceKind::Bend);
+
+  std::printf("[gen] training data (perturbed opt-traj)...\n");
+  const auto patterns = data::sample_patterns(
+      device, devices::DeviceKind::Bend,
+      bench::train_sampler_options(data::SamplingStrategy::PerturbOptTraj, 55));
+  const auto train_set = data::generate_dataset(device, patterns);
+  const auto test_set = bench::make_test_dataset(device, devices::DeviceKind::Bend);
+  train::DataLoader loader(train_set, test_set, {});
+
+  std::printf("[train] FNO surrogate (%zu samples)...\n", train_set.size());
+  auto model = nn::make_model(bench::field_model_config(nn::ModelKind::Fno));
+  train::EncodingOptions enc;
+  const auto rep = bench::train_field_model(*model, loader, device, enc,
+                                            bench::scaled(35, 6));
+  std::printf("    surrogate test N-L2 %.3f | grad similarity %.3f\n", rep.test_nl2,
+              rep.grad_similarity);
+
+  // ---- (a) optimization trajectory with per-iteration FDFD verification.
+  train::FwdAdjFieldProvider provider(*model, device, loader.standardizer(), enc);
+  invdes::InvDesOptions opt;
+  opt.iterations = bench::scaled(40, 10);
+  opt.lr = 0.05;
+  opt.record_density = true;
+  auto pipeline = devices::make_default_pipeline(device, devices::DeviceKind::Bend);
+  invdes::InverseDesigner designer(device, std::move(pipeline), opt);
+
+  std::printf("\n--- Fig. 6(a): optimization trajectory ---\n");
+  auto res = designer.run(
+      invdes::make_initial_theta(device, invdes::InitKind::PathSeed), provider);
+
+  std::printf("  %4s  %18s  %18s\n", "iter", "NN-predicted T", "FDFD-verified T");
+  std::vector<std::vector<double>> csv_rows;
+  for (const auto& it : res.history) {
+    const auto eps = param::embed_density(device.design_map, it.density);
+    const auto ev = device.evaluate(eps);
+    const double t_nn = it.transmissions.empty() ? 0.0 : it.transmissions.front();
+    const double t_fdfd = ev.per_excitation[0].transmissions[0];
+    if (it.iteration % 4 == 0 || it.iteration + 1 == opt.iterations) {
+      std::printf("  %4d  %18.4f  %18.4f\n", it.iteration, t_nn, t_fdfd);
+    }
+    csv_rows.push_back({static_cast<double>(it.iteration), t_nn, t_fdfd});
+  }
+  analysis::write_csv("fig6a_trajectory.csv", {"iter", "nn_T", "fdfd_T"}, csv_rows);
+
+  // ---- (b) final design field agreement.
+  std::printf("\n--- Fig. 6(b): final-design field check ---\n");
+  const auto& exc = device.excitations[0];
+  const auto E_nn = train::predict_field(*model, res.eps, exc.J, exc.omega,
+                                         device.spec.dl, loader.standardizer(), enc);
+  fdfd::Simulation sim(device.spec, res.eps, exc.omega, device.sim_options);
+  const auto E_fdfd = sim.solve(exc.J);
+  const double nl2 = maps::math::relative_l2(
+      std::span<const cplx>(E_nn.data()), std::span<const cplx>(E_fdfd.data()));
+  const double t_nn = fdfd::term_transmission(exc.terms[0], E_nn);
+  const double t_fdfd = fdfd::term_transmission(exc.terms[0], E_fdfd);
+  std::printf("  final field N-L2 (NN vs FDFD): %.4f\n", nl2);
+  std::printf("  final transmission: NN %.4f | FDFD %.4f\n", t_nn, t_fdfd);
+  const double t0 = csv_rows.front()[2];
+  std::printf("  FDFD-verified improvement: %.4f -> %.4f\n", t0, t_fdfd);
+  std::printf("\nPaper reference (Fig. 6): NN-driven trajectory climbs to a "
+              "high-transmission design whose NN field matches FDFD.\n");
+  std::printf("[done] %.1f s\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the numerical substrates: banded LU,
+// FDFD assembly, FFT, spectral/standard convolution, blur, mode solver.
+#include <benchmark/benchmark.h>
+
+#include "fdfd/assembler.hpp"
+#include "fdfd/mode_solver.hpp"
+#include "math/banded.hpp"
+#include "math/fft.hpp"
+#include "math/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/spectral.hpp"
+#include "param/blur.hpp"
+
+using namespace maps;
+
+namespace {
+
+fdfd::FdfdOperator make_op(index_t n) {
+  grid::GridSpec spec{n, n, 0.1};
+  math::Rng rng(3);
+  math::RealGrid eps(n, n);
+  for (index_t k = 0; k < eps.size(); ++k) eps[k] = 2.0 + 10.0 * rng.uniform();
+  fdfd::PmlSpec pml;
+  pml.ncells = static_cast<int>(n / 8);
+  return fdfd::assemble(spec, eps, 4.05, pml);
+}
+
+}  // namespace
+
+static void BM_FdfdAssemble(benchmark::State& state) {
+  const index_t n = state.range(0);
+  grid::GridSpec spec{n, n, 0.1};
+  math::RealGrid eps(n, n, 6.0);
+  fdfd::PmlSpec pml;
+  pml.ncells = static_cast<int>(n / 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fdfd::assemble(spec, eps, 4.05, pml));
+  }
+}
+BENCHMARK(BM_FdfdAssemble)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_BandedFactorize(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto op = make_op(n);
+  for (auto _ : state) {
+    auto band = math::to_band(op.A);
+    band.factorize();
+    benchmark::DoNotOptimize(band);
+  }
+}
+BENCHMARK(BM_BandedFactorize)->Arg(32)->Arg(64)->Arg(96)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_BandedTriangularSolve(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto op = make_op(n);
+  auto band = math::to_band(op.A);
+  band.factorize();
+  std::vector<cplx> b(static_cast<std::size_t>(n * n), cplx{1.0, 0.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(band.solve(b));
+  }
+}
+BENCHMARK(BM_BandedTriangularSolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_Fft2(benchmark::State& state) {
+  const index_t n = state.range(0);
+  math::Rng rng(5);
+  math::CplxGrid g(n, n);
+  for (index_t k = 0; k < g.size(); ++k) g[k] = {rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::fft2(g));
+  }
+}
+BENCHMARK(BM_Fft2)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+static void BM_Conv2d(benchmark::State& state) {
+  math::Rng rng(7);
+  nn::Conv2d conv(12, 12, 3, rng);
+  nn::Tensor x({8, 12, 64, 64});
+  for (index_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+}
+BENCHMARK(BM_Conv2d)->Unit(benchmark::kMillisecond);
+
+static void BM_SpectralConv2d(benchmark::State& state) {
+  math::Rng rng(9);
+  nn::SpectralConv2d spec(12, 12, 8, 8, rng);
+  nn::Tensor x({8, 12, 64, 64});
+  for (index_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.forward(x));
+  }
+}
+BENCHMARK(BM_SpectralConv2d)->Unit(benchmark::kMillisecond);
+
+static void BM_BlurFilter(benchmark::State& state) {
+  param::BlurFilter blur(2.0);
+  math::RealGrid x(48, 48, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blur.forward(x));
+  }
+}
+BENCHMARK(BM_BlurFilter)->Unit(benchmark::kMicrosecond);
+
+static void BM_SlabModeSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> eps(n, 2.07);
+  for (std::size_t i = n / 2 - n / 10; i < n / 2 + n / 10; ++i) eps[i] = 12.11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fdfd::solve_slab_modes(eps, 0.02, omega_of_wavelength(1.55), 2));
+  }
+}
+BENCHMARK(BM_SlabModeSolve)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);

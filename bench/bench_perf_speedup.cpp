@@ -1,0 +1,84 @@
+// The paper's headline motivation: AI surrogates accelerate simulation by
+// orders of magnitude over numerical solvers. Compares a full FDFD solve
+// (assemble + factorize + solve) against one FNO inference at the same
+// resolution, plus the amortized re-solve (factorization cached) case.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "fdfd/simulation.hpp"
+#include "fdfd/source.hpp"
+#include "math/rng.hpp"
+
+using namespace maps;
+
+namespace {
+
+math::RealGrid random_eps(index_t n) {
+  math::Rng rng(11);
+  math::RealGrid eps(n, n, 2.07);
+  for (index_t j = n / 3; j < 2 * n / 3; ++j) {
+    for (index_t i = n / 3; i < 2 * n / 3; ++i) {
+      eps(i, j) = 2.07 + 10.0 * rng.uniform();
+    }
+  }
+  return eps;
+}
+
+fdfd::SimOptions sim_opt(index_t n) {
+  fdfd::SimOptions o;
+  o.pml.ncells = static_cast<int>(n / 8);
+  return o;
+}
+
+}  // namespace
+
+static void BM_FdfdFullSolve(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  const auto J = fdfd::point_source(spec, n / 4, n / 2);
+  for (auto _ : state) {
+    fdfd::Simulation sim(spec, eps, omega_of_wavelength(1.55), sim_opt(n));
+    benchmark::DoNotOptimize(sim.solve(J));
+  }
+}
+BENCHMARK(BM_FdfdFullSolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_FdfdCachedResolve(benchmark::State& state) {
+  // New source, same structure: factorization amortized.
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  fdfd::Simulation sim(spec, eps, omega_of_wavelength(1.55), sim_opt(n));
+  const auto J = fdfd::point_source(spec, n / 4, n / 2);
+  (void)sim.solve(J);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.solve(J));
+  }
+}
+BENCHMARK(BM_FdfdCachedResolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_FnoInference(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto model = nn::make_model(bench::field_model_config(nn::ModelKind::Fno));
+  nn::Tensor x({1, 4, n, n});
+  math::Rng rng(13);
+  for (index_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(x));
+  }
+}
+BENCHMARK(BM_FnoInference)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_FnoInferenceBatch8(benchmark::State& state) {
+  // Surrogates amortize further across batched queries.
+  const index_t n = state.range(0);
+  auto model = nn::make_model(bench::field_model_config(nn::ModelKind::Fno));
+  nn::Tensor x({8, 4, n, n});
+  math::Rng rng(13);
+  for (index_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(x));
+  }
+}
+BENCHMARK(BM_FnoInferenceBatch8)->Arg(64)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,97 @@
+// Table II reproduction: gradient computation methods.
+//
+// Three ways to extract dF/deps from neural surrogates, evaluated by cosine
+// similarity against the ground-truth adjoint gradient on held-out
+// trajectory designs:
+//   AD-Black Box  — differentiate a transmission regressor through its input,
+//   AD-Pred Field — differentiate the FoM of a predicted field through the
+//                   field network's input,
+//   Fwd & Adj Field — form the physical adjoint product from two predicted
+//                   fields (no network differentiation).
+// The paper's finding: the physics-based route wins by nearly an order of
+// magnitude.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/train/providers.hpp"
+
+using namespace maps;
+
+namespace {
+
+double mean_provider_similarity(invdes::GradientProvider& provider,
+                                const devices::DeviceProblem& device,
+                                const std::vector<const data::SampleRecord*>& recs) {
+  double total = 0.0;
+  int count = 0;
+  for (const auto* rec : recs) {
+    // Provider gradients are for the device's base eps (no thermal delta);
+    // the bend has a single excitation so rec->eps is exactly that.
+    const auto ge = provider.evaluate(rec->eps);
+    total += train::box_cosine(ge.grad_eps, rec->grad_eps, rec->design_box);
+    ++count;
+  }
+  (void)device;
+  return count ? total / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Stopwatch watch;
+  std::printf("=== Table II: gradient method comparison (bending) ===\n");
+
+  const auto device = devices::make_device(devices::DeviceKind::Bend);
+  const auto test_set = bench::make_test_dataset(device, devices::DeviceKind::Bend);
+  const auto perturb_patterns = data::sample_patterns(
+      device, devices::DeviceKind::Bend,
+      bench::train_sampler_options(data::SamplingStrategy::PerturbOptTraj, 21));
+  const auto train_set = data::generate_dataset(device, perturb_patterns);
+  std::printf("    train %zu samples | eval %zu samples\n", train_set.size(),
+              test_set.size());
+
+  train::DataLoader loader(train_set, test_set, {});
+  std::vector<const data::SampleRecord*> recs = loader.test_records();
+
+  analysis::TextTable table({"model", "Grad Method", "Grad Similarity"});
+
+  for (auto kind : {nn::ModelKind::Fno, nn::ModelKind::UNetKind}) {
+    std::printf("[train] field model %s...\n", nn::model_name(kind));
+    auto model = nn::make_model(bench::field_model_config(kind));
+    train::EncodingOptions enc;
+    (void)bench::train_field_model(*model, loader, device, enc);
+
+    std::printf("[train] black-box transmission CNN for %s row...\n",
+                nn::model_name(kind));
+    nn::ModelConfig bb_cfg;
+    bb_cfg.kind = nn::ModelKind::SParam;
+    bb_cfg.in_channels = 4;
+    bb_cfg.width = 12;
+    bb_cfg.n_outputs = train::total_terms(device);
+    bb_cfg.seed = (kind == nn::ModelKind::Fno) ? 42 : 43;
+    auto bb_model = nn::make_model(bb_cfg);
+    (void)train::train_blackbox(*bb_model, loader, device, bench::default_epochs(),
+                                2e-3, enc);
+
+    train::BlackBoxProvider bb(*bb_model, device, loader.standardizer(), enc);
+    train::AutodiffFieldProvider ad(*model, device, loader.standardizer(), enc);
+    train::FwdAdjFieldProvider fa(*model, device, loader.standardizer(), enc);
+
+    table.add_row({nn::model_name(kind), "AD-Black Box",
+                   analysis::TextTable::fmt(
+                       mean_provider_similarity(bb, device, recs))});
+    table.add_row({nn::model_name(kind), "AD-Pred Field",
+                   analysis::TextTable::fmt(
+                       mean_provider_similarity(ad, device, recs))});
+    table.add_row({nn::model_name(kind), "Fwd & Adj Field",
+                   analysis::TextTable::fmt(
+                       mean_provider_similarity(fa, device, recs))});
+  }
+
+  std::printf("\n%s", table.str().c_str());
+  std::printf("\nPaper reference (Table II):\n"
+              "  FNO : AD-Black Box 0.0511 | AD-Pred Field 0.0552 | Fwd&Adj 0.4270\n"
+              "  UNet: AD-Black Box 0.0243 | AD-Pred Field 0.0406 | Fwd&Adj 0.2707\n");
+  std::printf("[done] %.1f s\n", watch.seconds());
+  return 0;
+}

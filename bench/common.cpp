@@ -1,0 +1,100 @@
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace maps::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("MAPS_BENCH_FAST")) {
+    if (env[0] == '1') return 0.25;
+  }
+  if (const char* env = std::getenv("MAPS_BENCH_SCALE")) {
+    const double s = std::strtod(env, nullptr);
+    if (s > 0.01 && s <= 4.0) return s;
+  }
+  return 1.0;
+}
+
+int scaled(int full, int minimum) {
+  const int v = static_cast<int>(full * bench_scale());
+  return v < minimum ? minimum : v;
+}
+
+data::SamplerOptions train_sampler_options(data::SamplingStrategy strategy,
+                                           unsigned seed) {
+  data::SamplerOptions opt;
+  opt.strategy = strategy;
+  opt.seed = seed;
+  opt.num_trajectories = scaled(4, 2);
+  opt.traj_iterations = scaled(28, 8);
+  opt.record_every = 4;
+  opt.perturbs_per_snapshot = 1;
+  // Random strategy pattern count matched to the perturb-opt-traj yield:
+  // n_traj * (iters/every + 1) * (1 + perturbs).
+  opt.num_patterns = opt.num_trajectories * (opt.traj_iterations / opt.record_every + 1) *
+                     (1 + opt.perturbs_per_snapshot);
+  return opt;
+}
+
+data::SamplerOptions test_sampler_options(unsigned seed) {
+  data::SamplerOptions opt;
+  opt.strategy = data::SamplingStrategy::OptTraj;  // the query distribution
+  opt.seed = seed;
+  opt.num_trajectories = scaled(2, 1);
+  opt.traj_iterations = scaled(32, 8);
+  opt.record_every = 4;
+  return opt;
+}
+
+data::Dataset make_test_dataset(const devices::DeviceProblem& device,
+                                devices::DeviceKind kind) {
+  const auto patterns = data::sample_patterns(device, kind, test_sampler_options());
+  return data::generate_dataset(device, patterns);
+}
+
+nn::ModelConfig field_model_config(nn::ModelKind kind) {
+  nn::ModelConfig cfg;
+  cfg.kind = kind;
+  cfg.out_channels = 2;
+  cfg.width = 12;
+  // The guided field carries ~13 spatial cycles across the 6.4 um domain, so
+  // the spectral band must reach past that: 16 of 32 positive modes.
+  cfg.modes = 16;
+  cfg.depth = 3;
+  cfg.in_channels = (kind == nn::ModelKind::NeurOLight) ? 8 : 4;
+  return cfg;
+}
+
+int default_epochs() { return scaled(20, 4); }
+
+train::TrainReport train_field_model(nn::Module& model, const train::DataLoader& loader,
+                                     const devices::DeviceProblem& device,
+                                     const train::EncodingOptions& enc,
+                                     int epochs_override, double maxwell_weight,
+                                     double mixup_prob) {
+  train::TrainOptions opt;
+  opt.epochs = epochs_override > 0 ? epochs_override : default_epochs();
+  opt.batch = 8;
+  opt.lr = 1e-2;
+  opt.lr_min = 5e-4;
+  opt.encoding = enc;
+  opt.maxwell_weight = maxwell_weight;
+  opt.mixup_prob = mixup_prob;
+  train::Trainer trainer(model, loader, opt);
+  return trainer.fit(&device);
+}
+
+Stopwatch::Stopwatch()
+    : start_(std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) {}
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         start_;
+}
+
+}  // namespace maps::bench

@@ -1,0 +1,56 @@
+// Shared plumbing for the paper-reproduction benches: canonical dataset
+// recipes, model configurations matched across tables, training wrappers,
+// and environment-variable scaling (MAPS_BENCH_FAST=1 shrinks every budget
+// for smoke runs).
+#pragma once
+
+#include <string>
+
+#include "analysis/report.hpp"
+#include "core/data/generator.hpp"
+#include "core/data/sampler.hpp"
+#include "core/train/loader.hpp"
+#include "core/train/trainer.hpp"
+#include "devices/builders.hpp"
+#include "nn/models.hpp"
+
+namespace maps::bench {
+
+/// Global scale knob: 1.0 full budgets, <1 shrinks datasets/epochs.
+double bench_scale();
+int scaled(int full, int minimum = 1);
+
+/// Canonical perturbed-opt-traj pattern recipe (train flavor) and the
+/// held-out trajectory recipe (test flavor) used across Tables I-III.
+data::SamplerOptions train_sampler_options(data::SamplingStrategy strategy,
+                                           unsigned seed = 1);
+data::SamplerOptions test_sampler_options(unsigned seed = 9001);
+
+/// Generate the canonical evaluation dataset (held-out opt trajectories).
+data::Dataset make_test_dataset(const devices::DeviceProblem& device,
+                                devices::DeviceKind kind);
+
+/// Model configurations used by every table (sizes matched across models).
+nn::ModelConfig field_model_config(nn::ModelKind kind);
+
+/// Train a field model on a loader; returns the standardized report.
+train::TrainReport train_field_model(nn::Module& model, const train::DataLoader& loader,
+                                     const devices::DeviceProblem& device,
+                                     const train::EncodingOptions& enc,
+                                     int epochs_override = -1, double maxwell_weight = 0.0,
+                                     double mixup_prob = 0.0);
+
+/// Default epochs for table runs (after bench scaling).
+int default_epochs();
+
+/// Wall-clock helper.
+class Stopwatch {
+ public:
+  Stopwatch();
+  double seconds() const;
+
+ private:
+  double start_;
+};
+
+}  // namespace maps::bench

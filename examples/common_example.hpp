@@ -1,0 +1,3 @@
+// Shared helpers for the examples (kept intentionally tiny: examples should
+// read as user code against the public API).
+#pragma once

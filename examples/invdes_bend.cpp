@@ -1,0 +1,70 @@
+// Adjoint inverse design of a 90-degree waveguide bend (MAPS-InvDes).
+//
+// Demonstrates the full Sec. III-C workflow: device + canonical projection
+// pipeline (blur -> diagonal symmetry -> tanh binarization schedule),
+// transmission-seeded initialization, Adam ascent on the adjoint gradient,
+// gray-region penalty, and a post-run manufacturability audit (MFS).
+#include <cstdio>
+
+#include "core/invdes/engine.hpp"
+#include "core/invdes/init.hpp"
+#include "devices/builders.hpp"
+#include "param/mfs.hpp"
+
+using namespace maps;
+
+namespace {
+void print_density(const maps::math::RealGrid& rho) {
+  // Coarse ASCII rendering of the design region.
+  static const char* shades[] = {" ", ".", ":", "+", "#"};
+  for (index_t j = rho.ny(); j-- > 0;) {
+    std::printf("    ");
+    for (index_t i = 0; i < rho.nx(); ++i) {
+      const int level = std::min(4, static_cast<int>(rho(i, j) * 5.0));
+      std::printf("%s", shades[level]);
+    }
+    std::printf("\n");
+  }
+}
+}  // namespace
+
+int main() {
+  const auto device = devices::make_device(devices::DeviceKind::Bend);
+  std::printf("device: %s (%lld x %lld grid, design box %lld x %lld cells)\n",
+              device.name.c_str(), static_cast<long long>(device.spec.nx),
+              static_cast<long long>(device.spec.ny),
+              static_cast<long long>(device.design_map.box.ni),
+              static_cast<long long>(device.design_map.box.nj));
+
+  invdes::InvDesOptions options;
+  options.iterations = 50;
+  options.lr = 0.05;
+  options.beta_start = 8.0;
+  options.beta_end = 96.0;     // hard binarization by the end
+  options.gray_penalty = 0.1;  // discourage gray (unmanufacturable) cells
+  options.progress = [](int it, double fom) {
+    if (it % 5 == 0) std::printf("  iter %3d  FoM %.4f\n", it, fom);
+  };
+
+  invdes::InverseDesigner designer(
+      device, devices::make_default_pipeline(device, devices::DeviceKind::Bend),
+      options);
+
+  const auto theta0 = invdes::make_initial_theta(device, invdes::InitKind::PathSeed);
+  std::printf("optimizing (%d iterations)...\n", options.iterations);
+  const auto result = designer.run(theta0);
+
+  std::printf("\nfinal transmission: %.4f (started from the L-path seed)\n",
+              result.history.back().transmissions.front());
+  std::printf("final design density:\n");
+  print_density(result.density);
+
+  // Manufacturability audit.
+  const auto mask = param::binarize(result.density);
+  const double mfs_radius = param::measured_mfs_radius(mask, 6.0);
+  std::printf("\ngray indicator: %.4f (0 = fully binary)\n",
+              param::gray_indicator(result.density));
+  std::printf("measured minimum feature radius: %.1f cells (%.2f um)\n", mfs_radius,
+              mfs_radius * device.spec.dl);
+  return 0;
+}

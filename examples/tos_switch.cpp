@@ -1,0 +1,61 @@
+// Active thermo-optic switch (TOS): the active device of the MAPS family.
+//
+// The TOS carries two excitations — heater OFF (cold) and heater ON (hot,
+// with the thermo-optic index perturbation from the steady-state heat
+// solver). A short inverse design finds a structure whose output routing
+// *changes with temperature*, and the example reports the switching
+// extinction between the two states.
+#include <cstdio>
+
+#include "core/invdes/engine.hpp"
+#include "core/invdes/init.hpp"
+#include "devices/builders.hpp"
+#include "heat/heat_solver.hpp"
+
+using namespace maps;
+
+int main() {
+  // A feel for the thermal substrate first: heater above a silicon patch.
+  {
+    grid::GridSpec spec{64, 64, 0.1};
+    math::RealGrid kappa(spec.nx, spec.ny, heat::kKappaSilica);
+    for (index_t j = 28; j < 36; ++j) {
+      for (index_t i = 20; i < 44; ++i) kappa(i, j) = heat::kKappaSilicon;
+    }
+    heat::HeatProblem hp{spec, kappa,
+                         heat::heater_power_map(spec, {28, 40, 8, 4}, 1.0)};
+    const auto T = heat::solve_steady_heat(hp);
+    double t_max = 0.0;
+    for (index_t n = 0; n < T.size(); ++n) t_max = std::max(t_max, T[n]);
+    std::printf("heat substrate: peak temperature rise %.3f (a.u.)\n", t_max);
+  }
+
+  // The TOS device: excitation 0 = cold, excitation 1 = hot.
+  const auto device = devices::make_device(devices::DeviceKind::Tos);
+  std::printf("TOS device: %zu excitations (%s, %s)\n", device.excitations.size(),
+              device.excitations[0].name.c_str(), device.excitations[1].name.c_str());
+
+  auto pipeline = devices::make_default_pipeline(device, devices::DeviceKind::Tos);
+  auto theta = invdes::make_initial_theta(device, invdes::InitKind::PathSeed);
+
+  invdes::InvDesOptions opt;
+  opt.iterations = 18;
+  opt.lr = 0.04;
+  invdes::InverseDesigner designer(device, std::move(pipeline), opt);
+  const auto result = designer.run(std::move(theta));
+
+  std::printf("\nafter %d iterations, FoM = %.4f\n", opt.iterations, result.fom);
+  const auto eval = device.evaluate(result.eps);
+  for (std::size_t e = 0; e < eval.per_excitation.size(); ++e) {
+    const auto& exc = eval.per_excitation[e];
+    std::printf("  state %-5s:", device.excitations[e].name.c_str());
+    for (std::size_t t = 0; t < exc.transmissions.size(); ++t) {
+      std::printf("  T[%s]=%.3f", device.excitations[e].terms[t].name.c_str(),
+                  exc.transmissions[t]);
+    }
+    std::putchar('\n');
+  }
+  std::printf("\nThe hot/cold objectives reward opposite routings, so the two\n"
+              "states diverge as the design converges (longer runs sharpen it).\n");
+  return 0;
+}

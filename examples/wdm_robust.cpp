@@ -1,0 +1,51 @@
+// Variation-aware inverse design of a wavelength demultiplexer (WDM).
+//
+// The WDM routes 1.50 um light to the top arm and 1.60 um light to the
+// bottom arm. This example optimizes it through the differentiable
+// lithography model across etch corners and reports post-fab transmission at
+// every corner — the Sec. III-C.3 robustness workflow.
+#include <cstdio>
+
+#include "core/invdes/init.hpp"
+#include "core/invdes/robust.hpp"
+#include "devices/builders.hpp"
+
+using namespace maps;
+
+int main() {
+  const auto device = devices::make_device(devices::DeviceKind::Wdm);
+  std::printf("device: %s with %zu excitations\n", device.name.c_str(),
+              device.excitations.size());
+  for (const auto& exc : device.excitations) {
+    std::printf("  excitation %-8s lambda = %.3f um, %zu objective terms\n",
+                exc.name.c_str(), 2.0 * kPi / exc.omega, exc.terms.size());
+  }
+
+  invdes::RobustOptions options;
+  options.base.iterations = 30;
+  options.base.lr = 0.05;
+  options.litho.defocus_sigma = 2.0;
+  options.litho.dose_delta = 0.08;
+
+  invdes::RobustInverseDesigner designer(device, devices::DeviceKind::Wdm, options);
+  const auto theta0 = invdes::make_initial_theta(device, invdes::InitKind::PathSeed);
+
+  std::printf("\nrobust optimization over %d iterations x 3 litho corners...\n",
+              options.base.iterations);
+  const auto result = designer.run(theta0);
+
+  std::printf("\nrobust FoM trace: start %.4f -> end %.4f\n", result.history.front(),
+              result.history.back());
+  std::printf("\npost-fab corner report (per-term transmissions):\n");
+  for (const auto& corner : result.corners) {
+    std::printf("  %-10s FoM %.4f |", param::LithoModel::corner_name(corner.corner),
+                corner.fom);
+    // Terms: [lambda1: out_top(max), out_bot(min)], [lambda2: out_bot(max), out_top(min)]
+    std::printf(" l1->top %.3f (want high), l1->bot %.3f (want low),",
+                corner.transmissions[0], corner.transmissions[1]);
+    std::printf(" l2->bot %.3f (want high), l2->top %.3f (want low)\n",
+                corner.transmissions[2], corner.transmissions[3]);
+  }
+  std::printf("\nA robust design keeps the demux contrast at every corner.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace maps::analysis {
+
+Histogram make_histogram(const std::vector<double>& values, double lo, double hi,
+                         int bins) {
+  maps::require(bins > 0 && hi > lo, "make_histogram: bad bins/range");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(static_cast<std::size_t>(bins), 0);
+  for (double v : values) {
+    if (v < lo) {
+      ++h.below;
+    } else if (v >= hi) {
+      if (v == hi) {
+        ++h.counts.back();
+        ++h.total;
+      } else {
+        ++h.above;
+      }
+    } else {
+      const auto bin = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                                static_cast<double>(bins));
+      ++h.counts[std::min(bin, h.counts.size() - 1)];
+      ++h.total;
+    }
+  }
+  return h;
+}
+
+std::string ascii_histogram(const Histogram& h, const std::string& title,
+                            int max_bar) {
+  std::string out = title + "\n";
+  index_t peak = 1;
+  for (index_t c : h.counts) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const double b_lo = h.lo + static_cast<double>(b) * h.bin_width();
+    const double b_hi = b_lo + h.bin_width();
+    const int len = static_cast<int>(std::lround(
+        static_cast<double>(h.counts[b]) / static_cast<double>(peak) * max_bar));
+    char line[64];
+    std::snprintf(line, sizeof(line), "  [%4.2f,%4.2f) %5lld |",
+                  b_lo, b_hi, static_cast<long long>(h.counts[b]));
+    out += line;
+    out.append(static_cast<std::size_t>(len), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace maps::analysis

@@ -1,0 +1,33 @@
+// Fixed-bin histograms (Fig. 5a: transmission-ratio distributions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::analysis {
+
+struct Histogram {
+  double lo = 0.0, hi = 1.0;
+  std::vector<index_t> counts;
+  index_t total = 0;
+  index_t below = 0, above = 0;  // out-of-range tallies
+
+  double bin_width() const {
+    return (hi - lo) / static_cast<double>(counts.size());
+  }
+  double fraction(std::size_t bin) const {
+    return total > 0 ? static_cast<double>(counts[bin]) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+Histogram make_histogram(const std::vector<double>& values, double lo, double hi,
+                         int bins);
+
+/// Multi-line ASCII rendering (bench/report output).
+std::string ascii_histogram(const Histogram& h, const std::string& title,
+                            int max_bar = 48);
+
+}  // namespace maps::analysis

@@ -1,0 +1,108 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::analysis {
+
+namespace {
+
+// Jacobi eigendecomposition of a dense symmetric matrix (n is small: the
+// number of samples, a few hundred at most).
+void jacobi_eigh(std::vector<std::vector<double>>& a, std::vector<double>& eigvals,
+                 std::vector<std::vector<double>>& eigvecs) {
+  const std::size_t n = a.size();
+  eigvecs.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) eigvecs[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-22) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-300) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = eigvecs[k][p], vkq = eigvecs[k][q];
+          eigvecs[k][p] = c * vkp - s * vkq;
+          eigvecs[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigvals.resize(n);
+  for (std::size_t i = 0; i < n; ++i) eigvals[i] = a[i][i];
+}
+
+}  // namespace
+
+PcaResult pca(const std::vector<std::vector<double>>& rows, int k) {
+  maps::require(!rows.empty(), "pca: no samples");
+  const std::size_t n = rows.size();
+  const std::size_t d = rows[0].size();
+  for (const auto& r : rows) maps::require(r.size() == d, "pca: ragged rows");
+
+  PcaResult res;
+  res.mean.assign(d, 0.0);
+  for (const auto& r : rows) {
+    for (std::size_t j = 0; j < d; ++j) res.mean[j] += r[j];
+  }
+  for (auto& m : res.mean) m /= static_cast<double>(n);
+
+  // Centered Gram matrix G = X X^T (n x n).
+  std::vector<std::vector<double>> centered(n, std::vector<double>(d));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) centered[i][j] = rows[i][j] - res.mean[j];
+  }
+  std::vector<std::vector<double>> gram(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < d; ++t) s += centered[i][t] * centered[j][t];
+      gram[i][j] = gram[j][i] = s;
+    }
+  }
+
+  std::vector<double> eigvals;
+  std::vector<std::vector<double>> eigvecs;
+  jacobi_eigh(gram, eigvals, eigvecs);
+
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return eigvals[a] > eigvals[b]; });
+
+  const int kk = std::min<int>(k, static_cast<int>(std::min(n > 0 ? n - 1 : 0, d)));
+  res.projected.assign(n, std::vector<double>(static_cast<std::size_t>(kk), 0.0));
+  for (int c = 0; c < kk; ++c) {
+    const std::size_t idx = order[static_cast<std::size_t>(c)];
+    const double lam = std::max(eigvals[idx], 0.0);
+    res.explained_variance.push_back(lam / static_cast<double>(n));
+    // Projection of sample i onto component c is sqrt(lam) * v_i.
+    const double scale = std::sqrt(lam);
+    for (std::size_t i = 0; i < n; ++i) {
+      res.projected[i][static_cast<std::size_t>(c)] = scale * eigvecs[i][idx];
+    }
+  }
+  return res;
+}
+
+}  // namespace maps::analysis

@@ -1,0 +1,22 @@
+// Principal component analysis via the Gram trick: for n samples of
+// dimension d with n << d (flattened device patterns), eigendecompose the
+// n x n Gram matrix instead of the d x d covariance. Used to pre-reduce
+// patterns before t-SNE (the standard pipeline for Fig. 5b).
+#pragma once
+
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::analysis {
+
+struct PcaResult {
+  std::vector<std::vector<double>> projected;  // n rows x k components
+  std::vector<double> explained_variance;      // k eigenvalues (descending)
+  std::vector<double> mean;                    // d (for reprojection)
+};
+
+/// rows: n samples x d features. Returns min(k, n-1, d) components.
+PcaResult pca(const std::vector<std::vector<double>>& rows, int k);
+
+}  // namespace maps::analysis

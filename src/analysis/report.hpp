@@ -1,0 +1,29 @@
+// CSV writers and small table formatting used by the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::analysis {
+
+/// Write rows as CSV with a header line. Throws on IO failure.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+/// Fixed-width text table (printed by the table benches).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+  static std::string fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace maps::analysis

@@ -1,0 +1,179 @@
+#include "analysis/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace maps::analysis {
+
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) s += (a[k] - b[k]) * (a[k] - b[k]);
+  return s;
+}
+
+// Binary-search the Gaussian bandwidth of row i to hit the target perplexity.
+void row_affinities(const std::vector<std::vector<double>>& d2, std::size_t i,
+                    double perplexity, std::vector<double>& p_row) {
+  const std::size_t n = d2.size();
+  double beta_lo = 1e-20, beta_hi = 1e20, beta = 1.0;
+  const double log_perp = std::log(perplexity);
+  for (int it = 0; it < 64; ++it) {
+    double sum = 0.0, sum_dp = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        p_row[j] = 0.0;
+        continue;
+      }
+      p_row[j] = std::exp(-beta * d2[i][j]);
+      sum += p_row[j];
+      sum_dp += beta * d2[i][j] * p_row[j];
+    }
+    if (sum <= 1e-300) {
+      beta_hi = beta;
+      beta = 0.5 * (beta_lo + beta_hi);
+      continue;
+    }
+    const double entropy = std::log(sum) + sum_dp / sum;
+    if (std::abs(entropy - log_perp) < 1e-5) break;
+    if (entropy > log_perp) {
+      beta_lo = beta;
+      beta = (beta_hi > 1e19) ? beta * 2.0 : 0.5 * (beta_lo + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = (beta_lo < 1e-19) ? beta / 2.0 : 0.5 * (beta_lo + beta_hi);
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) sum += p_row[j];
+  if (sum > 0) {
+    for (auto& v : p_row) v /= sum;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> tsne(const std::vector<std::vector<double>>& rows,
+                                      const TsneOptions& opt) {
+  maps::require(rows.size() >= 4, "tsne: need at least 4 points");
+  const std::size_t n = rows.size();
+  const double perplexity = std::min(opt.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d2[i][j] = d2[j][i] = sq_dist(rows[i], rows[j]);
+    }
+  }
+
+  // Symmetrized affinities P.
+  std::vector<std::vector<double>> P(n, std::vector<double>(n, 0.0));
+  {
+    std::vector<double> row(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      row_affinities(d2, i, perplexity, row);
+      for (std::size_t j = 0; j < n; ++j) P[i][j] = row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = std::max((P[i][j] + P[j][i]) / (2.0 * static_cast<double>(n)),
+                                1e-12);
+      P[i][j] = P[j][i] = v;
+    }
+    P[i][i] = 0.0;
+  }
+
+  // Init embedding.
+  maps::math::Rng rng(opt.seed);
+  const auto dims = static_cast<std::size_t>(opt.output_dims);
+  std::vector<std::vector<double>> Y(n, std::vector<double>(dims));
+  std::vector<std::vector<double>> vel(n, std::vector<double>(dims, 0.0));
+  std::vector<std::vector<double>> gains(n, std::vector<double>(dims, 1.0));
+  for (auto& y : Y) {
+    for (auto& v : y) v = rng.normal(0.0, 1e-4);
+  }
+
+  // Auto learning rate (sklearn convention); unbounded adaptive gains at
+  // large rates make the embedding diverge on concentrated affinities.
+  const double lr = opt.learning_rate > 0.0
+                        ? opt.learning_rate
+                        : std::max(1.0, static_cast<double>(n) /
+                                            (4.0 * opt.early_exaggeration));
+
+  std::vector<std::vector<double>> Q(n, std::vector<double>(n, 0.0));
+  for (int it = 0; it < opt.iterations; ++it) {
+    const double exag = (it < opt.exaggeration_iters) ? opt.early_exaggeration : 1.0;
+    const double momentum = (it < 100) ? 0.5 : 0.8;
+
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double q = 1.0 / (1.0 + sq_dist(Y[i], Y[j]));
+        Q[i][j] = Q[j][i] = q;
+        q_sum += 2.0 * q;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    // Gradient + momentum step with adaptive gains.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(dims, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double mult = (exag * P[i][j] - Q[i][j] / q_sum) * Q[i][j];
+        for (std::size_t k = 0; k < dims; ++k) {
+          grad[k] += 4.0 * mult * (Y[i][k] - Y[j][k]);
+        }
+      }
+      for (std::size_t k = 0; k < dims; ++k) {
+        gains[i][k] = (std::signbit(grad[k]) != std::signbit(vel[i][k]))
+                          ? std::min(4.0, gains[i][k] + 0.2)
+                          : std::max(0.01, gains[i][k] * 0.8);
+        vel[i][k] = momentum * vel[i][k] - lr * gains[i][k] * grad[k];
+        Y[i][k] += vel[i][k];
+      }
+    }
+
+    // Re-center.
+    std::vector<double> mean(dims, 0.0);
+    for (const auto& y : Y) {
+      for (std::size_t k = 0; k < dims; ++k) mean[k] += y[k];
+    }
+    for (auto& m : mean) m /= static_cast<double>(n);
+    for (auto& y : Y) {
+      for (std::size_t k = 0; k < dims; ++k) y[k] -= mean[k];
+    }
+  }
+  return Y;
+}
+
+double cluster_separation(const std::vector<std::vector<double>>& embedding,
+                          const std::vector<int>& labels) {
+  maps::require(embedding.size() == labels.size(), "cluster_separation: size mismatch");
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    for (std::size_t j = i + 1; j < embedding.size(); ++j) {
+      const double dist = std::sqrt(sq_dist(embedding[i], embedding[j]));
+      if (labels[i] == labels[j]) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  }
+  if (n_intra == 0 || n_inter == 0) return 0.0;
+  intra /= static_cast<double>(n_intra);
+  inter /= static_cast<double>(n_inter);
+  return inter > 0.0 ? (inter - intra) / inter : 0.0;
+}
+
+}  // namespace maps::analysis

@@ -1,0 +1,33 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for Fig. 5b's pattern
+// embedding. O(n^2) per iteration — intended for a few hundred patterns,
+// after PCA pre-reduction.
+#pragma once
+
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::analysis {
+
+struct TsneOptions {
+  int output_dims = 2;
+  double perplexity = 20.0;
+  int iterations = 400;
+  double learning_rate = 0.0;  // 0 = auto: max(1, n / (4 * early_exaggeration))
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 80;
+  unsigned seed = 3;
+};
+
+/// rows: n x d input points. Returns n x output_dims embedding.
+std::vector<std::vector<double>> tsne(const std::vector<std::vector<double>>& rows,
+                                      const TsneOptions& options = {});
+
+/// Mean silhouette-like separation of labeled groups in an embedding:
+/// (mean inter-group distance - mean intra-group distance) / inter. Used to
+/// quantify the low/high-performance cluster structure the paper shows
+/// visually.
+double cluster_separation(const std::vector<std::vector<double>>& embedding,
+                          const std::vector<int>& labels);
+
+}  // namespace maps::analysis

@@ -1,0 +1,167 @@
+#include "core/data/dataset.hpp"
+
+#include <fstream>
+#include <unordered_set>
+
+namespace maps::data {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+std::vector<std::uint64_t> Dataset::pattern_ids() const {
+  std::vector<std::uint64_t> ids;
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& s : samples) {
+    if (seen.insert(s.pattern_id).second) ids.push_back(s.pattern_id);
+  }
+  return ids;
+}
+
+std::vector<double> Dataset::primary_transmissions() const {
+  std::vector<double> t;
+  for (const auto& s : samples) {
+    if (!s.transmissions.empty()) t.push_back(s.transmissions.front());
+  }
+  return t;
+}
+
+void Dataset::append(const Dataset& other) {
+  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+}
+
+// ------------------------------------------------------------- binary IO --
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4D445331;  // "MDS1"
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void put_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+double get_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void put_str(std::ostream& os, const std::string& s) {
+  put_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string get_str(std::istream& is) {
+  std::string s(get_u64(is), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(s.size()));
+  return s;
+}
+void put_real_grid(std::ostream& os, const RealGrid& g) {
+  put_u64(os, static_cast<std::uint64_t>(g.nx()));
+  put_u64(os, static_cast<std::uint64_t>(g.ny()));
+  os.write(reinterpret_cast<const char*>(g.data().data()),
+           static_cast<std::streamsize>(g.data().size() * sizeof(double)));
+}
+RealGrid get_real_grid(std::istream& is) {
+  const auto nx = static_cast<index_t>(get_u64(is));
+  const auto ny = static_cast<index_t>(get_u64(is));
+  RealGrid g(nx, ny);
+  is.read(reinterpret_cast<char*>(g.data().data()),
+          static_cast<std::streamsize>(g.data().size() * sizeof(double)));
+  return g;
+}
+void put_cplx_grid(std::ostream& os, const CplxGrid& g) {
+  put_u64(os, static_cast<std::uint64_t>(g.nx()));
+  put_u64(os, static_cast<std::uint64_t>(g.ny()));
+  os.write(reinterpret_cast<const char*>(g.data().data()),
+           static_cast<std::streamsize>(g.data().size() * sizeof(cplx)));
+}
+CplxGrid get_cplx_grid(std::istream& is) {
+  const auto nx = static_cast<index_t>(get_u64(is));
+  const auto ny = static_cast<index_t>(get_u64(is));
+  CplxGrid g(nx, ny);
+  is.read(reinterpret_cast<char*>(g.data().data()),
+          static_cast<std::streamsize>(g.data().size() * sizeof(cplx)));
+  return g;
+}
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  require(os.good(), "Dataset::save: cannot open " + path);
+  put_u64(os, kMagic);
+  put_str(os, name);
+  put_u64(os, samples.size());
+  for (const auto& s : samples) {
+    put_str(os, s.device);
+    put_str(os, s.excitation);
+    put_str(os, s.strategy);
+    put_u64(os, s.pattern_id);
+    put_u64(os, static_cast<std::uint64_t>(s.fidelity));
+    put_u64(os, static_cast<std::uint64_t>(s.pml_cells));
+    put_f64(os, s.dl);
+    put_f64(os, s.omega);
+    put_real_grid(os, s.eps);
+    put_cplx_grid(os, s.J);
+    put_cplx_grid(os, s.Ez);
+    put_cplx_grid(os, s.adj_J);
+    put_cplx_grid(os, s.lambda_fwd);
+    put_real_grid(os, s.grad_eps);
+    put_real_grid(os, s.density);
+    put_u64(os, static_cast<std::uint64_t>(s.design_box.i0));
+    put_u64(os, static_cast<std::uint64_t>(s.design_box.j0));
+    put_u64(os, static_cast<std::uint64_t>(s.design_box.ni));
+    put_u64(os, static_cast<std::uint64_t>(s.design_box.nj));
+    put_f64(os, s.fom);
+    put_f64(os, s.input_norm);
+    put_f64(os, s.adj_scale);
+    put_u64(os, s.transmissions.size());
+    for (double t : s.transmissions) put_f64(os, t);
+  }
+  require(os.good(), "Dataset::save: write failed");
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(is.good(), "Dataset::load: cannot open " + path);
+  require(get_u64(is) == kMagic, "Dataset::load: bad magic");
+  Dataset d;
+  d.name = get_str(is);
+  const std::uint64_t count = get_u64(is);
+  d.samples.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    SampleRecord s;
+    s.device = get_str(is);
+    s.excitation = get_str(is);
+    s.strategy = get_str(is);
+    s.pattern_id = get_u64(is);
+    s.fidelity = static_cast<int>(get_u64(is));
+    s.pml_cells = static_cast<int>(get_u64(is));
+    s.dl = get_f64(is);
+    s.omega = get_f64(is);
+    s.eps = get_real_grid(is);
+    s.J = get_cplx_grid(is);
+    s.Ez = get_cplx_grid(is);
+    s.adj_J = get_cplx_grid(is);
+    s.lambda_fwd = get_cplx_grid(is);
+    s.grad_eps = get_real_grid(is);
+    s.density = get_real_grid(is);
+    s.design_box.i0 = static_cast<index_t>(get_u64(is));
+    s.design_box.j0 = static_cast<index_t>(get_u64(is));
+    s.design_box.ni = static_cast<index_t>(get_u64(is));
+    s.design_box.nj = static_cast<index_t>(get_u64(is));
+    s.fom = get_f64(is);
+    s.input_norm = get_f64(is);
+    s.adj_scale = get_f64(is);
+    const std::uint64_t nt = get_u64(is);
+    for (std::uint64_t t = 0; t < nt; ++t) s.transmissions.push_back(get_f64(is));
+    require(is.good(), "Dataset::load: truncated file");
+    d.samples.push_back(std::move(s));
+  }
+  return d;
+}
+
+}  // namespace maps::data

@@ -1,0 +1,77 @@
+// MAPS-Data sample schema and dataset container (Sec. III-A).
+//
+// Every sample carries the *rich labels* the paper calls for: the solved
+// field, transmissions, the adjoint gradient under the device objective, and
+// the adjoint source/field pair in forward-simulation convention (so field
+// predictors can be trained to answer adjoint queries). The Maxwell operator
+// itself is reproducible from (eps, omega, pml_cells) via fdfd::assemble and
+// is therefore not stored.
+//
+// pattern_id groups samples derived from the same design lineage (an
+// optimization trajectory and its perturbations share an id); MAPS-Train
+// splits at pattern granularity to prevent test-set leakage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/yee_grid.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::data {
+
+struct SampleRecord {
+  std::string device;
+  std::string excitation;
+  std::string strategy;
+  std::uint64_t pattern_id = 0;
+  int fidelity = 1;     // resolution multiplier (1 = 64x64 base)
+  int pml_cells = 0;
+  double dl = 0.0;
+  double omega = 0.0;
+
+  maps::math::RealGrid eps;          // permittivity the solver saw
+  maps::math::CplxGrid J;            // forward source
+  maps::math::CplxGrid Ez;           // forward field
+  maps::math::CplxGrid adj_J;        // adjoint source (forward convention)
+  maps::math::CplxGrid lambda_fwd;   // adjoint field (forward convention)
+  maps::math::RealGrid grad_eps;     // dF/deps under the device objective
+  maps::math::RealGrid density;      // design-region density rho_bar
+
+  grid::BoxRegion design_box;
+  double fom = 0.0;
+  double input_norm = 1.0;
+  /// Canonicalization factor of the stored adjoint pair: (adj_J, lambda_fwd)
+  /// are the raw adjoint quantities multiplied by adj_scale so their
+  /// magnitude matches the forward source (loss-friendly). Divide by it to
+  /// recover the physical pair; grad_eps corresponds to the *raw* pair.
+  double adj_scale = 1.0;
+  std::vector<double> transmissions;
+
+  index_t nx() const { return eps.nx(); }
+  index_t ny() const { return eps.ny(); }
+};
+
+class Dataset {
+ public:
+  std::string name;
+  std::vector<SampleRecord> samples;
+
+  std::size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+
+  /// Distinct pattern ids, in first-appearance order.
+  std::vector<std::uint64_t> pattern_ids() const;
+
+  /// Transmission of each sample's primary (first) objective term.
+  std::vector<double> primary_transmissions() const;
+
+  void save(const std::string& path) const;
+  static Dataset load(const std::string& path);
+
+  /// Concatenate (e.g. multi-fidelity pairs or strategy mixes).
+  void append(const Dataset& other);
+};
+
+}  // namespace maps::data

@@ -1,0 +1,115 @@
+#include "core/data/generator.hpp"
+
+#include <mutex>
+
+#include "fdfd/adjoint.hpp"
+#include "math/interpolate.hpp"
+#include "math/parallel.hpp"
+
+namespace maps::data {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+SampleRecord simulate_sample(const devices::DeviceProblem& device,
+                             const RealGrid& density, std::size_t excitation_index,
+                             std::uint64_t pattern_id, const std::string& strategy) {
+  maps::require(excitation_index < device.excitations.size(),
+                "simulate_sample: excitation index out of range");
+  const auto& exc = device.excitations[excitation_index];
+
+  SampleRecord s;
+  s.device = device.name;
+  s.excitation = exc.name;
+  s.strategy = strategy;
+  s.pattern_id = pattern_id;
+  s.pml_cells = device.sim_options.pml.ncells;
+  s.dl = device.spec.dl;
+  s.omega = exc.omega;
+  s.design_box = device.design_map.box;
+  s.density = density;
+  s.input_norm = exc.input_norm;
+
+  const RealGrid base_eps = param::embed_density(device.design_map, density);
+  s.eps = device.excitation_eps(base_eps, exc);
+  s.J = exc.J;
+
+  fdfd::Simulation sim(device.spec, s.eps, exc.omega, device.sim_options);
+  s.Ez = sim.solve(exc.J);
+  for (const auto& term : exc.terms) {
+    s.transmissions.push_back(fdfd::term_transmission(term, s.Ez));
+  }
+
+  const auto adj = fdfd::compute_adjoint(sim, s.Ez, exc.terms);
+  s.fom = adj.fom;
+  s.grad_eps = adj.grad_eps;
+  s.adj_J = adj.adj_current;
+  // lambda_fwd = W^{-1} lambda: the adjoint field in forward-run convention
+  // (what a forward-field surrogate should predict for the adjoint query).
+  s.lambda_fwd = CplxGrid(s.Ez.nx(), s.Ez.ny());
+  const auto& W = sim.op().W;
+  for (index_t n = 0; n < s.lambda_fwd.size(); ++n) {
+    s.lambda_fwd[n] = adj.lambda[n] / W[static_cast<std::size_t>(n)];
+  }
+  // Canonicalize the adjoint pair's magnitude to the forward source's. The
+  // raw adjoint source is orders of magnitude weaker than J, which would
+  // poison per-sample-normalized losses (tiny targets -> huge NMSE weight).
+  // Maxwell's equations are linear, so scaling source and field together is
+  // exact; consumers renormalize their adjoint queries the same way.
+  double j_max = 0.0, adj_max = 0.0;
+  for (index_t n = 0; n < s.J.size(); ++n) {
+    j_max = std::max(j_max, std::abs(s.J[n]));
+    adj_max = std::max(adj_max, std::abs(s.adj_J[n]));
+  }
+  if (adj_max > 1e-300 && j_max > 0.0) {
+    s.adj_scale = j_max / adj_max;
+    for (index_t n = 0; n < s.adj_J.size(); ++n) {
+      s.adj_J[n] *= s.adj_scale;
+      s.lambda_fwd[n] *= s.adj_scale;
+    }
+  }
+  return s;
+}
+
+Dataset generate_dataset(const devices::DeviceProblem& device,
+                         const PatternSet& patterns) {
+  maps::require(patterns.densities.size() == patterns.ids.size(),
+                "generate_dataset: pattern/ids mismatch");
+  Dataset ds;
+  ds.name = device.name + ":" + patterns.strategy;
+  const std::size_t n_exc = device.excitations.size();
+  ds.samples.resize(patterns.densities.size() * n_exc);
+
+  maps::math::parallel_for(0, patterns.densities.size(), [&](std::size_t p) {
+    for (std::size_t e = 0; e < n_exc; ++e) {
+      ds.samples[p * n_exc + e] = simulate_sample(
+          device, patterns.densities[p], e, patterns.ids[p], patterns.strategy);
+    }
+  });
+  return ds;
+}
+
+Dataset generate_multifidelity(const devices::DeviceProblem& device_lo,
+                               const devices::DeviceProblem& device_hi,
+                               const PatternSet& patterns) {
+  Dataset ds = generate_dataset(device_lo, patterns);
+  for (auto& s : ds.samples) s.fidelity = 1;
+
+  // Upsample each design pattern onto the high-fidelity design grid.
+  PatternSet hi_patterns;
+  hi_patterns.strategy = patterns.strategy;
+  hi_patterns.ids = patterns.ids;
+  for (const auto& rho : patterns.densities) {
+    hi_patterns.densities.push_back(maps::math::bilinear_resample(
+        rho, device_hi.design_map.box.ni, device_hi.design_map.box.nj));
+  }
+  Dataset hi = generate_dataset(device_hi, hi_patterns);
+  const int factor = static_cast<int>(device_hi.spec.nx / device_lo.spec.nx);
+  for (auto& s : hi.samples) s.fidelity = factor;
+
+  ds.append(hi);
+  ds.name = device_lo.name + ":" + patterns.strategy + ":multifidelity";
+  return ds;
+}
+
+}  // namespace maps::data

@@ -1,0 +1,31 @@
+// Dataset generation driver: pattern -> FDFD forward + adjoint -> rich
+// labels, parallel across patterns, with multi-fidelity pairing
+// (Sec. III-A.3: the same physical pattern simulated at both resolutions).
+#pragma once
+
+#include "core/data/dataset.hpp"
+#include "core/data/sampler.hpp"
+#include "devices/builders.hpp"
+
+namespace maps::data {
+
+/// Simulate every (pattern, excitation) pair of a device. Labels include the
+/// forward field, adjoint pair, adjoint gradient and transmissions.
+Dataset generate_dataset(const devices::DeviceProblem& device,
+                         const PatternSet& patterns);
+
+/// Simulate one density through one excitation (exposed for tests and for
+/// on-the-fly verification in the NN-in-the-loop case study).
+SampleRecord simulate_sample(const devices::DeviceProblem& device,
+                             const maps::math::RealGrid& density,
+                             std::size_t excitation_index, std::uint64_t pattern_id,
+                             const std::string& strategy);
+
+/// Multi-fidelity pairing: render each (coarse design-grid) pattern on both
+/// the low- and high-fidelity device and simulate both. Samples share
+/// pattern ids; `fidelity` distinguishes the levels.
+Dataset generate_multifidelity(const devices::DeviceProblem& device_lo,
+                               const devices::DeviceProblem& device_hi,
+                               const PatternSet& patterns);
+
+}  // namespace maps::data

@@ -1,0 +1,119 @@
+#include "core/data/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/invdes/engine.hpp"
+#include "core/invdes/init.hpp"
+#include "math/parallel.hpp"
+#include "param/blur.hpp"
+
+namespace maps::data {
+
+using maps::math::RealGrid;
+using maps::math::Rng;
+
+const char* strategy_name(SamplingStrategy s) {
+  switch (s) {
+    case SamplingStrategy::Random: return "random";
+    case SamplingStrategy::OptTraj: return "opt_traj";
+    case SamplingStrategy::PerturbOptTraj: return "perturb_opt_traj";
+  }
+  return "?";
+}
+
+namespace {
+
+RealGrid random_binary_pattern(index_t nx, index_t ny, const SamplerOptions& opt,
+                               Rng& rng) {
+  RealGrid noise(nx, ny);
+  for (index_t n = 0; n < noise.size(); ++n) noise[n] = rng.uniform();
+  param::BlurFilter blur(rng.uniform(opt.blur_min, opt.blur_max));
+  RealGrid smooth = blur.forward(noise);
+  const double tau = rng.uniform(opt.threshold_min, opt.threshold_max);
+  // Normalize the blurred field's spread before thresholding so tau is
+  // meaningful regardless of the blur radius.
+  double mn = 1e300, mx = -1e300;
+  for (index_t n = 0; n < smooth.size(); ++n) {
+    mn = std::min(mn, smooth[n]);
+    mx = std::max(mx, smooth[n]);
+  }
+  RealGrid rho(nx, ny);
+  for (index_t n = 0; n < rho.size(); ++n) {
+    const double v = (smooth[n] - mn) / std::max(1e-12, mx - mn);
+    rho[n] = v >= tau ? 1.0 : 0.0;
+  }
+  return rho;
+}
+
+RealGrid perturb_pattern(const RealGrid& rho, double sigma, Rng& rng) {
+  // Perturb in "soft" space, then lightly re-smooth and clamp: mirrors the
+  // paper's perturbation of intermediate designs.
+  RealGrid noisy(rho.nx(), rho.ny());
+  for (index_t n = 0; n < rho.size(); ++n) {
+    noisy[n] = std::clamp(rho[n] + rng.normal(0.0, sigma), 0.0, 1.0);
+  }
+  param::BlurFilter blur(1.0);
+  return blur.forward(noisy);
+}
+
+}  // namespace
+
+PatternSet sample_patterns(const devices::DeviceProblem& device,
+                           devices::DeviceKind kind, const SamplerOptions& opt) {
+  PatternSet out;
+  out.strategy = strategy_name(opt.strategy);
+  const auto& box = device.design_map.box;
+
+  if (opt.strategy == SamplingStrategy::Random) {
+    Rng rng(opt.seed);
+    for (int p = 0; p < opt.num_patterns; ++p) {
+      out.densities.push_back(random_binary_pattern(box.ni, box.nj, opt, rng));
+      out.ids.push_back(static_cast<std::uint64_t>(p));
+    }
+    return out;
+  }
+
+  // Trajectory strategies: run adjoint optimizations, snapshot densities.
+  const int n_traj = std::max(1, opt.num_trajectories);
+  std::vector<std::vector<RealGrid>> traj_densities(static_cast<std::size_t>(n_traj));
+
+  maps::math::parallel_for(0, static_cast<std::size_t>(n_traj), [&](std::size_t t) {
+    invdes::InvDesOptions io;
+    io.iterations = opt.traj_iterations;
+    io.record_density = true;
+    devices::PipelineOptions po;
+    auto pipeline = devices::make_default_pipeline(device, kind, po);
+    invdes::InverseDesigner designer(device, std::move(pipeline), io);
+    // Alternate gray / random starts across trajectories for diversity.
+    const auto init_kind = (t % 2 == 0) ? invdes::InitKind::Gray
+                                        : invdes::InitKind::Random;
+    auto theta0 = invdes::make_initial_theta(device, init_kind,
+                                             opt.seed + static_cast<unsigned>(t) * 101);
+    auto res = designer.run(std::move(theta0));
+    for (const auto& rec : res.history) {
+      if (rec.iteration % opt.record_every == 0) {
+        traj_densities[t].push_back(rec.density);
+      }
+    }
+    traj_densities[t].push_back(res.density);  // converged design
+  });
+
+  Rng rng(opt.seed ^ 0xABCDEF);
+  for (int t = 0; t < n_traj; ++t) {
+    const std::uint64_t id = static_cast<std::uint64_t>(t) << 32;
+    for (const auto& rho : traj_densities[static_cast<std::size_t>(t)]) {
+      out.densities.push_back(rho);
+      out.ids.push_back(id);
+      if (opt.strategy == SamplingStrategy::PerturbOptTraj) {
+        for (int k = 0; k < opt.perturbs_per_snapshot; ++k) {
+          out.densities.push_back(perturb_pattern(rho, opt.perturb_sigma, rng));
+          out.ids.push_back(id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace maps::data

@@ -1,0 +1,53 @@
+// Sampling strategies (Sec. III-A.1 / Fig. 5).
+//
+// Random: blurred-noise thresholded binary patterns — the conventional
+// baseline, which lands almost entirely in the low-transmission regime.
+// OptTraj: densities recorded along adjoint optimization trajectories — the
+// structures an inverse-design-time surrogate actually gets queried on.
+// PerturbOptTraj: trajectory snapshots plus random perturbations, balancing
+// the transmission distribution (the paper's best strategy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "devices/builders.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::data {
+
+enum class SamplingStrategy { Random, OptTraj, PerturbOptTraj };
+
+const char* strategy_name(SamplingStrategy s);
+
+struct SamplerOptions {
+  SamplingStrategy strategy = SamplingStrategy::Random;
+  int num_patterns = 48;   // approximate target (trajectory strategies round)
+  unsigned seed = 1;
+
+  // Random strategy.
+  double blur_min = 1.0, blur_max = 3.0;
+  double threshold_min = 0.35, threshold_max = 0.65;
+
+  // Trajectory strategies.
+  int num_trajectories = 4;
+  int traj_iterations = 36;
+  int record_every = 4;
+  double perturb_sigma = 0.2;
+  int perturbs_per_snapshot = 1;
+};
+
+struct PatternSet {
+  std::vector<maps::math::RealGrid> densities;  // design-grid rho_bar in [0,1]
+  std::vector<std::uint64_t> ids;               // lineage ids (split unit)
+  std::string strategy;
+};
+
+/// Produce design-region density patterns for a device under a strategy.
+/// Trajectory strategies run real adjoint optimizations (parallel across
+/// trajectories); ids group each trajectory's snapshots and perturbations.
+PatternSet sample_patterns(const devices::DeviceProblem& device,
+                           devices::DeviceKind kind, const SamplerOptions& options);
+
+}  // namespace maps::data

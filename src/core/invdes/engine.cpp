@@ -1,0 +1,97 @@
+#include "core/invdes/engine.hpp"
+
+#include <cmath>
+
+#include "nn/optim.hpp"
+#include "param/mfs.hpp"
+
+namespace maps::invdes {
+
+using maps::math::RealGrid;
+
+GradEval NumericalProvider::evaluate(const RealGrid& eps) {
+  auto ge = device_.evaluate_with_gradient(eps);
+  GradEval out;
+  out.fom = ge.fom;
+  out.grad_eps = std::move(ge.grad_eps);
+  for (const auto& exc : ge.per_excitation) {
+    for (double t : exc.transmissions) out.transmissions.push_back(t);
+  }
+  return out;
+}
+
+double beta_schedule(double beta_start, double beta_end, int iter, int total) {
+  if (total <= 1) return beta_end;
+  const double f = static_cast<double>(iter) / static_cast<double>(total - 1);
+  return beta_start * std::pow(beta_end / beta_start, f);
+}
+
+InverseDesigner::InverseDesigner(const devices::DeviceProblem& device,
+                                 param::DesignPipeline pipeline, InvDesOptions options)
+    : device_(device), pipeline_(std::move(pipeline)), options_(options) {
+  maps::require(options_.iterations > 0, "InverseDesigner: iterations must be > 0");
+}
+
+InvDesResult InverseDesigner::run(std::vector<double> theta0,
+                                  GradientProvider& provider) {
+  maps::require(static_cast<int>(theta0.size()) == pipeline_.num_params(),
+                "InverseDesigner: theta0 size mismatch");
+  std::vector<double> theta = std::move(theta0);
+  pipeline_.feasible(theta);
+
+  maps::nn::AdamOptions adam_opt;
+  adam_opt.lr = options_.lr;
+  maps::nn::AdamVector adam(theta.size(), adam_opt);
+
+  InvDesResult res;
+  for (int it = 0; it < options_.iterations; ++it) {
+    const double beta =
+        beta_schedule(options_.beta_start, options_.beta_end, it, options_.iterations);
+    pipeline_.set_projection_beta(beta);
+
+    const RealGrid rho = pipeline_.density(theta);
+    const RealGrid eps = param::embed_density(pipeline_.map(), rho);
+    GradEval ge = provider.evaluate(eps);
+
+    std::vector<double> grad_theta = pipeline_.backward(ge.grad_eps);
+    double fom = ge.fom;
+    if (options_.gray_penalty > 0.0) {
+      // Maximize F - w * gray(rho_bar).
+      fom -= options_.gray_penalty * param::gray_indicator(rho);
+      RealGrid gpen = param::gray_indicator_grad(rho);
+      const std::vector<double> gt = pipeline_.backward_density(gpen);
+      for (std::size_t i = 0; i < grad_theta.size(); ++i) {
+        grad_theta[i] -= options_.gray_penalty * gt[i];
+      }
+    }
+
+    IterationRecord rec;
+    rec.iteration = it;
+    rec.fom = fom;
+    rec.beta = beta;
+    rec.transmissions = ge.transmissions;
+    if (options_.record_density) {
+      rec.density = rho;
+      rec.theta = theta;
+    }
+    res.history.push_back(std::move(rec));
+    if (options_.progress) options_.progress(it, fom);
+
+    adam.step(theta, grad_theta, /*maximize=*/true);
+    pipeline_.feasible(theta);
+  }
+
+  pipeline_.set_projection_beta(options_.beta_end);
+  res.theta = theta;
+  res.density = pipeline_.density(theta);
+  res.eps = param::embed_density(pipeline_.map(), res.density);
+  res.fom = res.history.empty() ? 0.0 : res.history.back().fom;
+  return res;
+}
+
+InvDesResult InverseDesigner::run(std::vector<double> theta0) {
+  NumericalProvider provider(device_);
+  return run(std::move(theta0), provider);
+}
+
+}  // namespace maps::invdes

@@ -1,0 +1,93 @@
+// MAPS-InvDes: the adjoint inverse-design engine (Sec. III-C).
+//
+// The engine is agnostic to where gradients come from: a GradientProvider
+// returns (FoM, dF/deps) for a candidate permittivity. The numerical provider
+// wraps the FDFD adjoint; neural providers (MAPS-Train integration, Table II)
+// implement the same interface from predicted fields. The engine owns the
+// theta -> eps pipeline, the binarization schedule, optional gray penalty,
+// and Adam ascent on the design variables.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "param/pipeline.hpp"
+
+namespace maps::invdes {
+
+/// One gradient evaluation at a candidate permittivity.
+struct GradEval {
+  double fom = 0.0;
+  maps::math::RealGrid grad_eps;
+  std::vector<double> transmissions;  // flattened per excitation/term
+};
+
+class GradientProvider {
+ public:
+  virtual ~GradientProvider() = default;
+  virtual GradEval evaluate(const maps::math::RealGrid& eps) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Ground-truth provider: FDFD forward + adjoint per excitation.
+class NumericalProvider final : public GradientProvider {
+ public:
+  explicit NumericalProvider(const devices::DeviceProblem& device) : device_(device) {}
+  GradEval evaluate(const maps::math::RealGrid& eps) override;
+  std::string name() const override { return "fdfd_adjoint"; }
+
+ private:
+  const devices::DeviceProblem& device_;
+};
+
+struct InvDesOptions {
+  int iterations = 60;
+  double lr = 0.03;
+  double beta_start = 8.0;   // binarization schedule (exponential ramp)
+  double beta_end = 64.0;
+  double gray_penalty = 0.0; // weight on the gray-region penalty
+  bool record_density = false;  // keep per-iteration densities (for sampling)
+  std::function<void(int, double)> progress;  // optional callback(iter, fom)
+};
+
+struct IterationRecord {
+  int iteration = 0;
+  double fom = 0.0;
+  double beta = 0.0;
+  std::vector<double> transmissions;
+  maps::math::RealGrid density;          // recorded if record_density
+  std::vector<double> theta;             // ditto
+};
+
+struct InvDesResult {
+  std::vector<double> theta;
+  maps::math::RealGrid density;
+  maps::math::RealGrid eps;
+  double fom = 0.0;
+  std::vector<IterationRecord> history;
+};
+
+class InverseDesigner {
+ public:
+  InverseDesigner(const devices::DeviceProblem& device, param::DesignPipeline pipeline,
+                  InvDesOptions options = {});
+
+  InvDesResult run(std::vector<double> theta0, GradientProvider& provider);
+  /// Convenience: numerical (FDFD adjoint) gradients.
+  InvDesResult run(std::vector<double> theta0);
+
+  param::DesignPipeline& pipeline() { return pipeline_; }
+  const InvDesOptions& options() const { return options_; }
+
+ private:
+  const devices::DeviceProblem& device_;
+  param::DesignPipeline pipeline_;
+  InvDesOptions options_;
+};
+
+/// Exponential beta ramp between the schedule endpoints.
+double beta_schedule(double beta_start, double beta_end, int iter, int total);
+
+}  // namespace maps::invdes

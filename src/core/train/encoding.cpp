@@ -1,0 +1,94 @@
+#include "core/train/encoding.hpp"
+
+#include <cmath>
+
+namespace maps::train {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+Standardizer fit_standardizer(const std::vector<FieldSample>& train_samples) {
+  maps::require(!train_samples.empty(), "fit_standardizer: empty training split");
+  Standardizer s;
+  double eps_lo = 1e300, eps_hi = -1e300, field_sq = 0.0, j_max = 0.0;
+  std::size_t field_count = 0;
+  for (const auto& fs : train_samples) {
+    const auto& eps = fs.record->eps;
+    for (index_t n = 0; n < eps.size(); ++n) {
+      eps_lo = std::min(eps_lo, eps[n]);
+      eps_hi = std::max(eps_hi, eps[n]);
+    }
+    const auto& f = fs.field();
+    for (index_t n = 0; n < f.size(); ++n) field_sq += std::norm(f[n]);
+    field_count += static_cast<std::size_t>(f.size());
+    const auto& J = fs.source();
+    for (index_t n = 0; n < J.size(); ++n) j_max = std::max(j_max, std::abs(J[n]));
+  }
+  s.eps_lo = eps_lo;
+  s.eps_hi = std::max(eps_hi, eps_lo + 1e-9);
+  s.field_scale = std::max(1e-12, std::sqrt(field_sq / static_cast<double>(field_count)));
+  s.j_scale = std::max(1e-12, j_max);
+  return s;
+}
+
+void encode_input(nn::Tensor& batch, index_t n, const RealGrid& eps, const CplxGrid& J,
+                  double omega, double dl, const Standardizer& std_,
+                  const EncodingOptions& opt) {
+  const index_t H = batch.size(2), W = batch.size(3);
+  maps::require(eps.nx() == W && eps.ny() == H, "encode_input: eps shape mismatch");
+  maps::require(batch.size(1) == opt.channels(), "encode_input: channel mismatch");
+  const double lambda = 2.0 * kPi / omega;
+  const float lam_norm = static_cast<float>((lambda - std_.lambda_ref) / 0.1);
+  for (index_t h = 0; h < H; ++h) {
+    for (index_t w = 0; w < W; ++w) {
+      const double e = eps(w, h);
+      batch.at(n, 0, h, w) =
+          static_cast<float>((e - std_.eps_lo) / (std_.eps_hi - std_.eps_lo));
+      const cplx j = J(w, h) / std_.j_scale;
+      batch.at(n, 1, h, w) = static_cast<float>(j.real());
+      batch.at(n, 2, h, w) = static_cast<float>(j.imag());
+      batch.at(n, 3, h, w) = lam_norm;
+      if (opt.wave_prior) {
+        const double k = omega * std::sqrt(std::max(0.0, e));
+        const double px = k * (static_cast<double>(w) + 0.5) * dl;
+        const double py = k * (static_cast<double>(h) + 0.5) * dl;
+        batch.at(n, 4, h, w) = static_cast<float>(std::cos(px));
+        batch.at(n, 5, h, w) = static_cast<float>(std::sin(px));
+        batch.at(n, 6, h, w) = static_cast<float>(std::cos(py));
+        batch.at(n, 7, h, w) = static_cast<float>(std::sin(py));
+      }
+    }
+  }
+}
+
+void encode_target(nn::Tensor& batch, index_t n, const CplxGrid& Ez,
+                   const Standardizer& std_) {
+  const index_t H = batch.size(2), W = batch.size(3);
+  maps::require(Ez.nx() == W && Ez.ny() == H, "encode_target: field shape mismatch");
+  for (index_t h = 0; h < H; ++h) {
+    for (index_t w = 0; w < W; ++w) {
+      const cplx e = Ez(w, h) / std_.field_scale;
+      batch.at(n, 0, h, w) = static_cast<float>(e.real());
+      batch.at(n, 1, h, w) = static_cast<float>(e.imag());
+    }
+  }
+}
+
+CplxGrid decode_field(const nn::Tensor& out, index_t n, const Standardizer& std_) {
+  const index_t H = out.size(2), W = out.size(3);
+  CplxGrid f(W, H);
+  for (index_t h = 0; h < H; ++h) {
+    for (index_t w = 0; w < W; ++w) {
+      f(w, h) = std_.field_scale *
+                cplx{out.at(n, 0, h, w), out.at(n, 1, h, w)};
+    }
+  }
+  return f;
+}
+
+nn::Tensor make_input_batch(index_t count, index_t nx, index_t ny,
+                            const EncodingOptions& opt) {
+  return nn::Tensor({count, opt.channels(), ny, nx});
+}
+
+}  // namespace maps::train

@@ -1,0 +1,62 @@
+// Standardized model inputs (Sec. III-B.2): permittivity eps and source J,
+// plus optional NeurOLight-style wave-prior channels.
+//
+// Channels: [eps_norm, Re J, Im J, lambda_norm] and, with wave_prior,
+// [cos(k x), sin(k x), cos(k y), sin(k y)] where k = omega * sqrt(eps(x,y))
+// — the local propagating-phase ansatz. Targets are (Re Ez, Im Ez) scaled by
+// a dataset-level field scale so losses are O(1).
+#pragma once
+
+#include "core/data/dataset.hpp"
+#include "nn/tensor.hpp"
+
+namespace maps::train {
+
+struct EncodingOptions {
+  bool wave_prior = false;
+  index_t channels() const { return wave_prior ? 8 : 4; }
+};
+
+/// Dataset-level normalization constants (fit on the training split only).
+struct Standardizer {
+  double eps_lo = 1.0;
+  double eps_hi = 13.0;
+  double field_scale = 1.0;  // RMS of |Ez| over the training split
+  double j_scale = 1.0;      // max |J| over the training split
+  double lambda_ref = 1.55;  // wavelength normalization center
+};
+
+/// One supervised unit: a record viewed either as the forward pair (J -> Ez)
+/// or the adjoint pair (adj_J -> lambda_fwd).
+struct FieldSample {
+  const data::SampleRecord* record = nullptr;
+  bool adjoint = false;
+
+  const maps::math::CplxGrid& source() const {
+    return adjoint ? record->adj_J : record->J;
+  }
+  const maps::math::CplxGrid& field() const {
+    return adjoint ? record->lambda_fwd : record->Ez;
+  }
+};
+
+Standardizer fit_standardizer(const std::vector<FieldSample>& train_samples);
+
+/// Write one sample's input channels into batch row n.
+void encode_input(nn::Tensor& batch, index_t n, const maps::math::RealGrid& eps,
+                  const maps::math::CplxGrid& J, double omega, double dl,
+                  const Standardizer& std_, const EncodingOptions& opt);
+
+/// Write one sample's target channels (Re Ez, Im Ez) into batch row n.
+void encode_target(nn::Tensor& batch, index_t n, const maps::math::CplxGrid& Ez,
+                   const Standardizer& std_);
+
+/// Model output row n -> complex field (de-normalized).
+maps::math::CplxGrid decode_field(const nn::Tensor& out, index_t n,
+                                  const Standardizer& std_);
+
+/// Allocate an input batch of the right shape for `count` samples on a grid.
+nn::Tensor make_input_batch(index_t count, index_t nx, index_t ny,
+                            const EncodingOptions& opt);
+
+}  // namespace maps::train

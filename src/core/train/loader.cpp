@@ -1,0 +1,79 @@
+#include "core/train/loader.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace maps::train {
+
+using maps::math::CplxGrid;
+
+DataLoader::DataLoader(const data::Dataset& train_set, const data::Dataset& test_set,
+                       LoaderOptions options)
+    : dataset_(train_set) {
+  maps::require(!train_set.empty() && !test_set.empty(),
+                "DataLoader: empty dataset");
+  for (const auto& rec : train_set.samples) {
+    train_.push_back(FieldSample{&rec, false});
+    if (options.include_adjoint_samples) train_.push_back(FieldSample{&rec, true});
+  }
+  for (const auto& rec : test_set.samples) {
+    test_.push_back(FieldSample{&rec, false});
+    if (options.include_adjoint_samples) test_.push_back(FieldSample{&rec, true});
+  }
+  standardizer_ = fit_standardizer(train_);
+}
+
+DataLoader::DataLoader(const data::Dataset& dataset, LoaderOptions options)
+    : dataset_(dataset) {
+  maps::require(!dataset.empty(), "DataLoader: empty dataset");
+
+  // Deterministic pattern-level split: shuffle pattern ids, take the tail
+  // fraction as test.
+  std::vector<std::uint64_t> ids = dataset.pattern_ids();
+  maps::math::Rng rng(options.seed);
+  rng.shuffle(ids);
+  const std::size_t n_test = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.test_fraction * static_cast<double>(ids.size())));
+  maps::require(ids.size() >= 2, "DataLoader: need at least two patterns to split");
+  std::unordered_set<std::uint64_t> test_ids(ids.end() - static_cast<long>(n_test),
+                                             ids.end());
+
+  for (const auto& rec : dataset_.samples) {
+    const bool is_test = test_ids.count(rec.pattern_id) > 0;
+    auto& dst = is_test ? test_ : train_;
+    dst.push_back(FieldSample{&rec, false});
+    if (options.include_adjoint_samples) {
+      dst.push_back(FieldSample{&rec, true});
+    }
+  }
+  maps::require(!train_.empty() && !test_.empty(),
+                "DataLoader: degenerate split (adjust test_fraction)");
+  standardizer_ = fit_standardizer(train_);
+}
+
+std::vector<const data::SampleRecord*> DataLoader::test_records() const {
+  std::vector<const data::SampleRecord*> recs;
+  for (const auto& fs : test_) {
+    if (!fs.adjoint) recs.push_back(fs.record);
+  }
+  return recs;
+}
+
+std::vector<FieldSample> DataLoader::epoch_order(maps::math::Rng& rng) const {
+  std::vector<FieldSample> order = train_;
+  rng.shuffle(order);
+  return order;
+}
+
+std::pair<CplxGrid, CplxGrid> DataLoader::mixup_pair(const data::SampleRecord& rec,
+                                                     double gamma) {
+  CplxGrid J = rec.J;
+  CplxGrid E = rec.Ez;
+  for (index_t n = 0; n < J.size(); ++n) {
+    J[n] += gamma * rec.adj_J[n];
+    E[n] += gamma * rec.lambda_fwd[n];
+  }
+  return {std::move(J), std::move(E)};
+}
+
+}  // namespace maps::train

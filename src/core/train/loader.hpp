@@ -1,0 +1,56 @@
+// Hierarchical data loading (Sec. III-B feature 1).
+//
+// Splits are made at *pattern* granularity (pattern_id), so no design lineage
+// straddles train and test — the leak-prevention the paper highlights. Each
+// record expands into a forward field sample and (optionally) an adjoint
+// field sample; both answer to the same pattern id. Superposition Mixup
+// exploits linearity of Maxwell's equations: for a fixed permittivity,
+// J1 + g*J2 must map to E1 + g*E2, so mixing the forward and adjoint pairs of
+// one record creates physically exact virtual samples.
+#pragma once
+
+#include "core/data/dataset.hpp"
+#include "core/train/encoding.hpp"
+#include "math/rng.hpp"
+
+namespace maps::train {
+
+struct LoaderOptions {
+  double test_fraction = 0.25;
+  bool include_adjoint_samples = true;
+  unsigned seed = 5;
+};
+
+class DataLoader {
+ public:
+  DataLoader(const data::Dataset& dataset, LoaderOptions options = {});
+
+  /// Pre-split variant: train on one dataset, test on another (Table I
+  /// trains on a sampling strategy but always tests on the opt-trajectory
+  /// distribution an inverse-design surrogate actually sees).
+  DataLoader(const data::Dataset& train_set, const data::Dataset& test_set,
+             LoaderOptions options);
+
+  const std::vector<FieldSample>& train() const { return train_; }
+  const std::vector<FieldSample>& test() const { return test_; }
+  const Standardizer& standardizer() const { return standardizer_; }
+
+  /// Test-split records viewed as forward samples only (metrics that need
+  /// the adjoint labels work on records, not field samples).
+  std::vector<const data::SampleRecord*> test_records() const;
+
+  /// Shuffled copy of the training split for one epoch.
+  std::vector<FieldSample> epoch_order(maps::math::Rng& rng) const;
+
+  /// Physically exact Mixup: returns a virtual (source, field) pair
+  /// J1 + g*J2 -> E1 + g*E2 from the record's forward and adjoint pairs.
+  static std::pair<maps::math::CplxGrid, maps::math::CplxGrid> mixup_pair(
+      const data::SampleRecord& rec, double gamma);
+
+ private:
+  const data::Dataset& dataset_;
+  std::vector<FieldSample> train_, test_;
+  Standardizer standardizer_;
+};
+
+}  // namespace maps::train

@@ -1,0 +1,88 @@
+#include "core/train/losses.hpp"
+
+#include <cmath>
+
+#include "fdfd/assembler.hpp"
+
+namespace maps::train {
+
+using maps::math::CplxGrid;
+
+LossValue nmse_loss(const nn::Tensor& pred, const nn::Tensor& target) {
+  maps::require(pred.same_shape(target), "nmse_loss: shape mismatch");
+  const index_t N = pred.size(0);
+  const index_t per = pred.numel() / N;
+  LossValue lv;
+  lv.grad = nn::Tensor::zeros_like(pred);
+  for (index_t n = 0; n < N; ++n) {
+    double num = 0, den = 0;
+    for (index_t i = 0; i < per; ++i) {
+      const double d = pred[n * per + i] - target[n * per + i];
+      num += d * d;
+      den += static_cast<double>(target[n * per + i]) * target[n * per + i];
+    }
+    den = std::max(den, 1e-12);
+    lv.value += num / den;
+    const double scale = 2.0 / (den * static_cast<double>(N));
+    for (index_t i = 0; i < per; ++i) {
+      lv.grad[n * per + i] = static_cast<float>(
+          scale * (pred[n * per + i] - target[n * per + i]));
+    }
+  }
+  lv.value /= static_cast<double>(N);
+  return lv;
+}
+
+namespace {
+fdfd::FdfdOperator assemble_for(const data::SampleRecord& rec) {
+  grid::GridSpec spec{rec.nx(), rec.ny(), rec.dl};
+  fdfd::PmlSpec pml;
+  pml.ncells = rec.pml_cells;
+  return fdfd::assemble(spec, rec.eps, rec.omega, pml);
+}
+}  // namespace
+
+double maxwell_residual_norm(const data::SampleRecord& rec, const CplxGrid& field) {
+  const auto op = assemble_for(rec);
+  const auto b = fdfd::rhs_from_current(rec.J, rec.omega);
+  double bn = 0;
+  for (const auto& v : b) bn += std::norm(v);
+  return op.A.residual_norm(field.data(), b) / std::sqrt(std::max(bn, 1e-300));
+}
+
+double add_maxwell_residual(const data::SampleRecord& rec, const nn::Tensor& pred,
+                            index_t n, const Standardizer& std_, double weight,
+                            index_t batch, nn::Tensor& grad) {
+  const auto op = assemble_for(rec);
+  const CplxGrid E = decode_field(pred, n, std_);
+  const auto b = fdfd::rhs_from_current(rec.J, rec.omega);
+
+  std::vector<cplx> r = op.A.matvec(E.data());
+  double bn = 0;
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    r[k] -= b[k];
+    bn += std::norm(b[k]);
+  }
+  bn = std::max(bn, 1e-300);
+  double rn = 0;
+  for (const auto& v : r) rn += std::norm(v);
+  const double loss = rn / bn;
+
+  // dL/dE = 2 A^H r / ||b||^2; A^H x = conj(A^T conj(x)).
+  std::vector<cplx> rc(r.size());
+  for (std::size_t k = 0; k < r.size(); ++k) rc[k] = std::conj(r[k]);
+  std::vector<cplx> aH_r = op.A.matvec_transposed(rc);
+  const double scale = weight * 2.0 / (bn * static_cast<double>(batch));
+  const index_t H = pred.size(2), W = pred.size(3);
+  for (index_t h = 0; h < H; ++h) {
+    for (index_t w = 0; w < W; ++w) {
+      const cplx g = std::conj(aH_r[static_cast<std::size_t>(w + W * h)]);
+      // Chain through E = field_scale * (p_re + i p_im).
+      grad.at(n, 0, h, w) += static_cast<float>(scale * g.real() * std_.field_scale);
+      grad.at(n, 1, h, w) += static_cast<float>(scale * g.imag() * std_.field_scale);
+    }
+  }
+  return weight * loss / static_cast<double>(batch);
+}
+
+}  // namespace maps::train

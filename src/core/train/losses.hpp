@@ -1,0 +1,34 @@
+// Data-driven and physics-driven training losses (Sec. III-B feature 3).
+//
+// NMSE: per-sample normalized squared error, the paper's data loss.
+// Maxwell residual: || A(eps) E_hat - b ||^2 / ||b||^2 with the exact FDFD
+// operator — a self-supervised physics loss that needs no field label.
+#pragma once
+
+#include "core/data/dataset.hpp"
+#include "core/train/encoding.hpp"
+#include "nn/tensor.hpp"
+
+namespace maps::train {
+
+struct LossValue {
+  double value = 0.0;
+  nn::Tensor grad;  // dL/d(prediction), same shape as the prediction
+};
+
+/// Mean over batch of ||pred_n - target_n||^2 / ||target_n||^2.
+LossValue nmse_loss(const nn::Tensor& pred, const nn::Tensor& target);
+
+/// Physics residual for batch row n of `pred` against the sample's operator.
+/// Assembles A from (eps, omega, pml_cells); returns the loss contribution
+/// and accumulates dL/dpred into `grad` (same shape as pred), scaled by
+/// `weight / batch`.
+double add_maxwell_residual(const data::SampleRecord& rec, const nn::Tensor& pred,
+                            index_t n, const Standardizer& std_, double weight,
+                            index_t batch, nn::Tensor& grad);
+
+/// Standalone residual diagnostic: ||A E - b|| / ||b|| for any field.
+double maxwell_residual_norm(const data::SampleRecord& rec,
+                             const maps::math::CplxGrid& field);
+
+}  // namespace maps::train

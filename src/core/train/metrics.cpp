@@ -1,0 +1,173 @@
+#include "core/train/metrics.hpp"
+
+#include <cmath>
+
+#include "fdfd/adjoint.hpp"
+#include "fdfd/assembler.hpp"
+
+namespace maps::train {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+CplxGrid predict_field(nn::Module& model, const RealGrid& eps, const CplxGrid& J,
+                       double omega, double dl, const Standardizer& std_,
+                       const EncodingOptions& enc) {
+  nn::Tensor in = make_input_batch(1, eps.nx(), eps.ny(), enc);
+  encode_input(in, 0, eps, J, omega, dl, std_, enc);
+  const nn::Tensor out = model.forward(in);
+  return decode_field(out, 0, std_);
+}
+
+void derive_h_fields(const CplxGrid& Ez, double omega, double dl, CplxGrid& Hx,
+                     CplxGrid& Hy) {
+  const index_t nx = Ez.nx(), ny = Ez.ny();
+  Hx = CplxGrid(nx, ny);
+  Hy = CplxGrid(nx, ny);
+  const cplx inv_iw_dl = cplx{1.0} / (kI * omega * dl);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const cplx e = Ez(i, j);
+      const cplx e_n = (j + 1 < ny) ? Ez(i, j + 1) : cplx{};
+      const cplx e_e = (i + 1 < nx) ? Ez(i + 1, j) : cplx{};
+      Hx(i, j) = (e_n - e) * inv_iw_dl;
+      Hy(i, j) = -(e_e - e) * inv_iw_dl;
+    }
+  }
+}
+
+namespace {
+double stacked_nl2(const CplxGrid& pred, const CplxGrid& truth, double omega,
+                   double dl) {
+  CplxGrid phx, phy, thx, thy;
+  derive_h_fields(pred, omega, dl, phx, phy);
+  derive_h_fields(truth, omega, dl, thx, thy);
+  double num = 0, den = 0;
+  for (index_t n = 0; n < pred.size(); ++n) {
+    num += std::norm(pred[n] - truth[n]) + std::norm(phx[n] - thx[n]) +
+           std::norm(phy[n] - thy[n]);
+    den += std::norm(truth[n]) + std::norm(thx[n]) + std::norm(thy[n]);
+  }
+  return std::sqrt(num / std::max(den, 1e-300));
+}
+}  // namespace
+
+double evaluate_nl2(nn::Module& model, const std::vector<FieldSample>& samples,
+                    const Standardizer& std_, const EncodingOptions& enc,
+                    index_t batch) {
+  maps::require(!samples.empty(), "evaluate_nl2: no samples");
+  double total = 0.0;
+  std::size_t done = 0;
+  while (done < samples.size()) {
+    const index_t bs = static_cast<index_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(batch), samples.size() - done));
+    const auto& first = *samples[done].record;
+    nn::Tensor in = make_input_batch(bs, first.nx(), first.ny(), enc);
+    for (index_t k = 0; k < bs; ++k) {
+      const auto& fs = samples[done + static_cast<std::size_t>(k)];
+      encode_input(in, k, fs.record->eps, fs.source(), fs.record->omega,
+                   fs.record->dl, std_, enc);
+    }
+    const nn::Tensor out = model.forward(in);
+    for (index_t k = 0; k < bs; ++k) {
+      const auto& fs = samples[done + static_cast<std::size_t>(k)];
+      const CplxGrid pred = decode_field(out, k, std_);
+      total += stacked_nl2(pred, fs.field(), fs.record->omega, fs.record->dl);
+    }
+    done += static_cast<std::size_t>(bs);
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+double box_cosine(const RealGrid& a, const RealGrid& b, const grid::BoxRegion& box) {
+  double dot = 0, na = 0, nb = 0;
+  for (index_t j = box.j0; j < box.j0 + box.nj; ++j) {
+    for (index_t i = box.i0; i < box.i0 + box.ni; ++i) {
+      dot += a(i, j) * b(i, j);
+      na += a(i, j) * a(i, j);
+      nb += b(i, j) * b(i, j);
+    }
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+namespace {
+const devices::Excitation* find_excitation(const devices::DeviceProblem& device,
+                                           const std::string& name) {
+  for (const auto& exc : device.excitations) {
+    if (exc.name == name) return &exc;
+  }
+  return nullptr;
+}
+}  // namespace
+
+double grad_similarity_fwd_adj(nn::Module& model, const devices::DeviceProblem& device,
+                               const data::SampleRecord& rec, const Standardizer& std_,
+                               const EncodingOptions& enc) {
+  const auto* exc = find_excitation(device, rec.excitation);
+  maps::require(exc != nullptr, "grad_similarity: excitation not found: " +
+                                    rec.excitation);
+  // W from a fresh assembly (no factorization needed).
+  grid::GridSpec spec{rec.nx(), rec.ny(), rec.dl};
+  fdfd::PmlSpec pml;
+  pml.ncells = rec.pml_cells;
+  const auto op = fdfd::assemble(spec, rec.eps, rec.omega, pml);
+
+  const CplxGrid E_hat =
+      predict_field(model, rec.eps, rec.J, rec.omega, rec.dl, std_, enc);
+  // Adjoint source from the *predicted* field (that is what an NN-driven
+  // optimizer would have available).
+  const auto g = fdfd::objective_dE(exc->terms, E_hat);
+  CplxGrid adj_J(rec.nx(), rec.ny());
+  double j_max = 0.0, adj_max = 0.0;
+  for (index_t n = 0; n < adj_J.size(); ++n) {
+    adj_J[n] = g[static_cast<std::size_t>(n)] /
+               (op.W[static_cast<std::size_t>(n)] * (-kI * rec.omega));
+    adj_max = std::max(adj_max, std::abs(adj_J[n]));
+    j_max = std::max(j_max, std::abs(rec.J[n]));
+  }
+  // Normalize the adjoint query into the training distribution (datasets
+  // store adjoint pairs at forward-source magnitude) and undo afterwards —
+  // exact by linearity.
+  const double q = (adj_max > 1e-300 && j_max > 0.0) ? j_max / adj_max : 1.0;
+  for (index_t n = 0; n < adj_J.size(); ++n) adj_J[n] *= q;
+  CplxGrid L_hat = predict_field(model, rec.eps, adj_J, rec.omega, rec.dl, std_, enc);
+  for (index_t n = 0; n < L_hat.size(); ++n) L_hat[n] /= q;
+  const RealGrid grad_hat = fdfd::grad_from_fields(E_hat, L_hat, op.W, rec.omega);
+  return box_cosine(grad_hat, rec.grad_eps, rec.design_box);
+}
+
+double mean_grad_similarity(nn::Module& model, const devices::DeviceProblem& device,
+                            const std::vector<const data::SampleRecord*>& records,
+                            const Standardizer& std_, const EncodingOptions& enc) {
+  double total = 0.0;
+  int count = 0;
+  for (const auto* rec : records) {
+    if (find_excitation(device, rec->excitation) == nullptr) continue;
+    total += grad_similarity_fwd_adj(model, device, *rec, std_, enc);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double sparam_error(nn::Module& model, const devices::DeviceProblem& device,
+                    const std::vector<const data::SampleRecord*>& records,
+                    const Standardizer& std_, const EncodingOptions& enc) {
+  double total = 0.0;
+  int count = 0;
+  for (const auto* rec : records) {
+    const auto* exc = find_excitation(device, rec->excitation);
+    if (exc == nullptr) continue;
+    const CplxGrid E_hat =
+        predict_field(model, rec->eps, rec->J, rec->omega, rec->dl, std_, enc);
+    for (std::size_t t = 0; t < exc->terms.size(); ++t) {
+      const double t_hat = fdfd::term_transmission(exc->terms[t], E_hat);
+      total += std::abs(t_hat - rec->transmissions[t]);
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace maps::train

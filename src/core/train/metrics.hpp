@@ -1,0 +1,55 @@
+// Standardized evaluation metrics (Sec. III-B feature 4):
+//   * N-L2 norm on (Ez, Hx, Hy) with H derived from the predicted Ez,
+//   * gradient similarity (cosine of predicted vs true adjoint gradient,
+//     restricted to the design region) — the paper's key InvDes metric,
+//   * S-parameter (transmission) prediction error.
+#pragma once
+
+#include "core/train/encoding.hpp"
+#include "devices/device.hpp"
+#include "nn/module.hpp"
+
+namespace maps::train {
+
+/// Run the model on one (eps, J) query; returns the de-normalized field.
+maps::math::CplxGrid predict_field(nn::Module& model, const maps::math::RealGrid& eps,
+                                   const maps::math::CplxGrid& J, double omega,
+                                   double dl, const Standardizer& std_,
+                                   const EncodingOptions& enc);
+
+/// Mean relative L2 over samples, on stacked (Ez, Hx, Hy); H fields are
+/// derived from Ez exactly as the paper derives its labels.
+double evaluate_nl2(nn::Module& model, const std::vector<FieldSample>& samples,
+                    const Standardizer& std_, const EncodingOptions& enc,
+                    index_t batch = 8);
+
+/// Gradient similarity via the "Fwd & Adj Field" rule for one record:
+/// predict the forward and adjoint fields, form the adjoint gradient, and
+/// compare (cosine) with the stored ground-truth gradient on the design box.
+/// The excitation's FoM terms come from the device (matched by name).
+double grad_similarity_fwd_adj(nn::Module& model, const devices::DeviceProblem& device,
+                               const data::SampleRecord& rec, const Standardizer& std_,
+                               const EncodingOptions& enc);
+
+/// Mean grad similarity over records (skips records whose excitation is
+/// missing from the device).
+double mean_grad_similarity(nn::Module& model, const devices::DeviceProblem& device,
+                            const std::vector<const data::SampleRecord*>& records,
+                            const Standardizer& std_, const EncodingOptions& enc);
+
+/// Mean absolute transmission error |T_hat - T| using mode monitors applied
+/// to predicted fields.
+double sparam_error(nn::Module& model, const devices::DeviceProblem& device,
+                    const std::vector<const data::SampleRecord*>& records,
+                    const Standardizer& std_, const EncodingOptions& enc);
+
+/// Cosine similarity between two gradient maps over a box region.
+double box_cosine(const maps::math::RealGrid& a, const maps::math::RealGrid& b,
+                  const grid::BoxRegion& box);
+
+/// Derive (Hx, Hy) from Ez (forward differences / i omega) — standalone
+/// version of Simulation::derive_fields for metric use.
+void derive_h_fields(const maps::math::CplxGrid& Ez, double omega, double dl,
+                     maps::math::CplxGrid& Hx, maps::math::CplxGrid& Hy);
+
+}  // namespace maps::train

@@ -1,0 +1,235 @@
+#include "core/train/providers.hpp"
+
+#include "core/train/metrics.hpp"
+#include "fdfd/adjoint.hpp"
+#include "fdfd/assembler.hpp"
+#include "nn/optim.hpp"
+
+namespace maps::train {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+namespace {
+
+/// dF/d(output tensor) for a real objective with Wirtinger derivative g:
+/// out stores (Re E, Im E)/field_scale, so dF/dout_re = 2 Re(g) * fs and
+/// dF/dout_im = -2 Im(g) * fs... with the sign convention F(E, conj E):
+/// dF/dRe(E) = 2 Re(g), dF/dIm(E) = -2 Im(g).
+nn::Tensor objective_output_grad(const std::vector<cplx>& g, index_t nx, index_t ny,
+                                 double field_scale) {
+  nn::Tensor grad({1, 2, ny, nx});
+  for (index_t h = 0; h < ny; ++h) {
+    for (index_t w = 0; w < nx; ++w) {
+      const cplx gv = g[static_cast<std::size_t>(w + nx * h)];
+      grad.at(0, 0, h, w) = static_cast<float>(2.0 * gv.real() * field_scale);
+      grad.at(0, 1, h, w) = static_cast<float>(-2.0 * gv.imag() * field_scale);
+    }
+  }
+  return grad;
+}
+
+/// Extract dF/deps from the input-channel gradient (channel 0 holds the
+/// normalized permittivity). Wave-prior channels also depend on eps; that
+/// second-order pathway is deliberately ignored (standard practice — the AD
+/// path differentiates the network inputs the optimizer actually controls).
+RealGrid eps_grad_from_input(const nn::Tensor& gin, const Standardizer& std_) {
+  const index_t H = gin.size(2), W = gin.size(3);
+  RealGrid g(W, H);
+  const double chain = 1.0 / (std_.eps_hi - std_.eps_lo);
+  for (index_t h = 0; h < H; ++h) {
+    for (index_t w = 0; w < W; ++w) {
+      g(w, h) = gin.at(0, 0, h, w) * chain;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+index_t total_terms(const devices::DeviceProblem& device) {
+  index_t n = 0;
+  for (const auto& exc : device.excitations) {
+    n += static_cast<index_t>(exc.terms.size());
+  }
+  return n;
+}
+
+invdes::GradEval FwdAdjFieldProvider::evaluate(const RealGrid& eps) {
+  invdes::GradEval out;
+  out.grad_eps = RealGrid(eps.nx(), eps.ny(), 0.0);
+  for (const auto& exc : device_.excitations) {
+    const RealGrid eps_exc = device_.excitation_eps(eps, exc);
+    const auto op = fdfd::assemble(device_.spec, eps_exc, exc.omega,
+                                   device_.sim_options.pml);
+
+    const CplxGrid E_hat = predict_field(model_, eps_exc, exc.J, exc.omega,
+                                         device_.spec.dl, std_, enc_);
+    out.fom += exc.weight * fdfd::objective_value(exc.terms, E_hat);
+    for (const auto& t : exc.terms) {
+      out.transmissions.push_back(fdfd::term_transmission(t, E_hat));
+    }
+
+    const auto g = fdfd::objective_dE(exc.terms, E_hat);
+    CplxGrid adj_J(eps.nx(), eps.ny());
+    double j_max = 0.0, adj_max = 0.0;
+    for (index_t n = 0; n < adj_J.size(); ++n) {
+      adj_J[n] = g[static_cast<std::size_t>(n)] /
+                 (op.W[static_cast<std::size_t>(n)] * (-kI * exc.omega));
+      adj_max = std::max(adj_max, std::abs(adj_J[n]));
+      j_max = std::max(j_max, std::abs(exc.J[n]));
+    }
+    // Normalize the adjoint query to the magnitude the surrogate was
+    // trained on, undo after prediction (exact by linearity).
+    const double q = (adj_max > 1e-300 && j_max > 0.0) ? j_max / adj_max : 1.0;
+    for (index_t n = 0; n < adj_J.size(); ++n) adj_J[n] *= q;
+    CplxGrid L_hat = predict_field(model_, eps_exc, adj_J, exc.omega,
+                                   device_.spec.dl, std_, enc_);
+    for (index_t n = 0; n < L_hat.size(); ++n) L_hat[n] /= q;
+    const RealGrid grad = fdfd::grad_from_fields(E_hat, L_hat, op.W, exc.omega);
+    for (index_t n = 0; n < grad.size(); ++n) {
+      out.grad_eps[n] += exc.weight * grad[n];
+    }
+  }
+  return out;
+}
+
+invdes::GradEval AutodiffFieldProvider::evaluate(const RealGrid& eps) {
+  invdes::GradEval out;
+  out.grad_eps = RealGrid(eps.nx(), eps.ny(), 0.0);
+  for (const auto& exc : device_.excitations) {
+    const RealGrid eps_exc = device_.excitation_eps(eps, exc);
+    nn::Tensor in = make_input_batch(1, eps.nx(), eps.ny(), enc_);
+    encode_input(in, 0, eps_exc, exc.J, exc.omega, device_.spec.dl, std_, enc_);
+    const nn::Tensor pred = model_.forward(in);
+    const CplxGrid E_hat = decode_field(pred, 0, std_);
+
+    out.fom += exc.weight * fdfd::objective_value(exc.terms, E_hat);
+    for (const auto& t : exc.terms) {
+      out.transmissions.push_back(fdfd::term_transmission(t, E_hat));
+    }
+
+    const auto g = fdfd::objective_dE(exc.terms, E_hat);
+    model_.zero_grad();
+    const nn::Tensor gin = model_.backward(
+        objective_output_grad(g, eps.nx(), eps.ny(), std_.field_scale));
+    const RealGrid grad = eps_grad_from_input(gin, std_);
+    for (index_t n = 0; n < grad.size(); ++n) {
+      out.grad_eps[n] += exc.weight * grad[n];
+    }
+  }
+  return out;
+}
+
+invdes::GradEval BlackBoxProvider::evaluate(const RealGrid& eps) {
+  invdes::GradEval out;
+  out.grad_eps = RealGrid(eps.nx(), eps.ny(), 0.0);
+  index_t term_offset = 0;
+  for (const auto& exc : device_.excitations) {
+    const RealGrid eps_exc = device_.excitation_eps(eps, exc);
+    nn::Tensor in = make_input_batch(1, eps.nx(), eps.ny(), enc_);
+    encode_input(in, 0, eps_exc, exc.J, exc.omega, device_.spec.dl, std_, enc_);
+    const nn::Tensor pred = model_.forward(in);  // (1, total_terms)
+    maps::require(pred.ndim() == 2 && pred.size(1) >= term_offset +
+                      static_cast<index_t>(exc.terms.size()),
+                  "BlackBoxProvider: model output too small");
+
+    nn::Tensor gout({pred.size(0), pred.size(1)});
+    for (std::size_t t = 0; t < exc.terms.size(); ++t) {
+      const double t_hat = pred[term_offset + static_cast<index_t>(t)];
+      out.transmissions.push_back(t_hat);
+      const auto& term = exc.terms[t];
+      out.fom += exc.weight * term.sign() * term.weight * t_hat;
+      gout[term_offset + static_cast<index_t>(t)] =
+          static_cast<float>(term.sign() * term.weight);
+    }
+    model_.zero_grad();
+    const nn::Tensor gin = model_.backward(gout);
+    const RealGrid grad = eps_grad_from_input(gin, std_);
+    for (index_t n = 0; n < grad.size(); ++n) {
+      out.grad_eps[n] += exc.weight * grad[n];
+    }
+    term_offset += static_cast<index_t>(exc.terms.size());
+  }
+  return out;
+}
+
+double train_blackbox(nn::Module& model, const DataLoader& loader,
+                      const devices::DeviceProblem& device, int epochs, double lr,
+                      const EncodingOptions& enc, unsigned seed) {
+  // Forward samples only; target = the record's transmission vector placed
+  // at its excitation's slot (other slots masked out of the loss).
+  std::vector<const data::SampleRecord*> train_recs, test_recs;
+  for (const auto& fs : loader.train()) {
+    if (!fs.adjoint) train_recs.push_back(fs.record);
+  }
+  for (const auto& fs : loader.test()) {
+    if (!fs.adjoint) test_recs.push_back(fs.record);
+  }
+  maps::require(!train_recs.empty(), "train_blackbox: no training records");
+
+  // Excitation name -> slot offset.
+  auto slot_of = [&](const std::string& name) -> index_t {
+    index_t off = 0;
+    for (const auto& exc : device.excitations) {
+      if (exc.name == name) return off;
+      off += static_cast<index_t>(exc.terms.size());
+    }
+    throw MapsError("train_blackbox: unknown excitation " + name);
+  };
+  const index_t n_out = total_terms(device);
+
+  maps::math::Rng rng(seed);
+  nn::AdamOptions ao;
+  ao.lr = lr;
+  nn::Adam adam(model.parameters(), ao);
+  const auto& std_ = loader.standardizer();
+
+  for (int e = 0; e < epochs; ++e) {
+    auto order = train_recs;
+    rng.shuffle(order);
+    for (std::size_t done = 0; done < order.size();) {
+      const index_t bs =
+          static_cast<index_t>(std::min<std::size_t>(8, order.size() - done));
+      nn::Tensor in = make_input_batch(bs, order[done]->nx(), order[done]->ny(), enc);
+      std::vector<const data::SampleRecord*> rows;
+      for (index_t k = 0; k < bs; ++k) {
+        const auto* rec = order[done + static_cast<std::size_t>(k)];
+        rows.push_back(rec);
+        encode_input(in, k, rec->eps, rec->J, rec->omega, rec->dl, std_, enc);
+      }
+      model.zero_grad();
+      nn::Tensor pred = model.forward(in);
+      nn::Tensor gout({bs, n_out});
+      for (index_t k = 0; k < bs; ++k) {
+        const auto* rec = rows[static_cast<std::size_t>(k)];
+        const index_t off = slot_of(rec->excitation);
+        for (std::size_t t = 0; t < rec->transmissions.size(); ++t) {
+          const index_t col = off + static_cast<index_t>(t);
+          const double d = pred[k * n_out + col] - rec->transmissions[t];
+          gout[k * n_out + col] = static_cast<float>(2.0 * d / bs);
+        }
+      }
+      model.backward(gout);
+      adam.step();
+      done += static_cast<std::size_t>(bs);
+    }
+  }
+
+  // Mean absolute test error on the predicted slots.
+  double err = 0.0;
+  int count = 0;
+  for (const auto* rec : test_recs) {
+    nn::Tensor in = make_input_batch(1, rec->nx(), rec->ny(), enc);
+    encode_input(in, 0, rec->eps, rec->J, rec->omega, rec->dl, std_, enc);
+    nn::Tensor pred = model.forward(in);
+    const index_t off = slot_of(rec->excitation);
+    for (std::size_t t = 0; t < rec->transmissions.size(); ++t) {
+      err += std::abs(pred[off + static_cast<index_t>(t)] - rec->transmissions[t]);
+      ++count;
+    }
+  }
+  return count > 0 ? err / count : 0.0;
+}
+
+}  // namespace maps::train

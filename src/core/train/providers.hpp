@@ -1,0 +1,78 @@
+// Neural gradient providers — the three gradient-computation modes of
+// Table II, all implementing invdes::GradientProvider so MAPS-InvDes can
+// swap them for the numerical adjoint transparently (Fig. 6).
+//
+//   FwdAdjFieldProvider ("Fwd & Adj Field"): two field predictions (forward
+//     source, then adjoint source derived from the predicted forward field);
+//     gradient from the adjoint product rule. No network differentiation.
+//   AutodiffFieldProvider ("AD-Pred Field"): one field prediction; the FoM is
+//     computed from the predicted field and differentiated *through the
+//     network* to its eps input channel.
+//   BlackBoxProvider ("AD-Black Box"): a CNN regressor predicts the
+//     transmissions directly; gradient via network input backprop.
+#pragma once
+
+#include "core/invdes/engine.hpp"
+#include "core/train/encoding.hpp"
+#include "core/train/loader.hpp"
+#include "nn/models.hpp"
+
+namespace maps::train {
+
+class FwdAdjFieldProvider final : public invdes::GradientProvider {
+ public:
+  FwdAdjFieldProvider(nn::Module& model, const devices::DeviceProblem& device,
+                      Standardizer std_, EncodingOptions enc)
+      : model_(model), device_(device), std_(std_), enc_(enc) {}
+  invdes::GradEval evaluate(const maps::math::RealGrid& eps) override;
+  std::string name() const override { return "nn_fwd_adj_field"; }
+
+ private:
+  nn::Module& model_;
+  const devices::DeviceProblem& device_;
+  Standardizer std_;
+  EncodingOptions enc_;
+};
+
+class AutodiffFieldProvider final : public invdes::GradientProvider {
+ public:
+  AutodiffFieldProvider(nn::Module& model, const devices::DeviceProblem& device,
+                        Standardizer std_, EncodingOptions enc)
+      : model_(model), device_(device), std_(std_), enc_(enc) {}
+  invdes::GradEval evaluate(const maps::math::RealGrid& eps) override;
+  std::string name() const override { return "nn_ad_pred_field"; }
+
+ private:
+  nn::Module& model_;
+  const devices::DeviceProblem& device_;
+  Standardizer std_;
+  EncodingOptions enc_;
+};
+
+class BlackBoxProvider final : public invdes::GradientProvider {
+ public:
+  /// `model` must output one scalar per FoM term of each excitation, in
+  /// excitation-major order (the layout train_blackbox produces).
+  BlackBoxProvider(nn::Module& model, const devices::DeviceProblem& device,
+                   Standardizer std_, EncodingOptions enc)
+      : model_(model), device_(device), std_(std_), enc_(enc) {}
+  invdes::GradEval evaluate(const maps::math::RealGrid& eps) override;
+  std::string name() const override { return "nn_ad_black_box"; }
+
+ private:
+  nn::Module& model_;
+  const devices::DeviceProblem& device_;
+  Standardizer std_;
+  EncodingOptions enc_;
+};
+
+/// Count of FoM terms across a device's excitations (BlackBox output size).
+index_t total_terms(const devices::DeviceProblem& device);
+
+/// Train an SParamCNN-style regressor eps,J -> transmissions on a dataset
+/// (forward samples only). Returns mean absolute test error.
+double train_blackbox(nn::Module& model, const DataLoader& loader,
+                      const devices::DeviceProblem& device, int epochs, double lr,
+                      const EncodingOptions& enc, unsigned seed = 17);
+
+}  // namespace maps::train

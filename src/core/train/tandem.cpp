@@ -1,0 +1,219 @@
+#include "core/train/tandem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::train {
+
+using maps::math::RealGrid;
+using nn::Tensor;
+
+TandemGenerator::TandemGenerator(index_t spec_dim, index_t out_h, index_t out_w,
+                                 index_t width, maps::math::Rng& rng)
+    : spec_dim_(spec_dim), h_(out_h), w_(out_w), width_(width),
+      fc1_(spec_dim, 4 * width, rng, "g_fc1"),
+      fc2_(4 * width, width * (out_h / 4) * (out_w / 4), rng, "g_fc2"),
+      conv1_(width, width, 3, rng, "g_conv1"), conv2_(width, 1, 3, rng, "g_conv2") {
+  maps::require(out_h % 4 == 0 && out_w % 4 == 0,
+                "TandemGenerator: output dims must be divisible by 4");
+  maps::require(spec_dim >= 1, "TandemGenerator: spec_dim must be >= 1");
+}
+
+Tensor TandemGenerator::forward(const Tensor& spec) {
+  maps::require(spec.ndim() == 2 && spec.size(1) == spec_dim_,
+                "TandemGenerator: spec must be (N, spec_dim)");
+  const index_t N = spec.size(0);
+  Tensor y = act1_.forward(fc1_.forward(spec));
+  y = act2_.forward(fc2_.forward(y));
+  y = y.reshaped({N, width_, h_ / 4, w_ / 4});
+  y = act3_.forward(conv1_.forward(up1_.forward(y)));
+  y = conv2_.forward(up2_.forward(y));
+  return out_act_.forward(y);
+}
+
+Tensor TandemGenerator::backward(const Tensor& grad_out) {
+  Tensor g = out_act_.backward(grad_out);
+  g = up2_.backward(conv2_.backward(g));
+  g = up1_.backward(conv1_.backward(act3_.backward(g)));
+  const index_t N = g.size(0);
+  g = g.reshaped({N, width_ * (h_ / 4) * (w_ / 4)});
+  g = fc2_.backward(act2_.backward(g));
+  return fc1_.backward(act1_.backward(g));
+}
+
+std::vector<nn::Param*> TandemGenerator::parameters() {
+  std::vector<nn::Param*> ps;
+  for (nn::Module* m :
+       std::initializer_list<nn::Module*>{&fc1_, &fc2_, &conv1_, &conv2_}) {
+    for (nn::Param* p : m->parameters()) ps.push_back(p);
+  }
+  return ps;
+}
+
+std::vector<std::pair<RealGrid, double>> density_spec_pairs(
+    const data::Dataset& dataset) {
+  std::vector<std::pair<RealGrid, double>> out;
+  out.reserve(dataset.size());
+  for (const auto& rec : dataset.samples) {
+    if (rec.density.size() == 0 || rec.transmissions.empty()) continue;
+    out.emplace_back(rec.density, rec.transmissions.front());
+  }
+  return out;
+}
+
+namespace {
+
+void encode_density(Tensor& batch, index_t n, const RealGrid& rho) {
+  for (index_t j = 0; j < rho.ny(); ++j) {
+    for (index_t i = 0; i < rho.nx(); ++i) {
+      batch.at(n, 0, j, i) = static_cast<float>(rho(i, j));
+    }
+  }
+}
+
+}  // namespace
+
+double train_density_regressor(
+    nn::Module& f, const std::vector<std::pair<RealGrid, double>>& data,
+    const RegressorTrainOptions& options) {
+  maps::require(!data.empty(), "train_density_regressor: empty data");
+  const index_t H = data.front().first.ny(), W = data.front().first.nx();
+  maps::math::Rng rng(options.seed);
+  nn::Adam opt(f.parameters(), [&] {
+    nn::AdamOptions ao;
+    ao.lr = options.lr;
+    return ao;
+  }());
+
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+
+  double last_mae = 0.0;
+  for (int e = 0; e < options.epochs; ++e) {
+    rng.shuffle(order);
+    double mae = 0.0;
+    std::size_t count = 0, done = 0;
+    while (done < order.size()) {
+      const index_t bs = static_cast<index_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(options.batch), order.size() - done));
+      Tensor in({bs, 1, H, W});
+      Tensor target({bs, 1});
+      for (index_t k = 0; k < bs; ++k) {
+        const auto& [rho, t] = data[order[done + static_cast<std::size_t>(k)]];
+        maps::require(rho.ny() == H && rho.nx() == W,
+                      "train_density_regressor: inconsistent density shapes");
+        encode_density(in, k, rho);
+        target[k] = static_cast<float>(t);
+      }
+      f.zero_grad();
+      const Tensor pred = f.forward(in);
+      maps::require(pred.ndim() == 2 && pred.size(1) == 1,
+                    "train_density_regressor: f must output (N, 1)");
+      Tensor grad = Tensor::zeros_like(pred);
+      for (index_t k = 0; k < bs; ++k) {
+        const float err = pred[k] - target[k];
+        grad[k] = 2.0f * err / static_cast<float>(bs);
+        mae += std::abs(static_cast<double>(err));
+        ++count;
+      }
+      f.backward(grad);
+      opt.step();
+      done += static_cast<std::size_t>(bs);
+    }
+    last_mae = count > 0 ? mae / static_cast<double>(count) : 0.0;
+  }
+  return last_mae;
+}
+
+TandemReport train_tandem(nn::Module& f_frozen, TandemGenerator& g,
+                          const std::vector<double>& target_specs,
+                          const TandemOptions& options) {
+  maps::require(!target_specs.empty(), "train_tandem: no target specs");
+  maps::require(g.spec_dim() == 1, "train_tandem: scalar-spec generators only");
+  maps::math::Rng rng(options.seed);
+  nn::Adam opt(g.parameters(), [&] {
+    nn::AdamOptions ao;
+    ao.lr = options.lr;
+    return ao;
+  }());
+
+  std::vector<double> specs = target_specs;
+  TandemReport rep;
+
+  for (int e = 0; e < options.epochs; ++e) {
+    rng.shuffle(specs);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    std::size_t done = 0;
+    while (done < specs.size()) {
+      const index_t bs = static_cast<index_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(options.batch), specs.size() - done));
+      Tensor spec({bs, 1});
+      for (index_t k = 0; k < bs; ++k) {
+        spec[k] = static_cast<float>(specs[done + static_cast<std::size_t>(k)]);
+      }
+
+      g.zero_grad();
+      f_frozen.zero_grad();  // discard any teacher grads; f is never stepped
+      const Tensor rho = g.forward(spec);
+      const Tensor pred = f_frozen.forward(rho);
+
+      double loss = 0.0;
+      Tensor dpred = Tensor::zeros_like(pred);
+      for (index_t k = 0; k < bs; ++k) {
+        const float err = pred[k] - spec[k];
+        loss += static_cast<double>(err) * err;
+        dpred[k] = 2.0f * err / static_cast<float>(bs);
+      }
+      loss /= static_cast<double>(bs);
+
+      // Chain rule through the frozen forward model to the generator.
+      Tensor drho = f_frozen.backward(dpred);
+      if (options.gray_weight > 0.0) {
+        // d/drho of mean 4 rho (1 - rho): pushes densities to {0, 1}.
+        const float scale = static_cast<float>(options.gray_weight) /
+                            static_cast<float>(rho.numel());
+        for (index_t n = 0; n < rho.numel(); ++n) {
+          loss += options.gray_weight * 4.0 * rho[n] * (1.0 - rho[n]) /
+                  static_cast<double>(rho.numel());
+          drho[n] += scale * (4.0f - 8.0f * rho[n]);
+        }
+      }
+      g.backward(drho);
+      opt.step();
+
+      epoch_loss += loss;
+      ++batches;
+      done += static_cast<std::size_t>(bs);
+    }
+    rep.epoch_losses.push_back(batches > 0 ? epoch_loss / batches : 0.0);
+  }
+
+  for (const double t : target_specs) {
+    const RealGrid rho = tandem_generate(g, t);
+    rep.residuals.push_back(std::abs(forward_predict(f_frozen, rho) - t));
+  }
+  return rep;
+}
+
+RealGrid tandem_generate(TandemGenerator& g, double target_spec) {
+  Tensor spec({1, 1});
+  spec[0] = static_cast<float>(target_spec);
+  const Tensor rho = g.forward(spec);
+  RealGrid out(g.out_w(), g.out_h());
+  for (index_t j = 0; j < out.ny(); ++j) {
+    for (index_t i = 0; i < out.nx(); ++i) {
+      out(i, j) = static_cast<double>(rho.at(0, 0, j, i));
+    }
+  }
+  return out;
+}
+
+double forward_predict(nn::Module& f, const RealGrid& density) {
+  Tensor in({1, 1, density.ny(), density.nx()});
+  encode_density(in, 0, density);
+  const Tensor pred = f.forward(in);
+  return static_cast<double>(pred[0]);
+}
+
+}  // namespace maps::train

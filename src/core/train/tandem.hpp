@@ -1,0 +1,91 @@
+// Tandem neural network for inverse generation (the "multi-model setup"
+// MAPS-Train calls out in Sec. III-B feature 2).
+//
+// The classic tandem scheme sidesteps the one-to-many inverse ambiguity:
+//   1. train a forward surrogate f: design density -> FoM (frozen after);
+//   2. train a generator g: target spec -> density through the frozen f,
+//      minimizing || f(g(t*)) - t* ||^2 (+ optional binarization pressure).
+// Gradients flow *through* f to g — exactly the input-gradient machinery the
+// layer framework exposes for Table II's autodiff modes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/data/dataset.hpp"
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace maps::train {
+
+/// Generator: spec vector (N, spec_dim) -> density map (N, 1, H, W) in
+/// (0, 1). H and W must be divisible by 4 (two upsampling stages).
+class TandemGenerator final : public nn::Module {
+ public:
+  TandemGenerator(index_t spec_dim, index_t out_h, index_t out_w, index_t width,
+                  maps::math::Rng& rng);
+
+  std::string name() const override { return "tandem_generator"; }
+  nn::Tensor forward(const nn::Tensor& spec) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::vector<nn::Param*> parameters() override;
+
+  index_t spec_dim() const { return spec_dim_; }
+  index_t out_h() const { return h_; }
+  index_t out_w() const { return w_; }
+
+ private:
+  index_t spec_dim_, h_, w_, width_;
+  nn::Linear fc1_, fc2_;
+  nn::Activation act1_{nn::Act::Gelu}, act2_{nn::Act::Gelu}, act3_{nn::Act::Gelu};
+  nn::Upsample2x up1_, up2_;
+  nn::Conv2d conv1_, conv2_;
+  nn::Activation out_act_{nn::Act::Sigmoid};
+};
+
+/// (density, FoM) supervision pairs extracted from dataset records (the
+/// design-region density and the primary-term transmission label).
+std::vector<std::pair<maps::math::RealGrid, double>> density_spec_pairs(
+    const data::Dataset& dataset);
+
+struct RegressorTrainOptions {
+  int epochs = 40;
+  index_t batch = 8;
+  double lr = 2e-3;
+  unsigned seed = 31;
+};
+
+/// Supervised training of a forward surrogate f: (N,1,H,W) density ->
+/// (N, 1) FoM (e.g. an SParamCnn with c_in = 1). Returns the final-epoch
+/// mean absolute error.
+double train_density_regressor(
+    nn::Module& f, const std::vector<std::pair<maps::math::RealGrid, double>>& data,
+    const RegressorTrainOptions& options);
+
+struct TandemOptions {
+  int epochs = 60;
+  index_t batch = 8;
+  double lr = 2e-3;
+  double gray_weight = 0.0;  // optional pressure toward binary densities
+  unsigned seed = 37;
+};
+
+struct TandemReport {
+  std::vector<double> epoch_losses;
+  /// |f(g(t)) - t| per requested spec after training.
+  std::vector<double> residuals;
+};
+
+/// Train the generator through the frozen forward model on a set of target
+/// specs (each epoch shuffles the specs).
+TandemReport train_tandem(nn::Module& f_frozen, TandemGenerator& g,
+                          const std::vector<double>& target_specs,
+                          const TandemOptions& options);
+
+/// Generate the density for one target spec.
+maps::math::RealGrid tandem_generate(TandemGenerator& g, double target_spec);
+
+/// Run the frozen forward model on one density.
+double forward_predict(nn::Module& f, const maps::math::RealGrid& density);
+
+}  // namespace maps::train

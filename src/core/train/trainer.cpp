@@ -1,0 +1,101 @@
+#include "core/train/trainer.hpp"
+
+#include <cstdio>
+
+namespace maps::train {
+
+using maps::math::CplxGrid;
+
+Trainer::Trainer(nn::Module& model, const DataLoader& loader, TrainOptions options)
+    : model_(model), loader_(loader), options_(options),
+      optimizer_(model.parameters(), [&] {
+        nn::AdamOptions ao;
+        ao.lr = options.lr;
+        return ao;
+      }()) {}
+
+double Trainer::run_epoch(maps::math::Rng& rng, double lr) {
+  optimizer_.set_lr(lr);
+  const auto order = loader_.epoch_order(rng);
+  const auto& std_ = loader_.standardizer();
+  const index_t B = options_.batch;
+
+  double epoch_loss = 0.0;
+  int batches = 0;
+  std::size_t done = 0;
+  while (done < order.size()) {
+    const index_t bs = static_cast<index_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(B), order.size() - done));
+    const auto& first = *order[done].record;
+    nn::Tensor in = make_input_batch(bs, first.nx(), first.ny(), options_.encoding);
+    nn::Tensor target({bs, 2, first.ny(), first.nx()});
+    std::vector<const data::SampleRecord*> row_recs(static_cast<std::size_t>(bs));
+    std::vector<bool> row_mixed(static_cast<std::size_t>(bs), false);
+
+    for (index_t k = 0; k < bs; ++k) {
+      const auto& fs = order[done + static_cast<std::size_t>(k)];
+      row_recs[static_cast<std::size_t>(k)] = fs.record;
+      if (options_.mixup_prob > 0.0 && rng.uniform() < options_.mixup_prob) {
+        // Physically exact source superposition within the record.
+        const double gamma = rng.uniform(-1.0, 1.0);
+        auto [J_mix, E_mix] = DataLoader::mixup_pair(*fs.record, gamma);
+        encode_input(in, k, fs.record->eps, J_mix, fs.record->omega, fs.record->dl,
+                     std_, options_.encoding);
+        encode_target(target, k, E_mix, std_);
+        row_mixed[static_cast<std::size_t>(k)] = true;
+      } else {
+        encode_input(in, k, fs.record->eps, fs.source(), fs.record->omega,
+                     fs.record->dl, std_, options_.encoding);
+        encode_target(target, k, fs.field(), std_);
+      }
+    }
+
+    model_.zero_grad();
+    const nn::Tensor pred = model_.forward(in);
+    LossValue lv = nmse_loss(pred, target);
+    double loss = lv.value;
+    if (options_.maxwell_weight > 0.0) {
+      for (index_t k = 0; k < bs; ++k) {
+        if (row_mixed[static_cast<std::size_t>(k)]) continue;  // J differs
+        loss += add_maxwell_residual(*row_recs[static_cast<std::size_t>(k)], pred, k,
+                                     std_, options_.maxwell_weight, bs, lv.grad);
+      }
+    }
+    model_.backward(lv.grad);
+    optimizer_.step();
+
+    epoch_loss += loss;
+    ++batches;
+    done += static_cast<std::size_t>(bs);
+  }
+  return batches > 0 ? epoch_loss / batches : 0.0;
+}
+
+TrainReport Trainer::fit(const devices::DeviceProblem* device) {
+  maps::math::Rng rng(options_.seed);
+  TrainReport rep;
+  for (int e = 0; e < options_.epochs; ++e) {
+    const double lr = nn::cosine_lr(options_.lr, options_.lr_min, e, options_.epochs);
+    const double loss = run_epoch(rng, lr);
+    rep.epoch_losses.push_back(loss);
+    if (options_.verbose) {
+      std::printf("  epoch %3d/%d  loss %.4f  lr %.2e\n", e + 1, options_.epochs,
+                  loss, lr);
+    }
+  }
+  rep.train_nl2 = evaluate_nl2(model_, loader_.train(), loader_.standardizer(),
+                               options_.encoding);
+  rep.test_nl2 = evaluate_nl2(model_, loader_.test(), loader_.standardizer(),
+                              options_.encoding);
+  if (device != nullptr) {
+    const auto recs = loader_.test_records();
+    rep.grad_similarity = mean_grad_similarity(model_, *device, recs,
+                                               loader_.standardizer(),
+                                               options_.encoding);
+    rep.sparam_err = sparam_error(model_, *device, recs, loader_.standardizer(),
+                                  options_.encoding);
+  }
+  return rep;
+}
+
+}  // namespace maps::train

@@ -1,0 +1,51 @@
+// Training loop (customizable procedures, Sec. III-B feature 3): Adam with
+// cosine decay, NMSE data loss, optional Maxwell-residual physics loss,
+// optional superposition Mixup augmentation, standardized final metrics.
+#pragma once
+
+#include "core/train/loader.hpp"
+#include "core/train/losses.hpp"
+#include "core/train/metrics.hpp"
+#include "nn/optim.hpp"
+
+namespace maps::train {
+
+struct TrainOptions {
+  int epochs = 30;
+  index_t batch = 8;
+  double lr = 2e-3;
+  double lr_min = 2e-4;
+  double maxwell_weight = 0.0;  // physics-loss weight (0 = data loss only)
+  double mixup_prob = 0.0;      // per-row probability of a superposition mix
+  EncodingOptions encoding;
+  unsigned seed = 11;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  double train_nl2 = 0.0;
+  double test_nl2 = 0.0;
+  double grad_similarity = 0.0;  // filled when a device is provided
+  double sparam_err = 0.0;       // ditto
+  std::vector<double> epoch_losses;
+};
+
+class Trainer {
+ public:
+  Trainer(nn::Module& model, const DataLoader& loader, TrainOptions options = {});
+
+  /// Train and compute N-L2 metrics; device-dependent metrics (grad
+  /// similarity, S-param error) are evaluated when `device` is non-null.
+  TrainReport fit(const devices::DeviceProblem* device = nullptr);
+
+  /// One epoch over the training split; returns the mean batch loss.
+  double run_epoch(maps::math::Rng& rng, double lr);
+
+ private:
+  nn::Module& model_;
+  const DataLoader& loader_;
+  TrainOptions options_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace maps::train

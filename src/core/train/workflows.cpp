@@ -1,0 +1,88 @@
+#include "core/train/workflows.hpp"
+
+namespace maps::train {
+
+TrainReport distill(nn::Module& teacher, nn::Module& student,
+                    const DataLoader& loader, const DistillOptions& options,
+                    const devices::DeviceProblem* device) {
+  maps::require(options.alpha >= 0.0 && options.alpha <= 1.0,
+                "distill: alpha must be in [0, 1]");
+  maps::math::Rng rng(options.seed);
+  const auto& std_ = loader.standardizer();
+
+  nn::Adam optimizer(student.parameters(), [&] {
+    nn::AdamOptions ao;
+    ao.lr = options.lr;
+    return ao;
+  }());
+
+  TrainReport rep;
+  for (int e = 0; e < options.epochs; ++e) {
+    optimizer.set_lr(nn::cosine_lr(options.lr, options.lr_min, e, options.epochs));
+    const auto order = loader.epoch_order(rng);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    std::size_t done = 0;
+    while (done < order.size()) {
+      const index_t bs = static_cast<index_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(options.batch), order.size() - done));
+      const auto& first = *order[done].record;
+      nn::Tensor in = make_input_batch(bs, first.nx(), first.ny(), options.encoding);
+      nn::Tensor target({bs, 2, first.ny(), first.nx()});
+      for (index_t k = 0; k < bs; ++k) {
+        const auto& fs = order[done + static_cast<std::size_t>(k)];
+        encode_input(in, k, fs.record->eps, fs.source(), fs.record->omega,
+                     fs.record->dl, std_, options.encoding);
+        encode_target(target, k, fs.field(), std_);
+      }
+
+      // Soft targets: the teacher's forward pass (no teacher backward).
+      const nn::Tensor soft = teacher.forward(in);
+      maps::require(soft.same_shape(target), "distill: teacher output shape");
+      nn::Tensor blended = target;
+      const float a = static_cast<float>(options.alpha);
+      for (index_t n = 0; n < blended.numel(); ++n) {
+        blended[n] = a * soft[n] + (1.0f - a) * target[n];
+      }
+
+      student.zero_grad();
+      const nn::Tensor pred = student.forward(in);
+      LossValue lv = nmse_loss(pred, blended);
+      student.backward(lv.grad);
+      optimizer.step();
+
+      epoch_loss += lv.value;
+      ++batches;
+      done += static_cast<std::size_t>(bs);
+    }
+    rep.epoch_losses.push_back(batches > 0 ? epoch_loss / batches : 0.0);
+  }
+
+  rep.train_nl2 = evaluate_nl2(student, loader.train(), std_, options.encoding);
+  rep.test_nl2 = evaluate_nl2(student, loader.test(), std_, options.encoding);
+  if (device != nullptr) {
+    const auto recs = loader.test_records();
+    rep.grad_similarity =
+        mean_grad_similarity(student, *device, recs, std_, options.encoding);
+    rep.sparam_err = sparam_error(student, *device, recs, std_, options.encoding);
+  }
+  return rep;
+}
+
+TrainReport finetune(nn::Module& model, const DataLoader& loader,
+                     const FinetuneOptions& options,
+                     const devices::DeviceProblem* device) {
+  TrainOptions topt;
+  topt.epochs = options.epochs;
+  topt.batch = options.batch;
+  topt.lr = options.lr;
+  topt.lr_min = options.lr_min;
+  topt.maxwell_weight = options.maxwell_weight;
+  topt.mixup_prob = options.mixup_prob;
+  topt.encoding = options.encoding;
+  topt.seed = options.seed;
+  Trainer trainer(model, loader, topt);
+  return trainer.fit(device);
+}
+
+}  // namespace maps::train

@@ -1,0 +1,50 @@
+// Additional training workflows of MAPS-Train (Sec. III-B feature 3):
+// knowledge distillation and pretrain/fine-tune schedules on top of the
+// plain Trainer loop.
+//
+// Distillation for field surrogates: the student regresses a convex blend of
+// the teacher's predicted field and the ground-truth label. alpha = 1
+// reproduces classic response distillation (teacher only); alpha = 0
+// degenerates to ordinary supervised training.
+#pragma once
+
+#include "core/train/trainer.hpp"
+
+namespace maps::train {
+
+struct DistillOptions {
+  int epochs = 20;
+  index_t batch = 8;
+  double lr = 2e-3;
+  double lr_min = 2e-4;
+  double alpha = 0.7;  // weight of the teacher signal in the blended target
+  EncodingOptions encoding;  // must match both models' input channels
+  unsigned seed = 23;
+};
+
+/// Train `student` against teacher-predicted fields blended with labels.
+/// Teacher parameters are not updated. Returns the student's standard
+/// metrics (grad similarity/S-param filled when `device` is non-null).
+TrainReport distill(nn::Module& teacher, nn::Module& student,
+                    const DataLoader& loader, const DistillOptions& options,
+                    const devices::DeviceProblem* device = nullptr);
+
+struct FinetuneOptions {
+  int epochs = 10;
+  index_t batch = 8;
+  double lr = 5e-4;   // reduced step size: the point of fine-tuning
+  double lr_min = 5e-5;
+  double maxwell_weight = 0.0;
+  double mixup_prob = 0.0;
+  EncodingOptions encoding;
+  unsigned seed = 29;
+};
+
+/// Continue training an already-initialized model on a (new) loader —
+/// the pretrain -> fine-tune workflow (e.g. pretrain on abundant lo-fi
+/// data, fine-tune on scarce hi-fi data).
+TrainReport finetune(nn::Module& model, const DataLoader& loader,
+                     const FinetuneOptions& options,
+                     const devices::DeviceProblem* device = nullptr);
+
+}  // namespace maps::train

@@ -1,0 +1,50 @@
+// Factory for the six benchmark devices of Fig. 2.
+//
+// All devices share a 6.4 x 6.4 um silica-clad silicon platform with a
+// 2.4 x 2.4 um central design region and 1.0 um PML. The base (low) fidelity
+// is a 64 x 64 grid (dl = 0.1 um); fidelity factor f renders the *same*
+// physical device at (64 f)^2 — the paired multi-fidelity levels of
+// MAPS-Data. Excitation normalization factors come from straight-waveguide
+// normalization runs performed at build time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "devices/device.hpp"
+#include "param/pipeline.hpp"
+#include "param/symmetry.hpp"
+
+namespace maps::devices {
+
+enum class DeviceKind { Bend, Crossing, OpticalDiode, Wdm, Mdm, Tos };
+
+const char* device_name(DeviceKind kind);
+std::vector<DeviceKind> all_device_kinds();
+
+struct BuildOptions {
+  int fidelity = 1;          // resolution multiplier over the 64x64 base
+  double lambda = 1.55;      // primary wavelength [um] (WDM overrides per exc.)
+  double wdm_lambda1 = 1.50;
+  double wdm_lambda2 = 1.60;
+  double tos_delta_T = 300.0;  // peak heater temperature rise [K]
+};
+
+DeviceProblem make_device(DeviceKind kind, const BuildOptions& options = {});
+
+/// The device's canonical projection chain: blur -> (symmetry) -> tanh
+/// projection, matching the per-device symmetry constraints.
+struct PipelineOptions {
+  double blur_radius = 1.5;  // design-grid cells
+  double beta = 8.0;
+  double eta = 0.5;
+};
+
+param::DesignPipeline make_default_pipeline(const DeviceProblem& device,
+                                            DeviceKind kind,
+                                            const PipelineOptions& options = {});
+
+/// Symmetry constraint used by a device's canonical pipeline (if any).
+bool device_symmetry(DeviceKind kind, param::SymmetryKind* out);
+
+}  // namespace maps::devices

@@ -1,0 +1,58 @@
+#include "devices/device.hpp"
+
+namespace maps::devices {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+RealGrid DeviceProblem::excitation_eps(const RealGrid& eps, const Excitation& exc) const {
+  if (!exc.has_delta()) return eps;
+  maps::require(exc.delta_eps.same_shape(eps), "excitation_eps: delta shape mismatch");
+  RealGrid out = eps;
+  for (index_t n = 0; n < out.size(); ++n) out[n] += exc.delta_eps[n];
+  return out;
+}
+
+DeviceEval DeviceProblem::evaluate(const RealGrid& eps) const {
+  DeviceEval ev;
+  for (const auto& exc : excitations) {
+    fdfd::Simulation sim(spec, excitation_eps(eps, exc), exc.omega, sim_options);
+    ExcitationResult r;
+    r.Ez = sim.solve(exc.J);
+    r.objective = fdfd::objective_value(exc.terms, r.Ez);
+    for (const auto& t : exc.terms) {
+      r.transmissions.push_back(fdfd::term_transmission(t, r.Ez));
+    }
+    ev.fom += exc.weight * r.objective;
+    ev.per_excitation.push_back(std::move(r));
+  }
+  return ev;
+}
+
+DeviceProblem::GradEval DeviceProblem::evaluate_with_gradient(const RealGrid& eps) const {
+  GradEval ev;
+  ev.grad_eps = RealGrid(spec.nx, spec.ny, 0.0);
+  for (const auto& exc : excitations) {
+    fdfd::Simulation sim(spec, excitation_eps(eps, exc), exc.omega, sim_options);
+    ExcitationResult r;
+    r.Ez = sim.solve(exc.J);
+    r.objective = fdfd::objective_value(exc.terms, r.Ez);
+    for (const auto& t : exc.terms) {
+      r.transmissions.push_back(fdfd::term_transmission(t, r.Ez));
+    }
+    const auto adj = fdfd::compute_adjoint(sim, r.Ez, exc.terms);
+    for (index_t n = 0; n < ev.grad_eps.size(); ++n) {
+      ev.grad_eps[n] += exc.weight * adj.grad_eps[n];
+    }
+    ev.fom += exc.weight * r.objective;
+    ev.per_excitation.push_back(std::move(r));
+  }
+  return ev;
+}
+
+RealGrid DeviceProblem::blank_eps() const {
+  return param::embed_density(design_map,
+                              RealGrid(design_map.box.ni, design_map.box.nj, 0.0));
+}
+
+}  // namespace maps::devices

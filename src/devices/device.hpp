@@ -1,0 +1,75 @@
+// DeviceProblem: a fully-resolved inverse-design benchmark instance.
+//
+// Excitations are the simulation configurations a device is scored under
+// (WDM: one per wavelength; MDM: one per input mode; optical diode: forward
+// and backward launches; TOS: hot and cold thermal states). Each excitation
+// carries its prepared current source, optional permittivity perturbation,
+// and normalized FoM terms. The total device FoM is the weighted sum across
+// excitations — exactly the multi-objective structure of MAPS-InvDes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fdfd/adjoint.hpp"
+#include "fdfd/objective.hpp"
+#include "fdfd/port.hpp"
+#include "fdfd/simulation.hpp"
+#include "param/pipeline.hpp"
+
+namespace maps::devices {
+
+struct Excitation {
+  std::string name;
+  double omega = 0.0;
+  maps::math::CplxGrid J;          // prepared (directional mode) source
+  maps::math::RealGrid delta_eps;  // additive eps perturbation; empty = none
+  std::vector<fdfd::FomTerm> terms;
+  double weight = 1.0;
+  fdfd::Port source_port;
+  int source_mode = 0;
+  double input_norm = 1.0;  // |a_in|^2 measured in the normalization run
+
+  bool has_delta() const { return delta_eps.size() > 0; }
+};
+
+/// Per-excitation evaluation detail.
+struct ExcitationResult {
+  double objective = 0.0;                  // signed weighted sum of terms
+  std::vector<double> transmissions;       // unsigned T per term
+  maps::math::CplxGrid Ez;
+};
+
+struct DeviceEval {
+  double fom = 0.0;  // sum over excitations of weight * objective
+  std::vector<ExcitationResult> per_excitation;
+};
+
+class DeviceProblem {
+ public:
+  std::string name;
+  grid::GridSpec spec;
+  fdfd::SimOptions sim_options;
+  param::DesignMap design_map;      // base_eps rendered from the static geometry
+  std::vector<Excitation> excitations;
+
+  /// Permittivity actually simulated for an excitation (adds delta_eps).
+  maps::math::RealGrid excitation_eps(const maps::math::RealGrid& eps,
+                                      const Excitation& exc) const;
+
+  /// Forward-evaluate a candidate permittivity map across all excitations.
+  DeviceEval evaluate(const maps::math::RealGrid& eps) const;
+
+  /// FoM and total dF/deps via one forward+adjoint pair per excitation.
+  struct GradEval {
+    double fom = 0.0;
+    maps::math::RealGrid grad_eps;
+    std::vector<ExcitationResult> per_excitation;
+  };
+  GradEval evaluate_with_gradient(const maps::math::RealGrid& eps) const;
+
+  /// The design region rendered as all-cladding (density 0) map.
+  maps::math::RealGrid blank_eps() const;
+};
+
+}  // namespace maps::devices

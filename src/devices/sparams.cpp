@@ -1,0 +1,57 @@
+#include "devices/sparams.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace maps::devices {
+
+double SParamMatrix::contrast() const {
+  double c = 0.0;
+  for (const auto& e : entries) {
+    c += (e.goal == fdfd::Goal::Maximize ? 1.0 : -1.0) * e.power;
+  }
+  return c;
+}
+
+const SParamEntry& SParamMatrix::at(const std::string& excitation,
+                                    const std::string& monitor) const {
+  for (const auto& e : entries) {
+    if (e.excitation == excitation && e.monitor == monitor) return e;
+  }
+  throw MapsError("SParamMatrix::at: no entry " + excitation + "/" + monitor);
+}
+
+std::string SParamMatrix::to_string() const {
+  std::string out;
+  char line[160];
+  for (const auto& e : entries) {
+    std::snprintf(line, sizeof(line), "  S[%s -> %s] = %+.4f%+.4fi  |S|^2 = %.4f (%s)\n",
+                  e.excitation.c_str(), e.monitor.c_str(), e.s.real(), e.s.imag(),
+                  e.power, e.goal == fdfd::Goal::Maximize ? "max" : "min");
+    out += line;
+  }
+  return out;
+}
+
+SParamMatrix compute_sparams(const DeviceProblem& device,
+                             const maps::math::RealGrid& eps) {
+  SParamMatrix m;
+  for (const auto& exc : device.excitations) {
+    fdfd::Simulation sim(device.spec, device.excitation_eps(eps, exc), exc.omega,
+                         device.sim_options);
+    const auto Ez = sim.solve(exc.J);
+    const double inv_sqrt_norm = 1.0 / std::sqrt(exc.input_norm);
+    for (const auto& term : exc.terms) {
+      SParamEntry e;
+      e.excitation = exc.name;
+      e.monitor = term.name;
+      e.s = fdfd::term_amplitude(term, Ez) * inv_sqrt_norm;
+      e.power = std::norm(e.s);
+      e.goal = term.goal;
+      m.entries.push_back(std::move(e));
+    }
+  }
+  return m;
+}
+
+}  // namespace maps::devices

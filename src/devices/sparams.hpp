@@ -1,0 +1,41 @@
+// S-parameter extraction: the complex port-to-port scattering amplitudes of
+// a candidate design, normalized by the excitation's input power — the
+// "s-param" rich label of MAPS-Data and the quantity black-box surrogates
+// regress.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devices/device.hpp"
+
+namespace maps::devices {
+
+struct SParamEntry {
+  std::string excitation;  // input port + drive condition
+  std::string monitor;     // output port : mode
+  cplx s = 0.0;            // complex amplitude ratio a_out / sqrt(P_in)
+  double power = 0.0;      // |s|^2 (the transmission the tables report)
+  fdfd::Goal goal = fdfd::Goal::Maximize;
+};
+
+struct SParamMatrix {
+  std::vector<SParamEntry> entries;
+
+  /// Total power routed to Maximize-targets minus Minimize-targets
+  /// (a scalar design score).
+  double contrast() const;
+
+  /// Lookup by (excitation, monitor) name; throws if absent.
+  const SParamEntry& at(const std::string& excitation,
+                        const std::string& monitor) const;
+
+  std::string to_string() const;
+};
+
+/// Solve every excitation of the device on `eps` and collect the scattering
+/// amplitudes at every FoM monitor.
+SParamMatrix compute_sparams(const DeviceProblem& device,
+                             const maps::math::RealGrid& eps);
+
+}  // namespace maps::devices

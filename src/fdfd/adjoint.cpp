@@ -1,0 +1,46 @@
+#include "fdfd/adjoint.hpp"
+
+namespace maps::fdfd {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+AdjointResult compute_adjoint(Simulation& sim, const CplxGrid& Ez,
+                              const std::vector<FomTerm>& terms) {
+  const auto& spec = sim.spec();
+  maps::require(Ez.nx() == spec.nx && Ez.ny() == spec.ny,
+                "compute_adjoint: field shape mismatch");
+
+  const std::vector<cplx> g = objective_dE(terms, Ez);
+  const double omega = sim.omega();
+
+  AdjointResult out{RealGrid(spec.nx, spec.ny), CplxGrid(spec.nx, spec.ny),
+                    CplxGrid(spec.nx, spec.ny), objective_value(terms, Ez)};
+
+  out.lambda = sim.solve_transposed(g);
+
+  const auto& W = sim.op().W;
+  for (index_t n = 0; n < spec.cells(); ++n) {
+    // J_adj = W^{-1} g / (-i omega): feeding this to a forward run yields
+    // W^{-1} lambda (proof in the header; relies on W A = (W A)^T).
+    out.adj_current[n] = g[static_cast<std::size_t>(n)] /
+                         (W[static_cast<std::size_t>(n)] * (-kI * omega));
+    out.grad_eps[n] = -2.0 * omega * omega * std::real(out.lambda[n] * Ez[n]);
+  }
+  return out;
+}
+
+RealGrid grad_from_fields(const CplxGrid& Ez, const CplxGrid& lambda_fwd,
+                          const std::vector<cplx>& W, double omega) {
+  maps::require(Ez.same_shape(lambda_fwd), "grad_from_fields: shape mismatch");
+  maps::require(static_cast<index_t>(W.size()) == Ez.size(),
+                "grad_from_fields: W size mismatch");
+  RealGrid grad(Ez.nx(), Ez.ny());
+  for (index_t n = 0; n < Ez.size(); ++n) {
+    const cplx lambda = W[static_cast<std::size_t>(n)] * lambda_fwd[n];
+    grad[n] = -2.0 * omega * omega * std::real(lambda * Ez[n]);
+  }
+  return grad;
+}
+
+}  // namespace maps::fdfd

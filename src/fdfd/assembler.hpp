@@ -1,0 +1,39 @@
+// FDFD operator assembly for the 2D TM (Ez) Helmholtz problem.
+//
+// Discretizes (with SC-PML stretch factors folded into the differences)
+//
+//   (1/sc_x) d/dx (1/se_x dEz/dx) + (1/sc_y) d/dy (1/se_y dEz/dy)
+//     + omega^2 eps_r Ez = -i omega Jz
+//
+// on a uniform Yee grid with Dirichlet exterior, flattening n = i + nx*j.
+//
+// The assembler also exposes the diagonal row scaling W (w_n = sc_x(i)*sc_y(j))
+// that symmetrizes the operator: W*A = (W*A)^T. MAPS uses this to express the
+// adjoint solve A^T lambda = g as the *forward* solve A (W^{-1} lambda) =
+// W^{-1} g, which is what lets a forward-field neural surrogate predict
+// adjoint fields (paper Fig. 3, "adj src").
+#pragma once
+
+#include "fdfd/pml.hpp"
+#include "grid/yee_grid.hpp"
+#include "math/csr.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::fdfd {
+
+struct FdfdOperator {
+  maps::math::CsrCplx A;            // N x N Helmholtz operator
+  std::vector<cplx> W;              // symmetrizing row scale, size N
+  double omega = 0.0;
+  grid::GridSpec spec;
+};
+
+/// Assemble the FDFD matrix for permittivity map `eps` at angular frequency
+/// `omega` with the given PML. `eps` shape must match `spec`.
+FdfdOperator assemble(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
+                      double omega, const PmlSpec& pml);
+
+/// Right-hand side from a current source: b = -i omega J.
+std::vector<cplx> rhs_from_current(const maps::math::CplxGrid& J, double omega);
+
+}  // namespace maps::fdfd

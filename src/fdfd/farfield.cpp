@@ -1,0 +1,160 @@
+#include "fdfd/farfield.hpp"
+
+#include <cmath>
+
+namespace maps::fdfd {
+
+using maps::math::CplxGrid;
+
+namespace {
+
+/// Physical cell-center coordinate of the grid node (i, j).
+void node_xy(const grid::GridSpec& spec, index_t i, index_t j, double* x, double* y) {
+  *x = spec.x_of(i);
+  *y = spec.y_of(j);
+}
+
+}  // namespace
+
+std::vector<std::pair<index_t, cplx>> farfield_coeffs(const grid::GridSpec& spec,
+                                                      const Port& port,
+                                                      double angle_rad, double omega,
+                                                      double eps_bg) {
+  maps::require(eps_bg > 0.0, "farfield_coeffs: eps_bg must be > 0");
+  maps::require(port.span() > 0, "farfield_coeffs: empty port span");
+  const double k = omega * std::sqrt(eps_bg);
+  const double rx = std::cos(angle_rad);
+  const double ry = std::sin(angle_rad);
+
+  // Outward normal of the capture line = the port's propagation direction.
+  double nx = 0.0, ny = 0.0;
+  if (port.normal == Axis::X) {
+    nx = static_cast<double>(port.direction);
+  } else {
+    ny = static_cast<double>(port.direction);
+  }
+  const double rn = rx * nx + ry * ny;  // r_hat . n_hat
+
+  std::vector<std::pair<index_t, cplx>> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(3 * port.span()));
+  const double dl = spec.dl;
+  const index_t span = port.span();
+  const double ramp = kFarfieldTaperFraction * static_cast<double>(span);
+
+  for (index_t t = port.lo; t < port.hi; ++t) {
+    // cos^2 end taper: suppresses the diffraction ripple of the truncated
+    // capture line (the line stands in for an infinite one).
+    const double from_lo = static_cast<double>(t - port.lo) + 0.5;
+    const double from_hi = static_cast<double>(port.hi - t) - 0.5;
+    const double edge = std::min(from_lo, from_hi);
+    double taper = 1.0;
+    if (ramp > 0.0 && edge < ramp) {
+      const double s = std::sin(0.5 * kPi * edge / ramp);
+      taper = s * s;
+    }
+    index_t i = 0, j = 0;
+    if (port.normal == Axis::X) {
+      i = port.pos;
+      j = t;
+    } else {
+      i = t;
+      j = port.pos;
+    }
+    maps::require(i >= 1 && i < spec.nx - 1 && j >= 1 && j < spec.ny - 1,
+                  "farfield_coeffs: port too close to the grid boundary for the "
+                  "normal-derivative stencil");
+    double x = 0.0, y = 0.0;
+    node_xy(spec, i, j, &x, &y);
+    const cplx phase = taper * std::exp(-maps::kI * (k * (rx * x + ry * y)));
+
+    // Ez dG/dn' term on the line itself.
+    coeffs.emplace_back(i + spec.nx * j, 0.25 * k * rn * phase * dl);
+
+    // -G dEz/dn' term: central difference along the normal. The two
+    // neighbour lines carry +-(i/8) * phase (dl from the line integral
+    // cancels one dl of the 1/(2 dl) difference).
+    index_t ip = i, jp = j, im = i, jm = j;
+    if (port.normal == Axis::X) {
+      ip += port.direction;
+      im -= port.direction;
+    } else {
+      jp += port.direction;
+      jm -= port.direction;
+    }
+    const cplx dcoef = -0.125 * maps::kI * phase;
+    coeffs.emplace_back(ip + spec.nx * jp, dcoef);
+    coeffs.emplace_back(im + spec.nx * jm, -dcoef);
+  }
+  return coeffs;
+}
+
+std::size_t FarFieldPattern::peak() const {
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < intensity.size(); ++a) {
+    if (intensity[a] > intensity[best]) best = a;
+  }
+  return best;
+}
+
+double FarFieldPattern::total_intensity() const {
+  if (angles.size() < 2) return intensity.empty() ? 0.0 : intensity.front();
+  double sum = 0.0;
+  for (std::size_t a = 0; a + 1 < angles.size(); ++a) {
+    sum += 0.5 * (intensity[a] + intensity[a + 1]) * (angles[a + 1] - angles[a]);
+  }
+  return sum;
+}
+
+double FarFieldPattern::directivity(double center, double half_width) const {
+  const double total = total_intensity();
+  if (total <= 0.0) return 0.0;
+  double inside = 0.0;
+  for (std::size_t a = 0; a + 1 < angles.size(); ++a) {
+    const double mid = 0.5 * (angles[a] + angles[a + 1]);
+    if (std::abs(mid - center) <= half_width) {
+      inside += 0.5 * (intensity[a] + intensity[a + 1]) * (angles[a + 1] - angles[a]);
+    }
+  }
+  return inside / total;
+}
+
+FarFieldPattern compute_far_field(const CplxGrid& Ez, const grid::GridSpec& spec,
+                                  const Port& port, const std::vector<double>& angles,
+                                  double omega, double eps_bg) {
+  FarFieldPattern pat;
+  pat.angles = angles;
+  pat.amplitude.reserve(angles.size());
+  pat.intensity.reserve(angles.size());
+  for (const double theta : angles) {
+    const auto coeffs = farfield_coeffs(spec, port, theta, omega, eps_bg);
+    cplx f{0.0, 0.0};
+    for (const auto& [n, c] : coeffs) f += c * Ez[n];
+    pat.amplitude.push_back(f);
+    pat.intensity.push_back(std::norm(f));
+  }
+  return pat;
+}
+
+std::vector<double> angle_sweep(double lo, double hi, int count) {
+  maps::require(count >= 2 && hi > lo, "angle_sweep: need count >= 2 and hi > lo");
+  std::vector<double> angles(static_cast<std::size_t>(count));
+  for (int a = 0; a < count; ++a) {
+    angles[static_cast<std::size_t>(a)] =
+        lo + (hi - lo) * static_cast<double>(a) / static_cast<double>(count - 1);
+  }
+  return angles;
+}
+
+FomTerm far_field_term(const grid::GridSpec& spec, const Port& port, double angle_rad,
+                       double omega, double eps_bg, double norm, double weight,
+                       Goal goal, const std::string& name) {
+  FomTerm term;
+  term.coeffs = farfield_coeffs(spec, port, angle_rad, omega, eps_bg);
+  term.norm = norm;
+  term.weight = weight;
+  term.goal = goal;
+  term.name = name;
+  return term;
+}
+
+}  // namespace maps::fdfd

@@ -1,0 +1,73 @@
+// Near-to-far-field projection ("controlling far-field intensity
+// distributions", Sec. III-C.4).
+//
+// The radiated field above/beside a device is projected to the far zone by
+// the 2D equivalence integral over a straight monitor line C (a Port):
+//
+//   Ez(r) = int_C [ Ez dG/dn' - G dEz/dn' ] dl',   G = (i/4) H0^(1)(k|r-r'|)
+//
+// In the far zone G reduces to a plane-wave kernel, so the angular far-field
+// amplitude F(theta), defined by Ez -> sqrt(2/(pi k r)) e^{i(kr - pi/4)}
+// F(theta), is a *linear* functional of Ez sampled on three grid lines (the
+// monitor line and its two neighbours, which carry the normal-derivative
+// stencil). Linearity is the point: a far-field direction becomes an
+// ordinary sparse FomTerm row, so the whole adjoint/inverse-design machinery
+// (and the neural gradient providers) apply to far-field objectives without
+// modification.
+//
+// Angles are measured from the +x axis; the monitor only captures radiation
+// leaving through it along its `direction`, so request angles within the
+// open half-space the port faces.
+#pragma once
+
+#include <vector>
+
+#include "fdfd/objective.hpp"
+#include "fdfd/port.hpp"
+#include "grid/yee_grid.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::fdfd {
+
+/// Fraction of each window end over which the capture line is cos^2-tapered
+/// (suppresses truncation ripple of the finite line).
+inline constexpr double kFarfieldTaperFraction = 0.25;
+
+/// Sparse row c with F(theta) = c^T Ez for radiation crossing `port` into
+/// the half-space it faces. `eps_bg` is the (uniform) background relative
+/// permittivity along the monitor, k = omega * sqrt(eps_bg).
+std::vector<std::pair<index_t, cplx>> farfield_coeffs(const grid::GridSpec& spec,
+                                                      const Port& port,
+                                                      double angle_rad, double omega,
+                                                      double eps_bg);
+
+struct FarFieldPattern {
+  std::vector<double> angles;      // radians
+  std::vector<cplx> amplitude;     // F(theta)
+  std::vector<double> intensity;   // |F|^2
+
+  /// Index of the strongest direction.
+  std::size_t peak() const;
+  /// Total (trapezoidal) intensity over the angular window.
+  double total_intensity() const;
+  /// Fraction of total intensity within +-half_width of `center` (radians).
+  double directivity(double center, double half_width) const;
+};
+
+/// Evaluate the far-field pattern of a solved Ez over a set of angles.
+FarFieldPattern compute_far_field(const maps::math::CplxGrid& Ez,
+                                  const grid::GridSpec& spec, const Port& port,
+                                  const std::vector<double>& angles, double omega,
+                                  double eps_bg);
+
+/// Uniformly spaced angles in [lo, hi] (inclusive).
+std::vector<double> angle_sweep(double lo, double hi, int count);
+
+/// Far-field intensity FomTerm: T = |F(theta)|^2 / norm. Drops straight into
+/// objective_value / objective_dE / compute_adjoint like any mode monitor.
+FomTerm far_field_term(const grid::GridSpec& spec, const Port& port, double angle_rad,
+                       double omega, double eps_bg, double norm = 1.0,
+                       double weight = 1.0, Goal goal = Goal::Maximize,
+                       const std::string& name = "farfield");
+
+}  // namespace maps::fdfd

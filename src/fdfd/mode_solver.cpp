@@ -1,0 +1,67 @@
+#include "fdfd/mode_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/tridiag_eig.hpp"
+
+namespace maps::fdfd {
+
+std::vector<Mode> solve_slab_modes(const std::vector<double>& eps_line, double dl,
+                                   double omega, int max_modes) {
+  maps::require(eps_line.size() >= 3, "solve_slab_modes: profile too short");
+  maps::require(dl > 0 && omega > 0, "solve_slab_modes: invalid dl/omega");
+  const std::size_t n = eps_line.size();
+
+  std::vector<double> diag(n), off(n - 1, 1.0 / (dl * dl));
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = -2.0 / (dl * dl) + omega * omega * eps_line[i];
+  }
+  const auto eig = maps::math::tridiag_eigh(std::move(diag), std::move(off));
+
+  // Guided window: beta^2 must exceed the cladding light line (edge eps, the
+  // profile is assumed clad at both ends) and stay below the core light line.
+  const double eps_clad = std::max(eps_line.front(), eps_line.back());
+  const double beta2_min = omega * omega * eps_clad;
+
+  std::vector<Mode> modes;
+  for (std::size_t k = n; k-- > 0 && static_cast<int>(modes.size()) < max_modes;) {
+    const double beta2 = eig.eigenvalues[k];
+    if (beta2 <= beta2_min) break;  // eigenvalues ascending: all further are radiative
+    Mode m;
+    m.beta = std::sqrt(beta2);
+    m.neff = m.beta / omega;
+    m.profile = eig.vectors[k];
+    // L2 normalization with the dl measure; fix sign so the peak is positive.
+    double nrm = 0.0;
+    for (double v : m.profile) nrm += v * v * dl;
+    nrm = std::sqrt(nrm);
+    const auto peak = std::max_element(m.profile.begin(), m.profile.end(),
+                                       [](double a, double b) {
+                                         return std::abs(a) < std::abs(b);
+                                       });
+    const double sign = (*peak >= 0.0) ? 1.0 : -1.0;
+    for (double& v : m.profile) v *= sign / nrm;
+    modes.push_back(std::move(m));
+  }
+  return modes;
+}
+
+std::vector<double> eps_along_port(const maps::math::RealGrid& eps, const Port& port) {
+  maps::require(port.hi > port.lo, "eps_along_port: empty span");
+  std::vector<double> line(static_cast<std::size_t>(port.span()));
+  for (index_t t = port.lo; t < port.hi; ++t) {
+    if (port.normal == Axis::X) {
+      maps::require(port.pos >= 0 && port.pos < eps.nx() && t < eps.ny(),
+                    "eps_along_port: port outside grid");
+      line[static_cast<std::size_t>(t - port.lo)] = eps(port.pos, t);
+    } else {
+      maps::require(port.pos >= 0 && port.pos < eps.ny() && t < eps.nx(),
+                    "eps_along_port: port outside grid");
+      line[static_cast<std::size_t>(t - port.lo)] = eps(t, port.pos);
+    }
+  }
+  return line;
+}
+
+}  // namespace maps::fdfd

@@ -1,0 +1,33 @@
+// 1D slab waveguide eigenmode solver ("mode solve" block of Fig. 4).
+//
+// On a port cross-section with permittivity profile eps(t), TM modes satisfy
+//   d^2 phi/dt^2 + omega^2 eps(t) phi = beta^2 phi,
+// a symmetric tridiagonal eigenproblem. Guided modes are the eigenpairs with
+// beta^2 above the cladding light line; profiles are L2-normalized
+// (sum phi^2 dl = 1).
+#pragma once
+
+#include <vector>
+
+#include "fdfd/port.hpp"
+#include "math/field2d.hpp"
+#include "math/types.hpp"
+
+namespace maps::fdfd {
+
+struct Mode {
+  double beta = 0.0;             // propagation constant
+  double neff = 0.0;             // beta / omega
+  std::vector<double> profile;   // phi over the port span, L2-normalized
+};
+
+/// Solve for up to `max_modes` guided modes of the 1D profile `eps_line`
+/// (spacing dl) at angular frequency omega. Modes are ordered by descending
+/// beta (fundamental first). Returns fewer modes if fewer are guided.
+std::vector<Mode> solve_slab_modes(const std::vector<double>& eps_line, double dl,
+                                   double omega, int max_modes);
+
+/// Extract the eps profile along a port line from the 2D map.
+std::vector<double> eps_along_port(const maps::math::RealGrid& eps, const Port& port);
+
+}  // namespace maps::fdfd

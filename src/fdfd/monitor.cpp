@@ -1,0 +1,36 @@
+#include "fdfd/monitor.hpp"
+
+namespace maps::fdfd {
+
+cplx mode_overlap(const maps::math::CplxGrid& Ez, const Port& port, const Mode& mode,
+                  double dl) {
+  maps::require(static_cast<index_t>(mode.profile.size()) == port.span(),
+                "mode_overlap: profile/span mismatch");
+  cplx a{};
+  for (index_t t = port.lo; t < port.hi; ++t) {
+    const double phi = mode.profile[static_cast<std::size_t>(t - port.lo)];
+    const cplx e = (port.normal == Axis::X) ? Ez(port.pos, t) : Ez(t, port.pos);
+    a += e * phi * dl;
+  }
+  return a;
+}
+
+double port_flux(const Fields& f, const Port& port, double dl) {
+  double p = 0.0;
+  for (index_t t = port.lo; t < port.hi; ++t) {
+    if (port.normal == Axis::X) {
+      // S_x = -0.5 Re(Ez conj(Hy)); average staggered Hy onto the line.
+      const cplx hy_w = (port.pos > 0) ? f.Hy(port.pos - 1, t) : f.Hy(port.pos, t);
+      const cplx hy = 0.5 * (f.Hy(port.pos, t) + hy_w);
+      p += -0.5 * std::real(f.Ez(port.pos, t) * std::conj(hy)) * dl;
+    } else {
+      // S_y = 0.5 Re(Ez conj(Hx)).
+      const cplx hx_s = (port.pos > 0) ? f.Hx(t, port.pos - 1) : f.Hx(t, port.pos);
+      const cplx hx = 0.5 * (f.Hx(t, port.pos) + hx_s);
+      p += 0.5 * std::real(f.Ez(t, port.pos) * std::conj(hx)) * dl;
+    }
+  }
+  return p * port.direction;
+}
+
+}  // namespace maps::fdfd

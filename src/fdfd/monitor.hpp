@@ -1,0 +1,23 @@
+// Field monitors: mode-overlap amplitudes and Poynting flux through ports.
+//
+// Transmissions in MAPS are ratios |a_port|^2 / |a_norm|^2 against a
+// normalization run (straight waveguide), so mode normalization constants
+// cancel. Flux monitors provide the model-free cross-check and the
+// "radiation" label (1 - sum of port powers).
+#pragma once
+
+#include "fdfd/mode_solver.hpp"
+#include "fdfd/port.hpp"
+#include "fdfd/simulation.hpp"
+
+namespace maps::fdfd {
+
+/// Mode-overlap amplitude a = sum_t Ez(line_t) * phi_t * dl.
+cplx mode_overlap(const maps::math::CplxGrid& Ez, const Port& port, const Mode& mode,
+                  double dl);
+
+/// Time-averaged power through the port line in its propagation direction.
+/// Uses S = 0.5 Re(E x H*) with H derived from Ez on the staggered grid.
+double port_flux(const Fields& f, const Port& port, double dl);
+
+}  // namespace maps::fdfd

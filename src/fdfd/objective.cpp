@@ -1,0 +1,52 @@
+#include "fdfd/objective.hpp"
+
+namespace maps::fdfd {
+
+std::vector<std::pair<index_t, cplx>> mode_monitor_coeffs(const grid::GridSpec& spec,
+                                                          const Port& port,
+                                                          const Mode& mode) {
+  maps::require(static_cast<index_t>(mode.profile.size()) == port.span(),
+                "mode_monitor_coeffs: profile/span mismatch");
+  std::vector<std::pair<index_t, cplx>> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(port.span()));
+  for (index_t t = port.lo; t < port.hi; ++t) {
+    const double phi = mode.profile[static_cast<std::size_t>(t - port.lo)];
+    const index_t n = (port.normal == Axis::X) ? (port.pos + spec.nx * t)
+                                               : (t + spec.nx * port.pos);
+    coeffs.emplace_back(n, cplx{phi * spec.dl, 0.0});
+  }
+  return coeffs;
+}
+
+cplx term_amplitude(const FomTerm& term, const maps::math::CplxGrid& Ez) {
+  cplx a{};
+  for (const auto& [n, c] : term.coeffs) a += c * Ez[n];
+  return a;
+}
+
+double term_transmission(const FomTerm& term, const maps::math::CplxGrid& Ez) {
+  maps::require(term.norm > 0.0, "term_transmission: norm must be positive");
+  return std::norm(term_amplitude(term, Ez)) / term.norm;
+}
+
+double objective_value(const std::vector<FomTerm>& terms,
+                       const maps::math::CplxGrid& Ez) {
+  double f = 0.0;
+  for (const auto& t : terms) f += t.sign() * t.weight * term_transmission(t, Ez);
+  return f;
+}
+
+std::vector<cplx> objective_dE(const std::vector<FomTerm>& terms,
+                               const maps::math::CplxGrid& Ez) {
+  std::vector<cplx> g(static_cast<std::size_t>(Ez.size()), cplx{});
+  for (const auto& t : terms) {
+    const cplx a_bar = std::conj(term_amplitude(t, Ez));
+    const double scale = t.sign() * t.weight / t.norm;
+    for (const auto& [n, c] : t.coeffs) {
+      g[static_cast<std::size_t>(n)] += scale * a_bar * c;
+    }
+  }
+  return g;
+}
+
+}  // namespace maps::fdfd

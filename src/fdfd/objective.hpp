@@ -1,0 +1,51 @@
+// Composable figure-of-merit terms over FDFD field solutions.
+//
+// Each FomTerm is a normalized mode-power objective T = |c^T Ez|^2 / norm
+// with a sign (maximize / minimize) and weight; the total objective of a
+// simulation is the signed weighted sum. Terms carry everything the adjoint
+// needs: value and the Wirtinger derivative dF/dEz.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fdfd/mode_solver.hpp"
+#include "fdfd/port.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::fdfd {
+
+enum class Goal { Maximize, Minimize };
+
+struct FomTerm {
+  /// Sparse monitor row c: (flat node index, coefficient phi*dl).
+  std::vector<std::pair<index_t, cplx>> coeffs;
+  double norm = 1.0;      // |a_norm|^2 from the normalization run
+  double weight = 1.0;
+  Goal goal = Goal::Maximize;
+  std::string name;
+
+  double sign() const { return goal == Goal::Maximize ? 1.0 : -1.0; }
+};
+
+/// Build the sparse monitor row for (port, mode) on the given grid.
+std::vector<std::pair<index_t, cplx>> mode_monitor_coeffs(const grid::GridSpec& spec,
+                                                          const Port& port,
+                                                          const Mode& mode);
+
+/// a = c^T Ez.
+cplx term_amplitude(const FomTerm& term, const maps::math::CplxGrid& Ez);
+
+/// Normalized power into the monitor: T = |a|^2 / norm (unsigned).
+double term_transmission(const FomTerm& term, const maps::math::CplxGrid& Ez);
+
+/// Signed objective F = sum_k sign_k w_k T_k.
+double objective_value(const std::vector<FomTerm>& terms,
+                       const maps::math::CplxGrid& Ez);
+
+/// Wirtinger gradient g_n = dF/dEz_n = sum_k sign_k (w_k / norm_k) conj(a_k) c_kn.
+std::vector<cplx> objective_dE(const std::vector<FomTerm>& terms,
+                               const maps::math::CplxGrid& Ez);
+
+}  // namespace maps::fdfd

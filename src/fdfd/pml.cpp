@@ -1,0 +1,52 @@
+#include "fdfd/pml.hpp"
+
+#include <cmath>
+
+namespace maps::fdfd {
+
+namespace {
+double sigma_profile(double x, double lo, double hi, double depth, double sigma_max,
+                     double m) {
+  // Distance into the PML measured from the inner interface.
+  double d = 0.0;
+  if (x < lo + depth) {
+    d = (lo + depth - x) / depth;
+  } else if (x > hi - depth) {
+    d = (x - (hi - depth)) / depth;
+  } else {
+    return 0.0;
+  }
+  if (d > 1.0) d = 1.0;
+  return sigma_max * std::pow(d, m);
+}
+}  // namespace
+
+StretchProfile make_stretch(index_t n, double dl, double omega, const PmlSpec& pml) {
+  maps::require(n > 0 && dl > 0 && omega > 0, "make_stretch: invalid arguments");
+  maps::require(pml.ncells >= 0 && 2 * pml.ncells < n,
+                "make_stretch: PML thicker than half the domain");
+
+  StretchProfile sp;
+  sp.centers.assign(static_cast<std::size_t>(n), cplx{1.0, 0.0});
+  sp.edges.assign(static_cast<std::size_t>(n) + 1, cplx{1.0, 0.0});
+  if (pml.ncells == 0) return sp;
+
+  const double lo = 0.0;
+  const double hi = static_cast<double>(n) * dl;
+  const double depth = static_cast<double>(pml.ncells) * dl;
+  const double sigma_max = -(pml.m + 1.0) * std::log(pml.R0) / (2.0 * depth);
+
+  for (index_t i = 0; i < n; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) * dl;
+    const double s = sigma_profile(x, lo, hi, depth, sigma_max, pml.m);
+    sp.centers[static_cast<std::size_t>(i)] = cplx{1.0, s / omega};
+  }
+  for (index_t e = 0; e <= n; ++e) {
+    const double x = static_cast<double>(e) * dl;
+    const double s = sigma_profile(x, lo, hi, depth, sigma_max, pml.m);
+    sp.edges[static_cast<std::size_t>(e)] = cplx{1.0, s / omega};
+  }
+  return sp;
+}
+
+}  // namespace maps::fdfd

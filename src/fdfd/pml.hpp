@@ -1,0 +1,33 @@
+// Stretched-coordinate PML (SC-PML) profiles for the FDFD assembler.
+//
+// Complex coordinate stretch s(x) = 1 + i sigma(x)/omega with polynomial
+// grading sigma(d) = sigma_max (d/D)^m, sigma_max = -(m+1) ln(R0) / (2 D)
+// in normalized units (eps0 = mu0 = c = 1). With the e^{-i omega t}
+// convention a forward wave e^{+ikx} decays as e^{-k sigma x / omega}.
+#pragma once
+
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::fdfd {
+
+struct PmlSpec {
+  int ncells = 12;        // PML thickness per side [cells]
+  double m = 3.0;         // polynomial grading order
+  double R0 = 1e-8;       // target round-trip reflection
+};
+
+/// Stretch factors along one axis of length n cells with spacing dl.
+///
+/// `centers` has n entries (cell centers, where the outer Dxb divided
+/// difference lives); `edges` has n+1 entries (cell edges, where the inner
+/// Dxf difference lives). Both are 1 outside the PML.
+struct StretchProfile {
+  std::vector<cplx> centers;
+  std::vector<cplx> edges;
+};
+
+StretchProfile make_stretch(index_t n, double dl, double omega, const PmlSpec& pml);
+
+}  // namespace maps::fdfd

@@ -1,0 +1,40 @@
+// Port: a waveguide cross-section where sources are injected and
+// transmission/reflection are measured (mode-overlap monitors).
+#pragma once
+
+#include <string>
+
+#include "grid/yee_grid.hpp"
+#include "math/types.hpp"
+
+namespace maps::fdfd {
+
+enum class Axis { X, Y };  // the port's *normal* (propagation) axis
+
+struct Port {
+  Axis normal = Axis::X;
+  index_t pos = 0;       // index along the normal axis (i for X, j for Y)
+  index_t lo = 0;        // inclusive start of the transverse span
+  index_t hi = 0;        // exclusive end of the transverse span
+  int direction = +1;    // +1 = propagates toward +axis, -1 = toward -axis
+  std::string name;
+
+  index_t span() const { return hi - lo; }
+
+  /// A port line shifted along its normal by `cells * direction`.
+  Port shifted(index_t cells) const {
+    Port p = *this;
+    p.pos += direction * cells;
+    return p;
+  }
+  /// Same physical port on a grid refined by `factor`.
+  Port refined(int factor) const {
+    Port p = *this;
+    p.pos *= factor;
+    p.lo *= factor;
+    p.hi *= factor;
+    return p;
+  }
+};
+
+}  // namespace maps::fdfd

@@ -1,0 +1,73 @@
+#include "fdfd/simulation.hpp"
+
+namespace maps::fdfd {
+
+using maps::math::CplxGrid;
+
+Simulation::Simulation(grid::GridSpec spec, maps::math::RealGrid eps, double omega,
+                       SimOptions options)
+    : spec_(spec), eps_(std::move(eps)), omega_(omega), options_(options),
+      op_(assemble(spec_, eps_, omega_, options_.pml)) {}
+
+void Simulation::ensure_factorized() {
+  if (!lu_) {
+    lu_ = maps::math::to_band(op_.A);
+    lu_->factorize();
+    ++factorizations_;
+  }
+}
+
+CplxGrid Simulation::solve(const CplxGrid& J) {
+  maps::require(J.nx() == spec_.nx && J.ny() == spec_.ny,
+                "Simulation::solve: source shape mismatch");
+  return solve_raw(rhs_from_current(J, omega_));
+}
+
+CplxGrid Simulation::solve_raw(const std::vector<cplx>& rhs) {
+  maps::require(static_cast<index_t>(rhs.size()) == spec_.cells(),
+                "Simulation::solve_raw: rhs size mismatch");
+  if (options_.solver == SolverKind::Direct) {
+    ensure_factorized();
+    return CplxGrid(spec_.nx, spec_.ny, lu_->solve(rhs));
+  }
+  auto res = maps::math::bicgstab(op_.A, rhs, options_.iterative);
+  if (!res.converged) {
+    throw MapsError("Simulation: BiCGSTAB did not converge (rel res " +
+                    std::to_string(res.relative_residual) + ")");
+  }
+  return CplxGrid(spec_.nx, spec_.ny, std::move(res.x));
+}
+
+CplxGrid Simulation::solve_transposed(const std::vector<cplx>& rhs) {
+  maps::require(static_cast<index_t>(rhs.size()) == spec_.cells(),
+                "Simulation::solve_transposed: rhs size mismatch");
+  if (options_.solver == SolverKind::Direct) {
+    ensure_factorized();
+    return CplxGrid(spec_.nx, spec_.ny, lu_->solve_transposed(rhs));
+  }
+  // Iterative fallback: solve with the explicitly transposed operator.
+  const auto At = op_.A.transposed();
+  auto res = maps::math::bicgstab(At, rhs, options_.iterative);
+  if (!res.converged) {
+    throw MapsError("Simulation: transposed BiCGSTAB did not converge");
+  }
+  return CplxGrid(spec_.nx, spec_.ny, std::move(res.x));
+}
+
+Fields Simulation::derive_fields(CplxGrid Ez) const {
+  Fields f{std::move(Ez), CplxGrid(spec_.nx, spec_.ny), CplxGrid(spec_.nx, spec_.ny)};
+  const cplx inv_iw_dl = cplx{1.0} / (kI * omega_ * spec_.dl);
+  for (index_t j = 0; j < spec_.ny; ++j) {
+    for (index_t i = 0; i < spec_.nx; ++i) {
+      const cplx e = f.Ez(i, j);
+      const cplx e_n = (j + 1 < spec_.ny) ? f.Ez(i, j + 1) : cplx{};
+      const cplx e_e = (i + 1 < spec_.nx) ? f.Ez(i + 1, j) : cplx{};
+      // Hx = (1/(i w)) dEz/dy ; Hy = -(1/(i w)) dEz/dx.
+      f.Hx(i, j) = (e_n - e) * inv_iw_dl;
+      f.Hy(i, j) = -(e_e - e) * inv_iw_dl;
+    }
+  }
+  return f;
+}
+
+}  // namespace maps::fdfd

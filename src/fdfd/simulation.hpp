@@ -1,0 +1,76 @@
+// High-level FDFD simulation: assemble once, factorize once, solve many.
+//
+// A Simulation owns the operator for one (eps, omega, pml) configuration.
+// Forward solves (current sources) and transposed solves (adjoint) share the
+// same banded LU factors. H fields are derived from Ez exactly as the paper
+// derives its Hx/Hy labels.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fdfd/assembler.hpp"
+#include "math/banded.hpp"
+#include "math/bicgstab.hpp"
+
+namespace maps::fdfd {
+
+enum class SolverKind { Direct, Iterative };
+
+struct SimOptions {
+  PmlSpec pml;
+  SolverKind solver = SolverKind::Direct;
+  maps::math::BicgstabOptions iterative;
+};
+
+/// Full electromagnetic field solution on the simulation grid.
+struct Fields {
+  maps::math::CplxGrid Ez;
+  maps::math::CplxGrid Hx;  // staggered at (i, j+1/2), stored at (i, j)
+  maps::math::CplxGrid Hy;  // staggered at (i+1/2, j), stored at (i, j)
+};
+
+class Simulation {
+ public:
+  Simulation(grid::GridSpec spec, maps::math::RealGrid eps, double omega,
+             SimOptions options = {});
+
+  const grid::GridSpec& spec() const { return spec_; }
+  const maps::math::RealGrid& eps() const { return eps_; }
+  double omega() const { return omega_; }
+  const SimOptions& options() const { return options_; }
+
+  /// The assembled operator (also the "Maxwell matrices" label in MAPS-Data).
+  const FdfdOperator& op() const { return op_; }
+
+  /// Solve A Ez = -i omega J for a current source J.
+  maps::math::CplxGrid solve(const maps::math::CplxGrid& J);
+
+  /// Solve A x = rhs for a raw right-hand side.
+  maps::math::CplxGrid solve_raw(const std::vector<cplx>& rhs);
+
+  /// Solve A^T x = rhs (adjoint systems).
+  maps::math::CplxGrid solve_transposed(const std::vector<cplx>& rhs);
+
+  /// Derive Hx, Hy from an Ez solution (forward differences / (i omega)).
+  Fields derive_fields(maps::math::CplxGrid Ez) const;
+
+  /// Convenience: solve + derive.
+  Fields run(const maps::math::CplxGrid& J) { return derive_fields(solve(J)); }
+
+  /// Number of LU factorizations performed (perf accounting in benches).
+  int factorization_count() const { return factorizations_; }
+
+ private:
+  void ensure_factorized();
+
+  grid::GridSpec spec_;
+  maps::math::RealGrid eps_;
+  double omega_;
+  SimOptions options_;
+  FdfdOperator op_;
+  std::optional<maps::math::BandMatrix<cplx>> lu_;
+  int factorizations_ = 0;
+};
+
+}  // namespace maps::fdfd

@@ -1,0 +1,51 @@
+#include "fdfd/source.hpp"
+
+#include <cmath>
+
+namespace maps::fdfd {
+
+using maps::math::CplxGrid;
+
+CplxGrid point_source(const grid::GridSpec& spec, index_t i, index_t j, cplx amplitude) {
+  maps::require(i >= 0 && i < spec.nx && j >= 0 && j < spec.ny,
+                "point_source: out of grid");
+  CplxGrid J(spec.nx, spec.ny);
+  J(i, j) = amplitude;
+  return J;
+}
+
+namespace {
+void add_line(CplxGrid& J, const Port& port, const Mode& mode, index_t pos, cplx amp) {
+  maps::require(static_cast<index_t>(mode.profile.size()) == port.span(),
+                "mode source: profile/span mismatch");
+  for (index_t t = port.lo; t < port.hi; ++t) {
+    const double phi = mode.profile[static_cast<std::size_t>(t - port.lo)];
+    if (port.normal == Axis::X) {
+      maps::require(J.in_bounds(pos, t), "mode source: line outside grid");
+      J(pos, t) += amp * phi;
+    } else {
+      maps::require(J.in_bounds(t, pos), "mode source: line outside grid");
+      J(t, pos) += amp * phi;
+    }
+  }
+}
+}  // namespace
+
+CplxGrid mode_source_line(const grid::GridSpec& spec, const Port& port,
+                          const Mode& mode) {
+  CplxGrid J(spec.nx, spec.ny);
+  add_line(J, port, mode, port.pos, cplx{1.0, 0.0});
+  return J;
+}
+
+CplxGrid mode_source_directional(const grid::GridSpec& spec, const Port& port,
+                                 const Mode& mode) {
+  CplxGrid J(spec.nx, spec.ny);
+  add_line(J, port, mode, port.pos, cplx{1.0, 0.0});
+  // Backward-cancelling companion line one cell behind the launch direction.
+  const cplx phase = std::exp(kI * mode.beta * spec.dl);
+  add_line(J, port, mode, port.pos - port.direction, -phase);
+  return J;
+}
+
+}  // namespace maps::fdfd

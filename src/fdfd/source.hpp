@@ -1,0 +1,26 @@
+// Current-source construction: point dipoles and (directional) mode sources.
+//
+// A directional mode source superposes two phased source lines one cell
+// apart so the launch cancels in the backward direction; combined with a
+// normalization run this gives clean transmission/reflection measurements.
+#pragma once
+
+#include "fdfd/mode_solver.hpp"
+#include "fdfd/port.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::fdfd {
+
+/// Unit point current at cell (i, j).
+maps::math::CplxGrid point_source(const grid::GridSpec& spec, index_t i, index_t j,
+                                  cplx amplitude = cplx{1.0, 0.0});
+
+/// Single-line mode source: J = phi on the port line (radiates both ways).
+maps::math::CplxGrid mode_source_line(const grid::GridSpec& spec, const Port& port,
+                                      const Mode& mode);
+
+/// Two-line directional mode source launching along port.direction.
+maps::math::CplxGrid mode_source_directional(const grid::GridSpec& spec,
+                                             const Port& port, const Mode& mode);
+
+}  // namespace maps::fdfd

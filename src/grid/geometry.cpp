@@ -1,0 +1,51 @@
+#include "grid/geometry.hpp"
+
+namespace maps::grid {
+
+bool Polygon::contains(double x, double y) const {
+  // Even-odd rule ray cast along +x.
+  bool inside = false;
+  const std::size_t n = pts_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const auto [xi, yi] = pts_[i];
+    const auto [xj, yj] = pts_[j];
+    const bool crosses = (yi > y) != (yj > y);
+    if (crosses) {
+      const double x_int = xj + (y - yj) / (yi - yj) * (xi - xj);
+      if (x < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double coverage(const GridSpec& g, const Shape& shape, index_t i, index_t j, int ss) {
+  maps::require(ss >= 1, "coverage: supersampling must be >= 1");
+  int hit = 0;
+  const double x0 = static_cast<double>(i) * g.dl;
+  const double y0 = static_cast<double>(j) * g.dl;
+  const double step = g.dl / static_cast<double>(ss);
+  for (int a = 0; a < ss; ++a) {
+    for (int b = 0; b < ss; ++b) {
+      const double x = x0 + (static_cast<double>(a) + 0.5) * step;
+      const double y = y0 + (static_cast<double>(b) + 0.5) * step;
+      if (shape.contains(x, y)) ++hit;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(ss * ss);
+}
+
+void paint(maps::math::RealGrid& eps_map, const GridSpec& g, const Shape& shape,
+           double eps, int ss) {
+  maps::require(eps_map.nx() == g.nx && eps_map.ny() == g.ny,
+                "paint: grid/map mismatch");
+  for (index_t j = 0; j < g.ny; ++j) {
+    for (index_t i = 0; i < g.nx; ++i) {
+      const double frac = coverage(g, shape, i, j, ss);
+      if (frac > 0.0) {
+        eps_map(i, j) = (1.0 - frac) * eps_map(i, j) + frac * eps;
+      }
+    }
+  }
+}
+
+}  // namespace maps::grid

@@ -1,0 +1,28 @@
+// Material library for the MAPS device set.
+//
+// Refractive indices at the 1.55 um telecom band; the thermo-optic
+// coefficient drives the TOS (thermo-optic switch) active device.
+#pragma once
+
+namespace maps::grid {
+
+struct Material {
+  double n = 1.0;        // refractive index
+  double dn_dT = 0.0;    // thermo-optic coefficient [1/K]
+  double eps() const { return n * n; }
+};
+
+/// Silicon (c-Si) at 1.55 um.
+inline constexpr Material kSilicon{3.48, 1.8e-4};
+/// Silica cladding.
+inline constexpr Material kSilica{1.44, 1.0e-5};
+/// Air / vacuum.
+inline constexpr Material kAir{1.0, 0.0};
+
+/// Permittivity of silicon heated by dT kelvin (linearized thermo-optic).
+inline double silicon_eps_at(double dT) {
+  const double n = kSilicon.n + kSilicon.dn_dT * dT;
+  return n * n;
+}
+
+}  // namespace maps::grid

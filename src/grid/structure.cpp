@@ -1,0 +1,4 @@
+#include "grid/structure.hpp"
+
+// Header-only today; translation unit anchors the library target.
+namespace maps::grid {}

@@ -1,0 +1,70 @@
+// Structure: a device's static geometry on a Yee grid.
+//
+// Holds the background permittivity map built from painted shapes plus the
+// (mutable) design-region overlay written by the inverse-design pipeline.
+// Keeping geometry resolution-independent (shapes in physical um) lets one
+// Structure render at any fidelity (GridSpec::refined), which MAPS-Data uses
+// to emit paired multi-fidelity samples.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "grid/geometry.hpp"
+#include "grid/materials.hpp"
+#include "grid/yee_grid.hpp"
+
+namespace maps::grid {
+
+class Structure {
+ public:
+  Structure(GridSpec spec, double background_eps)
+      : spec_(spec), background_eps_(background_eps) {}
+
+  const GridSpec& spec() const { return spec_; }
+  double background_eps() const { return background_eps_; }
+
+  /// Paint a shape (recorded; rendering happens on demand).
+  void add(const Shape& shape, double eps) {
+    shapes_.push_back({shape.clone(), eps});
+  }
+
+  /// Axis-aligned waveguide strips (the bread and butter of the device set).
+  void add_waveguide_x(double y_center, double width, double x0, double x1,
+                       double eps = kSilicon.eps()) {
+    add(Rect(x0, y_center - width / 2, x1, y_center + width / 2), eps);
+  }
+  void add_waveguide_y(double x_center, double width, double y0, double y1,
+                       double eps = kSilicon.eps()) {
+    add(Rect(x_center - width / 2, y0, x_center + width / 2, y1), eps);
+  }
+
+  /// Render the permittivity map at the Structure's own resolution.
+  maps::math::RealGrid render() const { return render(spec_); }
+
+  /// Render at an arbitrary resolution of the same physical domain.
+  maps::math::RealGrid render(const GridSpec& at) const {
+    maps::require(std::abs(at.width() - spec_.width()) < 1e-9 &&
+                      std::abs(at.height() - spec_.height()) < 1e-9,
+                  "Structure::render: physical domain mismatch");
+    maps::math::RealGrid eps(at.nx, at.ny, background_eps_);
+    for (const auto& [shape, value] : shapes_) {
+      paint(eps, at, *shape, value);
+    }
+    return eps;
+  }
+
+  std::size_t shape_count() const { return shapes_.size(); }
+
+ private:
+  struct Painted {
+    std::unique_ptr<Shape> shape;
+    double eps;
+  };
+  GridSpec spec_;
+  double background_eps_;
+  std::vector<Painted> shapes_;
+};
+
+}  // namespace maps::grid

@@ -1,0 +1,62 @@
+// Uniform 2D Yee grid specification.
+//
+// Ez unknowns sit at cell centers (i + 0.5, j + 0.5)*dl physically; the FDFD
+// flattening convention n = i + nx*j follows math::Grid2D. All MAPS field
+// maps, permittivity maps and design densities share this layout.
+#pragma once
+
+#include "math/types.hpp"
+
+namespace maps::grid {
+
+struct GridSpec {
+  index_t nx = 0;     // cells along x
+  index_t ny = 0;     // cells along y
+  double dl = 0.05;   // cell size [um], uniform in x and y
+
+  double width() const { return static_cast<double>(nx) * dl; }
+  double height() const { return static_cast<double>(ny) * dl; }
+  index_t cells() const { return nx * ny; }
+
+  /// Physical coordinate of cell center (i, j).
+  double x_of(index_t i) const { return (static_cast<double>(i) + 0.5) * dl; }
+  double y_of(index_t j) const { return (static_cast<double>(j) + 0.5) * dl; }
+
+  /// Nearest cell index of physical coordinate (clamped into range).
+  index_t i_of(double x) const {
+    const auto i = static_cast<index_t>(x / dl);
+    return i < 0 ? 0 : (i >= nx ? nx - 1 : i);
+  }
+  index_t j_of(double y) const {
+    const auto j = static_cast<index_t>(y / dl);
+    return j < 0 ? 0 : (j >= ny ? ny - 1 : j);
+  }
+
+  /// Same physical domain at a scaled resolution (multi-fidelity pairing):
+  /// factor 2 doubles nx/ny and halves dl.
+  GridSpec refined(int factor) const {
+    maps::require(factor >= 1, "GridSpec::refined: factor must be >= 1");
+    return GridSpec{nx * factor, ny * factor, dl / static_cast<double>(factor)};
+  }
+};
+
+/// Axis-aligned index-space box (design regions, monitors, extraction).
+struct BoxRegion {
+  index_t i0 = 0, j0 = 0;  // lower corner (inclusive)
+  index_t ni = 0, nj = 0;  // extent in cells
+
+  index_t cells() const { return ni * nj; }
+  bool contains(index_t i, index_t j) const {
+    return i >= i0 && i < i0 + ni && j >= j0 && j < j0 + nj;
+  }
+  bool fits(const GridSpec& g) const {
+    return i0 >= 0 && j0 >= 0 && ni >= 0 && nj >= 0 && i0 + ni <= g.nx &&
+           j0 + nj <= g.ny;
+  }
+  /// Same physical box when the grid is refined by `factor`.
+  BoxRegion refined(int factor) const {
+    return BoxRegion{i0 * factor, j0 * factor, ni * factor, nj * factor};
+  }
+};
+
+}  // namespace maps::grid

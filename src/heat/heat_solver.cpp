@@ -1,0 +1,65 @@
+#include "heat/heat_solver.hpp"
+
+#include "math/banded.hpp"
+
+namespace maps::heat {
+
+using maps::math::RealGrid;
+
+namespace {
+double harmonic_mean(double a, double b) {
+  maps::require(a > 0 && b > 0, "heat: kappa must be positive");
+  return 2.0 * a * b / (a + b);
+}
+}  // namespace
+
+RealGrid solve_steady_heat(const HeatProblem& p) {
+  const auto& spec = p.spec;
+  maps::require(p.kappa.nx() == spec.nx && p.kappa.ny() == spec.ny,
+                "heat: kappa map mismatch");
+  maps::require(p.power.nx() == spec.nx && p.power.ny() == spec.ny,
+                "heat: power map mismatch");
+  const index_t nx = spec.nx, ny = spec.ny, n = spec.cells();
+  const double inv_dl2 = 1.0 / (spec.dl * spec.dl);
+
+  maps::math::BandMatrix<double> A(n, nx, nx);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  auto flat = [nx](index_t i, index_t j) { return i + nx * j; };
+
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t row = flat(i, j);
+      const double kc = p.kappa(i, j);
+      // Dirichlet walls: virtual exterior cell with the same kappa (T = 0).
+      const double ke = (i + 1 < nx) ? harmonic_mean(kc, p.kappa(i + 1, j)) : kc;
+      const double kw = (i > 0) ? harmonic_mean(kc, p.kappa(i - 1, j)) : kc;
+      const double kn = (j + 1 < ny) ? harmonic_mean(kc, p.kappa(i, j + 1)) : kc;
+      const double ks = (j > 0) ? harmonic_mean(kc, p.kappa(i, j - 1)) : kc;
+
+      double diag = -(ke + kw + kn + ks) * inv_dl2;
+      if (i + 1 < nx) A.add(row, flat(i + 1, j), ke * inv_dl2);
+      if (i > 0) A.add(row, flat(i - 1, j), kw * inv_dl2);
+      if (j + 1 < ny) A.add(row, flat(i, j + 1), kn * inv_dl2);
+      if (j > 0) A.add(row, flat(i, j - 1), ks * inv_dl2);
+      A.add(row, row, diag);
+      b[static_cast<std::size_t>(row)] = -p.power(i, j);
+    }
+  }
+  A.factorize();
+  A.solve_inplace(b);
+  return RealGrid(nx, ny, std::move(b));
+}
+
+RealGrid heater_power_map(const grid::GridSpec& spec, const grid::BoxRegion& heater,
+                          double power) {
+  maps::require(heater.fits(spec), "heater_power_map: heater outside grid");
+  RealGrid q(spec.nx, spec.ny, 0.0);
+  for (index_t j = heater.j0; j < heater.j0 + heater.nj; ++j) {
+    for (index_t i = heater.i0; i < heater.i0 + heater.ni; ++i) {
+      q(i, j) = power;
+    }
+  }
+  return q;
+}
+
+}  // namespace maps::heat

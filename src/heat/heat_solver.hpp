@@ -1,0 +1,32 @@
+// Steady-state 2D heat diffusion: the thermal substrate for the active
+// thermo-optic switch (TOS) device.
+//
+// Solves div(kappa grad T) = -Q with Dirichlet T = 0 on the domain walls
+// (heat-sunk chip boundary). kappa varies per cell (silicon conducts ~100x
+// better than oxide); face conductivities use the harmonic mean. The
+// resulting banded SPD-ish system reuses the math::BandMatrix direct solver.
+#pragma once
+
+#include "grid/yee_grid.hpp"
+#include "math/field2d.hpp"
+
+namespace maps::heat {
+
+struct HeatProblem {
+  grid::GridSpec spec;
+  maps::math::RealGrid kappa;  // thermal conductivity per cell [W/(m K)], > 0
+  maps::math::RealGrid power;  // volumetric heat source Q per cell [W/m^3]
+};
+
+/// Temperature rise above the boundary, same grid as the problem.
+maps::math::RealGrid solve_steady_heat(const HeatProblem& problem);
+
+/// Convenience: uniform-background kappa with a rectangular heater patch.
+maps::math::RealGrid heater_power_map(const grid::GridSpec& spec,
+                                      const grid::BoxRegion& heater, double power);
+
+/// Typical thermal conductivities [W/(m K)].
+inline constexpr double kKappaSilicon = 148.0;
+inline constexpr double kKappaSilica = 1.4;
+
+}  // namespace maps::heat

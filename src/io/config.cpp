@@ -1,0 +1,282 @@
+#include "io/config.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace maps::io {
+
+namespace {
+
+/// Strict field reader: tracks which keys were consumed so from_json can
+/// reject typos.
+class FieldReader {
+ public:
+  explicit FieldReader(const JsonValue& v, std::string scope)
+      : obj_(v.as_object()), scope_(std::move(scope)) {}
+
+  bool has(const std::string& key) {
+    seen_.insert(key);
+    return obj_.count(key) > 0;
+  }
+  const JsonValue& get(const std::string& key) {
+    seen_.insert(key);
+    const auto it = obj_.find(key);
+    if (it == obj_.end()) {
+      throw MapsError(scope_ + ": missing required field '" + key + "'");
+    }
+    return it->second;
+  }
+  double number(const std::string& key, double fallback) {
+    return has(key) ? obj_.at(key).as_number() : fallback;
+  }
+  int integer(const std::string& key, int fallback) {
+    return has(key) ? static_cast<int>(obj_.at(key).as_int()) : fallback;
+  }
+  bool boolean(const std::string& key, bool fallback) {
+    return has(key) ? obj_.at(key).as_bool() : fallback;
+  }
+  std::string string(const std::string& key, const std::string& fallback) {
+    return has(key) ? obj_.at(key).as_string() : fallback;
+  }
+
+  /// Call after reading every supported field.
+  void reject_unknown() const {
+    for (const auto& [k, v] : obj_) {
+      if (!seen_.count(k)) {
+        throw MapsError(scope_ + ": unknown field '" + k + "'");
+      }
+    }
+  }
+
+ private:
+  const JsonObject& obj_;
+  std::string scope_;
+  std::set<std::string> seen_;
+};
+
+void check_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw MapsError(std::string("config: ") + what + " must be positive");
+  }
+}
+
+}  // namespace
+
+devices::DeviceKind device_kind_from_name(const std::string& name) {
+  for (const auto kind : devices::all_device_kinds()) {
+    if (name == devices::device_name(kind)) return kind;
+  }
+  throw MapsError("config: unknown device '" + name + "'");
+}
+
+data::SamplingStrategy strategy_from_name(const std::string& name) {
+  for (const auto s : {data::SamplingStrategy::Random, data::SamplingStrategy::OptTraj,
+                       data::SamplingStrategy::PerturbOptTraj}) {
+    if (name == data::strategy_name(s)) return s;
+  }
+  throw MapsError("config: unknown sampling strategy '" + name + "'");
+}
+
+nn::ModelKind model_kind_from_name(const std::string& name) {
+  // Accept the display name in any case, with or without punctuation
+  // ("F-FNO", "ffno", "f-fno" all work).
+  auto canon = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '-' || c == '_' || c == ' ') continue;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+  };
+  const std::string want = canon(name);
+  for (const auto kind : {nn::ModelKind::Fno, nn::ModelKind::Ffno,
+                          nn::ModelKind::UNetKind, nn::ModelKind::NeurOLight,
+                          nn::ModelKind::SParam}) {
+    if (want == canon(nn::model_name(kind))) return kind;
+  }
+  throw MapsError("config: unknown model '" + name + "'");
+}
+
+const char* model_kind_name(nn::ModelKind kind) { return nn::model_name(kind); }
+
+// ----------------------------------------------------------------- datagen
+
+DataGenConfig DataGenConfig::from_json(const JsonValue& v) {
+  FieldReader r(v, "datagen");
+  DataGenConfig cfg;
+  cfg.device = device_kind_from_name(r.string("device", "bending"));
+  cfg.fidelity = r.integer("fidelity", 1);
+  if (cfg.fidelity < 1 || cfg.fidelity > 4) {
+    throw MapsError("datagen: fidelity must be in [1, 4]");
+  }
+  cfg.multi_fidelity = r.boolean("multi_fidelity", false);
+  cfg.output = r.string("output", "dataset.mapsd");
+
+  auto& s = cfg.sampler;
+  s.strategy = strategy_from_name(r.string("strategy", "random"));
+  s.num_patterns = r.integer("num_patterns", s.num_patterns);
+  s.seed = static_cast<unsigned>(r.integer("seed", 1));
+  s.blur_min = r.number("blur_min", s.blur_min);
+  s.blur_max = r.number("blur_max", s.blur_max);
+  s.threshold_min = r.number("threshold_min", s.threshold_min);
+  s.threshold_max = r.number("threshold_max", s.threshold_max);
+  s.num_trajectories = r.integer("num_trajectories", s.num_trajectories);
+  s.traj_iterations = r.integer("traj_iterations", s.traj_iterations);
+  s.record_every = r.integer("record_every", s.record_every);
+  s.perturb_sigma = r.number("perturb_sigma", s.perturb_sigma);
+  s.perturbs_per_snapshot = r.integer("perturbs_per_snapshot", s.perturbs_per_snapshot);
+  r.reject_unknown();
+
+  check_positive(s.num_patterns, "num_patterns");
+  check_positive(s.num_trajectories, "num_trajectories");
+  check_positive(s.traj_iterations, "traj_iterations");
+  check_positive(s.record_every, "record_every");
+  if (s.blur_max < s.blur_min || s.threshold_max < s.threshold_min) {
+    throw MapsError("datagen: blur/threshold ranges must be ordered");
+  }
+  return cfg;
+}
+
+JsonValue DataGenConfig::to_json() const {
+  JsonValue v;
+  v["device"] = devices::device_name(device);
+  v["fidelity"] = fidelity;
+  v["multi_fidelity"] = multi_fidelity;
+  v["output"] = output;
+  v["strategy"] = data::strategy_name(sampler.strategy);
+  v["num_patterns"] = sampler.num_patterns;
+  v["seed"] = static_cast<int>(sampler.seed);
+  v["blur_min"] = sampler.blur_min;
+  v["blur_max"] = sampler.blur_max;
+  v["threshold_min"] = sampler.threshold_min;
+  v["threshold_max"] = sampler.threshold_max;
+  v["num_trajectories"] = sampler.num_trajectories;
+  v["traj_iterations"] = sampler.traj_iterations;
+  v["record_every"] = sampler.record_every;
+  v["perturb_sigma"] = sampler.perturb_sigma;
+  v["perturbs_per_snapshot"] = sampler.perturbs_per_snapshot;
+  return v;
+}
+
+// ------------------------------------------------------------------- train
+
+TrainConfig TrainConfig::from_json(const JsonValue& v) {
+  FieldReader r(v, "train");
+  TrainConfig cfg;
+  cfg.dataset = r.get("dataset").as_string();
+  cfg.test_dataset = r.string("test_dataset", "");
+  cfg.device = device_kind_from_name(r.string("device", "bending"));
+  cfg.fidelity = r.integer("fidelity", 1);
+  cfg.test_fraction = r.number("test_fraction", 0.25);
+  cfg.checkpoint = r.string("checkpoint", "");
+  cfg.report = r.string("report", "");
+
+  cfg.model.kind = model_kind_from_name(r.string("model", "fno"));
+  cfg.model.width = r.integer("width", static_cast<int>(cfg.model.width));
+  cfg.model.modes = r.integer("modes", static_cast<int>(cfg.model.modes));
+  cfg.model.depth = r.integer("depth", cfg.model.depth);
+  cfg.model.seed = static_cast<unsigned>(r.integer("model_seed", 42));
+
+  cfg.train.epochs = r.integer("epochs", cfg.train.epochs);
+  cfg.train.batch = r.integer("batch", static_cast<int>(cfg.train.batch));
+  cfg.train.lr = r.number("lr", cfg.train.lr);
+  cfg.train.lr_min = r.number("lr_min", cfg.train.lr_min);
+  cfg.train.maxwell_weight = r.number("maxwell_weight", 0.0);
+  cfg.train.mixup_prob = r.number("mixup_prob", 0.0);
+  cfg.train.encoding.wave_prior =
+      r.boolean("wave_prior", cfg.model.kind == nn::ModelKind::NeurOLight);
+  cfg.train.seed = static_cast<unsigned>(r.integer("train_seed", 11));
+  cfg.train.verbose = r.boolean("verbose", false);
+  r.reject_unknown();
+
+  cfg.model.in_channels = cfg.train.encoding.channels();
+  check_positive(cfg.train.epochs, "epochs");
+  check_positive(static_cast<double>(cfg.train.batch), "batch");
+  check_positive(cfg.train.lr, "lr");
+  if (cfg.test_fraction <= 0.0 || cfg.test_fraction >= 1.0) {
+    throw MapsError("train: test_fraction must be in (0, 1)");
+  }
+  return cfg;
+}
+
+JsonValue TrainConfig::to_json() const {
+  JsonValue v;
+  v["dataset"] = dataset;
+  if (!test_dataset.empty()) v["test_dataset"] = test_dataset;
+  v["device"] = devices::device_name(device);
+  v["fidelity"] = fidelity;
+  v["model"] = nn::model_name(model.kind);
+  v["width"] = model.width;
+  v["modes"] = model.modes;
+  v["depth"] = model.depth;
+  v["model_seed"] = static_cast<int>(model.seed);
+  v["epochs"] = train.epochs;
+  v["batch"] = train.batch;
+  v["lr"] = train.lr;
+  v["lr_min"] = train.lr_min;
+  v["maxwell_weight"] = train.maxwell_weight;
+  v["mixup_prob"] = train.mixup_prob;
+  v["wave_prior"] = train.encoding.wave_prior;
+  v["train_seed"] = static_cast<int>(train.seed);
+  v["verbose"] = train.verbose;
+  v["test_fraction"] = test_fraction;
+  if (!checkpoint.empty()) v["checkpoint"] = checkpoint;
+  if (!report.empty()) v["report"] = report;
+  return v;
+}
+
+// ------------------------------------------------------------------ invdes
+
+InvDesConfig InvDesConfig::from_json(const JsonValue& v) {
+  FieldReader r(v, "invdes");
+  InvDesConfig cfg;
+  cfg.device = device_kind_from_name(r.string("device", "bending"));
+  cfg.fidelity = r.integer("fidelity", 1);
+  cfg.options.iterations = r.integer("iterations", cfg.options.iterations);
+  cfg.options.lr = r.number("lr", cfg.options.lr);
+  cfg.options.beta_start = r.number("beta_start", cfg.options.beta_start);
+  cfg.options.beta_end = r.number("beta_end", cfg.options.beta_end);
+  cfg.options.gray_penalty = r.number("gray_penalty", cfg.options.gray_penalty);
+  cfg.pipeline.blur_radius = r.number("blur_radius", cfg.pipeline.blur_radius);
+  cfg.pipeline.beta = r.number("projection_beta", cfg.pipeline.beta);
+  cfg.pipeline.eta = r.number("projection_eta", cfg.pipeline.eta);
+  cfg.init = r.string("init", "path_seed");
+  cfg.seed = static_cast<unsigned>(r.integer("seed", 7));
+  cfg.density_out = r.string("density_out", "");
+  cfg.history_out = r.string("history_out", "");
+  cfg.report = r.string("report", "");
+  r.reject_unknown();
+
+  if (cfg.init != "gray" && cfg.init != "random" && cfg.init != "path_seed") {
+    throw MapsError("invdes: init must be gray | random | path_seed");
+  }
+  check_positive(cfg.options.iterations, "iterations");
+  check_positive(cfg.options.lr, "lr");
+  check_positive(cfg.options.beta_start, "beta_start");
+  if (cfg.options.beta_end < cfg.options.beta_start) {
+    throw MapsError("invdes: beta_end must be >= beta_start");
+  }
+  return cfg;
+}
+
+JsonValue InvDesConfig::to_json() const {
+  JsonValue v;
+  v["device"] = devices::device_name(device);
+  v["fidelity"] = fidelity;
+  v["iterations"] = options.iterations;
+  v["lr"] = options.lr;
+  v["beta_start"] = options.beta_start;
+  v["beta_end"] = options.beta_end;
+  v["gray_penalty"] = options.gray_penalty;
+  v["blur_radius"] = pipeline.blur_radius;
+  v["projection_beta"] = pipeline.beta;
+  v["projection_eta"] = pipeline.eta;
+  v["init"] = init;
+  v["seed"] = static_cast<int>(seed);
+  if (!density_out.empty()) v["density_out"] = density_out;
+  if (!history_out.empty()) v["history_out"] = history_out;
+  if (!report.empty()) v["report"] = report;
+  return v;
+}
+
+}  // namespace maps::io

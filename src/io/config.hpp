@@ -1,0 +1,71 @@
+// Typed experiment configurations: the JSON schema of the MAPS CLI tools.
+//
+// Each config struct mirrors one tool (maps_datagen / maps_train /
+// maps_invdes) and carries exactly the knobs its pipeline exposes. from_json
+// validates field names strictly — an unknown key is an error, because a
+// silently ignored typo ("epochs " vs "epochs") is the classic way an
+// infrastructure benchmark stops being reproducible.
+#pragma once
+
+#include <string>
+
+#include "core/data/sampler.hpp"
+#include "core/invdes/engine.hpp"
+#include "core/train/trainer.hpp"
+#include "devices/builders.hpp"
+#include "io/json.hpp"
+#include "nn/models.hpp"
+
+namespace maps::io {
+
+/// Name <-> enum mappings shared by configs and report writers.
+devices::DeviceKind device_kind_from_name(const std::string& name);
+data::SamplingStrategy strategy_from_name(const std::string& name);
+nn::ModelKind model_kind_from_name(const std::string& name);
+const char* model_kind_name(nn::ModelKind kind);
+
+/// maps_datagen: sample patterns for a device and simulate rich labels.
+struct DataGenConfig {
+  devices::DeviceKind device = devices::DeviceKind::Bend;
+  int fidelity = 1;
+  bool multi_fidelity = false;  // pair each pattern at fidelity and 2x
+  data::SamplerOptions sampler;
+  std::string output = "dataset.mapsd";
+
+  static DataGenConfig from_json(const JsonValue& v);
+  JsonValue to_json() const;
+};
+
+/// maps_train: train a field model on a dataset and report metrics.
+struct TrainConfig {
+  std::string dataset;            // training dataset path (required)
+  std::string test_dataset;       // optional held-out set (else split)
+  devices::DeviceKind device = devices::DeviceKind::Bend;
+  int fidelity = 1;
+  nn::ModelConfig model;
+  train::TrainOptions train;
+  double test_fraction = 0.25;
+  std::string checkpoint;         // optional parameter output path
+  std::string report;             // optional metrics JSON output path
+
+  static TrainConfig from_json(const JsonValue& v);
+  JsonValue to_json() const;
+};
+
+/// maps_invdes: adjoint inverse design of one device.
+struct InvDesConfig {
+  devices::DeviceKind device = devices::DeviceKind::Bend;
+  int fidelity = 1;
+  invdes::InvDesOptions options;
+  devices::PipelineOptions pipeline;
+  std::string init = "path_seed";  // gray | random | path_seed
+  unsigned seed = 7;
+  std::string density_out;         // optional final density CSV
+  std::string history_out;         // optional per-iteration CSV
+  std::string report;              // optional summary JSON
+
+  static InvDesConfig from_json(const JsonValue& v);
+  JsonValue to_json() const;
+};
+
+}  // namespace maps::io

@@ -1,0 +1,440 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace maps::io {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, JsonType got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array",
+                                "object"};
+  throw MapsError(std::string("json: expected ") + want + ", have " +
+                  names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != JsonType::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != JsonType::Number) type_error("number", type_);
+  return num_;
+}
+
+long long JsonValue::as_int() const {
+  const double n = as_number();
+  const double r = std::nearbyint(n);
+  if (std::abs(n - r) > 1e-9 || std::abs(n) > 9.007199254740992e15) {
+    throw MapsError("json: number is not an exact integer: " + std::to_string(n));
+  }
+  return static_cast<long long>(r);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != JsonType::String) type_error("string", type_);
+  return str_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (type_ != JsonType::Array) type_error("array", type_);
+  return arr_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (type_ != JsonType::Object) type_error("object", type_);
+  return obj_;
+}
+
+JsonArray& JsonValue::as_array() {
+  if (type_ != JsonType::Array) type_error("array", type_);
+  return arr_;
+}
+
+JsonObject& JsonValue::as_object() {
+  if (type_ != JsonType::Object) type_error("object", type_);
+  return obj_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw MapsError("json: missing key '" + key + "'");
+  return *v;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != JsonType::Object) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (type_ == JsonType::Null) type_ = JsonType::Object;
+  if (type_ != JsonType::Object) type_error("object", type_);
+  return obj_[key];
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  const auto& a = as_array();
+  if (i >= a.size()) {
+    throw MapsError("json: array index " + std::to_string(i) + " out of range " +
+                    std::to_string(a.size()));
+  }
+  return a[i];
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == JsonType::Array) return arr_.size();
+  if (type_ == JsonType::Object) return obj_.size();
+  type_error("array or object", type_);
+}
+
+bool JsonValue::operator==(const JsonValue& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case JsonType::Null: return true;
+    case JsonType::Bool: return bool_ == o.bool_;
+    case JsonType::Number: return num_ == o.num_;
+    case JsonType::String: return str_ == o.str_;
+    case JsonType::Array: return arr_ == o.arr_;
+    case JsonType::Object: return obj_ == o.obj_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- serialization
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double n) {
+  if (n == std::nearbyint(n) && std::abs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case JsonType::Null: out += "null"; break;
+    case JsonType::Bool: out += bool_ ? "true" : "false"; break;
+    case JsonType::Number: dump_number(out, num_); break;
+    case JsonType::String: dump_string(out, str_); break;
+    case JsonType::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case JsonType::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        dump_string(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ------------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t k = 0; k < pos_ && k < text_.size(); ++k) {
+      if (text_[k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw MapsError("json parse error at " + std::to_string(line) + ":" +
+                    std::to_string(col) + ": " + msg);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        parse_literal("true");
+        return JsonValue(true);
+      case 'f':
+        parse_literal("false");
+        return JsonValue(false);
+      case 'n':
+        parse_literal("null");
+        return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("invalid literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+    if (peek() == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("leading zeros are not valid JSON");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("digit after '.'");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("exponent digit");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return JsonValue(std::strtod(text_.c_str() + start, nullptr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string s;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return s;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control char in string");
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'n': s += '\n'; break;
+        case 't': s += '\t'; break;
+        case 'r': s += '\r'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'u': {
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = take();
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs out of scope
+          // for config files; rejected explicitly).
+          if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogate pairs unsupported");
+          if (cp < 0x80) {
+            s += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(a));
+    }
+    for (;;) {
+      skip_ws();
+      a.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return JsonValue(std::move(a));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(o));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (o.count(key)) fail("duplicate key '" + key + "'");
+      o.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return JsonValue(std::move(o));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) { return Parser(text).parse_document(); }
+
+JsonValue json_load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw MapsError("json_load: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return json_parse(ss.str());
+}
+
+void json_save(const JsonValue& v, const std::string& path, int indent) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw MapsError("json_save: cannot open " + path);
+  out << v.dump(indent) << '\n';
+  if (!out) throw MapsError("json_save: write failed for " + path);
+}
+
+}  // namespace maps::io

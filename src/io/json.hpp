@@ -1,0 +1,95 @@
+// Minimal JSON document model + parser/serializer for MAPS configuration
+// files and experiment manifests.
+//
+// Scope: full JSON syntax (objects, arrays, strings with escapes incl.
+// \uXXXX basic-plane code points, numbers, bools, null). All numbers are
+// stored as double (the usual JSON-in-practice contract); integers round-
+// trip exactly up to 2^53. Parse errors throw MapsError with line/column.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::io {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys sorted — serialization is deterministic, which keeps
+/// experiment manifests diffable.
+using JsonObject = std::map<std::string, JsonValue>;
+
+enum class JsonType { Null, Bool, Number, String, Array, Object };
+
+class JsonValue {
+ public:
+  JsonValue() : type_(JsonType::Null) {}
+  JsonValue(std::nullptr_t) : type_(JsonType::Null) {}
+  JsonValue(bool b) : type_(JsonType::Bool), bool_(b) {}
+  JsonValue(double n) : type_(JsonType::Number), num_(n) {}
+  JsonValue(int n) : type_(JsonType::Number), num_(n) {}
+  JsonValue(index_t n) : type_(JsonType::Number), num_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(JsonType::String), str_(s) {}
+  JsonValue(std::string s) : type_(JsonType::String), str_(std::move(s)) {}
+  JsonValue(JsonArray a) : type_(JsonType::Array), arr_(std::move(a)) {}
+  JsonValue(JsonObject o) : type_(JsonType::Object), obj_(std::move(o)) {}
+
+  JsonType type() const { return type_; }
+  bool is_null() const { return type_ == JsonType::Null; }
+  bool is_bool() const { return type_ == JsonType::Bool; }
+  bool is_number() const { return type_ == JsonType::Number; }
+  bool is_string() const { return type_ == JsonType::String; }
+  bool is_array() const { return type_ == JsonType::Array; }
+  bool is_object() const { return type_ == JsonType::Object; }
+
+  /// Typed accessors; throw MapsError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number, checked to be integral and in range.
+  long long as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+  JsonArray& as_array();
+  JsonObject& as_object();
+
+  /// Object field access; `at` throws on missing key, `find` returns
+  /// nullptr. `has` tests presence.
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Mutable object insertion (creates an object from a Null value).
+  JsonValue& operator[](const std::string& key);
+
+  /// Array element access (bounds-checked).
+  const JsonValue& at(std::size_t i) const;
+  std::size_t size() const;
+
+  /// Serialize; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  bool operator==(const JsonValue& o) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  JsonType type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws MapsError with line:column context.
+JsonValue json_parse(const std::string& text);
+
+/// File convenience wrappers.
+JsonValue json_load(const std::string& path);
+void json_save(const JsonValue& v, const std::string& path, int indent = 2);
+
+}  // namespace maps::io

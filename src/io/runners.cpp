@@ -1,0 +1,204 @@
+#include "io/runners.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "core/data/generator.hpp"
+#include "core/invdes/init.hpp"
+#include "core/train/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace maps::io {
+
+namespace {
+
+invdes::InitKind init_kind_from_name(const std::string& name) {
+  if (name == "gray") return invdes::InitKind::Gray;
+  if (name == "random") return invdes::InitKind::Random;
+  if (name == "path_seed") return invdes::InitKind::PathSeed;
+  throw MapsError("init must be gray | random | path_seed, got '" + name + "'");
+}
+
+JsonValue transmission_stats(const std::vector<double>& ts) {
+  JsonValue v;
+  if (ts.empty()) {
+    v["count"] = 0;
+    return v;
+  }
+  double lo = ts.front(), hi = ts.front(), sum = 0.0;
+  for (const double t : ts) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    sum += t;
+  }
+  v["count"] = static_cast<int>(ts.size());
+  v["min"] = lo;
+  v["max"] = hi;
+  v["mean"] = sum / static_cast<double>(ts.size());
+  return v;
+}
+
+}  // namespace
+
+void write_density_csv(const maps::math::RealGrid& density, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw MapsError("write_density_csv: cannot open " + path);
+  for (index_t j = 0; j < density.ny(); ++j) {
+    for (index_t i = 0; i < density.nx(); ++i) {
+      out << density(i, j) << (i + 1 == density.nx() ? '\n' : ',');
+    }
+  }
+  if (!out) throw MapsError("write_density_csv: write failed for " + path);
+}
+
+JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
+  devices::BuildOptions build;
+  build.fidelity = config.fidelity;
+  const auto device = devices::make_device(config.device, build);
+  log << "[datagen] device=" << devices::device_name(config.device)
+      << " strategy=" << data::strategy_name(config.sampler.strategy)
+      << " fidelity=" << config.fidelity << "\n";
+
+  const auto patterns = data::sample_patterns(device, config.device, config.sampler);
+  log << "[datagen] sampled " << patterns.densities.size() << " patterns\n";
+
+  data::Dataset dataset;
+  if (config.multi_fidelity) {
+    devices::BuildOptions hi = build;
+    hi.fidelity = config.fidelity * 2;
+    const auto device_hi = devices::make_device(config.device, hi);
+    dataset = data::generate_multifidelity(device, device_hi, patterns);
+  } else {
+    dataset = data::generate_dataset(device, patterns);
+  }
+  dataset.name = std::string(devices::device_name(config.device)) + "/" +
+                 data::strategy_name(config.sampler.strategy);
+  dataset.save(config.output);
+  log << "[datagen] wrote " << dataset.size() << " samples to " << config.output
+      << "\n";
+
+  JsonValue report;
+  report["task"] = "datagen";
+  report["output"] = config.output;
+  report["samples"] = static_cast<int>(dataset.size());
+  report["patterns"] = static_cast<int>(patterns.densities.size());
+  report["transmission"] = transmission_stats(dataset.primary_transmissions());
+  report["config"] = config.to_json();
+  return report;
+}
+
+JsonValue run_train(const TrainConfig& config, std::ostream& log) {
+  const auto train_set = data::Dataset::load(config.dataset);
+  log << "[train] dataset " << config.dataset << ": " << train_set.size()
+      << " samples\n";
+
+  train::LoaderOptions lopt;
+  lopt.test_fraction = config.test_fraction;
+
+  std::unique_ptr<train::DataLoader> loader;
+  data::Dataset test_set;
+  if (!config.test_dataset.empty()) {
+    test_set = data::Dataset::load(config.test_dataset);
+    log << "[train] held-out set " << config.test_dataset << ": " << test_set.size()
+        << " samples\n";
+    loader = std::make_unique<train::DataLoader>(train_set, test_set, lopt);
+  } else {
+    loader = std::make_unique<train::DataLoader>(train_set, lopt);
+  }
+
+  nn::ModelConfig mcfg = config.model;
+  mcfg.in_channels = config.train.encoding.channels();
+  auto model = nn::make_model(mcfg);
+  log << "[train] model " << nn::model_name(mcfg.kind) << " ("
+      << model->num_parameters() << " parameters), " << config.train.epochs
+      << " epochs\n";
+
+  devices::BuildOptions build;
+  build.fidelity = config.fidelity;
+  const auto device = devices::make_device(config.device, build);
+
+  train::Trainer trainer(*model, *loader, config.train);
+  const auto result = trainer.fit(&device);
+
+  if (!config.checkpoint.empty()) {
+    nn::save_parameters(*model, config.checkpoint);
+    log << "[train] checkpoint -> " << config.checkpoint << "\n";
+  }
+
+  JsonValue report;
+  report["task"] = "train";
+  report["model"] = nn::model_name(mcfg.kind);
+  report["train_nl2"] = result.train_nl2;
+  report["test_nl2"] = result.test_nl2;
+  report["grad_similarity"] = result.grad_similarity;
+  report["sparam_error"] = result.sparam_err;
+  report["epochs"] = config.train.epochs;
+  report["final_epoch_loss"] =
+      result.epoch_losses.empty() ? 0.0 : result.epoch_losses.back();
+  report["config"] = config.to_json();
+  if (!config.report.empty()) json_save(report, config.report);
+  log << "[train] train N-L2 " << result.train_nl2 << ", test N-L2 "
+      << result.test_nl2 << ", grad sim " << result.grad_similarity << "\n";
+  return report;
+}
+
+JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
+  devices::BuildOptions build;
+  build.fidelity = config.fidelity;
+  const auto device = devices::make_device(config.device, build);
+  auto pipeline = devices::make_default_pipeline(device, config.device, config.pipeline);
+
+  auto theta0 =
+      invdes::make_initial_theta(device, init_kind_from_name(config.init), config.seed);
+  log << "[invdes] device=" << devices::device_name(config.device) << " init="
+      << config.init << " iterations=" << config.options.iterations << "\n";
+
+  invdes::InverseDesigner designer(device, std::move(pipeline), config.options);
+  const auto result = designer.run(std::move(theta0));
+  log << "[invdes] final FoM " << result.fom << "\n";
+
+  if (!config.density_out.empty()) {
+    write_density_csv(result.density, config.density_out);
+    log << "[invdes] density -> " << config.density_out << "\n";
+  }
+  if (!config.history_out.empty()) {
+    std::ofstream out(config.history_out);
+    if (!out) throw MapsError("run_invdes: cannot open " + config.history_out);
+    out << "iteration,fom,beta\n";
+    for (const auto& it : result.history) {
+      out << it.iteration << ',' << it.fom << ',' << it.beta << '\n';
+    }
+    log << "[invdes] history -> " << config.history_out << "\n";
+  }
+
+  JsonValue report;
+  report["task"] = "invdes";
+  report["device"] = devices::device_name(config.device);
+  report["fom"] = result.fom;
+  report["iterations"] = static_cast<int>(result.history.size());
+  JsonArray ts;
+  if (!result.history.empty()) {
+    for (const double t : result.history.back().transmissions) ts.push_back(t);
+  }
+  report["final_transmissions"] = JsonValue(std::move(ts));
+  report["config"] = config.to_json();
+  if (!config.report.empty()) json_save(report, config.report);
+  return report;
+}
+
+JsonValue run_config_file(const std::string& path, std::ostream& log) {
+  const JsonValue doc = json_load(path);
+  const std::string task = doc.at("task").as_string();
+  // The "task" key routes; the runner configs reject unknown fields, so
+  // strip it before handing over.
+  JsonValue body = doc;
+  body.as_object().erase("task");
+
+  if (task == "datagen") return run_datagen(DataGenConfig::from_json(body), log);
+  if (task == "train") return run_train(TrainConfig::from_json(body), log);
+  if (task == "invdes") return run_invdes(InvDesConfig::from_json(body), log);
+  throw MapsError("run_config_file: unknown task '" + task + "'");
+}
+
+}  // namespace maps::io

@@ -1,0 +1,31 @@
+// Library entry points behind the CLI tools. Each runner executes one
+// config end-to-end and returns a JSON report (also written to the config's
+// report path when set), so the tools stay one-line mains and the full CLI
+// behaviour is unit-testable.
+#pragma once
+
+#include <iosfwd>
+
+#include "io/config.hpp"
+
+namespace maps::io {
+
+/// Generate a dataset per config, save it to config.output, return a
+/// summary (sample count, transmission stats, per-strategy metadata).
+JsonValue run_datagen(const DataGenConfig& config, std::ostream& log);
+
+/// Train a model per config; returns the standardized metric report
+/// (train/test N-L2, gradient similarity, S-param error).
+JsonValue run_train(const TrainConfig& config, std::ostream& log);
+
+/// Run adjoint inverse design per config; returns the final FoM,
+/// transmissions, and iteration history summary.
+JsonValue run_invdes(const InvDesConfig& config, std::ostream& log);
+
+/// Dispatch on the config's "task" field ("datagen" | "train" | "invdes").
+JsonValue run_config_file(const std::string& path, std::ostream& log);
+
+/// Write a density grid as CSV (one row per y line).
+void write_density_csv(const maps::math::RealGrid& density, const std::string& path);
+
+}  // namespace maps::io

@@ -1,0 +1,168 @@
+#include "math/banded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::math {
+
+namespace {
+inline double mag(double v) { return std::abs(v); }
+inline double mag(const cplx& v) { return std::abs(v.real()) + std::abs(v.imag()); }
+}  // namespace
+
+template <typename T>
+BandMatrix<T>::BandMatrix(index_t n, index_t kl, index_t ku)
+    : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1) {
+  require(n > 0 && kl >= 0 && ku >= 0, "BandMatrix: invalid shape");
+  require(kl < n && ku < n, "BandMatrix: band exceeds dimension");
+  ab_.assign(static_cast<std::size_t>(ldab_) * n_, T{});
+  ipiv_.assign(static_cast<std::size_t>(n_), 0);
+}
+
+template <typename T>
+T BandMatrix<T>::get(index_t i, index_t j) const {
+  require(i >= 0 && i < n_ && j >= 0 && j < n_, "BandMatrix::get: out of range");
+  if (i - j > kl_ || j - i > ku_) return T{};
+  return at(i, j);
+}
+
+template <typename T>
+void BandMatrix<T>::set(index_t i, index_t j, T v) {
+  require(i >= 0 && i < n_ && j >= 0 && j < n_, "BandMatrix::set: out of range");
+  require(i - j <= kl_ && j - i <= ku_, "BandMatrix::set: outside band");
+  require(!factorized_, "BandMatrix::set: matrix already factorized");
+  at(i, j) = v;
+}
+
+template <typename T>
+void BandMatrix<T>::add(index_t i, index_t j, T v) {
+  require(i >= 0 && i < n_ && j >= 0 && j < n_, "BandMatrix::add: out of range");
+  require(i - j <= kl_ && j - i <= ku_, "BandMatrix::add: outside band");
+  require(!factorized_, "BandMatrix::add: matrix already factorized");
+  at(i, j) += v;
+}
+
+template <typename T>
+std::vector<T> BandMatrix<T>::matvec(const std::vector<T>& x) const {
+  require(!factorized_, "BandMatrix::matvec: matrix already factorized");
+  require(static_cast<index_t>(x.size()) == n_, "BandMatrix::matvec: size mismatch");
+  std::vector<T> y(static_cast<std::size_t>(n_), T{});
+  for (index_t j = 0; j < n_; ++j) {
+    const index_t ilo = std::max<index_t>(0, j - ku_);
+    const index_t ihi = std::min<index_t>(n_ - 1, j + kl_);
+    const T xj = x[static_cast<std::size_t>(j)];
+    for (index_t i = ilo; i <= ihi; ++i) {
+      y[static_cast<std::size_t>(i)] += at(i, j) * xj;
+    }
+  }
+  return y;
+}
+
+// xGBTF2: unblocked banded LU with partial pivoting. Column j's pivot search
+// is restricted to the kl rows below the diagonal; row interchanges widen the
+// upper band to at most kl+ku, which the storage layout already reserves.
+template <typename T>
+void BandMatrix<T>::factorize() {
+  require(!factorized_, "BandMatrix::factorize: already factorized");
+  const index_t kv = kl_ + ku_;  // superdiagonals after pivoting
+  index_t ju = 0;                // rightmost column affected by current row swaps
+
+  for (index_t j = 0; j < n_; ++j) {
+    const index_t km = std::min(kl_, n_ - 1 - j);  // subdiagonal rows in col j
+    // Partial pivot: largest magnitude among A(j..j+km, j).
+    index_t jp = 0;
+    double best = mag(at(j, j));
+    for (index_t k = 1; k <= km; ++k) {
+      const double m = mag(at(j + k, j));
+      if (m > best) {
+        best = m;
+        jp = k;
+      }
+    }
+    ipiv_[static_cast<std::size_t>(j)] = j + jp;
+    if (best == 0.0) throw MapsError("BandMatrix::factorize: singular matrix");
+
+    ju = std::max(ju, std::min(j + ku_ + jp, n_ - 1));
+    if (jp != 0) {
+      for (index_t col = j; col <= ju; ++col) std::swap(at(j, col), at(j + jp, col));
+    }
+    if (km > 0) {
+      const T inv_piv = T(1) / at(j, j);
+      for (index_t k = 1; k <= km; ++k) at(j + k, j) *= inv_piv;
+      for (index_t col = j + 1; col <= ju; ++col) {
+        const T ajcol = at(j, col);
+        if (ajcol != T{}) {
+          for (index_t k = 1; k <= km; ++k) at(j + k, col) -= at(j + k, j) * ajcol;
+        }
+      }
+    }
+  }
+  (void)kv;
+  factorized_ = true;
+}
+
+// xGBTRS 'N': forward-apply L (with interchanges), then banded back-substitution.
+template <typename T>
+void BandMatrix<T>::solve_inplace(std::vector<T>& b) const {
+  require(factorized_, "BandMatrix::solve: factorize() first");
+  require(static_cast<index_t>(b.size()) == n_, "BandMatrix::solve: size mismatch");
+  const index_t kv = kl_ + ku_;
+
+  if (kl_ > 0) {
+    for (index_t j = 0; j < n_ - 1; ++j) {
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      if (piv != j) std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      const T bj = b[static_cast<std::size_t>(j)];
+      for (index_t k = 1; k <= km; ++k) {
+        b[static_cast<std::size_t>(j + k)] -= at(j + k, j) * bj;
+      }
+    }
+  }
+  for (index_t j = n_ - 1; j >= 0; --j) {
+    T bj = b[static_cast<std::size_t>(j)] / at(j, j);
+    b[static_cast<std::size_t>(j)] = bj;
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    for (index_t i = ilo; i < j; ++i) {
+      b[static_cast<std::size_t>(i)] -= at(i, j) * bj;
+    }
+  }
+}
+
+// xGBTRS 'T': solve U^T z = b by forward substitution over U's columns, then
+// apply L^T (multipliers) and the interchanges in reverse order.
+template <typename T>
+void BandMatrix<T>::solve_transposed_inplace(std::vector<T>& b) const {
+  require(factorized_, "BandMatrix::solve_transposed: factorize() first");
+  require(static_cast<index_t>(b.size()) == n_,
+          "BandMatrix::solve_transposed: size mismatch");
+  const index_t kv = kl_ + ku_;
+
+  // U^T is lower triangular with band kv: z_j = (b_j - sum_{i<j} U(i,j) z_i) / U(j,j).
+  for (index_t j = 0; j < n_; ++j) {
+    T s = b[static_cast<std::size_t>(j)];
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    for (index_t i = ilo; i < j; ++i) {
+      s -= at(i, j) * b[static_cast<std::size_t>(i)];
+    }
+    b[static_cast<std::size_t>(j)] = s / at(j, j);
+  }
+  // L^T: unit upper triangular with band kl (stored below diagonal in columns).
+  if (kl_ > 0) {
+    for (index_t j = n_ - 2; j >= 0; --j) {
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      T s = b[static_cast<std::size_t>(j)];
+      for (index_t k = 1; k <= km; ++k) {
+        s -= at(j + k, j) * b[static_cast<std::size_t>(j + k)];
+      }
+      b[static_cast<std::size_t>(j)] = s;
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      if (piv != j) std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+    }
+  }
+}
+
+template class BandMatrix<double>;
+template class BandMatrix<cplx>;
+
+}  // namespace maps::math

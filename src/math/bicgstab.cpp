@@ -1,0 +1,95 @@
+#include "math/bicgstab.hpp"
+
+#include <cmath>
+
+#include "math/vec.hpp"
+
+namespace maps::math {
+
+BicgstabResult bicgstab(
+    const std::function<std::vector<cplx>(const std::vector<cplx>&)>& op,
+    const std::vector<cplx>& diag, const std::vector<cplx>& b,
+    const BicgstabOptions& opt) {
+  const std::size_t n = b.size();
+  BicgstabResult res;
+  res.x.assign(n, cplx{});
+
+  auto precond = [&](std::vector<cplx> v) {
+    if (!diag.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (diag[i] != cplx{}) v[i] /= diag[i];
+      }
+    }
+    return v;
+  };
+
+  const double bnorm = norm2(std::span<const cplx>(b));
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  std::vector<cplx> r = b;  // r = b - A*0
+  std::vector<cplx> r0 = r;
+  std::vector<cplx> p(n, cplx{}), v(n, cplx{});
+  cplx rho{1.0}, alpha{1.0}, omega{1.0};
+
+  for (int it = 0; it < opt.max_iters; ++it) {
+    const cplx rho_new = dotc(std::span<const cplx>(r0), std::span<const cplx>(r));
+    if (std::abs(rho_new) < 1e-300) break;  // breakdown
+    if (it == 0) {
+      p = r;
+    } else {
+      const cplx beta = (rho_new / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    rho = rho_new;
+
+    const std::vector<cplx> phat = precond(p);
+    v = op(phat);
+    const cplx r0v = dotc(std::span<const cplx>(r0), std::span<const cplx>(v));
+    if (std::abs(r0v) < 1e-300) break;
+    alpha = rho / r0v;
+
+    std::vector<cplx> s(n);
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(std::span<const cplx>(s)) / bnorm < opt.rtol) {
+      for (std::size_t i = 0; i < n; ++i) res.x[i] += alpha * phat[i];
+      res.iterations = it + 1;
+      res.relative_residual = norm2(std::span<const cplx>(s)) / bnorm;
+      res.converged = true;
+      return res;
+    }
+
+    const std::vector<cplx> shat = precond(s);
+    const std::vector<cplx> t = op(shat);
+    const double tt = std::pow(norm2(std::span<const cplx>(t)), 2);
+    if (tt < 1e-300) break;
+    omega = dotc(std::span<const cplx>(t), std::span<const cplx>(s)) / tt;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    res.iterations = it + 1;
+    res.relative_residual = norm2(std::span<const cplx>(r)) / bnorm;
+    if (res.relative_residual < opt.rtol) {
+      res.converged = true;
+      return res;
+    }
+    if (std::abs(omega) < 1e-300) break;
+  }
+  return res;
+}
+
+BicgstabResult bicgstab(const CsrCplx& A, const std::vector<cplx>& b,
+                        const BicgstabOptions& opt) {
+  require(A.rows() == A.cols(), "bicgstab: matrix must be square");
+  require(static_cast<index_t>(b.size()) == A.rows(), "bicgstab: rhs size mismatch");
+  std::vector<cplx> diag;
+  if (opt.jacobi_precond) diag = A.diagonal();
+  return bicgstab([&A](const std::vector<cplx>& x) { return A.matvec(x); }, diag, b,
+                  opt);
+}
+
+}  // namespace maps::math

@@ -1,0 +1,39 @@
+// Preconditioned BiCGSTAB for general (non-Hermitian) complex systems.
+//
+// The FDFD Helmholtz operator is indefinite and non-Hermitian, so Krylov
+// convergence is slow; this solver exists as the *low-fidelity* and
+// large-grid fallback where a banded factorization would be too large, and
+// as an independent cross-check on the direct solver.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "math/csr.hpp"
+#include "math/types.hpp"
+
+namespace maps::math {
+
+struct BicgstabOptions {
+  int max_iters = 2000;
+  double rtol = 1e-8;        // relative residual tolerance
+  bool jacobi_precond = true;
+};
+
+struct BicgstabResult {
+  std::vector<cplx> x;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b with optional Jacobi (diagonal) preconditioning.
+BicgstabResult bicgstab(const CsrCplx& A, const std::vector<cplx>& b,
+                        const BicgstabOptions& opt = {});
+
+/// Matrix-free variant: op(x) must return A*x; diag may be empty (no precond).
+BicgstabResult bicgstab(const std::function<std::vector<cplx>(const std::vector<cplx>&)>& op,
+                        const std::vector<cplx>& diag, const std::vector<cplx>& b,
+                        const BicgstabOptions& opt = {});
+
+}  // namespace maps::math

@@ -1,0 +1,52 @@
+#include "math/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::math {
+
+template <typename T>
+Grid2D<T> bilinear_resample(const Grid2D<T>& src, index_t nx, index_t ny) {
+  require(nx > 0 && ny > 0, "bilinear_resample: empty target");
+  require(src.nx() > 0 && src.ny() > 0, "bilinear_resample: empty source");
+  Grid2D<T> out(nx, ny);
+  const double sx = static_cast<double>(src.nx()) / static_cast<double>(nx);
+  const double sy = static_cast<double>(src.ny()) / static_cast<double>(ny);
+  for (index_t j = 0; j < ny; ++j) {
+    // Cell-center mapping: target center (j+0.5)*sy lands in source coords.
+    const double fy = (static_cast<double>(j) + 0.5) * sy - 0.5;
+    const index_t j0 = static_cast<index_t>(std::floor(fy));
+    const double wy = fy - static_cast<double>(j0);
+    const index_t j0c = std::clamp<index_t>(j0, 0, src.ny() - 1);
+    const index_t j1c = std::clamp<index_t>(j0 + 1, 0, src.ny() - 1);
+    for (index_t i = 0; i < nx; ++i) {
+      const double fx = (static_cast<double>(i) + 0.5) * sx - 0.5;
+      const index_t i0 = static_cast<index_t>(std::floor(fx));
+      const double wx = fx - static_cast<double>(i0);
+      const index_t i0c = std::clamp<index_t>(i0, 0, src.nx() - 1);
+      const index_t i1c = std::clamp<index_t>(i0 + 1, 0, src.nx() - 1);
+      const T v00 = src(i0c, j0c), v10 = src(i1c, j0c);
+      const T v01 = src(i0c, j1c), v11 = src(i1c, j1c);
+      out(i, j) = v00 * ((1 - wx) * (1 - wy)) + v10 * (wx * (1 - wy)) +
+                  v01 * ((1 - wx) * wy) + v11 * (wx * wy);
+    }
+  }
+  return out;
+}
+
+template Grid2D<double> bilinear_resample(const Grid2D<double>&, index_t, index_t);
+template Grid2D<cplx> bilinear_resample(const Grid2D<cplx>&, index_t, index_t);
+
+CplxGrid richardson_extrapolate(const CplxGrid& coarse, const CplxGrid& fine,
+                                int order) {
+  require(order >= 1, "richardson_extrapolate: order must be >= 1");
+  const CplxGrid up = bilinear_resample(coarse, fine.nx(), fine.ny());
+  const double denom = std::pow(2.0, order) - 1.0;
+  CplxGrid out(fine.nx(), fine.ny());
+  for (index_t n = 0; n < fine.size(); ++n) {
+    out[n] = fine[n] + (fine[n] - up[n]) / denom;
+  }
+  return out;
+}
+
+}  // namespace maps::math

@@ -1,0 +1,27 @@
+// Grid resampling and multi-fidelity refinement utilities.
+//
+// bilinear_resample maps fields between fidelity levels (MAPS-Data pairs
+// 64x64 coarse with 128x128 fine grids); richardson_extrapolate implements
+// the low->high fidelity refinement the paper cites as motivation for
+// multi-fidelity training (Sec. III-A.3).
+#pragma once
+
+#include "math/field2d.hpp"
+#include "math/types.hpp"
+
+namespace maps::math {
+
+/// Resample `src` onto an (nx, ny) grid by bilinear interpolation, treating
+/// samples as cell centers (align-corners = false, matching the Yee layout).
+template <typename T>
+Grid2D<T> bilinear_resample(const Grid2D<T>& src, index_t nx, index_t ny);
+
+extern template Grid2D<double> bilinear_resample(const Grid2D<double>&, index_t, index_t);
+extern template Grid2D<cplx> bilinear_resample(const Grid2D<cplx>&, index_t, index_t);
+
+/// Richardson extrapolation: given a coarse solution (step 2h) and a fine
+/// solution (step h) of a method with error order p, return the improved
+/// estimate fine + (fine - coarse)/(2^p - 1), on the fine grid.
+CplxGrid richardson_extrapolate(const CplxGrid& coarse, const CplxGrid& fine, int order);
+
+}  // namespace maps::math

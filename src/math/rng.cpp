@@ -1,0 +1,5 @@
+#include "math/rng.hpp"
+
+// Header-only today; translation unit kept so the library always has at least
+// one object file and future out-of-line distributions have a home.
+namespace maps::math {}

@@ -1,0 +1,97 @@
+#include "math/special.hpp"
+
+#include <cmath>
+
+namespace maps::math {
+
+// Abramowitz & Stegun 9.4.1 / 9.4.3 (J0), 9.4.4 / 9.4.6 (J1) and the
+// companion Y0/Y1 fits 9.4.2 / 9.4.5. The large-argument forms use the
+// modulus/phase expansions 9.4.7-9.4.9.
+
+namespace {
+
+struct ModPhase {
+  double f;  // modulus factor
+  double t;  // phase correction
+};
+
+ModPhase mod_phase0(double ax) {
+  const double z = 3.0 / ax;
+  ModPhase mp;
+  mp.f = 0.79788456 + z * (-0.00000077 + z * (-0.00552740 + z * (-0.00009512 +
+         z * (0.00137237 + z * (-0.00072805 + z * 0.00014476)))));
+  mp.t = ax - 0.78539816 + z * (-0.04166397 + z * (-0.00003954 + z * (0.00262573 +
+         z * (-0.00054125 + z * (-0.00029333 + z * 0.00013558)))));
+  return mp;
+}
+
+ModPhase mod_phase1(double ax) {
+  const double z = 3.0 / ax;
+  ModPhase mp;
+  mp.f = 0.79788456 + z * (0.00000156 + z * (0.01659667 + z * (0.00017105 +
+         z * (-0.00249511 + z * (0.00113653 + z * -0.00020033)))));
+  mp.t = ax - 2.35619449 + z * (0.12499612 + z * (0.00005650 + z * (-0.00637879 +
+         z * (0.00074348 + z * (0.00079824 + z * -0.00029166)))));
+  return mp;
+}
+
+}  // namespace
+
+double bessel_j0(double x) {
+  const double ax = std::abs(x);
+  if (ax <= 3.0) {
+    const double y = (x / 3.0) * (x / 3.0);
+    return 1.0 + y * (-2.2499997 + y * (1.2656208 + y * (-0.3163866 +
+           y * (0.0444479 + y * (-0.0039444 + y * 0.0002100)))));
+  }
+  const ModPhase mp = mod_phase0(ax);
+  return mp.f * std::cos(mp.t) / std::sqrt(ax);
+}
+
+double bessel_j1(double x) {
+  const double ax = std::abs(x);
+  if (ax <= 3.0) {
+    const double y = (x / 3.0) * (x / 3.0);
+    const double j1_over_x = 0.5 + y * (-0.56249985 + y * (0.21093573 +
+        y * (-0.03954289 + y * (0.00443319 + y * (-0.00031761 + y * 0.00001109)))));
+    return x * j1_over_x;
+  }
+  const ModPhase mp = mod_phase1(ax);
+  const double v = mp.f * std::cos(mp.t) / std::sqrt(ax);
+  return x < 0.0 ? -v : v;
+}
+
+double bessel_y0(double x) {
+  require(x > 0.0, "bessel_y0: x must be > 0");
+  if (x <= 3.0) {
+    const double y = (x / 3.0) * (x / 3.0);
+    const double p = 0.36746691 + y * (0.60559366 + y * (-0.74350384 +
+        y * (0.25300117 + y * (-0.04261214 + y * (0.00427916 + y * -0.00024846)))));
+    return (2.0 / kPi) * std::log(0.5 * x) * bessel_j0(x) + p;
+  }
+  const ModPhase mp = mod_phase0(x);
+  return mp.f * std::sin(mp.t) / std::sqrt(x);
+}
+
+double bessel_y1(double x) {
+  require(x > 0.0, "bessel_y1: x must be > 0");
+  if (x <= 3.0) {
+    const double y = (x / 3.0) * (x / 3.0);
+    const double xy1 = -0.6366198 + y * (0.2212091 + y * (2.1682709 +
+        y * (-1.3164827 + y * (0.3123951 + y * (-0.0400976 + y * 0.0027873)))));
+    return (2.0 / kPi) * std::log(0.5 * x) * bessel_j1(x) + xy1 / x;
+  }
+  const ModPhase mp = mod_phase1(x);
+  return mp.f * std::sin(mp.t) / std::sqrt(x);
+}
+
+cplx hankel1_0(double x) { return cplx{bessel_j0(x), bessel_y0(x)}; }
+
+cplx hankel1_1(double x) { return cplx{bessel_j1(x), bessel_y1(x)}; }
+
+cplx greens2d(double k, double r) {
+  require(k > 0.0 && r > 0.0, "greens2d: k and r must be > 0");
+  return 0.25 * kI * hankel1_0(k * r);
+}
+
+}  // namespace maps::math

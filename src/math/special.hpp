@@ -1,0 +1,28 @@
+// Cylindrical Bessel and Hankel functions for the 2D radiation kernels.
+//
+// J0/J1/Y0/Y1 follow the Abramowitz & Stegun 9.4 rational approximations
+// (|x| <= 3 polynomial, asymptotic phase/amplitude beyond), accurate to
+// ~1e-7 absolute — ample for far-field projection, whose contour quadrature
+// error dominates. H^(1) = J + iY is the outgoing-wave kernel under the
+// e^{-i omega t} convention used throughout MAPS.
+#pragma once
+
+#include "math/types.hpp"
+
+namespace maps::math {
+
+double bessel_j0(double x);
+double bessel_j1(double x);
+/// Y0/Y1 require x > 0.
+double bessel_y0(double x);
+double bessel_y1(double x);
+
+/// Outgoing 2D Hankel functions H0^(1), H1^(1); x > 0.
+cplx hankel1_0(double x);
+cplx hankel1_1(double x);
+
+/// Free-space 2D Helmholtz Green's function G(r) = (i/4) H0^(1)(k r),
+/// satisfying (lap + k^2) G = -delta. r > 0.
+cplx greens2d(double k, double r);
+
+}  // namespace maps::math

@@ -1,0 +1,106 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/vec.hpp"
+
+namespace maps::math {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double min_of(std::span<const double> x) {
+  require(!x.empty(), "min_of: empty");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max_of(std::span<const double> x) {
+  require(!x.empty(), "max_of: empty");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double median(std::vector<double> x) { return percentile(std::move(x), 50.0); }
+
+double percentile(std::vector<double> x, double p) {
+  require(!x.empty(), "percentile: empty");
+  require(p >= 0.0 && p <= 100.0, "percentile: p out of range");
+  std::sort(x.begin(), x.end());
+  const double pos = p / 100.0 * static_cast<double>(x.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, x.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+double cosine_similarity(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "cosine_similarity: size mismatch");
+  const double nx = norm2(x), ny = norm2(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return dot(x, y) / (nx * ny);
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "pearson: size mismatch");
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double relative_l2(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "relative_l2: size mismatch");
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::sqrt(num / den);
+}
+
+double relative_l2(std::span<const cplx> a, std::span<const cplx> b) {
+  require(a.size() == b.size(), "relative_l2: size mismatch");
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(a[i] - b[i]);
+    den += std::norm(b[i]);
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::sqrt(num / den);
+}
+
+Summary summarize(std::vector<double> x) {
+  Summary s;
+  s.count = x.size();
+  if (x.empty()) return s;
+  s.mean = mean(x);
+  s.stddev = stddev(x);
+  s.min = min_of(x);
+  s.max = max_of(x);
+  s.median = median(std::move(x));
+  return s;
+}
+
+}  // namespace maps::math

@@ -1,0 +1,39 @@
+// Descriptive statistics and similarity metrics.
+//
+// Gradient similarity — the paper's key inverse-design metric (Tables I-III)
+// — is the cosine similarity between a predicted and a reference adjoint
+// gradient restricted to the design region.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::math {
+
+double mean(std::span<const double> x);
+double variance(std::span<const double> x);  // population variance
+double stddev(std::span<const double> x);
+double min_of(std::span<const double> x);
+double max_of(std::span<const double> x);
+double median(std::vector<double> x);  // by value: needs a sort
+double percentile(std::vector<double> x, double p);  // p in [0,100], linear interp
+
+/// Cosine similarity <x,y>/(|x||y|); returns 0 when either vector is zero.
+double cosine_similarity(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Relative L2 error ||a-b|| / ||b|| (the paper's N-L2norm on flattened fields).
+double relative_l2(std::span<const double> a, std::span<const double> b);
+double relative_l2(std::span<const cplx> a, std::span<const cplx> b);
+
+struct Summary {
+  double mean = 0, stddev = 0, min = 0, max = 0, median = 0;
+  std::size_t count = 0;
+};
+Summary summarize(std::vector<double> x);
+
+}  // namespace maps::math

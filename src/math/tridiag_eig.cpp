@@ -1,0 +1,91 @@
+#include "math/tridiag_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::math {
+
+namespace {
+double hypot2(double a, double b) { return std::hypot(a, b); }
+}  // namespace
+
+// Port of the classic EISPACK tql2 algorithm (implicit QL with shifts,
+// accumulating the rotations into an eigenvector matrix).
+TridiagEig tridiag_eigh(std::vector<double> d, std::vector<double> off) {
+  const std::size_t n = d.size();
+  require(n >= 1, "tridiag_eigh: empty matrix");
+  require(off.size() == n - 1 || (n == 1 && off.empty()),
+          "tridiag_eigh: off-diagonal size mismatch");
+
+  // e is padded to length n with a zero sentinel (tql2 convention).
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) e[i] = off[i];
+
+  // z starts as identity; columns become eigenvectors.
+  std::vector<std::vector<double>> z(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) z[i][i] = 1.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 60) throw MapsError("tridiag_eigh: too many QL iterations");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot2(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool deflated = false;  // r == 0 early exit (NR tqli "i >= l" branch)
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot2(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            deflated = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z[k][i + 1];
+            z[k][i + 1] = s * z[k][i] + c * f;
+            z[k][i] = c * z[k][i] - s * f;
+          }
+        }
+        if (deflated) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagEig out;
+  out.eigenvalues.resize(n);
+  out.vectors.assign(n, std::vector<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = d[order[k]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors[k][i] = z[i][order[k]];
+  }
+  return out;
+}
+
+}  // namespace maps::math

@@ -1,0 +1,25 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts).
+//
+// This is the numerical core of the 1D slab waveguide mode solver: the TM
+// Helmholtz operator d^2/dy^2 + omega^2 eps(y) discretized on a uniform grid
+// is symmetric tridiagonal, and its largest eigenvalues are beta^2 of the
+// guided modes.
+#pragma once
+
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::math {
+
+struct TridiagEig {
+  std::vector<double> eigenvalues;          // ascending
+  std::vector<std::vector<double>> vectors; // vectors[k] pairs eigenvalues[k]
+};
+
+/// Eigen-decomposition of the symmetric tridiagonal matrix with main diagonal
+/// `diag` (size n) and subdiagonal `off` (size n-1). Eigenvectors are
+/// orthonormal. O(n^2) per eigenvector accumulation (fine for n <= few 1000).
+TridiagEig tridiag_eigh(std::vector<double> diag, std::vector<double> off);
+
+}  // namespace maps::math

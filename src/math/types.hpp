@@ -1,0 +1,39 @@
+// Common scalar types and numeric constants used across MAPS.
+//
+// Unit system (see DESIGN.md §2): normalized Gaussian units with
+// eps0 = mu0 = c = 1, lengths in micrometres, omega = 2*pi/lambda.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace maps {
+
+using cplx = std::complex<double>;
+using index_t = std::int64_t;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr cplx kI{0.0, 1.0};
+
+/// Angular frequency for a free-space wavelength (um) in normalized units.
+inline double omega_of_wavelength(double lambda_um) { return 2.0 * kPi / lambda_um; }
+
+/// Thrown on invalid arguments to numerical routines.
+class MapsError : public std::runtime_error {
+ public:
+  explicit MapsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check that survives NDEBUG builds (numerical code should
+/// fail loudly, not corrupt silently).
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw MapsError(msg);
+}
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw MapsError(msg);
+}
+
+}  // namespace maps

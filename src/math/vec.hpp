@@ -1,0 +1,68 @@
+// Small dense-vector helpers shared by solvers and metrics.
+//
+// Inner products over complex vectors use the physics convention
+// <x, y> = sum conj(x_i) y_i unless stated otherwise (dotu is unconjugated).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "math/types.hpp"
+
+namespace maps::math {
+
+inline cplx dotc(std::span<const cplx> x, std::span<const cplx> y) {
+  require(x.size() == y.size(), "dotc: size mismatch");
+  cplx s{};
+  for (std::size_t i = 0; i < x.size(); ++i) s += std::conj(x[i]) * y[i];
+  return s;
+}
+
+inline cplx dotu(std::span<const cplx> x, std::span<const cplx> y) {
+  require(x.size() == y.size(), "dotu: size mismatch");
+  cplx s{};
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+inline double dot(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+inline double norm2(std::span<const cplx> x) {
+  double s = 0.0;
+  for (const auto& v : x) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+inline double norm2(std::span<const double> x) {
+  double s = 0.0;
+  for (const auto& v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+void scale(T alpha, std::span<T> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// y - x, elementwise, into a fresh vector.
+template <typename T>
+std::vector<T> sub(const std::vector<T>& y, const std::vector<T>& x) {
+  require(x.size() == y.size(), "sub: size mismatch");
+  std::vector<T> r(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) r[i] = y[i] - x[i];
+  return r;
+}
+
+}  // namespace maps::math

@@ -1,0 +1,66 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace maps::nn {
+
+namespace {
+double scalarize(const Tensor& y, const Tensor& cot) {
+  double s = 0;
+  for (index_t i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * cot[i];
+  return s;
+}
+}  // namespace
+
+GradCheckResult gradcheck(Module& m, const Tensor& x, unsigned seed, int param_probes,
+                          int input_probes, double step) {
+  maps::math::Rng rng(seed + 1);
+  Tensor y0 = m.forward(x);
+  Tensor cot = Tensor::zeros_like(y0);
+  for (index_t i = 0; i < cot.numel(); ++i) {
+    cot[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  m.zero_grad();
+  (void)m.forward(x);  // fresh caches
+  Tensor gx = m.backward(cot);
+
+  GradCheckResult res;
+  auto params = m.parameters();
+
+  // Parameter probes spread across all parameter tensors.
+  for (int probe = 0; probe < param_probes && !params.empty(); ++probe) {
+    Param* p = params[static_cast<std::size_t>(
+        rng.randint(0, static_cast<index_t>(params.size()) - 1))];
+    const index_t i = rng.randint(0, p->value.numel() - 1);
+    const float orig = p->value[i];
+    p->value[i] = orig + static_cast<float>(step);
+    const double fp = scalarize(m.forward(x), cot);
+    p->value[i] = orig - static_cast<float>(step);
+    const double fm = scalarize(m.forward(x), cot);
+    p->value[i] = orig;
+    const double fd = (fp - fm) / (2.0 * step);
+    res.max_param_err = std::max(res.max_param_err, std::abs(fd - p->grad[i]));
+    ++res.param_probes;
+  }
+
+  // Input probes.
+  for (int probe = 0; probe < input_probes; ++probe) {
+    const index_t i = rng.randint(0, x.numel() - 1);
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(step);
+    xm[i] -= static_cast<float>(step);
+    const double fp = scalarize(m.forward(xp), cot);
+    const double fm = scalarize(m.forward(xm), cot);
+    const double fd = (fp - fm) / (2.0 * step);
+    res.max_input_err = std::max(res.max_input_err, std::abs(fd - gx[i]));
+    ++res.input_probes;
+  }
+  // Leave caches consistent with the original input.
+  (void)m.forward(x);
+  return res;
+}
+
+}  // namespace maps::nn

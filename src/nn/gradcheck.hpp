@@ -1,0 +1,24 @@
+// Numerical gradient checking for Modules.
+//
+// Scalarizes the module output with a fixed random cotangent and compares
+// analytic backward() gradients (parameters and input) against central
+// finite differences. float32 limits accuracy to ~1e-2 relative; tests use
+// small tensors and tolerant thresholds.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace maps::nn {
+
+struct GradCheckResult {
+  double max_param_err = 0.0;  // max abs(analytic - fd) over probed params
+  double max_input_err = 0.0;  // same for input entries
+  int param_probes = 0;
+  int input_probes = 0;
+};
+
+GradCheckResult gradcheck(Module& m, const Tensor& x, unsigned seed = 0,
+                          int param_probes = 24, int input_probes = 16,
+                          double step = 1e-2);
+
+}  // namespace maps::nn

@@ -1,0 +1,415 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "math/parallel.hpp"
+
+namespace maps::nn {
+
+using maps::math::parallel_for;
+
+// ------------------------------------------------------------------ Conv2d
+
+Conv2d::Conv2d(index_t c_in, index_t c_out, index_t k, maps::math::Rng& rng,
+               std::string tag)
+    : c_in_(c_in), c_out_(c_out), k_(k), tag_(std::move(tag)),
+      w_(tag_ + ".w", Tensor({c_out, c_in, k, k})),
+      b_(tag_ + ".b", Tensor({c_out})) {
+  require(k % 2 == 1, "Conv2d: kernel must be odd for same padding");
+  kaiming_init(w_.value, c_in * k * k, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  require(x.ndim() == 4 && x.size(1) == c_in_, "Conv2d: bad input shape");
+  x_cache_ = x;
+  const index_t N = x.size(0), H = x.size(2), W = x.size(3);
+  const index_t r = k_ / 2;
+  Tensor y({N, c_out_, H, W});
+  parallel_for(0, static_cast<std::size_t>(N * c_out_), [&](std::size_t idx) {
+    const index_t n = static_cast<index_t>(idx) / c_out_;
+    const index_t co = static_cast<index_t>(idx) % c_out_;
+    const float bias = b_.value[co];
+    for (index_t h = 0; h < H; ++h) {
+      for (index_t w = 0; w < W; ++w) {
+        float s = bias;
+        for (index_t ci = 0; ci < c_in_; ++ci) {
+          for (index_t kh = 0; kh < k_; ++kh) {
+            const index_t hh = h + kh - r;
+            if (hh < 0 || hh >= H) continue;
+            for (index_t kw = 0; kw < k_; ++kw) {
+              const index_t ww = w + kw - r;
+              if (ww < 0 || ww >= W) continue;
+              s += w_.value.at(co, ci, kh, kw) * x.at(n, ci, hh, ww);
+            }
+          }
+        }
+        y.at(n, co, h, w) = s;
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  require(x.numel() > 0, "Conv2d::backward: call forward first");
+  const index_t N = x.size(0), H = x.size(2), W = x.size(3);
+  const index_t r = k_ / 2;
+
+  // Parameter gradients (accumulated; thread-parallel over (c_out, c_in)
+  // pairs so wide machines stay busy even for narrow layers).
+  parallel_for(0, static_cast<std::size_t>(c_out_), [&](std::size_t co_s) {
+    const index_t co = static_cast<index_t>(co_s);
+    double db = 0.0;
+    for (index_t n = 0; n < N; ++n) {
+      for (index_t h = 0; h < H; ++h) {
+        for (index_t w = 0; w < W; ++w) db += grad_out.at(n, co, h, w);
+      }
+    }
+    b_.grad[co] += static_cast<float>(db);
+  });
+  parallel_for(0, static_cast<std::size_t>(c_out_ * c_in_), [&](std::size_t p) {
+    const index_t co = static_cast<index_t>(p) / c_in_;
+    const index_t ci = static_cast<index_t>(p) % c_in_;
+    for (index_t kh = 0; kh < k_; ++kh) {
+      for (index_t kw = 0; kw < k_; ++kw) {
+        double dw = 0.0;
+        for (index_t n = 0; n < N; ++n) {
+          for (index_t h = 0; h < H; ++h) {
+            const index_t hh = h + kh - r;
+            if (hh < 0 || hh >= H) continue;
+            const index_t w_lo = std::max<index_t>(0, r - kw);
+            const index_t w_hi = std::min(W, W + r - kw);
+            for (index_t w = w_lo; w < w_hi; ++w) {
+              dw += grad_out.at(n, co, h, w) * x.at(n, ci, hh, w + kw - r);
+            }
+          }
+        }
+        w_.grad.at(co, ci, kh, kw) += static_cast<float>(dw);
+      }
+    }
+  });
+
+  // Input gradient: full correlation with flipped kernel.
+  Tensor gx({N, c_in_, H, W});
+  parallel_for(0, static_cast<std::size_t>(N * c_in_), [&](std::size_t idx) {
+    const index_t n = static_cast<index_t>(idx) / c_in_;
+    const index_t ci = static_cast<index_t>(idx) % c_in_;
+    for (index_t h = 0; h < H; ++h) {
+      for (index_t w = 0; w < W; ++w) {
+        float s = 0.0f;
+        for (index_t co = 0; co < c_out_; ++co) {
+          for (index_t kh = 0; kh < k_; ++kh) {
+            const index_t ho = h - (kh - r);
+            if (ho < 0 || ho >= H) continue;
+            for (index_t kw = 0; kw < k_; ++kw) {
+              const index_t wo = w - (kw - r);
+              if (wo < 0 || wo >= W) continue;
+              s += w_.value.at(co, ci, kh, kw) * grad_out.at(n, co, ho, wo);
+            }
+          }
+        }
+        gx.at(n, ci, h, w) = s;
+      }
+    }
+  });
+  return gx;
+}
+
+// ------------------------------------------------------------------ Linear
+
+Linear::Linear(index_t f_in, index_t f_out, maps::math::Rng& rng, std::string tag)
+    : f_in_(f_in), f_out_(f_out), tag_(std::move(tag)),
+      w_(tag_ + ".w", Tensor({f_out, f_in})), b_(tag_ + ".b", Tensor({f_out})) {
+  kaiming_init(w_.value, f_in, rng);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  require(x.ndim() == 2 && x.size(1) == f_in_, "Linear: bad input shape");
+  x_cache_ = x;
+  const index_t N = x.size(0);
+  Tensor y({N, f_out_});
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t o = 0; o < f_out_; ++o) {
+      float s = b_.value[o];
+      for (index_t i = 0; i < f_in_; ++i) {
+        s += w_.value[o * f_in_ + i] * x[n * f_in_ + i];
+      }
+      y[n * f_out_ + o] = s;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const index_t N = x.size(0);
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t o = 0; o < f_out_; ++o) {
+      const float g = grad_out[n * f_out_ + o];
+      b_.grad[o] += g;
+      for (index_t i = 0; i < f_in_; ++i) {
+        w_.grad[o * f_in_ + i] += g * x[n * f_in_ + i];
+      }
+    }
+  }
+  Tensor gx({N, f_in_});
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t i = 0; i < f_in_; ++i) {
+      float s = 0.0f;
+      for (index_t o = 0; o < f_out_; ++o) {
+        s += w_.value[o * f_in_ + i] * grad_out[n * f_out_ + o];
+      }
+      gx[n * f_in_ + i] = s;
+    }
+  }
+  return gx;
+}
+
+// -------------------------------------------------------------- Activation
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865476;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+double act_forward(Act kind, double v) {
+  switch (kind) {
+    case Act::Relu:
+      return v > 0 ? v : 0.0;
+    case Act::Gelu:
+      return 0.5 * v * (1.0 + std::erf(v * kInvSqrt2));
+    case Act::Tanh:
+      return std::tanh(v);
+    case Act::Sigmoid:
+      return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+double act_derivative(Act kind, double v) {
+  switch (kind) {
+    case Act::Relu:
+      return v > 0 ? 1.0 : 0.0;
+    case Act::Gelu: {
+      const double cdf = 0.5 * (1.0 + std::erf(v * kInvSqrt2));
+      const double pdf = kInvSqrt2Pi * std::exp(-0.5 * v * v);
+      return cdf + v * pdf;
+    }
+    case Act::Tanh: {
+      const double t = std::tanh(v);
+      return 1.0 - t * t;
+    }
+    case Act::Sigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-v));
+      return s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+}  // namespace
+
+Tensor Activation::forward(const Tensor& x) {
+  x_cache_ = x;
+  Tensor y = x;
+  for (index_t i = 0; i < y.numel(); ++i) {
+    y[i] = static_cast<float>(act_forward(kind_, x[i]));
+  }
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+  require(x_cache_.same_shape(grad_out), "Activation::backward: shape mismatch");
+  Tensor gx = grad_out;
+  for (index_t i = 0; i < gx.numel(); ++i) {
+    gx[i] = static_cast<float>(grad_out[i] * act_derivative(kind_, x_cache_[i]));
+  }
+  return gx;
+}
+
+// --------------------------------------------------------------- GroupNorm
+
+GroupNorm::GroupNorm(index_t groups, index_t channels, double eps)
+    : groups_(groups), channels_(channels), eps_(eps),
+      gamma_("gn.gamma", Tensor({channels}, 1.0f)),
+      beta_("gn.beta", Tensor({channels}, 0.0f)) {
+  require(channels % groups == 0, "GroupNorm: channels must divide by groups");
+}
+
+Tensor GroupNorm::forward(const Tensor& x) {
+  require(x.ndim() == 4 && x.size(1) == channels_, "GroupNorm: bad input shape");
+  x_cache_ = x;
+  const index_t N = x.size(0), H = x.size(2), W = x.size(3);
+  const index_t cg = channels_ / groups_;
+  const index_t m = cg * H * W;
+  xhat_cache_ = Tensor({N, channels_, H, W});
+  inv_std_.assign(static_cast<std::size_t>(N * groups_), 0.0);
+  Tensor y({N, channels_, H, W});
+
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t g = 0; g < groups_; ++g) {
+      double mean = 0.0;
+      for (index_t c = g * cg; c < (g + 1) * cg; ++c) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t w = 0; w < W; ++w) mean += x.at(n, c, h, w);
+        }
+      }
+      mean /= static_cast<double>(m);
+      double var = 0.0;
+      for (index_t c = g * cg; c < (g + 1) * cg; ++c) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t w = 0; w < W; ++w) {
+            const double d = x.at(n, c, h, w) - mean;
+            var += d * d;
+          }
+        }
+      }
+      var /= static_cast<double>(m);
+      const double inv_std = 1.0 / std::sqrt(var + eps_);
+      inv_std_[static_cast<std::size_t>(n * groups_ + g)] = inv_std;
+      for (index_t c = g * cg; c < (g + 1) * cg; ++c) {
+        const float ga = gamma_.value[c], be = beta_.value[c];
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t w = 0; w < W; ++w) {
+            const float xh = static_cast<float>((x.at(n, c, h, w) - mean) * inv_std);
+            xhat_cache_.at(n, c, h, w) = xh;
+            y.at(n, c, h, w) = ga * xh + be;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor GroupNorm::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  require(x.same_shape(grad_out), "GroupNorm::backward: shape mismatch");
+  const index_t N = x.size(0), H = x.size(2), W = x.size(3);
+  const index_t cg = channels_ / groups_;
+  const double m = static_cast<double>(cg * H * W);
+  Tensor gx({N, channels_, H, W});
+
+  // Affine parameter gradients.
+  for (index_t c = 0; c < channels_; ++c) {
+    double dg = 0, db = 0;
+    for (index_t n = 0; n < N; ++n) {
+      for (index_t h = 0; h < H; ++h) {
+        for (index_t w = 0; w < W; ++w) {
+          dg += grad_out.at(n, c, h, w) * xhat_cache_.at(n, c, h, w);
+          db += grad_out.at(n, c, h, w);
+        }
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dg);
+    beta_.grad[c] += static_cast<float>(db);
+  }
+
+  // Input gradient per (n, g): the standard normalized-stat backward.
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t g = 0; g < groups_; ++g) {
+      const double inv_std = inv_std_[static_cast<std::size_t>(n * groups_ + g)];
+      double sum_dxhat = 0, sum_dxhat_xhat = 0;
+      for (index_t c = g * cg; c < (g + 1) * cg; ++c) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t w = 0; w < W; ++w) {
+            const double dxhat = grad_out.at(n, c, h, w) * gamma_.value[c];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat_cache_.at(n, c, h, w);
+          }
+        }
+      }
+      for (index_t c = g * cg; c < (g + 1) * cg; ++c) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t w = 0; w < W; ++w) {
+            const double dxhat = grad_out.at(n, c, h, w) * gamma_.value[c];
+            const double xh = xhat_cache_.at(n, c, h, w);
+            gx.at(n, c, h, w) = static_cast<float>(
+                inv_std * (dxhat - sum_dxhat / m - xh * sum_dxhat_xhat / m));
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+// --------------------------------------------------------------- MaxPool2d
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  require(x.ndim() == 4, "MaxPool2d: expects 4D input");
+  const index_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  require(H % 2 == 0 && W % 2 == 0, "MaxPool2d: H and W must be even");
+  in_shape_ = x.shape();
+  Tensor y({N, C, H / 2, W / 2});
+  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  index_t out = 0;
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < C; ++c) {
+      for (index_t h = 0; h < H; h += 2) {
+        for (index_t w = 0; w < W; w += 2) {
+          float best = x.at(n, c, h, w);
+          index_t best_idx = ((n * C + c) * H + h) * W + w;
+          for (index_t dh = 0; dh < 2; ++dh) {
+            for (index_t dw = 0; dw < 2; ++dw) {
+              const float v = x.at(n, c, h + dh, w + dw);
+              if (v > best) {
+                best = v;
+                best_idx = ((n * C + c) * H + h + dh) * W + w + dw;
+              }
+            }
+          }
+          y[out] = best;
+          argmax_[static_cast<std::size_t>(out)] = best_idx;
+          ++out;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  require(!in_shape_.empty(), "MaxPool2d::backward: call forward first");
+  Tensor gx(in_shape_);
+  for (index_t i = 0; i < grad_out.numel(); ++i) {
+    gx[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return gx;
+}
+
+// -------------------------------------------------------------- Upsample2x
+
+Tensor Upsample2x::forward(const Tensor& x) {
+  require(x.ndim() == 4, "Upsample2x: expects 4D input");
+  in_shape_ = x.shape();
+  const index_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+  Tensor y({N, C, H * 2, W * 2});
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < C; ++c) {
+      for (index_t h = 0; h < 2 * H; ++h) {
+        for (index_t w = 0; w < 2 * W; ++w) {
+          y.at(n, c, h, w) = x.at(n, c, h / 2, w / 2);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Upsample2x::backward(const Tensor& grad_out) {
+  require(!in_shape_.empty(), "Upsample2x::backward: call forward first");
+  Tensor gx(in_shape_);
+  const index_t N = in_shape_[0], C = in_shape_[1], H = in_shape_[2], W = in_shape_[3];
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < C; ++c) {
+      for (index_t h = 0; h < 2 * H; ++h) {
+        for (index_t w = 0; w < 2 * W; ++w) {
+          gx.at(n, c, h / 2, w / 2) += grad_out.at(n, c, h, w);
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace maps::nn

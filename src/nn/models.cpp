@@ -1,0 +1,293 @@
+#include "nn/models.hpp"
+
+namespace maps::nn {
+
+// ---------------------------------------------------------------- FnoBlock
+
+FnoBlock::FnoBlock(index_t channels, index_t modes_x, index_t modes_y,
+                   maps::math::Rng& rng, std::string tag)
+    : tag_(std::move(tag)),
+      spectral_(channels, channels, modes_x, modes_y, rng, tag_ + ".spec"),
+      pointwise_(channels, channels, 1, rng, tag_ + ".pw") {}
+
+Tensor FnoBlock::forward(const Tensor& x) {
+  Tensor y = spectral_.forward(x);
+  y.add_(pointwise_.forward(x));
+  return act_.forward(y);
+}
+
+Tensor FnoBlock::backward(const Tensor& grad_out) {
+  const Tensor g = act_.backward(grad_out);
+  Tensor gx = spectral_.backward(g);
+  gx.add_(pointwise_.backward(g));
+  return gx;
+}
+
+std::vector<Param*> FnoBlock::parameters() {
+  auto ps = spectral_.parameters();
+  for (Param* p : pointwise_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+// --------------------------------------------------------------- FfnoBlock
+
+FfnoBlock::FfnoBlock(index_t channels, index_t modes, maps::math::Rng& rng,
+                     std::string tag)
+    : tag_(std::move(tag)),
+      spec_x_(channels, channels, modes, FftAxis::X, rng, tag_ + ".sx"),
+      spec_y_(channels, channels, modes, FftAxis::Y, rng, tag_ + ".sy"),
+      w1_(channels, channels, 1, rng, tag_ + ".w1"),
+      w2_(channels, channels, 1, rng, tag_ + ".w2") {}
+
+Tensor FfnoBlock::forward(const Tensor& x) {
+  Tensor s = spec_x_.forward(x);
+  s.add_(spec_y_.forward(x));
+  Tensor h = w2_.forward(act_.forward(w1_.forward(s)));
+  h.add_(x);  // residual
+  return h;
+}
+
+Tensor FfnoBlock::backward(const Tensor& grad_out) {
+  Tensor gs = w1_.backward(act_.backward(w2_.backward(grad_out)));
+  Tensor gx = spec_x_.backward(gs);
+  gx.add_(spec_y_.backward(gs));
+  gx.add_(grad_out);  // residual path
+  return gx;
+}
+
+std::vector<Param*> FfnoBlock::parameters() {
+  std::vector<Param*> ps;
+  for (Module* m : std::initializer_list<Module*>{&spec_x_, &spec_y_, &w1_, &w2_}) {
+    for (Param* p : m->parameters()) ps.push_back(p);
+  }
+  return ps;
+}
+
+// -------------------------------------------------------------- DoubleConv
+
+DoubleConv::DoubleConv(index_t c_in, index_t c_out, maps::math::Rng& rng,
+                       std::string tag) {
+  const index_t groups = std::min<index_t>(4, c_out);
+  seq_.add(std::make_unique<Conv2d>(c_in, c_out, 3, rng, tag + ".c1"));
+  seq_.add(std::make_unique<GroupNorm>(groups, c_out));
+  seq_.add(std::make_unique<Activation>(Act::Gelu));
+  seq_.add(std::make_unique<Conv2d>(c_out, c_out, 3, rng, tag + ".c2"));
+  seq_.add(std::make_unique<GroupNorm>(groups, c_out));
+  seq_.add(std::make_unique<Activation>(Act::Gelu));
+}
+
+// ------------------------------------------------------------------- Fno2d
+
+Fno2d::Fno2d(index_t c_in, index_t c_out, index_t width, index_t modes, int depth,
+             maps::math::Rng& rng, index_t stem_kernel) {
+  seq_.add(std::make_unique<Conv2d>(c_in, width, stem_kernel, rng, "lift"));
+  for (int d = 0; d < depth; ++d) {
+    seq_.add(std::make_unique<FnoBlock>(width, modes, modes, rng,
+                                        "block" + std::to_string(d)));
+  }
+  seq_.add(std::make_unique<Conv2d>(width, width, 1, rng, "proj1"));
+  seq_.add(std::make_unique<Activation>(Act::Gelu));
+  seq_.add(std::make_unique<Conv2d>(width, c_out, 1, rng, "proj2"));
+}
+
+Tensor Fno2d::forward(const Tensor& x) { return seq_.forward(x); }
+Tensor Fno2d::backward(const Tensor& g) { return seq_.backward(g); }
+std::vector<Param*> Fno2d::parameters() { return seq_.parameters(); }
+
+// ------------------------------------------------------------------ Ffno2d
+
+Ffno2d::Ffno2d(index_t c_in, index_t c_out, index_t width, index_t modes, int depth,
+               maps::math::Rng& rng) {
+  seq_.add(std::make_unique<Conv2d>(c_in, width, 1, rng, "lift"));
+  for (int d = 0; d < depth; ++d) {
+    seq_.add(std::make_unique<FfnoBlock>(width, modes, rng,
+                                         "fblock" + std::to_string(d)));
+  }
+  seq_.add(std::make_unique<Conv2d>(width, width, 1, rng, "proj1"));
+  seq_.add(std::make_unique<Activation>(Act::Gelu));
+  seq_.add(std::make_unique<Conv2d>(width, c_out, 1, rng, "proj2"));
+}
+
+// -------------------------------------------------------------------- UNet
+
+UNet::UNet(index_t c_in, index_t c_out, index_t width, maps::math::Rng& rng)
+    : enc1_(c_in, width, rng, "enc1"),
+      enc2_(width, 2 * width, rng, "enc2"),
+      bottleneck_(2 * width, 2 * width, rng, "mid"),
+      dec2_(4 * width, width, rng, "dec2"),
+      dec1_(2 * width, width, rng, "dec1"),
+      head_(width, c_out, 1, rng, "head") {}
+
+namespace {
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  const index_t N = a.size(0), Ca = a.size(1), Cb = b.size(1), H = a.size(2),
+                W = a.size(3);
+  require(b.size(0) == N && b.size(2) == H && b.size(3) == W,
+          "concat_channels: shape mismatch");
+  Tensor y({N, Ca + Cb, H, W});
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < Ca; ++c) {
+      for (index_t h = 0; h < H; ++h) {
+        for (index_t w = 0; w < W; ++w) y.at(n, c, h, w) = a.at(n, c, h, w);
+      }
+    }
+    for (index_t c = 0; c < Cb; ++c) {
+      for (index_t h = 0; h < H; ++h) {
+        for (index_t w = 0; w < W; ++w) y.at(n, Ca + c, h, w) = b.at(n, c, h, w);
+      }
+    }
+  }
+  return y;
+}
+
+std::pair<Tensor, Tensor> split_channels(const Tensor& g, index_t ca) {
+  const index_t N = g.size(0), C = g.size(1), H = g.size(2), W = g.size(3);
+  Tensor a({N, ca, H, W}), b({N, C - ca, H, W});
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < C; ++c) {
+      for (index_t h = 0; h < H; ++h) {
+        for (index_t w = 0; w < W; ++w) {
+          if (c < ca) {
+            a.at(n, c, h, w) = g.at(n, c, h, w);
+          } else {
+            b.at(n, c - ca, h, w) = g.at(n, c, h, w);
+          }
+        }
+      }
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+}  // namespace
+
+Tensor UNet::forward(const Tensor& x) {
+  s1_ = enc1_.forward(x);                    // (N, w, H, W)
+  s2_ = enc2_.forward(pool1_.forward(s1_));  // (N, 2w, H/2, W/2)
+  Tensor mid = bottleneck_.forward(pool2_.forward(s2_));  // (N, 2w, H/4, W/4)
+  Tensor u2 = concat_channels(up2_.forward(mid), s2_);    // (N, 4w, H/2, W/2)
+  Tensor d2 = dec2_.forward(u2);                          // (N, w, H/2, W/2)
+  Tensor u1 = concat_channels(up1_.forward(d2), s1_);     // (N, 2w, H, W)
+  Tensor d1 = dec1_.forward(u1);                          // (N, w, H, W)
+  return head_.forward(d1);
+}
+
+Tensor UNet::backward(const Tensor& grad_out) {
+  Tensor g = head_.backward(grad_out);
+  g = dec1_.backward(g);
+  auto [g_up1, g_s1] = split_channels(g, s1_.size(1) /* == width */);
+  Tensor g_d2 = up1_.backward(g_up1);
+  g_d2 = dec2_.backward(g_d2);
+  auto [g_up2, g_s2] = split_channels(g_d2, s2_.size(1));
+  Tensor g_mid = up2_.backward(g_up2);
+  g_mid = bottleneck_.backward(g_mid);
+  Tensor g_pool2 = pool2_.backward(g_mid);
+  g_pool2.add_(g_s2);  // skip join at s2
+  Tensor g_enc2 = enc2_.backward(g_pool2);
+  Tensor g_pool1 = pool1_.backward(g_enc2);
+  g_pool1.add_(g_s1);  // skip join at s1
+  return enc1_.backward(g_pool1);
+}
+
+std::vector<Param*> UNet::parameters() {
+  std::vector<Param*> ps;
+  for (Module* m : std::initializer_list<Module*>{&enc1_, &enc2_, &bottleneck_, &dec2_,
+                                                  &dec1_, &head_}) {
+    for (Param* p : m->parameters()) ps.push_back(p);
+  }
+  return ps;
+}
+
+// --------------------------------------------------------------- SParamCnn
+
+SParamCnn::SParamCnn(index_t c_in, index_t n_outputs, index_t width,
+                     maps::math::Rng& rng)
+    : fc_(2 * width, n_outputs, rng, "fc") {
+  convs_.add(std::make_unique<Conv2d>(c_in, width, 3, rng, "s1"));
+  convs_.add(std::make_unique<Activation>(Act::Gelu));
+  convs_.add(std::make_unique<MaxPool2d>());
+  convs_.add(std::make_unique<Conv2d>(width, 2 * width, 3, rng, "s2"));
+  convs_.add(std::make_unique<Activation>(Act::Gelu));
+  convs_.add(std::make_unique<MaxPool2d>());
+  convs_.add(std::make_unique<Conv2d>(2 * width, 2 * width, 3, rng, "s3"));
+  convs_.add(std::make_unique<Activation>(Act::Gelu));
+}
+
+Tensor SParamCnn::forward(const Tensor& x) {
+  Tensor h = convs_.forward(x);  // (N, C, H', W')
+  pre_pool_shape_ = h.shape();
+  const index_t N = h.size(0), C = h.size(1), H = h.size(2), W = h.size(3);
+  // Global average pool -> (N, C).
+  Tensor pooled({N, C});
+  const double inv = 1.0 / static_cast<double>(H * W);
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < C; ++c) {
+      double s = 0;
+      for (index_t hh = 0; hh < H; ++hh) {
+        for (index_t ww = 0; ww < W; ++ww) s += h.at(n, c, hh, ww);
+      }
+      pooled[n * C + c] = static_cast<float>(s * inv);
+    }
+  }
+  return fc_.forward(pooled);
+}
+
+Tensor SParamCnn::backward(const Tensor& grad_out) {
+  Tensor g_pooled = fc_.backward(grad_out);  // (N, C)
+  const index_t N = pre_pool_shape_[0], C = pre_pool_shape_[1],
+                H = pre_pool_shape_[2], W = pre_pool_shape_[3];
+  Tensor gh(pre_pool_shape_);
+  const float inv = 1.0f / static_cast<float>(H * W);
+  for (index_t n = 0; n < N; ++n) {
+    for (index_t c = 0; c < C; ++c) {
+      const float g = g_pooled[n * C + c] * inv;
+      for (index_t hh = 0; hh < H; ++hh) {
+        for (index_t ww = 0; ww < W; ++ww) gh.at(n, c, hh, ww) = g;
+      }
+    }
+  }
+  return convs_.backward(gh);
+}
+
+std::vector<Param*> SParamCnn::parameters() {
+  auto ps = convs_.parameters();
+  for (Param* p : fc_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+// ------------------------------------------------------------------ factory
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::Fno: return "FNO";
+    case ModelKind::Ffno: return "F-FNO";
+    case ModelKind::UNetKind: return "UNet";
+    case ModelKind::NeurOLight: return "NeurOLight";
+    case ModelKind::SParam: return "SParamCNN";
+  }
+  return "?";
+}
+
+std::unique_ptr<Module> make_model(const ModelConfig& cfg) {
+  maps::math::Rng rng(cfg.seed);
+  switch (cfg.kind) {
+    case ModelKind::Fno:
+      return std::make_unique<Fno2d>(cfg.in_channels, cfg.out_channels, cfg.width,
+                                     cfg.modes, cfg.depth, rng);
+    case ModelKind::Ffno:
+      return std::make_unique<Ffno2d>(cfg.in_channels, cfg.out_channels, cfg.width,
+                                      cfg.modes, cfg.depth, rng);
+    case ModelKind::UNetKind:
+      return std::make_unique<UNet>(cfg.in_channels, cfg.out_channels, cfg.width, rng);
+    case ModelKind::NeurOLight:
+      // Wave-prior channels are appended by the input encoder; the conv3x3
+      // stem lets the operator exploit their local phase structure.
+      return std::make_unique<Fno2d>(cfg.in_channels, cfg.out_channels, cfg.width,
+                                     cfg.modes, cfg.depth, rng, /*stem_kernel=*/3);
+    case ModelKind::SParam:
+      return std::make_unique<SParamCnn>(cfg.in_channels, cfg.n_outputs, cfg.width,
+                                         rng);
+  }
+  throw MapsError("make_model: unknown kind");
+}
+
+}  // namespace maps::nn

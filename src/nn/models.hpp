@@ -1,0 +1,139 @@
+// Baseline model zoo of MAPS-Train (Table III): FNO, Factorized-FNO, UNet,
+// NeurOLight-style, plus the black-box S-parameter CNN used by Table II.
+//
+// NeurOLight is reproduced in simplified form: the same FNO backbone with a
+// conv3x3 stem, consuming extra wave-prior input channels (built by the
+// MAPS-Train input encoder from eps and the wavelength). See DESIGN.md §5.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/spectral.hpp"
+
+namespace maps::nn {
+
+/// sigma(spectral(x) + pointwise(x)) — the classic FNO block.
+class FnoBlock final : public Module {
+ public:
+  FnoBlock(index_t channels, index_t modes_x, index_t modes_y, maps::math::Rng& rng,
+           std::string tag);
+  std::string name() const override { return tag_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  std::string tag_;
+  SpectralConv2d spectral_;
+  Conv2d pointwise_;
+  Activation act_{Act::Gelu};
+};
+
+/// F-FNO block: x + W2 gelu(W1 (specX(x) + specY(x))).
+class FfnoBlock final : public Module {
+ public:
+  FfnoBlock(index_t channels, index_t modes, maps::math::Rng& rng, std::string tag);
+  std::string name() const override { return tag_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  std::string tag_;
+  SpectralConv1d spec_x_, spec_y_;
+  Conv2d w1_, w2_;
+  Activation act_{Act::Gelu};
+};
+
+/// Two conv-gn-gelu stages (UNet building block).
+class DoubleConv final : public Module {
+ public:
+  DoubleConv(index_t c_in, index_t c_out, maps::math::Rng& rng, std::string tag);
+  std::string name() const override { return "double_conv"; }
+  Tensor forward(const Tensor& x) override { return seq_.forward(x); }
+  Tensor backward(const Tensor& g) override { return seq_.backward(g); }
+  std::vector<Param*> parameters() override { return seq_.parameters(); }
+
+ private:
+  Sequential seq_;
+};
+
+class Fno2d final : public Module {
+ public:
+  Fno2d(index_t c_in, index_t c_out, index_t width, index_t modes, int depth,
+        maps::math::Rng& rng, index_t stem_kernel = 1);
+  std::string name() const override { return "fno2d"; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  Sequential seq_;
+};
+
+class Ffno2d final : public Module {
+ public:
+  Ffno2d(index_t c_in, index_t c_out, index_t width, index_t modes, int depth,
+         maps::math::Rng& rng);
+  std::string name() const override { return "ffno2d"; }
+  Tensor forward(const Tensor& x) override { return seq_.forward(x); }
+  Tensor backward(const Tensor& g) override { return seq_.backward(g); }
+  std::vector<Param*> parameters() override { return seq_.parameters(); }
+
+ private:
+  Sequential seq_;
+};
+
+/// 3-level UNet with skip connections.
+class UNet final : public Module {
+ public:
+  UNet(index_t c_in, index_t c_out, index_t width, maps::math::Rng& rng);
+  std::string name() const override { return "unet"; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  DoubleConv enc1_, enc2_, bottleneck_, dec2_, dec1_;
+  MaxPool2d pool1_, pool2_;
+  Upsample2x up2_, up1_;
+  Conv2d head_;
+  Tensor s1_, s2_;  // skip tensors
+};
+
+/// Black-box regressor: eps+source maps -> scalar FoMs (Table II "AD-Black Box").
+class SParamCnn final : public Module {
+ public:
+  SParamCnn(index_t c_in, index_t n_outputs, index_t width, maps::math::Rng& rng);
+  std::string name() const override { return "sparam_cnn"; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override;
+
+ private:
+  Sequential convs_;
+  Linear fc_;
+  std::vector<index_t> pre_pool_shape_;
+};
+
+// ------------------------------------------------------------------ factory
+
+enum class ModelKind { Fno, Ffno, UNetKind, NeurOLight, SParam };
+
+const char* model_name(ModelKind kind);
+
+struct ModelConfig {
+  ModelKind kind = ModelKind::Fno;
+  index_t in_channels = 4;
+  index_t out_channels = 2;
+  index_t width = 16;
+  index_t modes = 12;
+  int depth = 4;
+  index_t n_outputs = 1;  // SParamCnn only
+  unsigned seed = 42;
+};
+
+std::unique_ptr<Module> make_model(const ModelConfig& config);
+
+}  // namespace maps::nn

@@ -1,0 +1,15 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+namespace maps::nn {
+
+void kaiming_init(Tensor& w, index_t fan_in, maps::math::Rng& rng) {
+  require(fan_in > 0, "kaiming_init: fan_in must be positive");
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (index_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+}  // namespace maps::nn

@@ -1,0 +1,82 @@
+// Module: the layer abstraction of MAPS-Train.
+//
+// Layer-based explicit reverse-mode: forward() caches whatever backward()
+// needs; backward() consumes dL/d(output), accumulates parameter gradients
+// and returns dL/d(input). Input gradients are first-class citizens because
+// two of the paper's gradient modes (Table II: AD-Black Box, AD-Pred Field)
+// differentiate the network with respect to the permittivity input channel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace maps::nn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(Tensor::zeros_like(value)) {}
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual std::string name() const = 0;
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// All trainable parameters (recursing into children).
+  virtual std::vector<Param*> parameters() { return {}; }
+
+  void zero_grad() {
+    for (Param* p : parameters()) p->zero_grad();
+  }
+  index_t num_parameters() {
+    index_t n = 0;
+    for (Param* p : parameters()) n += p->value.numel();
+    return n;
+  }
+};
+
+/// Straight-line composition of modules.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+  void add(std::unique_ptr<Module> m) { mods_.push_back(std::move(m)); }
+
+  std::string name() const override { return "sequential"; }
+  Tensor forward(const Tensor& x) override {
+    Tensor y = x;
+    for (auto& m : mods_) y = m->forward(y);
+    return y;
+  }
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = mods_.rbegin(); it != mods_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+  std::vector<Param*> parameters() override {
+    std::vector<Param*> ps;
+    for (auto& m : mods_) {
+      for (Param* p : m->parameters()) ps.push_back(p);
+    }
+    return ps;
+  }
+  std::size_t size() const { return mods_.size(); }
+  Module& at(std::size_t i) { return *mods_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> mods_;
+};
+
+/// Kaiming-uniform initialization helper shared by layers.
+void kaiming_init(Tensor& w, index_t fan_in, maps::math::Rng& rng);
+
+}  // namespace maps::nn

@@ -1,0 +1,90 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace maps::nn {
+
+Adam::Adam(std::vector<Param*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p->value.numel()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(p->value.numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, t_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    for (index_t i = 0; i < p->value.numel(); ++i) {
+      double g = p->grad[i];
+      if (options_.weight_decay > 0.0) g += options_.weight_decay * p->value[i];
+      auto& m = m_[k][static_cast<std::size_t>(i)];
+      auto& v = v_[k][static_cast<std::size_t>(i)];
+      m = static_cast<float>(options_.beta1 * m + (1.0 - options_.beta1) * g);
+      v = static_cast<float>(options_.beta2 * v + (1.0 - options_.beta2) * g * g);
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      p->value[i] -= static_cast<float>(options_.lr * mhat /
+                                        (std::sqrt(vhat) + options_.eps));
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (Param* p : params_) {
+    vel_.emplace_back(static_cast<std::size_t>(p->value.numel()), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    for (index_t i = 0; i < p->value.numel(); ++i) {
+      auto& v = vel_[k][static_cast<std::size_t>(i)];
+      v = static_cast<float>(momentum_ * v + p->grad[i]);
+      p->value[i] -= static_cast<float>(lr_ * v);
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+AdamVector::AdamVector(std::size_t n, AdamOptions options)
+    : options_(options), m_(n, 0.0), v_(n, 0.0) {}
+
+void AdamVector::step(std::vector<double>& theta, const std::vector<double>& grad,
+                      bool maximize) {
+  require(theta.size() == m_.size() && grad.size() == m_.size(),
+          "AdamVector::step: size mismatch");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, t_);
+  const double sign = maximize ? -1.0 : 1.0;  // descend on -F to ascend on F
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    const double g = sign * grad[i];
+    m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * g;
+    v_[i] = options_.beta2 * v_[i] + (1.0 - options_.beta2) * g * g;
+    theta[i] -= options_.lr * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + options_.eps);
+  }
+}
+
+double cosine_lr(double lr0, double lr_min, int step, int total) {
+  if (total <= 0 || step >= total) return lr_min;
+  const double cosv = 0.5 * (1.0 + std::cos(kPi * static_cast<double>(step) /
+                                            static_cast<double>(total)));
+  return lr_min + (lr0 - lr_min) * cosv;
+}
+
+}  // namespace maps::nn

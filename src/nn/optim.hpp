@@ -1,0 +1,71 @@
+// Optimizers and LR schedules for MAPS-Train and MAPS-InvDes.
+//
+// Adam is used both for network weights (float tensors via Param) and, in a
+// separate double-precision incarnation (AdamVector), for inverse-design
+// variables theta.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace maps::nn {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamOptions options = {});
+
+  void step();
+  void zero_grad();
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+  int iterations() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamOptions options_;
+  std::vector<std::vector<float>> m_, v_;
+  int t_ = 0;
+};
+
+/// SGD with optional momentum (baseline / tests).
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
+  void step();
+  void zero_grad();
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  double lr_, momentum_;
+  std::vector<std::vector<float>> vel_;
+};
+
+/// Adam over a plain double vector (inverse-design variables).
+class AdamVector {
+ public:
+  AdamVector(std::size_t n, AdamOptions options = {});
+  /// Gradient-ascent step when maximize = true.
+  void step(std::vector<double>& theta, const std::vector<double>& grad,
+            bool maximize = false);
+  void set_lr(double lr) { options_.lr = lr; }
+
+ private:
+  AdamOptions options_;
+  std::vector<double> m_, v_;
+  int t_ = 0;
+};
+
+/// Cosine decay from lr0 to lr_min over total steps.
+double cosine_lr(double lr0, double lr_min, int step, int total);
+
+}  // namespace maps::nn

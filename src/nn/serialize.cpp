@@ -1,0 +1,66 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace maps::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4D415053;  // "MAPS"
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+void save_parameters(Module& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  require(os.good(), "save_parameters: cannot open file");
+  const auto params = model.parameters();
+  write_u32(os, kMagic);
+  write_u32(os, static_cast<std::uint32_t>(params.size()));
+  for (const Param* p : params) {
+    write_u32(os, static_cast<std::uint32_t>(p->name.size()));
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u32(os, static_cast<std::uint32_t>(p->value.ndim()));
+    for (int d = 0; d < p->value.ndim(); ++d) {
+      write_u32(os, static_cast<std::uint32_t>(p->value.size(d)));
+    }
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  require(os.good(), "save_parameters: write failed");
+}
+
+void load_parameters(Module& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(is.good(), "load_parameters: cannot open file");
+  require(read_u32(is) == kMagic, "load_parameters: bad magic");
+  const auto params = model.parameters();
+  const std::uint32_t count = read_u32(is);
+  require(count == params.size(), "load_parameters: parameter count mismatch");
+  for (Param* p : params) {
+    const std::uint32_t name_len = read_u32(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    require(name == p->name, "load_parameters: parameter name mismatch: " + name +
+                                 " vs " + p->name);
+    const std::uint32_t ndim = read_u32(is);
+    require(static_cast<int>(ndim) == p->value.ndim(),
+            "load_parameters: rank mismatch for " + name);
+    for (int d = 0; d < p->value.ndim(); ++d) {
+      require(read_u32(is) == static_cast<std::uint32_t>(p->value.size(d)),
+              "load_parameters: shape mismatch for " + name);
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  require(is.good(), "load_parameters: truncated file");
+}
+
+}  // namespace maps::nn

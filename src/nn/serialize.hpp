@@ -1,0 +1,17 @@
+// Model checkpointing: a small tagged binary format (name, shape, float32
+// payload per parameter). Loading matches by name and shape so checkpoints
+// survive unrelated architecture reordering.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace maps::nn {
+
+void save_parameters(Module& model, const std::string& path);
+
+/// Throws on missing file or any name/shape mismatch.
+void load_parameters(Module& model, const std::string& path);
+
+}  // namespace maps::nn

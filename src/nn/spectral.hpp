@@ -1,0 +1,58 @@
+// Spectral convolution layers: the Fourier-domain kernels of FNO [6] and
+// Factorized-FNO [7].
+//
+// SpectralConv2d: FFT2 -> complex channel-mixing weights on the low-frequency
+// corner blocks (kx in [0,m1) u [nx-m1,nx), ky in [0,m2)) -> inverse FFT2,
+// real part. SpectralConv1d applies the same idea along a single axis
+// (weights shared across the other axis), which is the factorization of
+// F-FNO. Both have exact adjoint backward passes (FFT adjoint = scaled
+// inverse FFT; weights get the conjugated products).
+#pragma once
+
+#include "math/field2d.hpp"
+#include "nn/module.hpp"
+
+namespace maps::nn {
+
+class SpectralConv2d final : public Module {
+ public:
+  SpectralConv2d(index_t c_in, index_t c_out, index_t modes_x, index_t modes_y,
+                 maps::math::Rng& rng, std::string tag = "spectral2d");
+
+  std::string name() const override { return tag_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override { return {&w_}; }
+
+ private:
+  index_t c_in_, c_out_, mx_, my_;
+  std::string tag_;
+  // (2 blocks, c_in, c_out, mx, my, 2[re/im])
+  Param w_;
+  std::vector<maps::math::CplxGrid> x_hat_;  // cached FFTs, index n*c_in+ci
+  std::vector<index_t> in_shape_;
+};
+
+enum class FftAxis { X, Y };
+
+class SpectralConv1d final : public Module {
+ public:
+  SpectralConv1d(index_t c_in, index_t c_out, index_t modes, FftAxis axis,
+                 maps::math::Rng& rng, std::string tag = "spectral1d");
+
+  std::string name() const override { return tag_; }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> parameters() override { return {&w_}; }
+
+ private:
+  index_t c_in_, c_out_, m_;
+  FftAxis axis_;
+  std::string tag_;
+  // (2 blocks, c_in, c_out, m, 2[re/im])
+  Param w_;
+  std::vector<maps::math::CplxGrid> x_hat_;
+  std::vector<index_t> in_shape_;
+};
+
+}  // namespace maps::nn

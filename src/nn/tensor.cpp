@@ -1,0 +1,53 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace maps::nn {
+
+Tensor::Tensor(std::vector<index_t> shape, float fill) : shape_(std::move(shape)) {
+  index_t n = 1;
+  for (index_t d : shape_) {
+    require(d >= 0, "Tensor: negative dimension");
+    n *= d;
+  }
+  data_.assign(static_cast<std::size_t>(n), fill);
+}
+
+index_t Tensor::size(int d) const {
+  require(d >= 0 && d < ndim(), "Tensor::size: bad dimension");
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+Tensor Tensor::reshaped(std::vector<index_t> new_shape) const {
+  index_t n = 1;
+  for (index_t d : new_shape) n *= d;
+  require(n == numel(), "Tensor::reshaped: numel mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::add_(const Tensor& o, float scale) {
+  require(same_shape(o), "Tensor::add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * o.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Tensor::sum() const {
+  double s = 0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::sumsq() const {
+  double s = 0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+}  // namespace maps::nn

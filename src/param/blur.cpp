@@ -1,0 +1,74 @@
+#include "param/blur.hpp"
+
+#include <cmath>
+
+namespace maps::param {
+
+BlurFilter::BlurFilter(double radius_cells, KernelShape shape)
+    : radius_(radius_cells), shape_(shape) {
+  maps::require(radius_cells >= 0.0, "BlurFilter: negative radius");
+  half_ = static_cast<int>(std::ceil(radius_cells));
+  const int w = 2 * half_ + 1;
+  kernel_.assign(static_cast<std::size_t>(w) * w, 0.0);
+  double total = 0.0;
+  for (int dj = -half_; dj <= half_; ++dj) {
+    for (int di = -half_; di <= half_; ++di) {
+      const double r = std::hypot(static_cast<double>(di), static_cast<double>(dj));
+      double v = 0.0;
+      if (shape_ == KernelShape::Cone) {
+        v = std::max(0.0, radius_ - r + 1.0);  // +1 keeps radius=0 the identity
+      } else {
+        const double sigma = std::max(radius_ / 2.0, 0.25);
+        v = (r <= radius_ + 1e-12 || half_ == 0)
+                ? std::exp(-0.5 * (r / sigma) * (r / sigma))
+                : 0.0;
+      }
+      kernel_[static_cast<std::size_t>((dj + half_) * w + (di + half_))] = v;
+      total += v;
+    }
+  }
+  for (double& v : kernel_) v /= total;
+}
+
+RealGrid BlurFilter::convolve(const RealGrid& x) const {
+  const index_t nx = x.nx(), ny = x.ny();
+  const int w = 2 * half_ + 1;
+  RealGrid y(nx, ny);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      double s = 0.0;
+      for (int dj = -half_; dj <= half_; ++dj) {
+        const index_t jj = j + dj;
+        if (jj < 0 || jj >= ny) continue;
+        for (int di = -half_; di <= half_; ++di) {
+          const index_t ii = i + di;
+          if (ii < 0 || ii >= nx) continue;
+          s += kernel_[static_cast<std::size_t>((dj + half_) * w + (di + half_))] *
+               x(ii, jj);
+        }
+      }
+      y(i, j) = s;
+    }
+  }
+  return y;
+}
+
+RealGrid BlurFilter::forward(const RealGrid& x) {
+  if (mass_.nx() != x.nx() || mass_.ny() != x.ny()) {
+    RealGrid ones(x.nx(), x.ny(), 1.0);
+    mass_ = convolve(ones);
+  }
+  RealGrid y = convolve(x);
+  for (index_t n = 0; n < y.size(); ++n) y[n] /= mass_[n];
+  return y;
+}
+
+RealGrid BlurFilter::vjp(const RealGrid& grad_out) const {
+  maps::require(mass_.same_shape(grad_out), "BlurFilter::vjp: call forward first");
+  // y = (K x) ./ m  =>  dL/dx = K^T (dL/dy ./ m); K is symmetric.
+  RealGrid scaled(grad_out.nx(), grad_out.ny());
+  for (index_t n = 0; n < scaled.size(); ++n) scaled[n] = grad_out[n] / mass_[n];
+  return convolve(scaled);
+}
+
+}  // namespace maps::param

@@ -1,0 +1,41 @@
+// Smoothing filters ("subpx blur" in Fig. 4): Gaussian and cone kernels with
+// boundary-renormalized convolution.
+//
+// y = (K * x) / (K * 1): dividing by the kernel's local mass keeps densities
+// near the design-region edge unbiased. The filter radius also underwrites
+// the minimum-feature-size guarantee of the filter+project scheme.
+#pragma once
+
+#include <vector>
+
+#include "param/transform.hpp"
+
+namespace maps::param {
+
+enum class KernelShape { Gaussian, Cone };
+
+class BlurFilter final : public Transform {
+ public:
+  /// radius in cells; Gaussian sigma = radius/2 truncated at the radius.
+  BlurFilter(double radius_cells, KernelShape shape = KernelShape::Cone);
+
+  std::string name() const override { return "blur"; }
+  RealGrid forward(const RealGrid& x) override;
+  RealGrid vjp(const RealGrid& grad_out) const override;
+  std::unique_ptr<Transform> clone() const override {
+    return std::make_unique<BlurFilter>(*this);
+  }
+
+  double radius() const { return radius_; }
+
+ private:
+  RealGrid convolve(const RealGrid& x) const;  // plain zero-padded K * x
+
+  double radius_;
+  KernelShape shape_;
+  int half_ = 0;
+  std::vector<double> kernel_;  // (2*half_+1)^2 weights, normalized to sum 1
+  RealGrid mass_;               // K * 1 for the cached input shape
+};
+
+}  // namespace maps::param

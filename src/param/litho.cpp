@@ -1,0 +1,48 @@
+#include "param/litho.hpp"
+
+namespace maps::param {
+
+namespace {
+double corner_eta(const LithoSpec& s, LithoCorner c) {
+  switch (c) {
+    case LithoCorner::OverEtch:
+      return s.dose_nominal + s.dose_delta;
+    case LithoCorner::UnderEtch:
+      return s.dose_nominal - s.dose_delta;
+    case LithoCorner::Nominal:
+    default:
+      return s.dose_nominal;
+  }
+}
+}  // namespace
+
+LithoModel::LithoModel(LithoSpec spec, LithoCorner corner)
+    : spec_(spec), corner_(corner),
+      blur_(spec.defocus_sigma, KernelShape::Gaussian),
+      project_(spec.beta, corner_eta(spec, corner)) {}
+
+RealGrid LithoModel::forward(const RealGrid& x) {
+  return project_.forward(blur_.forward(x));
+}
+
+RealGrid LithoModel::vjp(const RealGrid& grad_out) const {
+  return blur_.vjp(project_.vjp(grad_out));
+}
+
+std::unique_ptr<Transform> LithoModel::clone() const {
+  return std::make_unique<LithoModel>(spec_, corner_);
+}
+
+const char* LithoModel::corner_name(LithoCorner c) {
+  switch (c) {
+    case LithoCorner::Nominal:
+      return "nominal";
+    case LithoCorner::OverEtch:
+      return "over_etch";
+    case LithoCorner::UnderEtch:
+      return "under_etch";
+  }
+  return "?";
+}
+
+}  // namespace maps::param

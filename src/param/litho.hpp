@@ -1,0 +1,54 @@
+// Differentiable lithography / etch variation proxy (Sec. III-C.3).
+//
+// Models the pattern-transfer chain as defocus blur followed by a dose
+// threshold: corner masks come from shifting the threshold (over-etch ->
+// higher threshold -> shrunken features; under-etch -> lower threshold ->
+// dilated features), the standard eroded/nominal/dilated triple of robust
+// topology optimization. Each corner is a differentiable Transform, so
+// corner FoMs backpropagate to the design like any other objective.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "param/blur.hpp"
+#include "param/project.hpp"
+#include "param/transform.hpp"
+
+namespace maps::param {
+
+enum class LithoCorner { Nominal, OverEtch, UnderEtch };
+
+struct LithoSpec {
+  double defocus_sigma = 2.0;  // blur radius in design cells
+  double dose_nominal = 0.5;   // nominal threshold eta
+  double dose_delta = 0.08;    // corner threshold shift
+  double beta = 24.0;          // resist sharpness
+};
+
+class LithoModel final : public Transform {
+ public:
+  LithoModel(LithoSpec spec, LithoCorner corner);
+
+  std::string name() const override { return "litho"; }
+  RealGrid forward(const RealGrid& x) override;
+  RealGrid vjp(const RealGrid& grad_out) const override;
+  std::unique_ptr<Transform> clone() const override;
+
+  LithoCorner corner() const { return corner_; }
+  double eta() const { return project_.eta(); }
+
+  /// All three corners for a spec (robust optimization loops over these).
+  static std::array<LithoCorner, 3> corners() {
+    return {LithoCorner::Nominal, LithoCorner::OverEtch, LithoCorner::UnderEtch};
+  }
+  static const char* corner_name(LithoCorner c);
+
+ private:
+  LithoSpec spec_;
+  LithoCorner corner_;
+  BlurFilter blur_;
+  TanhProject project_;
+};
+
+}  // namespace maps::param

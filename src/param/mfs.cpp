@@ -1,0 +1,109 @@
+#include "param/mfs.hpp"
+
+#include <cmath>
+
+namespace maps::param {
+
+double gray_indicator(const RealGrid& rho) {
+  if (rho.size() == 0) return 0.0;
+  double s = 0.0;
+  for (index_t n = 0; n < rho.size(); ++n) s += 4.0 * rho[n] * (1.0 - rho[n]);
+  return s / static_cast<double>(rho.size());
+}
+
+RealGrid gray_indicator_grad(const RealGrid& rho) {
+  RealGrid g(rho.nx(), rho.ny());
+  const double inv_n = 1.0 / static_cast<double>(std::max<index_t>(1, rho.size()));
+  for (index_t n = 0; n < rho.size(); ++n) g[n] = 4.0 * (1.0 - 2.0 * rho[n]) * inv_n;
+  return g;
+}
+
+BinaryMask binarize(const RealGrid& rho, double threshold) {
+  BinaryMask m(rho.nx(), rho.ny());
+  for (index_t n = 0; n < rho.size(); ++n) m[n] = rho[n] >= threshold ? 1 : 0;
+  return m;
+}
+
+namespace {
+// Disk offsets within radius r.
+std::vector<std::pair<index_t, index_t>> disk_offsets(double radius) {
+  std::vector<std::pair<index_t, index_t>> offs;
+  const auto r = static_cast<index_t>(std::floor(radius));
+  for (index_t dj = -r; dj <= r; ++dj) {
+    for (index_t di = -r; di <= r; ++di) {
+      if (static_cast<double>(di * di + dj * dj) <= radius * radius + 1e-9) {
+        offs.emplace_back(di, dj);
+      }
+    }
+  }
+  return offs;
+}
+
+// Erosion treating out-of-bounds as `border`; dilation is erosion duality.
+BinaryMask erode_with_border(const BinaryMask& m, double radius, std::uint8_t border) {
+  const auto offs = disk_offsets(radius);
+  BinaryMask out(m.nx(), m.ny());
+  for (index_t j = 0; j < m.ny(); ++j) {
+    for (index_t i = 0; i < m.nx(); ++i) {
+      std::uint8_t v = 1;
+      for (const auto& [di, dj] : offs) {
+        const index_t ii = i + di, jj = j + dj;
+        const std::uint8_t s = m.in_bounds(ii, jj) ? m(ii, jj) : border;
+        if (!s) {
+          v = 0;
+          break;
+        }
+      }
+      out(i, j) = v;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+BinaryMask erode(const BinaryMask& m, double radius) {
+  // Outside the design region counts as solid so boundary-touching features
+  // are not flagged (they continue into the waveguides).
+  return erode_with_border(m, radius, 1);
+}
+
+BinaryMask dilate(const BinaryMask& m, double radius) {
+  BinaryMask inv(m.nx(), m.ny());
+  for (index_t n = 0; n < m.size(); ++n) inv[n] = m[n] ? 0 : 1;
+  BinaryMask er = erode_with_border(inv, radius, 1);
+  for (index_t n = 0; n < er.size(); ++n) er[n] = er[n] ? 0 : 1;
+  return er;
+}
+
+BinaryMask open_morph(const BinaryMask& m, double radius) {
+  return dilate(erode(m, radius), radius);
+}
+
+BinaryMask close_morph(const BinaryMask& m, double radius) {
+  return erode(dilate(m, radius), radius);
+}
+
+MfsReport mfs_audit(const BinaryMask& m, double radius) {
+  MfsReport rep;
+  const BinaryMask opened = open_morph(m, radius);
+  const BinaryMask closed = close_morph(m, radius);
+  for (index_t n = 0; n < m.size(); ++n) {
+    if (m[n] && !opened[n]) ++rep.solid_violations;
+    if (!m[n] && closed[n]) ++rep.void_violations;
+  }
+  return rep;
+}
+
+double measured_mfs_radius(const BinaryMask& m, double max_radius) {
+  double best = 0.0;
+  for (double r = 1.0; r <= max_radius + 1e-9; r += 1.0) {
+    if (mfs_audit(m, r).ok()) {
+      best = r;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace maps::param

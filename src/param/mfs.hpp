@@ -1,0 +1,44 @@
+// Minimum-feature-size (MFS) control: differentiable gray-region penalty
+// plus a non-differentiable morphological audit.
+//
+// The filter(radius R) + sharp-projection chain already guarantees an MFS on
+// the order of R; the gray penalty sum 4*rho*(1-rho)/N pushes densities to
+// {0,1} so that guarantee binds. The audit measures the realized MFS of a
+// binarized mask with disk open/close — the manufacturability check a
+// foundry DRC would run.
+#pragma once
+
+#include "math/field2d.hpp"
+
+namespace maps::param {
+
+using maps::math::RealGrid;
+
+/// Mean gray-ness in [0,1]: 0 for a fully binary pattern, 1 at rho = 0.5.
+double gray_indicator(const RealGrid& rho);
+
+/// d(gray_indicator)/d(rho).
+RealGrid gray_indicator_grad(const RealGrid& rho);
+
+/// Binary morphology with a disk structuring element of radius r (cells).
+using BinaryMask = maps::math::Grid2D<std::uint8_t>;
+BinaryMask binarize(const RealGrid& rho, double threshold = 0.5);
+BinaryMask erode(const BinaryMask& m, double radius);
+BinaryMask dilate(const BinaryMask& m, double radius);
+BinaryMask open_morph(const BinaryMask& m, double radius);   // erode then dilate
+BinaryMask close_morph(const BinaryMask& m, double radius);  // dilate then erode
+
+struct MfsReport {
+  index_t solid_violations = 0;  // pixels lost by opening (features < 2r)
+  index_t void_violations = 0;   // pixels gained by closing (gaps < 2r)
+  bool ok() const { return solid_violations == 0 && void_violations == 0; }
+};
+
+/// Audit a binarized mask against minimum feature diameter 2*radius.
+MfsReport mfs_audit(const BinaryMask& m, double radius);
+
+/// Largest radius (in integer cell steps up to max_radius) whose audit
+/// passes; this is the realized MFS/2 of the mask.
+double measured_mfs_radius(const BinaryMask& m, double max_radius);
+
+}  // namespace maps::param

@@ -1,0 +1,84 @@
+#include "param/parameterization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/interpolate.hpp"
+
+namespace maps::param {
+
+RealGrid DirectDensity::to_density(const std::vector<double>& theta) {
+  maps::require(static_cast<index_t>(theta.size()) == nx_ * ny_,
+                "DirectDensity: theta size mismatch");
+  return RealGrid(nx_, ny_, theta);
+}
+
+std::vector<double> DirectDensity::vjp(const RealGrid& grad_density) const {
+  maps::require(grad_density.nx() == nx_ && grad_density.ny() == ny_,
+                "DirectDensity::vjp: shape mismatch");
+  return grad_density.data();
+}
+
+void DirectDensity::feasible(std::vector<double>& theta) const {
+  for (double& t : theta) t = std::clamp(t, 0.0, 1.0);
+}
+
+LevelSet::LevelSet(index_t cx, index_t cy, index_t nx, index_t ny, double width)
+    : cx_(cx), cy_(cy), nx_(nx), ny_(ny), width_(width) {
+  maps::require(cx >= 2 && cy >= 2, "LevelSet: control grid too small");
+  maps::require(nx >= cx && ny >= cy, "LevelSet: design grid smaller than control");
+  maps::require(width > 0.0, "LevelSet: width must be positive");
+}
+
+RealGrid LevelSet::to_density(const std::vector<double>& theta) {
+  maps::require(static_cast<index_t>(theta.size()) == cx_ * cy_,
+                "LevelSet: theta size mismatch");
+  const RealGrid control(cx_, cy_, theta);
+  cached_phi_ = maps::math::bilinear_resample(control, nx_, ny_);
+  RealGrid rho(nx_, ny_);
+  for (index_t n = 0; n < rho.size(); ++n) {
+    rho[n] = 0.5 * (1.0 + std::tanh(cached_phi_[n] / width_));
+  }
+  return rho;
+}
+
+std::vector<double> LevelSet::vjp(const RealGrid& grad_density) const {
+  maps::require(grad_density.nx() == nx_ && grad_density.ny() == ny_,
+                "LevelSet::vjp: shape mismatch");
+  maps::require(cached_phi_.size() == grad_density.size(),
+                "LevelSet::vjp: call to_density first");
+  // d rho / d phi = 0.5 * (1 - tanh^2(phi/w)) / w, then the adjoint of the
+  // bilinear upsample scatters back to the control grid.
+  RealGrid grad_phi(nx_, ny_);
+  for (index_t n = 0; n < grad_phi.size(); ++n) {
+    const double t = std::tanh(cached_phi_[n] / width_);
+    grad_phi[n] = grad_density[n] * 0.5 * (1.0 - t * t) / width_;
+  }
+  // Adjoint of bilinear_resample (cell-center convention): accumulate each
+  // fine-cell weight onto its four coarse parents.
+  std::vector<double> grad_theta(static_cast<std::size_t>(cx_ * cy_), 0.0);
+  const double sx = static_cast<double>(cx_) / static_cast<double>(nx_);
+  const double sy = static_cast<double>(cy_) / static_cast<double>(ny_);
+  for (index_t j = 0; j < ny_; ++j) {
+    const double fy = (static_cast<double>(j) + 0.5) * sy - 0.5;
+    const index_t j0 = static_cast<index_t>(std::floor(fy));
+    const double wy = fy - static_cast<double>(j0);
+    const index_t j0c = std::clamp<index_t>(j0, 0, cy_ - 1);
+    const index_t j1c = std::clamp<index_t>(j0 + 1, 0, cy_ - 1);
+    for (index_t i = 0; i < nx_; ++i) {
+      const double fx = (static_cast<double>(i) + 0.5) * sx - 0.5;
+      const index_t i0 = static_cast<index_t>(std::floor(fx));
+      const double wx = fx - static_cast<double>(i0);
+      const index_t i0c = std::clamp<index_t>(i0, 0, cx_ - 1);
+      const index_t i1c = std::clamp<index_t>(i0 + 1, 0, cx_ - 1);
+      const double g = grad_phi(i, j);
+      grad_theta[static_cast<std::size_t>(i0c + cx_ * j0c)] += g * (1 - wx) * (1 - wy);
+      grad_theta[static_cast<std::size_t>(i1c + cx_ * j0c)] += g * wx * (1 - wy);
+      grad_theta[static_cast<std::size_t>(i0c + cx_ * j1c)] += g * (1 - wx) * wy;
+      grad_theta[static_cast<std::size_t>(i1c + cx_ * j1c)] += g * wx * wy;
+    }
+  }
+  return grad_theta;
+}
+
+}  // namespace maps::param

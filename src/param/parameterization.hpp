@@ -1,0 +1,64 @@
+// Design-variable parameterizations `P` of Eq. (1): theta -> density grid.
+//
+// DirectDensity is one theta per design cell, clamped to [0,1].
+// LevelSet parameterizes a coarse control grid whose bilinear upsample is a
+// level-set function phi; the density is the smoothed Heaviside of phi
+// ("param (e.g., levelset)" in Fig. 4). Both expose exact VJPs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/field2d.hpp"
+
+namespace maps::param {
+
+using maps::math::RealGrid;
+
+class Parameterization {
+ public:
+  virtual ~Parameterization() = default;
+  virtual std::string name() const = 0;
+  virtual int num_params() const = 0;
+  /// theta -> density grid (design-region shape).
+  virtual RealGrid to_density(const std::vector<double>& theta) = 0;
+  /// d(loss)/d(theta) from d(loss)/d(density); follows a to_density call.
+  virtual std::vector<double> vjp(const RealGrid& grad_density) const = 0;
+  /// Clamp / re-normalize theta after a gradient step (projection to the
+  /// feasible box). Default: no-op.
+  virtual void feasible(std::vector<double>& theta) const { (void)theta; }
+};
+
+class DirectDensity final : public Parameterization {
+ public:
+  DirectDensity(index_t nx, index_t ny) : nx_(nx), ny_(ny) {}
+
+  std::string name() const override { return "direct_density"; }
+  int num_params() const override { return static_cast<int>(nx_ * ny_); }
+  RealGrid to_density(const std::vector<double>& theta) override;
+  std::vector<double> vjp(const RealGrid& grad_density) const override;
+  void feasible(std::vector<double>& theta) const override;
+
+ private:
+  index_t nx_, ny_;
+};
+
+class LevelSet final : public Parameterization {
+ public:
+  /// Control grid (cx x cy) upsampled to the design grid (nx x ny); the
+  /// density is 0.5*(1 + tanh(phi / width)).
+  LevelSet(index_t cx, index_t cy, index_t nx, index_t ny, double width = 0.2);
+
+  std::string name() const override { return "level_set"; }
+  int num_params() const override { return static_cast<int>(cx_ * cy_); }
+  RealGrid to_density(const std::vector<double>& theta) override;
+  std::vector<double> vjp(const RealGrid& grad_density) const override;
+
+ private:
+  index_t cx_, cy_, nx_, ny_;
+  double width_;
+  RealGrid cached_phi_;  // upsampled level-set values
+};
+
+}  // namespace maps::param

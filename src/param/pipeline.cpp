@@ -1,0 +1,73 @@
+#include "param/pipeline.hpp"
+
+namespace maps::param {
+
+DesignPipeline::DesignPipeline(std::unique_ptr<Parameterization> param, DesignMap map)
+    : param_(std::move(param)), map_(std::move(map)) {
+  maps::require(param_ != nullptr, "DesignPipeline: null parameterization");
+  maps::require(map_.box.ni > 0 && map_.box.nj > 0, "DesignPipeline: empty box");
+}
+
+void DesignPipeline::add_transform(std::unique_ptr<Transform> t) {
+  maps::require(t != nullptr, "DesignPipeline: null transform");
+  transforms_.push_back(std::move(t));
+}
+
+RealGrid DesignPipeline::density(const std::vector<double>& theta) {
+  RealGrid rho = param_->to_density(theta);
+  maps::require(rho.nx() == map_.box.ni && rho.ny() == map_.box.nj,
+                "DesignPipeline: parameterization shape does not match box");
+  for (auto& t : transforms_) rho = t->forward(rho);
+  return rho;
+}
+
+RealGrid DesignPipeline::eps_of(const std::vector<double>& theta) {
+  return embed_density(map_, density(theta));
+}
+
+std::vector<double> DesignPipeline::backward(const RealGrid& grad_eps_full) const {
+  return backward_density(extract_density_grad(map_, grad_eps_full));
+}
+
+std::vector<double> DesignPipeline::backward_density(const RealGrid& grad_rho_bar) const {
+  RealGrid g = grad_rho_bar;
+  for (auto it = transforms_.rbegin(); it != transforms_.rend(); ++it) {
+    g = (*it)->vjp(g);
+  }
+  return param_->vjp(g);
+}
+
+void DesignPipeline::set_projection_beta(double beta) {
+  for (auto& t : transforms_) {
+    if (auto* p = dynamic_cast<TanhProject*>(t.get())) p->set_beta(beta);
+  }
+}
+
+RealGrid embed_density(const DesignMap& map, const RealGrid& rho_bar) {
+  maps::require(rho_bar.nx() == map.box.ni && rho_bar.ny() == map.box.nj,
+                "embed_density: density/box mismatch");
+  RealGrid eps = map.base_eps;
+  for (index_t j = 0; j < map.box.nj; ++j) {
+    for (index_t i = 0; i < map.box.ni; ++i) {
+      eps(map.box.i0 + i, map.box.j0 + j) =
+          map.eps_lo + rho_bar(i, j) * (map.eps_hi - map.eps_lo);
+    }
+  }
+  return eps;
+}
+
+RealGrid extract_density_grad(const DesignMap& map, const RealGrid& grad_eps_full) {
+  maps::require(grad_eps_full.nx() == map.base_eps.nx() &&
+                    grad_eps_full.ny() == map.base_eps.ny(),
+                "extract_density_grad: full-grid shape mismatch");
+  RealGrid g(map.box.ni, map.box.nj);
+  const double scale = map.eps_hi - map.eps_lo;
+  for (index_t j = 0; j < map.box.nj; ++j) {
+    for (index_t i = 0; i < map.box.ni; ++i) {
+      g(i, j) = grad_eps_full(map.box.i0 + i, map.box.j0 + j) * scale;
+    }
+  }
+  return g;
+}
+
+}  // namespace maps::param

@@ -1,0 +1,77 @@
+// DesignPipeline: theta -> P -> G -> eps, with the exact adjoint chain back.
+//
+// This is the "param / transform" backbone of MAPS-InvDes (Fig. 4):
+//   rho      = P(theta)           (Parameterization)
+//   rho_bar  = G_k(...G_1(rho))   (Transform chain: blur, symmetry, litho,
+//                                  projection, ...)
+//   eps      = base_eps outside the design box;
+//              eps_lo + rho_bar * (eps_hi - eps_lo) inside.
+// backward() reverses the chain, turning dF/deps (from the FDFD adjoint)
+// into dF/dtheta for the optimizer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grid/yee_grid.hpp"
+#include "param/parameterization.hpp"
+#include "param/project.hpp"
+#include "param/transform.hpp"
+
+namespace maps::param {
+
+struct DesignMap {
+  grid::BoxRegion box;       // design region in sim-grid cells
+  double eps_lo = 1.0;       // density 0 material
+  double eps_hi = 12.0;      // density 1 material
+  RealGrid base_eps;         // full-grid permittivity outside the box
+};
+
+class DesignPipeline {
+ public:
+  DesignPipeline(std::unique_ptr<Parameterization> param, DesignMap map);
+
+  DesignPipeline(const DesignPipeline&) = delete;
+  DesignPipeline& operator=(const DesignPipeline&) = delete;
+  DesignPipeline(DesignPipeline&&) = default;
+  DesignPipeline& operator=(DesignPipeline&&) = default;
+
+  void add_transform(std::unique_ptr<Transform> t);
+
+  int num_params() const { return param_->num_params(); }
+  const DesignMap& map() const { return map_; }
+  Parameterization& parameterization() { return *param_; }
+
+  /// Post-transform density on the design grid (caches the forward chain).
+  RealGrid density(const std::vector<double>& theta);
+
+  /// Full-grid permittivity for the same theta (calls density()).
+  RealGrid eps_of(const std::vector<double>& theta);
+
+  /// dF/dtheta from a full-grid dF/deps. Must follow eps_of/density on the
+  /// same theta.
+  std::vector<double> backward(const RealGrid& grad_eps_full) const;
+
+  /// dF/dtheta from a design-grid dF/drho_bar (e.g. gray-penalty terms).
+  std::vector<double> backward_density(const RealGrid& grad_rho_bar) const;
+
+  /// Update beta on every TanhProject in the chain (binarization schedule).
+  void set_projection_beta(double beta);
+
+  /// Clamp theta to the parameterization's feasible set.
+  void feasible(std::vector<double>& theta) const { param_->feasible(theta); }
+
+ private:
+  std::unique_ptr<Parameterization> param_;
+  std::vector<std::unique_ptr<Transform>> transforms_;
+  DesignMap map_;
+};
+
+/// Insert a design-grid tensor into the full eps map.
+RealGrid embed_density(const DesignMap& map, const RealGrid& rho_bar);
+
+/// Extract the design-box slice of a full-grid tensor, scaled by
+/// (eps_hi - eps_lo) — the adjoint of embed_density.
+RealGrid extract_density_grad(const DesignMap& map, const RealGrid& grad_eps_full);
+
+}  // namespace maps::param

@@ -1,0 +1,44 @@
+#include "param/project.hpp"
+
+#include <cmath>
+
+namespace maps::param {
+
+TanhProject::TanhProject(double beta, double eta) : beta_(beta), eta_(eta) {
+  maps::require(beta > 0.0, "TanhProject: beta must be positive");
+  maps::require(eta > 0.0 && eta < 1.0, "TanhProject: eta must lie in (0,1)");
+}
+
+void TanhProject::set_beta(double beta) {
+  maps::require(beta > 0.0, "TanhProject: beta must be positive");
+  beta_ = beta;
+}
+
+double TanhProject::project(double rho, double beta, double eta) {
+  const double denom = std::tanh(beta * eta) + std::tanh(beta * (1.0 - eta));
+  return (std::tanh(beta * eta) + std::tanh(beta * (rho - eta))) / denom;
+}
+
+double TanhProject::derivative(double rho, double beta, double eta) {
+  const double denom = std::tanh(beta * eta) + std::tanh(beta * (1.0 - eta));
+  const double t = std::tanh(beta * (rho - eta));
+  return beta * (1.0 - t * t) / denom;
+}
+
+RealGrid TanhProject::forward(const RealGrid& x) {
+  cached_x_ = x;
+  RealGrid y(x.nx(), x.ny());
+  for (index_t n = 0; n < x.size(); ++n) y[n] = project(x[n], beta_, eta_);
+  return y;
+}
+
+RealGrid TanhProject::vjp(const RealGrid& grad_out) const {
+  maps::require(cached_x_.same_shape(grad_out), "TanhProject::vjp: call forward first");
+  RealGrid gx(grad_out.nx(), grad_out.ny());
+  for (index_t n = 0; n < gx.size(); ++n) {
+    gx[n] = grad_out[n] * derivative(cached_x_[n], beta_, eta_);
+  }
+  return gx;
+}
+
+}  // namespace maps::param

@@ -1,0 +1,35 @@
+// Smoothed binarization projection (the standard tanh projection of
+// topology optimization). beta is sharpened on a schedule during inverse
+// design; eta is the threshold (0.5 nominal; litho corners shift it).
+#pragma once
+
+#include "param/transform.hpp"
+
+namespace maps::param {
+
+class TanhProject final : public Transform {
+ public:
+  explicit TanhProject(double beta = 8.0, double eta = 0.5);
+
+  std::string name() const override { return "tanh_project"; }
+  RealGrid forward(const RealGrid& x) override;
+  RealGrid vjp(const RealGrid& grad_out) const override;
+  std::unique_ptr<Transform> clone() const override {
+    return std::make_unique<TanhProject>(*this);
+  }
+
+  double beta() const { return beta_; }
+  double eta() const { return eta_; }
+  /// Binarization schedule hook for the inverse-design loop.
+  void set_beta(double beta);
+
+  /// rho_bar = (tanh(beta*eta) + tanh(beta*(rho-eta))) / (tanh(beta*eta) + tanh(beta*(1-eta)))
+  static double project(double rho, double beta, double eta);
+  static double derivative(double rho, double beta, double eta);
+
+ private:
+  double beta_, eta_;
+  RealGrid cached_x_;
+};
+
+}  // namespace maps::param

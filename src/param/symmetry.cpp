@@ -1,0 +1,55 @@
+#include "param/symmetry.hpp"
+
+#include <cmath>
+
+namespace maps::param {
+
+RealGrid Symmetrize::apply(const RealGrid& x) const {
+  const index_t nx = x.nx(), ny = x.ny();
+  RealGrid y(nx, ny);
+  switch (kind_) {
+    case SymmetryKind::MirrorX:
+      for (index_t j = 0; j < ny; ++j) {
+        for (index_t i = 0; i < nx; ++i) {
+          y(i, j) = 0.5 * (x(i, j) + x(nx - 1 - i, j));
+        }
+      }
+      break;
+    case SymmetryKind::MirrorY:
+      for (index_t j = 0; j < ny; ++j) {
+        for (index_t i = 0; i < nx; ++i) {
+          y(i, j) = 0.5 * (x(i, j) + x(i, ny - 1 - j));
+        }
+      }
+      break;
+    case SymmetryKind::Diagonal:
+      maps::require(nx == ny, "Symmetrize: diagonal symmetry needs a square grid");
+      for (index_t j = 0; j < ny; ++j) {
+        for (index_t i = 0; i < nx; ++i) {
+          y(i, j) = 0.5 * (x(i, j) + x(j, i));
+        }
+      }
+      break;
+    case SymmetryKind::C4:
+      maps::require(nx == ny, "Symmetrize: C4 symmetry needs a square grid");
+      for (index_t j = 0; j < ny; ++j) {
+        for (index_t i = 0; i < nx; ++i) {
+          // Average over the orbit of the 90-degree rotation group.
+          y(i, j) = 0.25 * (x(i, j) + x(ny - 1 - j, i) + x(nx - 1 - i, ny - 1 - j) +
+                            x(j, nx - 1 - i));
+        }
+      }
+      break;
+  }
+  return y;
+}
+
+double Symmetrize::asymmetry(const RealGrid& x, SymmetryKind kind) {
+  Symmetrize s(kind);
+  const RealGrid y = s.apply(x);
+  double m = 0.0;
+  for (index_t n = 0; n < x.size(); ++n) m = std::max(m, std::abs(x[n] - y[n]));
+  return m;
+}
+
+}  // namespace maps::param

@@ -1,0 +1,38 @@
+// Symmetry constraints as averaging projectors (exactly self-adjoint, so
+// vjp == forward). Devices like the crossing impose C4; bends impose the
+// diagonal mirror.
+#pragma once
+
+#include "param/transform.hpp"
+
+namespace maps::param {
+
+enum class SymmetryKind {
+  MirrorX,    // left-right:   (i,j) <-> (nx-1-i, j)
+  MirrorY,    // up-down:      (i,j) <-> (i, ny-1-j)
+  Diagonal,   // transpose:    (i,j) <-> (j,i), requires square
+  C4,         // 4-fold rotation average, requires square
+};
+
+class Symmetrize final : public Transform {
+ public:
+  explicit Symmetrize(SymmetryKind kind) : kind_(kind) {}
+
+  std::string name() const override { return "symmetrize"; }
+  RealGrid forward(const RealGrid& x) override { return apply(x); }
+  RealGrid vjp(const RealGrid& grad_out) const override { return apply(grad_out); }
+  std::unique_ptr<Transform> clone() const override {
+    return std::make_unique<Symmetrize>(*this);
+  }
+
+  SymmetryKind kind() const { return kind_; }
+
+  /// Residual asymmetry ||x - apply(x)||_inf (diagnostic).
+  static double asymmetry(const RealGrid& x, SymmetryKind kind);
+
+ private:
+  RealGrid apply(const RealGrid& x) const;
+  SymmetryKind kind_;
+};
+
+}  // namespace maps::param

@@ -1,0 +1,34 @@
+#include "param/transform.hpp"
+
+#include "math/rng.hpp"
+
+namespace maps::param {
+
+double vjp_fd_error(Transform& t, const RealGrid& x, unsigned seed, int probes,
+                    double step) {
+  maps::math::Rng rng(seed);
+  // Random downstream cotangent; analytic grad_x via vjp.
+  const RealGrid y0 = t.forward(x);
+  RealGrid cot(y0.nx(), y0.ny());
+  for (index_t n = 0; n < cot.size(); ++n) cot[n] = rng.uniform(-1.0, 1.0);
+  const RealGrid gx = t.vjp(cot);
+
+  double max_err = 0.0;
+  for (int p = 0; p < probes; ++p) {
+    const index_t n = rng.randint(0, x.size() - 1);
+    RealGrid xp = x, xm = x;
+    xp[n] += step;
+    xm[n] -= step;
+    const RealGrid yp = t.forward(xp);
+    const RealGrid ym = t.forward(xm);
+    double fd = 0.0;
+    for (index_t k = 0; k < yp.size(); ++k) fd += cot[k] * (yp[k] - ym[k]);
+    fd /= 2.0 * step;
+    max_err = std::max(max_err, std::abs(fd - gx[n]));
+  }
+  // Restore the cache for the original input (forward was called with xp/xm).
+  (void)t.forward(x);
+  return max_err;
+}
+
+}  // namespace maps::param

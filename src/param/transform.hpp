@@ -1,0 +1,36 @@
+// Differentiable density transforms — the projection chain `G` of Eq. (1).
+//
+// Every Transform maps a density grid in [0,1]-ish space to another grid of
+// the same shape and provides the exact vector-Jacobian product for the
+// adjoint chain rule ("transpose smooth" in the paper's Fig. 4). Transforms
+// are stateful: forward() caches whatever vjp() needs, so a pipeline calls
+// forward in order and vjp in reverse order within one iteration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "math/field2d.hpp"
+
+namespace maps::param {
+
+using maps::math::RealGrid;
+
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  virtual std::string name() const = 0;
+  virtual RealGrid forward(const RealGrid& x) = 0;
+  /// d(loss)/d(input) given d(loss)/d(output); must follow a forward() call
+  /// with the matching input.
+  virtual RealGrid vjp(const RealGrid& grad_out) const = 0;
+  virtual std::unique_ptr<Transform> clone() const = 0;
+};
+
+/// Finite-difference check utility shared by tests: max |analytic - fd|
+/// over `probes` random entries. Exposed here so property tests across all
+/// transforms share one implementation.
+double vjp_fd_error(Transform& t, const RealGrid& x, unsigned seed, int probes,
+                    double step = 1e-6);
+
+}  // namespace maps::param

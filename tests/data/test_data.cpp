@@ -1,0 +1,212 @@
+// MAPS-Data: samplers, label generation, serialization, multi-fidelity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/data/generator.hpp"
+#include "core/data/sampler.hpp"
+#include "core/train/losses.hpp"
+#include "devices/builders.hpp"
+#include "fdfd/adjoint.hpp"
+
+namespace md = maps::data;
+namespace mdev = maps::devices;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+const mdev::DeviceProblem& bend() {
+  static const mdev::DeviceProblem dev = mdev::make_device(mdev::DeviceKind::Bend);
+  return dev;
+}
+}  // namespace
+
+TEST(Sampler, RandomPatternsAreBinaryAndDistinct) {
+  md::SamplerOptions opt;
+  opt.strategy = md::SamplingStrategy::Random;
+  opt.num_patterns = 10;
+  const auto ps = md::sample_patterns(bend(), mdev::DeviceKind::Bend, opt);
+  ASSERT_EQ(ps.densities.size(), 10u);
+  ASSERT_EQ(ps.ids.size(), 10u);
+  EXPECT_EQ(ps.strategy, "random");
+  std::unordered_set<std::uint64_t> ids(ps.ids.begin(), ps.ids.end());
+  EXPECT_EQ(ids.size(), 10u);  // every random pattern is its own lineage
+  for (const auto& rho : ps.densities) {
+    EXPECT_EQ(rho.nx(), 24);
+    for (index_t n = 0; n < rho.size(); ++n) {
+      EXPECT_TRUE(rho[n] == 0.0 || rho[n] == 1.0);
+    }
+  }
+  // Patterns must not all be identical.
+  double diff = 0;
+  for (index_t n = 0; n < ps.densities[0].size(); ++n) {
+    diff += std::abs(ps.densities[0][n] - ps.densities[1][n]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Sampler, OptTrajSharesLineageIds) {
+  md::SamplerOptions opt;
+  opt.strategy = md::SamplingStrategy::OptTraj;
+  opt.num_trajectories = 2;
+  opt.traj_iterations = 6;
+  opt.record_every = 2;
+  const auto ps = md::sample_patterns(bend(), mdev::DeviceKind::Bend, opt);
+  // 2 trajectories x (3 snapshots + final).
+  EXPECT_EQ(ps.densities.size(), 8u);
+  std::unordered_set<std::uint64_t> ids(ps.ids.begin(), ps.ids.end());
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(Sampler, PerturbAddsCorrelatedVariants) {
+  md::SamplerOptions opt;
+  opt.strategy = md::SamplingStrategy::PerturbOptTraj;
+  opt.num_trajectories = 1;
+  opt.traj_iterations = 4;
+  opt.record_every = 2;
+  opt.perturbs_per_snapshot = 2;
+  const auto ps = md::sample_patterns(bend(), mdev::DeviceKind::Bend, opt);
+  // (2 snapshots + final) * (1 + 2 perturbations).
+  EXPECT_EQ(ps.densities.size(), 9u);
+  std::unordered_set<std::uint64_t> ids(ps.ids.begin(), ps.ids.end());
+  EXPECT_EQ(ids.size(), 1u);
+  // Perturbed variants stay in [0, 1].
+  for (const auto& rho : ps.densities) {
+    for (index_t n = 0; n < rho.size(); ++n) {
+      EXPECT_GE(rho[n], 0.0);
+      EXPECT_LE(rho[n], 1.0);
+    }
+  }
+}
+
+TEST(Generator, SampleLabelsAreConsistent) {
+  mm::RealGrid rho(24, 24, 0.5);
+  const auto s = md::simulate_sample(bend(), rho, 0, 42, "test");
+  EXPECT_EQ(s.device, "bending");
+  EXPECT_EQ(s.pattern_id, 42u);
+  EXPECT_EQ(s.nx(), 64);
+  ASSERT_EQ(s.transmissions.size(), 1u);
+  EXPECT_GE(s.transmissions[0], 0.0);
+
+  // The stored field must solve the stored problem (tight residual).
+  EXPECT_LT(maps::train::maxwell_residual_norm(s, s.Ez), 1e-9);
+
+  // lambda_fwd must satisfy the forward problem with source adj_J (the
+  // canonical scaling multiplies both sides, so the residual is unaffected).
+  maps::grid::GridSpec spec{s.nx(), s.ny(), s.dl};
+  maps::fdfd::PmlSpec pml;
+  pml.ncells = s.pml_cells;
+  const auto op = maps::fdfd::assemble(spec, s.eps, s.omega, pml);
+  const auto b_adj = maps::fdfd::rhs_from_current(s.adj_J, s.omega);
+  EXPECT_LT(op.A.residual_norm(s.lambda_fwd.data(), b_adj), 1e-8);
+
+  // The adjoint pair is stored at forward-source magnitude; adj_scale
+  // recovers the raw pair, whose gradient is the stored label.
+  EXPECT_GT(s.adj_scale, 1.0);  // raw adjoint sources are much weaker than J
+  double j_max = 0.0, adj_max = 0.0;
+  for (index_t n = 0; n < s.J.size(); ++n) {
+    j_max = std::max(j_max, std::abs(s.J[n]));
+    adj_max = std::max(adj_max, std::abs(s.adj_J[n]));
+  }
+  EXPECT_NEAR(adj_max, j_max, 1e-9 * j_max);
+
+  auto lambda_raw = s.lambda_fwd;
+  for (index_t n = 0; n < lambda_raw.size(); ++n) lambda_raw[n] /= s.adj_scale;
+  const auto grad = maps::fdfd::grad_from_fields(s.Ez, lambda_raw, op.W, s.omega);
+  for (index_t n = 0; n < grad.size(); ++n) {
+    EXPECT_NEAR(grad[n], s.grad_eps[n], 1e-9 + 1e-6 * std::abs(s.grad_eps[n]));
+  }
+}
+
+TEST(Generator, DatasetCoversPatternsTimesExcitations) {
+  const auto dev = mdev::make_device(mdev::DeviceKind::Wdm);  // 2 excitations
+  md::SamplerOptions opt;
+  opt.strategy = md::SamplingStrategy::Random;
+  opt.num_patterns = 3;
+  const auto ps = md::sample_patterns(dev, mdev::DeviceKind::Wdm, opt);
+  const auto ds = md::generate_dataset(dev, ps);
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds.samples[0].excitation, "lambda1");
+  EXPECT_EQ(ds.samples[1].excitation, "lambda2");
+  EXPECT_EQ(ds.pattern_ids().size(), 3u);
+}
+
+TEST(Generator, MultiFidelityPairsSamePattern) {
+  const auto lo = bend();
+  mdev::BuildOptions bo;
+  bo.fidelity = 2;
+  const auto hi = mdev::make_device(mdev::DeviceKind::Bend, bo);
+  md::SamplerOptions opt;
+  opt.strategy = md::SamplingStrategy::Random;
+  opt.num_patterns = 2;
+  const auto ps = md::sample_patterns(lo, mdev::DeviceKind::Bend, opt);
+  const auto ds = md::generate_multifidelity(lo, hi, ps);
+  ASSERT_EQ(ds.size(), 4u);
+  int n_lo = 0, n_hi = 0;
+  for (const auto& s : ds.samples) {
+    if (s.fidelity == 1) {
+      EXPECT_EQ(s.nx(), 64);
+      ++n_lo;
+    } else {
+      EXPECT_EQ(s.fidelity, 2);
+      EXPECT_EQ(s.nx(), 128);
+      ++n_hi;
+    }
+  }
+  EXPECT_EQ(n_lo, 2);
+  EXPECT_EQ(n_hi, 2);
+  // Paired ids appear at both fidelities.
+  EXPECT_EQ(ds.pattern_ids().size(), 2u);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  mm::RealGrid rho(24, 24, 0.3);
+  md::Dataset ds;
+  ds.name = "roundtrip";
+  ds.samples.push_back(md::simulate_sample(bend(), rho, 0, 7, "rt"));
+
+  const std::string path = std::string(::testing::TempDir()) + "/maps_ds.bin";
+  ds.save(path);
+  const auto loaded = md::Dataset::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), 1u);
+  const auto& a = ds.samples[0];
+  const auto& b = loaded.samples[0];
+  EXPECT_EQ(loaded.name, "roundtrip");
+  EXPECT_EQ(b.device, a.device);
+  EXPECT_EQ(b.pattern_id, a.pattern_id);
+  EXPECT_DOUBLE_EQ(b.omega, a.omega);
+  EXPECT_DOUBLE_EQ(b.fom, a.fom);
+  ASSERT_EQ(b.Ez.size(), a.Ez.size());
+  for (index_t n = 0; n < a.Ez.size(); ++n) {
+    ASSERT_EQ(b.Ez[n], a.Ez[n]);
+  }
+  ASSERT_EQ(b.grad_eps.size(), a.grad_eps.size());
+  for (index_t n = 0; n < a.grad_eps.size(); ++n) {
+    ASSERT_EQ(b.grad_eps[n], a.grad_eps[n]);
+  }
+  EXPECT_EQ(b.design_box.i0, a.design_box.i0);
+  EXPECT_EQ(b.transmissions, a.transmissions);
+}
+
+TEST(Dataset, AppendMerges) {
+  md::Dataset a, b;
+  a.name = "a";
+  mm::RealGrid rho(24, 24, 0.4);
+  a.samples.push_back(md::simulate_sample(bend(), rho, 0, 1, "x"));
+  b.samples.push_back(md::simulate_sample(bend(), rho, 0, 2, "x"));
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.pattern_ids().size(), 2u);
+}
+
+TEST(Dataset, PrimaryTransmissions) {
+  md::Dataset ds;
+  mm::RealGrid rho(24, 24, 0.6);
+  ds.samples.push_back(md::simulate_sample(bend(), rho, 0, 1, "x"));
+  const auto t = ds.primary_transmissions();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_GE(t[0], 0.0);
+}

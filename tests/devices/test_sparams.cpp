@@ -1,0 +1,74 @@
+// S-parameter extraction.
+#include <gtest/gtest.h>
+
+#include "devices/builders.hpp"
+#include "devices/sparams.hpp"
+
+namespace md = maps::devices;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+const md::DeviceProblem& crossing() {
+  static const md::DeviceProblem dev = md::make_device(md::DeviceKind::Crossing);
+  return dev;
+}
+}  // namespace
+
+TEST(SParams, EntriesCoverAllMonitors) {
+  const auto m = md::compute_sparams(crossing(), crossing().blank_eps());
+  ASSERT_EQ(m.entries.size(), 3u);  // through + two cross monitors
+  for (const auto& e : m.entries) {
+    EXPECT_EQ(e.excitation, "through");
+    EXPECT_GE(e.power, 0.0);
+    EXPECT_NEAR(e.power, std::norm(e.s), 1e-12);
+  }
+}
+
+TEST(SParams, PowersMatchDeviceEvaluate) {
+  mm::RealGrid rho(24, 24, 0.0);
+  for (index_t j = 10; j <= 13; ++j) {
+    for (index_t i = 0; i < 24; ++i) rho(i, j) = 1.0;
+  }
+  const auto eps = maps::param::embed_density(crossing().design_map, rho);
+  const auto m = md::compute_sparams(crossing(), eps);
+  const auto ev = crossing().evaluate(eps);
+  for (std::size_t t = 0; t < m.entries.size(); ++t) {
+    EXPECT_NEAR(m.entries[t].power, ev.per_excitation[0].transmissions[t], 1e-10);
+  }
+}
+
+TEST(SParams, ContrastRewardsGoodRouting) {
+  // Straight bar through the crossing: high through power, low crosstalk,
+  // so contrast ~ through - crosstalks should be clearly positive.
+  mm::RealGrid rho(24, 24, 0.0);
+  for (index_t j = 10; j <= 13; ++j) {
+    for (index_t i = 0; i < 24; ++i) rho(i, j) = 1.0;
+  }
+  const auto eps = maps::param::embed_density(crossing().design_map, rho);
+  const auto good = md::compute_sparams(crossing(), eps);
+  const auto blank = md::compute_sparams(crossing(), crossing().blank_eps());
+  EXPECT_GT(good.contrast(), blank.contrast() + 0.3);
+}
+
+TEST(SParams, LookupByName) {
+  const auto m = md::compute_sparams(crossing(), crossing().blank_eps());
+  const auto& e = m.at("through", "out_e:m0");
+  EXPECT_EQ(e.goal, maps::fdfd::Goal::Maximize);
+  EXPECT_THROW(m.at("through", "nonexistent"), maps::MapsError);
+}
+
+TEST(SParams, ToStringListsEveryEntry) {
+  const auto m = md::compute_sparams(crossing(), crossing().blank_eps());
+  const auto s = m.to_string();
+  EXPECT_NE(s.find("out_e:m0"), std::string::npos);
+  EXPECT_NE(s.find("|S|^2"), std::string::npos);
+}
+
+TEST(SParams, MultiExcitationDevice) {
+  const auto dev = md::make_device(md::DeviceKind::Wdm);
+  const auto m = md::compute_sparams(dev, dev.blank_eps());
+  ASSERT_EQ(m.entries.size(), 4u);  // 2 wavelengths x 2 monitors
+  EXPECT_EQ(m.entries[0].excitation, "lambda1");
+  EXPECT_EQ(m.entries[2].excitation, "lambda2");
+}

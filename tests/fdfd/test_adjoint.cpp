@@ -1,0 +1,158 @@
+// Adjoint engine: the make-or-break test is agreement with finite
+// differences; the W-trick equivalence makes NN adjoint prediction valid.
+#include <gtest/gtest.h>
+
+#include "fdfd/adjoint.hpp"
+#include "fdfd/monitor.hpp"
+#include "fdfd/source.hpp"
+#include "grid/materials.hpp"
+#include "grid/structure.hpp"
+#include "math/rng.hpp"
+
+namespace mf = maps::fdfd;
+namespace mg = maps::grid;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+
+// A miniature "device": straight waveguide interrupted by a random-density
+// block; objective = fundamental-mode transmission at the output port.
+struct AdjointRig {
+  mg::GridSpec spec{48, 48, 0.1};  // 4.8 x 4.8 um, coarse for speed
+  double omega = maps::omega_of_wavelength(1.55);
+  mf::SimOptions opt;
+  mm::RealGrid eps{48, 48, 0.0};
+  mm::CplxGrid J{0, 0};
+  std::vector<mf::FomTerm> terms;
+  mg::BoxRegion box{18, 18, 12, 12};
+
+  AdjointRig() {
+    opt.pml.ncells = 8;
+    mg::Structure s(spec, mg::kSilica.eps());
+    s.add_waveguide_x(2.4, 0.4, 0.0, 4.8);
+    eps = s.render();
+    // Random smooth-ish density block in the middle of the guide.
+    mm::Rng rng(77);
+    for (index_t j = box.j0; j < box.j0 + box.nj; ++j) {
+      for (index_t i = box.i0; i < box.i0 + box.ni; ++i) {
+        eps(i, j) = mg::kSilica.eps() +
+                    rng.uniform() * (mg::kSilicon.eps() - mg::kSilica.eps());
+      }
+    }
+
+    mf::Port in;
+    in.normal = mf::Axis::X;
+    in.pos = 11;
+    in.lo = 14;
+    in.hi = 34;
+    in.direction = +1;
+    auto modes = mf::solve_slab_modes(mf::eps_along_port(eps, in), spec.dl, omega, 1);
+    J = mf::mode_source_directional(spec, in, modes.at(0));
+
+    mf::Port out = in;
+    out.pos = 38;
+    auto out_modes =
+        mf::solve_slab_modes(mf::eps_along_port(eps, out), spec.dl, omega, 1);
+    mf::FomTerm term;
+    term.coeffs = mf::mode_monitor_coeffs(spec, out, out_modes.at(0));
+    term.norm = 1.0;  // unnormalized |a|^2 is fine for gradient checks
+    term.goal = mf::Goal::Maximize;
+    terms.push_back(term);
+  }
+
+  double objective_at(const mm::RealGrid& e) {
+    mf::Simulation sim(spec, e, omega, opt);
+    return mf::objective_value(terms, sim.solve(J));
+  }
+};
+
+}  // namespace
+
+TEST(Adjoint, GradientMatchesFiniteDifference) {
+  AdjointRig rig;
+  mf::Simulation sim(rig.spec, rig.eps, rig.omega, rig.opt);
+  auto Ez = sim.solve(rig.J);
+  auto adj = mf::compute_adjoint(sim, Ez, rig.terms);
+
+  mm::Rng rng(123);
+  const double h = 1e-5;
+  for (int probe = 0; probe < 6; ++probe) {
+    const index_t i = rig.box.i0 + rng.randint(0, rig.box.ni - 1);
+    const index_t j = rig.box.j0 + rng.randint(0, rig.box.nj - 1);
+    mm::RealGrid ep = rig.eps, em = rig.eps;
+    ep(i, j) += h;
+    em(i, j) -= h;
+    const double fd = (rig.objective_at(ep) - rig.objective_at(em)) / (2.0 * h);
+    const double an = adj.grad_eps(i, j);
+    EXPECT_NEAR(an, fd, 1e-4 * std::max(1.0, std::abs(fd)))
+        << "probe (" << i << "," << j << ")";
+  }
+}
+
+TEST(Adjoint, MinimizeFlipsGradientSign) {
+  AdjointRig rig;
+  mf::Simulation sim(rig.spec, rig.eps, rig.omega, rig.opt);
+  auto Ez = sim.solve(rig.J);
+  auto grad_max = mf::compute_adjoint(sim, Ez, rig.terms).grad_eps;
+
+  auto terms_min = rig.terms;
+  terms_min[0].goal = mf::Goal::Minimize;
+  auto grad_min = mf::compute_adjoint(sim, Ez, terms_min).grad_eps;
+  for (index_t n = 0; n < grad_max.size(); ++n) {
+    EXPECT_NEAR(grad_min[n], -grad_max[n], 1e-12 + 1e-9 * std::abs(grad_max[n]));
+  }
+}
+
+TEST(Adjoint, WeightScalesGradient) {
+  AdjointRig rig;
+  mf::Simulation sim(rig.spec, rig.eps, rig.omega, rig.opt);
+  auto Ez = sim.solve(rig.J);
+  auto g1 = mf::compute_adjoint(sim, Ez, rig.terms).grad_eps;
+  auto terms2 = rig.terms;
+  terms2[0].weight = 2.5;
+  auto g2 = mf::compute_adjoint(sim, Ez, terms2).grad_eps;
+  for (index_t n = 0; n < g1.size(); ++n) {
+    EXPECT_NEAR(g2[n], 2.5 * g1[n], 1e-12 + 1e-9 * std::abs(g1[n]));
+  }
+}
+
+TEST(Adjoint, AdjCurrentForwardRunReproducesLambda) {
+  // lambda = W * forward_solve(J_adj): the identity that lets a forward-field
+  // NN predict adjoint fields.
+  AdjointRig rig;
+  mf::Simulation sim(rig.spec, rig.eps, rig.omega, rig.opt);
+  auto Ez = sim.solve(rig.J);
+  auto adj = mf::compute_adjoint(sim, Ez, rig.terms);
+
+  auto lambda_fwd = sim.solve(adj.adj_current);
+  const auto& W = sim.op().W;
+  double num = 0, den = 0;
+  for (index_t n = 0; n < Ez.size(); ++n) {
+    num += std::norm(W[static_cast<std::size_t>(n)] * lambda_fwd[n] - adj.lambda[n]);
+    den += std::norm(adj.lambda[n]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-8);
+}
+
+TEST(Adjoint, GradFromFieldsMatchesDirectGradient) {
+  AdjointRig rig;
+  mf::Simulation sim(rig.spec, rig.eps, rig.omega, rig.opt);
+  auto Ez = sim.solve(rig.J);
+  auto adj = mf::compute_adjoint(sim, Ez, rig.terms);
+  auto lambda_fwd = sim.solve(adj.adj_current);
+  auto grad2 = mf::grad_from_fields(Ez, lambda_fwd, sim.op().W, rig.omega);
+  for (index_t n = 0; n < grad2.size(); ++n) {
+    EXPECT_NEAR(grad2[n], adj.grad_eps[n], 1e-9 + 1e-7 * std::abs(adj.grad_eps[n]));
+  }
+}
+
+TEST(Adjoint, FomMatchesObjectiveValue) {
+  AdjointRig rig;
+  mf::Simulation sim(rig.spec, rig.eps, rig.omega, rig.opt);
+  auto Ez = sim.solve(rig.J);
+  auto adj = mf::compute_adjoint(sim, Ez, rig.terms);
+  EXPECT_DOUBLE_EQ(adj.fom, mf::objective_value(rig.terms, Ez));
+  EXPECT_GT(adj.fom, 0.0);
+}

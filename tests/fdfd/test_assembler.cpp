@@ -1,0 +1,105 @@
+// FDFD operator assembly: stencil identities and the W-symmetrization the
+// adjoint relies on.
+#include <gtest/gtest.h>
+
+#include "fdfd/assembler.hpp"
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace mf = maps::fdfd;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+mf::FdfdOperator make_op(index_t n, double eps_val, int pml_cells, double omega = 4.0) {
+  maps::grid::GridSpec spec{n, n, 0.1};
+  mm::RealGrid eps(n, n, eps_val);
+  mf::PmlSpec pml;
+  pml.ncells = pml_cells;
+  return mf::assemble(spec, eps, omega, pml);
+}
+}  // namespace
+
+TEST(Assembler, ShapeAndBandwidth) {
+  auto op = make_op(16, 2.25, 4);
+  EXPECT_EQ(op.A.rows(), 256);
+  EXPECT_EQ(op.A.cols(), 256);
+  EXPECT_EQ(op.A.bandwidth(), 16);  // n = i + nx*j ordering
+  EXPECT_EQ(op.A.nnz(), 5 * 256 - 4 * 16);  // 5-point stencil minus boundaries
+}
+
+TEST(Assembler, ConstantFieldInteriorGivesMassTerm) {
+  // Without PML, A applied to the constant field equals omega^2*eps at
+  // interior nodes (the Laplacian of a constant vanishes; Dirichlet edges add
+  // boundary terms).
+  const double omega = 4.0, epsv = 2.25;
+  auto op = make_op(12, epsv, 0, omega);
+  std::vector<cplx> ones(144, cplx{1.0, 0.0});
+  auto y = op.A.matvec(ones);
+  for (index_t j = 1; j < 11; ++j) {
+    for (index_t i = 1; i < 11; ++i) {
+      const cplx v = y[static_cast<std::size_t>(i + 12 * j)];
+      EXPECT_NEAR(v.real(), omega * omega * epsv, 1e-9);
+      EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Assembler, DirichletBoundaryAddsStiffness) {
+  auto op = make_op(12, 2.25, 0, 4.0);
+  std::vector<cplx> ones(144, cplx{1.0, 0.0});
+  auto y = op.A.matvec(ones);
+  // Corner node misses two neighbors: y = w^2 eps - 2/dl^2.
+  EXPECT_NEAR(y[0].real(), 16.0 * 2.25 - 2.0 / 0.01, 1e-6);
+}
+
+TEST(Assembler, WIsUnityWithoutPml) {
+  auto op = make_op(8, 1.0, 0);
+  for (const auto& w : op.W) EXPECT_NEAR(std::abs(w - cplx{1.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(Assembler, WSymmetrizesOperator) {
+  // x^T (W A) y must equal y^T (W A) x even with PML on.
+  auto op = make_op(20, 6.0, 5);
+  mm::Rng rng(4);
+  std::vector<cplx> x(400), y(400);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto& v : y) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  auto Ay = op.A.matvec(y);
+  auto Ax = op.A.matvec(x);
+  cplx xway{}, ywax{};
+  for (std::size_t n = 0; n < 400; ++n) {
+    xway += x[n] * op.W[n] * Ay[n];
+    ywax += y[n] * op.W[n] * Ax[n];
+  }
+  EXPECT_NEAR(std::abs(xway - ywax), 0.0, 1e-6 * std::abs(xway));
+}
+
+TEST(Assembler, PlainAIsNotSymmetricWithPml) {
+  // Sanity check that the W-trick is actually needed.
+  auto op = make_op(20, 6.0, 5);
+  mm::Rng rng(5);
+  std::vector<cplx> x(400), y(400);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto& v : y) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const cplx xay = mm::dotu(std::span<const cplx>(x), std::span<const cplx>(op.A.matvec(y)));
+  const cplx yax = mm::dotu(std::span<const cplx>(y), std::span<const cplx>(op.A.matvec(x)));
+  EXPECT_GT(std::abs(xay - yax), 1e-6 * std::abs(xay));
+}
+
+TEST(Assembler, RhsFromCurrent) {
+  mm::CplxGrid J(2, 2);
+  J(0, 0) = cplx{1.0, 0.0};
+  J(1, 1) = cplx{0.0, 2.0};
+  auto b = mf::rhs_from_current(J, 3.0);
+  EXPECT_NEAR(std::abs(b[0] - cplx{0.0, -3.0}), 0.0, 1e-14);  // -i*3*1
+  EXPECT_NEAR(std::abs(b[3] - cplx{6.0, 0.0}), 0.0, 1e-14);   // -i*3*(2i)
+}
+
+TEST(Assembler, EpsShapeMismatchThrows) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  mm::RealGrid eps(8, 7, 1.0);
+  EXPECT_THROW(mf::assemble(spec, eps, 4.0, mf::PmlSpec{}), maps::MapsError);
+}

@@ -1,0 +1,201 @@
+// Near-to-far-field projection: dipole isotropy, two-element interference
+// against the analytic array factor, FomTerm integration, and the adjoint
+// gradient of a far-field objective against finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdfd/adjoint.hpp"
+#include "fdfd/farfield.hpp"
+#include "fdfd/source.hpp"
+#include "math/special.hpp"
+
+namespace mf = maps::fdfd;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+using maps::kPi;
+
+namespace {
+
+constexpr double kLambda = 1.55;
+
+/// Uniform-air rig with point dipoles and an upward-facing capture line.
+///
+/// The domain is wide and shallow: far-field accuracy is limited by line
+/// truncation, which decays with (window half-width / line height), so the
+/// window is ~7 um half-width with the line only 1.8 um above the sources.
+struct RadiationRig {
+  maps::grid::GridSpec spec{180, 60, 0.1};
+  double omega = maps::omega_of_wavelength(kLambda);
+  mf::SimOptions opt;
+  mf::Port line;
+  index_t src_i = 90, src_j = 22;
+
+  RadiationRig() {
+    opt.pml.ncells = 12;
+    line.normal = mf::Axis::Y;
+    line.pos = 40;
+    line.lo = 16;
+    line.hi = 164;
+    line.direction = +1;
+  }
+
+  mm::CplxGrid solve(const std::vector<std::pair<index_t, index_t>>& dipoles) {
+    mm::RealGrid eps(spec.nx, spec.ny, 1.0);
+    mm::CplxGrid J(spec.nx, spec.ny);
+    for (const auto& [i, j] : dipoles) J(i, j) = cplx{1.0, 0.0};
+    mf::Simulation sim(spec, eps, omega, opt);
+    return sim.solve(J);
+  }
+};
+
+double deg(double d) { return d * kPi / 180.0; }
+
+}  // namespace
+
+TEST(FarField, AngleSweepSpacing) {
+  const auto a = mf::angle_sweep(0.0, kPi, 5);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.front(), 0.0);
+  EXPECT_DOUBLE_EQ(a.back(), kPi);
+  EXPECT_NEAR(a[1] - a[0], kPi / 4.0, 1e-14);
+  EXPECT_THROW(mf::angle_sweep(1.0, 0.0, 5), maps::MapsError);
+  EXPECT_THROW(mf::angle_sweep(0.0, 1.0, 1), maps::MapsError);
+}
+
+TEST(FarField, SingleDipoleIsNearlyIsotropic) {
+  // A 2D point source radiates isotropically; the truncated capture line
+  // reproduces a flat pattern inside its reliable angular window.
+  RadiationRig rig;
+  const auto Ez = rig.solve({{rig.src_i, rig.src_j}});
+  const auto pattern = mf::compute_far_field(Ez, rig.spec, rig.line,
+                                             mf::angle_sweep(deg(65), deg(115), 21),
+                                             rig.omega, 1.0);
+  double lo = 1e300, hi = 0.0;
+  for (double v : pattern.intensity) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  ASSERT_GT(hi, 0.0);
+  EXPECT_LT(hi / lo, 1.3) << "pattern not flat: " << lo << " .. " << hi;
+}
+
+TEST(FarField, TwoDipoleArrayFactor) {
+  // Two in-phase dipoles d apart along x interfere with array factor
+  // AF(theta) = 2 |cos(k d cos(theta) / 2)|: peak broadside, null where
+  // k d cos(theta) = pi.
+  RadiationRig rig;
+  const double d_cells = 20.0;  // 2.0 um
+  const auto Ez = rig.solve({{80, rig.src_j}, {100, rig.src_j}});
+  const double k = rig.omega;
+  const double d = d_cells * rig.spec.dl;
+  const double null_angle = std::acos(kPi / (k * d));  // ~67.2 deg
+
+  const auto pattern = mf::compute_far_field(
+      Ez, rig.spec, rig.line, {null_angle, deg(90.0), kPi - null_angle}, rig.omega,
+      1.0);
+  ASSERT_EQ(pattern.intensity.size(), 3u);
+  const double peak = pattern.intensity[1];
+  ASSERT_GT(peak, 0.0);
+  EXPECT_LT(pattern.intensity[0] / peak, 0.08) << "null not deep";
+  EXPECT_LT(pattern.intensity[2] / peak, 0.08) << "mirror null not deep";
+}
+
+TEST(FarField, ArrayFactorQuantitative) {
+  // Away from the null, the intensity ratio should track AF^2.
+  RadiationRig rig;
+  const auto Ez = rig.solve({{80, rig.src_j}, {100, rig.src_j}});
+  const double k = rig.omega, d = 2.0;
+  const double theta = deg(80.0);
+  const auto pattern =
+      mf::compute_far_field(Ez, rig.spec, rig.line, {theta, deg(90.0)}, rig.omega, 1.0);
+  const double af = 2.0 * std::abs(std::cos(0.5 * k * d * std::cos(theta)));
+  const double expected = (af * af) / 4.0;  // normalized to broadside
+  EXPECT_NEAR(pattern.intensity[0] / pattern.intensity[1], expected,
+              0.15 * expected + 0.02);
+}
+
+TEST(FarField, PatternHelpers) {
+  mf::FarFieldPattern p;
+  p.angles = {0.0, 0.5, 1.0, 1.5};
+  p.intensity = {1.0, 4.0, 2.0, 1.0};
+  p.amplitude = {cplx{1, 0}, cplx{2, 0}, cplx{0, std::sqrt(2.0)}, cplx{1, 0}};
+  EXPECT_EQ(p.peak(), 1u);
+  EXPECT_NEAR(p.total_intensity(), 0.5 * (5.0 + 6.0 + 3.0) * 0.5, 1e-12);
+  // All mass within a window covering everything.
+  EXPECT_NEAR(p.directivity(0.75, 10.0), 1.0, 1e-12);
+  // Window around the peak only.
+  const double dir = p.directivity(0.5, 0.3);
+  EXPECT_GT(dir, 0.0);
+  EXPECT_LT(dir, 1.0);
+}
+
+TEST(FarField, CoeffsRejectBoundaryPorts) {
+  maps::grid::GridSpec spec{32, 32, 0.05};
+  mf::Port bad;
+  bad.normal = mf::Axis::Y;
+  bad.pos = 31;  // normal-derivative stencil would leave the grid
+  bad.lo = 4;
+  bad.hi = 28;
+  bad.direction = +1;
+  EXPECT_THROW(mf::farfield_coeffs(spec, bad, deg(90), 4.0, 1.0), maps::MapsError);
+}
+
+TEST(FarField, TermMatchesPattern) {
+  RadiationRig rig;
+  const auto Ez = rig.solve({{rig.src_i, rig.src_j}});
+  const double theta = deg(95.0);
+  const auto term =
+      mf::far_field_term(rig.spec, rig.line, theta, rig.omega, 1.0, /*norm=*/2.0);
+  const auto pattern =
+      mf::compute_far_field(Ez, rig.spec, rig.line, {theta}, rig.omega, 1.0);
+  EXPECT_NEAR(mf::term_transmission(term, Ez), pattern.intensity[0] / 2.0, 1e-12);
+  EXPECT_EQ(term.name, "farfield");
+}
+
+TEST(FarField, AdjointGradientMatchesFiniteDifference) {
+  // Far-field objectives drop into the standard adjoint engine: check
+  // dF/deps against central differences at scatterer cells.
+  maps::grid::GridSpec spec{64, 64, 0.08};
+  const double omega = maps::omega_of_wavelength(kLambda);
+  mf::SimOptions opt;
+  opt.pml.ncells = 10;
+
+  mm::RealGrid eps(spec.nx, spec.ny, 1.0);
+  // A small dielectric block between source and the capture line.
+  for (index_t j = 30; j < 36; ++j) {
+    for (index_t i = 28; i < 36; ++i) eps(i, j) = 4.0;
+  }
+  mm::CplxGrid J(spec.nx, spec.ny);
+  J(32, 18) = cplx{1.0, 0.0};
+
+  mf::Port line;
+  line.normal = mf::Axis::Y;
+  line.pos = 48;
+  line.lo = 12;
+  line.hi = 52;
+  line.direction = +1;
+
+  std::vector<mf::FomTerm> terms = {
+      mf::far_field_term(spec, line, deg(90.0), omega, 1.0)};
+
+  mf::Simulation sim(spec, eps, omega, opt);
+  const auto Ez = sim.solve(J);
+  const auto adj = mf::compute_adjoint(sim, Ez, terms);
+  ASSERT_GT(adj.fom, 0.0);
+
+  const double h = 1e-5;
+  for (const auto& [pi, pj] : std::vector<std::pair<index_t, index_t>>{
+           {30, 32}, {33, 33}, {35, 31}}) {
+    mm::RealGrid ep = eps, em = eps;
+    ep(pi, pj) += h;
+    em(pi, pj) -= h;
+    mf::Simulation sp(spec, ep, omega, opt), sm(spec, em, omega, opt);
+    const double fp = mf::objective_value(terms, sp.solve(J));
+    const double fm = mf::objective_value(terms, sm.solve(J));
+    const double fd = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(adj.grad_eps(pi, pj), fd, 5e-3 * std::abs(fd) + 1e-9)
+        << "cell (" << pi << "," << pj << ")";
+  }
+}

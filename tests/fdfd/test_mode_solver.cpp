@@ -1,0 +1,168 @@
+// Slab mode solver vs the analytic symmetric-slab dispersion relation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdfd/mode_solver.hpp"
+
+namespace mf = maps::fdfd;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+
+std::vector<double> slab_profile(double width, double eps_core, double eps_clad,
+                                 double dl, double total) {
+  const index_t n = static_cast<index_t>(std::llround(total / dl));
+  std::vector<double> eps(static_cast<std::size_t>(n), eps_clad);
+  const double c = total / 2.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double y = (static_cast<double>(i) + 0.5) * dl;
+    if (std::abs(y - c) <= width / 2.0) eps[static_cast<std::size_t>(i)] = eps_core;
+  }
+  return eps;
+}
+
+// Analytic fundamental even-mode effective index of a symmetric slab for the
+// scalar (Ez) wave equation: tan(kappa w / 2) = gamma / kappa.
+double analytic_neff0(double width, double n_core, double n_clad, double lambda) {
+  const double k0 = 2.0 * M_PI / lambda;
+  auto f = [&](double neff) {
+    const double kappa = k0 * std::sqrt(n_core * n_core - neff * neff);
+    const double gamma = k0 * std::sqrt(neff * neff - n_clad * n_clad);
+    return std::tan(kappa * width / 2.0) - gamma / kappa;
+  };
+  // The fundamental root has kappa*w/2 in (0, pi/2). Restrict the bracket so
+  // tan() stays on its first branch: kappa < pi/w <=> neff above the cutoff
+  // of the first odd mode. There f(lo) -> +inf (tan blows up) and
+  // f(hi) -> -inf (gamma/kappa blows up as kappa -> 0).
+  const double kappa_max = M_PI / width;  // kappa*w/2 = pi/2 boundary
+  const double neff_floor =
+      std::sqrt(std::max(n_core * n_core - (kappa_max / k0) * (kappa_max / k0),
+                         n_clad * n_clad));
+  double lo = neff_floor + 1e-9;
+  double hi = n_core - 1e-9;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+TEST(ModeSolver, FundamentalMatchesAnalyticDispersion) {
+  const double lambda = 1.55, n_core = 3.48, n_clad = 1.44, width = 0.4;
+  const double omega = maps::omega_of_wavelength(lambda);
+  const double dl = 0.01;  // fine grid for the analytic comparison
+  auto eps = slab_profile(width, n_core * n_core, n_clad * n_clad, dl, 4.0);
+  auto modes = mf::solve_slab_modes(eps, dl, omega, 1);
+  ASSERT_GE(modes.size(), 1u);
+  const double neff_expected = analytic_neff0(width, n_core, n_clad, lambda);
+  EXPECT_NEAR(modes[0].neff, neff_expected, 5e-3);
+  EXPECT_GT(modes[0].neff, n_clad);
+  EXPECT_LT(modes[0].neff, n_core);
+}
+
+TEST(ModeSolver, WiderGuideHasMoreModes) {
+  const double omega = maps::omega_of_wavelength(1.55);
+  auto narrow = slab_profile(0.3, 12.11, 2.07, 0.02, 4.0);
+  auto wide = slab_profile(1.0, 12.11, 2.07, 0.02, 4.0);
+  auto m_narrow = mf::solve_slab_modes(narrow, 0.02, omega, 8);
+  auto m_wide = mf::solve_slab_modes(wide, 0.02, omega, 8);
+  EXPECT_GE(m_wide.size(), m_narrow.size() + 1);
+  EXPECT_GE(m_wide.size(), 2u);  // the MDM feed needs two guided modes
+}
+
+TEST(ModeSolver, ModesSortedByBeta) {
+  const double omega = maps::omega_of_wavelength(1.55);
+  auto eps = slab_profile(1.2, 12.11, 2.07, 0.02, 5.0);
+  auto modes = mf::solve_slab_modes(eps, 0.02, omega, 6);
+  ASSERT_GE(modes.size(), 2u);
+  for (std::size_t k = 0; k + 1 < modes.size(); ++k) {
+    EXPECT_GT(modes[k].beta, modes[k + 1].beta);
+  }
+}
+
+TEST(ModeSolver, ProfilesAreL2NormalizedAndOrthogonal) {
+  const double omega = maps::omega_of_wavelength(1.55);
+  const double dl = 0.02;
+  auto eps = slab_profile(1.0, 12.11, 2.07, dl, 4.0);
+  auto modes = mf::solve_slab_modes(eps, dl, omega, 3);
+  ASSERT_GE(modes.size(), 2u);
+  for (const auto& m : modes) {
+    double nrm = 0;
+    for (double v : m.profile) nrm += v * v * dl;
+    EXPECT_NEAR(nrm, 1.0, 1e-10);
+  }
+  double cross = 0;
+  for (std::size_t i = 0; i < modes[0].profile.size(); ++i) {
+    cross += modes[0].profile[i] * modes[1].profile[i] * dl;
+  }
+  EXPECT_NEAR(cross, 0.0, 1e-9);
+}
+
+TEST(ModeSolver, FundamentalIsEvenFirstIsOdd) {
+  const double omega = maps::omega_of_wavelength(1.55);
+  const double dl = 0.02;
+  auto eps = slab_profile(1.0, 12.11, 2.07, dl, 4.0);
+  auto modes = mf::solve_slab_modes(eps, dl, omega, 2);
+  ASSERT_GE(modes.size(), 2u);
+  const auto& p0 = modes[0].profile;
+  const auto& p1 = modes[1].profile;
+  const std::size_t n = p0.size();
+  double even_err0 = 0, odd_err1 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    even_err0 += std::abs(p0[i] - p0[n - 1 - i]);
+    odd_err1 += std::abs(p1[i] + p1[n - 1 - i]);
+  }
+  EXPECT_LT(even_err0 / static_cast<double>(n), 1e-8);
+  EXPECT_LT(odd_err1 / static_cast<double>(n), 1e-8);
+}
+
+TEST(ModeSolver, EvanescentTailsDecay) {
+  const double omega = maps::omega_of_wavelength(1.55);
+  const double dl = 0.02;
+  auto eps = slab_profile(0.4, 12.11, 2.07, dl, 4.0);
+  auto modes = mf::solve_slab_modes(eps, dl, omega, 1);
+  ASSERT_GE(modes.size(), 1u);
+  const auto& p = modes[0].profile;
+  EXPECT_LT(std::abs(p.front()), 1e-3 * std::abs(p[p.size() / 2]));
+  EXPECT_LT(std::abs(p.back()), 1e-3 * std::abs(p[p.size() / 2]));
+}
+
+TEST(ModeSolver, EpsAlongPortExtractsLines) {
+  mm::RealGrid eps(6, 4);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 6; ++i) eps(i, j) = static_cast<double>(10 * i + j);
+  }
+  mf::Port px;
+  px.normal = mf::Axis::X;
+  px.pos = 2;
+  px.lo = 1;
+  px.hi = 4;
+  auto lx = mf::eps_along_port(eps, px);
+  ASSERT_EQ(lx.size(), 3u);
+  EXPECT_DOUBLE_EQ(lx[0], 21.0);
+  EXPECT_DOUBLE_EQ(lx[2], 23.0);
+
+  mf::Port py;
+  py.normal = mf::Axis::Y;
+  py.pos = 3;
+  py.lo = 2;
+  py.hi = 6;
+  auto ly = mf::eps_along_port(eps, py);
+  ASSERT_EQ(ly.size(), 4u);
+  EXPECT_DOUBLE_EQ(ly[0], 23.0);
+  EXPECT_DOUBLE_EQ(ly[3], 53.0);
+}
+
+TEST(ModeSolver, NoGuidedModeInUniformMedium) {
+  std::vector<double> eps(100, 2.07);
+  auto modes = mf::solve_slab_modes(eps, 0.02, maps::omega_of_wavelength(1.55), 3);
+  EXPECT_TRUE(modes.empty());
+}

@@ -1,0 +1,116 @@
+// Integration: mode sources + monitors on straight waveguides. These tests
+// pin down the measurement conventions every experiment relies on.
+#include <gtest/gtest.h>
+
+#include "fdfd/monitor.hpp"
+#include "fdfd/source.hpp"
+#include "grid/materials.hpp"
+#include "grid/structure.hpp"
+
+namespace mf = maps::fdfd;
+namespace mg = maps::grid;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+
+struct WaveguideRig {
+  mg::GridSpec spec{96, 96, 0.05};  // 4.8 x 4.8 um
+  double omega = maps::omega_of_wavelength(1.55);
+  mm::RealGrid eps{0, 0};
+  mf::Port in, mid, out;
+  mf::Mode mode0;
+  std::unique_ptr<mf::Simulation> sim;
+  mm::CplxGrid Ez{0, 0};
+
+  explicit WaveguideRig(bool directional = true) {
+    mg::Structure s(spec, mg::kSilica.eps());
+    s.add_waveguide_x(2.4, 0.4, 0.0, 4.8);
+    eps = s.render();
+
+    auto make_port = [&](index_t i, int dir) {
+      mf::Port p;
+      p.normal = mf::Axis::X;
+      p.pos = i;
+      p.lo = 28;  // y in [1.4, 3.4]
+      p.hi = 68;
+      p.direction = dir;
+      return p;
+    };
+    // All ports clear of the 20-cell PML ([20, 76) usable).
+    in = make_port(36, +1);
+    mid = make_port(56, +1);
+    out = make_port(72, +1);
+
+    auto modes = mf::solve_slab_modes(mf::eps_along_port(eps, in), spec.dl, omega, 1);
+    mode0 = modes.at(0);
+
+    mf::SimOptions opt;
+    opt.pml.ncells = 20;
+    sim = std::make_unique<mf::Simulation>(spec, eps, omega, opt);
+    const auto J = directional ? mf::mode_source_directional(spec, in, mode0)
+                               : mf::mode_source_line(spec, in, mode0);
+    Ez = sim->solve(J);
+  }
+};
+
+}  // namespace
+
+TEST(Monitor, PowerConservedAlongLosslessGuide) {
+  WaveguideRig rig;
+  const double a_mid = std::norm(mf::mode_overlap(rig.Ez, rig.mid, rig.mode0, rig.spec.dl));
+  const double a_out = std::norm(mf::mode_overlap(rig.Ez, rig.out, rig.mode0, rig.spec.dl));
+  ASSERT_GT(a_mid, 0.0);
+  EXPECT_NEAR(a_out / a_mid, 1.0, 0.03);
+}
+
+TEST(Monitor, DirectionalSourceSuppressesBackwardLaunch) {
+  WaveguideRig rig;
+  // Behind the source (i=12) the overlap should be far below the forward one.
+  mf::Port back = rig.in;
+  back.pos = 26;
+  const double a_back = std::norm(mf::mode_overlap(rig.Ez, back, rig.mode0, rig.spec.dl));
+  const double a_fwd = std::norm(mf::mode_overlap(rig.Ez, rig.mid, rig.mode0, rig.spec.dl));
+  EXPECT_LT(a_back, 0.05 * a_fwd);
+}
+
+TEST(Monitor, SingleLineSourceLaunchesBothWays) {
+  WaveguideRig rig(/*directional=*/false);
+  mf::Port back = rig.in;
+  back.pos = 26;
+  const double a_back = std::norm(mf::mode_overlap(rig.Ez, back, rig.mode0, rig.spec.dl));
+  const double a_fwd = std::norm(mf::mode_overlap(rig.Ez, rig.mid, rig.mode0, rig.spec.dl));
+  EXPECT_NEAR(a_back / a_fwd, 1.0, 0.15);
+}
+
+TEST(Monitor, FluxAgreesAcrossMonitors) {
+  WaveguideRig rig;
+  auto fields = rig.sim->derive_fields(rig.Ez);
+  const double p_mid = mf::port_flux(fields, rig.mid, rig.spec.dl);
+  const double p_out = mf::port_flux(fields, rig.out, rig.spec.dl);
+  ASSERT_GT(p_mid, 0.0);
+  EXPECT_NEAR(p_out / p_mid, 1.0, 0.05);
+}
+
+TEST(Monitor, FluxSignFollowsDirection) {
+  WaveguideRig rig;
+  auto fields = rig.sim->derive_fields(rig.Ez);
+  mf::Port rev = rig.mid;
+  rev.direction = -1;
+  EXPECT_GT(mf::port_flux(fields, rig.mid, rig.spec.dl), 0.0);
+  EXPECT_LT(mf::port_flux(fields, rev, rig.spec.dl), 0.0);
+}
+
+TEST(Monitor, OverlapCapturesNearlyAllGuidedPower) {
+  // |a|^2 of the L2-normalized mode ~ modal power fraction; compare the
+  // overlap-based and flux-based transmissions between two monitors.
+  WaveguideRig rig;
+  auto fields = rig.sim->derive_fields(rig.Ez);
+  const double t_overlap =
+      std::norm(mf::mode_overlap(rig.Ez, rig.out, rig.mode0, rig.spec.dl)) /
+      std::norm(mf::mode_overlap(rig.Ez, rig.mid, rig.mode0, rig.spec.dl));
+  const double t_flux = mf::port_flux(fields, rig.out, rig.spec.dl) /
+                        mf::port_flux(fields, rig.mid, rig.spec.dl);
+  EXPECT_NEAR(t_overlap, t_flux, 0.05);
+}

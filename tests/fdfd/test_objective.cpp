@@ -1,0 +1,114 @@
+// Objective terms: values, Wirtinger gradients, composition.
+#include <gtest/gtest.h>
+
+#include "fdfd/objective.hpp"
+#include "math/rng.hpp"
+
+namespace mf = maps::fdfd;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+mf::FomTerm make_term(const maps::grid::GridSpec& spec, double norm, mf::Goal goal,
+                      double weight) {
+  mf::FomTerm t;
+  // Simple monitor: 3 nodes in the middle column.
+  for (index_t j = 2; j < 5; ++j) {
+    t.coeffs.emplace_back(3 + spec.nx * j, cplx{0.5, 0.0});
+  }
+  t.norm = norm;
+  t.goal = goal;
+  t.weight = weight;
+  return t;
+}
+}  // namespace
+
+TEST(Objective, AmplitudeIsLinear) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  auto t = make_term(spec, 1.0, mf::Goal::Maximize, 1.0);
+  mm::CplxGrid E(8, 8, cplx{2.0, 0.0});
+  EXPECT_NEAR(std::abs(mf::term_amplitude(t, E) - cplx{3.0, 0.0}), 0.0, 1e-12);
+  // Doubling the field doubles the amplitude.
+  mm::CplxGrid E2(8, 8, cplx{4.0, 0.0});
+  EXPECT_NEAR(std::abs(mf::term_amplitude(t, E2) - cplx{6.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Objective, TransmissionQuadraticAndNormalized) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  auto t = make_term(spec, 4.0, mf::Goal::Maximize, 1.0);
+  mm::CplxGrid E(8, 8, cplx{2.0, 0.0});
+  // |a|^2 / norm = 9 / 4.
+  EXPECT_NEAR(mf::term_transmission(t, E), 2.25, 1e-12);
+}
+
+TEST(Objective, ValueComposesSignedWeightedTerms) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  auto t_max = make_term(spec, 1.0, mf::Goal::Maximize, 2.0);
+  auto t_min = make_term(spec, 1.0, mf::Goal::Minimize, 0.5);
+  mm::CplxGrid E(8, 8, cplx{1.0, 0.0});
+  const double T = mf::term_transmission(t_max, E);
+  EXPECT_NEAR(mf::objective_value({t_max, t_min}, E), 2.0 * T - 0.5 * T, 1e-12);
+}
+
+TEST(Objective, GradientMatchesComplexFiniteDifference) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  auto t = make_term(spec, 2.0, mf::Goal::Maximize, 1.3);
+  mm::Rng rng(5);
+  mm::CplxGrid E(8, 8);
+  for (index_t n = 0; n < E.size(); ++n) E[n] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  const auto g = mf::objective_dE({t}, E);
+  const double h = 1e-6;
+  for (index_t n : {19L, 27L, 35L}) {  // monitor nodes
+    // dF/dRe(E_n) = 2 Re(g_n), dF/dIm(E_n) = -2 Im(g_n).
+    mm::CplxGrid Ep = E, Em = E;
+    Ep[n] += h;
+    Em[n] -= h;
+    const double fd_re =
+        (mf::objective_value({t}, Ep) - mf::objective_value({t}, Em)) / (2 * h);
+    EXPECT_NEAR(fd_re, 2.0 * g[static_cast<std::size_t>(n)].real(), 1e-6);
+
+    Ep = E;
+    Em = E;
+    Ep[n] += cplx{0, h};
+    Em[n] -= cplx{0, h};
+    const double fd_im =
+        (mf::objective_value({t}, Ep) - mf::objective_value({t}, Em)) / (2 * h);
+    EXPECT_NEAR(fd_im, -2.0 * g[static_cast<std::size_t>(n)].imag(), 1e-6);
+  }
+}
+
+TEST(Objective, GradientZeroOffMonitor) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  auto t = make_term(spec, 1.0, mf::Goal::Maximize, 1.0);
+  mm::CplxGrid E(8, 8, cplx{1.0, 1.0});
+  const auto g = mf::objective_dE({t}, E);
+  EXPECT_EQ(g[0], cplx{});
+  EXPECT_EQ(g[63], cplx{});
+  EXPECT_NE(g[3 + 8 * 2], cplx{});
+}
+
+TEST(Objective, NormMustBePositive) {
+  maps::grid::GridSpec spec{8, 8, 0.1};
+  auto t = make_term(spec, 0.0, mf::Goal::Maximize, 1.0);
+  mm::CplxGrid E(8, 8, cplx{1.0, 0.0});
+  EXPECT_THROW(mf::term_transmission(t, E), maps::MapsError);
+}
+
+TEST(Objective, ModeMonitorCoeffsFollowFlattening) {
+  maps::grid::GridSpec spec{10, 10, 0.1};
+  mf::Port p;
+  p.normal = mf::Axis::Y;
+  p.pos = 4;
+  p.lo = 2;
+  p.hi = 5;
+  mf::Mode m;
+  m.profile = {0.1, 0.2, 0.3};
+  const auto coeffs = mf::mode_monitor_coeffs(spec, p, m);
+  ASSERT_EQ(coeffs.size(), 3u);
+  // Y-normal port: nodes (t, pos) -> t + nx*pos.
+  EXPECT_EQ(coeffs[0].first, 2 + 10 * 4);
+  EXPECT_EQ(coeffs[2].first, 4 + 10 * 4);
+  EXPECT_NEAR(coeffs[1].second.real(), 0.2 * 0.1, 1e-12);  // phi * dl
+}

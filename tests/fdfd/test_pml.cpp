@@ -1,0 +1,67 @@
+// PML stretch-factor profiles.
+#include <gtest/gtest.h>
+
+#include "fdfd/pml.hpp"
+
+namespace mf = maps::fdfd;
+using maps::index_t;
+
+TEST(Pml, InteriorIsUnity) {
+  mf::PmlSpec pml;
+  pml.ncells = 10;
+  auto sp = mf::make_stretch(64, 0.1, 4.0, pml);
+  ASSERT_EQ(sp.centers.size(), 64u);
+  ASSERT_EQ(sp.edges.size(), 65u);
+  for (index_t i = 12; i < 52; ++i) {
+    EXPECT_DOUBLE_EQ(sp.centers[i].real(), 1.0);
+    EXPECT_DOUBLE_EQ(sp.centers[i].imag(), 0.0);
+  }
+}
+
+TEST(Pml, ImaginaryPartGrowsTowardBoundary) {
+  mf::PmlSpec pml;
+  pml.ncells = 10;
+  auto sp = mf::make_stretch(64, 0.1, 4.0, pml);
+  for (index_t i = 0; i < 9; ++i) {
+    EXPECT_GT(sp.centers[i].imag(), sp.centers[i + 1].imag()) << "left side i=" << i;
+  }
+  for (index_t i = 55; i < 63; ++i) {
+    EXPECT_LT(sp.centers[i].imag(), sp.centers[i + 1].imag()) << "right side i=" << i;
+  }
+  EXPECT_GT(sp.centers[0].imag(), 0.0);
+  EXPECT_GT(sp.centers[63].imag(), 0.0);
+}
+
+TEST(Pml, ProfileIsSymmetric) {
+  mf::PmlSpec pml;
+  pml.ncells = 8;
+  auto sp = mf::make_stretch(48, 0.05, 4.0, pml);
+  for (index_t i = 0; i < 48; ++i) {
+    EXPECT_NEAR(sp.centers[i].imag(), sp.centers[47 - i].imag(), 1e-12);
+  }
+  for (index_t e = 0; e <= 48; ++e) {
+    EXPECT_NEAR(sp.edges[e].imag(), sp.edges[48 - e].imag(), 1e-12);
+  }
+}
+
+TEST(Pml, ZeroCellsDisables) {
+  mf::PmlSpec pml;
+  pml.ncells = 0;
+  auto sp = mf::make_stretch(16, 0.1, 4.0, pml);
+  for (const auto& s : sp.centers) EXPECT_EQ(s, (maps::cplx{1.0, 0.0}));
+}
+
+TEST(Pml, StrongerAbsorptionAtLowerOmega) {
+  // s = 1 + i sigma / omega: the stretch scales inversely with omega.
+  mf::PmlSpec pml;
+  pml.ncells = 10;
+  auto lo = mf::make_stretch(64, 0.1, 2.0, pml);
+  auto hi = mf::make_stretch(64, 0.1, 8.0, pml);
+  EXPECT_NEAR(lo.centers[0].imag(), 4.0 * hi.centers[0].imag(), 1e-10);
+}
+
+TEST(Pml, TooThickThrows) {
+  mf::PmlSpec pml;
+  pml.ncells = 40;
+  EXPECT_THROW(mf::make_stretch(64, 0.1, 4.0, pml), maps::MapsError);
+}

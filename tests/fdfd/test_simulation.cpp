@@ -1,0 +1,179 @@
+// End-to-end FDFD solves: plane-wave dispersion, PML reflection, transposed
+// solves, derived H fields, and direct-vs-iterative agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdfd/simulation.hpp"
+#include "fdfd/source.hpp"
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace mf = maps::fdfd;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+using maps::kPi;
+
+namespace {
+// Homogeneous-domain simulation with a vertical line source at i = i_src
+// spanning the full height: approximates a 1D problem radiating plane waves.
+struct PlaneWaveRig {
+  maps::grid::GridSpec spec;
+  mf::Simulation sim;
+  mm::CplxGrid Ez;
+  index_t i_src;
+
+  PlaneWaveRig(index_t n, double dl, double eps_val, double lambda, int pml)
+      : spec{n, n, dl},
+        sim(spec, mm::RealGrid(n, n, eps_val), maps::omega_of_wavelength(lambda),
+            [&] {
+              mf::SimOptions o;
+              o.pml.ncells = pml;
+              return o;
+            }()),
+        Ez(0, 0), i_src(n / 3) {
+    mm::CplxGrid J(n, n);
+    for (index_t j = 0; j < n; ++j) J(i_src, j) = cplx{1.0, 0.0};
+    Ez = sim.solve(J);
+  }
+};
+}  // namespace
+
+TEST(Simulation, PlaneWavePhaseVelocity) {
+  // eps = 4 -> k = 2*omega; measure the numerical phase advance per cell on
+  // the midline to the right of the source.
+  const double lambda = 1.55, dl = 0.05;
+  PlaneWaveRig rig(96, dl, 4.0, lambda, 16);
+  const double k_exact = 2.0 * maps::omega_of_wavelength(lambda);
+  const index_t jm = 48;
+  std::vector<double> phases;
+  for (index_t i = rig.i_src + 8; i < 70; ++i) {
+    const cplx r = rig.Ez(i + 1, jm) / rig.Ez(i, jm);
+    phases.push_back(std::arg(r));
+  }
+  const double k_measured = mm::mean(phases) / dl;
+  // Second-order grid dispersion at ~19 points/wavelength: within 1%.
+  EXPECT_NEAR(k_measured, k_exact, 0.01 * k_exact);
+}
+
+TEST(Simulation, WaveDecaysInsidePml) {
+  PlaneWaveRig rig(96, 0.05, 1.0, 1.55, 16);
+  const index_t jm = 48;
+  const double amp_interior = std::abs(rig.Ez(70, jm));
+  const double amp_boundary = std::abs(rig.Ez(95, jm));
+  EXPECT_LT(amp_boundary, 0.02 * amp_interior);
+}
+
+TEST(Simulation, PmlReflectionIsSmall) {
+  // For a pure traveling wave |Ez| is constant along x; standing-wave ripple
+  // measures the PML reflection coefficient.
+  PlaneWaveRig rig(128, 0.05, 1.0, 1.55, 20);
+  const index_t jm = 64;
+  double mx = 0.0, mn = 1e300;
+  for (index_t i = 60; i < 100; ++i) {
+    const double a = std::abs(rig.Ez(i, jm));
+    mx = std::max(mx, a);
+    mn = std::min(mn, a);
+  }
+  const double ripple = (mx - mn) / (mx + mn);
+  EXPECT_LT(ripple, 0.02);
+}
+
+TEST(Simulation, LinearityInSource) {
+  maps::grid::GridSpec spec{32, 32, 0.1};
+  mf::SimOptions opt;
+  opt.pml.ncells = 8;
+  mf::Simulation sim(spec, mm::RealGrid(32, 32, 2.0), 4.0, opt);
+  auto J1 = mf::point_source(spec, 16, 16);
+  auto J2 = mf::point_source(spec, 16, 16, cplx{3.0, 0.0});
+  auto E1 = sim.solve(J1);
+  auto E2 = sim.solve(J2);
+  for (index_t n = 0; n < E1.size(); ++n) {
+    EXPECT_NEAR(std::abs(E2[n] - 3.0 * E1[n]), 0.0, 1e-10);
+  }
+}
+
+TEST(Simulation, SolveResidualIsTiny) {
+  maps::grid::GridSpec spec{40, 40, 0.1};
+  mf::SimOptions opt;
+  opt.pml.ncells = 8;
+  mm::Rng rng(17);
+  mm::RealGrid eps(40, 40);
+  for (index_t n = 0; n < eps.size(); ++n) eps[n] = 1.0 + 11.0 * rng.uniform();
+  mf::Simulation sim(spec, eps, 4.05, opt);
+  auto J = mf::point_source(spec, 20, 20);
+  auto Ez = sim.solve(J);
+  const auto b = mf::rhs_from_current(J, 4.05);
+  const double res = sim.op().A.residual_norm(Ez.data(), b);
+  EXPECT_LT(res, 1e-9 * 4.05);  // relative to |b| ~ omega
+}
+
+TEST(Simulation, TransposedSolveSatisfiesTransposedSystem) {
+  maps::grid::GridSpec spec{32, 32, 0.1};
+  mf::SimOptions opt;
+  opt.pml.ncells = 8;
+  mm::Rng rng(23);
+  mm::RealGrid eps(32, 32);
+  for (index_t n = 0; n < eps.size(); ++n) eps[n] = 2.0 + rng.uniform() * 8.0;
+  mf::Simulation sim(spec, eps, 4.0, opt);
+
+  std::vector<cplx> g(1024);
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto lambda = sim.solve_transposed(g);
+  auto At_lambda = sim.op().A.matvec_transposed(lambda.data());
+  double err = 0;
+  for (std::size_t n = 0; n < g.size(); ++n) err += std::norm(At_lambda[n] - g[n]);
+  EXPECT_LT(std::sqrt(err), 1e-8);
+}
+
+TEST(Simulation, FactorizationIsCached) {
+  maps::grid::GridSpec spec{24, 24, 0.1};
+  mf::SimOptions cache_opt;
+  cache_opt.pml.ncells = 6;
+  mf::Simulation sim(spec, mm::RealGrid(24, 24, 1.0), 4.0, cache_opt);
+  auto J = mf::point_source(spec, 12, 12);
+  (void)sim.solve(J);
+  (void)sim.solve(J);
+  (void)sim.solve_transposed(std::vector<cplx>(576, cplx{1.0, 0.0}));
+  EXPECT_EQ(sim.factorization_count(), 1);
+}
+
+TEST(Simulation, DerivedHFieldsMatchPlaneWaveRelation) {
+  // For e^{ikx} with eps = 1: Hy = -(k/omega) Ez = -Ez (normalized units).
+  PlaneWaveRig rig(96, 0.05, 1.0, 1.55, 16);
+  auto f = rig.sim.derive_fields(rig.Ez);
+  const index_t jm = 48;
+  for (index_t i = 50; i < 70; ++i) {
+    // Hy lives at i+1/2: compare to Ez averaged onto the same point.
+    const cplx e_half = 0.5 * (rig.Ez(i, jm) + rig.Ez(i + 1, jm));
+    EXPECT_NEAR(std::abs(f.Hy(i, jm) + e_half) / std::abs(e_half), 0.0, 0.02);
+  }
+  // Hx ~ 0 for x-propagation.
+  for (index_t i = 50; i < 70; ++i) {
+    EXPECT_LT(std::abs(f.Hx(i, jm)), 0.05 * std::abs(rig.Ez(i, jm)));
+  }
+}
+
+TEST(Simulation, IterativeMatchesDirect) {
+  maps::grid::GridSpec spec{32, 32, 0.1};
+  mf::SimOptions direct;
+  direct.pml.ncells = 8;
+  mf::SimOptions iter = direct;
+  iter.solver = mf::SolverKind::Iterative;
+  iter.iterative.max_iters = 20000;
+  iter.iterative.rtol = 1e-9;
+
+  mm::RealGrid eps(32, 32, 2.25);
+  mf::Simulation sd(spec, eps, 4.0, direct);
+  mf::Simulation si(spec, eps, 4.0, iter);
+  auto J = mf::point_source(spec, 16, 16);
+  auto Ed = sd.solve(J);
+  auto Ei = si.solve(J);
+  double num = 0, den = 0;
+  for (index_t n = 0; n < Ed.size(); ++n) {
+    num += std::norm(Ei[n] - Ed[n]);
+    den += std::norm(Ed[n]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-5);
+}

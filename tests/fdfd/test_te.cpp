@@ -1,0 +1,251 @@
+// TE (Hz) polarization: operator structure, radiation physics, intensity
+// objectives, flux, and the edge-based adjoint gradient against finite
+// differences (the TE gradient has a different structure from TM — it lives
+// on inverse-averaged edges — so this check is the module's keystone).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdfd/assembler.hpp"
+#include "fdfd/te.hpp"
+#include "math/rng.hpp"
+#include "math/special.hpp"
+
+namespace mf = maps::fdfd;
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+
+mm::CplxGrid point_mz(const maps::grid::GridSpec& spec, index_t i, index_t j) {
+  mm::CplxGrid M(spec.nx, spec.ny);
+  M(i, j) = cplx{1.0, 0.0};
+  return M;
+}
+
+}  // namespace
+
+TEST(Te, MatchesTmOperatorInVacuum) {
+  // With eps = 1 the TE and TM operators are algebraically identical.
+  const maps::grid::GridSpec spec{24, 20, 0.1};
+  const double omega = maps::omega_of_wavelength(1.55);
+  mf::PmlSpec pml;
+  pml.ncells = 5;
+  const mm::RealGrid eps(spec.nx, spec.ny, 1.0);
+  const auto a_te = mf::assemble_te(spec, eps, omega, pml);
+  const auto a_tm = mf::assemble(spec, eps, omega, pml);
+
+  mm::Rng rng(3);
+  std::vector<cplx> x(static_cast<std::size_t>(spec.cells()));
+  for (auto& v : x) v = cplx{rng.normal(), rng.normal()};
+  const auto y_te = a_te.A.matvec(x);
+  const auto y_tm = a_tm.A.matvec(x);
+  double err = 0.0, mag = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    err = std::max(err, std::abs(y_te[n] - y_tm[n]));
+    mag = std::max(mag, std::abs(y_tm[n]));
+  }
+  EXPECT_LT(err, 1e-12 * mag);
+}
+
+TEST(Te, RowScalingSymmetrizesOperator) {
+  // W A must be complex symmetric: x^T (W A) y == y^T (W A) x.
+  const maps::grid::GridSpec spec{20, 22, 0.1};
+  const double omega = maps::omega_of_wavelength(1.55);
+  mf::PmlSpec pml;
+  pml.ncells = 6;
+  mm::Rng rng(11);
+  mm::RealGrid eps(spec.nx, spec.ny, 2.0);
+  for (index_t n = 0; n < eps.size(); ++n) eps[n] = 1.5 + rng.uniform() * 10.0;
+
+  const auto op = mf::assemble_te(spec, eps, omega, pml);
+  std::vector<cplx> x(static_cast<std::size_t>(spec.cells())),
+      y(static_cast<std::size_t>(spec.cells()));
+  for (auto& v : x) v = cplx{rng.normal(), rng.normal()};
+  for (auto& v : y) v = cplx{rng.normal(), rng.normal()};
+
+  const auto ax = op.A.matvec(x);
+  const auto ay = op.A.matvec(y);
+  cplx s1{}, s2{};
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    s1 += y[n] * op.W[n] * ax[n];  // y^T W A x
+    s2 += x[n] * op.W[n] * ay[n];  // x^T W A y
+  }
+  EXPECT_LT(std::abs(s1 - s2), 1e-10 * std::abs(s1));
+}
+
+TEST(Te, PointSourceFieldIsFourfoldSymmetric) {
+  const maps::grid::GridSpec spec{81, 81, 0.05};
+  const double omega = maps::omega_of_wavelength(1.55);
+  mf::TeSimulation sim(spec, mm::RealGrid(81, 81, 2.25), omega);
+  const auto Hz = sim.solve(point_mz(spec, 40, 40));
+  // Same-radius probes N/S/E/W of the source.
+  const double e = std::abs(Hz(52, 40)), w = std::abs(Hz(28, 40));
+  const double n = std::abs(Hz(40, 52)), s = std::abs(Hz(40, 28));
+  ASSERT_GT(e, 0.0);
+  EXPECT_NEAR(w / e, 1.0, 1e-9);
+  EXPECT_NEAR(n / e, 1.0, 1e-9);
+  EXPECT_NEAR(s / e, 1.0, 1e-9);
+}
+
+TEST(Te, RadialDecayTracksHankel) {
+  // |Hz(r1)| / |Hz(r2)| should match |H0(k r1)| / |H0(k r2)| in a uniform
+  // medium (grid dispersion allows a few percent).
+  const maps::grid::GridSpec spec{121, 121, 0.05};
+  const double eps_v = 2.25;
+  const double omega = maps::omega_of_wavelength(1.55);
+  const double k = omega * std::sqrt(eps_v);
+  mf::TeSimulation sim(spec, mm::RealGrid(121, 121, eps_v), omega);
+  const auto Hz = sim.solve(point_mz(spec, 60, 60));
+
+  const double r1 = 15 * spec.dl, r2 = 30 * spec.dl;
+  const double num = std::abs(Hz(75, 60)) / std::abs(Hz(90, 60));
+  const double ana = std::abs(mm::hankel1_0(k * r1)) / std::abs(mm::hankel1_0(k * r2));
+  EXPECT_NEAR(num / ana, 1.0, 0.05);
+}
+
+TEST(Te, OutgoingPhaseVelocity) {
+  // Phase advance between two radii matches k * dr (outgoing wave).
+  const maps::grid::GridSpec spec{121, 121, 0.05};
+  const double eps_v = 2.25;
+  const double omega = maps::omega_of_wavelength(1.55);
+  const double k = omega * std::sqrt(eps_v);
+  mf::TeSimulation sim(spec, mm::RealGrid(121, 121, eps_v), omega);
+  const auto Hz = sim.solve(point_mz(spec, 60, 60));
+  const double dphi = std::arg(Hz(90, 60) / Hz(80, 60));
+  const double expected = std::remainder(k * 10.0 * spec.dl, 2.0 * maps::kPi);
+  EXPECT_NEAR(std::remainder(dphi - expected, 2.0 * maps::kPi), 0.0, 0.05);
+}
+
+TEST(Te, IntensityTermBasics) {
+  mm::CplxGrid Hz(8, 8);
+  Hz(3, 3) = cplx{2.0, 0.0};
+  Hz(4, 3) = cplx{0.0, 1.0};
+  mf::IntensityTerm t;
+  t.box = {3, 3, 2, 1};
+  t.norm = 2.0;
+  EXPECT_NEAR(mf::intensity_value(t, Hz), (4.0 + 1.0) / 2.0, 1e-14);
+
+  t.weights = mm::RealGrid(2, 1, 0.0);
+  t.weights(0, 0) = 1.0;  // only the first cell counts
+  EXPECT_NEAR(mf::intensity_value(t, Hz), 4.0 / 2.0, 1e-14);
+
+  mf::IntensityTerm tmin = t;
+  tmin.goal = mf::Goal::Minimize;
+  EXPECT_NEAR(mf::intensity_objective({t, tmin}, Hz), 0.0, 1e-14);
+}
+
+TEST(Te, IntensityGradientIsConjugateField) {
+  mm::CplxGrid Hz(6, 6);
+  Hz(2, 2) = cplx{1.0, -2.0};
+  mf::IntensityTerm t;
+  t.box = {2, 2, 1, 1};
+  const auto g = mf::intensity_dHz({t}, Hz);
+  EXPECT_NEAR(std::abs(g[2 + 6 * 2] - std::conj(Hz(2, 2))), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(g[0]), 0.0, 1e-14);
+}
+
+TEST(Te, FluxPositiveAndBalancedAroundSource) {
+  const maps::grid::GridSpec spec{101, 101, 0.05};
+  const double omega = maps::omega_of_wavelength(1.55);
+  mf::TeSimulation sim(spec, mm::RealGrid(101, 101, 1.0), omega);
+  const auto f = sim.run(point_mz(spec, 50, 50));
+
+  mf::Port right;
+  right.normal = mf::Axis::X;
+  right.pos = 70;
+  right.lo = 25;
+  right.hi = 76;
+  right.direction = +1;
+  mf::Port left = right;
+  left.pos = 30;
+  left.direction = -1;
+
+  const double fr = mf::te_port_flux(f, right, spec.dl);
+  const double fl = mf::te_port_flux(f, left, spec.dl);
+  EXPECT_GT(fr, 0.0);
+  EXPECT_GT(fl, 0.0);
+  // Forward-difference staggering of the derived E makes the two sides
+  // agree only to O(dl); a few percent at this resolution.
+  EXPECT_NEAR(fl / fr, 1.0, 0.05);
+}
+
+TEST(Te, AdjointGradientMatchesFiniteDifference) {
+  // Focusing objective behind a random dielectric block; the keystone check
+  // of the edge-based TE gradient.
+  const maps::grid::GridSpec spec{40, 40, 0.1};
+  const double omega = maps::omega_of_wavelength(1.55);
+  mf::PmlSpec pml;
+  pml.ncells = 7;
+
+  mm::Rng rng(21);
+  mm::RealGrid eps(spec.nx, spec.ny, 1.0);
+  for (index_t j = 16; j < 24; ++j) {
+    for (index_t i = 14; i < 26; ++i) eps(i, j) = 1.5 + rng.uniform() * 8.0;
+  }
+  const auto Mz = point_mz(spec, 20, 10);
+
+  std::vector<mf::IntensityTerm> terms(1);
+  terms[0].box = {18, 28, 4, 4};
+
+  mf::TeSimulation sim(spec, eps, omega, pml);
+  const auto Hz = sim.solve(Mz);
+  const auto adj = mf::compute_te_adjoint(sim, Hz, terms);
+  ASSERT_GT(adj.fom, 0.0);
+
+  const double h = 1e-5;
+  for (const auto& [pi, pj] : std::vector<std::pair<index_t, index_t>>{
+           {15, 17}, {20, 20}, {25, 23}, {14, 16}}) {
+    mm::RealGrid ep = eps, em = eps;
+    ep(pi, pj) += h;
+    em(pi, pj) -= h;
+    mf::TeSimulation sp(spec, ep, omega, pml), sm(spec, em, omega, pml);
+    const double fp = mf::intensity_objective(terms, sp.solve(Mz));
+    const double fm = mf::intensity_objective(terms, sm.solve(Mz));
+    const double fd = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(adj.grad_eps(pi, pj), fd, 5e-3 * std::abs(fd) + 1e-10)
+        << "cell (" << pi << "," << pj << ")";
+  }
+}
+
+TEST(Te, AdjointGradientCoversBoundaryCells) {
+  // Boundary edge terms use the single-cell inverse permittivity; check a
+  // cell on the domain edge (outside the PML influence is irrelevant —
+  // only consistency of the derivative matters).
+  const maps::grid::GridSpec spec{30, 30, 0.1};
+  const double omega = maps::omega_of_wavelength(1.55);
+  mf::PmlSpec pml;
+  pml.ncells = 5;
+  mm::RealGrid eps(spec.nx, spec.ny, 2.0);
+  const auto Mz = point_mz(spec, 15, 15);
+  std::vector<mf::IntensityTerm> terms(1);
+  terms[0].box = {20, 20, 3, 3};
+
+  mf::TeSimulation sim(spec, eps, omega, pml);
+  const auto Hz = sim.solve(Mz);
+  const auto adj = mf::compute_te_adjoint(sim, Hz, terms);
+
+  const double h = 1e-5;
+  const index_t pi = 0, pj = 15;
+  mm::RealGrid ep = eps, em = eps;
+  ep(pi, pj) += h;
+  em(pi, pj) -= h;
+  mf::TeSimulation sp(spec, ep, omega, pml), sm(spec, em, omega, pml);
+  const double fd = (mf::intensity_objective(terms, sp.solve(Mz)) -
+                     mf::intensity_objective(terms, sm.solve(Mz))) /
+                    (2.0 * h);
+  EXPECT_NEAR(adj.grad_eps(pi, pj), fd, 1e-2 * std::abs(fd) + 1e-12);
+}
+
+TEST(Te, DeriveFieldsShapes) {
+  const maps::grid::GridSpec spec{16, 12, 0.1};
+  mf::PmlSpec pml;
+  pml.ncells = 3;
+  mf::TeSimulation sim(spec, mm::RealGrid(16, 12, 1.0),
+                       maps::omega_of_wavelength(1.55), pml);
+  const auto f = sim.run(point_mz(spec, 8, 6));
+  EXPECT_EQ(f.Hz.nx(), 16);
+  EXPECT_EQ(f.Ex.ny(), 12);
+  EXPECT_EQ(f.Ey.nx(), 16);
+}

@@ -1,0 +1,106 @@
+// Shapes, coverage fractions, and subpixel-averaged painting.
+#include <gtest/gtest.h>
+
+#include "grid/geometry.hpp"
+
+namespace mg = maps::grid;
+namespace mm = maps::math;
+using maps::index_t;
+
+TEST(Geometry, RectContains) {
+  mg::Rect r(1.0, 2.0, 3.0, 4.0);
+  EXPECT_TRUE(r.contains(2.0, 3.0));
+  EXPECT_TRUE(r.contains(1.0, 2.0));  // inclusive edges
+  EXPECT_FALSE(r.contains(0.9, 3.0));
+  EXPECT_FALSE(r.contains(2.0, 4.1));
+}
+
+TEST(Geometry, CircleContains) {
+  mg::Circle c(0.0, 0.0, 1.0);
+  EXPECT_TRUE(c.contains(0.5, 0.5));
+  EXPECT_TRUE(c.contains(1.0, 0.0));
+  EXPECT_FALSE(c.contains(0.8, 0.8));
+}
+
+TEST(Geometry, PolygonTriangle) {
+  mg::Polygon t({{0, 0}, {2, 0}, {0, 2}});
+  EXPECT_TRUE(t.contains(0.5, 0.5));
+  EXPECT_FALSE(t.contains(1.5, 1.5));
+  EXPECT_FALSE(t.contains(-0.1, 0.5));
+}
+
+TEST(Geometry, PolygonNonConvex) {
+  // L-shape.
+  mg::Polygon l({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  EXPECT_TRUE(l.contains(2.0, 0.5));
+  EXPECT_TRUE(l.contains(0.5, 2.0));
+  EXPECT_FALSE(l.contains(2.0, 2.0));
+}
+
+TEST(Geometry, CoverageFullAndEmpty) {
+  mg::GridSpec g{10, 10, 0.1};
+  mg::Rect full(0.0, 0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(mg::coverage(g, full, 5, 5), 1.0);
+  mg::Rect none(2.0, 2.0, 3.0, 3.0);
+  EXPECT_DOUBLE_EQ(mg::coverage(g, none, 5, 5), 0.0);
+}
+
+TEST(Geometry, CoverageHalfCell) {
+  mg::GridSpec g{10, 10, 0.1};
+  // Rect covering the left half of cell (5, 5) = [0.5, 0.6] x [0.5, 0.6].
+  mg::Rect half(0.0, 0.0, 0.55, 1.0);
+  EXPECT_NEAR(mg::coverage(g, half, 5, 5, 8), 0.5, 1e-12);
+}
+
+TEST(Geometry, PaintBlendsByCoverage) {
+  mg::GridSpec g{4, 4, 1.0};
+  mm::RealGrid eps(4, 4, 1.0);
+  mg::Rect r(0.0, 0.0, 2.0, 4.0);  // left half solid
+  mg::paint(eps, g, r, 9.0);
+  EXPECT_DOUBLE_EQ(eps(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(eps(1, 2), 9.0);
+  EXPECT_DOUBLE_EQ(eps(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eps(3, 3), 1.0);
+}
+
+TEST(Geometry, PaintPartialCellGivesIntermediateEps) {
+  mg::GridSpec g{4, 4, 1.0};
+  mm::RealGrid eps(4, 4, 1.0);
+  mg::Rect r(0.0, 0.0, 2.5, 4.0);  // covers half of column 2
+  mg::paint(eps, g, r, 9.0, 8);
+  EXPECT_NEAR(eps(2, 1), 5.0, 1e-9);  // 50% blend
+}
+
+TEST(Geometry, GridSpecCoordinates) {
+  mg::GridSpec g{64, 32, 0.1};
+  EXPECT_DOUBLE_EQ(g.width(), 6.4);
+  EXPECT_DOUBLE_EQ(g.height(), 3.2);
+  EXPECT_DOUBLE_EQ(g.x_of(0), 0.05);
+  EXPECT_EQ(g.i_of(0.05), 0);
+  EXPECT_EQ(g.i_of(6.39), 63);
+  EXPECT_EQ(g.i_of(100.0), 63);  // clamped
+  EXPECT_EQ(g.j_of(-5.0), 0);
+}
+
+TEST(Geometry, GridSpecRefined) {
+  mg::GridSpec g{64, 64, 0.1};
+  auto f = g.refined(2);
+  EXPECT_EQ(f.nx, 128);
+  EXPECT_DOUBLE_EQ(f.dl, 0.05);
+  EXPECT_DOUBLE_EQ(f.width(), g.width());
+}
+
+TEST(Geometry, BoxRegion) {
+  mg::BoxRegion b{2, 3, 4, 5};
+  EXPECT_TRUE(b.contains(2, 3));
+  EXPECT_TRUE(b.contains(5, 7));
+  EXPECT_FALSE(b.contains(6, 3));
+  EXPECT_FALSE(b.contains(2, 8));
+  EXPECT_EQ(b.cells(), 20);
+  mg::GridSpec g{10, 10, 1.0};
+  EXPECT_TRUE(b.fits(g));
+  EXPECT_FALSE((mg::BoxRegion{8, 8, 4, 4}).fits(g));
+  auto r = b.refined(2);
+  EXPECT_EQ(r.i0, 4);
+  EXPECT_EQ(r.ni, 8);
+}

@@ -1,0 +1,61 @@
+// Structure rendering across fidelities.
+#include <gtest/gtest.h>
+
+#include "grid/materials.hpp"
+#include "grid/structure.hpp"
+
+namespace mg = maps::grid;
+using maps::index_t;
+
+TEST(Structure, BackgroundOnly) {
+  mg::Structure s(mg::GridSpec{8, 8, 0.1}, 2.25);
+  auto eps = s.render();
+  for (index_t n = 0; n < eps.size(); ++n) EXPECT_DOUBLE_EQ(eps[n], 2.25);
+}
+
+TEST(Structure, WaveguideXPlacesSilicon) {
+  mg::GridSpec g{64, 64, 0.1};
+  mg::Structure s(g, mg::kSilica.eps());
+  s.add_waveguide_x(3.2, 0.4, 0.0, 6.4);
+  auto eps = s.render();
+  // Core cells: y in [3.0, 3.4] -> j = 30..33.
+  EXPECT_NEAR(eps(10, 31), mg::kSilicon.eps(), 1e-9);
+  EXPECT_NEAR(eps(10, 32), mg::kSilicon.eps(), 1e-9);
+  // Cladding well away from the core.
+  EXPECT_NEAR(eps(10, 10), mg::kSilica.eps(), 1e-9);
+  EXPECT_NEAR(eps(10, 55), mg::kSilica.eps(), 1e-9);
+}
+
+TEST(Structure, RenderAtHigherFidelityMatchesPhysically) {
+  mg::GridSpec g{32, 32, 0.2};
+  mg::Structure s(g, 1.0);
+  s.add_waveguide_y(3.2, 0.8, 0.0, 6.4);
+  auto lo = s.render();
+  auto hi = s.render(g.refined(2));
+  // Compare a physical probe point: (3.2, 2.0) core; (1.0, 2.0) clad.
+  EXPECT_NEAR(lo(16, 10), hi(32, 20), 1e-9);
+  EXPECT_NEAR(lo(5, 10), hi(10, 20), 1e-9);
+}
+
+TEST(Structure, RenderRejectsWrongDomain) {
+  mg::Structure s(mg::GridSpec{32, 32, 0.2}, 1.0);
+  EXPECT_THROW(s.render(mg::GridSpec{32, 32, 0.1}), maps::MapsError);
+}
+
+TEST(Structure, PaintOrderLastWins) {
+  mg::GridSpec g{16, 16, 0.1};
+  mg::Structure s(g, 1.0);
+  s.add(mg::Rect(0.0, 0.0, 1.6, 1.6), 4.0);
+  s.add(mg::Rect(0.0, 0.0, 0.8, 1.6), 9.0);
+  auto eps = s.render();
+  EXPECT_NEAR(eps(3, 8), 9.0, 1e-9);   // overwritten region
+  EXPECT_NEAR(eps(12, 8), 4.0, 1e-9);  // first paint only
+  EXPECT_EQ(s.shape_count(), 2u);
+}
+
+TEST(Structure, MaterialConstants) {
+  EXPECT_NEAR(mg::kSilicon.eps(), 12.1104, 1e-4);
+  EXPECT_NEAR(mg::kSilica.eps(), 2.0736, 1e-4);
+  EXPECT_GT(mg::silicon_eps_at(100.0), mg::kSilicon.eps());
+  EXPECT_DOUBLE_EQ(mg::silicon_eps_at(0.0), mg::kSilicon.eps());
+}

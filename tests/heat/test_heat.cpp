@@ -1,0 +1,102 @@
+// Steady-state heat solver (TOS substrate).
+#include <gtest/gtest.h>
+
+#include "heat/heat_solver.hpp"
+
+namespace mh = maps::heat;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+mh::HeatProblem uniform_problem(index_t n, double kappa, double dl = 0.1) {
+  mh::HeatProblem p;
+  p.spec = maps::grid::GridSpec{n, n, dl};
+  p.kappa = mm::RealGrid(n, n, kappa);
+  p.power = mm::RealGrid(n, n, 0.0);
+  return p;
+}
+}  // namespace
+
+TEST(Heat, ZeroPowerGivesZeroTemperature) {
+  auto p = uniform_problem(16, 1.0);
+  auto T = mh::solve_steady_heat(p);
+  for (index_t n = 0; n < T.size(); ++n) EXPECT_NEAR(T[n], 0.0, 1e-12);
+}
+
+TEST(Heat, CentralSourcePeaksAtCenter) {
+  auto p = uniform_problem(17, 1.0);
+  p.power(8, 8) = 1.0;
+  auto T = mh::solve_steady_heat(p);
+  for (index_t n = 0; n < T.size(); ++n) {
+    EXPECT_GE(T[n], -1e-12);              // maximum principle: no negative rise
+    EXPECT_LE(T[n], T(8, 8) + 1e-12);     // peak at the source
+  }
+  EXPECT_GT(T(8, 8), 0.0);
+}
+
+TEST(Heat, SymmetricProblemGivesSymmetricField) {
+  auto p = uniform_problem(17, 2.0);
+  p.power(8, 8) = 3.0;
+  auto T = mh::solve_steady_heat(p);
+  for (index_t j = 0; j < 17; ++j) {
+    for (index_t i = 0; i < 17; ++i) {
+      EXPECT_NEAR(T(i, j), T(16 - i, j), 1e-10);
+      EXPECT_NEAR(T(i, j), T(i, 16 - j), 1e-10);
+    }
+  }
+}
+
+TEST(Heat, LinearInPower) {
+  auto p1 = uniform_problem(16, 1.5);
+  p1.power(7, 7) = 1.0;
+  auto p2 = uniform_problem(16, 1.5);
+  p2.power(7, 7) = 4.0;
+  auto T1 = mh::solve_steady_heat(p1);
+  auto T2 = mh::solve_steady_heat(p2);
+  for (index_t n = 0; n < T1.size(); ++n) EXPECT_NEAR(T2[n], 4.0 * T1[n], 1e-9);
+}
+
+TEST(Heat, HigherConductivityLowersPeak) {
+  auto p_low = uniform_problem(16, 1.0);
+  p_low.power(8, 8) = 1.0;
+  auto p_high = uniform_problem(16, 10.0);
+  p_high.power(8, 8) = 1.0;
+  EXPECT_GT(mh::solve_steady_heat(p_low)(8, 8), mh::solve_steady_heat(p_high)(8, 8));
+}
+
+TEST(Heat, InteriorStencilResidual) {
+  // The returned field must satisfy the discrete equation at interior cells.
+  auto p = uniform_problem(12, 1.0, 0.05);
+  p.power(3, 7) = 2.0;
+  auto T = mh::solve_steady_heat(p);
+  const double inv_dl2 = 1.0 / (0.05 * 0.05);
+  for (index_t j = 1; j < 11; ++j) {
+    for (index_t i = 1; i < 11; ++i) {
+      const double lap = (T(i + 1, j) + T(i - 1, j) + T(i, j + 1) + T(i, j - 1) -
+                          4.0 * T(i, j)) * inv_dl2;
+      EXPECT_NEAR(lap, -p.power(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(Heat, SiliconChannelSpreadsHeat) {
+  // A high-kappa channel flattens the temperature along itself.
+  auto p = uniform_problem(24, mh::kKappaSilica);
+  for (index_t i = 0; i < 24; ++i) p.kappa(i, 12) = mh::kKappaSilicon;
+  p.power(12, 12) = 1.0;
+  auto T = mh::solve_steady_heat(p);
+  // Compare decay along the channel vs perpendicular at the same distance.
+  EXPECT_GT(T(18, 12), T(12, 18));
+}
+
+TEST(Heat, HeaterPowerMap) {
+  maps::grid::GridSpec spec{16, 16, 0.1};
+  maps::grid::BoxRegion heater{4, 5, 3, 2};
+  auto q = mh::heater_power_map(spec, heater, 2.5);
+  EXPECT_DOUBLE_EQ(q(4, 5), 2.5);
+  EXPECT_DOUBLE_EQ(q(6, 6), 2.5);
+  EXPECT_DOUBLE_EQ(q(7, 5), 0.0);
+  EXPECT_DOUBLE_EQ(q(3, 5), 0.0);
+  EXPECT_THROW(mh::heater_power_map(spec, maps::grid::BoxRegion{14, 14, 4, 4}, 1.0),
+               maps::MapsError);
+}

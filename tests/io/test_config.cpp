@@ -1,0 +1,133 @@
+// Typed configs: defaults, validation (including strict unknown-field
+// rejection), name<->enum mappings, and to_json/from_json round trips.
+#include <gtest/gtest.h>
+
+#include "io/config.hpp"
+
+namespace mio = maps::io;
+using mio::JsonValue;
+
+TEST(Config, DeviceNameMapping) {
+  for (const auto kind : maps::devices::all_device_kinds()) {
+    EXPECT_EQ(mio::device_kind_from_name(maps::devices::device_name(kind)), kind);
+  }
+  EXPECT_THROW(mio::device_kind_from_name("warp_core"), maps::MapsError);
+}
+
+TEST(Config, StrategyAndModelNameMapping) {
+  EXPECT_EQ(mio::strategy_from_name("random"), maps::data::SamplingStrategy::Random);
+  EXPECT_THROW(mio::strategy_from_name("psychic"), maps::MapsError);
+  EXPECT_EQ(mio::model_kind_from_name("fno"), maps::nn::ModelKind::Fno);
+  EXPECT_THROW(mio::model_kind_from_name("gpt"), maps::MapsError);
+}
+
+TEST(Config, DataGenDefaults) {
+  const auto cfg = mio::DataGenConfig::from_json(mio::json_parse("{}"));
+  EXPECT_EQ(cfg.device, maps::devices::DeviceKind::Bend);
+  EXPECT_EQ(cfg.fidelity, 1);
+  EXPECT_FALSE(cfg.multi_fidelity);
+  EXPECT_EQ(cfg.sampler.strategy, maps::data::SamplingStrategy::Random);
+}
+
+TEST(Config, DataGenRejectsUnknownField) {
+  EXPECT_THROW(mio::DataGenConfig::from_json(mio::json_parse(R"({"epocs": 3})")),
+               maps::MapsError);
+}
+
+TEST(Config, DataGenValidatesRanges) {
+  EXPECT_THROW(
+      mio::DataGenConfig::from_json(mio::json_parse(R"({"fidelity": 9})")),
+      maps::MapsError);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"blur_min": 3.0, "blur_max": 1.0})")),
+               maps::MapsError);
+  EXPECT_THROW(
+      mio::DataGenConfig::from_json(mio::json_parse(R"({"num_patterns": 0})")),
+      maps::MapsError);
+}
+
+TEST(Config, DataGenRoundTrip) {
+  auto cfg = mio::DataGenConfig{};
+  cfg.device = maps::devices::DeviceKind::Wdm;
+  cfg.sampler.strategy = maps::data::SamplingStrategy::PerturbOptTraj;
+  cfg.sampler.num_trajectories = 3;
+  cfg.multi_fidelity = true;
+  const auto back = mio::DataGenConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.device, cfg.device);
+  EXPECT_EQ(back.sampler.strategy, cfg.sampler.strategy);
+  EXPECT_EQ(back.sampler.num_trajectories, 3);
+  EXPECT_TRUE(back.multi_fidelity);
+}
+
+TEST(Config, TrainRequiresDataset) {
+  EXPECT_THROW(mio::TrainConfig::from_json(mio::json_parse("{}")), maps::MapsError);
+}
+
+TEST(Config, TrainDefaultsAndWavePrior) {
+  const auto cfg = mio::TrainConfig::from_json(
+      mio::json_parse(R"({"dataset": "d.mapsd", "model": "neurolight"})"));
+  EXPECT_EQ(cfg.model.kind, maps::nn::ModelKind::NeurOLight);
+  // NeurOLight defaults to wave-prior encoding; input channels follow.
+  EXPECT_TRUE(cfg.train.encoding.wave_prior);
+  EXPECT_EQ(cfg.model.in_channels, 8);
+
+  const auto fno = mio::TrainConfig::from_json(
+      mio::json_parse(R"({"dataset": "d.mapsd", "model": "fno"})"));
+  EXPECT_FALSE(fno.train.encoding.wave_prior);
+  EXPECT_EQ(fno.model.in_channels, 4);
+}
+
+TEST(Config, TrainValidatesRanges) {
+  EXPECT_THROW(mio::TrainConfig::from_json(mio::json_parse(
+                   R"({"dataset": "d", "test_fraction": 1.5})")),
+               maps::MapsError);
+  EXPECT_THROW(
+      mio::TrainConfig::from_json(mio::json_parse(R"({"dataset": "d", "lr": 0})")),
+      maps::MapsError);
+  EXPECT_THROW(mio::TrainConfig::from_json(
+                   mio::json_parse(R"({"dataset": "d", "epochs": -1})")),
+               maps::MapsError);
+}
+
+TEST(Config, TrainRoundTrip) {
+  mio::TrainConfig cfg;
+  cfg.dataset = "train.mapsd";
+  cfg.test_dataset = "test.mapsd";
+  cfg.model.kind = maps::nn::ModelKind::UNetKind;
+  cfg.train.epochs = 7;
+  cfg.train.maxwell_weight = 0.25;
+  cfg.checkpoint = "model.ckpt";
+  const auto back = mio::TrainConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.test_dataset, "test.mapsd");
+  EXPECT_EQ(back.model.kind, maps::nn::ModelKind::UNetKind);
+  EXPECT_EQ(back.train.epochs, 7);
+  EXPECT_DOUBLE_EQ(back.train.maxwell_weight, 0.25);
+  EXPECT_EQ(back.checkpoint, "model.ckpt");
+}
+
+TEST(Config, InvDesDefaultsAndValidation) {
+  const auto cfg = mio::InvDesConfig::from_json(mio::json_parse("{}"));
+  EXPECT_EQ(cfg.init, "path_seed");
+  EXPECT_GT(cfg.options.iterations, 0);
+
+  EXPECT_THROW(mio::InvDesConfig::from_json(mio::json_parse(R"({"init": "psi"})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::InvDesConfig::from_json(
+                   mio::json_parse(R"({"beta_start": 8, "beta_end": 2})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::InvDesConfig::from_json(mio::json_parse(R"({"iterations": 0})")),
+               maps::MapsError);
+}
+
+TEST(Config, InvDesRoundTrip) {
+  mio::InvDesConfig cfg;
+  cfg.device = maps::devices::DeviceKind::Crossing;
+  cfg.options.iterations = 12;
+  cfg.init = "gray";
+  cfg.density_out = "rho.csv";
+  const auto back = mio::InvDesConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.device, maps::devices::DeviceKind::Crossing);
+  EXPECT_EQ(back.options.iterations, 12);
+  EXPECT_EQ(back.init, "gray");
+  EXPECT_EQ(back.density_out, "rho.csv");
+}

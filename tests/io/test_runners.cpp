@@ -1,0 +1,113 @@
+// End-to-end CLI runner pipeline on miniature budgets: datagen -> train ->
+// invdes, chained through real files exactly as the command-line tool would
+// drive them.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/runners.hpp"
+
+namespace mio = maps::io;
+using mio::JsonValue;
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/maps_runner_" + name;
+}
+
+}  // namespace
+
+TEST(Runners, DatagenTrainInvdesPipeline) {
+  std::ostringstream log;
+
+  // 1. Generate a tiny random-strategy dataset.
+  mio::DataGenConfig dg;
+  dg.sampler.strategy = maps::data::SamplingStrategy::Random;
+  dg.sampler.num_patterns = 6;
+  dg.sampler.seed = 3;
+  dg.output = tmp_path("set.mapsd");
+  const auto dg_report = mio::run_datagen(dg, log);
+  EXPECT_EQ(dg_report.at("task").as_string(), "datagen");
+  EXPECT_GE(dg_report.at("samples").as_int(), 6);
+  EXPECT_GT(dg_report.at("transmission").at("count").as_int(), 0);
+
+  // 2. Train a miniature FNO on it.
+  mio::TrainConfig tr;
+  tr.dataset = dg.output;
+  tr.model.kind = maps::nn::ModelKind::Fno;
+  tr.model.width = 6;
+  tr.model.modes = 4;
+  tr.model.depth = 2;
+  tr.train.epochs = 2;
+  tr.train.batch = 2;
+  tr.checkpoint = tmp_path("model.ckpt");
+  tr.report = tmp_path("train_report.json");
+  const auto tr_report = mio::run_train(tr, log);
+  EXPECT_GT(tr_report.at("train_nl2").as_number(), 0.0);
+  EXPECT_GT(tr_report.at("test_nl2").as_number(), 0.0);
+  // Checkpoint and report files must exist.
+  EXPECT_TRUE(std::ifstream(tr.checkpoint).good());
+  const auto persisted = mio::json_load(tr.report);
+  EXPECT_EQ(persisted.at("task").as_string(), "train");
+
+  // 3. A short inverse design run on the bend.
+  mio::InvDesConfig inv;
+  inv.options.iterations = 4;
+  inv.density_out = tmp_path("rho.csv");
+  inv.history_out = tmp_path("hist.csv");
+  const auto inv_report = mio::run_invdes(inv, log);
+  EXPECT_EQ(inv_report.at("iterations").as_int(), 4);
+  EXPECT_TRUE(std::ifstream(inv.density_out).good());
+
+  // History CSV has a header plus one row per iteration.
+  std::ifstream hist(inv.history_out);
+  ASSERT_TRUE(hist.good());
+  int lines = 0;
+  for (std::string line; std::getline(hist, line);) ++lines;
+  EXPECT_EQ(lines, 1 + 4);
+
+  // The log narrates each stage.
+  const std::string text = log.str();
+  EXPECT_NE(text.find("[datagen]"), std::string::npos);
+  EXPECT_NE(text.find("[train]"), std::string::npos);
+  EXPECT_NE(text.find("[invdes]"), std::string::npos);
+}
+
+TEST(Runners, ConfigFileDispatch) {
+  std::ostringstream log;
+  const std::string cfg_path = tmp_path("cfg.json");
+
+  JsonValue cfg;
+  cfg["task"] = "datagen";
+  cfg["num_patterns"] = 2;
+  cfg["output"] = tmp_path("dispatch.mapsd");
+  mio::json_save(cfg, cfg_path);
+
+  const auto report = mio::run_config_file(cfg_path, log);
+  EXPECT_EQ(report.at("task").as_string(), "datagen");
+  EXPECT_GE(report.at("samples").as_int(), 2);
+}
+
+TEST(Runners, ConfigFileRejectsUnknownTask) {
+  std::ostringstream log;
+  const std::string cfg_path = tmp_path("bad.json");
+  JsonValue cfg;
+  cfg["task"] = "transmogrify";
+  mio::json_save(cfg, cfg_path);
+  EXPECT_THROW(mio::run_config_file(cfg_path, log), maps::MapsError);
+}
+
+TEST(Runners, DensityCsvShape) {
+  maps::math::RealGrid rho(3, 2, 0.5);
+  rho(2, 1) = 1.0;
+  const std::string path = tmp_path("density.csv");
+  mio::write_density_csv(rho, path);
+  std::ifstream in(path);
+  std::string l1, l2;
+  ASSERT_TRUE(std::getline(in, l1));
+  ASSERT_TRUE(std::getline(in, l2));
+  EXPECT_EQ(l1, "0.5,0.5,0.5");
+  EXPECT_EQ(l2, "0.5,0.5,1");
+}

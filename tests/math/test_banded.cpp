@@ -1,0 +1,231 @@
+// Banded LU: correctness against dense references, transposed solves,
+// pivoting robustness, and property sweeps over shapes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/banded.hpp"
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+
+// Dense Gaussian elimination with partial pivoting (reference).
+template <typename T>
+std::vector<T> dense_solve(std::vector<std::vector<T>> a, std::vector<T> b) {
+  const std::size_t n = b.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a[i][k]) > std::abs(a[piv][k])) piv = i;
+    }
+    std::swap(a[k], a[piv]);
+    std::swap(b[k], b[piv]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T f = a[i][k] / a[k][k];
+      for (std::size_t j = k; j < n; ++j) a[i][j] -= f * a[k][j];
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<T> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    T s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= a[i][j] * x[j];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+template <typename T>
+T random_scalar(mm::Rng& rng);
+template <>
+double random_scalar<double>(mm::Rng& rng) { return rng.uniform(-1.0, 1.0); }
+template <>
+cplx random_scalar<cplx>(mm::Rng& rng) {
+  return {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+}
+
+template <typename T>
+void fill_random_band(mm::BandMatrix<T>& m, std::vector<std::vector<T>>& dense,
+                      mm::Rng& rng) {
+  const index_t n = m.n();
+  dense.assign(static_cast<std::size_t>(n), std::vector<T>(static_cast<std::size_t>(n), T{}));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = std::max<index_t>(0, i - m.kl());
+         j <= std::min<index_t>(n - 1, i + m.ku()); ++j) {
+      T v = random_scalar<T>(rng);
+      if (i == j) v += T(4);  // keep comfortably nonsingular
+      m.set(i, j, v);
+      dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = v;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Banded, SolvesIdentity) {
+  mm::BandMatrix<double> m(5, 0, 0);
+  for (index_t i = 0; i < 5; ++i) m.set(i, i, 1.0);
+  m.factorize();
+  std::vector<double> b{1, 2, 3, 4, 5};
+  auto x = m.solve(b);
+  for (index_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Banded, SolvesDiagonal) {
+  mm::BandMatrix<double> m(4, 1, 1);
+  for (index_t i = 0; i < 4; ++i) m.set(i, i, static_cast<double>(i + 1));
+  m.factorize();
+  auto x = m.solve({2, 6, 12, 20});
+  EXPECT_NEAR(x[0], 2.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+  EXPECT_NEAR(x[2], 4.0, 1e-14);
+  EXPECT_NEAR(x[3], 5.0, 1e-14);
+}
+
+TEST(Banded, TridiagonalKnownSolution) {
+  // -2 on diagonal, 1 off: discrete Laplacian; solution of A x = b computed
+  // against the dense reference.
+  const index_t n = 10;
+  mm::BandMatrix<double> m(n, 1, 1);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (index_t i = 0; i < n; ++i) {
+    m.set(i, i, -2.0);
+    dense[i][i] = -2.0;
+    if (i > 0) {
+      m.set(i, i - 1, 1.0);
+      dense[i][i - 1] = 1.0;
+    }
+    if (i + 1 < n) {
+      m.set(i, i + 1, 1.0);
+      dense[i][i + 1] = 1.0;
+    }
+  }
+  std::vector<double> b(n, 1.0);
+  auto expect = dense_solve(dense, b);
+  m.factorize();
+  auto x = m.solve(b);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], expect[i], 1e-12);
+}
+
+TEST(Banded, MatvecMatchesDense) {
+  mm::Rng rng(7);
+  mm::BandMatrix<double> m(12, 3, 2);
+  std::vector<std::vector<double>> dense;
+  fill_random_band(m, dense, rng);
+  std::vector<double> x(12);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  auto y = m.matvec(x);
+  for (index_t i = 0; i < 12; ++i) {
+    double s = 0;
+    for (index_t j = 0; j < 12; ++j) s += dense[i][j] * x[j];
+    EXPECT_NEAR(y[i], s, 1e-12);
+  }
+}
+
+TEST(Banded, RequiresPivoting) {
+  // Zero leading diagonal entry forces a row interchange.
+  mm::BandMatrix<double> m(3, 1, 1);
+  m.set(0, 0, 0.0);
+  m.set(0, 1, 2.0);
+  m.set(1, 0, 1.0);
+  m.set(1, 1, 1.0);
+  m.set(1, 2, 1.0);
+  m.set(2, 1, 4.0);
+  m.set(2, 2, 1.0);
+  m.factorize();
+  // A = [[0,2,0],[1,1,1],[0,4,1]]; b = A*[1,2,3]^T = [4,6,11].
+  auto x = m.solve({4, 6, 11});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Banded, ThrowsOnSingular) {
+  mm::BandMatrix<double> m(3, 1, 1);
+  m.set(0, 0, 1.0);
+  m.set(1, 1, 1.0);
+  // Column 2 is entirely zero.
+  EXPECT_THROW(m.factorize(), maps::MapsError);
+}
+
+TEST(Banded, ComplexSolve) {
+  mm::Rng rng(3);
+  const index_t n = 20;
+  mm::BandMatrix<cplx> m(n, 2, 2);
+  std::vector<std::vector<cplx>> dense;
+  fill_random_band(m, dense, rng);
+  std::vector<cplx> b(n);
+  for (auto& v : b) v = random_scalar<cplx>(rng);
+  auto expect = dense_solve(dense, b);
+  m.factorize();
+  auto x = m.solve(b);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - expect[i]), 0.0, 1e-11);
+  }
+}
+
+struct BandShape {
+  index_t n, kl, ku;
+};
+
+class BandedParam : public ::testing::TestWithParam<BandShape> {};
+
+TEST_P(BandedParam, RandomSystemSolvesAndTransposes) {
+  const auto [n, kl, ku] = GetParam();
+  mm::Rng rng(static_cast<unsigned>(n * 100 + kl * 10 + ku));
+  mm::BandMatrix<cplx> m(n, kl, ku);
+  std::vector<std::vector<cplx>> dense;
+  fill_random_band(m, dense, rng);
+
+  std::vector<cplx> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = random_scalar<cplx>(rng);
+
+  // b = A x_true, bt = A^T x_true.
+  std::vector<cplx> b(static_cast<std::size_t>(n), cplx{});
+  std::vector<cplx> bt(static_cast<std::size_t>(n), cplx{});
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(i)] +=
+          dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+          x_true[static_cast<std::size_t>(j)];
+      bt[static_cast<std::size_t>(i)] +=
+          dense[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] *
+          x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  m.factorize();
+  auto x = m.solve(b);
+  auto xt = m.solve_transposed(bt);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(x[static_cast<std::size_t>(i)] -
+                         x_true[static_cast<std::size_t>(i)]), 0.0, 1e-10)
+        << "forward solve, i=" << i;
+    EXPECT_NEAR(std::abs(xt[static_cast<std::size_t>(i)] -
+                         x_true[static_cast<std::size_t>(i)]), 0.0, 1e-10)
+        << "transposed solve, i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BandedParam,
+    ::testing::Values(BandShape{1, 0, 0}, BandShape{2, 1, 1}, BandShape{8, 1, 1},
+                      BandShape{16, 3, 1}, BandShape{16, 1, 3}, BandShape{32, 5, 5},
+                      BandShape{64, 8, 8}, BandShape{100, 10, 10},
+                      BandShape{81, 9, 9}, BandShape{50, 49, 49}));
+
+TEST(Banded, StorageBytesReflectsShape) {
+  mm::BandMatrix<cplx> m(100, 10, 10);
+  EXPECT_EQ(m.storage_bytes(), 100u * 31u * sizeof(cplx));
+}
+
+TEST(Banded, OutOfBandAccess) {
+  mm::BandMatrix<double> m(6, 1, 1);
+  EXPECT_EQ(m.get(0, 5), 0.0);
+  EXPECT_THROW(m.set(0, 5, 1.0), maps::MapsError);
+  EXPECT_THROW(m.get(7, 0), maps::MapsError);
+}

@@ -1,0 +1,82 @@
+// BiCGSTAB on complex non-Hermitian systems, cross-checked against the
+// banded direct solver.
+#include <gtest/gtest.h>
+
+#include "math/bicgstab.hpp"
+#include "math/csr.hpp"
+#include "math/rng.hpp"
+
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+namespace {
+mm::CsrCplx random_dd_matrix(index_t n, unsigned seed) {
+  // Diagonally dominant tridiagonal-ish complex matrix.
+  mm::Rng rng(seed);
+  std::vector<mm::Triplet<cplx>> tris;
+  for (index_t i = 0; i < n; ++i) {
+    tris.push_back({i, i, cplx{5.0 + rng.uniform(), rng.uniform(-1, 1)}});
+    if (i > 0) tris.push_back({i, i - 1, cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)}});
+    if (i + 1 < n) tris.push_back({i, i + 1, cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)}});
+  }
+  return mm::CsrCplx::from_triplets(n, n, tris);
+}
+}  // namespace
+
+TEST(Bicgstab, SolvesDiagonalSystem) {
+  auto A = mm::CsrCplx::from_triplets(
+      3, 3, {{0, 0, cplx{2, 0}}, {1, 1, cplx{0, 2}}, {2, 2, cplx{4, 0}}});
+  auto res = mm::bicgstab(A, {cplx{2, 0}, cplx{0, 2}, cplx{8, 0}});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(std::abs(res.x[0] - cplx{1, 0}), 0.0, 1e-7);
+  EXPECT_NEAR(std::abs(res.x[1] - cplx{1, 0}), 0.0, 1e-7);
+  EXPECT_NEAR(std::abs(res.x[2] - cplx{2, 0}), 0.0, 1e-7);
+}
+
+TEST(Bicgstab, ZeroRhsConvergesImmediately) {
+  auto A = random_dd_matrix(10, 2);
+  auto res = mm::bicgstab(A, std::vector<cplx>(10, cplx{}));
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  for (const auto& v : res.x) EXPECT_EQ(v, cplx{});
+}
+
+class BicgstabParam : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BicgstabParam, MatchesDirectSolve) {
+  const index_t n = GetParam();
+  auto A = random_dd_matrix(n, static_cast<unsigned>(n));
+  mm::Rng rng(99);
+  std::vector<cplx> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto b = A.matvec(x_true);
+
+  auto res = mm::bicgstab(A, b);
+  ASSERT_TRUE(res.converged) << "n=" << n << " rel=" << res.relative_residual;
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(res.x[static_cast<std::size_t>(i)] -
+                         x_true[static_cast<std::size_t>(i)]), 0.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BicgstabParam, ::testing::Values(4, 16, 64, 256));
+
+TEST(Bicgstab, MatrixFreeOperator) {
+  // Identity operator via lambda.
+  auto res = mm::bicgstab([](const std::vector<cplx>& x) { return x; }, {},
+                          {cplx{1, 2}, cplx{3, 4}});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(std::abs(res.x[0] - cplx{1, 2}), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(res.x[1] - cplx{3, 4}), 0.0, 1e-9);
+}
+
+TEST(Bicgstab, ReportsNonConvergence) {
+  auto A = random_dd_matrix(64, 12);
+  mm::BicgstabOptions opt;
+  opt.max_iters = 1;
+  opt.rtol = 1e-14;
+  std::vector<cplx> b(64, cplx{1.0, 0.0});
+  auto res = mm::bicgstab(A, b, opt);
+  EXPECT_FALSE(res.converged);
+}

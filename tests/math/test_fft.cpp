@@ -1,0 +1,142 @@
+// FFT identities: impulse, roundtrip, Parseval, linearity, naive fallback,
+// and 2D plane-wave bin placement (the property the spectral conv relies on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/fft.hpp"
+#include "math/rng.hpp"
+
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+using maps::kPi;
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<cplx> x(8, cplx{});
+  x[0] = 1.0;
+  auto y = mm::fft(x);
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v - cplx{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Fft, DcBin) {
+  std::vector<cplx> x(16, cplx{1.0, 0.0});
+  auto y = mm::fft(x);
+  EXPECT_NEAR(std::abs(y[0] - cplx{16.0, 0.0}), 0.0, 1e-12);
+  for (std::size_t k = 1; k < 16; ++k) EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInBin) {
+  const index_t n = 32, k0 = 5;
+  std::vector<cplx> x(n);
+  for (index_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * kPi * k0 * t / static_cast<double>(n);
+    x[t] = {std::cos(ang), std::sin(ang)};
+  }
+  auto y = mm::fft(x);
+  for (index_t k = 0; k < n; ++k) {
+    const double expect = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(y[k]), expect, 1e-10) << "bin " << k;
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const int n = GetParam();
+  mm::Rng rng(static_cast<unsigned>(n));
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto y = mm::ifft(mm::fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+// Includes non-powers-of-two, exercising the naive fallback.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 12, 16, 31, 64, 100, 128));
+
+TEST(Fft, ParsevalHolds) {
+  mm::Rng rng(42);
+  std::vector<cplx> x(64);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  double time_energy = 0, freq_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto y = mm::fft(x);
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, 64.0 * time_energy, 1e-8);
+}
+
+TEST(Fft, LinearityHolds) {
+  mm::Rng rng(9);
+  std::vector<cplx> a(32), b(32), sum(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    b[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  auto fa = mm::fft(a), fb = mm::fft(b), fs = mm::fft(sum);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(std::abs(fs[i] - (2.0 * fa[i] + 3.0 * fb[i])), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, NaiveMatchesRadix2OnPow2) {
+  // Cross-check the two kernels on the same data: run 8-point as pow2 and as
+  // a 2x padded-to... instead compare fft(8) against direct DFT formula.
+  mm::Rng rng(1);
+  std::vector<cplx> x(8);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto y = mm::fft(x);
+  for (index_t k = 0; k < 8; ++k) {
+    cplx s{};
+    for (index_t t = 0; t < 8; ++t) {
+      const double ang = -2.0 * kPi * k * t / 8.0;
+      s += x[t] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    EXPECT_NEAR(std::abs(y[k] - s), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2, RoundTrip) {
+  mm::Rng rng(3);
+  mm::CplxGrid g(16, 8);
+  for (index_t n = 0; n < g.size(); ++n) g[n] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto back = mm::ifft2(mm::fft2(g));
+  for (index_t n = 0; n < g.size(); ++n) {
+    EXPECT_NEAR(std::abs(back[n] - g[n]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2, PlaneWaveBin) {
+  const index_t nx = 16, ny = 16, kx = 3, ky = 5;
+  mm::CplxGrid g(nx, ny);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const double ang = 2.0 * kPi * (static_cast<double>(kx * i) / nx +
+                                      static_cast<double>(ky * j) / ny);
+      g(i, j) = {std::cos(ang), std::sin(ang)};
+    }
+  }
+  auto f = mm::fft2(g);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const double expect = (i == kx && j == ky) ? static_cast<double>(nx * ny) : 0.0;
+      EXPECT_NEAR(std::abs(f(i, j)), expect, 1e-8);
+    }
+  }
+}
+
+TEST(Fft2, RealInputHermitianSymmetry) {
+  mm::Rng rng(8);
+  mm::RealGrid g(8, 8);
+  for (index_t n = 0; n < g.size(); ++n) g[n] = rng.uniform(-1, 1);
+  auto f = mm::rfft2(g);
+  // F(-k) = conj(F(k)) for real input.
+  for (index_t j = 1; j < 8; ++j) {
+    for (index_t i = 1; i < 8; ++i) {
+      EXPECT_NEAR(std::abs(f(i, j) - std::conj(f(8 - i, 8 - j))), 0.0, 1e-10);
+    }
+  }
+}

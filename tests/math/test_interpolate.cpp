@@ -1,0 +1,79 @@
+// Resampling and Richardson extrapolation.
+#include <gtest/gtest.h>
+
+#include "math/interpolate.hpp"
+
+namespace mm = maps::math;
+using maps::cplx;
+using maps::index_t;
+
+TEST(Interpolate, IdentityResample) {
+  mm::RealGrid g(4, 3);
+  for (index_t n = 0; n < g.size(); ++n) g[n] = static_cast<double>(n);
+  auto r = mm::bilinear_resample(g, 4, 3);
+  for (index_t n = 0; n < g.size(); ++n) EXPECT_NEAR(r[n], g[n], 1e-12);
+}
+
+TEST(Interpolate, ConstantFieldIsPreserved) {
+  mm::RealGrid g(8, 8, 3.5);
+  auto up = mm::bilinear_resample(g, 16, 16);
+  auto down = mm::bilinear_resample(g, 4, 4);
+  for (index_t n = 0; n < up.size(); ++n) EXPECT_NEAR(up[n], 3.5, 1e-12);
+  for (index_t n = 0; n < down.size(); ++n) EXPECT_NEAR(down[n], 3.5, 1e-12);
+}
+
+TEST(Interpolate, LinearRampExactUnderUpsampling) {
+  // Bilinear interpolation reproduces affine functions exactly away from the
+  // clamped border.
+  mm::RealGrid g(8, 8);
+  for (index_t j = 0; j < 8; ++j) {
+    for (index_t i = 0; i < 8; ++i) {
+      g(i, j) = 2.0 * static_cast<double>(i) + 3.0 * static_cast<double>(j);
+    }
+  }
+  auto up = mm::bilinear_resample(g, 16, 16);
+  for (index_t j = 2; j < 14; ++j) {
+    for (index_t i = 2; i < 14; ++i) {
+      // Fine cell center (i+0.5)/2 - 0.5 in coarse coords.
+      const double x = (static_cast<double>(i) + 0.5) / 2.0 - 0.5;
+      const double y = (static_cast<double>(j) + 0.5) / 2.0 - 0.5;
+      EXPECT_NEAR(up(i, j), 2.0 * x + 3.0 * y, 1e-12);
+    }
+  }
+}
+
+TEST(Interpolate, DownThenUpRecoversSmoothField) {
+  mm::RealGrid g(32, 32);
+  for (index_t j = 0; j < 32; ++j) {
+    for (index_t i = 0; i < 32; ++i) {
+      g(i, j) = std::sin(0.2 * static_cast<double>(i)) *
+                std::cos(0.15 * static_cast<double>(j));
+    }
+  }
+  auto down = mm::bilinear_resample(g, 16, 16);
+  auto up = mm::bilinear_resample(down, 32, 32);
+  double max_err = 0;
+  for (index_t n = 0; n < g.size(); ++n) max_err = std::max(max_err, std::abs(up[n] - g[n]));
+  // First-order resampling of a ~31-cell-period field: ~10% worst case.
+  EXPECT_LT(max_err, 0.12);
+}
+
+TEST(Interpolate, RichardsonCancelsFirstOrderError) {
+  // Model: numerical value v(h) = v_exact + c*h^2 (order-2 method). Coarse at
+  // 2h, fine at h: extrapolation should recover v_exact.
+  const double v_exact = 1.7, c = 0.3, h = 0.1;
+  mm::CplxGrid coarse(4, 4, cplx{v_exact + c * 4 * h * h, 0.0});
+  mm::CplxGrid fine(8, 8, cplx{v_exact + c * h * h, 0.0});
+  auto r = mm::richardson_extrapolate(coarse, fine, 2);
+  for (index_t n = 0; n < r.size(); ++n) {
+    EXPECT_NEAR(r[n].real(), v_exact, 1e-12);
+  }
+}
+
+TEST(Interpolate, ResampleComplexGrid) {
+  mm::CplxGrid g(4, 4, cplx{1.0, -2.0});
+  auto r = mm::bilinear_resample(g, 8, 8);
+  for (index_t n = 0; n < r.size(); ++n) {
+    EXPECT_NEAR(std::abs(r[n] - cplx{1.0, -2.0}), 0.0, 1e-12);
+  }
+}

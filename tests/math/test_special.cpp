@@ -1,0 +1,108 @@
+// Bessel/Hankel special functions: tabulated values (A&S tables), the
+// Wronskian identity as a parameterized property sweep, and asymptotic
+// behaviour that the far-field kernel relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/special.hpp"
+
+namespace mm = maps::math;
+using maps::cplx;
+using maps::kPi;
+
+TEST(Special, J0TabulatedValues) {
+  EXPECT_NEAR(mm::bessel_j0(0.0), 1.0, 1e-7);
+  EXPECT_NEAR(mm::bessel_j0(1.0), 0.7651976866, 2e-7);
+  EXPECT_NEAR(mm::bessel_j0(2.0), 0.2238907791, 2e-7);
+  EXPECT_NEAR(mm::bessel_j0(5.0), -0.1775967713, 2e-6);
+  EXPECT_NEAR(mm::bessel_j0(10.0), -0.2459357645, 2e-6);
+}
+
+TEST(Special, J0FirstZero) {
+  // First root of J0 at x = 2.404825557695773.
+  EXPECT_NEAR(mm::bessel_j0(2.404825557695773), 0.0, 5e-7);
+}
+
+TEST(Special, J1TabulatedValues) {
+  EXPECT_NEAR(mm::bessel_j1(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(mm::bessel_j1(1.0), 0.4400505857, 2e-7);
+  EXPECT_NEAR(mm::bessel_j1(2.0), 0.5767248078, 2e-7);
+  EXPECT_NEAR(mm::bessel_j1(5.0), -0.3275791376, 2e-6);
+}
+
+TEST(Special, J0J1EvenOddSymmetry) {
+  for (double x : {0.5, 1.7, 3.3, 7.9}) {
+    EXPECT_DOUBLE_EQ(mm::bessel_j0(-x), mm::bessel_j0(x));
+    EXPECT_DOUBLE_EQ(mm::bessel_j1(-x), -mm::bessel_j1(x));
+  }
+}
+
+TEST(Special, Y0Y1TabulatedValues) {
+  EXPECT_NEAR(mm::bessel_y0(1.0), 0.0882569642, 3e-7);
+  EXPECT_NEAR(mm::bessel_y0(2.0), 0.5103756726, 3e-7);
+  EXPECT_NEAR(mm::bessel_y1(1.0), -0.7812128213, 3e-7);
+  EXPECT_NEAR(mm::bessel_y1(2.0), -0.1070324315, 3e-7);
+}
+
+TEST(Special, Y0DivergesAtSmallArgument) {
+  // Y0(x) ~ (2/pi)(ln(x/2) + gamma) as x -> 0.
+  const double gamma = 0.5772156649;
+  const double x = 0.01;
+  EXPECT_NEAR(mm::bessel_y0(x), (2.0 / kPi) * (std::log(0.5 * x) + gamma), 1e-4);
+  EXPECT_LT(mm::bessel_y0(x), -3.0);
+}
+
+TEST(Special, YRequiresPositiveArgument) {
+  EXPECT_THROW(mm::bessel_y0(0.0), maps::MapsError);
+  EXPECT_THROW(mm::bessel_y1(-1.0), maps::MapsError);
+}
+
+// Wronskian: J1(x) Y0(x) - J0(x) Y1(x) = 2 / (pi x) for all x > 0.
+class SpecialWronskian : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpecialWronskian, HoldsAcrossBothBranches) {
+  const double x = GetParam();
+  const double w = mm::bessel_j1(x) * mm::bessel_y0(x) -
+                   mm::bessel_j0(x) * mm::bessel_y1(x);
+  EXPECT_NEAR(w, 2.0 / (kPi * x), 4e-6) << "x = " << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpecialWronskian,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 2.9, 3.1, 4.0, 6.5,
+                                           10.0, 17.0, 30.0, 100.0));
+
+TEST(Special, LargeArgumentAsymptotics) {
+  // J0(x) ~ sqrt(2/(pi x)) cos(x - pi/4) for large x; the leading-order
+  // form itself carries O(1/x) corrections, so the tolerance scales as 1/x.
+  for (double x : {10.0, 25.0, 60.0}) {
+    const double asym = std::sqrt(2.0 / (kPi * x)) * std::cos(x - 0.25 * kPi);
+    EXPECT_NEAR(mm::bessel_j0(x), asym, 2e-2 / x) << "x = " << x;
+  }
+}
+
+TEST(Special, HankelMagnitudeDecay) {
+  // |H0(x)| ~ sqrt(2/(pi x)): the cylindrical 1/sqrt(r) spreading the
+  // far-field normalization divides out.
+  for (double x : {5.0, 10.0, 40.0}) {
+    EXPECT_NEAR(std::abs(mm::hankel1_0(x)), std::sqrt(2.0 / (kPi * x)), 2e-3)
+        << "x = " << x;
+  }
+}
+
+TEST(Special, HankelPhaseAdvance) {
+  // arg H0^(1)(x) advances like x (outgoing wave): finite difference of the
+  // phase at large x approximates 1.
+  const double x = 30.0, h = 0.05;
+  const double dphi = std::arg(mm::hankel1_0(x + h) / mm::hankel1_0(x - h));
+  EXPECT_NEAR(dphi / (2.0 * h), 1.0, 2e-2);
+}
+
+TEST(Special, Greens2dMatchesHankel) {
+  const double k = 3.2, r = 1.7;
+  const cplx g = mm::greens2d(k, r);
+  const cplx h = 0.25 * maps::kI * mm::hankel1_0(k * r);
+  EXPECT_NEAR(std::abs(g - h), 0.0, 1e-15);
+  EXPECT_THROW(mm::greens2d(0.0, 1.0), maps::MapsError);
+  EXPECT_THROW(mm::greens2d(1.0, 0.0), maps::MapsError);
+}

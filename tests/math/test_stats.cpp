@@ -1,0 +1,78 @@
+// Statistics and similarity metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace mm = maps::math;
+using maps::cplx;
+
+TEST(Stats, MeanVarStd) {
+  std::vector<double> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mm::mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(mm::variance(x), 1.25);
+  EXPECT_DOUBLE_EQ(mm::stddev(x), std::sqrt(1.25));
+}
+
+TEST(Stats, MinMaxMedian) {
+  std::vector<double> x{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(mm::min_of(x), 1.0);
+  EXPECT_DOUBLE_EQ(mm::max_of(x), 5.0);
+  EXPECT_DOUBLE_EQ(mm::median(x), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> x{0, 10};
+  EXPECT_DOUBLE_EQ(mm::percentile(x, 0), 0.0);
+  EXPECT_DOUBLE_EQ(mm::percentile(x, 50), 5.0);
+  EXPECT_DOUBLE_EQ(mm::percentile(x, 100), 10.0);
+}
+
+TEST(Stats, CosineSimilarity) {
+  std::vector<double> a{1, 0}, b{0, 1}, c{2, 0}, d{-1, 0};
+  EXPECT_DOUBLE_EQ(mm::cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(mm::cosine_similarity(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(mm::cosine_similarity(a, d), -1.0);
+}
+
+TEST(Stats, CosineZeroVectorIsZero) {
+  std::vector<double> a{0, 0}, b{1, 1};
+  EXPECT_DOUBLE_EQ(mm::cosine_similarity(a, b), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8}, z{-1, -2, -3, -4};
+  EXPECT_NEAR(mm::pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(mm::pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, RelativeL2Real) {
+  std::vector<double> a{1, 1}, b{1, 2};
+  EXPECT_NEAR(mm::relative_l2(a, b), 1.0 / std::sqrt(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mm::relative_l2(b, b), 0.0);
+}
+
+TEST(Stats, RelativeL2Complex) {
+  std::vector<cplx> a{{1, 0}, {0, 1}}, b{{1, 0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(mm::relative_l2(a, b), 0.0);
+  std::vector<cplx> c{{2, 0}, {0, 2}};
+  EXPECT_NEAR(mm::relative_l2(c, b), 1.0, 1e-12);  // ||c-b||/||b|| = sqrt2/sqrt2
+}
+
+TEST(Stats, SummaryCounts) {
+  auto s = mm::summarize({1, 2, 3});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Stats, EmptyInputsSafe) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mm::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(mm::variance(empty), 0.0);
+  auto s = mm::summarize({});
+  EXPECT_EQ(s.count, 0u);
+}

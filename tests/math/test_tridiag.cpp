@@ -1,0 +1,89 @@
+// Symmetric tridiagonal eigensolver: analytic spectra and orthonormality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/tridiag_eig.hpp"
+
+namespace mm = maps::math;
+using maps::kPi;
+
+TEST(TridiagEig, Diagonal) {
+  auto r = mm::tridiag_eigh({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(TridiagEig, TwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 1 and 3.
+  auto r = mm::tridiag_eigh({2.0, 2.0}, {1.0});
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(TridiagEig, DiscreteLaplacianSpectrum) {
+  // -2 diag, 1 off (n x n): eigenvalues -4 sin^2(k pi / (2(n+1))).
+  const std::size_t n = 24;
+  std::vector<double> d(n, -2.0), e(n - 1, 1.0);
+  auto r = mm::tridiag_eigh(d, e);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expect =
+        -4.0 * std::pow(std::sin(static_cast<double>(k) * kPi /
+                                 (2.0 * (static_cast<double>(n) + 1.0))), 2);
+    // Eigenvalues ascending; the analytic set descends with k, so match k-th
+    // largest to k-th analytic.
+    EXPECT_NEAR(r.eigenvalues[n - k], expect, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(TridiagEig, EigenvectorsSatisfyDefinition) {
+  const std::size_t n = 16;
+  std::vector<double> d(n), e(n - 1);
+  for (std::size_t i = 0; i < n; ++i) d[i] = std::cos(static_cast<double>(i));
+  for (std::size_t i = 0; i + 1 < n; ++i) e[i] = 0.5 + 0.1 * static_cast<double>(i);
+  auto r = mm::tridiag_eigh(d, e);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& v = r.vectors[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = d[i] * v[i];
+      if (i > 0) av += e[i - 1] * v[i - 1];
+      if (i + 1 < n) av += e[i] * v[i + 1];
+      EXPECT_NEAR(av, r.eigenvalues[k] * v[i], 1e-9) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(TridiagEig, EigenvectorsOrthonormal) {
+  const std::size_t n = 12;
+  std::vector<double> d(n, 1.0), e(n - 1, 0.3);
+  auto r = mm::tridiag_eigh(d, e);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      double dot = 0;
+      for (std::size_t i = 0; i < n; ++i) dot += r.vectors[a][i] * r.vectors[b][i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(TridiagEig, SingleElement) {
+  auto r = mm::tridiag_eigh({7.0}, {});
+  ASSERT_EQ(r.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.eigenvalues[0], 7.0);
+  EXPECT_DOUBLE_EQ(r.vectors[0][0], 1.0);
+}
+
+TEST(TridiagEig, TraceAndDeterminantPreserved) {
+  const std::size_t n = 9;
+  std::vector<double> d{4, 1, 3, 2, 5, 0.5, -1, 2.5, 3.5};
+  std::vector<double> e{0.2, 0.7, 0.1, 0.9, 0.4, 0.3, 0.8, 0.6};
+  auto r = mm::tridiag_eigh(d, e);
+  double trace_d = 0, trace_l = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace_d += d[i];
+    trace_l += r.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace_d, trace_l, 1e-10);
+}

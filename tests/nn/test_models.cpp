@@ -1,0 +1,121 @@
+// Model zoo: shapes, gradchecks, parameter plumbing, factory.
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/models.hpp"
+
+namespace mn = maps::nn;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+mn::Tensor random_input(std::vector<index_t> shape, unsigned seed) {
+  mm::Rng rng(seed);
+  mn::Tensor x(std::move(shape));
+  for (index_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+mn::ModelConfig tiny_config(mn::ModelKind kind) {
+  mn::ModelConfig cfg;
+  cfg.kind = kind;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 2;
+  cfg.n_outputs = 2;
+  return cfg;
+}
+}  // namespace
+
+class FieldModels : public ::testing::TestWithParam<mn::ModelKind> {};
+
+TEST_P(FieldModels, PreservesSpatialShape) {
+  auto model = mn::make_model(tiny_config(GetParam()));
+  auto y = model->forward(random_input({2, 3, 16, 16}, 1));
+  EXPECT_EQ(y.size(0), 2);
+  EXPECT_EQ(y.size(1), 2);
+  EXPECT_EQ(y.size(2), 16);
+  EXPECT_EQ(y.size(3), 16);
+}
+
+TEST_P(FieldModels, GradCheckParamsAndInput) {
+  auto model = mn::make_model(tiny_config(GetParam()));
+  auto res = mn::gradcheck(*model, random_input({1, 3, 8, 8}, 2), 3, 20, 12, 1e-2);
+  EXPECT_LT(res.max_param_err, 5e-2) << mn::model_name(GetParam());
+  EXPECT_LT(res.max_input_err, 5e-2) << mn::model_name(GetParam());
+}
+
+TEST_P(FieldModels, HasTrainableParameters) {
+  auto model = mn::make_model(tiny_config(GetParam()));
+  EXPECT_GT(model->num_parameters(), 100);
+  for (mn::Param* p : model->parameters()) {
+    EXPECT_FALSE(p->name.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, FieldModels,
+                         ::testing::Values(mn::ModelKind::Fno, mn::ModelKind::Ffno,
+                                           mn::ModelKind::UNetKind,
+                                           mn::ModelKind::NeurOLight),
+                         [](const ::testing::TestParamInfo<mn::ModelKind>& info) {
+                           switch (info.param) {
+                             case mn::ModelKind::Fno: return "fno";
+                             case mn::ModelKind::Ffno: return "ffno";
+                             case mn::ModelKind::UNetKind: return "unet";
+                             case mn::ModelKind::NeurOLight: return "neurolight";
+                             default: return "?";
+                           }
+                         });
+
+TEST(SParamCnn, OutputsScalarsPerSample) {
+  auto model = mn::make_model(tiny_config(mn::ModelKind::SParam));
+  auto y = model->forward(random_input({3, 3, 16, 16}, 4));
+  EXPECT_EQ(y.ndim(), 2);
+  EXPECT_EQ(y.size(0), 3);
+  EXPECT_EQ(y.size(1), 2);
+}
+
+TEST(SParamCnn, GradCheck) {
+  auto model = mn::make_model(tiny_config(mn::ModelKind::SParam));
+  auto res = mn::gradcheck(*model, random_input({1, 3, 8, 8}, 5), 6, 20, 12, 1e-2);
+  EXPECT_LT(res.max_param_err, 5e-2);
+  EXPECT_LT(res.max_input_err, 5e-2);
+}
+
+TEST(Models, UniqueParameterNames) {
+  auto model = mn::make_model(tiny_config(mn::ModelKind::Fno));
+  auto params = model->parameters();
+  for (std::size_t a = 0; a < params.size(); ++a) {
+    for (std::size_t b = a + 1; b < params.size(); ++b) {
+      EXPECT_NE(params[a]->name, params[b]->name);
+    }
+  }
+}
+
+TEST(Models, DifferentSeedsGiveDifferentWeights) {
+  auto cfg1 = tiny_config(mn::ModelKind::Fno);
+  auto cfg2 = cfg1;
+  cfg2.seed = 1234;
+  auto m1 = mn::make_model(cfg1);
+  auto m2 = mn::make_model(cfg2);
+  auto y1 = m1->forward(random_input({1, 3, 8, 8}, 7));
+  auto y2 = m2->forward(random_input({1, 3, 8, 8}, 7));
+  double diff = 0;
+  for (index_t i = 0; i < y1.numel(); ++i) diff += std::abs(y1[i] - y2[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Models, SameSeedIsDeterministic) {
+  auto cfg = tiny_config(mn::ModelKind::UNetKind);
+  auto m1 = mn::make_model(cfg);
+  auto m2 = mn::make_model(cfg);
+  auto x = random_input({1, 3, 8, 8}, 8);
+  auto y1 = m1->forward(x);
+  auto y2 = m2->forward(x);
+  for (index_t i = 0; i < y1.numel(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}

@@ -1,0 +1,115 @@
+// Optimizers: analytic convergence on toy problems + overfit smoke test.
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+
+namespace mn = maps::nn;
+namespace mm = maps::math;
+using maps::index_t;
+
+TEST(Adam, MinimizesQuadratic) {
+  // One Param holding x; loss = 0.5*(x - 3)^2 via manual gradient x - 3.
+  mn::Param p("x", mn::Tensor({1}));
+  p.value[0] = -5.0f;
+  mn::AdamOptions opt;
+  opt.lr = 0.1;
+  mn::Adam adam({&p}, opt);
+  for (int it = 0; it < 500; ++it) {
+    adam.zero_grad();
+    p.grad[0] = p.value[0] - 3.0f;
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumConverges) {
+  mn::Param p("x", mn::Tensor({2}));
+  p.value[0] = 4.0f;
+  p.value[1] = -2.0f;
+  mn::Sgd sgd({&p}, 0.05, 0.9);
+  for (int it = 0; it < 300; ++it) {
+    sgd.zero_grad();
+    p.grad[0] = 2.0f * p.value[0];
+    p.grad[1] = 2.0f * p.value[1];
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value[0], 0.0f, 1e-3);
+  EXPECT_NEAR(p.value[1], 0.0f, 1e-3);
+}
+
+TEST(AdamVector, MaximizesConcaveObjective) {
+  // F(theta) = -(theta - 2)^2, grad = -2(theta - 2); ascend to theta = 2.
+  std::vector<double> theta{-1.0};
+  mn::AdamOptions opt;
+  opt.lr = 0.05;
+  mn::AdamVector adam(1, opt);
+  for (int it = 0; it < 800; ++it) {
+    std::vector<double> grad{-2.0 * (theta[0] - 2.0)};
+    adam.step(theta, grad, /*maximize=*/true);
+  }
+  EXPECT_NEAR(theta[0], 2.0, 1e-3);
+}
+
+TEST(CosineLr, EndpointsAndMonotone) {
+  EXPECT_DOUBLE_EQ(mn::cosine_lr(1.0, 0.1, 0, 100), 1.0);
+  EXPECT_NEAR(mn::cosine_lr(1.0, 0.1, 100, 100), 0.1, 1e-12);
+  double prev = 2.0;
+  for (int s = 0; s <= 100; s += 10) {
+    const double lr = mn::cosine_lr(1.0, 0.1, s, 100);
+    EXPECT_LT(lr, prev);
+    prev = lr;
+  }
+}
+
+TEST(Adam, OverfitsTinyRegression) {
+  // A 2-layer MLP memorizes 4 points: end-to-end training sanity.
+  mm::Rng rng(3);
+  mn::Sequential mlp;
+  mlp.add(std::make_unique<mn::Linear>(2, 16, rng, "l1"));
+  mlp.add(std::make_unique<mn::Activation>(mn::Act::Tanh));
+  mlp.add(std::make_unique<mn::Linear>(16, 1, rng, "l2"));
+
+  mn::Tensor x({4, 2}), target({4, 1});
+  const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float ts[4] = {0, 1, 1, 0};  // XOR
+  for (index_t n = 0; n < 4; ++n) {
+    x[n * 2] = xs[n][0];
+    x[n * 2 + 1] = xs[n][1];
+    target[n] = ts[n];
+  }
+
+  mn::AdamOptions opt;
+  opt.lr = 3e-2;
+  mn::Adam adam(mlp.parameters(), opt);
+  double loss = 1e9;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    adam.zero_grad();
+    auto y = mlp.forward(x);
+    mn::Tensor g({4, 1});
+    loss = 0;
+    for (index_t n = 0; n < 4; ++n) {
+      const float d = y[n] - target[n];
+      loss += 0.5 * d * d;
+      g[n] = d;
+    }
+    mlp.backward(g);
+    adam.step();
+  }
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  mn::Param p("w", mn::Tensor({1}));
+  p.value[0] = 1.0f;
+  mn::AdamOptions opt;
+  opt.lr = 0.01;
+  opt.weight_decay = 0.5;
+  mn::Adam adam({&p}, opt);
+  for (int it = 0; it < 200; ++it) {
+    adam.zero_grad();  // zero data gradient: only decay acts
+    adam.step();
+  }
+  EXPECT_LT(std::abs(p.value[0]), 0.2f);
+}

@@ -1,0 +1,84 @@
+// Checkpoint round trips and mismatch detection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "math/rng.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+
+namespace mn = maps::nn;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+std::string temp_path(const char* tag) {
+  return std::string(::testing::TempDir()) + "/maps_ckpt_" + tag + ".bin";
+}
+
+mn::Tensor random_input(unsigned seed) {
+  mm::Rng rng(seed);
+  mn::Tensor x({1, 3, 8, 8});
+  for (index_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+}  // namespace
+
+TEST(Serialize, RoundTripReproducesOutputs) {
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::Fno;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 2;
+  auto m1 = mn::make_model(cfg);
+  const auto path = temp_path("roundtrip");
+  mn::save_parameters(*m1, path);
+
+  cfg.seed = 999;  // different init
+  auto m2 = mn::make_model(cfg);
+  auto x = random_input(1);
+  auto before = m2->forward(x);
+  mn::load_parameters(*m2, path);
+  auto after = m2->forward(x);
+  auto reference = m1->forward(x);
+
+  double diff_before = 0, diff_after = 0;
+  for (index_t i = 0; i < reference.numel(); ++i) {
+    diff_before += std::abs(before[i] - reference[i]);
+    diff_after += std::abs(after[i] - reference[i]);
+  }
+  EXPECT_GT(diff_before, 1e-3);
+  EXPECT_NEAR(diff_after, 0.0, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::Fno;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 2;
+  auto m1 = mn::make_model(cfg);
+  const auto path = temp_path("mismatch");
+  mn::save_parameters(*m1, path);
+
+  cfg.width = 8;  // different shape
+  auto m2 = mn::make_model(cfg);
+  EXPECT_THROW(mn::load_parameters(*m2, path), maps::MapsError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  mn::ModelConfig cfg;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 1;
+  auto m = mn::make_model(cfg);
+  EXPECT_THROW(mn::load_parameters(*m, "/nonexistent/path/model.bin"), maps::MapsError);
+}

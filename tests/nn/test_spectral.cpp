@@ -1,0 +1,110 @@
+// Spectral convolutions: linearity, band limitation, gradient checks.
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/spectral.hpp"
+
+namespace mn = maps::nn;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+mn::Tensor random_input(std::vector<index_t> shape, unsigned seed) {
+  mm::Rng rng(seed);
+  mn::Tensor x(std::move(shape));
+  for (index_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+}  // namespace
+
+TEST(Spectral2d, OutputShape) {
+  mm::Rng rng(1);
+  mn::SpectralConv2d spec(2, 3, 4, 4, rng);
+  auto y = spec.forward(random_input({2, 2, 16, 16}, 2));
+  EXPECT_EQ(y.size(0), 2);
+  EXPECT_EQ(y.size(1), 3);
+  EXPECT_EQ(y.size(2), 16);
+  EXPECT_EQ(y.size(3), 16);
+}
+
+TEST(Spectral2d, IsLinearInInput) {
+  mm::Rng rng(3);
+  mn::SpectralConv2d spec(1, 1, 3, 3, rng);
+  auto a = random_input({1, 1, 8, 8}, 4);
+  auto b = random_input({1, 1, 8, 8}, 5);
+  mn::Tensor sum = a;
+  sum.add_(b, 2.0f);
+  auto ya = spec.forward(a);
+  auto yb = spec.forward(b);
+  auto ys = spec.forward(sum);
+  for (index_t i = 0; i < ys.numel(); ++i) {
+    EXPECT_NEAR(ys[i], ya[i] + 2.0f * yb[i], 1e-4);
+  }
+}
+
+TEST(Spectral2d, HighFrequencyInputIsFiltered) {
+  // A Nyquist-rate checkerboard has no energy in the retained low modes.
+  mm::Rng rng(6);
+  mn::SpectralConv2d spec(1, 1, 2, 2, rng);
+  mn::Tensor x({1, 1, 16, 16});
+  for (index_t h = 0; h < 16; ++h) {
+    for (index_t w = 0; w < 16; ++w) {
+      x.at(0, 0, h, w) = ((h + w) % 2 == 0) ? 1.0f : -1.0f;
+    }
+  }
+  auto y = spec.forward(x);
+  EXPECT_LT(y.sumsq(), 1e-8);
+}
+
+TEST(Spectral2d, DcInputPassesThroughDcWeight) {
+  mm::Rng rng(7);
+  mn::SpectralConv2d spec(1, 1, 2, 2, rng);
+  mn::Tensor x({1, 1, 8, 8}, 1.0f);  // pure DC
+  auto y = spec.forward(x);
+  // Output = Re(W[block0, k=0] * DC) — constant across the grid.
+  for (index_t i = 1; i < y.numel(); ++i) EXPECT_NEAR(y[i], y[0], 1e-5);
+}
+
+TEST(Spectral2d, GradCheck) {
+  mm::Rng rng(8);
+  mn::SpectralConv2d spec(2, 2, 3, 3, rng);
+  auto res = mn::gradcheck(spec, random_input({2, 2, 8, 8}, 9), 10, 24, 16, 1e-2);
+  EXPECT_LT(res.max_param_err, 2e-2);
+  EXPECT_LT(res.max_input_err, 2e-2);
+}
+
+TEST(Spectral1d, GradCheckAxisX) {
+  mm::Rng rng(11);
+  mn::SpectralConv1d spec(2, 2, 3, mn::FftAxis::X, rng);
+  auto res = mn::gradcheck(spec, random_input({2, 2, 8, 8}, 12), 13, 24, 16, 1e-2);
+  EXPECT_LT(res.max_param_err, 2e-2);
+  EXPECT_LT(res.max_input_err, 2e-2);
+}
+
+TEST(Spectral1d, GradCheckAxisY) {
+  mm::Rng rng(14);
+  mn::SpectralConv1d spec(2, 2, 3, mn::FftAxis::Y, rng);
+  auto res = mn::gradcheck(spec, random_input({2, 2, 8, 8}, 15), 16, 24, 16, 1e-2);
+  EXPECT_LT(res.max_param_err, 2e-2);
+  EXPECT_LT(res.max_input_err, 2e-2);
+}
+
+TEST(Spectral1d, XAxisActsPerRow) {
+  // Zeroing one row of the input leaves that row zero in the output for the
+  // X-axis transform (rows are independent).
+  mm::Rng rng(17);
+  mn::SpectralConv1d spec(1, 1, 2, mn::FftAxis::X, rng);
+  auto x = random_input({1, 1, 8, 8}, 18);
+  for (index_t w = 0; w < 8; ++w) x.at(0, 0, 3, w) = 0.0f;
+  auto y = spec.forward(x);
+  for (index_t w = 0; w < 8; ++w) EXPECT_NEAR(y.at(0, 0, 3, w), 0.0f, 1e-6);
+}
+
+TEST(Spectral2d, ModesMustFitGrid) {
+  mm::Rng rng(19);
+  mn::SpectralConv2d spec(1, 1, 5, 5, rng);
+  EXPECT_THROW(spec.forward(random_input({1, 1, 8, 8}, 20)), maps::MapsError);
+}

@@ -1,0 +1,60 @@
+// Tensor container semantics.
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace mn = maps::nn;
+using maps::index_t;
+
+TEST(Tensor, ConstructAndIndex) {
+  mn::Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_EQ(t.ndim(), 4);
+  EXPECT_EQ(t.size(2), 4);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t[119], 7.0f);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  mn::Tensor t({1, 2, 2, 2});
+  t.at(0, 1, 0, 1) = 3.0f;
+  // index = ((0*2+1)*2+0)*2+1 = 5
+  EXPECT_FLOAT_EQ(t[5], 3.0f);
+}
+
+TEST(Tensor, FillScaleAdd) {
+  mn::Tensor a({2, 2}), b({2, 2});
+  a.fill(1.0f);
+  b.fill(2.0f);
+  a.add_(b, 3.0f);
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 7.0f);
+  a.scale_(0.5f);
+  EXPECT_FLOAT_EQ(a[0], 3.5f);
+}
+
+TEST(Tensor, SumAndSumsq) {
+  mn::Tensor t({3});
+  t[0] = 1;
+  t[1] = 2;
+  t[2] = -3;
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.sumsq(), 14.0);
+}
+
+TEST(Tensor, Reshape) {
+  mn::Tensor t({2, 6});
+  t[7] = 9.0f;
+  auto r = t.reshaped({3, 4});
+  EXPECT_EQ(r.ndim(), 2);
+  EXPECT_EQ(r.size(0), 3);
+  EXPECT_FLOAT_EQ(r[7], 9.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), maps::MapsError);
+}
+
+TEST(Tensor, ZerosLike) {
+  mn::Tensor t({2, 3});
+  t.fill(5.0f);
+  auto z = mn::Tensor::zeros_like(t);
+  EXPECT_TRUE(z.same_shape(t));
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+}

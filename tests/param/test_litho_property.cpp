@@ -1,0 +1,141 @@
+// Parameterized property sweeps on the lithography/etch variation model:
+// pointwise corner ordering on arbitrary smooth inputs, VJP exactness, and
+// the filter+project MFS guarantee the robust-design flow relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "param/blur.hpp"
+#include "param/litho.hpp"
+#include "param/mfs.hpp"
+#include "param/project.hpp"
+
+namespace mp = maps::param;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+
+mm::RealGrid random_smooth(unsigned seed, index_t n = 24, double blur = 2.0) {
+  mm::Rng rng(seed);
+  mm::RealGrid x(n, n);
+  for (index_t k = 0; k < x.size(); ++k) x[k] = rng.uniform();
+  mp::BlurFilter f(blur);
+  return f.forward(x);
+}
+
+}  // namespace
+
+// Over-etch raises the dose threshold (shrinks features), under-etch lowers
+// it (dilates). Pointwise on any input: over <= nominal <= under.
+class LithoOrdering : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LithoOrdering, CornersArePointwiseOrdered) {
+  const auto x = random_smooth(GetParam());
+  mp::LithoSpec spec;
+  mp::LithoModel over(spec, mp::LithoCorner::OverEtch);
+  mp::LithoModel nom(spec, mp::LithoCorner::Nominal);
+  mp::LithoModel under(spec, mp::LithoCorner::UnderEtch);
+
+  const auto yo = over.forward(x);
+  const auto yn = nom.forward(x);
+  const auto yu = under.forward(x);
+  for (index_t k = 0; k < x.size(); ++k) {
+    EXPECT_LE(yo[k], yn[k] + 1e-12);
+    EXPECT_LE(yn[k], yu[k] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LithoOrdering, ::testing::Values(1u, 7u, 19u, 53u));
+
+TEST(LithoProperty, OutputStaysInUnitInterval) {
+  for (unsigned seed : {3u, 31u}) {
+    const auto x = random_smooth(seed);
+    for (const auto corner : mp::LithoModel::corners()) {
+      mp::LithoModel m(mp::LithoSpec{}, corner);
+      const auto y = m.forward(x);
+      for (index_t k = 0; k < y.size(); ++k) {
+        EXPECT_GE(y[k], 0.0);
+        EXPECT_LE(y[k], 1.0);
+      }
+    }
+  }
+}
+
+TEST(LithoProperty, VjpMatchesFiniteDifference) {
+  const auto x = random_smooth(13, 12, 1.5);
+  mp::LithoModel m(mp::LithoSpec{}, mp::LithoCorner::OverEtch);
+  auto y = m.forward(x);
+
+  // Scalar objective: weighted sum with fixed random weights.
+  mm::Rng rng(99);
+  mm::RealGrid w(x.nx(), x.ny());
+  for (index_t k = 0; k < w.size(); ++k) w[k] = rng.normal();
+
+  const auto grad = m.vjp(w);
+  const double h = 1e-6;
+  for (const index_t probe : {index_t{5}, index_t{40}, index_t{77}, index_t{130}}) {
+    auto xp = x, xm = x;
+    xp[probe] += h;
+    xm[probe] -= h;
+    mp::LithoModel mp_(mp::LithoSpec{}, mp::LithoCorner::OverEtch);
+    mp::LithoModel mm_(mp::LithoSpec{}, mp::LithoCorner::OverEtch);
+    const auto yp = mp_.forward(xp);
+    const auto ym = mm_.forward(xm);
+    double fp = 0.0, fm = 0.0;
+    for (index_t k = 0; k < w.size(); ++k) {
+      fp += w[k] * yp[k];
+      fm += w[k] * ym[k];
+    }
+    const double fd = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(grad[probe], fd, 1e-4 + 1e-4 * std::abs(fd)) << "probe " << probe;
+  }
+}
+
+// The working guarantee of the filter+project scheme: blurring before the
+// sharp projection drastically shrinks the MFS violations of the binarized
+// mask. (The guarantee is not absolute — tanh saddles can still pinch — so
+// the property is comparative plus a small absolute ceiling.)
+class FilterProjectMfs : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FilterProjectMfs, BlurringShrinksMfsViolations) {
+  const double radius = 2.5;
+  mm::Rng rng(GetParam());
+  mm::RealGrid theta(32, 32);
+  for (index_t k = 0; k < theta.size(); ++k) theta[k] = rng.uniform();
+
+  mp::TanhProject project(64.0);  // near-binary
+  auto violations = [&](const mm::RealGrid& rho) {
+    const auto report = mp::mfs_audit(mp::binarize(rho), radius / 2.0);
+    return report.solid_violations + report.void_violations;
+  };
+
+  mp::TanhProject project_raw(64.0);
+  const index_t raw = violations(project_raw.forward(theta));
+  mp::BlurFilter blur(radius);
+  const index_t filtered = violations(project.forward(blur.forward(theta)));
+
+  EXPECT_LT(filtered, raw / 4 + 1) << "raw " << raw << " filtered " << filtered;
+  EXPECT_LT(filtered, theta.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterProjectMfs,
+                         ::testing::Values(2u, 23u, 41u, 67u));
+
+TEST(LithoProperty, DefocusBlursBeforeThreshold) {
+  // A pattern thinner than the defocus blur disappears entirely under the
+  // over-etch corner — the physical failure mode robust design guards
+  // against.
+  mm::RealGrid x(24, 24, 0.0);
+  for (index_t j = 0; j < 24; ++j) x(12, j) = 1.0;  // 1-cell line
+
+  mp::LithoSpec spec;
+  spec.defocus_sigma = 3.0;
+  spec.dose_delta = 0.15;
+  mp::LithoModel over(spec, mp::LithoCorner::OverEtch);
+  const auto y = over.forward(x);
+  double max_v = 0.0;
+  for (index_t k = 0; k < y.size(); ++k) max_v = std::max(max_v, y[k]);
+  EXPECT_LT(max_v, 0.1) << "a sub-resolution line must not survive over-etch";
+}

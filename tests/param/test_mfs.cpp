@@ -1,0 +1,108 @@
+// Minimum-feature-size audit and gray-region penalty.
+#include <gtest/gtest.h>
+
+#include "param/mfs.hpp"
+
+namespace mp = maps::param;
+using maps::index_t;
+
+namespace {
+mp::RealGrid stripe_pattern(index_t n, index_t stripe_width) {
+  mp::RealGrid rho(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      if ((i / stripe_width) % 2 == 0) rho(i, j) = 1.0;
+    }
+  }
+  return rho;
+}
+}  // namespace
+
+TEST(Gray, BinaryPatternScoresZero) {
+  mp::RealGrid rho(8, 8, 0.0);
+  rho(3, 3) = 1.0;
+  EXPECT_DOUBLE_EQ(mp::gray_indicator(rho), 0.0);
+}
+
+TEST(Gray, HalfDensityScoresOne) {
+  mp::RealGrid rho(8, 8, 0.5);
+  EXPECT_DOUBLE_EQ(mp::gray_indicator(rho), 1.0);
+}
+
+TEST(Gray, GradientMatchesFiniteDifference) {
+  mp::RealGrid rho(6, 6, 0.3);
+  rho(2, 2) = 0.8;
+  auto g = mp::gray_indicator_grad(rho);
+  const double h = 1e-7;
+  for (index_t n : {0L, 14L, 20L}) {
+    mp::RealGrid rp = rho, rm = rho;
+    rp[n] += h;
+    rm[n] -= h;
+    const double fd = (mp::gray_indicator(rp) - mp::gray_indicator(rm)) / (2 * h);
+    EXPECT_NEAR(g[n], fd, 1e-6);
+  }
+}
+
+TEST(Morphology, ErodeShrinksDilateGrows) {
+  auto m = mp::binarize(stripe_pattern(24, 6));
+  auto er = mp::erode(m, 2.0);
+  auto di = mp::dilate(m, 2.0);
+  index_t count_m = 0, count_er = 0, count_di = 0;
+  for (index_t n = 0; n < m.size(); ++n) {
+    count_m += m[n];
+    count_er += er[n];
+    count_di += di[n];
+  }
+  EXPECT_LT(count_er, count_m);
+  EXPECT_GT(count_di, count_m);
+}
+
+TEST(Morphology, OpenCloseAreIdempotentOnCleanPattern) {
+  // Wide stripes survive open/close with a small disk unchanged.
+  auto m = mp::binarize(stripe_pattern(30, 10));
+  auto opened = mp::open_morph(m, 2.0);
+  auto closed = mp::close_morph(m, 2.0);
+  for (index_t n = 0; n < m.size(); ++n) {
+    EXPECT_EQ(opened[n], m[n]);
+    EXPECT_EQ(closed[n], m[n]);
+  }
+}
+
+TEST(Mfs, WideStripesPass) {
+  auto m = mp::binarize(stripe_pattern(40, 10));
+  EXPECT_TRUE(mp::mfs_audit(m, 3.0).ok());
+}
+
+TEST(Mfs, NarrowStripesFail) {
+  auto m = mp::binarize(stripe_pattern(40, 2));
+  auto rep = mp::mfs_audit(m, 3.0);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GT(rep.solid_violations + rep.void_violations, 0);
+}
+
+TEST(Mfs, IsolatedPixelIsAViolation) {
+  mp::RealGrid rho(16, 16, 0.0);
+  rho(8, 8) = 1.0;
+  auto rep = mp::mfs_audit(mp::binarize(rho), 1.5);
+  EXPECT_GT(rep.solid_violations, 0);
+}
+
+TEST(Mfs, PinholeIsAViolation) {
+  mp::RealGrid rho(16, 16, 1.0);
+  rho(8, 8) = 0.0;
+  auto rep = mp::mfs_audit(mp::binarize(rho), 1.5);
+  EXPECT_GT(rep.void_violations, 0);
+}
+
+TEST(Mfs, MeasuredRadiusTracksStripeWidth) {
+  const double r_wide = mp::measured_mfs_radius(mp::binarize(stripe_pattern(48, 12)), 8.0);
+  const double r_narrow = mp::measured_mfs_radius(mp::binarize(stripe_pattern(48, 4)), 8.0);
+  EXPECT_GT(r_wide, r_narrow);
+}
+
+TEST(Mfs, UniformMaskAlwaysPasses) {
+  mp::RealGrid solid(12, 12, 1.0);
+  EXPECT_TRUE(mp::mfs_audit(mp::binarize(solid), 4.0).ok());
+  mp::RealGrid empty(12, 12, 0.0);
+  EXPECT_TRUE(mp::mfs_audit(mp::binarize(empty), 4.0).ok());
+}

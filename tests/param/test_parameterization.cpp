@@ -1,0 +1,91 @@
+// Parameterizations: shapes, feasibility projection, exact VJPs.
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "param/parameterization.hpp"
+
+namespace mp = maps::param;
+namespace mm = maps::math;
+using maps::index_t;
+
+TEST(DirectDensity, RoundTripsTheta) {
+  mp::DirectDensity p(4, 3);
+  std::vector<double> theta(12);
+  for (std::size_t i = 0; i < 12; ++i) theta[i] = 0.01 * static_cast<double>(i);
+  auto rho = p.to_density(theta);
+  EXPECT_EQ(rho.nx(), 4);
+  EXPECT_EQ(rho.ny(), 3);
+  for (index_t n = 0; n < 12; ++n) EXPECT_DOUBLE_EQ(rho[n], theta[static_cast<std::size_t>(n)]);
+}
+
+TEST(DirectDensity, FeasibleClamps) {
+  mp::DirectDensity p(2, 1);
+  std::vector<double> theta{-0.5, 1.5};
+  p.feasible(theta);
+  EXPECT_DOUBLE_EQ(theta[0], 0.0);
+  EXPECT_DOUBLE_EQ(theta[1], 1.0);
+}
+
+TEST(DirectDensity, VjpIsIdentity) {
+  mp::DirectDensity p(3, 3);
+  mp::RealGrid g(3, 3, 0.0);
+  g(1, 1) = 2.0;
+  (void)p.to_density(std::vector<double>(9, 0.5));
+  auto gt = p.vjp(g);
+  EXPECT_DOUBLE_EQ(gt[4], 2.0);
+  EXPECT_DOUBLE_EQ(gt[0], 0.0);
+}
+
+TEST(LevelSet, DensityInUnitInterval) {
+  mp::LevelSet p(4, 4, 16, 16, 0.3);
+  mm::Rng rng(3);
+  std::vector<double> theta(16);
+  for (auto& t : theta) t = rng.uniform(-2.0, 2.0);
+  auto rho = p.to_density(theta);
+  for (index_t n = 0; n < rho.size(); ++n) {
+    EXPECT_GE(rho[n], 0.0);
+    EXPECT_LE(rho[n], 1.0);
+  }
+}
+
+TEST(LevelSet, PositiveThetaGivesMaterial) {
+  mp::LevelSet p(4, 4, 12, 12, 0.2);
+  auto rho_solid = p.to_density(std::vector<double>(16, 1.0));
+  auto rho_void = p.to_density(std::vector<double>(16, -1.0));
+  for (index_t n = 0; n < rho_solid.size(); ++n) {
+    EXPECT_GT(rho_solid[n], 0.99);
+    EXPECT_LT(rho_void[n], 0.01);
+  }
+}
+
+TEST(LevelSet, VjpMatchesFiniteDifference) {
+  mp::LevelSet p(5, 4, 15, 12, 0.4);
+  mm::Rng rng(7);
+  std::vector<double> theta(20);
+  for (auto& t : theta) t = rng.uniform(-1.0, 1.0);
+
+  auto rho0 = p.to_density(theta);
+  mp::RealGrid cot(rho0.nx(), rho0.ny());
+  for (index_t n = 0; n < cot.size(); ++n) cot[n] = rng.uniform(-1, 1);
+  auto analytic = p.vjp(cot);
+
+  const double h = 1e-6;
+  for (int probe = 0; probe < 10; ++probe) {
+    const auto k = static_cast<std::size_t>(rng.randint(0, 19));
+    auto tp = theta, tm = theta;
+    tp[k] += h;
+    tm[k] -= h;
+    auto rp = p.to_density(tp);
+    auto rm = p.to_density(tm);
+    double fd = 0;
+    for (index_t n = 0; n < rp.size(); ++n) fd += cot[n] * (rp[n] - rm[n]);
+    fd /= 2.0 * h;
+    EXPECT_NEAR(analytic[k], fd, 1e-5) << "theta index " << k;
+  }
+}
+
+TEST(LevelSet, RejectsBadShapes) {
+  EXPECT_THROW(mp::LevelSet(1, 4, 8, 8), maps::MapsError);
+  EXPECT_THROW(mp::LevelSet(4, 4, 2, 8), maps::MapsError);
+  EXPECT_THROW(mp::LevelSet(4, 4, 8, 8, -1.0), maps::MapsError);
+}

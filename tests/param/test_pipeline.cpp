@@ -1,0 +1,121 @@
+// DesignPipeline: embedding, chain rule through the full stack.
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "param/blur.hpp"
+#include "param/pipeline.hpp"
+#include "param/symmetry.hpp"
+
+namespace mp = maps::param;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+mp::DesignPipeline make_test_pipeline(index_t full = 24, index_t box = 10) {
+  mp::DesignMap dm;
+  dm.box = maps::grid::BoxRegion{7, 7, box, box};
+  dm.eps_lo = 2.0;
+  dm.eps_hi = 12.0;
+  dm.base_eps = mp::RealGrid(full, full, 2.0);
+  mp::DesignPipeline pipe(std::make_unique<mp::DirectDensity>(box, box), std::move(dm));
+  pipe.add_transform(std::make_unique<mp::BlurFilter>(1.5));
+  pipe.add_transform(std::make_unique<mp::Symmetrize>(mp::SymmetryKind::MirrorX));
+  pipe.add_transform(std::make_unique<mp::TanhProject>(6.0, 0.5));
+  return pipe;
+}
+}  // namespace
+
+TEST(Pipeline, EpsBoundsRespected) {
+  auto pipe = make_test_pipeline();
+  mm::Rng rng(2);
+  std::vector<double> theta(static_cast<std::size_t>(pipe.num_params()));
+  for (auto& t : theta) t = rng.uniform();
+  auto eps = pipe.eps_of(theta);
+  for (index_t n = 0; n < eps.size(); ++n) {
+    EXPECT_GE(eps[n], 2.0 - 1e-12);
+    EXPECT_LE(eps[n], 12.0 + 1e-12);
+  }
+}
+
+TEST(Pipeline, OutsideBoxUntouched) {
+  auto pipe = make_test_pipeline();
+  std::vector<double> theta(static_cast<std::size_t>(pipe.num_params()), 1.0);
+  auto eps = pipe.eps_of(theta);
+  EXPECT_DOUBLE_EQ(eps(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(eps(23, 23), 2.0);
+  EXPECT_GT(eps(12, 12), 10.0);  // solid inside
+}
+
+TEST(Pipeline, BackwardMatchesFiniteDifference) {
+  auto pipe = make_test_pipeline();
+  mm::Rng rng(5);
+  std::vector<double> theta(static_cast<std::size_t>(pipe.num_params()));
+  for (auto& t : theta) t = rng.uniform(0.2, 0.8);
+
+  // Downstream "loss": L = sum(c .* eps) for random cotangent c.
+  auto eps0 = pipe.eps_of(theta);
+  mp::RealGrid cot(eps0.nx(), eps0.ny());
+  for (index_t n = 0; n < cot.size(); ++n) cot[n] = rng.uniform(-1, 1);
+  auto grad_theta = pipe.backward(cot);
+
+  const double h = 1e-6;
+  for (int probe = 0; probe < 8; ++probe) {
+    const auto k = static_cast<std::size_t>(rng.randint(0, pipe.num_params() - 1));
+    auto tp = theta, tm = theta;
+    tp[k] += h;
+    tm[k] -= h;
+    auto ep = pipe.eps_of(tp);
+    auto em = pipe.eps_of(tm);
+    double fd = 0;
+    for (index_t n = 0; n < ep.size(); ++n) fd += cot[n] * (ep[n] - em[n]);
+    fd /= 2 * h;
+    // Restore cache for next probe iteration.
+    (void)pipe.eps_of(theta);
+    EXPECT_NEAR(grad_theta[k], fd, 1e-5) << "theta idx " << k;
+  }
+}
+
+TEST(Pipeline, SetBetaChangesSharpness) {
+  auto pipe = make_test_pipeline();
+  std::vector<double> theta(static_cast<std::size_t>(pipe.num_params()), 0.45);
+  auto rho_soft = pipe.density(theta);
+  pipe.set_projection_beta(100.0);
+  auto rho_sharp = pipe.density(theta);
+  // 0.45 < eta=0.5: sharp projection pushes much closer to 0.
+  EXPECT_LT(rho_sharp(5, 5), rho_soft(5, 5));
+  EXPECT_LT(rho_sharp(5, 5), 0.05);
+}
+
+TEST(Pipeline, EmbedExtractAdjointPair) {
+  // <embed(rho), g> == <rho, extract(g)> + <base outside box, g>: check the
+  // linear-part adjoint identity on the box entries.
+  mp::DesignMap dm;
+  dm.box = maps::grid::BoxRegion{2, 3, 4, 5};
+  dm.eps_lo = 1.0;
+  dm.eps_hi = 5.0;
+  dm.base_eps = mp::RealGrid(10, 12, 1.0);
+  mm::Rng rng(9);
+  mp::RealGrid rho(4, 5);
+  for (index_t n = 0; n < rho.size(); ++n) rho[n] = rng.uniform();
+  mp::RealGrid g(10, 12);
+  for (index_t n = 0; n < g.size(); ++n) g[n] = rng.uniform(-1, 1);
+
+  auto eps = mp::embed_density(dm, rho);
+  auto gr = mp::extract_density_grad(dm, g);
+  double lhs = 0;  // contribution of rho through embed
+  for (index_t j = 0; j < 5; ++j) {
+    for (index_t i = 0; i < 4; ++i) {
+      lhs += (eps(2 + i, 3 + j) - dm.eps_lo) * g(2 + i, 3 + j);
+    }
+  }
+  double rhs = 0;
+  for (index_t n = 0; n < rho.size(); ++n) rhs += rho[n] * gr[n];
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+}
+
+TEST(Pipeline, FeasibleDelegatesToParameterization) {
+  auto pipe = make_test_pipeline();
+  std::vector<double> theta(static_cast<std::size_t>(pipe.num_params()), 2.0);
+  pipe.feasible(theta);
+  for (double t : theta) EXPECT_DOUBLE_EQ(t, 1.0);
+}

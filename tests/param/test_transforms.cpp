@@ -1,0 +1,196 @@
+// Transform behavior + exact-VJP property sweeps (finite differences).
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "param/blur.hpp"
+#include "param/litho.hpp"
+#include "param/project.hpp"
+#include "param/symmetry.hpp"
+
+namespace mp = maps::param;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+mp::RealGrid random_density(index_t nx, index_t ny, unsigned seed) {
+  mm::Rng rng(seed);
+  mp::RealGrid x(nx, ny);
+  for (index_t n = 0; n < x.size(); ++n) x[n] = rng.uniform(0.05, 0.95);
+  return x;
+}
+}  // namespace
+
+TEST(Blur, PreservesConstants) {
+  mp::BlurFilter blur(2.0);
+  mp::RealGrid x(16, 16, 0.7);
+  auto y = blur.forward(x);
+  for (index_t n = 0; n < y.size(); ++n) EXPECT_NEAR(y[n], 0.7, 1e-12);
+}
+
+TEST(Blur, SmoothsAnImpulse) {
+  mp::BlurFilter blur(2.0);
+  mp::RealGrid x(17, 17, 0.0);
+  x(8, 8) = 1.0;
+  auto y = blur.forward(x);
+  EXPECT_LT(y(8, 8), 0.5);
+  EXPECT_GT(y(8, 8), y(10, 8));
+  EXPECT_GT(y(9, 8), y(11, 8));
+  double total = 0.0;
+  for (index_t n = 0; n < y.size(); ++n) total += y[n];
+  // Mass is approximately conserved away from edges (renormalized conv).
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(Blur, RadiusZeroIsIdentity) {
+  mp::BlurFilter blur(0.0);
+  auto x = random_density(9, 9, 4);
+  auto y = blur.forward(x);
+  for (index_t n = 0; n < x.size(); ++n) EXPECT_NEAR(y[n], x[n], 1e-12);
+}
+
+TEST(Project, EndpointsFixed) {
+  // rho = 0 -> 0 and rho = 1 -> 1, for any beta/eta.
+  for (double beta : {1.0, 8.0, 64.0}) {
+    for (double eta : {0.3, 0.5, 0.7}) {
+      EXPECT_NEAR(mp::TanhProject::project(0.0, beta, eta), 0.0, 1e-12);
+      EXPECT_NEAR(mp::TanhProject::project(1.0, beta, eta), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Project, LargeBetaBinarizes) {
+  mp::TanhProject p(200.0, 0.5);
+  mp::RealGrid x(4, 1, std::vector<double>{0.1, 0.45, 0.55, 0.9});
+  auto y = p.forward(x);
+  EXPECT_LT(y[0], 1e-6);
+  EXPECT_LT(y[1], 1e-3);
+  EXPECT_GT(y[2], 1.0 - 1e-3);
+  EXPECT_GT(y[3], 1.0 - 1e-6);
+}
+
+TEST(Project, EtaShiftsThreshold) {
+  // Higher threshold (over-etch) shrinks features: projected value at
+  // rho = 0.5 drops as eta rises.
+  const double at_low = mp::TanhProject::project(0.5, 16.0, 0.4);
+  const double at_mid = mp::TanhProject::project(0.5, 16.0, 0.5);
+  const double at_high = mp::TanhProject::project(0.5, 16.0, 0.6);
+  EXPECT_GT(at_low, at_mid);
+  EXPECT_GT(at_mid, at_high);
+}
+
+TEST(Project, MonotoneInRho) {
+  mp::TanhProject p(12.0, 0.5);
+  double prev = -1.0;
+  for (double r = 0.0; r <= 1.0; r += 0.05) {
+    const double v = mp::TanhProject::project(r, 12.0, 0.5);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Symmetry, MirrorXIsIdempotent) {
+  mp::Symmetrize s(mp::SymmetryKind::MirrorX);
+  auto x = random_density(10, 8, 6);
+  auto y = s.forward(x);
+  auto y2 = s.forward(y);
+  for (index_t n = 0; n < y.size(); ++n) EXPECT_NEAR(y2[n], y[n], 1e-12);
+  EXPECT_LT(mp::Symmetrize::asymmetry(y, mp::SymmetryKind::MirrorX), 1e-12);
+}
+
+TEST(Symmetry, C4OutputIsC4Invariant) {
+  mp::Symmetrize s(mp::SymmetryKind::C4);
+  auto x = random_density(12, 12, 8);
+  auto y = s.forward(x);
+  // Rotating the output by 90 degrees must reproduce it.
+  for (index_t j = 0; j < 12; ++j) {
+    for (index_t i = 0; i < 12; ++i) {
+      EXPECT_NEAR(y(i, j), y(11 - j, i), 1e-12);
+    }
+  }
+}
+
+TEST(Symmetry, DiagonalRequiresSquare) {
+  mp::Symmetrize s(mp::SymmetryKind::Diagonal);
+  auto x = random_density(4, 6, 9);
+  EXPECT_THROW(s.forward(x), maps::MapsError);
+}
+
+TEST(Litho, CornersOrderFeatureSize) {
+  // Over-etch must produce <= material than nominal, under-etch >=.
+  mp::LithoSpec spec;
+  auto x = random_density(20, 20, 11);
+  mp::LithoModel nom(spec, mp::LithoCorner::Nominal);
+  mp::LithoModel over(spec, mp::LithoCorner::OverEtch);
+  mp::LithoModel under(spec, mp::LithoCorner::UnderEtch);
+  auto yn = nom.forward(x);
+  auto yo = over.forward(x);
+  auto yu = under.forward(x);
+  double sn = 0, so = 0, su = 0;
+  for (index_t n = 0; n < yn.size(); ++n) {
+    so += yo[n];
+    sn += yn[n];
+    su += yu[n];
+    EXPECT_LE(yo[n], yn[n] + 1e-12);
+    EXPECT_GE(yu[n], yn[n] - 1e-12);
+  }
+  EXPECT_LT(so, sn);
+  EXPECT_LT(sn, su);
+}
+
+TEST(Litho, CornerNames) {
+  EXPECT_STREQ(mp::LithoModel::corner_name(mp::LithoCorner::Nominal), "nominal");
+  EXPECT_STREQ(mp::LithoModel::corner_name(mp::LithoCorner::OverEtch), "over_etch");
+  EXPECT_STREQ(mp::LithoModel::corner_name(mp::LithoCorner::UnderEtch), "under_etch");
+}
+
+// ----------------------------------------------------------- VJP sweeps ---
+
+struct VjpCase {
+  const char* name;
+  std::function<std::unique_ptr<mp::Transform>()> make;
+};
+
+class TransformVjp : public ::testing::TestWithParam<VjpCase> {};
+
+TEST_P(TransformVjp, MatchesFiniteDifference) {
+  auto t = GetParam().make();
+  auto x = random_density(14, 14, 21);
+  const double err = mp::vjp_fd_error(*t, x, /*seed=*/5, /*probes=*/12);
+  EXPECT_LT(err, 1e-5) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransforms, TransformVjp,
+    ::testing::Values(
+        VjpCase{"blur_cone", [] { return std::make_unique<mp::BlurFilter>(2.0); }},
+        VjpCase{"blur_gauss",
+                [] {
+                  return std::make_unique<mp::BlurFilter>(
+                      2.5, mp::KernelShape::Gaussian);
+                }},
+        VjpCase{"project_soft", [] { return std::make_unique<mp::TanhProject>(4.0, 0.5); }},
+        VjpCase{"project_sharp", [] { return std::make_unique<mp::TanhProject>(24.0, 0.5); }},
+        VjpCase{"project_eta", [] { return std::make_unique<mp::TanhProject>(8.0, 0.35); }},
+        VjpCase{"mirror_x",
+                [] { return std::make_unique<mp::Symmetrize>(mp::SymmetryKind::MirrorX); }},
+        VjpCase{"mirror_y",
+                [] { return std::make_unique<mp::Symmetrize>(mp::SymmetryKind::MirrorY); }},
+        VjpCase{"diag",
+                [] { return std::make_unique<mp::Symmetrize>(mp::SymmetryKind::Diagonal); }},
+        VjpCase{"c4",
+                [] { return std::make_unique<mp::Symmetrize>(mp::SymmetryKind::C4); }},
+        VjpCase{"litho_nominal",
+                [] {
+                  return std::make_unique<mp::LithoModel>(mp::LithoSpec{},
+                                                          mp::LithoCorner::Nominal);
+                }},
+        VjpCase{"litho_over",
+                [] {
+                  return std::make_unique<mp::LithoModel>(mp::LithoSpec{},
+                                                          mp::LithoCorner::OverEtch);
+                }},
+        VjpCase{"litho_under", [] {
+                  return std::make_unique<mp::LithoModel>(mp::LithoSpec{},
+                                                          mp::LithoCorner::UnderEtch);
+                }}),
+    [](const ::testing::TestParamInfo<VjpCase>& info) { return info.param.name; });

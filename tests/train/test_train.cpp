@@ -1,0 +1,316 @@
+// MAPS-Train: encoding, leak-free loading, physically exact Mixup, losses,
+// metrics, and a real (tiny) training run that must learn something.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/data/generator.hpp"
+#include "core/data/sampler.hpp"
+#include "core/train/loader.hpp"
+#include "core/train/losses.hpp"
+#include "core/train/metrics.hpp"
+#include "core/train/providers.hpp"
+#include "core/train/trainer.hpp"
+#include "devices/builders.hpp"
+
+namespace md = maps::data;
+namespace mdev = maps::devices;
+namespace mt = maps::train;
+namespace mn = maps::nn;
+namespace mm = maps::math;
+using maps::index_t;
+
+namespace {
+
+const mdev::DeviceProblem& bend() {
+  static const mdev::DeviceProblem dev = mdev::make_device(mdev::DeviceKind::Bend);
+  return dev;
+}
+
+// Shared small dataset (12 random patterns) — built once for the suite.
+const md::Dataset& small_dataset() {
+  static const md::Dataset ds = [] {
+    md::SamplerOptions opt;
+    opt.strategy = md::SamplingStrategy::Random;
+    opt.num_patterns = 12;
+    const auto ps = md::sample_patterns(bend(), mdev::DeviceKind::Bend, opt);
+    return md::generate_dataset(bend(), ps);
+  }();
+  return ds;
+}
+
+mn::ModelConfig tiny_fno() {
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::Fno;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 8;
+  cfg.modes = 6;
+  cfg.depth = 2;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Encoding, ChannelsAndRanges) {
+  mt::EncodingOptions enc;
+  EXPECT_EQ(enc.channels(), 4);
+  enc.wave_prior = true;
+  EXPECT_EQ(enc.channels(), 8);
+
+  const auto& rec = small_dataset().samples[0];
+  mt::Standardizer std_{2.0, 12.2, 1.0, 1.0, 1.55};
+  auto in = mt::make_input_batch(1, rec.nx(), rec.ny(), enc);
+  mt::encode_input(in, 0, rec.eps, rec.J, rec.omega, rec.dl, std_, enc);
+  for (index_t h = 0; h < in.size(2); ++h) {
+    for (index_t w = 0; w < in.size(3); ++w) {
+      EXPECT_GE(in.at(0, 0, h, w), -0.05f);  // normalized eps
+      EXPECT_LE(in.at(0, 0, h, w), 1.05f);
+      for (index_t c = 4; c < 8; ++c) {     // wave prior channels bounded
+        EXPECT_GE(in.at(0, c, h, w), -1.0001f);
+        EXPECT_LE(in.at(0, c, h, w), 1.0001f);
+      }
+    }
+  }
+}
+
+TEST(Encoding, TargetDecodeRoundTrip) {
+  const auto& rec = small_dataset().samples[0];
+  mt::Standardizer std_;
+  std_.field_scale = 2.5;
+  mn::Tensor t({1, 2, rec.ny(), rec.nx()});
+  mt::encode_target(t, 0, rec.Ez, std_);
+  const auto back = mt::decode_field(t, 0, std_);
+  double err = 0;
+  for (index_t n = 0; n < back.size(); ++n) err += std::abs(back[n] - rec.Ez[n]);
+  // float32 quantization only
+  EXPECT_LT(err / static_cast<double>(back.size()), 1e-5);
+}
+
+TEST(Encoding, StandardizerFitsTrainStatistics) {
+  mt::DataLoader loader(small_dataset());
+  const auto& s = loader.standardizer();
+  EXPECT_GT(s.field_scale, 0.0);
+  EXPECT_GT(s.j_scale, 0.0);
+  EXPECT_GT(s.eps_hi, s.eps_lo);
+  EXPECT_NEAR(s.eps_lo, 2.0736, 0.1);   // silica background
+  EXPECT_NEAR(s.eps_hi, 12.1104, 0.2);  // silicon
+}
+
+TEST(Loader, SplitIsLeakFreeAtPatternLevel) {
+  mt::DataLoader loader(small_dataset());
+  std::unordered_set<std::uint64_t> train_ids, test_ids;
+  for (const auto& fs : loader.train()) train_ids.insert(fs.record->pattern_id);
+  for (const auto& fs : loader.test()) test_ids.insert(fs.record->pattern_id);
+  for (auto id : test_ids) {
+    EXPECT_EQ(train_ids.count(id), 0u) << "pattern " << id << " leaked";
+  }
+  EXPECT_FALSE(train_ids.empty());
+  EXPECT_FALSE(test_ids.empty());
+}
+
+TEST(Loader, AdjointSamplesDoubleTheSplit) {
+  mt::LoaderOptions with, without;
+  without.include_adjoint_samples = false;
+  mt::DataLoader l1(small_dataset(), with);
+  mt::DataLoader l2(small_dataset(), without);
+  EXPECT_EQ(l1.train().size(), 2 * l2.train().size());
+}
+
+TEST(Loader, MixupIsPhysicallyExact) {
+  // J1 + g J2 -> E1 + g E2 must satisfy Maxwell exactly (linearity).
+  const auto& rec = small_dataset().samples[0];
+  auto [J_mix, E_mix] = mt::DataLoader::mixup_pair(rec, 0.7);
+  md::SampleRecord mixed = rec;
+  mixed.J = J_mix;
+  EXPECT_LT(mt::maxwell_residual_norm(mixed, E_mix), 1e-8);
+}
+
+TEST(Losses, NmseZeroAtTargetAndPositiveElsewhere) {
+  mn::Tensor a({2, 2, 4, 4}), b({2, 2, 4, 4});
+  for (index_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(i % 7) * 0.1f + 0.1f;
+    b[i] = a[i];
+  }
+  auto lv = mt::nmse_loss(a, b);
+  EXPECT_DOUBLE_EQ(lv.value, 0.0);
+  b[0] += 1.0f;
+  lv = mt::nmse_loss(a, b);
+  EXPECT_GT(lv.value, 0.0);
+}
+
+TEST(Losses, NmseGradMatchesFiniteDifference) {
+  mm::Rng rng(3);
+  mn::Tensor pred({2, 2, 3, 3}), target({2, 2, 3, 3});
+  for (index_t i = 0; i < pred.numel(); ++i) {
+    pred[i] = static_cast<float>(rng.uniform(-1, 1));
+    target[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  auto lv = mt::nmse_loss(pred, target);
+  const float h = 1e-3f;
+  for (index_t i : {0L, 7L, 20L, 35L}) {
+    mn::Tensor p2 = pred;
+    p2[i] += h;
+    const double fp = mt::nmse_loss(p2, target).value;
+    p2[i] -= 2 * h;
+    const double fm = mt::nmse_loss(p2, target).value;
+    EXPECT_NEAR((fp - fm) / (2 * h), lv.grad[i], 1e-3);
+  }
+}
+
+TEST(Losses, MaxwellResidualZeroForTrueField) {
+  const auto& rec = small_dataset().samples[0];
+  EXPECT_LT(mt::maxwell_residual_norm(rec, rec.Ez), 1e-9);
+  // Corrupt the field: residual jumps.
+  auto bad = rec.Ez;
+  for (index_t n = 0; n < bad.size(); ++n) bad[n] *= 1.05;
+  EXPECT_GT(mt::maxwell_residual_norm(rec, bad), 1e-3);
+}
+
+TEST(Losses, MaxwellGradMatchesFiniteDifference) {
+  const auto& rec = small_dataset().samples[0];
+  mt::Standardizer std_;
+  std_.field_scale = 1.0;
+  // Start from a slightly perturbed encoding of the true field.
+  mn::Tensor pred({1, 2, rec.ny(), rec.nx()});
+  mt::encode_target(pred, 0, rec.Ez, std_);
+  for (index_t i = 0; i < pred.numel(); i += 17) pred[i] += 0.05f;
+
+  mn::Tensor grad = mn::Tensor::zeros_like(pred);
+  (void)mt::add_maxwell_residual(rec, pred, 0, std_, 1.0, 1, grad);
+
+  const float h = 1e-3f;
+  for (index_t i : {100L, 2000L, 5000L}) {
+    mn::Tensor p2 = pred;
+    mn::Tensor dummy = mn::Tensor::zeros_like(pred);
+    p2[i] += h;
+    const double fp = mt::add_maxwell_residual(rec, p2, 0, std_, 1.0, 1, dummy);
+    p2[i] -= 2 * h;
+    const double fm = mt::add_maxwell_residual(rec, p2, 0, std_, 1.0, 1, dummy);
+    const double fd = (fp - fm) / (2 * h);
+    EXPECT_NEAR(fd, grad[i], 2e-3 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+TEST(Metrics, BoxCosine) {
+  mm::RealGrid a(8, 8, 0.0), b(8, 8, 0.0);
+  maps::grid::BoxRegion box{2, 2, 4, 4};
+  for (index_t j = 2; j < 6; ++j) {
+    for (index_t i = 2; i < 6; ++i) {
+      a(i, j) = 1.0;
+      b(i, j) = 2.0;
+    }
+  }
+  EXPECT_NEAR(mt::box_cosine(a, b, box), 1.0, 1e-12);
+  for (index_t j = 2; j < 6; ++j) {
+    for (index_t i = 2; i < 6; ++i) b(i, j) = -1.0;
+  }
+  EXPECT_NEAR(mt::box_cosine(a, b, box), -1.0, 1e-12);
+  // Values outside the box are ignored.
+  b(0, 0) = 1e9;
+  EXPECT_NEAR(mt::box_cosine(a, b, box), -1.0, 1e-12);
+}
+
+TEST(Trainer, ShortTrainingReducesLossAndBeatsInit) {
+  mt::DataLoader loader(small_dataset());
+  auto model = mn::make_model(tiny_fno());
+
+  const double nl2_before = mt::evaluate_nl2(*model, loader.test(),
+                                             loader.standardizer(), {});
+  mt::TrainOptions opt;
+  opt.epochs = 12;
+  opt.batch = 8;
+  opt.lr = 3e-3;
+  mt::Trainer trainer(*model, loader, opt);
+  const auto rep = trainer.fit(&bend());
+
+  EXPECT_LT(rep.epoch_losses.back(), rep.epoch_losses.front());
+  EXPECT_LT(rep.test_nl2, nl2_before);
+  // The H-field derivation in the N-L2 metric amplifies high-frequency
+  // error, so 12 epochs on 12 patterns lands just around 1; the benches use
+  // realistic budgets.
+  EXPECT_LT(rep.train_nl2, 1.15);
+  EXPECT_GE(rep.grad_similarity, -1.0);
+  EXPECT_LE(rep.grad_similarity, 1.0);
+  EXPECT_GE(rep.sparam_err, 0.0);
+}
+
+TEST(Trainer, MaxwellLossPathRuns) {
+  mt::DataLoader loader(small_dataset());
+  auto model = mn::make_model(tiny_fno());
+  mt::TrainOptions opt;
+  opt.epochs = 2;
+  opt.maxwell_weight = 0.05;
+  mt::Trainer trainer(*model, loader, opt);
+  const auto rep = trainer.fit();
+  EXPECT_EQ(rep.epoch_losses.size(), 2u);
+  EXPECT_TRUE(std::isfinite(rep.epoch_losses.back()));
+}
+
+TEST(Trainer, MixupPathRuns) {
+  mt::DataLoader loader(small_dataset());
+  auto model = mn::make_model(tiny_fno());
+  mt::TrainOptions opt;
+  opt.epochs = 2;
+  opt.mixup_prob = 0.5;
+  mt::Trainer trainer(*model, loader, opt);
+  const auto rep = trainer.fit();
+  EXPECT_TRUE(std::isfinite(rep.epoch_losses.back()));
+}
+
+TEST(Providers, FwdAdjProviderProducesFiniteGradient) {
+  mt::DataLoader loader(small_dataset());
+  auto model = mn::make_model(tiny_fno());
+  mt::TrainOptions opt;
+  opt.epochs = 3;
+  mt::Trainer(*model, loader, opt).fit();
+
+  mt::FwdAdjFieldProvider provider(*model, bend(), loader.standardizer(), {});
+  const auto ge = provider.evaluate(bend().blank_eps());
+  EXPECT_TRUE(std::isfinite(ge.fom));
+  EXPECT_EQ(ge.grad_eps.nx(), 64);
+  double mass = 0;
+  for (index_t n = 0; n < ge.grad_eps.size(); ++n) mass += std::abs(ge.grad_eps[n]);
+  EXPECT_GT(mass, 0.0);
+}
+
+TEST(Providers, AutodiffProviderProducesFiniteGradient) {
+  mt::DataLoader loader(small_dataset());
+  auto model = mn::make_model(tiny_fno());
+  mt::AutodiffFieldProvider provider(*model, bend(), loader.standardizer(), {});
+  const auto ge = provider.evaluate(bend().blank_eps());
+  EXPECT_TRUE(std::isfinite(ge.fom));
+  EXPECT_EQ(ge.transmissions.size(), 1u);
+}
+
+TEST(Providers, BlackBoxTrainsAndEvaluates) {
+  mt::DataLoader loader(small_dataset());
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::SParam;
+  cfg.in_channels = 4;
+  cfg.width = 8;
+  cfg.n_outputs = mt::total_terms(bend());
+  auto model = mn::make_model(cfg);
+  const double err = mt::train_blackbox(*model, loader, bend(), 6, 2e-3, {});
+  EXPECT_TRUE(std::isfinite(err));
+  EXPECT_LT(err, 1.0);
+
+  mt::BlackBoxProvider provider(*model, bend(), loader.standardizer(), {});
+  const auto ge = provider.evaluate(bend().blank_eps());
+  EXPECT_TRUE(std::isfinite(ge.fom));
+  EXPECT_EQ(ge.transmissions.size(), 1u);
+}
+
+TEST(Metrics, GradSimilarityInRangeForTrainedModel) {
+  mt::DataLoader loader(small_dataset());
+  auto model = mn::make_model(tiny_fno());
+  mt::TrainOptions opt;
+  opt.epochs = 6;
+  mt::Trainer(*model, loader, opt).fit();
+  const auto recs = loader.test_records();
+  ASSERT_FALSE(recs.empty());
+  const double sim = mt::mean_grad_similarity(*model, bend(), recs,
+                                              loader.standardizer(), {});
+  EXPECT_GE(sim, -1.0);
+  EXPECT_LE(sim, 1.0);
+}

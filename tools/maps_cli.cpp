@@ -1,0 +1,98 @@
+// maps_cli: the command-line entry point of the MAPS infrastructure.
+//
+// Every pipeline (dataset acquisition, model training, inverse design) is
+// driven by a JSON config with a "task" field; this tool validates and runs
+// them and prints a JSON report to stdout, so experiment scripts can be
+// plain shell + jq.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "io/runners.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  maps_cli run <config.json>        execute a config (task: datagen|train|invdes)\n"
+      "  maps_cli validate <config.json>   parse and echo the normalized config\n"
+      "  maps_cli example-config <task>    print a starter config for a task\n"
+      "  maps_cli devices                  list benchmark devices\n";
+  return 1;
+}
+
+int cmd_devices() {
+  using namespace maps;
+  std::cout << "device        grid(base)  excitations\n";
+  for (const auto kind : devices::all_device_kinds()) {
+    const auto dev = devices::make_device(kind);
+    std::printf("%-13s %lldx%-9lld %zu\n", devices::device_name(kind),
+                static_cast<long long>(dev.spec.nx),
+                static_cast<long long>(dev.spec.ny), dev.excitations.size());
+  }
+  return 0;
+}
+
+int cmd_example_config(const std::string& task) {
+  using namespace maps::io;
+  JsonValue v;
+  if (task == "datagen") {
+    v = DataGenConfig{}.to_json();
+  } else if (task == "train") {
+    TrainConfig cfg;
+    cfg.dataset = "dataset.mapsd";
+    v = cfg.to_json();
+  } else if (task == "invdes") {
+    v = InvDesConfig{}.to_json();
+  } else {
+    std::cerr << "unknown task '" << task << "' (datagen | train | invdes)\n";
+    return 1;
+  }
+  v["task"] = task;
+  std::cout << v.dump(2) << "\n";
+  return 0;
+}
+
+int cmd_validate(const std::string& path) {
+  using namespace maps::io;
+  const JsonValue doc = json_load(path);
+  const std::string task = doc.at("task").as_string();
+  JsonValue body = doc;
+  body.as_object().erase("task");
+  JsonValue normalized;
+  if (task == "datagen") {
+    normalized = DataGenConfig::from_json(body).to_json();
+  } else if (task == "train") {
+    normalized = TrainConfig::from_json(body).to_json();
+  } else if (task == "invdes") {
+    normalized = InvDesConfig::from_json(body).to_json();
+  } else {
+    std::cerr << "unknown task '" << task << "'\n";
+    return 1;
+  }
+  normalized["task"] = task;
+  std::cout << normalized.dump(2) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "devices") return cmd_devices();
+    if (cmd == "example-config" && argc >= 3) return cmd_example_config(argv[2]);
+    if (cmd == "validate" && argc >= 3) return cmd_validate(argv[2]);
+    if (cmd == "run" && argc >= 3) {
+      const auto report = maps::io::run_config_file(argv[2], std::cerr);
+      std::cout << report.dump(2) << "\n";
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}

@@ -63,6 +63,45 @@ static void BM_BandedTriangularSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_BandedTriangularSolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 
+static void BM_BandedSolveLoop8(benchmark::State& state) {
+  // Baseline for the multi-RHS kernel: 8 independent solve passes, each
+  // streaming the full band array.
+  const index_t n = state.range(0);
+  const auto op = make_op(n);
+  auto band = math::to_band(op.A);
+  band.factorize();
+  std::vector<std::vector<cplx>> bs(8);
+  math::Rng rng(21);
+  for (auto& b : bs) {
+    b.resize(static_cast<std::size_t>(n * n));
+    for (auto& v : b) v = {rng.uniform(), rng.uniform()};
+  }
+  for (auto _ : state) {
+    for (const auto& b : bs) benchmark::DoNotOptimize(band.solve(b));
+  }
+}
+BENCHMARK(BM_BandedSolveLoop8)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_BandedSolveMulti8(benchmark::State& state) {
+  // The batched kernel: one sweep over the factors applied to all 8 RHS.
+  const index_t n = state.range(0);
+  const auto op = make_op(n);
+  auto band = math::to_band(op.A);
+  band.factorize();
+  std::vector<std::vector<cplx>> bs(8);
+  math::Rng rng(21);
+  for (auto& b : bs) {
+    b.resize(static_cast<std::size_t>(n * n));
+    for (auto& v : b) v = {rng.uniform(), rng.uniform()};
+  }
+  for (auto _ : state) {
+    auto work = bs;
+    band.solve_multi_inplace(work);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_BandedSolveMulti8)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
 static void BM_Fft2(benchmark::State& state) {
   const index_t n = state.range(0);
   math::Rng rng(5);

@@ -58,6 +58,94 @@ static void BM_FdfdCachedResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FdfdCachedResolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 
+static void BM_FdfdSequentialMultiRhs(benchmark::State& state) {
+  // 8 sources through one factorization, one back-substitution pass each.
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  fdfd::Simulation sim(spec, eps, omega_of_wavelength(1.55), sim_opt(n));
+  std::vector<math::CplxGrid> Js;
+  for (index_t k = 0; k < 8; ++k) {
+    Js.push_back(fdfd::point_source(spec, n / 4 + 2 * k, n / 2));
+  }
+  (void)sim.solve(Js[0]);  // factorize outside the timed loop
+  for (auto _ : state) {
+    for (const auto& J : Js) benchmark::DoNotOptimize(sim.solve(J));
+  }
+}
+BENCHMARK(BM_FdfdSequentialMultiRhs)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_FdfdBatchedMultiRhs(benchmark::State& state) {
+  // Same 8 sources through solve_batch: the multi-RHS banded sweep streams
+  // the LU factors once per batch slice instead of once per source.
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  fdfd::Simulation sim(spec, eps, omega_of_wavelength(1.55), sim_opt(n));
+  std::vector<math::CplxGrid> Js;
+  for (index_t k = 0; k < 8; ++k) {
+    Js.push_back(fdfd::point_source(spec, n / 4 + 2 * k, n / 2));
+  }
+  (void)sim.solve(Js[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.solve_batch(Js));
+  }
+}
+BENCHMARK(BM_FdfdBatchedMultiRhs)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_FdfdWavelengthSweepCold(benchmark::State& state) {
+  // 4-omega sweep, no cache: every omega re-assembles and re-factorizes.
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  const auto J = fdfd::point_source(spec, n / 4, n / 2);
+  for (auto _ : state) {
+    for (const double lambda : {1.50, 1.55, 1.60, 1.65}) {
+      fdfd::Simulation sim(spec, eps, omega_of_wavelength(lambda), sim_opt(n));
+      benchmark::DoNotOptimize(sim.solve(J));
+    }
+  }
+}
+BENCHMARK(BM_FdfdWavelengthSweepCold)->Arg(64)->Unit(benchmark::kMillisecond);
+
+static void BM_FdfdWavelengthSweepCached(benchmark::State& state) {
+  // Same sweep through a FactorizationCache: after the first pass every
+  // omega's factorization is a cache hit and only back-substitution remains.
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  const auto J = fdfd::point_source(spec, n / 4, n / 2);
+  auto opts = sim_opt(n);
+  opts.cache = std::make_shared<solver::FactorizationCache>(8);
+  for (const double lambda : {1.50, 1.55, 1.60, 1.65}) {
+    fdfd::Simulation sim(spec, eps, omega_of_wavelength(lambda), opts);
+    (void)sim.solve(J);  // warm the cache
+  }
+  for (auto _ : state) {
+    for (const double lambda : {1.50, 1.55, 1.60, 1.65}) {
+      fdfd::Simulation sim(spec, eps, omega_of_wavelength(lambda), opts);
+      benchmark::DoNotOptimize(sim.solve(J));
+    }
+  }
+}
+BENCHMARK(BM_FdfdWavelengthSweepCached)->Arg(64)->Unit(benchmark::kMillisecond);
+
+static void BM_FdfdCoarseGridSolve(benchmark::State& state) {
+  // The Low-fidelity path: restrict, solve on the half-resolution grid,
+  // prolongate (~8x cheaper LU at matched physics).
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  const auto J = fdfd::point_source(spec, n / 4, n / 2);
+  auto opts = sim_opt(n);
+  opts.set_fidelity(fdfd::FidelityLevel::Low);
+  for (auto _ : state) {
+    fdfd::Simulation sim(spec, eps, omega_of_wavelength(1.55), opts);
+    benchmark::DoNotOptimize(sim.solve(J));
+  }
+}
+BENCHMARK(BM_FdfdCoarseGridSolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
 static void BM_FnoInference(benchmark::State& state) {
   const index_t n = state.range(0);
   auto model = nn::make_model(bench::field_model_config(nn::ModelKind::Fno));

@@ -1,7 +1,5 @@
 #include "core/data/generator.hpp"
 
-#include <mutex>
-
 #include "fdfd/adjoint.hpp"
 #include "math/interpolate.hpp"
 #include "math/parallel.hpp"
@@ -11,13 +9,12 @@ namespace maps::data {
 using maps::math::CplxGrid;
 using maps::math::RealGrid;
 
-SampleRecord simulate_sample(const devices::DeviceProblem& device,
-                             const RealGrid& density, std::size_t excitation_index,
-                             std::uint64_t pattern_id, const std::string& strategy) {
-  maps::require(excitation_index < device.excitations.size(),
-                "simulate_sample: excitation index out of range");
-  const auto& exc = device.excitations[excitation_index];
+namespace {
 
+/// Metadata + inputs common to every solve of one (density, excitation).
+SampleRecord record_shell(const devices::DeviceProblem& device, const RealGrid& density,
+                          const RealGrid& base_eps, const devices::Excitation& exc,
+                          std::uint64_t pattern_id, const std::string& strategy) {
   SampleRecord s;
   s.device = device.name;
   s.excitation = exc.name;
@@ -29,25 +26,25 @@ SampleRecord simulate_sample(const devices::DeviceProblem& device,
   s.design_box = device.design_map.box;
   s.density = density;
   s.input_norm = exc.input_norm;
-
-  const RealGrid base_eps = param::embed_density(device.design_map, density);
   s.eps = device.excitation_eps(base_eps, exc);
   s.J = exc.J;
+  return s;
+}
 
-  fdfd::Simulation sim(device.spec, s.eps, exc.omega, device.sim_options);
-  s.Ez = sim.solve(exc.J);
+/// Labels derived from a solved forward field + adjoint pair.
+void finish_record(SampleRecord& s, const devices::Excitation& exc,
+                   const std::vector<cplx>& W, CplxGrid Ez,
+                   fdfd::AdjointResult adj) {
+  s.Ez = std::move(Ez);
   for (const auto& term : exc.terms) {
     s.transmissions.push_back(fdfd::term_transmission(term, s.Ez));
   }
-
-  const auto adj = fdfd::compute_adjoint(sim, s.Ez, exc.terms);
   s.fom = adj.fom;
-  s.grad_eps = adj.grad_eps;
-  s.adj_J = adj.adj_current;
+  s.grad_eps = std::move(adj.grad_eps);
+  s.adj_J = std::move(adj.adj_current);
   // lambda_fwd = W^{-1} lambda: the adjoint field in forward-run convention
   // (what a forward-field surrogate should predict for the adjoint query).
   s.lambda_fwd = CplxGrid(s.Ez.nx(), s.Ez.ny());
-  const auto& W = sim.op().W;
   for (index_t n = 0; n < s.lambda_fwd.size(); ++n) {
     s.lambda_fwd[n] = adj.lambda[n] / W[static_cast<std::size_t>(n)];
   }
@@ -68,7 +65,48 @@ SampleRecord simulate_sample(const devices::DeviceProblem& device,
       s.lambda_fwd[n] *= s.adj_scale;
     }
   }
+}
+
+}  // namespace
+
+SampleRecord simulate_sample(const devices::DeviceProblem& device,
+                             const RealGrid& density, std::size_t excitation_index,
+                             std::uint64_t pattern_id, const std::string& strategy) {
+  maps::require(excitation_index < device.excitations.size(),
+                "simulate_sample: excitation index out of range");
+  const auto& exc = device.excitations[excitation_index];
+  const RealGrid base_eps = param::embed_density(device.design_map, density);
+  SampleRecord s = record_shell(device, density, base_eps, exc, pattern_id, strategy);
+
+  fdfd::Simulation sim(device.spec, s.eps, exc.omega, device.sim_options);
+  CplxGrid Ez = sim.solve(exc.J);
+  auto adj = fdfd::compute_adjoint(sim, Ez, exc.terms);
+  finish_record(s, exc, sim.op().W, std::move(Ez), std::move(adj));
   return s;
+}
+
+std::vector<SampleRecord> simulate_pattern(const devices::DeviceProblem& device,
+                                           const RealGrid& density,
+                                           std::uint64_t pattern_id,
+                                           const std::string& strategy) {
+  const RealGrid base_eps = param::embed_density(device.design_map, density);
+  std::vector<SampleRecord> records(device.excitations.size());
+
+  for (const auto& group : device.excitation_groups()) {
+    // Patterns are unique per call, so the device cache would only thrash:
+    // solve the group against a throwaway backend (use_cache = false).
+    auto gs = device.solve_excitation_group(base_eps, group, /*with_adjoint=*/true,
+                                            /*use_cache=*/false);
+    const auto& W = gs.sim.op().W;
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      const auto& exc = device.excitations[group[k]];
+      SampleRecord s =
+          record_shell(device, density, base_eps, exc, pattern_id, strategy);
+      finish_record(s, exc, W, std::move(gs.fields[k]), std::move(gs.adjoints[k]));
+      records[group[k]] = std::move(s);
+    }
+  }
+  return records;
 }
 
 Dataset generate_dataset(const devices::DeviceProblem& device,
@@ -81,9 +119,10 @@ Dataset generate_dataset(const devices::DeviceProblem& device,
   ds.samples.resize(patterns.densities.size() * n_exc);
 
   maps::math::parallel_for(0, patterns.densities.size(), [&](std::size_t p) {
+    auto records = simulate_pattern(device, patterns.densities[p], patterns.ids[p],
+                                    patterns.strategy);
     for (std::size_t e = 0; e < n_exc; ++e) {
-      ds.samples[p * n_exc + e] = simulate_sample(
-          device, patterns.densities[p], e, patterns.ids[p], patterns.strategy);
+      ds.samples[p * n_exc + e] = std::move(records[e]);
     }
   });
   return ds;

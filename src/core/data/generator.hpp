@@ -21,6 +21,16 @@ SampleRecord simulate_sample(const devices::DeviceProblem& device,
                              std::size_t excitation_index, std::uint64_t pattern_id,
                              const std::string& strategy);
 
+/// Simulate one density through *every* excitation of the device (records in
+/// excitation order). Excitations sharing an operator are pushed through one
+/// batched multi-RHS forward solve and one batched transposed adjoint solve,
+/// so a K-excitation device costs one factorization + 2K back-substitutions
+/// instead of K factorizations.
+std::vector<SampleRecord> simulate_pattern(const devices::DeviceProblem& device,
+                                           const maps::math::RealGrid& density,
+                                           std::uint64_t pattern_id,
+                                           const std::string& strategy);
+
 /// Multi-fidelity pairing: render each (coarse design-grid) pattern on both
 /// the low- and high-fidelity device and simulate both. Samples share
 /// pattern ids; `fidelity` distinguishes the levels.

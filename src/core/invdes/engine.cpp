@@ -14,6 +14,8 @@ GradEval NumericalProvider::evaluate(const RealGrid& eps) {
   GradEval out;
   out.fom = ge.fom;
   out.grad_eps = std::move(ge.grad_eps);
+  out.factorizations = ge.factorizations;
+  out.solves = ge.solves;
   for (const auto& exc : ge.per_excitation) {
     for (double t : exc.transmissions) out.transmissions.push_back(t);
   }
@@ -52,6 +54,8 @@ InvDesResult InverseDesigner::run(std::vector<double> theta0,
     const RealGrid rho = pipeline_.density(theta);
     const RealGrid eps = param::embed_density(pipeline_.map(), rho);
     GradEval ge = provider.evaluate(eps);
+    res.total_factorizations += ge.factorizations;
+    res.total_solves += ge.solves;
 
     std::vector<double> grad_theta = pipeline_.backward(ge.grad_eps);
     double fom = ge.fom;

@@ -22,6 +22,8 @@ struct GradEval {
   double fom = 0.0;
   maps::math::RealGrid grad_eps;
   std::vector<double> transmissions;  // flattened per excitation/term
+  int factorizations = 0;  // solver work this evaluation cost (0 for NN providers)
+  int solves = 0;
 };
 
 class GradientProvider {
@@ -67,6 +69,8 @@ struct InvDesResult {
   maps::math::RealGrid eps;
   double fom = 0.0;
   std::vector<IterationRecord> history;
+  int total_factorizations = 0;  // solver work across the whole run
+  int total_solves = 0;
 };
 
 class InverseDesigner {

@@ -1,5 +1,6 @@
 #include "core/invdes/robust.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/optim.hpp"
@@ -48,6 +49,19 @@ RobustResult RobustInverseDesigner::run(std::vector<double> theta0,
   pipes.reserve(corners.size());
   for (LithoCorner c : corners) pipes.push_back(make_corner_pipeline(c));
 
+  // Size the device's factorization cache so one full corner sweep (every
+  // corner times every excitation operator) stays resident: the closing
+  // evaluate_corners pass then reuses the last iteration's factorizations.
+  solver::CacheStats cache_before;
+  if (device_.solver_cache) {
+    const std::size_t per_sweep =
+        corners.size() * std::max<std::size_t>(1, device_.excitations.size());
+    if (device_.solver_cache->capacity() < per_sweep) {
+      device_.solver_cache->set_capacity(per_sweep);
+    }
+    cache_before = device_.solver_cache->stats();
+  }
+
   maps::require(static_cast<int>(theta0.size()) == pipes[0].num_params(),
                 "RobustInverseDesigner: theta0 size mismatch");
   std::vector<double> theta = std::move(theta0);
@@ -68,6 +82,8 @@ RobustResult RobustInverseDesigner::run(std::vector<double> theta0,
       GradEval ge = provider.evaluate(eps);
       foms[c] = ge.fom;
       grads[c] = pipes[c].backward(ge.grad_eps);
+      res.total_factorizations += ge.factorizations;
+      res.total_solves += ge.solves;
     }
 
     // Robust aggregate: mean or soft worst-case (softmin weights).
@@ -103,6 +119,12 @@ RobustResult RobustInverseDesigner::run(std::vector<double> theta0,
                               : agg + rep.fom / static_cast<double>(res.corners.size());
   }
   res.robust_fom = agg;
+  if (device_.solver_cache) {
+    const auto after = device_.solver_cache->stats();
+    res.cache.hits = after.hits - cache_before.hits;
+    res.cache.misses = after.misses - cache_before.misses;
+    res.cache.evictions = after.evictions - cache_before.evictions;
+  }
   return res;
 }
 

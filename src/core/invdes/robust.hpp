@@ -31,6 +31,12 @@ struct RobustResult {
   double robust_fom = 0.0;
   std::vector<CornerReport> corners;
   std::vector<double> history;  // robust FoM per iteration
+  /// Device solver-cache counters over the run: the post-optimization corner
+  /// report re-visits the final iteration's operators, so hits > 0 whenever
+  /// the device cache is enabled.
+  solver::CacheStats cache;
+  int total_factorizations = 0;
+  int total_solves = 0;
 };
 
 class RobustInverseDesigner {

@@ -1,5 +1,6 @@
 #include "devices/builders.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "fdfd/monitor.hpp"
@@ -185,6 +186,10 @@ DeviceProblem finalize(const Layout& lay, std::string name, const Structure& s,
   d.name = std::move(name);
   d.spec = lay.spec;
   d.sim_options = sim_options(lay);
+  // Sized for a corner sweep: every litho corner of a multi-excitation
+  // device can stay resident between the optimization and report passes.
+  d.solver_cache = std::make_shared<solver::FactorizationCache>(
+      std::max<std::size_t>(8, 4 * specs.size()));
   d.design_map = design_map_for(lay, s);
   const RealGrid blank = d.blank_eps();
   for (const auto& es : specs) {

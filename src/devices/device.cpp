@@ -1,9 +1,49 @@
 #include "devices/device.hpp"
 
+#include <map>
+
 namespace maps::devices {
 
 using maps::math::CplxGrid;
 using maps::math::RealGrid;
+
+namespace {
+
+// Excitations that simulate the same operator (same omega, no per-excitation
+// eps perturbation) form one group and share a Simulation + multi-RHS batch.
+// Perturbed excitations (TOS hot state, corner deltas) get their own group.
+std::vector<std::vector<std::size_t>> group_excitations(
+    const std::vector<Excitation>& excitations) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<double, std::size_t> shared_by_omega;  // omega -> group index
+  for (std::size_t e = 0; e < excitations.size(); ++e) {
+    const auto& exc = excitations[e];
+    if (exc.has_delta()) {
+      groups.push_back({e});
+      continue;
+    }
+    const auto it = shared_by_omega.find(exc.omega);
+    if (it == shared_by_omega.end()) {
+      shared_by_omega.emplace(exc.omega, groups.size());
+      groups.push_back({e});
+    } else {
+      groups[it->second].push_back(e);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> DeviceProblem::excitation_groups() const {
+  return group_excitations(excitations);
+}
+
+fdfd::SimOptions DeviceProblem::cached_sim_options() const {
+  fdfd::SimOptions opts = sim_options;
+  opts.cache = solver_cache;
+  return opts;
+}
 
 RealGrid DeviceProblem::excitation_eps(const RealGrid& eps, const Excitation& exc) const {
   if (!exc.has_delta()) return eps;
@@ -13,18 +53,57 @@ RealGrid DeviceProblem::excitation_eps(const RealGrid& eps, const Excitation& ex
   return out;
 }
 
+DeviceProblem::GroupSolution DeviceProblem::solve_excitation_group(
+    const RealGrid& base_eps, const std::vector<std::size_t>& group,
+    bool with_adjoint, bool use_cache) const {
+  maps::require(!group.empty(), "solve_excitation_group: empty group");
+  const auto& first = excitations[group.front()];
+  GroupSolution gs{fdfd::Simulation(spec, excitation_eps(base_eps, first), first.omega,
+                                    use_cache ? cached_sim_options() : sim_options),
+                   {}, {}, 0, 0};
+  const int f0 = gs.sim.factorization_count(), s0 = gs.sim.solve_count();
+
+  std::vector<CplxGrid> Js;
+  Js.reserve(group.size());
+  for (const std::size_t e : group) Js.push_back(excitations[e].J);
+  gs.fields = gs.sim.solve_batch(Js);
+
+  if (with_adjoint) {
+    // All adjoint systems of the group ride one transposed multi-RHS batch
+    // against the factorization the forward batch just prepared.
+    std::vector<const CplxGrid*> ez_ptrs;
+    std::vector<const std::vector<fdfd::FomTerm>*> term_ptrs;
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      ez_ptrs.push_back(&gs.fields[k]);
+      term_ptrs.push_back(&excitations[group[k]].terms);
+    }
+    gs.adjoints = fdfd::compute_adjoint_batch(gs.sim.backend(), spec, first.omega,
+                                              ez_ptrs, term_ptrs);
+  }
+  gs.factorizations = gs.sim.factorization_count() - f0;
+  gs.solves = gs.sim.solve_count() - s0;
+  return gs;
+}
+
 DeviceEval DeviceProblem::evaluate(const RealGrid& eps) const {
   DeviceEval ev;
-  for (const auto& exc : excitations) {
-    fdfd::Simulation sim(spec, excitation_eps(eps, exc), exc.omega, sim_options);
-    ExcitationResult r;
-    r.Ez = sim.solve(exc.J);
-    r.objective = fdfd::objective_value(exc.terms, r.Ez);
-    for (const auto& t : exc.terms) {
-      r.transmissions.push_back(fdfd::term_transmission(t, r.Ez));
+  ev.per_excitation.resize(excitations.size());
+  for (const auto& group : group_excitations(excitations)) {
+    auto gs = solve_excitation_group(eps, group, /*with_adjoint=*/false,
+                                     /*use_cache=*/true);
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      const auto& exc = excitations[group[k]];
+      ExcitationResult r;
+      r.Ez = std::move(gs.fields[k]);
+      r.objective = fdfd::objective_value(exc.terms, r.Ez);
+      for (const auto& t : exc.terms) {
+        r.transmissions.push_back(fdfd::term_transmission(t, r.Ez));
+      }
+      ev.fom += exc.weight * r.objective;
+      ev.per_excitation[group[k]] = std::move(r);
     }
-    ev.fom += exc.weight * r.objective;
-    ev.per_excitation.push_back(std::move(r));
+    ev.factorizations += gs.factorizations;
+    ev.solves += gs.solves;
   }
   return ev;
 }
@@ -32,20 +111,26 @@ DeviceEval DeviceProblem::evaluate(const RealGrid& eps) const {
 DeviceProblem::GradEval DeviceProblem::evaluate_with_gradient(const RealGrid& eps) const {
   GradEval ev;
   ev.grad_eps = RealGrid(spec.nx, spec.ny, 0.0);
-  for (const auto& exc : excitations) {
-    fdfd::Simulation sim(spec, excitation_eps(eps, exc), exc.omega, sim_options);
-    ExcitationResult r;
-    r.Ez = sim.solve(exc.J);
-    r.objective = fdfd::objective_value(exc.terms, r.Ez);
-    for (const auto& t : exc.terms) {
-      r.transmissions.push_back(fdfd::term_transmission(t, r.Ez));
+  ev.per_excitation.resize(excitations.size());
+  for (const auto& group : group_excitations(excitations)) {
+    auto gs = solve_excitation_group(eps, group, /*with_adjoint=*/true,
+                                     /*use_cache=*/true);
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      const auto& exc = excitations[group[k]];
+      ExcitationResult r;
+      r.Ez = std::move(gs.fields[k]);
+      r.objective = fdfd::objective_value(exc.terms, r.Ez);
+      for (const auto& t : exc.terms) {
+        r.transmissions.push_back(fdfd::term_transmission(t, r.Ez));
+      }
+      for (index_t n = 0; n < ev.grad_eps.size(); ++n) {
+        ev.grad_eps[n] += exc.weight * gs.adjoints[k].grad_eps[n];
+      }
+      ev.fom += exc.weight * r.objective;
+      ev.per_excitation[group[k]] = std::move(r);
     }
-    const auto adj = fdfd::compute_adjoint(sim, r.Ez, exc.terms);
-    for (index_t n = 0; n < ev.grad_eps.size(); ++n) {
-      ev.grad_eps[n] += exc.weight * adj.grad_eps[n];
-    }
-    ev.fom += exc.weight * r.objective;
-    ev.per_excitation.push_back(std::move(r));
+    ev.factorizations += gs.factorizations;
+    ev.solves += gs.solves;
   }
   return ev;
 }

@@ -43,6 +43,8 @@ struct ExcitationResult {
 struct DeviceEval {
   double fom = 0.0;  // sum over excitations of weight * objective
   std::vector<ExcitationResult> per_excitation;
+  int factorizations = 0;  // LU factorizations this evaluation performed
+  int solves = 0;          // linear solves this evaluation performed
 };
 
 class DeviceProblem {
@@ -52,19 +54,52 @@ class DeviceProblem {
   fdfd::SimOptions sim_options;
   param::DesignMap design_map;      // base_eps rendered from the static geometry
   std::vector<Excitation> excitations;
+  /// Shared factorization cache for this device's evaluations: corner
+  /// sweeps, S-param passes and repeated evaluations of one eps reuse the
+  /// prepared backend instead of re-factorizing.
+  std::shared_ptr<solver::FactorizationCache> solver_cache;
+
+  /// sim_options with the device cache attached (the options every
+  /// evaluation path passes to Simulation).
+  fdfd::SimOptions cached_sim_options() const;
 
   /// Permittivity actually simulated for an excitation (adds delta_eps).
   maps::math::RealGrid excitation_eps(const maps::math::RealGrid& eps,
                                       const Excitation& exc) const;
 
+  /// Excitation indices grouped by shared operator: excitations with the
+  /// same omega and no per-excitation eps perturbation can share one
+  /// factorization and ride one multi-RHS batch.
+  std::vector<std::vector<std::size_t>> excitation_groups() const;
+
+  /// One operator group solved end-to-end: batched forward fields (aligned
+  /// with the group's index order), optionally batched adjoints, and the
+  /// solver work the group cost. The Simulation member keeps the backend —
+  /// and with it op()/W — alive for consumers of the fields.
+  struct GroupSolution {
+    fdfd::Simulation sim;
+    std::vector<maps::math::CplxGrid> fields;
+    std::vector<fdfd::AdjointResult> adjoints;  // empty unless requested
+    int factorizations = 0;
+    int solves = 0;
+  };
+  GroupSolution solve_excitation_group(const maps::math::RealGrid& base_eps,
+                                       const std::vector<std::size_t>& group,
+                                       bool with_adjoint, bool use_cache) const;
+
   /// Forward-evaluate a candidate permittivity map across all excitations.
+  /// Excitations sharing one operator (same omega, no per-excitation eps
+  /// perturbation) are solved as one multi-RHS batch.
   DeviceEval evaluate(const maps::math::RealGrid& eps) const;
 
-  /// FoM and total dF/deps via one forward+adjoint pair per excitation.
+  /// FoM and total dF/deps via forward+adjoint per excitation; forward and
+  /// adjoint share one backend per operator, batched per group.
   struct GradEval {
     double fom = 0.0;
     maps::math::RealGrid grad_eps;
     std::vector<ExcitationResult> per_excitation;
+    int factorizations = 0;
+    int solves = 0;
   };
   GradEval evaluate_with_gradient(const maps::math::RealGrid& eps) const;
 

@@ -5,27 +5,62 @@ namespace maps::fdfd {
 using maps::math::CplxGrid;
 using maps::math::RealGrid;
 
-AdjointResult compute_adjoint(Simulation& sim, const CplxGrid& Ez,
-                              const std::vector<FomTerm>& terms) {
-  const auto& spec = sim.spec();
-  maps::require(Ez.nx() == spec.nx && Ez.ny() == spec.ny,
-                "compute_adjoint: field shape mismatch");
+namespace {
 
-  const std::vector<cplx> g = objective_dE(terms, Ez);
-  const double omega = sim.omega();
-
-  AdjointResult out{RealGrid(spec.nx, spec.ny), CplxGrid(spec.nx, spec.ny),
+/// Shared postprocessing: given the solved adjoint field lambda and the
+/// objective gradient g, fill gradients and the equivalent forward source.
+AdjointResult finish_adjoint(const grid::GridSpec& spec, double omega,
+                             const std::vector<cplx>& W, const CplxGrid& Ez,
+                             const std::vector<FomTerm>& terms,
+                             const std::vector<cplx>& g, CplxGrid lambda) {
+  AdjointResult out{RealGrid(spec.nx, spec.ny), std::move(lambda),
                     CplxGrid(spec.nx, spec.ny), objective_value(terms, Ez)};
-
-  out.lambda = sim.solve_transposed(g);
-
-  const auto& W = sim.op().W;
   for (index_t n = 0; n < spec.cells(); ++n) {
     // J_adj = W^{-1} g / (-i omega): feeding this to a forward run yields
     // W^{-1} lambda (proof in the header; relies on W A = (W A)^T).
     out.adj_current[n] = g[static_cast<std::size_t>(n)] /
                          (W[static_cast<std::size_t>(n)] * (-kI * omega));
     out.grad_eps[n] = -2.0 * omega * omega * std::real(out.lambda[n] * Ez[n]);
+  }
+  return out;
+}
+
+}  // namespace
+
+AdjointResult compute_adjoint(solver::SolverBackend& backend,
+                              const grid::GridSpec& spec, double omega,
+                              const CplxGrid& Ez, const std::vector<FomTerm>& terms) {
+  maps::require(Ez.nx() == spec.nx && Ez.ny() == spec.ny,
+                "compute_adjoint: field shape mismatch");
+  const std::vector<cplx> g = objective_dE(terms, Ez);
+  CplxGrid lambda(spec.nx, spec.ny, backend.solve_transposed(g));
+  return finish_adjoint(spec, omega, backend.op().W, Ez, terms, g, std::move(lambda));
+}
+
+AdjointResult compute_adjoint(Simulation& sim, const CplxGrid& Ez,
+                              const std::vector<FomTerm>& terms) {
+  return compute_adjoint(sim.backend(), sim.spec(), sim.omega(), Ez, terms);
+}
+
+std::vector<AdjointResult> compute_adjoint_batch(
+    solver::SolverBackend& backend, const grid::GridSpec& spec, double omega,
+    const std::vector<const CplxGrid*>& Ez,
+    const std::vector<const std::vector<FomTerm>*>& terms) {
+  maps::require(Ez.size() == terms.size(), "compute_adjoint_batch: size mismatch");
+  std::vector<std::vector<cplx>> gs;
+  gs.reserve(Ez.size());
+  for (std::size_t k = 0; k < Ez.size(); ++k) {
+    maps::require(Ez[k]->nx() == spec.nx && Ez[k]->ny() == spec.ny,
+                  "compute_adjoint_batch: field shape mismatch");
+    gs.push_back(objective_dE(*terms[k], *Ez[k]));
+  }
+  auto lambdas = backend.solve_transposed_batch(gs);
+  const auto& W = backend.op().W;
+  std::vector<AdjointResult> out;
+  out.reserve(Ez.size());
+  for (std::size_t k = 0; k < Ez.size(); ++k) {
+    out.push_back(finish_adjoint(spec, omega, W, *Ez[k], *terms[k], gs[k],
+                                 CplxGrid(spec.nx, spec.ny, std::move(lambdas[k]))));
   }
   return out;
 }

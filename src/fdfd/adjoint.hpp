@@ -9,6 +9,10 @@
 // i.e. an ordinary simulation with current J_adj = W^{-1} g / (-i omega).
 // That equivalent-forward-source form is what MAPS feeds to neural
 // surrogates ("adj src" in Fig. 3), and it is exported here both ways.
+//
+// The adjoint consumes the same solver backend as the forward solve (one
+// factorization serves both directions), and the batched entry point pushes
+// every adjoint system of a device through one multi-RHS transposed solve.
 #pragma once
 
 #include "fdfd/objective.hpp"
@@ -24,9 +28,23 @@ struct AdjointResult {
 };
 
 /// Run the adjoint for a solved forward field. The Simulation must be the one
-/// that produced Ez (same operator).
+/// that produced Ez (same operator / backend).
 AdjointResult compute_adjoint(Simulation& sim, const maps::math::CplxGrid& Ez,
                               const std::vector<FomTerm>& terms);
+
+/// Backend-level adjoint: identical math, expressed directly against the
+/// solver layer (upper layers that manage their own backends use this form).
+AdjointResult compute_adjoint(solver::SolverBackend& backend,
+                              const grid::GridSpec& spec, double omega,
+                              const maps::math::CplxGrid& Ez,
+                              const std::vector<FomTerm>& terms);
+
+/// Batched adjoint: one entry per (Ez, terms) pair, all transposed systems
+/// solved in a single multi-RHS batch against the shared factorization.
+std::vector<AdjointResult> compute_adjoint_batch(
+    solver::SolverBackend& backend, const grid::GridSpec& spec, double omega,
+    const std::vector<const maps::math::CplxGrid*>& Ez,
+    const std::vector<const std::vector<FomTerm>*>& terms);
 
 /// Gradient from separately predicted forward and adjoint-as-forward fields
 /// (the paper's "Fwd & Adj Field" gradient mode, Table II). `lambda_fwd`

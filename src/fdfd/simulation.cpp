@@ -6,16 +6,9 @@ using maps::math::CplxGrid;
 
 Simulation::Simulation(grid::GridSpec spec, maps::math::RealGrid eps, double omega,
                        SimOptions options)
-    : spec_(spec), eps_(std::move(eps)), omega_(omega), options_(options),
-      op_(assemble(spec_, eps_, omega_, options_.pml)) {}
-
-void Simulation::ensure_factorized() {
-  if (!lu_) {
-    lu_ = maps::math::to_band(op_.A);
-    lu_->factorize();
-    ++factorizations_;
-  }
-}
+    : spec_(spec), eps_(std::move(eps)), omega_(omega), options_(std::move(options)),
+      backend_(solver::make_cached_backend(options_.cache.get(), spec_, eps_, omega_,
+                                           options_.pml, options_.solver_config())) {}
 
 CplxGrid Simulation::solve(const CplxGrid& J) {
   maps::require(J.nx() == spec_.nx && J.ny() == spec_.ny,
@@ -26,32 +19,50 @@ CplxGrid Simulation::solve(const CplxGrid& J) {
 CplxGrid Simulation::solve_raw(const std::vector<cplx>& rhs) {
   maps::require(static_cast<index_t>(rhs.size()) == spec_.cells(),
                 "Simulation::solve_raw: rhs size mismatch");
-  if (options_.solver == SolverKind::Direct) {
-    ensure_factorized();
-    return CplxGrid(spec_.nx, spec_.ny, lu_->solve(rhs));
-  }
-  auto res = maps::math::bicgstab(op_.A, rhs, options_.iterative);
-  if (!res.converged) {
-    throw MapsError("Simulation: BiCGSTAB did not converge (rel res " +
-                    std::to_string(res.relative_residual) + ")");
-  }
-  return CplxGrid(spec_.nx, spec_.ny, std::move(res.x));
+  return CplxGrid(spec_.nx, spec_.ny, backend_->solve(rhs));
 }
 
 CplxGrid Simulation::solve_transposed(const std::vector<cplx>& rhs) {
   maps::require(static_cast<index_t>(rhs.size()) == spec_.cells(),
                 "Simulation::solve_transposed: rhs size mismatch");
-  if (options_.solver == SolverKind::Direct) {
-    ensure_factorized();
-    return CplxGrid(spec_.nx, spec_.ny, lu_->solve_transposed(rhs));
+  return CplxGrid(spec_.nx, spec_.ny, backend_->solve_transposed(rhs));
+}
+
+std::vector<CplxGrid> Simulation::solve_batch(const std::vector<CplxGrid>& Js) {
+  std::vector<std::vector<cplx>> rhs;
+  rhs.reserve(Js.size());
+  for (const auto& J : Js) {
+    maps::require(J.nx() == spec_.nx && J.ny() == spec_.ny,
+                  "Simulation::solve_batch: source shape mismatch");
+    rhs.push_back(rhs_from_current(J, omega_));
   }
-  // Iterative fallback: solve with the explicitly transposed operator.
-  const auto At = op_.A.transposed();
-  auto res = maps::math::bicgstab(At, rhs, options_.iterative);
-  if (!res.converged) {
-    throw MapsError("Simulation: transposed BiCGSTAB did not converge");
+  return solve_raw_batch(rhs);
+}
+
+std::vector<CplxGrid> Simulation::solve_raw_batch(
+    const std::vector<std::vector<cplx>>& rhs) {
+  for (const auto& b : rhs) {
+    maps::require(static_cast<index_t>(b.size()) == spec_.cells(),
+                  "Simulation::solve_raw_batch: rhs size mismatch");
   }
-  return CplxGrid(spec_.nx, spec_.ny, std::move(res.x));
+  auto xs = backend_->solve_batch(rhs);
+  std::vector<CplxGrid> out;
+  out.reserve(xs.size());
+  for (auto& x : xs) out.emplace_back(spec_.nx, spec_.ny, std::move(x));
+  return out;
+}
+
+std::vector<CplxGrid> Simulation::solve_transposed_batch(
+    const std::vector<std::vector<cplx>>& rhs) {
+  for (const auto& b : rhs) {
+    maps::require(static_cast<index_t>(b.size()) == spec_.cells(),
+                  "Simulation::solve_transposed_batch: rhs size mismatch");
+  }
+  auto xs = backend_->solve_transposed_batch(rhs);
+  std::vector<CplxGrid> out;
+  out.reserve(xs.size());
+  for (auto& x : xs) out.emplace_back(spec_.nx, spec_.ny, std::move(x));
+  return out;
 }
 
 Fields Simulation::derive_fields(CplxGrid Ez) const {

@@ -1,26 +1,46 @@
 // High-level FDFD simulation: assemble once, factorize once, solve many.
 //
-// A Simulation owns the operator for one (eps, omega, pml) configuration.
-// Forward solves (current sources) and transposed solves (adjoint) share the
-// same banded LU factors. H fields are derived from Ez exactly as the paper
-// derives its Hx/Hy labels.
+// A Simulation binds one (eps, omega, pml) configuration to a solver backend
+// (src/solver/): forward solves (current sources), transposed solves
+// (adjoint) and batched multi-RHS solves all share the backend's single
+// preparation. The solver kind doubles as the fidelity axis — Direct is the
+// High-fidelity exact path, Iterative the Medium tolerance path, CoarseGrid
+// the Low-fidelity surrogate feed. When SimOptions carries a
+// FactorizationCache, identical operators (wavelength sweeps, corner
+// re-evaluations) reuse one prepared backend across Simulation instances.
+// H fields are derived from Ez exactly as the paper derives its Hx/Hy labels.
 #pragma once
 
 #include <memory>
-#include <optional>
 
 #include "fdfd/assembler.hpp"
-#include "math/banded.hpp"
-#include "math/bicgstab.hpp"
+#include "solver/cache.hpp"
 
 namespace maps::fdfd {
 
-enum class SolverKind { Direct, Iterative };
+using solver::FidelityLevel;
+using solver::SolverKind;
 
 struct SimOptions {
   PmlSpec pml;
   SolverKind solver = SolverKind::Direct;
   maps::math::BicgstabOptions iterative;
+  int coarse_factor = 2;  // CoarseGrid backend coarsening
+  /// Optional shared cache: Simulations with identical (eps, omega, pml,
+  /// solver) then share one factorization.
+  std::shared_ptr<solver::FactorizationCache> cache;
+
+  /// Select the solver by fidelity level (low -> coarse grid, medium ->
+  /// iterative, high -> direct banded).
+  void set_fidelity(FidelityLevel level) { solver = solver::solver_kind_for(level); }
+
+  solver::SolverConfig solver_config() const {
+    solver::SolverConfig cfg;
+    cfg.kind = solver;
+    cfg.iterative = iterative;
+    cfg.coarse_factor = coarse_factor;
+    return cfg;
+  }
 };
 
 /// Full electromagnetic field solution on the simulation grid.
@@ -41,7 +61,10 @@ class Simulation {
   const SimOptions& options() const { return options_; }
 
   /// The assembled operator (also the "Maxwell matrices" label in MAPS-Data).
-  const FdfdOperator& op() const { return op_; }
+  const FdfdOperator& op() const { return backend_->op(); }
+
+  /// The solver backend answering this simulation's solves.
+  solver::SolverBackend& backend() { return *backend_; }
 
   /// Solve A Ez = -i omega J for a current source J.
   maps::math::CplxGrid solve(const maps::math::CplxGrid& J);
@@ -52,25 +75,33 @@ class Simulation {
   /// Solve A^T x = rhs (adjoint systems).
   maps::math::CplxGrid solve_transposed(const std::vector<cplx>& rhs);
 
+  /// Batched multi-RHS solves against the shared preparation.
+  std::vector<maps::math::CplxGrid> solve_batch(
+      const std::vector<maps::math::CplxGrid>& Js);
+  std::vector<maps::math::CplxGrid> solve_raw_batch(
+      const std::vector<std::vector<cplx>>& rhs);
+  std::vector<maps::math::CplxGrid> solve_transposed_batch(
+      const std::vector<std::vector<cplx>>& rhs);
+
   /// Derive Hx, Hy from an Ez solution (forward differences / (i omega)).
   Fields derive_fields(maps::math::CplxGrid Ez) const;
 
   /// Convenience: solve + derive.
   Fields run(const maps::math::CplxGrid& J) { return derive_fields(solve(J)); }
 
-  /// Number of LU factorizations performed (perf accounting in benches).
-  int factorization_count() const { return factorizations_; }
+  /// Number of LU factorizations performed by the backend (perf accounting in
+  /// benches; cumulative across Simulations sharing a cached backend).
+  int factorization_count() const { return backend_->factorization_count(); }
+
+  /// Number of solves answered by the backend.
+  int solve_count() const { return backend_->solve_count(); }
 
  private:
-  void ensure_factorized();
-
   grid::GridSpec spec_;
   maps::math::RealGrid eps_;
   double omega_;
   SimOptions options_;
-  FdfdOperator op_;
-  std::optional<maps::math::BandMatrix<cplx>> lu_;
-  int factorizations_ = 0;
+  std::shared_ptr<solver::SolverBackend> backend_;
 };
 
 }  // namespace maps::fdfd

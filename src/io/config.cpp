@@ -60,7 +60,73 @@ void check_positive(double v, const char* what) {
   }
 }
 
+solver::SolverKind solver_kind_from_name(const std::string& name) {
+  if (name == "direct") return solver::SolverKind::Direct;
+  if (name == "iterative") return solver::SolverKind::Iterative;
+  if (name == "coarse_grid" || name == "coarse") return solver::SolverKind::CoarseGrid;
+  throw MapsError("config: solver must be direct | iterative | coarse_grid, got '" +
+                  name + "'");
+}
+
+/// Shared solver-selection block. The "fidelity" key itself is read by the
+/// caller (it is dual-typed with the legacy resolution multiplier); this
+/// reads the explicit overrides. Returns the resolution multiplier.
+int read_solver_settings(FieldReader& r, SolverSettings& s, const char* scope) {
+  int resolution = 1;
+  if (r.has("fidelity")) {
+    const JsonValue& f = r.get("fidelity");
+    if (f.is_string()) {
+      s.fidelity = solver::fidelity_from_name(f.as_string());
+    } else {
+      resolution = static_cast<int>(f.as_int());
+    }
+  }
+  if (r.has("solver_fidelity")) {
+    s.fidelity = solver::fidelity_from_name(r.get("solver_fidelity").as_string());
+  }
+  s.config = solver::SolverConfig::for_fidelity(s.fidelity);
+  if (r.has("solver")) {
+    s.config.kind = solver_kind_from_name(r.get("solver").as_string());
+  }
+  s.config.iterative.rtol = r.number("solver_rtol", s.config.iterative.rtol);
+  s.config.iterative.max_iters =
+      r.integer("solver_max_iters", s.config.iterative.max_iters);
+  s.config.coarse_factor = r.integer("coarse_factor", s.config.coarse_factor);
+  s.cache_capacity = r.integer("cache_capacity", s.cache_capacity);
+  if (s.config.coarse_factor < 2) {
+    throw MapsError(std::string(scope) + ": coarse_factor must be >= 2");
+  }
+  if (s.cache_capacity < 1) {
+    throw MapsError(std::string(scope) + ": cache_capacity must be >= 1");
+  }
+  check_positive(s.config.iterative.rtol, "solver_rtol");
+  check_positive(s.config.iterative.max_iters, "solver_max_iters");
+  return resolution;
+}
+
+void write_solver_settings(JsonValue& v, const SolverSettings& s) {
+  v["solver_fidelity"] = solver::fidelity_name(s.fidelity);
+  v["solver"] = solver::solver_kind_name(s.config.kind);
+  v["solver_rtol"] = s.config.iterative.rtol;
+  v["solver_max_iters"] = s.config.iterative.max_iters;
+  v["coarse_factor"] = s.config.coarse_factor;
+  v["cache_capacity"] = s.cache_capacity;
+}
+
 }  // namespace
+
+void apply_solver_settings(devices::DeviceProblem& device,
+                           const SolverSettings& settings) {
+  device.sim_options.solver = settings.config.kind;
+  device.sim_options.iterative = settings.config.iterative;
+  device.sim_options.coarse_factor = settings.config.coarse_factor;
+  if (device.solver_cache) {
+    device.solver_cache->set_capacity(static_cast<std::size_t>(settings.cache_capacity));
+  } else {
+    device.solver_cache = std::make_shared<solver::FactorizationCache>(
+        static_cast<std::size_t>(settings.cache_capacity));
+  }
+}
 
 devices::DeviceKind device_kind_from_name(const std::string& name) {
   for (const auto kind : devices::all_device_kinds()) {
@@ -105,7 +171,7 @@ DataGenConfig DataGenConfig::from_json(const JsonValue& v) {
   FieldReader r(v, "datagen");
   DataGenConfig cfg;
   cfg.device = device_kind_from_name(r.string("device", "bending"));
-  cfg.fidelity = r.integer("fidelity", 1);
+  cfg.fidelity = read_solver_settings(r, cfg.solver, "datagen");
   if (cfg.fidelity < 1 || cfg.fidelity > 4) {
     throw MapsError("datagen: fidelity must be in [1, 4]");
   }
@@ -141,6 +207,7 @@ JsonValue DataGenConfig::to_json() const {
   JsonValue v;
   v["device"] = devices::device_name(device);
   v["fidelity"] = fidelity;
+  write_solver_settings(v, solver);
   v["multi_fidelity"] = multi_fidelity;
   v["output"] = output;
   v["strategy"] = data::strategy_name(sampler.strategy);
@@ -166,7 +233,7 @@ TrainConfig TrainConfig::from_json(const JsonValue& v) {
   cfg.dataset = r.get("dataset").as_string();
   cfg.test_dataset = r.string("test_dataset", "");
   cfg.device = device_kind_from_name(r.string("device", "bending"));
-  cfg.fidelity = r.integer("fidelity", 1);
+  cfg.fidelity = read_solver_settings(r, cfg.solver, "train");
   cfg.test_fraction = r.number("test_fraction", 0.25);
   cfg.checkpoint = r.string("checkpoint", "");
   cfg.report = r.string("report", "");
@@ -205,6 +272,7 @@ JsonValue TrainConfig::to_json() const {
   if (!test_dataset.empty()) v["test_dataset"] = test_dataset;
   v["device"] = devices::device_name(device);
   v["fidelity"] = fidelity;
+  write_solver_settings(v, solver);
   v["model"] = nn::model_name(model.kind);
   v["width"] = model.width;
   v["modes"] = model.modes;
@@ -231,7 +299,7 @@ InvDesConfig InvDesConfig::from_json(const JsonValue& v) {
   FieldReader r(v, "invdes");
   InvDesConfig cfg;
   cfg.device = device_kind_from_name(r.string("device", "bending"));
-  cfg.fidelity = r.integer("fidelity", 1);
+  cfg.fidelity = read_solver_settings(r, cfg.solver, "invdes");
   cfg.options.iterations = r.integer("iterations", cfg.options.iterations);
   cfg.options.lr = r.number("lr", cfg.options.lr);
   cfg.options.beta_start = r.number("beta_start", cfg.options.beta_start);
@@ -263,6 +331,7 @@ JsonValue InvDesConfig::to_json() const {
   JsonValue v;
   v["device"] = devices::device_name(device);
   v["fidelity"] = fidelity;
+  write_solver_settings(v, solver);
   v["iterations"] = options.iterations;
   v["lr"] = options.lr;
   v["beta_start"] = options.beta_start;

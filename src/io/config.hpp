@@ -15,6 +15,7 @@
 #include "devices/builders.hpp"
 #include "io/json.hpp"
 #include "nn/models.hpp"
+#include "solver/backend.hpp"
 
 namespace maps::io {
 
@@ -24,11 +25,30 @@ data::SamplingStrategy strategy_from_name(const std::string& name);
 nn::ModelKind model_kind_from_name(const std::string& name);
 const char* model_kind_name(nn::ModelKind kind);
 
+/// Solver backend selection shared by every tool config. In JSON the
+/// "fidelity" key is dual-typed: a number is the legacy grid-resolution
+/// multiplier, a string ("low" | "medium" | "high") selects the solver
+/// fidelity level (low = coarse-grid, medium = iterative, high = direct).
+/// "solver" overrides the kind directly; "solver_rtol" / "solver_max_iters"
+/// tune the iterative backend, "coarse_factor" the coarse-grid backend and
+/// "cache_capacity" the device factorization cache.
+struct SolverSettings {
+  solver::FidelityLevel fidelity = solver::FidelityLevel::High;
+  solver::SolverConfig config;  // kind follows fidelity unless "solver" given
+  int cache_capacity = 8;
+};
+
+/// Push parsed solver settings into a built device (backend kind, iterative
+/// tolerances, coarse factor, cache capacity).
+void apply_solver_settings(devices::DeviceProblem& device,
+                           const SolverSettings& settings);
+
 /// maps_datagen: sample patterns for a device and simulate rich labels.
 struct DataGenConfig {
   devices::DeviceKind device = devices::DeviceKind::Bend;
   int fidelity = 1;
   bool multi_fidelity = false;  // pair each pattern at fidelity and 2x
+  SolverSettings solver;
   data::SamplerOptions sampler;
   std::string output = "dataset.mapsd";
 
@@ -42,6 +62,7 @@ struct TrainConfig {
   std::string test_dataset;       // optional held-out set (else split)
   devices::DeviceKind device = devices::DeviceKind::Bend;
   int fidelity = 1;
+  SolverSettings solver;
   nn::ModelConfig model;
   train::TrainOptions train;
   double test_fraction = 0.25;
@@ -56,6 +77,7 @@ struct TrainConfig {
 struct InvDesConfig {
   devices::DeviceKind device = devices::DeviceKind::Bend;
   int fidelity = 1;
+  SolverSettings solver;
   invdes::InvDesOptions options;
   devices::PipelineOptions pipeline;
   std::string init = "path_seed";  // gray | random | path_seed

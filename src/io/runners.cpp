@@ -55,10 +55,12 @@ void write_density_csv(const maps::math::RealGrid& density, const std::string& p
 JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
   devices::BuildOptions build;
   build.fidelity = config.fidelity;
-  const auto device = devices::make_device(config.device, build);
+  auto device = devices::make_device(config.device, build);
+  apply_solver_settings(device, config.solver);
   log << "[datagen] device=" << devices::device_name(config.device)
       << " strategy=" << data::strategy_name(config.sampler.strategy)
-      << " fidelity=" << config.fidelity << "\n";
+      << " fidelity=" << config.fidelity
+      << " solver=" << solver::solver_kind_name(config.solver.config.kind) << "\n";
 
   const auto patterns = data::sample_patterns(device, config.device, config.sampler);
   log << "[datagen] sampled " << patterns.densities.size() << " patterns\n";
@@ -67,7 +69,8 @@ JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
   if (config.multi_fidelity) {
     devices::BuildOptions hi = build;
     hi.fidelity = config.fidelity * 2;
-    const auto device_hi = devices::make_device(config.device, hi);
+    auto device_hi = devices::make_device(config.device, hi);
+    apply_solver_settings(device_hi, config.solver);
     dataset = data::generate_multifidelity(device, device_hi, patterns);
   } else {
     dataset = data::generate_dataset(device, patterns);
@@ -116,7 +119,8 @@ JsonValue run_train(const TrainConfig& config, std::ostream& log) {
 
   devices::BuildOptions build;
   build.fidelity = config.fidelity;
-  const auto device = devices::make_device(config.device, build);
+  auto device = devices::make_device(config.device, build);
+  apply_solver_settings(device, config.solver);
 
   train::Trainer trainer(*model, *loader, config.train);
   const auto result = trainer.fit(&device);
@@ -146,17 +150,21 @@ JsonValue run_train(const TrainConfig& config, std::ostream& log) {
 JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
   devices::BuildOptions build;
   build.fidelity = config.fidelity;
-  const auto device = devices::make_device(config.device, build);
+  auto device = devices::make_device(config.device, build);
+  apply_solver_settings(device, config.solver);
   auto pipeline = devices::make_default_pipeline(device, config.device, config.pipeline);
 
   auto theta0 =
       invdes::make_initial_theta(device, init_kind_from_name(config.init), config.seed);
   log << "[invdes] device=" << devices::device_name(config.device) << " init="
-      << config.init << " iterations=" << config.options.iterations << "\n";
+      << config.init << " iterations=" << config.options.iterations
+      << " solver=" << solver::solver_kind_name(config.solver.config.kind) << "\n";
 
   invdes::InverseDesigner designer(device, std::move(pipeline), config.options);
   const auto result = designer.run(std::move(theta0));
-  log << "[invdes] final FoM " << result.fom << "\n";
+  log << "[invdes] final FoM " << result.fom << " ("
+      << result.total_factorizations << " factorizations / "
+      << result.total_solves << " solves)\n";
 
   if (!config.density_out.empty()) {
     write_density_csv(result.density, config.density_out);
@@ -177,6 +185,8 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
   report["device"] = devices::device_name(config.device);
   report["fom"] = result.fom;
   report["iterations"] = static_cast<int>(result.history.size());
+  report["factorizations"] = result.total_factorizations;
+  report["solves"] = result.total_solves;
   JsonArray ts;
   if (!result.history.empty()) {
     for (const double t : result.history.back().transmissions) ts.push_back(t);

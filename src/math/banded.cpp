@@ -162,6 +162,94 @@ void BandMatrix<T>::solve_transposed_inplace(std::vector<T>& b) const {
   }
 }
 
+// Multi-RHS xGBTRS 'N': identical recurrences to solve_inplace, but the loop
+// over right-hand sides is innermost so each factor entry at(i, j) is loaded
+// once and applied to the whole batch (the band array is the working set that
+// dominates; the RHS vectors are small by comparison).
+template <typename T>
+void BandMatrix<T>::solve_multi_inplace(std::vector<std::vector<T>>& bs) const {
+  require(factorized_, "BandMatrix::solve_multi: factorize() first");
+  for (const auto& b : bs) {
+    require(static_cast<index_t>(b.size()) == n_,
+            "BandMatrix::solve_multi: size mismatch");
+  }
+  const index_t kv = kl_ + ku_;
+  const std::size_t nrhs = bs.size();
+
+  if (kl_ > 0) {
+    for (index_t j = 0; j < n_ - 1; ++j) {
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      for (std::size_t r = 0; r < nrhs; ++r) {
+        auto& b = bs[r];
+        if (piv != j) {
+          std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+        }
+        const T bj = b[static_cast<std::size_t>(j)];
+        if (bj != T{}) {
+          for (index_t k = 1; k <= km; ++k) {
+            b[static_cast<std::size_t>(j + k)] -= at(j + k, j) * bj;
+          }
+        }
+      }
+    }
+  }
+  for (index_t j = n_ - 1; j >= 0; --j) {
+    const T inv_d = T(1) / at(j, j);
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    for (std::size_t r = 0; r < nrhs; ++r) {
+      auto& b = bs[r];
+      const T bj = b[static_cast<std::size_t>(j)] * inv_d;
+      b[static_cast<std::size_t>(j)] = bj;
+      for (index_t i = ilo; i < j; ++i) {
+        b[static_cast<std::size_t>(i)] -= at(i, j) * bj;
+      }
+    }
+  }
+}
+
+// Multi-RHS xGBTRS 'T': same batching of solve_transposed_inplace.
+template <typename T>
+void BandMatrix<T>::solve_transposed_multi_inplace(std::vector<std::vector<T>>& bs) const {
+  require(factorized_, "BandMatrix::solve_transposed_multi: factorize() first");
+  for (const auto& b : bs) {
+    require(static_cast<index_t>(b.size()) == n_,
+            "BandMatrix::solve_transposed_multi: size mismatch");
+  }
+  const index_t kv = kl_ + ku_;
+  const std::size_t nrhs = bs.size();
+
+  for (index_t j = 0; j < n_; ++j) {
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    const T inv_d = T(1) / at(j, j);
+    for (std::size_t r = 0; r < nrhs; ++r) {
+      auto& b = bs[r];
+      T s = b[static_cast<std::size_t>(j)];
+      for (index_t i = ilo; i < j; ++i) {
+        s -= at(i, j) * b[static_cast<std::size_t>(i)];
+      }
+      b[static_cast<std::size_t>(j)] = s * inv_d;
+    }
+  }
+  if (kl_ > 0) {
+    for (index_t j = n_ - 2; j >= 0; --j) {
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      for (std::size_t r = 0; r < nrhs; ++r) {
+        auto& b = bs[r];
+        T s = b[static_cast<std::size_t>(j)];
+        for (index_t k = 1; k <= km; ++k) {
+          s -= at(j + k, j) * b[static_cast<std::size_t>(j + k)];
+        }
+        b[static_cast<std::size_t>(j)] = s;
+        if (piv != j) {
+          std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+        }
+      }
+    }
+  }
+}
+
 template class BandMatrix<double>;
 template class BandMatrix<cplx>;
 

@@ -1,0 +1,103 @@
+// SolverBackend: the uniform solve interface every upper layer consumes.
+//
+// A backend owns one assembled FDFD operator (one (eps, omega, pml)
+// configuration) and answers forward solves (A x = b), transposed solves
+// (A^T x = b, the adjoint system) and batched multi-RHS solves against it.
+// Factorization state lives inside the backend, so forward and adjoint
+// solves — and every excitation of a multi-source device — share one
+// preparation. Concrete backends:
+//
+//   DirectBandedBackend  banded LU (xGBTRF/xGBTRS), exact, High fidelity
+//   IterativeBackend     BiCGSTAB on the CSR operator, Medium fidelity
+//   CoarseGridBackend    direct solve on a 2x-coarsened Yee grid with
+//                        bilinear restriction/prolongation, Low fidelity
+//
+// The FidelityLevel axis is the paper's multi-fidelity knob: Low feeds AI
+// surrogates cheap approximate fields, High verifies. Backends are cheap to
+// construct (assembly) but expensive to prepare (factorization); the
+// FactorizationCache (cache.hpp) reuses prepared backends across sweeps.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fdfd/assembler.hpp"
+#include "math/bicgstab.hpp"
+
+namespace maps::solver {
+
+enum class SolverKind { Direct, Iterative, CoarseGrid };
+
+/// The multi-fidelity axis (Sec. III-A.3): High = exact direct solve,
+/// Medium = iterative to a residual tolerance, Low = coarse-grid surrogate.
+enum class FidelityLevel { Low, Medium, High };
+
+const char* solver_kind_name(SolverKind kind);
+const char* fidelity_name(FidelityLevel level);
+FidelityLevel fidelity_from_name(const std::string& name);
+SolverKind solver_kind_for(FidelityLevel level);
+
+/// Everything needed to pick and tune a backend for one operator.
+struct SolverConfig {
+  SolverKind kind = SolverKind::Direct;
+  maps::math::BicgstabOptions iterative;
+  int coarse_factor = 2;  // grid coarsening of the Low-fidelity path
+
+  /// Config preset for a fidelity level (kind chosen per solver_kind_for).
+  static SolverConfig for_fidelity(FidelityLevel level);
+};
+
+/// Per-backend work accounting snapshot (perf measurement in benches and
+/// tests). Backends count atomically so shared cached backends can be used
+/// from multiple threads.
+struct SolverStats {
+  int factorizations = 0;  // LU factorizations (0 for purely iterative)
+  int solves = 0;          // forward + transposed solves, batch entries included
+};
+
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prepare the operator for repeated solves (direct backends LU-factorize
+  /// here, the iterative backend is a no-op). Idempotent and thread-safe;
+  /// solve() calls it implicitly.
+  virtual void factorize() = 0;
+
+  virtual std::vector<cplx> solve(const std::vector<cplx>& rhs) = 0;
+  virtual std::vector<cplx> solve_transposed(const std::vector<cplx>& rhs) = 0;
+
+  /// Solve many right-hand sides against one preparation. The default loops;
+  /// backends override with genuinely batched kernels (multi-RHS banded
+  /// sweeps, parallel Krylov solves).
+  virtual std::vector<std::vector<cplx>> solve_batch(
+      std::span<const std::vector<cplx>> rhs);
+  virtual std::vector<std::vector<cplx>> solve_transposed_batch(
+      std::span<const std::vector<cplx>> rhs);
+
+  /// The assembled operator this backend answers for, on the *fine* grid
+  /// (the CoarseGridBackend assembles it lazily for consumers that need W
+  /// or residuals; its internal solve grid stays coarse).
+  virtual const fdfd::FdfdOperator& op() const = 0;
+
+  virtual int factorization_count() const { return factorizations_.load(); }
+  virtual int solve_count() const { return solves_.load(); }
+  SolverStats stats() const { return {factorization_count(), solve_count()}; }
+
+ protected:
+  std::atomic<int> factorizations_{0};
+  std::atomic<int> solves_{0};
+};
+
+/// Construct a backend for one (spec, eps, omega, pml) problem.
+std::unique_ptr<SolverBackend> make_backend(const grid::GridSpec& spec,
+                                            const maps::math::RealGrid& eps,
+                                            double omega, const fdfd::PmlSpec& pml,
+                                            const SolverConfig& config = {});
+
+}  // namespace maps::solver

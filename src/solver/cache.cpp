@@ -1,0 +1,147 @@
+#include "solver/cache.hpp"
+
+#include <cstring>
+
+namespace maps::solver {
+
+std::uint64_t digest_grid(const maps::math::RealGrid& g) {
+  // FNV-1a over the raw double bytes, seeded with the shape so transposed
+  // grids of equal content do not collide.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const void* p, std::size_t bytes) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const index_t nx = g.nx(), ny = g.ny();
+  mix(&nx, sizeof(nx));
+  mix(&ny, sizeof(ny));
+  if (!g.data().empty()) {
+    mix(g.data().data(), g.data().size() * sizeof(double));
+  }
+  return h;
+}
+
+ProblemKey make_problem_key(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
+                            double omega, const fdfd::PmlSpec& pml,
+                            const SolverConfig& config) {
+  ProblemKey key;
+  key.eps_digest = digest_grid(eps);
+  key.nx = spec.nx;
+  key.ny = spec.ny;
+  key.dl = spec.dl;
+  key.omega = omega;
+  key.pml_ncells = pml.ncells;
+  key.pml_m = pml.m;
+  key.pml_R0 = pml.R0;
+  key.kind = config.kind;
+  key.coarse_factor = config.kind == SolverKind::CoarseGrid ? config.coarse_factor : 0;
+  if (config.kind == SolverKind::Iterative) {
+    // Tolerances are part of an iterative backend's identity: a backend
+    // prepared at a loose rtol must not answer solves requesting a tight one.
+    key.iter_rtol = config.iterative.rtol;
+    key.iter_max_iters = config.iterative.max_iters;
+    key.iter_jacobi = config.iterative.jacobi_precond;
+  }
+  return key;
+}
+
+FactorizationCache::FactorizationCache(std::size_t capacity) : capacity_(capacity) {
+  maps::require(capacity > 0, "FactorizationCache: capacity must be > 0");
+}
+
+std::shared_ptr<SolverBackend> FactorizationCache::get_or_create(
+    const ProblemKey& key,
+    const std::function<std::shared_ptr<SolverBackend>()>& make) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        ++stats_.hits;
+        entries_.splice(entries_.begin(), entries_, it);  // move to front
+        return entries_.front().second;
+      }
+    }
+    ++stats_.misses;
+  }
+  // Build outside the lock: assembly/factorization is the expensive part and
+  // must not serialize unrelated lookups. Two threads may race to build the
+  // same key; the loser's backend is discarded so the cache never holds
+  // duplicate keys (duplicates would eat capacity and double-count stats).
+  auto backend = make();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front().second;
+    }
+  }
+  entries_.emplace_front(key, backend);
+  evict_to_capacity_locked();
+  return backend;
+}
+
+void FactorizationCache::evict_to_capacity_locked() {
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void FactorizationCache::set_capacity(std::size_t capacity) {
+  maps::require(capacity > 0, "FactorizationCache: capacity must be > 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  evict_to_capacity_locked();
+}
+
+std::size_t FactorizationCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::size_t FactorizationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CacheStats FactorizationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int FactorizationCache::factorization_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const auto& [key, backend] : entries_) total += backend->factorization_count();
+  return total;
+}
+
+int FactorizationCache::solve_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const auto& [key, backend] : entries_) total += backend->solve_count();
+  return total;
+}
+
+void FactorizationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::shared_ptr<SolverBackend> make_cached_backend(FactorizationCache* cache,
+                                                   const grid::GridSpec& spec,
+                                                   const maps::math::RealGrid& eps,
+                                                   double omega, const fdfd::PmlSpec& pml,
+                                                   const SolverConfig& config) {
+  if (!cache) {
+    return std::shared_ptr<SolverBackend>(make_backend(spec, eps, omega, pml, config));
+  }
+  return cache->get_or_create(make_problem_key(spec, eps, omega, pml, config), [&] {
+    return std::shared_ptr<SolverBackend>(make_backend(spec, eps, omega, pml, config));
+  });
+}
+
+}  // namespace maps::solver

@@ -1,0 +1,92 @@
+#include "solver/coarse.hpp"
+
+#include <algorithm>
+
+#include "math/interpolate.hpp"
+
+namespace maps::solver {
+
+using maps::math::CplxGrid;
+using maps::math::RealGrid;
+
+namespace {
+
+fdfd::PmlSpec coarsened_pml(const fdfd::PmlSpec& pml, int factor) {
+  // Keep the physical PML thickness: the coarse cell is `factor` times
+  // larger, so the cell count shrinks accordingly (floor 4 keeps the
+  // absorber functional on very coarse grids).
+  fdfd::PmlSpec out = pml;
+  out.ncells = std::max(4, pml.ncells / factor);
+  return out;
+}
+
+}  // namespace
+
+CoarseGridBackend::CoarseGridBackend(const grid::GridSpec& spec, const RealGrid& eps,
+                                     double omega, const fdfd::PmlSpec& pml, int factor)
+    : fine_spec_(spec), fine_eps_(eps), omega_(omega), pml_(pml), factor_(factor) {
+  maps::require(factor >= 2, "CoarseGridBackend: factor must be >= 2");
+  maps::require(spec.nx >= 2 * factor && spec.ny >= 2 * factor,
+                "CoarseGridBackend: grid too small to coarsen");
+  coarse_spec_ = grid::GridSpec{spec.nx / factor, spec.ny / factor,
+                                spec.dl * static_cast<double>(factor)};
+  const RealGrid coarse_eps =
+      maps::math::bilinear_resample(eps, coarse_spec_.nx, coarse_spec_.ny);
+  inner_ = std::make_unique<DirectBandedBackend>(coarse_spec_, coarse_eps, omega,
+                                                 coarsened_pml(pml, factor));
+}
+
+std::vector<cplx> CoarseGridBackend::restrict_rhs(const std::vector<cplx>& rhs) const {
+  maps::require(static_cast<index_t>(rhs.size()) == fine_spec_.cells(),
+                "CoarseGridBackend: rhs size mismatch");
+  const CplxGrid fine(fine_spec_.nx, fine_spec_.ny, rhs);
+  return maps::math::bilinear_resample(fine, coarse_spec_.nx, coarse_spec_.ny)
+      .data();
+}
+
+std::vector<cplx> CoarseGridBackend::prolongate(std::vector<cplx> coarse) const {
+  const CplxGrid cg(coarse_spec_.nx, coarse_spec_.ny, std::move(coarse));
+  return maps::math::bilinear_resample(cg, fine_spec_.nx, fine_spec_.ny).data();
+}
+
+std::vector<cplx> CoarseGridBackend::solve(const std::vector<cplx>& rhs) {
+  return prolongate(inner_->solve(restrict_rhs(rhs)));
+}
+
+std::vector<cplx> CoarseGridBackend::solve_transposed(const std::vector<cplx>& rhs) {
+  return prolongate(inner_->solve_transposed(restrict_rhs(rhs)));
+}
+
+std::vector<std::vector<cplx>> CoarseGridBackend::solve_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  std::vector<std::vector<cplx>> restricted(rhs.size());
+  for (std::size_t i = 0; i < rhs.size(); ++i) restricted[i] = restrict_rhs(rhs[i]);
+  auto coarse = inner_->solve_batch(restricted);
+  std::vector<std::vector<cplx>> out(coarse.size());
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    out[i] = prolongate(std::move(coarse[i]));
+  }
+  return out;
+}
+
+std::vector<std::vector<cplx>> CoarseGridBackend::solve_transposed_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  std::vector<std::vector<cplx>> restricted(rhs.size());
+  for (std::size_t i = 0; i < rhs.size(); ++i) restricted[i] = restrict_rhs(rhs[i]);
+  auto coarse = inner_->solve_transposed_batch(restricted);
+  std::vector<std::vector<cplx>> out(coarse.size());
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    out[i] = prolongate(std::move(coarse[i]));
+  }
+  return out;
+}
+
+const fdfd::FdfdOperator& CoarseGridBackend::op() const {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  if (!fine_op_) {
+    fine_op_ = fdfd::assemble(fine_spec_, fine_eps_, omega_, pml_);
+  }
+  return *fine_op_;
+}
+
+}  // namespace maps::solver

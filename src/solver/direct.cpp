@@ -1,0 +1,87 @@
+#include "solver/direct.hpp"
+
+#include <algorithm>
+
+#include "math/csr.hpp"
+#include "math/parallel.hpp"
+
+namespace maps::solver {
+
+DirectBandedBackend::DirectBandedBackend(const grid::GridSpec& spec,
+                                         const maps::math::RealGrid& eps, double omega,
+                                         const fdfd::PmlSpec& pml)
+    : op_(fdfd::assemble(spec, eps, omega, pml)) {}
+
+DirectBandedBackend::DirectBandedBackend(fdfd::FdfdOperator op) : op_(std::move(op)) {}
+
+void DirectBandedBackend::factorize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!lu_) {
+    lu_ = maps::math::to_band(op_.A);
+    lu_->factorize();
+    ++factorizations_;
+  }
+}
+
+std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
+  factorize();
+  ++solves_;
+  return lu_->solve(rhs);
+}
+
+std::vector<cplx> DirectBandedBackend::solve_transposed(const std::vector<cplx>& rhs) {
+  factorize();
+  ++solves_;
+  return lu_->solve_transposed(rhs);
+}
+
+std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
+    std::span<const std::vector<cplx>> rhs, bool transposed) {
+  factorize();
+  solves_ += static_cast<int>(rhs.size());
+  std::vector<std::vector<cplx>> out(rhs.begin(), rhs.end());
+  if (out.empty()) return out;
+
+  // Split the batch into one contiguous slice per worker; each slice runs the
+  // multi-RHS sweep, so with a single thread the whole batch still shares one
+  // pass over the factors.
+  const std::size_t n_slices =
+      std::min<std::size_t>(out.size(), std::max<std::size_t>(1, maps::math::num_threads()));
+  const std::size_t per_slice = (out.size() + n_slices - 1) / n_slices;
+  // Exceptions must not escape into pool workers (the pool has no unwind
+  // path); capture the first one and rethrow on the calling thread.
+  std::mutex err_mu;
+  std::string first_error;
+  maps::math::parallel_for(0, n_slices, [&](std::size_t s) {
+    const std::size_t lo = s * per_slice;
+    const std::size_t hi = std::min(out.size(), lo + per_slice);
+    if (lo >= hi) return;
+    try {
+      std::vector<std::vector<cplx>> slice(std::make_move_iterator(out.begin() + lo),
+                                           std::make_move_iterator(out.begin() + hi));
+      if (transposed) {
+        lu_->solve_transposed_multi_inplace(slice);
+      } else {
+        lu_->solve_multi_inplace(slice);
+      }
+      std::move(slice.begin(), slice.end(), out.begin() + lo);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.empty()) first_error = e.what();
+    }
+  });
+  if (!first_error.empty()) throw MapsError(first_error);
+  return out;
+}
+
+std::vector<std::vector<cplx>> DirectBandedBackend::solve_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  return batch_solve_impl(rhs, /*transposed=*/false);
+}
+
+std::vector<std::vector<cplx>> DirectBandedBackend::solve_transposed_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  return batch_solve_impl(rhs, /*transposed=*/true);
+}
+
+}  // namespace maps::solver

@@ -1,0 +1,80 @@
+#include "solver/iterative.hpp"
+
+#include "math/parallel.hpp"
+
+namespace maps::solver {
+
+IterativeBackend::IterativeBackend(const grid::GridSpec& spec,
+                                   const maps::math::RealGrid& eps, double omega,
+                                   const fdfd::PmlSpec& pml,
+                                   maps::math::BicgstabOptions options)
+    : op_(fdfd::assemble(spec, eps, omega, pml)), options_(options) {}
+
+IterativeBackend::IterativeBackend(fdfd::FdfdOperator op,
+                                   maps::math::BicgstabOptions options)
+    : op_(std::move(op)), options_(options) {}
+
+const maps::math::CsrCplx& IterativeBackend::transposed_op() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!At_) {
+    At_ = op_.A.transposed();
+    ++transpose_builds_;
+  }
+  return *At_;
+}
+
+std::vector<cplx> IterativeBackend::run(const maps::math::CsrCplx& A,
+                                        const std::vector<cplx>& rhs,
+                                        const char* what) {
+  auto res = maps::math::bicgstab(A, rhs, options_);
+  if (!res.converged) {
+    throw MapsError(std::string("IterativeBackend: ") + what +
+                    " BiCGSTAB did not converge (rel res " +
+                    std::to_string(res.relative_residual) + ")");
+  }
+  return std::move(res.x);
+}
+
+std::vector<cplx> IterativeBackend::solve(const std::vector<cplx>& rhs) {
+  ++solves_;
+  return run(op_.A, rhs, "forward");
+}
+
+std::vector<cplx> IterativeBackend::solve_transposed(const std::vector<cplx>& rhs) {
+  ++solves_;
+  return run(transposed_op(), rhs, "transposed");
+}
+
+// Krylov iterations fan out across the pool; run() can throw (non-
+// convergence) and the pool has no unwind path, so failures are captured and
+// rethrown on the calling thread.
+std::vector<std::vector<cplx>> IterativeBackend::run_batch(
+    const maps::math::CsrCplx& A, std::span<const std::vector<cplx>> rhs,
+    const char* what) {
+  solves_ += static_cast<int>(rhs.size());
+  std::vector<std::vector<cplx>> out(rhs.size());
+  std::mutex err_mu;
+  std::string first_error;
+  maps::math::parallel_for(0, rhs.size(), [&](std::size_t i) {
+    try {
+      out[i] = run(A, rhs[i], what);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.empty()) first_error = e.what();
+    }
+  });
+  if (!first_error.empty()) throw MapsError(first_error);
+  return out;
+}
+
+std::vector<std::vector<cplx>> IterativeBackend::solve_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  return run_batch(op_.A, rhs, "batch");
+}
+
+std::vector<std::vector<cplx>> IterativeBackend::solve_transposed_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  return run_batch(transposed_op(), rhs, "transposed batch");
+}
+
+}  // namespace maps::solver

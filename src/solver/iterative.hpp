@@ -1,0 +1,54 @@
+// Iterative (BiCGSTAB) backend: the Medium-fidelity path and the large-grid
+// fallback where a banded factorization would not fit.
+//
+// Transposed (adjoint) solves need the explicitly transposed CSR operator;
+// building it is O(nnz) with a full scatter pass, so it is constructed once
+// on first use and cached for every subsequent adjoint solve — previously
+// fdfd::Simulation rebuilt it per call. Batched solves run the independent
+// Krylov iterations across the thread pool.
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "solver/backend.hpp"
+
+namespace maps::solver {
+
+class IterativeBackend final : public SolverBackend {
+ public:
+  IterativeBackend(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
+                   double omega, const fdfd::PmlSpec& pml,
+                   maps::math::BicgstabOptions options = {});
+  IterativeBackend(fdfd::FdfdOperator op, maps::math::BicgstabOptions options = {});
+
+  std::string name() const override { return "iterative_bicgstab"; }
+  void factorize() override {}  // nothing to prepare
+  std::vector<cplx> solve(const std::vector<cplx>& rhs) override;
+  std::vector<cplx> solve_transposed(const std::vector<cplx>& rhs) override;
+  std::vector<std::vector<cplx>> solve_batch(
+      std::span<const std::vector<cplx>> rhs) override;
+  std::vector<std::vector<cplx>> solve_transposed_batch(
+      std::span<const std::vector<cplx>> rhs) override;
+  const fdfd::FdfdOperator& op() const override { return op_; }
+
+  /// How many times the transposed operator was constructed (the cached
+  /// answer is 1 no matter how many adjoint solves ran).
+  int transpose_builds() const { return transpose_builds_; }
+
+ private:
+  const maps::math::CsrCplx& transposed_op();
+  std::vector<cplx> run(const maps::math::CsrCplx& A, const std::vector<cplx>& rhs,
+                        const char* what);
+  std::vector<std::vector<cplx>> run_batch(const maps::math::CsrCplx& A,
+                                           std::span<const std::vector<cplx>> rhs,
+                                           const char* what);
+
+  fdfd::FdfdOperator op_;
+  maps::math::BicgstabOptions options_;
+  std::mutex mu_;
+  std::optional<maps::math::CsrCplx> At_;  // cached explicit transpose
+  int transpose_builds_ = 0;
+};
+
+}  // namespace maps::solver

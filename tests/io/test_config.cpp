@@ -131,3 +131,56 @@ TEST(Config, InvDesRoundTrip) {
   EXPECT_EQ(back.init, "gray");
   EXPECT_EQ(back.density_out, "rho.csv");
 }
+
+TEST(Config, SolverFidelityStringSelectsBackend) {
+  // "fidelity": "low" is the config spelling of the coarse-grid low-fidelity
+  // solve path; numbers keep their legacy resolution-multiplier meaning.
+  const auto lo = mio::InvDesConfig::from_json(mio::json_parse(R"({"fidelity": "low"})"));
+  EXPECT_EQ(lo.fidelity, 1);
+  EXPECT_EQ(lo.solver.fidelity, maps::solver::FidelityLevel::Low);
+  EXPECT_EQ(lo.solver.config.kind, maps::solver::SolverKind::CoarseGrid);
+
+  const auto med =
+      mio::DataGenConfig::from_json(mio::json_parse(R"({"fidelity": "medium"})"));
+  EXPECT_EQ(med.solver.config.kind, maps::solver::SolverKind::Iterative);
+
+  const auto res = mio::DataGenConfig::from_json(mio::json_parse(R"({"fidelity": 2})"));
+  EXPECT_EQ(res.fidelity, 2);
+  EXPECT_EQ(res.solver.config.kind, maps::solver::SolverKind::Direct);
+
+  EXPECT_THROW(mio::InvDesConfig::from_json(mio::json_parse(R"({"fidelity": "ultra"})")),
+               maps::MapsError);
+}
+
+TEST(Config, SolverOverridesAndRoundTrip) {
+  const auto cfg = mio::InvDesConfig::from_json(mio::json_parse(
+      R"({"solver": "iterative", "solver_rtol": 1e-5, "solver_max_iters": 321,
+          "cache_capacity": 3})"));
+  EXPECT_EQ(cfg.solver.config.kind, maps::solver::SolverKind::Iterative);
+  EXPECT_DOUBLE_EQ(cfg.solver.config.iterative.rtol, 1e-5);
+  EXPECT_EQ(cfg.solver.config.iterative.max_iters, 321);
+  EXPECT_EQ(cfg.solver.cache_capacity, 3);
+
+  const auto back = mio::InvDesConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.solver.config.kind, cfg.solver.config.kind);
+  EXPECT_DOUBLE_EQ(back.solver.config.iterative.rtol, 1e-5);
+  EXPECT_EQ(back.solver.cache_capacity, 3);
+
+  EXPECT_THROW(mio::InvDesConfig::from_json(mio::json_parse(R"({"solver": "quantum"})")),
+               maps::MapsError);
+  EXPECT_THROW(
+      mio::InvDesConfig::from_json(mio::json_parse(R"({"coarse_factor": 1})")),
+      maps::MapsError);
+}
+
+TEST(Config, ApplySolverSettingsConfiguresDevice) {
+  auto device = maps::devices::make_device(maps::devices::DeviceKind::Bend);
+  mio::SolverSettings settings;
+  settings.fidelity = maps::solver::FidelityLevel::Low;
+  settings.config = maps::solver::SolverConfig::for_fidelity(settings.fidelity);
+  settings.cache_capacity = 5;
+  mio::apply_solver_settings(device, settings);
+  EXPECT_EQ(device.sim_options.solver, maps::solver::SolverKind::CoarseGrid);
+  ASSERT_NE(device.solver_cache, nullptr);
+  EXPECT_EQ(device.solver_cache->capacity(), 5u);
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run the perf microbenchmarks and emit machine-readable timing JSON
+# (BENCH_kernels.json / BENCH_speedup.json) for regression tracking.
+#
+# Usage: tools/run_benches.sh [build_dir] [output_dir]
+#   build_dir   cmake build tree containing the bench binaries (default: build)
+#   output_dir  where BENCH_*.json land (default: .)
+#
+# MAPS_BENCH_FILTER can narrow the run, e.g.
+#   MAPS_BENCH_FILTER=Banded tools/run_benches.sh
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+FILTER="${MAPS_BENCH_FILTER:-}"
+
+run_bench() {
+  local name="$1" binary="$2" out="$3"
+  if [[ ! -x "$binary" ]]; then
+    echo "[run_benches] skip $name: $binary not built" >&2
+    return 0
+  fi
+  local args=(--benchmark_format=json --benchmark_out="$out"
+              --benchmark_out_format=json)
+  if [[ -n "$FILTER" ]]; then
+    args+=("--benchmark_filter=$FILTER")
+  fi
+  echo "[run_benches] $name -> $out"
+  "$binary" "${args[@]}" >/dev/null
+}
+
+mkdir -p "$OUT_DIR"
+run_bench kernels "$BUILD_DIR/bench_perf_kernels" "$OUT_DIR/BENCH_kernels.json"
+run_bench speedup "$BUILD_DIR/bench_perf_speedup" "$OUT_DIR/BENCH_speedup.json"
+
+echo "[run_benches] done"

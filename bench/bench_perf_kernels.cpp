@@ -1,13 +1,17 @@
 // google-benchmark microbenchmarks for the numerical substrates: banded LU,
-// FDFD assembly, FFT, spectral/standard convolution, blur, mode solver.
+// FDFD assembly, FFT, GEMM, spectral/standard convolution (direct reference
+// vs im2col+GEMM), blur, mode solver, and an end-to-end NN training step.
 #include <benchmark/benchmark.h>
 
 #include "fdfd/assembler.hpp"
 #include "fdfd/mode_solver.hpp"
 #include "math/banded.hpp"
 #include "math/fft.hpp"
+#include "math/gemm.hpp"
 #include "math/rng.hpp"
 #include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "nn/optim.hpp"
 #include "nn/spectral.hpp"
 #include "param/blur.hpp"
 
@@ -123,6 +127,215 @@ static void BM_Conv2d(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2d)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------ GEMM kernels
+
+static void BM_Sgemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  math::Rng rng(11);
+  std::vector<float> A(static_cast<std::size_t>(n * n)), B(A.size()), C(A.size());
+  for (auto& v : A) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : B) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    math::sgemm(math::Trans::No, math::Trans::No, n, n, n, 1.0f, A.data(), n,
+                B.data(), n, 0.0f, C.data(), n);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_Sgemm)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+static void BM_SgemmConvShape(benchmark::State& state) {
+  // The exact GEMM the 3x3/32ch/64x64 conv forward lowers onto.
+  const index_t M = 32, N = 64 * 64, K = 32 * 9;
+  math::Rng rng(13);
+  std::vector<float> A(static_cast<std::size_t>(M * K)),
+      B(static_cast<std::size_t>(K * N)), C(static_cast<std::size_t>(M * N));
+  for (auto& v : A) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : B) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    math::sgemm(math::Trans::No, math::Trans::No, M, N, K, 1.0f, A.data(), K,
+                B.data(), N, 0.0f, C.data(), N);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(M) * N * K * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_SgemmConvShape)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------- direct vs im2col+GEMM convolution
+
+namespace {
+
+// The seed's direct Conv2d loops (multi-index arithmetic, bounds checks in
+// the innermost loop), kept verbatim as the baseline the ROADMAP speedup
+// target is measured against.
+struct DirectConvRef {
+  index_t c_in, c_out, k;
+  nn::Tensor w, b;
+
+  DirectConvRef(index_t ci, index_t co, index_t kk, math::Rng& rng)
+      : c_in(ci), c_out(co), k(kk), w({co, ci, kk, kk}), b({co}) {
+    for (index_t i = 0; i < w.numel(); ++i) {
+      w[i] = static_cast<float>(rng.uniform(-0.1, 0.1));
+    }
+  }
+
+  nn::Tensor forward(const nn::Tensor& x) const {
+    const index_t N = x.size(0), H = x.size(2), W = x.size(3), r = k / 2;
+    nn::Tensor y({N, c_out, H, W});
+    for (index_t n = 0; n < N; ++n) {
+      for (index_t co_i = 0; co_i < c_out; ++co_i) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t ww = 0; ww < W; ++ww) {
+            float s = b[co_i];
+            for (index_t ci = 0; ci < c_in; ++ci) {
+              for (index_t kh = 0; kh < k; ++kh) {
+                const index_t hh = h + kh - r;
+                if (hh < 0 || hh >= H) continue;
+                for (index_t kw = 0; kw < k; ++kw) {
+                  const index_t wc = ww + kw - r;
+                  if (wc < 0 || wc >= W) continue;
+                  s += w.at(co_i, ci, kh, kw) * x.at(n, ci, hh, wc);
+                }
+              }
+            }
+            y.at(n, co_i, h, ww) = s;
+          }
+        }
+      }
+    }
+    return y;
+  }
+
+  // Weight/bias/input gradients with the seed's loop structure.
+  nn::Tensor backward(const nn::Tensor& x, const nn::Tensor& gy, nn::Tensor& dw,
+                      nn::Tensor& db) const {
+    const index_t N = x.size(0), H = x.size(2), W = x.size(3), r = k / 2;
+    for (index_t co_i = 0; co_i < c_out; ++co_i) {
+      double s = 0.0;
+      for (index_t n = 0; n < N; ++n) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t ww = 0; ww < W; ++ww) s += gy.at(n, co_i, h, ww);
+        }
+      }
+      db[co_i] += static_cast<float>(s);
+    }
+    for (index_t co_i = 0; co_i < c_out; ++co_i) {
+      for (index_t ci = 0; ci < c_in; ++ci) {
+        for (index_t kh = 0; kh < k; ++kh) {
+          for (index_t kw = 0; kw < k; ++kw) {
+            double s = 0.0;
+            for (index_t n = 0; n < N; ++n) {
+              for (index_t h = 0; h < H; ++h) {
+                const index_t hh = h + kh - r;
+                if (hh < 0 || hh >= H) continue;
+                for (index_t ww = 0; ww < W; ++ww) {
+                  const index_t wc = ww + kw - r;
+                  if (wc < 0 || wc >= W) continue;
+                  s += gy.at(n, co_i, h, ww) * x.at(n, ci, hh, wc);
+                }
+              }
+            }
+            dw.at(co_i, ci, kh, kw) += static_cast<float>(s);
+          }
+        }
+      }
+    }
+    nn::Tensor gx({N, c_in, H, W});
+    for (index_t n = 0; n < N; ++n) {
+      for (index_t ci = 0; ci < c_in; ++ci) {
+        for (index_t h = 0; h < H; ++h) {
+          for (index_t ww = 0; ww < W; ++ww) {
+            float s = 0.0f;
+            for (index_t co_i = 0; co_i < c_out; ++co_i) {
+              for (index_t kh = 0; kh < k; ++kh) {
+                const index_t ho = h - (kh - r);
+                if (ho < 0 || ho >= H) continue;
+                for (index_t kw = 0; kw < k; ++kw) {
+                  const index_t wo = ww - (kw - r);
+                  if (wo < 0 || wo >= W) continue;
+                  s += w.at(co_i, ci, kh, kw) * gy.at(n, co_i, ho, wo);
+                }
+              }
+            }
+            gx.at(n, ci, h, ww) = s;
+          }
+        }
+      }
+    }
+    return gx;
+  }
+};
+
+nn::Tensor conv_bench_input(unsigned seed) {
+  math::Rng rng(seed);
+  nn::Tensor x({4, 32, 64, 64});
+  for (index_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  return x;
+}
+
+}  // namespace
+
+static void BM_Conv2dDirectFwdBwd(benchmark::State& state) {
+  // Baseline: seed direct loops, 3x3 kernel, 32 channels, 64x64 grid.
+  math::Rng rng(17);
+  DirectConvRef conv(32, 32, 3, rng);
+  const nn::Tensor x = conv_bench_input(19);
+  const nn::Tensor gy = conv_bench_input(23);
+  nn::Tensor dw = nn::Tensor::zeros_like(conv.w), db({32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+    benchmark::DoNotOptimize(conv.backward(x, gy, dw, db));
+  }
+}
+BENCHMARK(BM_Conv2dDirectFwdBwd)->Unit(benchmark::kMillisecond);
+
+static void BM_Conv2dGemmFwdBwd(benchmark::State& state) {
+  // The im2col+GEMM path on the identical problem.
+  math::Rng rng(17);
+  nn::Conv2d conv(32, 32, 3, rng);
+  const nn::Tensor x = conv_bench_input(19);
+  const nn::Tensor gy = conv_bench_input(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+    benchmark::DoNotOptimize(conv.backward(gy));
+  }
+}
+BENCHMARK(BM_Conv2dGemmFwdBwd)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------- training-step e2e
+
+static void BM_TrainStep(benchmark::State& state) {
+  // One optimizer step of the FNO surrogate on a synthetic batch: forward,
+  // NMSE-style gradient, backward, Adam update — the inner loop of
+  // MAPS-Train, end to end.
+  math::Rng rng(29);
+  nn::Fno2d model(4, 2, /*width=*/16, /*modes=*/8, /*depth=*/2, rng);
+  nn::Tensor x({4, 4, 32, 32}), target({4, 2, 32, 32});
+  for (index_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.uniform(-1, 1));
+  for (index_t i = 0; i < target.numel(); ++i) {
+    target[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  nn::Adam adam(model.parameters());
+  for (auto _ : state) {
+    model.zero_grad();
+    nn::Tensor pred = model.forward(x);
+    nn::Tensor g = nn::Tensor::zeros_like(pred);
+    for (index_t i = 0; i < g.numel(); ++i) g[i] = pred[i] - target[i];
+    model.backward(g);
+    adam.step();
+    benchmark::DoNotOptimize(pred);
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      4.0 * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
 
 static void BM_SpectralConv2d(benchmark::State& state) {
   math::Rng rng(9);

@@ -93,11 +93,15 @@ int read_solver_settings(FieldReader& r, SolverSettings& s, const char* scope) {
       r.integer("solver_max_iters", s.config.iterative.max_iters);
   s.config.coarse_factor = r.integer("coarse_factor", s.config.coarse_factor);
   s.cache_capacity = r.integer("cache_capacity", s.cache_capacity);
+  s.cache_capacity_mb = r.integer("cache_capacity_mb", s.cache_capacity_mb);
   if (s.config.coarse_factor < 2) {
     throw MapsError(std::string(scope) + ": coarse_factor must be >= 2");
   }
   if (s.cache_capacity < 1) {
     throw MapsError(std::string(scope) + ": cache_capacity must be >= 1");
+  }
+  if (s.cache_capacity_mb < 0) {
+    throw MapsError(std::string(scope) + ": cache_capacity_mb must be >= 0");
   }
   check_positive(s.config.iterative.rtol, "solver_rtol");
   check_positive(s.config.iterative.max_iters, "solver_max_iters");
@@ -111,6 +115,7 @@ void write_solver_settings(JsonValue& v, const SolverSettings& s) {
   v["solver_max_iters"] = s.config.iterative.max_iters;
   v["coarse_factor"] = s.config.coarse_factor;
   v["cache_capacity"] = s.cache_capacity;
+  v["cache_capacity_mb"] = s.cache_capacity_mb;
 }
 
 }  // namespace
@@ -126,6 +131,8 @@ void apply_solver_settings(devices::DeviceProblem& device,
     device.solver_cache = std::make_shared<solver::FactorizationCache>(
         static_cast<std::size_t>(settings.cache_capacity));
   }
+  device.solver_cache->set_capacity_bytes(
+      static_cast<std::size_t>(settings.cache_capacity_mb) * (std::size_t{1} << 20));
 }
 
 devices::DeviceKind device_kind_from_name(const std::string& name) {

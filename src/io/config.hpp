@@ -31,11 +31,13 @@ const char* model_kind_name(nn::ModelKind kind);
 /// fidelity level (low = coarse-grid, medium = iterative, high = direct).
 /// "solver" overrides the kind directly; "solver_rtol" / "solver_max_iters"
 /// tune the iterative backend, "coarse_factor" the coarse-grid backend and
-/// "cache_capacity" the device factorization cache.
+/// "cache_capacity" (entries) / "cache_capacity_mb" (factor-byte budget,
+/// 0 = unlimited) the device factorization cache.
 struct SolverSettings {
   solver::FidelityLevel fidelity = solver::FidelityLevel::High;
   solver::SolverConfig config;  // kind follows fidelity unless "solver" given
   int cache_capacity = 8;
+  int cache_capacity_mb = 0;  // memory-aware eviction budget; 0 = unlimited
 };
 
 /// Push parsed solver settings into a built device (backend kind, iterative

@@ -24,6 +24,20 @@ std::vector<cplx> ifft(std::vector<cplx> x);
 CplxGrid fft2(const CplxGrid& g);
 CplxGrid ifft2(const CplxGrid& g);
 
+/// In-place 2D transform (no grid copy; twiddle tables fetched once).
+void fft2_inplace(CplxGrid& g, bool inverse);
+
+/// Batched in-place 2D transforms over equally-shaped grids. The twiddle /
+/// plan state is fetched once for the whole batch and the independent
+/// transforms are spread across the thread pool — the execution model the
+/// spectral-conv layers use for their (N * C) transform batches.
+void fft2_batch_inplace(std::vector<CplxGrid>& grids, bool inverse);
+
+/// Batched in-place 1D transforms of every line along x (rows) or y
+/// (columns) of each grid — the factorized F-FNO path.
+void fft1_lines_batch_inplace(std::vector<CplxGrid>& grids, bool along_x,
+                              bool inverse);
+
 /// Real-input helper: promotes to complex and runs fft2.
 CplxGrid rfft2(const RealGrid& g);
 

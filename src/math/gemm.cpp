@@ -1,0 +1,220 @@
+#include "math/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "math/parallel.hpp"
+
+namespace maps::math {
+
+namespace {
+
+// Block sizes: a (kKC x kNC) panel of B (~512 KB) lives in L2 while a quad of
+// C rows (4 * kNC floats = 8 KB) stays L1-resident across the K sweep.
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 512;
+constexpr index_t kMR = 4;  // rows of C updated per micro-kernel pass
+
+/// Pack op(X) (rows x cols) into a contiguous row-major buffer.
+void pack_op(Trans t, const float* X, index_t rows, index_t cols, index_t ldx,
+             float* out) {
+  if (t == Trans::No) {
+    for (index_t r = 0; r < rows; ++r) {
+      std::memcpy(out + r * cols, X + r * ldx,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+    return;
+  }
+  // Transpose in 32x32 tiles so both source and destination touch whole
+  // cache lines.
+  constexpr index_t kTile = 32;
+  for (index_t r0 = 0; r0 < rows; r0 += kTile) {
+    const index_t r1 = std::min(rows, r0 + kTile);
+    for (index_t c0 = 0; c0 < cols; c0 += kTile) {
+      const index_t c1 = std::min(cols, c0 + kTile);
+      for (index_t r = r0; r < r1; ++r) {
+        for (index_t c = c0; c < c1; ++c) out[r * cols + c] = X[c * ldx + r];
+      }
+    }
+  }
+}
+
+void scale_rows(float* C, index_t ldc, index_t rows, index_t N, float beta) {
+  for (index_t r = 0; r < rows; ++r) {
+    float* c = C + r * ldc;
+    if (beta == 0.0f) {
+      std::memset(c, 0, static_cast<std::size_t>(N) * sizeof(float));
+    } else {
+      for (index_t j = 0; j < N; ++j) c[j] *= beta;
+    }
+  }
+}
+
+/// Core kernel over contiguous row-major A (M x K) and B (K x N). C rows in
+/// [i_begin, i_end) are scaled by beta then accumulated; alpha is folded into
+/// the broadcast A loads so the inner loop is a pure fused multiply-add.
+void gemm_rows(index_t i_begin, index_t i_end, index_t N, index_t K, float alpha,
+               const float* A, const float* B, float beta, float* C, index_t ldc) {
+  scale_rows(C + i_begin * ldc, ldc, i_end - i_begin, N, beta);
+  if (alpha == 0.0f || K == 0) return;
+
+  for (index_t i0 = i_begin; i0 < i_end; i0 += kMR) {
+    const index_t ir = std::min<index_t>(kMR, i_end - i0);
+    for (index_t j0 = 0; j0 < N; j0 += kNC) {
+      const index_t jn = std::min(kNC, N - j0);
+      for (index_t k0 = 0; k0 < K; k0 += kKC) {
+        const index_t k1 = std::min(K, k0 + kKC);
+        if (ir == kMR) {
+          float* __restrict c0 = C + (i0 + 0) * ldc + j0;
+          float* __restrict c1 = C + (i0 + 1) * ldc + j0;
+          float* __restrict c2 = C + (i0 + 2) * ldc + j0;
+          float* __restrict c3 = C + (i0 + 3) * ldc + j0;
+          for (index_t k = k0; k < k1; ++k) {
+            const float* __restrict b = B + k * N + j0;
+            const float a0 = alpha * A[(i0 + 0) * K + k];
+            const float a1 = alpha * A[(i0 + 1) * K + k];
+            const float a2 = alpha * A[(i0 + 2) * K + k];
+            const float a3 = alpha * A[(i0 + 3) * K + k];
+            for (index_t j = 0; j < jn; ++j) {
+              c0[j] += a0 * b[j];
+              c1[j] += a1 * b[j];
+              c2[j] += a2 * b[j];
+              c3[j] += a3 * b[j];
+            }
+          }
+        } else {
+          for (index_t i = i0; i < i0 + ir; ++i) {
+            float* __restrict c = C + i * ldc + j0;
+            for (index_t k = k0; k < k1; ++k) {
+              const float* __restrict b = B + k * N + j0;
+              const float a = alpha * A[i * K + k];
+              for (index_t j = 0; j < jn; ++j) c[j] += a * b[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+void naive_gemm(Trans trans_a, Trans trans_b, index_t M, index_t N, index_t K,
+                float alpha, const float* A, index_t lda, const float* B,
+                index_t ldb, float beta, float* C, index_t ldc) {
+  for (index_t i = 0; i < M; ++i) {
+    for (index_t j = 0; j < N; ++j) {
+      double s = 0.0;
+      for (index_t k = 0; k < K; ++k) {
+        const float a = trans_a == Trans::No ? A[i * lda + k] : A[k * lda + i];
+        const float b = trans_b == Trans::No ? B[k * ldb + j] : B[j * ldb + k];
+        s += static_cast<double>(a) * b;
+      }
+      C[i * ldc + j] = alpha * static_cast<float>(s) + beta * C[i * ldc + j];
+    }
+  }
+}
+}  // namespace detail
+
+void sgemm(Trans trans_a, Trans trans_b, index_t M, index_t N, index_t K,
+           float alpha, const float* A, index_t lda, const float* B, index_t ldb,
+           float beta, float* C, index_t ldc) {
+  if (M <= 0 || N <= 0) return;
+  if (K <= 0 || alpha == 0.0f) {
+    scale_rows(C, ldc, M, N, beta);
+    return;
+  }
+
+  // The kernel wants tightly packed row-major operands; reuse the caller's
+  // storage when it already is, otherwise pack (transposing if requested).
+  std::vector<float> a_buf, b_buf;
+  const float* Ap = A;
+  if (trans_a == Trans::Yes || lda != K) {
+    a_buf.resize(static_cast<std::size_t>(M) * K);
+    pack_op(trans_a, A, M, K, lda, a_buf.data());
+    Ap = a_buf.data();
+  }
+  const float* Bp = B;
+  if (trans_b == Trans::Yes || ldb != N) {
+    b_buf.resize(static_cast<std::size_t>(K) * N);
+    pack_op(trans_b, B, K, N, ldb, b_buf.data());
+    Bp = b_buf.data();
+  }
+
+  // One chunk = a run of whole micro-kernel quads, so no two threads share a
+  // C row. The quad count is the parallel iteration space.
+  const index_t quads = (M + kMR - 1) / kMR;
+  parallel_for_chunked(0, static_cast<std::size_t>(quads),
+                       [&](std::size_t q0, std::size_t q1) {
+                         const index_t i_begin = static_cast<index_t>(q0) * kMR;
+                         const index_t i_end =
+                             std::min(M, static_cast<index_t>(q1) * kMR);
+                         gemm_rows(i_begin, i_end, N, K, alpha, Ap, Bp, beta, C,
+                                   ldc);
+                       });
+}
+
+void im2col(const float* x, index_t C, index_t H, index_t W, index_t k, float* col) {
+  const index_t r = k / 2;
+  const index_t hw = H * W;
+  for (index_t c = 0; c < C; ++c) {
+    const float* plane = x + c * hw;
+    for (index_t kh = 0; kh < k; ++kh) {
+      const index_t dh = kh - r;
+      for (index_t kw = 0; kw < k; ++kw) {
+        const index_t dw = kw - r;
+        float* row = col + ((c * k + kh) * k + kw) * hw;
+        // Source column range that stays in-bounds for this shift.
+        const index_t w_lo = std::max<index_t>(0, -dw);
+        const index_t w_hi = std::min(W, W - dw);
+        for (index_t h = 0; h < H; ++h) {
+          float* dst = row + h * W;
+          const index_t hh = h + dh;
+          if (hh < 0 || hh >= H) {
+            std::memset(dst, 0, static_cast<std::size_t>(W) * sizeof(float));
+            continue;
+          }
+          if (w_lo > 0) {
+            std::memset(dst, 0, static_cast<std::size_t>(w_lo) * sizeof(float));
+          }
+          if (w_hi > w_lo) {
+            std::memcpy(dst + w_lo, plane + hh * W + w_lo + dw,
+                        static_cast<std::size_t>(w_hi - w_lo) * sizeof(float));
+          }
+          if (w_hi < W) {
+            std::memset(dst + w_hi, 0,
+                        static_cast<std::size_t>(W - w_hi) * sizeof(float));
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, index_t C, index_t H, index_t W, index_t k, float* x) {
+  const index_t r = k / 2;
+  const index_t hw = H * W;
+  for (index_t c = 0; c < C; ++c) {
+    float* plane = x + c * hw;
+    for (index_t kh = 0; kh < k; ++kh) {
+      const index_t dh = kh - r;
+      for (index_t kw = 0; kw < k; ++kw) {
+        const index_t dw = kw - r;
+        const float* row = col + ((c * k + kh) * k + kw) * hw;
+        const index_t w_lo = std::max<index_t>(0, -dw);
+        const index_t w_hi = std::min(W, W - dw);
+        for (index_t h = 0; h < H; ++h) {
+          const index_t hh = h + dh;
+          if (hh < 0 || hh >= H || w_hi <= w_lo) continue;
+          const float* src = row + h * W + w_lo;
+          float* dst = plane + hh * W + w_lo + dw;
+          for (index_t w = 0; w < w_hi - w_lo; ++w) dst[w] += src[w];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace maps::math

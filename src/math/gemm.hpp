@@ -1,0 +1,47 @@
+// Dense single-precision kernels for the MAPS-Train neural substrate.
+//
+// sgemm is a cache-blocked, thread-tiled C = alpha*op(A)*op(B) + beta*C over
+// row-major storage. The kernel packs op(A)/op(B) into contiguous panels when
+// a transpose (or non-tight leading dimension) would otherwise stride the
+// inner loop, then runs a register-quad micro-kernel whose innermost loop is
+// a unit-stride multiply-accumulate the compiler auto-vectorizes. Rows of C
+// are distributed over the thread pool with parallel_for_chunked, so one
+// GEMM saturates the machine without caller-side batching tricks.
+//
+// im2col/col2im lower stride-1 zero-"same"-padded NCHW convolution onto that
+// GEMM: im2col unrolls one sample's (C, H, W) plane into a (C*k*k) x (H*W)
+// column matrix whose rows are shifted copies of the image (filled with
+// row-wise memcpy, no per-element bounds checks); col2im is its exact
+// adjoint (scatter-add), which is what the conv input-gradient needs.
+#pragma once
+
+#include "math/types.hpp"
+
+namespace maps::math {
+
+enum class Trans { No, Yes };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// op(A) is M x K, op(B) is K x N, C is M x N; all row-major with leading
+/// dimensions lda/ldb/ldc (of the *stored* matrices A, B, not of op(...)).
+void sgemm(Trans trans_a, Trans trans_b, index_t M, index_t N, index_t K,
+           float alpha, const float* A, index_t lda, const float* B, index_t ldb,
+           float beta, float* C, index_t ldc);
+
+/// Unroll one (C, H, W) image plane into col, a (C*k*k) x (H*W) row-major
+/// matrix for stride-1 convolution with zero "same" padding (odd k).
+/// col row (c*k*k + kh*k + kw) holds the image shifted by (kh - k/2, kw - k/2).
+void im2col(const float* x, index_t C, index_t H, index_t W, index_t k, float* col);
+
+/// Adjoint of im2col: accumulate col back into the (C, H, W) plane x.
+/// x must be zero-initialized by the caller (col2im adds into it).
+void col2im(const float* col, index_t C, index_t H, index_t W, index_t k, float* x);
+
+namespace detail {
+/// Unblocked reference GEMM (tests and fallback for degenerate shapes).
+void naive_gemm(Trans trans_a, Trans trans_b, index_t M, index_t N, index_t K,
+                float alpha, const float* A, index_t lda, const float* B,
+                index_t ldb, float beta, float* C, index_t ldc);
+}  // namespace detail
+
+}  // namespace maps::math

@@ -1,12 +1,16 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "math/gemm.hpp"
 #include "math/parallel.hpp"
 
 namespace maps::nn {
 
 using maps::math::parallel_for;
+using maps::math::parallel_for_chunked;
+using maps::math::Trans;
 
 // ------------------------------------------------------------------ Conv2d
 
@@ -23,30 +27,21 @@ Tensor Conv2d::forward(const Tensor& x) {
   require(x.ndim() == 4 && x.size(1) == c_in_, "Conv2d: bad input shape");
   x_cache_ = x;
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
-  const index_t r = k_ / 2;
+  const index_t hw = H * W;
+  const index_t ck2 = c_in_ * k_ * k_;
   Tensor y({N, c_out_, H, W});
-  parallel_for(0, static_cast<std::size_t>(N * c_out_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_out_;
-    const index_t co = static_cast<index_t>(idx) % c_out_;
-    const float bias = b_.value[co];
-    for (index_t h = 0; h < H; ++h) {
-      for (index_t w = 0; w < W; ++w) {
-        float s = bias;
-        for (index_t ci = 0; ci < c_in_; ++ci) {
-          for (index_t kh = 0; kh < k_; ++kh) {
-            const index_t hh = h + kh - r;
-            if (hh < 0 || hh >= H) continue;
-            for (index_t kw = 0; kw < k_; ++kw) {
-              const index_t ww = w + kw - r;
-              if (ww < 0 || ww >= W) continue;
-              s += w_.value.at(co, ci, kh, kw) * x.at(n, ci, hh, ww);
-            }
-          }
-        }
-        y.at(n, co, h, w) = s;
-      }
+  col_.resize(static_cast<std::size_t>(ck2 * hw));
+  const float* wp = w_.value.data();
+  for (index_t n = 0; n < N; ++n) {
+    maps::math::im2col(x.data() + n * c_in_ * hw, c_in_, H, W, k_, col_.data());
+    // Bias fills each output plane; the GEMM accumulates on top (beta = 1).
+    float* yn = y.data() + n * c_out_ * hw;
+    for (index_t co = 0; co < c_out_; ++co) {
+      std::fill(yn + co * hw, yn + (co + 1) * hw, b_.value[co]);
     }
-  });
+    maps::math::sgemm(Trans::No, Trans::No, c_out_, hw, ck2, 1.0f, wp, ck2,
+                      col_.data(), hw, 1.0f, yn, hw);
+  }
   return y;
 }
 
@@ -54,65 +49,38 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const Tensor& x = x_cache_;
   require(x.numel() > 0, "Conv2d::backward: call forward first");
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
-  const index_t r = k_ / 2;
+  const index_t hw = H * W;
+  const index_t ck2 = c_in_ * k_ * k_;
 
-  // Parameter gradients (accumulated; thread-parallel over (c_out, c_in)
-  // pairs so wide machines stay busy even for narrow layers).
+  // Bias gradient: per-channel reduction over every sample plane.
   parallel_for(0, static_cast<std::size_t>(c_out_), [&](std::size_t co_s) {
     const index_t co = static_cast<index_t>(co_s);
     double db = 0.0;
     for (index_t n = 0; n < N; ++n) {
-      for (index_t h = 0; h < H; ++h) {
-        for (index_t w = 0; w < W; ++w) db += grad_out.at(n, co, h, w);
-      }
+      const float* g = grad_out.data() + (n * c_out_ + co) * hw;
+      for (index_t i = 0; i < hw; ++i) db += g[i];
     }
     b_.grad[co] += static_cast<float>(db);
   });
-  parallel_for(0, static_cast<std::size_t>(c_out_ * c_in_), [&](std::size_t p) {
-    const index_t co = static_cast<index_t>(p) / c_in_;
-    const index_t ci = static_cast<index_t>(p) % c_in_;
-    for (index_t kh = 0; kh < k_; ++kh) {
-      for (index_t kw = 0; kw < k_; ++kw) {
-        double dw = 0.0;
-        for (index_t n = 0; n < N; ++n) {
-          for (index_t h = 0; h < H; ++h) {
-            const index_t hh = h + kh - r;
-            if (hh < 0 || hh >= H) continue;
-            const index_t w_lo = std::max<index_t>(0, r - kw);
-            const index_t w_hi = std::min(W, W + r - kw);
-            for (index_t w = w_lo; w < w_hi; ++w) {
-              dw += grad_out.at(n, co, h, w) * x.at(n, ci, hh, w + kw - r);
-            }
-          }
-        }
-        w_.grad.at(co, ci, kh, kw) += static_cast<float>(dw);
-      }
-    }
-  });
 
-  // Input gradient: full correlation with flipped kernel.
+  // Weight gradient dW += dY_n * col(x_n)^T and input gradient
+  // dX_n = col2im(W^T * dY_n), both as GEMMs over the per-sample column
+  // buffer (recomputed here rather than cached: one (c_in*k*k) x (H*W)
+  // buffer instead of N of them).
   Tensor gx({N, c_in_, H, W});
-  parallel_for(0, static_cast<std::size_t>(N * c_in_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_in_;
-    const index_t ci = static_cast<index_t>(idx) % c_in_;
-    for (index_t h = 0; h < H; ++h) {
-      for (index_t w = 0; w < W; ++w) {
-        float s = 0.0f;
-        for (index_t co = 0; co < c_out_; ++co) {
-          for (index_t kh = 0; kh < k_; ++kh) {
-            const index_t ho = h - (kh - r);
-            if (ho < 0 || ho >= H) continue;
-            for (index_t kw = 0; kw < k_; ++kw) {
-              const index_t wo = w - (kw - r);
-              if (wo < 0 || wo >= W) continue;
-              s += w_.value.at(co, ci, kh, kw) * grad_out.at(n, co, ho, wo);
-            }
-          }
-        }
-        gx.at(n, ci, h, w) = s;
-      }
-    }
-  });
+  col_.resize(static_cast<std::size_t>(ck2 * hw));
+  dcol_.resize(static_cast<std::size_t>(ck2 * hw));
+  const float* wp = w_.value.data();
+  for (index_t n = 0; n < N; ++n) {
+    const float* gy = grad_out.data() + n * c_out_ * hw;
+    maps::math::im2col(x.data() + n * c_in_ * hw, c_in_, H, W, k_, col_.data());
+    maps::math::sgemm(Trans::No, Trans::Yes, c_out_, ck2, hw, 1.0f, gy, hw,
+                      col_.data(), hw, 1.0f, w_.grad.data(), ck2);
+    maps::math::sgemm(Trans::Yes, Trans::No, ck2, hw, c_out_, 1.0f, wp, ck2, gy,
+                      hw, 0.0f, dcol_.data(), hw);
+    maps::math::col2im(dcol_.data(), c_in_, H, W, k_,
+                       gx.data() + n * c_in_ * hw);
+  }
   return gx;
 }
 
@@ -129,40 +97,32 @@ Tensor Linear::forward(const Tensor& x) {
   x_cache_ = x;
   const index_t N = x.size(0);
   Tensor y({N, f_out_});
+  // Y = X * W^T + b as one batched GEMM (bias seeds the output, beta = 1).
   for (index_t n = 0; n < N; ++n) {
-    for (index_t o = 0; o < f_out_; ++o) {
-      float s = b_.value[o];
-      for (index_t i = 0; i < f_in_; ++i) {
-        s += w_.value[o * f_in_ + i] * x[n * f_in_ + i];
-      }
-      y[n * f_out_ + o] = s;
-    }
+    std::copy(b_.value.data(), b_.value.data() + f_out_, y.data() + n * f_out_);
   }
+  maps::math::sgemm(Trans::No, Trans::Yes, N, f_out_, f_in_, 1.0f, x.data(),
+                    f_in_, w_.value.data(), f_in_, 1.0f, y.data(), f_out_);
   return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const Tensor& x = x_cache_;
   const index_t N = x.size(0);
+  // db = column sums of dY; dW += dY^T * X; dX = dY * W — two GEMMs and one
+  // reduction instead of per-sample loops.
   for (index_t n = 0; n < N; ++n) {
-    for (index_t o = 0; o < f_out_; ++o) {
-      const float g = grad_out[n * f_out_ + o];
-      b_.grad[o] += g;
-      for (index_t i = 0; i < f_in_; ++i) {
-        w_.grad[o * f_in_ + i] += g * x[n * f_in_ + i];
-      }
-    }
+    const float* g = grad_out.data() + n * f_out_;
+    float* db = b_.grad.data();
+    for (index_t o = 0; o < f_out_; ++o) db[o] += g[o];
   }
+  maps::math::sgemm(Trans::Yes, Trans::No, f_out_, f_in_, N, 1.0f,
+                    grad_out.data(), f_out_, x.data(), f_in_, 1.0f,
+                    w_.grad.data(), f_in_);
   Tensor gx({N, f_in_});
-  for (index_t n = 0; n < N; ++n) {
-    for (index_t i = 0; i < f_in_; ++i) {
-      float s = 0.0f;
-      for (index_t o = 0; o < f_out_; ++o) {
-        s += w_.value[o * f_in_ + i] * grad_out[n * f_out_ + o];
-      }
-      gx[n * f_in_ + i] = s;
-    }
-  }
+  maps::math::sgemm(Trans::No, Trans::No, N, f_in_, f_out_, 1.0f,
+                    grad_out.data(), f_out_, w_.value.data(), f_in_, 0.0f,
+                    gx.data(), f_in_);
   return gx;
 }
 

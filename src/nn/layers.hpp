@@ -7,6 +7,12 @@
 namespace maps::nn {
 
 /// 2D convolution, stride 1, zero "same" padding (odd kernel).
+///
+/// Forward and backward are lowered onto the GEMM substrate (math/gemm.hpp):
+/// per sample, im2col unrolls the input into a (c_in*k*k) x (H*W) column
+/// matrix, the forward is one GEMM against the (c_out, c_in*k*k) weight
+/// matrix, the weight gradient is a GEMM over the same column buffer and the
+/// input gradient is a transposed GEMM followed by col2im.
 class Conv2d final : public Module {
  public:
   Conv2d(index_t c_in, index_t c_out, index_t k, maps::math::Rng& rng,
@@ -26,6 +32,9 @@ class Conv2d final : public Module {
   Param w_;  // (c_out, c_in, k, k)
   Param b_;  // (c_out)
   Tensor x_cache_;
+  // Per-sample im2col scratch, reused across samples and steps ((c_in*k*k) x
+  // (H*W) floats — the memory cost of the GEMM lowering).
+  std::vector<float> col_, dcol_;
 };
 
 /// Fully connected layer on (N, F) tensors.

@@ -2,7 +2,16 @@
 
 #include <cmath>
 
+#include "math/parallel.hpp"
+
 namespace maps::nn {
+
+namespace {
+// Update loops run as flat raw-pointer passes chunked over the thread pool;
+// parameters big enough to matter (conv/spectral weights) get split across
+// workers, tiny ones stay on one thread.
+constexpr std::size_t kMinChunk = 4096;
+}  // namespace
 
 Adam::Adam(std::vector<Param*> params, AdamOptions options)
     : params_(std::move(params)), options_(options) {
@@ -16,22 +25,32 @@ Adam::Adam(std::vector<Param*> params, AdamOptions options)
 
 void Adam::step() {
   ++t_;
-  const double bc1 = 1.0 - std::pow(options_.beta1, t_);
-  const double bc2 = 1.0 - std::pow(options_.beta2, t_);
+  const float bc1 = static_cast<float>(1.0 - std::pow(options_.beta1, t_));
+  const float bc2 = static_cast<float>(1.0 - std::pow(options_.beta2, t_));
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float lr = static_cast<float>(options_.lr);
+  const float eps = static_cast<float>(options_.eps);
+  const float wd = static_cast<float>(options_.weight_decay);
   for (std::size_t k = 0; k < params_.size(); ++k) {
     Param* p = params_[k];
-    for (index_t i = 0; i < p->value.numel(); ++i) {
-      double g = p->grad[i];
-      if (options_.weight_decay > 0.0) g += options_.weight_decay * p->value[i];
-      auto& m = m_[k][static_cast<std::size_t>(i)];
-      auto& v = v_[k][static_cast<std::size_t>(i)];
-      m = static_cast<float>(options_.beta1 * m + (1.0 - options_.beta1) * g);
-      v = static_cast<float>(options_.beta2 * v + (1.0 - options_.beta2) * g * g);
-      const double mhat = m / bc1;
-      const double vhat = v / bc2;
-      p->value[i] -= static_cast<float>(options_.lr * mhat /
-                                        (std::sqrt(vhat) + options_.eps));
-    }
+    float* __restrict w = p->value.data();
+    const float* __restrict g = p->grad.data();
+    float* __restrict m = m_[k].data();
+    float* __restrict v = v_[k].data();
+    maps::math::parallel_for_chunked(
+        0, static_cast<std::size_t>(p->value.numel()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float gi = wd > 0.0f ? g[i] + wd * w[i] : g[i];
+            m[i] = b1 * m[i] + (1.0f - b1) * gi;
+            v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+            const float mhat = m[i] / bc1;
+            const float vhat = v[i] / bc2;
+            w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+          }
+        },
+        kMinChunk);
   }
 }
 
@@ -47,13 +66,22 @@ Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
 }
 
 void Sgd::step() {
+  const float lr = static_cast<float>(lr_);
+  const float mom = static_cast<float>(momentum_);
   for (std::size_t k = 0; k < params_.size(); ++k) {
     Param* p = params_[k];
-    for (index_t i = 0; i < p->value.numel(); ++i) {
-      auto& v = vel_[k][static_cast<std::size_t>(i)];
-      v = static_cast<float>(momentum_ * v + p->grad[i]);
-      p->value[i] -= static_cast<float>(lr_ * v);
-    }
+    float* __restrict w = p->value.data();
+    const float* __restrict g = p->grad.data();
+    float* __restrict v = vel_[k].data();
+    maps::math::parallel_for_chunked(
+        0, static_cast<std::size_t>(p->value.numel()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            v[i] = mom * v[i] + g[i];
+            w[i] -= lr * v[i];
+          }
+        },
+        kMinChunk);
   }
 }
 

@@ -9,16 +9,43 @@ namespace maps::nn {
 
 using maps::cplx;
 using maps::math::CplxGrid;
+using maps::math::parallel_for_chunked;
 
 namespace {
 
-CplxGrid plane_fft(const Tensor& x, index_t n, index_t c) {
-  const index_t H = x.size(2), W = x.size(3);
-  CplxGrid g(W, H);
-  for (index_t h = 0; h < H; ++h) {
-    for (index_t w = 0; w < W; ++w) g(w, h) = cplx{x.at(n, c, h, w), 0.0};
-  }
-  return maps::math::fft2(g);
+// A tensor plane (n, c, :, :) flattens exactly like CplxGrid(W, H)
+// (w + W*h == h*W + w), so plane gather/scatter is a flat pass over H*W
+// contiguous elements — no multi-index arithmetic in the loop.
+
+/// Gather every (n, c) plane of x into a batch of complex grids.
+std::vector<CplxGrid> gather_planes(const Tensor& x) {
+  const index_t C = x.size(1), H = x.size(2), W = x.size(3);
+  const index_t hw = H * W;
+  std::vector<CplxGrid> batch(static_cast<std::size_t>(x.size(0) * C));
+  parallel_for_chunked(0, batch.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t idx = b; idx < e; ++idx) {
+      CplxGrid g(W, H);
+      const float* src = x.data() + static_cast<index_t>(idx) * hw;
+      cplx* dst = g.data().data();
+      for (index_t i = 0; i < hw; ++i) dst[i] = cplx{src[i], 0.0};
+      batch[idx] = std::move(g);
+    }
+  });
+  return batch;
+}
+
+/// Scatter the real part of each grid (times scale) into the tensor planes.
+void scatter_planes(const std::vector<CplxGrid>& batch, Tensor& y, double scale) {
+  const index_t hw = y.size(2) * y.size(3);
+  parallel_for_chunked(0, batch.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t idx = b; idx < e; ++idx) {
+      const cplx* src = batch[idx].data().data();
+      float* dst = y.data() + static_cast<index_t>(idx) * hw;
+      for (index_t i = 0; i < hw; ++i) {
+        dst[i] = static_cast<float>(src[i].real() * scale);
+      }
+    }
+  });
 }
 
 void spectral_init(Tensor& w, index_t c_in, maps::math::Rng& rng) {
@@ -45,40 +72,40 @@ Tensor SpectralConv2d::forward(const Tensor& x) {
   require(2 * mx_ <= W && my_ <= H, "SpectralConv2d: modes exceed grid");
   in_shape_ = x.shape();
 
-  x_hat_.assign(static_cast<std::size_t>(N * c_in_), CplxGrid());
-  maps::math::parallel_for(0, static_cast<std::size_t>(N * c_in_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_in_;
-    const index_t c = static_cast<index_t>(idx) % c_in_;
-    x_hat_[idx] = plane_fft(x, n, c);
-  });
+  // One batched FFT over the N * c_in transform batch (shared twiddle plan).
+  x_hat_ = gather_planes(x);
+  maps::math::fft2_batch_inplace(x_hat_, false);
 
-  Tensor y({N, c_out_, H, W});
-  maps::math::parallel_for(0, static_cast<std::size_t>(N * c_out_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_out_;
-    const index_t co = static_cast<index_t>(idx) % c_out_;
-    CplxGrid yhat(W, H);  // zero everywhere except the retained corners
-    for (index_t b = 0; b < 2; ++b) {
-      for (index_t km = 0; km < mx_; ++km) {
-        const index_t kx = (b == 0) ? km : W - mx_ + km;
-        for (index_t ky = 0; ky < my_; ++ky) {
-          cplx s{};
-          for (index_t ci = 0; ci < c_in_; ++ci) {
-            const index_t base =
-                ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
-            const cplx wv{w_.value[base], w_.value[base + 1]};
-            s += wv * x_hat_[static_cast<std::size_t>(n * c_in_ + ci)](kx, ky);
+  // Mix channels on the retained corner blocks, then batch-invert.
+  std::vector<CplxGrid> yhat(static_cast<std::size_t>(N * c_out_));
+  const float* wp = w_.value.data();
+  parallel_for_chunked(0, yhat.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const index_t n = static_cast<index_t>(idx) / c_out_;
+      const index_t co = static_cast<index_t>(idx) % c_out_;
+      CplxGrid g(W, H);  // zero everywhere except the retained corners
+      for (index_t b = 0; b < 2; ++b) {
+        for (index_t km = 0; km < mx_; ++km) {
+          const index_t kx = (b == 0) ? km : W - mx_ + km;
+          for (index_t ky = 0; ky < my_; ++ky) {
+            cplx s{};
+            for (index_t ci = 0; ci < c_in_; ++ci) {
+              const index_t base =
+                  ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
+              const cplx wv{wp[base], wp[base + 1]};
+              s += wv * x_hat_[static_cast<std::size_t>(n * c_in_ + ci)](kx, ky);
+            }
+            g(kx, ky) = s;
           }
-          yhat(kx, ky) = s;
         }
       }
-    }
-    const CplxGrid y_plane = maps::math::ifft2(yhat);
-    for (index_t h = 0; h < H; ++h) {
-      for (index_t w = 0; w < W; ++w) {
-        y.at(n, co, h, w) = static_cast<float>(y_plane(w, h).real());
-      }
+      yhat[idx] = std::move(g);
     }
   });
+  maps::math::fft2_batch_inplace(yhat, true);
+
+  Tensor y({N, c_out_, H, W});
+  scatter_planes(yhat, y, 1.0);
   return y;
 }
 
@@ -87,67 +114,75 @@ Tensor SpectralConv2d::backward(const Tensor& grad_out) {
   const index_t N = in_shape_[0], H = in_shape_[2], W = in_shape_[3];
   const double inv_hw = 1.0 / static_cast<double>(H * W);
 
-  // G_Y = (1/(HW)) fft2(grad_out plane) per (n, co).
-  std::vector<CplxGrid> gy(static_cast<std::size_t>(N * c_out_));
-  maps::math::parallel_for(0, gy.size(), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_out_;
-    const index_t co = static_cast<index_t>(idx) % c_out_;
-    CplxGrid g = plane_fft(grad_out, n, co);
-    for (index_t k = 0; k < g.size(); ++k) g[k] *= inv_hw;
-    gy[idx] = std::move(g);
+  // G_Y = (1/(HW)) fft2(grad_out plane) per (n, co), batched.
+  std::vector<CplxGrid> gy = gather_planes(grad_out);
+  maps::math::fft2_batch_inplace(gy, false);
+  parallel_for_chunked(0, gy.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      cplx* p = gy[idx].data().data();
+      const index_t sz = gy[idx].size();
+      for (index_t k = 0; k < sz; ++k) p[k] *= inv_hw;
+    }
   });
 
   // Weight gradients: dW[b,ci,co,k] += sum_n conj(X[n,ci,k]) G_Y[n,co,k].
-  maps::math::parallel_for(0, static_cast<std::size_t>(c_in_ * c_out_), [&](std::size_t p) {
-    const index_t ci = static_cast<index_t>(p) / c_out_;
-    const index_t co = static_cast<index_t>(p) % c_out_;
-    for (index_t b = 0; b < 2; ++b) {
-      for (index_t km = 0; km < mx_; ++km) {
-        const index_t kx = (b == 0) ? km : W - mx_ + km;
-        for (index_t ky = 0; ky < my_; ++ky) {
-          cplx s{};
-          for (index_t n = 0; n < N; ++n) {
-            s += std::conj(x_hat_[static_cast<std::size_t>(n * c_in_ + ci)](kx, ky)) *
-                 gy[static_cast<std::size_t>(n * c_out_ + co)](kx, ky);
+  float* gw = w_.grad.data();
+  parallel_for_chunked(
+      0, static_cast<std::size_t>(c_in_ * c_out_),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          const index_t ci = static_cast<index_t>(p) / c_out_;
+          const index_t co = static_cast<index_t>(p) % c_out_;
+          for (index_t b = 0; b < 2; ++b) {
+            for (index_t km = 0; km < mx_; ++km) {
+              const index_t kx = (b == 0) ? km : W - mx_ + km;
+              for (index_t ky = 0; ky < my_; ++ky) {
+                cplx s{};
+                for (index_t n = 0; n < N; ++n) {
+                  s += std::conj(
+                           x_hat_[static_cast<std::size_t>(n * c_in_ + ci)](kx, ky)) *
+                       gy[static_cast<std::size_t>(n * c_out_ + co)](kx, ky);
+                }
+                const index_t base =
+                    ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
+                gw[base] += static_cast<float>(s.real());
+                gw[base + 1] += static_cast<float>(s.imag());
+              }
+            }
           }
-          const index_t base =
-              ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
-          w_.grad[base] += static_cast<float>(s.real());
-          w_.grad[base + 1] += static_cast<float>(s.imag());
         }
-      }
-    }
-  });
+      });
 
   // Input gradient: dX = conj(W)^T G_Y on blocks; dx = Re(HW * ifft2(dX)).
-  Tensor gx({N, c_in_, H, W});
-  maps::math::parallel_for(0, static_cast<std::size_t>(N * c_in_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_in_;
-    const index_t ci = static_cast<index_t>(idx) % c_in_;
-    CplxGrid xg(W, H);
-    for (index_t b = 0; b < 2; ++b) {
-      for (index_t km = 0; km < mx_; ++km) {
-        const index_t kx = (b == 0) ? km : W - mx_ + km;
-        for (index_t ky = 0; ky < my_; ++ky) {
-          cplx s{};
-          for (index_t co = 0; co < c_out_; ++co) {
-            const index_t base =
-                ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
-            const cplx wv{w_.value[base], w_.value[base + 1]};
-            s += std::conj(wv) * gy[static_cast<std::size_t>(n * c_out_ + co)](kx, ky);
+  std::vector<CplxGrid> xg(static_cast<std::size_t>(N * c_in_));
+  const float* wp = w_.value.data();
+  parallel_for_chunked(0, xg.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const index_t n = static_cast<index_t>(idx) / c_in_;
+      const index_t ci = static_cast<index_t>(idx) % c_in_;
+      CplxGrid g(W, H);
+      for (index_t b = 0; b < 2; ++b) {
+        for (index_t km = 0; km < mx_; ++km) {
+          const index_t kx = (b == 0) ? km : W - mx_ + km;
+          for (index_t ky = 0; ky < my_; ++ky) {
+            cplx s{};
+            for (index_t co = 0; co < c_out_; ++co) {
+              const index_t base =
+                  ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
+              const cplx wv{wp[base], wp[base + 1]};
+              s += std::conj(wv) * gy[static_cast<std::size_t>(n * c_out_ + co)](kx, ky);
+            }
+            g(kx, ky) = s;
           }
-          xg(kx, ky) = s;
         }
       }
-    }
-    CplxGrid plane = maps::math::ifft2(xg);
-    const double hw = static_cast<double>(H * W);
-    for (index_t h = 0; h < H; ++h) {
-      for (index_t w = 0; w < W; ++w) {
-        gx.at(n, ci, h, w) = static_cast<float>(plane(w, h).real() * hw);
-      }
+      xg[idx] = std::move(g);
     }
   });
+  maps::math::fft2_batch_inplace(xg, true);
+
+  Tensor gx({N, c_in_, H, W});
+  scatter_planes(xg, gx, static_cast<double>(H * W));
   return gx;
 }
 
@@ -160,32 +195,6 @@ SpectralConv1d::SpectralConv1d(index_t c_in, index_t c_out, index_t modes,
   spectral_init(w_.value, c_in, rng);
 }
 
-namespace {
-// 1D FFT of every line along `axis` of an (H, W) plane stored as CplxGrid
-// (nx=W, ny=H). In-place over the grid.
-void fft_lines(CplxGrid& g, FftAxis axis, bool inverse) {
-  const index_t W = g.nx(), H = g.ny();
-  if (axis == FftAxis::X) {
-    for (index_t h = 0; h < H; ++h) {
-      maps::math::detail::fft_strided(&g(0, h), W, 1, inverse);
-    }
-  } else {
-    for (index_t w = 0; w < W; ++w) {
-      maps::math::detail::fft_strided(&g(w, 0), H, W, inverse);
-    }
-  }
-}
-
-CplxGrid plane_to_grid(const Tensor& x, index_t n, index_t c) {
-  const index_t H = x.size(2), W = x.size(3);
-  CplxGrid g(W, H);
-  for (index_t h = 0; h < H; ++h) {
-    for (index_t w = 0; w < W; ++w) g(w, h) = cplx{x.at(n, c, h, w), 0.0};
-  }
-  return g;
-}
-}  // namespace
-
 Tensor SpectralConv1d::forward(const Tensor& x) {
   require(x.ndim() == 4 && x.size(1) == c_in_, "SpectralConv1d: bad input shape");
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
@@ -193,50 +202,47 @@ Tensor SpectralConv1d::forward(const Tensor& x) {
   const index_t T = (axis_ == FftAxis::X) ? H : W;   // untransformed length
   require(2 * m_ <= L, "SpectralConv1d: modes exceed axis length");
   in_shape_ = x.shape();
+  const bool along_x = axis_ == FftAxis::X;
 
-  x_hat_.assign(static_cast<std::size_t>(N * c_in_), CplxGrid());
-  maps::math::parallel_for(0, x_hat_.size(), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_in_;
-    const index_t c = static_cast<index_t>(idx) % c_in_;
-    CplxGrid g = plane_to_grid(x, n, c);
-    fft_lines(g, axis_, false);
-    x_hat_[idx] = std::move(g);
-  });
+  x_hat_ = gather_planes(x);
+  maps::math::fft1_lines_batch_inplace(x_hat_, along_x, false);
 
   auto mode_at = [&](const CplxGrid& g, index_t k, index_t t) -> const cplx& {
-    return (axis_ == FftAxis::X) ? g(k, t) : g(t, k);
+    return along_x ? g(k, t) : g(t, k);
   };
 
-  Tensor y({N, c_out_, H, W});
-  maps::math::parallel_for(0, static_cast<std::size_t>(N * c_out_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_out_;
-    const index_t co = static_cast<index_t>(idx) % c_out_;
-    CplxGrid yhat(W, H);
-    for (index_t b = 0; b < 2; ++b) {
-      for (index_t km = 0; km < m_; ++km) {
-        const index_t k = (b == 0) ? km : L - m_ + km;
-        for (index_t t = 0; t < T; ++t) {
-          cplx s{};
-          for (index_t ci = 0; ci < c_in_; ++ci) {
-            const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
-            const cplx wv{w_.value[base], w_.value[base + 1]};
-            s += wv * mode_at(x_hat_[static_cast<std::size_t>(n * c_in_ + ci)], k, t);
-          }
-          if (axis_ == FftAxis::X) {
-            yhat(k, t) = s;
-          } else {
-            yhat(t, k) = s;
+  std::vector<CplxGrid> yhat(static_cast<std::size_t>(N * c_out_));
+  const float* wp = w_.value.data();
+  parallel_for_chunked(0, yhat.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const index_t n = static_cast<index_t>(idx) / c_out_;
+      const index_t co = static_cast<index_t>(idx) % c_out_;
+      CplxGrid g(W, H);
+      for (index_t b = 0; b < 2; ++b) {
+        for (index_t km = 0; km < m_; ++km) {
+          const index_t k = (b == 0) ? km : L - m_ + km;
+          for (index_t t = 0; t < T; ++t) {
+            cplx s{};
+            for (index_t ci = 0; ci < c_in_; ++ci) {
+              const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
+              const cplx wv{wp[base], wp[base + 1]};
+              s += wv * mode_at(x_hat_[static_cast<std::size_t>(n * c_in_ + ci)], k, t);
+            }
+            if (along_x) {
+              g(k, t) = s;
+            } else {
+              g(t, k) = s;
+            }
           }
         }
       }
-    }
-    fft_lines(yhat, axis_, true);
-    for (index_t h = 0; h < H; ++h) {
-      for (index_t w = 0; w < W; ++w) {
-        y.at(n, co, h, w) = static_cast<float>(yhat(w, h).real());
-      }
+      yhat[idx] = std::move(g);
     }
   });
+  maps::math::fft1_lines_batch_inplace(yhat, along_x, true);
+
+  Tensor y({N, c_out_, H, W});
+  scatter_planes(yhat, y, 1.0);
   return y;
 }
 
@@ -246,70 +252,77 @@ Tensor SpectralConv1d::backward(const Tensor& grad_out) {
   const index_t L = (axis_ == FftAxis::X) ? W : H;
   const index_t T = (axis_ == FftAxis::X) ? H : W;
   const double inv_l = 1.0 / static_cast<double>(L);
+  const bool along_x = axis_ == FftAxis::X;
 
-  std::vector<CplxGrid> gy(static_cast<std::size_t>(N * c_out_));
-  maps::math::parallel_for(0, gy.size(), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_out_;
-    const index_t co = static_cast<index_t>(idx) % c_out_;
-    CplxGrid g = plane_to_grid(grad_out, n, co);
-    fft_lines(g, axis_, false);
-    for (index_t k = 0; k < g.size(); ++k) g[k] *= inv_l;
-    gy[idx] = std::move(g);
+  std::vector<CplxGrid> gy = gather_planes(grad_out);
+  maps::math::fft1_lines_batch_inplace(gy, along_x, false);
+  parallel_for_chunked(0, gy.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      cplx* p = gy[idx].data().data();
+      const index_t sz = gy[idx].size();
+      for (index_t k = 0; k < sz; ++k) p[k] *= inv_l;
+    }
   });
 
   auto mode_at = [&](CplxGrid& g, index_t k, index_t t) -> cplx& {
-    return (axis_ == FftAxis::X) ? g(k, t) : g(t, k);
+    return along_x ? g(k, t) : g(t, k);
   };
 
-  maps::math::parallel_for(0, static_cast<std::size_t>(c_in_ * c_out_), [&](std::size_t p) {
-    const index_t ci = static_cast<index_t>(p) / c_out_;
-    const index_t co = static_cast<index_t>(p) % c_out_;
-    for (index_t b = 0; b < 2; ++b) {
-      for (index_t km = 0; km < m_; ++km) {
-        const index_t k = (b == 0) ? km : L - m_ + km;
-        cplx s{};
-        for (index_t n = 0; n < N; ++n) {
-          auto& xh = x_hat_[static_cast<std::size_t>(n * c_in_ + ci)];
-          auto& gg = gy[static_cast<std::size_t>(n * c_out_ + co)];
-          for (index_t t = 0; t < T; ++t) {
-            s += std::conj(mode_at(xh, k, t)) * mode_at(gg, k, t);
+  float* gw = w_.grad.data();
+  parallel_for_chunked(
+      0, static_cast<std::size_t>(c_in_ * c_out_),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          const index_t ci = static_cast<index_t>(p) / c_out_;
+          const index_t co = static_cast<index_t>(p) % c_out_;
+          for (index_t b = 0; b < 2; ++b) {
+            for (index_t km = 0; km < m_; ++km) {
+              const index_t k = (b == 0) ? km : L - m_ + km;
+              cplx s{};
+              for (index_t n = 0; n < N; ++n) {
+                auto& xh = x_hat_[static_cast<std::size_t>(n * c_in_ + ci)];
+                auto& gg = gy[static_cast<std::size_t>(n * c_out_ + co)];
+                for (index_t t = 0; t < T; ++t) {
+                  s += std::conj(mode_at(xh, k, t)) * mode_at(gg, k, t);
+                }
+              }
+              const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
+              gw[base] += static_cast<float>(s.real());
+              gw[base + 1] += static_cast<float>(s.imag());
+            }
           }
         }
-        const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
-        w_.grad[base] += static_cast<float>(s.real());
-        w_.grad[base + 1] += static_cast<float>(s.imag());
+      });
+
+  std::vector<CplxGrid> xg(static_cast<std::size_t>(N * c_in_));
+  const float* wp = w_.value.data();
+  parallel_for_chunked(0, xg.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const index_t n = static_cast<index_t>(idx) / c_in_;
+      const index_t ci = static_cast<index_t>(idx) % c_in_;
+      CplxGrid g(W, H);
+      for (index_t b = 0; b < 2; ++b) {
+        for (index_t km = 0; km < m_; ++km) {
+          const index_t k = (b == 0) ? km : L - m_ + km;
+          for (index_t t = 0; t < T; ++t) {
+            cplx s{};
+            for (index_t co = 0; co < c_out_; ++co) {
+              const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
+              const cplx wv{wp[base], wp[base + 1]};
+              s += std::conj(wv) *
+                   mode_at(gy[static_cast<std::size_t>(n * c_out_ + co)], k, t);
+            }
+            mode_at(g, k, t) = s;
+          }
+        }
       }
+      xg[idx] = std::move(g);
     }
   });
+  maps::math::fft1_lines_batch_inplace(xg, along_x, true);
 
   Tensor gx({N, c_in_, H, W});
-  maps::math::parallel_for(0, static_cast<std::size_t>(N * c_in_), [&](std::size_t idx) {
-    const index_t n = static_cast<index_t>(idx) / c_in_;
-    const index_t ci = static_cast<index_t>(idx) % c_in_;
-    CplxGrid xg(W, H);
-    for (index_t b = 0; b < 2; ++b) {
-      for (index_t km = 0; km < m_; ++km) {
-        const index_t k = (b == 0) ? km : L - m_ + km;
-        for (index_t t = 0; t < T; ++t) {
-          cplx s{};
-          for (index_t co = 0; co < c_out_; ++co) {
-            const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
-            const cplx wv{w_.value[base], w_.value[base + 1]};
-            s += std::conj(wv) *
-                 mode_at(gy[static_cast<std::size_t>(n * c_out_ + co)], k, t);
-          }
-          mode_at(xg, k, t) = s;
-        }
-      }
-    }
-    fft_lines(xg, axis_, true);
-    const double l = static_cast<double>(L);
-    for (index_t h = 0; h < H; ++h) {
-      for (index_t w = 0; w < W; ++w) {
-        gx.at(n, ci, h, w) = static_cast<float>(xg(w, h).real() * l);
-      }
-    }
-  });
+  scatter_planes(xg, gx, static_cast<double>(L));
   return gx;
 }
 

@@ -89,6 +89,11 @@ class SolverBackend {
   virtual int solve_count() const { return solves_.load(); }
   SolverStats stats() const { return {factorization_count(), solve_count()}; }
 
+  /// Bytes of prepared solve state held by this backend (LU factors, cached
+  /// transposes). 0 before preparation; drives the FactorizationCache's
+  /// memory-aware eviction.
+  virtual std::size_t factor_bytes() const { return 0; }
+
  protected:
   std::atomic<int> factorizations_{0};
   std::atomic<int> solves_{0};

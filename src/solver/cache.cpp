@@ -61,6 +61,10 @@ std::shared_ptr<SolverBackend> FactorizationCache::get_or_create(
       if (it->first == key) {
         ++stats_.hits;
         entries_.splice(entries_.begin(), entries_, it);  // move to front
+        // Backends factorize lazily, so entry bytes grow after insertion;
+        // re-check the byte budget after promoting the hit to MRU (never
+        // before the lookup — that could evict the very entry requested).
+        evict_to_capacity_locked();
         return entries_.front().second;
       }
     }
@@ -83,8 +87,22 @@ std::shared_ptr<SolverBackend> FactorizationCache::get_or_create(
   return backend;
 }
 
+std::size_t FactorizationCache::factor_bytes_locked() const {
+  std::size_t total = 0;
+  for (const auto& [key, backend] : entries_) total += backend->factor_bytes();
+  return total;
+}
+
 void FactorizationCache::evict_to_capacity_locked() {
   while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  if (capacity_bytes_ == 0) return;
+  // Byte budget: drop LRU entries until the survivors fit. The MRU entry is
+  // exempt so an oversized factorization is still reusable by the very next
+  // identical solve.
+  while (entries_.size() > 1 && factor_bytes_locked() > capacity_bytes_) {
     entries_.pop_back();
     ++stats_.evictions;
   }
@@ -95,6 +113,22 @@ void FactorizationCache::set_capacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
   evict_to_capacity_locked();
+}
+
+void FactorizationCache::set_capacity_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = bytes;
+  evict_to_capacity_locked();
+}
+
+std::size_t FactorizationCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_bytes_;
+}
+
+std::size_t FactorizationCache::factor_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factor_bytes_locked();
 }
 
 std::size_t FactorizationCache::capacity() const {
@@ -109,7 +143,9 @@ std::size_t FactorizationCache::size() const {
 
 CacheStats FactorizationCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats out = stats_;
+  out.factor_bytes = factor_bytes_locked();
+  return out;
 }
 
 int FactorizationCache::factorization_count() const {

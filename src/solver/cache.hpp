@@ -53,6 +53,7 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t evictions = 0;
+  std::size_t factor_bytes = 0;  // resident prepared-state bytes (snapshot)
 
   double hit_rate() const {
     const std::size_t total = hits + misses;
@@ -72,8 +73,20 @@ class FactorizationCache {
 
   /// Raise (or shrink, evicting LRU-first) the entry capacity.
   void set_capacity(std::size_t capacity);
+  /// Memory-aware eviction: cap the total factor_bytes() held by cached
+  /// backends (0 = unlimited). LRU entries are dropped until the survivors
+  /// fit; the most recent entry always stays, so a single oversized
+  /// factorization still caches. Byte and entry budgets compose — whichever
+  /// is tighter wins. High-resolution sweeps (fidelity >= 2) hold factors an
+  /// order of magnitude larger than the entry count anticipates, which is
+  /// what a byte budget bounds.
+  void set_capacity_bytes(std::size_t bytes);
   std::size_t capacity() const;
+  std::size_t capacity_bytes() const;
   std::size_t size() const;
+  /// Total prepared-state bytes across cached backends (grows as lazily
+  /// factorized entries get prepared).
+  std::size_t factor_bytes() const;
   CacheStats stats() const;
   /// Total LU factorizations performed by backends currently in the cache.
   int factorization_count() const;
@@ -83,9 +96,11 @@ class FactorizationCache {
 
  private:
   void evict_to_capacity_locked();
+  std::size_t factor_bytes_locked() const;
 
   mutable std::mutex mu_;
   std::size_t capacity_;
+  std::size_t capacity_bytes_ = 0;  // 0 = no byte budget
   // Front = most recently used.
   std::list<std::pair<ProblemKey, std::shared_ptr<SolverBackend>>> entries_;
   CacheStats stats_;

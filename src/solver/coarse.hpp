@@ -42,6 +42,7 @@ class CoarseGridBackend final : public SolverBackend {
 
   int factorization_count() const override { return inner_->factorization_count(); }
   int solve_count() const override { return inner_->solve_count(); }
+  std::size_t factor_bytes() const override { return inner_->factor_bytes(); }
 
   const grid::GridSpec& coarse_spec() const { return coarse_spec_; }
   int factor() const { return factor_; }

@@ -32,15 +32,19 @@ class DirectBandedBackend final : public SolverBackend {
       std::span<const std::vector<cplx>> rhs) override;
   const fdfd::FdfdOperator& op() const override { return op_; }
 
-  /// Bytes held by the LU factors (0 before first solve).
-  std::size_t factor_bytes() const { return lu_ ? lu_->storage_bytes() : 0; }
+  /// Bytes held by the LU factors (0 before first solve). Locked: the cache
+  /// polls this concurrently with lazy factorization.
+  std::size_t factor_bytes() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lu_ ? lu_->storage_bytes() : 0;
+  }
 
  private:
   std::vector<std::vector<cplx>> batch_solve_impl(
       std::span<const std::vector<cplx>> rhs, bool transposed);
 
   fdfd::FdfdOperator op_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::optional<maps::math::BandMatrix<cplx>> lu_;
 };
 

@@ -14,6 +14,13 @@ IterativeBackend::IterativeBackend(fdfd::FdfdOperator op,
                                    maps::math::BicgstabOptions options)
     : op_(std::move(op)), options_(options) {}
 
+std::size_t IterativeBackend::factor_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!At_) return 0;
+  return static_cast<std::size_t>(At_->row_ptr().size()) * sizeof(index_t) +
+         static_cast<std::size_t>(At_->nnz()) * (sizeof(index_t) + sizeof(cplx));
+}
+
 const maps::math::CsrCplx& IterativeBackend::transposed_op() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!At_) {

@@ -36,6 +36,10 @@ class IterativeBackend final : public SolverBackend {
   /// answer is 1 no matter how many adjoint solves ran).
   int transpose_builds() const { return transpose_builds_; }
 
+  /// Prepared state is the cached explicit transpose (the forward CSR is the
+  /// operator itself, not factorization product).
+  std::size_t factor_bytes() const override;
+
  private:
   const maps::math::CsrCplx& transposed_op();
   std::vector<cplx> run(const maps::math::CsrCplx& A, const std::vector<cplx>& rhs,
@@ -46,7 +50,7 @@ class IterativeBackend final : public SolverBackend {
 
   fdfd::FdfdOperator op_;
   maps::math::BicgstabOptions options_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::optional<maps::math::CsrCplx> At_;  // cached explicit transpose
   int transpose_builds_ = 0;
 };

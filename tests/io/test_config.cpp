@@ -155,21 +155,26 @@ TEST(Config, SolverFidelityStringSelectsBackend) {
 TEST(Config, SolverOverridesAndRoundTrip) {
   const auto cfg = mio::InvDesConfig::from_json(mio::json_parse(
       R"({"solver": "iterative", "solver_rtol": 1e-5, "solver_max_iters": 321,
-          "cache_capacity": 3})"));
+          "cache_capacity": 3, "cache_capacity_mb": 64})"));
   EXPECT_EQ(cfg.solver.config.kind, maps::solver::SolverKind::Iterative);
   EXPECT_DOUBLE_EQ(cfg.solver.config.iterative.rtol, 1e-5);
   EXPECT_EQ(cfg.solver.config.iterative.max_iters, 321);
   EXPECT_EQ(cfg.solver.cache_capacity, 3);
+  EXPECT_EQ(cfg.solver.cache_capacity_mb, 64);
 
   const auto back = mio::InvDesConfig::from_json(cfg.to_json());
   EXPECT_EQ(back.solver.config.kind, cfg.solver.config.kind);
   EXPECT_DOUBLE_EQ(back.solver.config.iterative.rtol, 1e-5);
   EXPECT_EQ(back.solver.cache_capacity, 3);
+  EXPECT_EQ(back.solver.cache_capacity_mb, 64);
 
   EXPECT_THROW(mio::InvDesConfig::from_json(mio::json_parse(R"({"solver": "quantum"})")),
                maps::MapsError);
   EXPECT_THROW(
       mio::InvDesConfig::from_json(mio::json_parse(R"({"coarse_factor": 1})")),
+      maps::MapsError);
+  EXPECT_THROW(
+      mio::InvDesConfig::from_json(mio::json_parse(R"({"cache_capacity_mb": -1})")),
       maps::MapsError);
 }
 
@@ -179,8 +184,10 @@ TEST(Config, ApplySolverSettingsConfiguresDevice) {
   settings.fidelity = maps::solver::FidelityLevel::Low;
   settings.config = maps::solver::SolverConfig::for_fidelity(settings.fidelity);
   settings.cache_capacity = 5;
+  settings.cache_capacity_mb = 2;
   mio::apply_solver_settings(device, settings);
   EXPECT_EQ(device.sim_options.solver, maps::solver::SolverKind::CoarseGrid);
   ASSERT_NE(device.solver_cache, nullptr);
   EXPECT_EQ(device.solver_cache->capacity(), 5u);
+  EXPECT_EQ(device.solver_cache->capacity_bytes(), 2u << 20);
 }

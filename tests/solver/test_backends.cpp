@@ -180,6 +180,48 @@ TEST(FactorizationCache, HitMissEvictionAccounting) {
   EXPECT_NEAR(stats.hit_rate(), 0.2, 1e-12);
 }
 
+TEST(FactorizationCache, ByteBudgetEvictsLruButKeepsMru) {
+  WaveguideRig rig;
+  ms::FactorizationCache cache(8);
+  ms::SolverConfig cfg;
+
+  auto backend_for = [&](double omega) {
+    auto b = ms::make_cached_backend(&cache, rig.spec, rig.eps, omega, rig.pml, cfg);
+    b->solve(rig.rhs);  // force the lazy factorization so bytes are resident
+    return b;
+  };
+
+  auto b1 = backend_for(4.0);
+  const std::size_t one = b1->factor_bytes();
+  ASSERT_GT(one, 0u);
+  EXPECT_EQ(cache.factor_bytes(), one);
+  EXPECT_EQ(cache.stats().factor_bytes, one);
+
+  // Budget for one factorization only. The second backend's factors appear
+  // lazily (after its first solve), so the budget trips on the next cache
+  // access: the LRU entry goes, the MRU survives.
+  cache.set_capacity_bytes(one + one / 2);
+  auto b2 = backend_for(4.1);
+  auto b2_again = ms::make_cached_backend(&cache, rig.spec, rig.eps, 4.1, rig.pml, cfg);
+  EXPECT_EQ(b2.get(), b2_again.get());  // MRU survived
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // A budget below a single factorization still keeps the newest entry.
+  cache.set_capacity_bytes(1);
+  EXPECT_EQ(cache.size(), 1u);
+  auto b3 = backend_for(4.2);
+  EXPECT_EQ(cache.size(), 1u);
+  auto b3_again = ms::make_cached_backend(&cache, rig.spec, rig.eps, 4.2, rig.pml, cfg);
+  EXPECT_EQ(b3.get(), b3_again.get());
+
+  // Lifting the budget restores entry-count-only semantics.
+  cache.set_capacity_bytes(0);
+  backend_for(4.3);
+  backend_for(4.4);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
 TEST(FactorizationCache, KeyDiscriminatesEpsOmegaAndPml) {
   WaveguideRig rig;
   ms::SolverConfig cfg;

@@ -89,38 +89,70 @@ CplxGrid get_cplx_grid(std::istream& is) {
 }
 }  // namespace
 
+void write_sample(std::ostream& os, const SampleRecord& s) {
+  put_str(os, s.device);
+  put_str(os, s.excitation);
+  put_str(os, s.strategy);
+  put_u64(os, s.pattern_id);
+  put_u64(os, static_cast<std::uint64_t>(s.fidelity));
+  put_u64(os, static_cast<std::uint64_t>(s.pml_cells));
+  put_f64(os, s.dl);
+  put_f64(os, s.omega);
+  put_real_grid(os, s.eps);
+  put_cplx_grid(os, s.J);
+  put_cplx_grid(os, s.Ez);
+  put_cplx_grid(os, s.adj_J);
+  put_cplx_grid(os, s.lambda_fwd);
+  put_real_grid(os, s.grad_eps);
+  put_real_grid(os, s.density);
+  put_u64(os, static_cast<std::uint64_t>(s.design_box.i0));
+  put_u64(os, static_cast<std::uint64_t>(s.design_box.j0));
+  put_u64(os, static_cast<std::uint64_t>(s.design_box.ni));
+  put_u64(os, static_cast<std::uint64_t>(s.design_box.nj));
+  put_f64(os, s.fom);
+  put_f64(os, s.input_norm);
+  put_f64(os, s.adj_scale);
+  put_u64(os, s.transmissions.size());
+  for (double t : s.transmissions) put_f64(os, t);
+}
+
+SampleRecord read_sample(std::istream& is) {
+  SampleRecord s;
+  s.device = get_str(is);
+  s.excitation = get_str(is);
+  s.strategy = get_str(is);
+  s.pattern_id = get_u64(is);
+  s.fidelity = static_cast<int>(get_u64(is));
+  s.pml_cells = static_cast<int>(get_u64(is));
+  s.dl = get_f64(is);
+  s.omega = get_f64(is);
+  s.eps = get_real_grid(is);
+  s.J = get_cplx_grid(is);
+  s.Ez = get_cplx_grid(is);
+  s.adj_J = get_cplx_grid(is);
+  s.lambda_fwd = get_cplx_grid(is);
+  s.grad_eps = get_real_grid(is);
+  s.density = get_real_grid(is);
+  s.design_box.i0 = static_cast<index_t>(get_u64(is));
+  s.design_box.j0 = static_cast<index_t>(get_u64(is));
+  s.design_box.ni = static_cast<index_t>(get_u64(is));
+  s.design_box.nj = static_cast<index_t>(get_u64(is));
+  s.fom = get_f64(is);
+  s.input_norm = get_f64(is);
+  s.adj_scale = get_f64(is);
+  const std::uint64_t nt = get_u64(is);
+  for (std::uint64_t t = 0; t < nt; ++t) s.transmissions.push_back(get_f64(is));
+  require(is.good(), "read_sample: truncated file");
+  return s;
+}
+
 void Dataset::save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
   require(os.good(), "Dataset::save: cannot open " + path);
   put_u64(os, kMagic);
   put_str(os, name);
   put_u64(os, samples.size());
-  for (const auto& s : samples) {
-    put_str(os, s.device);
-    put_str(os, s.excitation);
-    put_str(os, s.strategy);
-    put_u64(os, s.pattern_id);
-    put_u64(os, static_cast<std::uint64_t>(s.fidelity));
-    put_u64(os, static_cast<std::uint64_t>(s.pml_cells));
-    put_f64(os, s.dl);
-    put_f64(os, s.omega);
-    put_real_grid(os, s.eps);
-    put_cplx_grid(os, s.J);
-    put_cplx_grid(os, s.Ez);
-    put_cplx_grid(os, s.adj_J);
-    put_cplx_grid(os, s.lambda_fwd);
-    put_real_grid(os, s.grad_eps);
-    put_real_grid(os, s.density);
-    put_u64(os, static_cast<std::uint64_t>(s.design_box.i0));
-    put_u64(os, static_cast<std::uint64_t>(s.design_box.j0));
-    put_u64(os, static_cast<std::uint64_t>(s.design_box.ni));
-    put_u64(os, static_cast<std::uint64_t>(s.design_box.nj));
-    put_f64(os, s.fom);
-    put_f64(os, s.input_norm);
-    put_f64(os, s.adj_scale);
-    put_u64(os, s.transmissions.size());
-    for (double t : s.transmissions) put_f64(os, t);
-  }
+  for (const auto& s : samples) write_sample(os, s);
   require(os.good(), "Dataset::save: write failed");
 }
 
@@ -133,33 +165,7 @@ Dataset Dataset::load(const std::string& path) {
   const std::uint64_t count = get_u64(is);
   d.samples.reserve(count);
   for (std::uint64_t k = 0; k < count; ++k) {
-    SampleRecord s;
-    s.device = get_str(is);
-    s.excitation = get_str(is);
-    s.strategy = get_str(is);
-    s.pattern_id = get_u64(is);
-    s.fidelity = static_cast<int>(get_u64(is));
-    s.pml_cells = static_cast<int>(get_u64(is));
-    s.dl = get_f64(is);
-    s.omega = get_f64(is);
-    s.eps = get_real_grid(is);
-    s.J = get_cplx_grid(is);
-    s.Ez = get_cplx_grid(is);
-    s.adj_J = get_cplx_grid(is);
-    s.lambda_fwd = get_cplx_grid(is);
-    s.grad_eps = get_real_grid(is);
-    s.density = get_real_grid(is);
-    s.design_box.i0 = static_cast<index_t>(get_u64(is));
-    s.design_box.j0 = static_cast<index_t>(get_u64(is));
-    s.design_box.ni = static_cast<index_t>(get_u64(is));
-    s.design_box.nj = static_cast<index_t>(get_u64(is));
-    s.fom = get_f64(is);
-    s.input_norm = get_f64(is);
-    s.adj_scale = get_f64(is);
-    const std::uint64_t nt = get_u64(is);
-    for (std::uint64_t t = 0; t < nt; ++t) s.transmissions.push_back(get_f64(is));
-    require(is.good(), "Dataset::load: truncated file");
-    d.samples.push_back(std::move(s));
+    d.samples.push_back(read_sample(is));
   }
   return d;
 }

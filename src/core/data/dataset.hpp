@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -73,5 +74,12 @@ class Dataset {
   /// Concatenate (e.g. multi-fidelity pairs or strategy mixes).
   void append(const Dataset& other);
 };
+
+/// Streaming sample IO: the exact per-sample byte layout of Dataset::save.
+/// The runtime shard writer appends samples one at a time with these (the
+/// shard manifest, not the file, carries the count), which is what makes a
+/// merged shard set byte-identical to a single-process save.
+void write_sample(std::ostream& os, const SampleRecord& s);
+SampleRecord read_sample(std::istream& is);
 
 }  // namespace maps::data

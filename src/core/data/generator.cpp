@@ -3,6 +3,8 @@
 #include "fdfd/adjoint.hpp"
 #include "math/interpolate.hpp"
 #include "math/parallel.hpp"
+#include "runtime/datagen.hpp"
+#include "solver/prepared.hpp"
 
 namespace maps::data {
 
@@ -109,10 +111,90 @@ std::vector<SampleRecord> simulate_pattern(const devices::DeviceProblem& device,
   return records;
 }
 
+PreparedPattern prepare_pattern(const devices::DeviceProblem& device,
+                                const RealGrid& density, std::size_t position,
+                                std::uint64_t pattern_id) {
+  PreparedPattern pp;
+  pp.position = position;
+  pp.pattern_id = pattern_id;
+  pp.density = density;
+  pp.base_eps = param::embed_density(device.design_map, density);
+  pp.groups = device.excitation_groups();
+  pp.group_backends.reserve(pp.groups.size());
+  for (const auto& group : pp.groups) {
+    const auto& first = device.excitations[group.front()];
+    const RealGrid eps = device.excitation_eps(pp.base_eps, first);
+    std::shared_ptr<solver::SolverBackend> backend;
+    if (device.sim_options.solver == solver::SolverKind::Direct) {
+      // The pipeline's fast path: band-direct assembly + split-complex LU.
+      backend = solver::make_prepared_backend(device.spec, eps, first.omega,
+                                              device.sim_options.pml);
+    } else {
+      backend = solver::make_backend(device.spec, eps, first.omega,
+                                     device.sim_options.pml,
+                                     device.sim_options.solver_config());
+    }
+    backend->factorize();
+    pp.group_backends.push_back(std::move(backend));
+  }
+  return pp;
+}
+
+std::vector<SampleRecord> solve_prepared(const devices::DeviceProblem& device,
+                                         const PreparedPattern& prepared,
+                                         const std::string& strategy) {
+  maps::require(prepared.groups.size() == prepared.group_backends.size(),
+                "solve_prepared: prepared pattern is inconsistent");
+  std::vector<SampleRecord> records(device.excitations.size());
+
+  for (std::size_t g = 0; g < prepared.groups.size(); ++g) {
+    const auto& group = prepared.groups[g];
+    auto& backend = *prepared.group_backends[g];
+    const double omega = device.excitations[group.front()].omega;
+
+    std::vector<std::vector<cplx>> rhs;
+    rhs.reserve(group.size());
+    for (const std::size_t e : group) {
+      rhs.push_back(fdfd::rhs_from_current(device.excitations[e].J, omega));
+    }
+    auto xs = backend.solve_batch(rhs);
+    std::vector<CplxGrid> fields;
+    fields.reserve(xs.size());
+    for (auto& x : xs) fields.emplace_back(device.spec.nx, device.spec.ny, std::move(x));
+
+    std::vector<const CplxGrid*> ez_ptrs;
+    std::vector<const std::vector<fdfd::FomTerm>*> term_ptrs;
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      ez_ptrs.push_back(&fields[k]);
+      term_ptrs.push_back(&device.excitations[group[k]].terms);
+    }
+    auto adjoints =
+        fdfd::compute_adjoint_batch(backend, device.spec, omega, ez_ptrs, term_ptrs);
+
+    const auto& W = backend.W();
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      const auto& exc = device.excitations[group[k]];
+      SampleRecord s = record_shell(device, prepared.density, prepared.base_eps, exc,
+                                    prepared.pattern_id, strategy);
+      finish_record(s, exc, W, std::move(fields[k]), std::move(adjoints[k]));
+      records[group[k]] = std::move(s);
+    }
+  }
+  return records;
+}
+
 Dataset generate_dataset(const devices::DeviceProblem& device,
                          const PatternSet& patterns) {
   maps::require(patterns.densities.size() == patterns.ids.size(),
                 "generate_dataset: pattern/ids mismatch");
+  runtime::DatagenPhase phase{&device, &patterns, 1};
+  return runtime::generate_pipelined({phase}, device.name + ":" + patterns.strategy);
+}
+
+Dataset generate_dataset_reference(const devices::DeviceProblem& device,
+                                   const PatternSet& patterns) {
+  maps::require(patterns.densities.size() == patterns.ids.size(),
+                "generate_dataset_reference: pattern/ids mismatch");
   Dataset ds;
   ds.name = device.name + ":" + patterns.strategy;
   const std::size_t n_exc = device.excitations.size();
@@ -128,26 +210,31 @@ Dataset generate_dataset(const devices::DeviceProblem& device,
   return ds;
 }
 
+PatternSet upsample_patterns(const PatternSet& patterns,
+                             const devices::DeviceProblem& device) {
+  PatternSet out;
+  out.strategy = patterns.strategy;
+  out.ids = patterns.ids;
+  for (const auto& rho : patterns.densities) {
+    out.densities.push_back(maps::math::bilinear_resample(
+        rho, device.design_map.box.ni, device.design_map.box.nj));
+  }
+  return out;
+}
+
 Dataset generate_multifidelity(const devices::DeviceProblem& device_lo,
                                const devices::DeviceProblem& device_hi,
                                const PatternSet& patterns) {
-  Dataset ds = generate_dataset(device_lo, patterns);
-  for (auto& s : ds.samples) s.fidelity = 1;
-
   // Upsample each design pattern onto the high-fidelity design grid.
-  PatternSet hi_patterns;
-  hi_patterns.strategy = patterns.strategy;
-  hi_patterns.ids = patterns.ids;
-  for (const auto& rho : patterns.densities) {
-    hi_patterns.densities.push_back(maps::math::bilinear_resample(
-        rho, device_hi.design_map.box.ni, device_hi.design_map.box.nj));
-  }
-  Dataset hi = generate_dataset(device_hi, hi_patterns);
+  PatternSet hi_patterns = upsample_patterns(patterns, device_hi);
   const int factor = static_cast<int>(device_hi.spec.nx / device_lo.spec.nx);
-  for (auto& s : hi.samples) s.fidelity = factor;
 
-  ds.append(hi);
-  ds.name = device_lo.name + ":" + patterns.strategy + ":multifidelity";
+  // Both fidelity levels ride one pipeline: the prep stage of the first
+  // high-fidelity pattern overlaps the tail of the low-fidelity solves.
+  const std::vector<runtime::DatagenPhase> phases = {
+      {&device_lo, &patterns, 1}, {&device_hi, &hi_patterns, factor}};
+  Dataset ds = runtime::generate_pipelined(
+      phases, device_lo.name + ":" + patterns.strategy + ":multifidelity");
   return ds;
 }
 

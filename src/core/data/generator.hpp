@@ -1,7 +1,16 @@
 // Dataset generation driver: pattern -> FDFD forward + adjoint -> rich
-// labels, parallel across patterns, with multi-fidelity pairing
-// (Sec. III-A.3: the same physical pattern simulated at both resolutions).
+// labels, with multi-fidelity pairing (Sec. III-A.3: the same physical
+// pattern simulated at both resolutions).
+//
+// generate_dataset / generate_multifidelity ride the async pipeline in
+// src/runtime/datagen.hpp (stage-parallel prep -> solve -> collect, with the
+// split-complex prepared-operator fast path for direct solves). The seed
+// per-pattern parallel_for implementation is preserved as
+// generate_dataset_reference for equivalence tests and as the baseline of
+// bench_datagen_throughput.
 #pragma once
+
+#include <memory>
 
 #include "core/data/dataset.hpp"
 #include "core/data/sampler.hpp"
@@ -13,6 +22,41 @@ namespace maps::data {
 /// forward field, adjoint pair, adjoint gradient and transmissions.
 Dataset generate_dataset(const devices::DeviceProblem& device,
                          const PatternSet& patterns);
+
+/// The seed implementation (blocking parallel_for over simulate_pattern,
+/// interleaved-complex direct solver): kept as the regression baseline the
+/// pipelined path is benchmarked against. Labels agree with
+/// generate_dataset to rounding (~1e-12 relative on fields).
+Dataset generate_dataset_reference(const devices::DeviceProblem& device,
+                                   const PatternSet& patterns);
+
+/// ------------------------- pipeline stage units --------------------------
+/// The runtime pipeline (src/runtime/datagen.cpp) splits a pattern's
+/// simulation into two stages so factorization of pattern i+1 overlaps
+/// back-substitution of pattern i.
+
+/// Stage 1 output: the pattern rendered onto the device grid plus one
+/// *factorized* solver backend per excitation group. Direct-solver devices
+/// take the split-complex prepared band fast path (solver/prepared.hpp).
+struct PreparedPattern {
+  std::size_t position = 0;   // index into the PatternSet
+  std::uint64_t pattern_id = 0;
+  maps::math::RealGrid density;
+  maps::math::RealGrid base_eps;
+  std::vector<std::vector<std::size_t>> groups;  // excitation index groups
+  std::vector<std::shared_ptr<solver::SolverBackend>> group_backends;
+};
+
+PreparedPattern prepare_pattern(const devices::DeviceProblem& device,
+                                const maps::math::RealGrid& density,
+                                std::size_t position, std::uint64_t pattern_id);
+
+/// Stage 2: batched forward + adjoint solves against the prepared backends
+/// and label extraction; records in excitation order. Equivalent to
+/// simulate_pattern modulo solver rounding.
+std::vector<SampleRecord> solve_prepared(const devices::DeviceProblem& device,
+                                         const PreparedPattern& prepared,
+                                         const std::string& strategy);
 
 /// Simulate one density through one excitation (exposed for tests and for
 /// on-the-fly verification in the NN-in-the-loop case study).
@@ -37,5 +81,10 @@ std::vector<SampleRecord> simulate_pattern(const devices::DeviceProblem& device,
 Dataset generate_multifidelity(const devices::DeviceProblem& device_lo,
                                const devices::DeviceProblem& device_hi,
                                const PatternSet& patterns);
+
+/// Bilinearly resample a pattern set onto `device`'s design grid (the
+/// high-fidelity phase of a multi-fidelity run; ids and strategy carry over).
+PatternSet upsample_patterns(const PatternSet& patterns,
+                             const devices::DeviceProblem& device);
 
 }  // namespace maps::data

@@ -66,10 +66,16 @@ PatternSet sample_patterns(const devices::DeviceProblem& device,
   const auto& box = device.design_map.box;
 
   if (opt.strategy == SamplingStrategy::Random) {
-    Rng rng(opt.seed);
+    // One independent RNG stream per pattern, seeded from (seed, pattern
+    // id): pattern p's content never depends on how many patterns precede
+    // it or which shard renders it, so an N-shard run reproduces the
+    // single-process dataset bit-for-bit and a num_patterns extension is a
+    // strict superset.
     for (int p = 0; p < opt.num_patterns; ++p) {
+      const auto id = static_cast<std::uint64_t>(p);
+      Rng rng(maps::math::stream_seed(opt.seed, id));
       out.densities.push_back(random_binary_pattern(box.ni, box.nj, opt, rng));
-      out.ids.push_back(static_cast<std::uint64_t>(p));
+      out.ids.push_back(id);
     }
     return out;
   }
@@ -99,15 +105,22 @@ PatternSet sample_patterns(const devices::DeviceProblem& device,
     traj_densities[t].push_back(res.density);  // converged design
   });
 
-  Rng rng(opt.seed ^ 0xABCDEF);
   for (int t = 0; t < n_traj; ++t) {
     const std::uint64_t id = static_cast<std::uint64_t>(t) << 32;
-    for (const auto& rho : traj_densities[static_cast<std::size_t>(t)]) {
-      out.densities.push_back(rho);
+    const auto& snapshots = traj_densities[static_cast<std::size_t>(t)];
+    for (std::size_t snap = 0; snap < snapshots.size(); ++snap) {
+      out.densities.push_back(snapshots[snap]);
       out.ids.push_back(id);
       if (opt.strategy == SamplingStrategy::PerturbOptTraj) {
+        // Per-snapshot perturbation streams, seeded from (seed, lineage,
+        // snapshot, k): like the random strategy, deterministic regardless
+        // of trajectory count or recording cadence.
         for (int k = 0; k < opt.perturbs_per_snapshot; ++k) {
-          out.densities.push_back(perturb_pattern(rho, opt.perturb_sigma, rng));
+          Rng rng(maps::math::stream_seed(
+              maps::math::stream_seed(opt.seed ^ 0xABCDEFull, id | snap),
+              static_cast<std::uint64_t>(k)));
+          out.densities.push_back(
+              perturb_pattern(snapshots[snap], opt.perturb_sigma, rng));
           out.ids.push_back(id);
         }
       }

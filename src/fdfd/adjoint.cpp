@@ -34,7 +34,7 @@ AdjointResult compute_adjoint(solver::SolverBackend& backend,
                 "compute_adjoint: field shape mismatch");
   const std::vector<cplx> g = objective_dE(terms, Ez);
   CplxGrid lambda(spec.nx, spec.ny, backend.solve_transposed(g));
-  return finish_adjoint(spec, omega, backend.op().W, Ez, terms, g, std::move(lambda));
+  return finish_adjoint(spec, omega, backend.W(), Ez, terms, g, std::move(lambda));
 }
 
 AdjointResult compute_adjoint(Simulation& sim, const CplxGrid& Ez,
@@ -55,7 +55,7 @@ std::vector<AdjointResult> compute_adjoint_batch(
     gs.push_back(objective_dE(*terms[k], *Ez[k]));
   }
   auto lambdas = backend.solve_transposed_batch(gs);
-  const auto& W = backend.op().W;
+  const auto& W = backend.W();
   std::vector<AdjointResult> out;
   out.reserve(Ez.size());
   for (std::size_t k = 0; k < Ez.size(); ++k) {

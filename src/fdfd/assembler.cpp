@@ -51,6 +51,52 @@ FdfdOperator assemble(const grid::GridSpec& spec, const maps::math::RealGrid& ep
   return op;
 }
 
+BandedOperator assemble_banded(const grid::GridSpec& spec,
+                               const maps::math::RealGrid& eps, double omega,
+                               const PmlSpec& pml) {
+  maps::require(eps.nx() == spec.nx && eps.ny() == spec.ny,
+                "assemble_banded: eps map does not match grid");
+  maps::require(omega > 0, "assemble_banded: omega must be positive");
+
+  const index_t nx = spec.nx, ny = spec.ny;
+  const double dl2 = spec.dl * spec.dl;
+  const StretchProfile sx = make_stretch(nx, spec.dl, omega, pml);
+  const StretchProfile sy = make_stretch(ny, spec.dl, omega, pml);
+
+  BandedOperator op;
+  // Natural ordering couples n to n±1 and n±nx; a single-row grid only
+  // needs the i neighbors.
+  const index_t bw = ny > 1 ? nx : 1;
+  op.AB = maps::math::SplitBandMatrix(nx * ny, bw, bw);
+  op.W.resize(static_cast<std::size_t>(nx * ny));
+  op.omega = omega;
+  op.spec = spec;
+
+  auto flat = [nx](index_t i, index_t j) { return i + nx * j; };
+
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t n = flat(i, j);
+      const cplx scx = sx.centers[static_cast<std::size_t>(i)];
+      const cplx scy = sy.centers[static_cast<std::size_t>(j)];
+      op.W[static_cast<std::size_t>(n)] = scx * scy;
+
+      const cplx ce = cplx{1.0} / (dl2 * scx * sx.edges[static_cast<std::size_t>(i) + 1]);
+      const cplx cw = cplx{1.0} / (dl2 * scx * sx.edges[static_cast<std::size_t>(i)]);
+      const cplx cn = cplx{1.0} / (dl2 * scy * sy.edges[static_cast<std::size_t>(j) + 1]);
+      const cplx cs = cplx{1.0} / (dl2 * scy * sy.edges[static_cast<std::size_t>(j)]);
+
+      cplx diag = -(ce + cw + cn + cs) + omega * omega * eps(i, j);
+      if (i + 1 < nx) op.AB.set(n, flat(i + 1, j), ce);
+      if (i > 0) op.AB.set(n, flat(i - 1, j), cw);
+      if (j + 1 < ny) op.AB.set(n, flat(i, j + 1), cn);
+      if (j > 0) op.AB.set(n, flat(i, j - 1), cs);
+      op.AB.set(n, n, diag);
+    }
+  }
+  return op;
+}
+
 std::vector<cplx> rhs_from_current(const maps::math::CplxGrid& J, double omega) {
   std::vector<cplx> b(static_cast<std::size_t>(J.size()));
   const cplx f = -kI * omega;

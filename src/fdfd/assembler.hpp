@@ -16,6 +16,7 @@
 
 #include "fdfd/pml.hpp"
 #include "grid/yee_grid.hpp"
+#include "math/banded_split.hpp"
 #include "math/csr.hpp"
 #include "math/field2d.hpp"
 
@@ -32,6 +33,23 @@ struct FdfdOperator {
 /// `omega` with the given PML. `eps` shape must match `spec`.
 FdfdOperator assemble(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
                       double omega, const PmlSpec& pml);
+
+/// The same operator assembled directly into split-complex band storage
+/// (kl = ku = nx under the natural n = i + nx*j ordering), skipping the
+/// triplet -> CSR -> band conversion chain. This is the prepared-operator
+/// fast path of the dataset-generation runtime: coefficient arithmetic is
+/// identical to assemble(), so the banded system equals to_band(assemble().A)
+/// entry-for-entry; only W and the band are produced (no CSR A).
+struct BandedOperator {
+  maps::math::SplitBandMatrix AB;
+  std::vector<cplx> W;              // symmetrizing row scale, size N
+  double omega = 0.0;
+  grid::GridSpec spec;
+};
+
+BandedOperator assemble_banded(const grid::GridSpec& spec,
+                               const maps::math::RealGrid& eps, double omega,
+                               const PmlSpec& pml);
 
 /// Right-hand side from a current source: b = -i omega J.
 std::vector<cplx> rhs_from_current(const maps::math::CplxGrid& J, double omega);

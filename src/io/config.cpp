@@ -184,6 +184,15 @@ DataGenConfig DataGenConfig::from_json(const JsonValue& v) {
   }
   cfg.multi_fidelity = r.boolean("multi_fidelity", false);
   cfg.output = r.string("output", "dataset.mapsd");
+  cfg.shard_index = r.integer("shard_index", 0);
+  cfg.shard_count = r.integer("shard_count", 1);
+  cfg.resume = r.boolean("resume", false);
+  if (cfg.shard_count < 1) {
+    throw MapsError("datagen: shard_count must be >= 1");
+  }
+  if (cfg.shard_index < 0 || cfg.shard_index >= cfg.shard_count) {
+    throw MapsError("datagen: shard_index must be in [0, shard_count)");
+  }
 
   auto& s = cfg.sampler;
   s.strategy = strategy_from_name(r.string("strategy", "random"));
@@ -217,6 +226,9 @@ JsonValue DataGenConfig::to_json() const {
   write_solver_settings(v, solver);
   v["multi_fidelity"] = multi_fidelity;
   v["output"] = output;
+  v["shard_index"] = shard_index;
+  v["shard_count"] = shard_count;
+  v["resume"] = resume;
   v["strategy"] = data::strategy_name(sampler.strategy);
   v["num_patterns"] = sampler.num_patterns;
   v["seed"] = static_cast<int>(sampler.seed);

@@ -46,6 +46,10 @@ void apply_solver_settings(devices::DeviceProblem& device,
                            const SolverSettings& settings);
 
 /// maps_datagen: sample patterns for a device and simulate rich labels.
+/// Sharding (src/runtime/): "shard_index" / "shard_count" select this
+/// process's slice of the pattern set (every shard derives the identical
+/// patterns; positions are round-robined); "resume" re-adopts a killed
+/// shard's committed prefix from its manifest instead of restarting.
 struct DataGenConfig {
   devices::DeviceKind device = devices::DeviceKind::Bend;
   int fidelity = 1;
@@ -53,6 +57,9 @@ struct DataGenConfig {
   SolverSettings solver;
   data::SamplerOptions sampler;
   std::string output = "dataset.mapsd";
+  int shard_index = 0;
+  int shard_count = 1;
+  bool resume = false;
 
   static DataGenConfig from_json(const JsonValue& v);
   JsonValue to_json() const;

@@ -1,13 +1,18 @@
 #include "io/runners.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <ostream>
+#include <set>
 
 #include "core/data/generator.hpp"
 #include "core/invdes/init.hpp"
 #include "core/train/trainer.hpp"
 #include "nn/serialize.hpp"
+#include "runtime/datagen.hpp"
 
 namespace maps::io {
 
@@ -52,42 +57,157 @@ void write_density_csv(const maps::math::RealGrid& density, const std::string& p
   if (!out) throw MapsError("write_density_csv: write failed for " + path);
 }
 
+namespace {
+
+/// Fail fast on an unwritable output path: a bad path must surface before
+/// hours of simulation, and as a clear error rather than a post-hoc one.
+/// The probe leaves no trace — a file it had to create is removed again, so
+/// a later failure cannot strand an empty dataset that retry scripts would
+/// mistake for output.
+void probe_writable(const std::string& path) {
+  const bool existed = std::filesystem::exists(path);
+  {
+    std::ofstream probe(path, std::ios::binary | std::ios::app);
+    if (!probe.good()) {
+      throw MapsError("datagen: output path is not writable: " + path);
+    }
+  }
+  if (!existed) std::remove(path.c_str());
+}
+
+/// Aggregate hit/miss counters of the (deduplicated) device caches. The
+/// pipeline's prepared backends bypass the cache on purpose (every pattern
+/// is a fresh operator), so the job-wide delta reflects the phases that do
+/// reuse operators — trajectory sampling above all.
+solver::CacheStats device_cache_stats(
+    std::initializer_list<const devices::DeviceProblem*> devs) {
+  solver::CacheStats total;
+  std::set<const solver::FactorizationCache*> seen;
+  for (const auto* dev : devs) {
+    const auto* cache = dev == nullptr ? nullptr : dev->solver_cache.get();
+    if (cache == nullptr || !seen.insert(cache).second) continue;
+    const auto s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+  }
+  return total;
+}
+
+}  // namespace
+
 JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
+  probe_writable(config.output);
+
   devices::BuildOptions build;
   build.fidelity = config.fidelity;
   auto device = devices::make_device(config.device, build);
   apply_solver_settings(device, config.solver);
+  const runtime::ShardPlan plan{config.shard_index, config.shard_count};
   log << "[datagen] device=" << devices::device_name(config.device)
       << " strategy=" << data::strategy_name(config.sampler.strategy)
       << " fidelity=" << config.fidelity
-      << " solver=" << solver::solver_kind_name(config.solver.config.kind) << "\n";
+      << " solver=" << solver::solver_kind_name(config.solver.config.kind)
+      << " shard=" << plan.index << "/" << plan.count
+      << (config.resume ? " resume" : "") << "\n";
 
+  // Job-wide cache accounting: trajectory sampling runs real inverse
+  // designs through the device cache; snapshot before it, not around the
+  // generation pipeline only.
+  const auto cache_before = device_cache_stats({&device});
   const auto patterns = data::sample_patterns(device, config.device, config.sampler);
   log << "[datagen] sampled " << patterns.densities.size() << " patterns\n";
 
-  data::Dataset dataset;
+  // Phase lineup (the high-fidelity pass rides the same pipeline).
+  std::vector<runtime::DatagenPhase> phases = {{&device, &patterns, 1}};
+  devices::DeviceProblem device_hi;
+  data::PatternSet hi_patterns;
   if (config.multi_fidelity) {
     devices::BuildOptions hi = build;
     hi.fidelity = config.fidelity * 2;
-    auto device_hi = devices::make_device(config.device, hi);
+    device_hi = devices::make_device(config.device, hi);
     apply_solver_settings(device_hi, config.solver);
-    dataset = data::generate_multifidelity(device, device_hi, patterns);
-  } else {
-    dataset = data::generate_dataset(device, patterns);
+    hi_patterns = data::upsample_patterns(patterns, device_hi);
+    const int factor = static_cast<int>(device_hi.spec.nx / device.spec.nx);
+    phases.push_back({&device_hi, &hi_patterns, factor});
   }
-  dataset.name = std::string(devices::device_name(config.device)) + "/" +
-                 data::strategy_name(config.sampler.strategy);
-  dataset.save(config.output);
-  log << "[datagen] wrote " << dataset.size() << " samples to " << config.output
-      << "\n";
+  const std::string name = std::string(devices::device_name(config.device)) + "/" +
+                           data::strategy_name(config.sampler.strategy);
+
+  runtime::DatagenOptions opts;
+  opts.shard = plan;
+  opts.resume = config.resume;
+  opts.progress_every_s = 5.0;
+  opts.log = &log;
 
   JsonValue report;
   report["task"] = "datagen";
   report["output"] = config.output;
-  report["samples"] = static_cast<int>(dataset.size());
   report["patterns"] = static_cast<int>(patterns.densities.size());
-  report["transmission"] = transmission_stats(dataset.primary_transmissions());
+
+  runtime::DatagenStats stats;
+  if (plan.single() && !config.resume) {
+    // Single-process job: pipeline in memory, save directly.
+    data::Dataset dataset = runtime::generate_pipelined(phases, name, opts, &stats);
+    dataset.save(config.output);
+    log << "[datagen] wrote " << dataset.size() << " samples to " << config.output
+        << "\n";
+    report["samples"] = static_cast<int>(dataset.size());
+    report["transmission"] = transmission_stats(dataset.primary_transmissions());
+  } else {
+    // Sharded / resumable job: append to this shard's part file, then merge
+    // once every shard reports done.
+    stats = runtime::generate_sharded(phases, name, config.output, opts);
+    JsonValue shard;
+    shard["index"] = plan.index;
+    shard["count"] = plan.count;
+    // Per-phase pattern blocks (a multi-fidelity pattern counts per phase).
+    shard["resumed_blocks"] = static_cast<int>(stats.skipped);
+    shard["part"] = runtime::shard_part_path(config.output, plan.index, plan.count);
+    bool merged = false;
+    if (runtime::all_shards_done(config.output, plan.count)) {
+      const auto dataset = runtime::merge_shards(config.output, plan.count);
+      log << "[datagen] merged " << plan.count << " shard(s): " << dataset.size()
+          << " samples -> " << config.output << "\n";
+      report["samples"] = static_cast<int>(dataset.size());
+      report["transmission"] = transmission_stats(dataset.primary_transmissions());
+      merged = true;
+    } else {
+      log << "[datagen] shard " << plan.index << "/" << plan.count
+          << " complete; waiting on other shards before merge\n";
+      report["samples"] = static_cast<int>(stats.samples);
+    }
+    shard["merged"] = merged;
+    report["shard"] = shard;
+  }
+
+  const auto cache_after = device_cache_stats({&device, &device_hi});
+  stats.cache_hits = cache_after.hits - cache_before.hits;
+  stats.cache_misses = cache_after.misses - cache_before.misses;
+  report["throughput"] = stats.to_json();
+  log << "[datagen] throughput: " << stats.patterns_per_s() << " patterns/s, "
+      << stats.solves_per_s() << " solves/s, cache hit-rate "
+      << stats.cache_hit_rate() << "\n";
   report["config"] = config.to_json();
+  return report;
+}
+
+JsonValue run_datagen_merge(const DataGenConfig& config, std::ostream& log) {
+  // The config's shard_count is authoritative when sharded; a config driven
+  // by --shard flags still says 1, so fall back to the manifests on disk.
+  int count = config.shard_count;
+  if (count <= 1) {
+    const int detected = runtime::detect_shard_count(config.output);
+    if (detected > 0) count = detected;
+  }
+  const auto dataset = runtime::merge_shards(config.output, count);
+  log << "[datagen] merged " << count << " shard(s): " << dataset.size()
+      << " samples -> " << config.output << "\n";
+  JsonValue report;
+  report["task"] = "datagen-merge";
+  report["output"] = config.output;
+  report["shards"] = count;
+  report["samples"] = static_cast<int>(dataset.size());
+  report["transmission"] = transmission_stats(dataset.primary_transmissions());
   return report;
 }
 
@@ -197,8 +317,7 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
   return report;
 }
 
-JsonValue run_config_file(const std::string& path, std::ostream& log) {
-  const JsonValue doc = json_load(path);
+JsonValue run_config_json(const JsonValue& doc, std::ostream& log) {
   const std::string task = doc.at("task").as_string();
   // The "task" key routes; the runner configs reject unknown fields, so
   // strip it before handing over.
@@ -209,6 +328,10 @@ JsonValue run_config_file(const std::string& path, std::ostream& log) {
   if (task == "train") return run_train(TrainConfig::from_json(body), log);
   if (task == "invdes") return run_invdes(InvDesConfig::from_json(body), log);
   throw MapsError("run_config_file: unknown task '" + task + "'");
+}
+
+JsonValue run_config_file(const std::string& path, std::ostream& log) {
+  return run_config_json(json_load(path), log);
 }
 
 }  // namespace maps::io

@@ -11,8 +11,17 @@
 namespace maps::io {
 
 /// Generate a dataset per config, save it to config.output, return a
-/// summary (sample count, transmission stats, per-strategy metadata).
+/// summary (sample count, transmission stats, per-strategy metadata, and a
+/// "throughput" block with patterns/s, solves/s and cache hit-rate).
+/// Sharded configs (shard_count > 1, or resume) write the shard's .part
+/// file + manifest through the runtime pipeline; once every shard's
+/// manifest reports done, the full dataset is merged to config.output.
 JsonValue run_datagen(const DataGenConfig& config, std::ostream& log);
+
+/// Merge the completed shards of a datagen config into config.output
+/// (byte-identical to a single-process run). Throws if shards are missing
+/// or unfinished.
+JsonValue run_datagen_merge(const DataGenConfig& config, std::ostream& log);
 
 /// Train a model per config; returns the standardized metric report
 /// (train/test N-L2, gradient similarity, S-param error).
@@ -24,6 +33,10 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log);
 
 /// Dispatch on the config's "task" field ("datagen" | "train" | "invdes").
 JsonValue run_config_file(const std::string& path, std::ostream& log);
+
+/// Same dispatch for an already-parsed document (the CLI applies --shard /
+/// --resume overrides to the document before dispatching).
+JsonValue run_config_json(const JsonValue& doc, std::ostream& log);
 
 /// Write a density grid as CSV (one row per y line).
 void write_density_csv(const maps::math::RealGrid& density, const std::string& path);

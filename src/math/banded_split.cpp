@@ -1,0 +1,243 @@
+#include "math/banded_split.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps::math {
+
+SplitBandMatrix::SplitBandMatrix(index_t n, index_t kl, index_t ku)
+    : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1) {
+  require(n > 0 && kl >= 0 && ku >= 0, "SplitBandMatrix: invalid shape");
+  require(kl < n && ku < n, "SplitBandMatrix: band exceeds dimension");
+  const std::size_t cells = static_cast<std::size_t>(ldab_) * static_cast<std::size_t>(n_);
+  re_.assign(cells, 0.0);
+  im_.assign(cells, 0.0);
+  ipiv_.assign(static_cast<std::size_t>(n_), 0);
+}
+
+void SplitBandMatrix::set(index_t i, index_t j, cplx v) {
+  require(i >= 0 && i < n_ && j >= 0 && j < n_, "SplitBandMatrix::set: out of range");
+  require(i - j <= kl_ && j - i <= ku_, "SplitBandMatrix::set: outside band");
+  require(!factorized_, "SplitBandMatrix::set: matrix already factorized");
+  re_[at(i, j)] = v.real();
+  im_[at(i, j)] = v.imag();
+}
+
+cplx SplitBandMatrix::get(index_t i, index_t j) const {
+  require(i >= 0 && i < n_ && j >= 0 && j < n_, "SplitBandMatrix::get: out of range");
+  if (i - j > kl_ || j - i > ku_) return cplx{};
+  return {re_[at(i, j)], im_[at(i, j)]};
+}
+
+// xGBTF2 on split storage. Column j: pivot among the kl rows below the
+// diagonal (|re| + |im| magnitude, matching BandMatrix so the pivot sequence
+// is identical), swap rows across the affected columns, scale the
+// multipliers by 1/pivot, then rank-1 update the trailing window. The two
+// innermost loops run over contiguous double arrays — no complex arithmetic.
+void SplitBandMatrix::factorize() {
+  require(!factorized_, "SplitBandMatrix::factorize: already factorized");
+  index_t ju = 0;  // rightmost column touched by row interchanges so far
+
+  for (index_t j = 0; j < n_; ++j) {
+    const index_t km = std::min(kl_, n_ - 1 - j);
+    const std::size_t d = at(j, j);
+    index_t jp = 0;
+    double best = std::abs(re_[d]) + std::abs(im_[d]);
+    for (index_t k = 1; k <= km; ++k) {
+      const double m = std::abs(re_[d + static_cast<std::size_t>(k)]) +
+                       std::abs(im_[d + static_cast<std::size_t>(k)]);
+      if (m > best) {
+        best = m;
+        jp = k;
+      }
+    }
+    ipiv_[static_cast<std::size_t>(j)] = j + jp;
+    if (best == 0.0) throw MapsError("SplitBandMatrix::factorize: singular matrix");
+
+    ju = std::max(ju, std::min(j + ku_ + jp, n_ - 1));
+    if (jp != 0) {
+      for (index_t col = j; col <= ju; ++col) {
+        std::swap(re_[at(j, col)], re_[at(j + jp, col)]);
+        std::swap(im_[at(j, col)], im_[at(j + jp, col)]);
+      }
+    }
+    if (km > 0) {
+      const double dr = re_[d], di = im_[d];
+      const double den = dr * dr + di * di;
+      const double pr = dr / den, pi = -di / den;  // 1 / pivot
+      double* __restrict mr = &re_[d];
+      double* __restrict mi = &im_[d];
+      for (index_t k = 1; k <= km; ++k) {
+        const double ar = mr[k], ai = mi[k];
+        mr[k] = ar * pr - ai * pi;
+        mi[k] = ar * pi + ai * pr;
+      }
+      for (index_t col = j + 1; col <= ju; ++col) {
+        const std::size_t c = at(j, col);
+        const double br = re_[c], bi = im_[c];
+        if (br != 0.0 || bi != 0.0) {
+          double* __restrict cr = &re_[c];
+          double* __restrict ci = &im_[c];
+          for (index_t k = 1; k <= km; ++k) {
+            const double ar = mr[k], ai = mi[k];
+            cr[k] -= ar * br - ai * bi;
+            ci[k] -= ar * bi + ai * br;
+          }
+        }
+      }
+    }
+  }
+  factorized_ = true;
+}
+
+// xGBTRS 'N': apply L (with interchanges), then banded back-substitution.
+void SplitBandMatrix::solve_inplace(std::vector<cplx>& b) const {
+  require(factorized_, "SplitBandMatrix::solve: factorize() first");
+  require(static_cast<index_t>(b.size()) == n_, "SplitBandMatrix::solve: size mismatch");
+  const index_t kv = kl_ + ku_;
+
+  if (kl_ > 0) {
+    for (index_t j = 0; j < n_ - 1; ++j) {
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      if (piv != j) std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      const cplx bj = b[static_cast<std::size_t>(j)];
+      if (bj != cplx{}) {
+        const std::size_t d = at(j, j);
+        const double br = bj.real(), bi = bj.imag();
+        for (index_t k = 1; k <= km; ++k) {
+          const double ar = re_[d + static_cast<std::size_t>(k)];
+          const double ai = im_[d + static_cast<std::size_t>(k)];
+          b[static_cast<std::size_t>(j + k)] -= cplx{ar * br - ai * bi, ar * bi + ai * br};
+        }
+      }
+    }
+  }
+  for (index_t j = n_ - 1; j >= 0; --j) {
+    const std::size_t d = at(j, j);
+    const double dr = re_[d], di = im_[d];
+    const double den = dr * dr + di * di;
+    const cplx bj0 = b[static_cast<std::size_t>(j)];
+    const double br = (bj0.real() * dr + bj0.imag() * di) / den;
+    const double bi = (bj0.imag() * dr - bj0.real() * di) / den;
+    b[static_cast<std::size_t>(j)] = cplx{br, bi};
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    const std::size_t c0 = at(ilo, j);
+    for (index_t i = ilo; i < j; ++i) {
+      const std::size_t c = c0 + static_cast<std::size_t>(i - ilo);
+      const double ar = re_[c], ai = im_[c];
+      b[static_cast<std::size_t>(i)] -= cplx{ar * br - ai * bi, ar * bi + ai * br};
+    }
+  }
+}
+
+// xGBTRS 'T': U^T forward substitution, then L^T and the interchanges in
+// reverse order.
+void SplitBandMatrix::solve_transposed_inplace(std::vector<cplx>& b) const {
+  require(factorized_, "SplitBandMatrix::solve_transposed: factorize() first");
+  require(static_cast<index_t>(b.size()) == n_,
+          "SplitBandMatrix::solve_transposed: size mismatch");
+  const index_t kv = kl_ + ku_;
+
+  for (index_t j = 0; j < n_; ++j) {
+    double sr = b[static_cast<std::size_t>(j)].real();
+    double si = b[static_cast<std::size_t>(j)].imag();
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    const std::size_t c0 = at(ilo, j);
+    for (index_t i = ilo; i < j; ++i) {
+      const std::size_t c = c0 + static_cast<std::size_t>(i - ilo);
+      const double ar = re_[c], ai = im_[c];
+      const cplx bi_v = b[static_cast<std::size_t>(i)];
+      sr -= ar * bi_v.real() - ai * bi_v.imag();
+      si -= ar * bi_v.imag() + ai * bi_v.real();
+    }
+    const std::size_t d = at(j, j);
+    const double dr = re_[d], di = im_[d];
+    const double den = dr * dr + di * di;
+    b[static_cast<std::size_t>(j)] =
+        cplx{(sr * dr + si * di) / den, (si * dr - sr * di) / den};
+  }
+  if (kl_ > 0) {
+    for (index_t j = n_ - 2; j >= 0; --j) {
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      double sr = b[static_cast<std::size_t>(j)].real();
+      double si = b[static_cast<std::size_t>(j)].imag();
+      const std::size_t d = at(j, j);
+      for (index_t k = 1; k <= km; ++k) {
+        const double ar = re_[d + static_cast<std::size_t>(k)];
+        const double ai = im_[d + static_cast<std::size_t>(k)];
+        const cplx bk = b[static_cast<std::size_t>(j + k)];
+        sr -= ar * bk.real() - ai * bk.imag();
+        si -= ar * bk.imag() + ai * bk.real();
+      }
+      b[static_cast<std::size_t>(j)] = cplx{sr, si};
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      if (piv != j) std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+    }
+  }
+}
+
+void SplitBandMatrix::solve_multi_inplace(std::vector<std::vector<cplx>>& bs) const {
+  require(factorized_, "SplitBandMatrix::solve_multi: factorize() first");
+  for (const auto& b : bs) {
+    require(static_cast<index_t>(b.size()) == n_,
+            "SplitBandMatrix::solve_multi: size mismatch");
+  }
+  const index_t kv = kl_ + ku_;
+  const std::size_t nrhs = bs.size();
+
+  if (kl_ > 0) {
+    for (index_t j = 0; j < n_ - 1; ++j) {
+      const index_t piv = ipiv_[static_cast<std::size_t>(j)];
+      const index_t km = std::min(kl_, n_ - 1 - j);
+      const std::size_t d = at(j, j);
+      for (std::size_t r = 0; r < nrhs; ++r) {
+        auto& b = bs[r];
+        if (piv != j) {
+          std::swap(b[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(piv)]);
+        }
+        const cplx bj = b[static_cast<std::size_t>(j)];
+        if (bj != cplx{}) {
+          const double br = bj.real(), bi = bj.imag();
+          for (index_t k = 1; k <= km; ++k) {
+            const double ar = re_[d + static_cast<std::size_t>(k)];
+            const double ai = im_[d + static_cast<std::size_t>(k)];
+            b[static_cast<std::size_t>(j + k)] -=
+                cplx{ar * br - ai * bi, ar * bi + ai * br};
+          }
+        }
+      }
+    }
+  }
+  for (index_t j = n_ - 1; j >= 0; --j) {
+    const std::size_t d = at(j, j);
+    const double dr = re_[d], di = im_[d];
+    const double den = dr * dr + di * di;
+    const index_t ilo = std::max<index_t>(0, j - kv);
+    const std::size_t c0 = at(ilo, j);
+    for (std::size_t r = 0; r < nrhs; ++r) {
+      auto& b = bs[r];
+      const cplx bj0 = b[static_cast<std::size_t>(j)];
+      const double br = (bj0.real() * dr + bj0.imag() * di) / den;
+      const double bi = (bj0.imag() * dr - bj0.real() * di) / den;
+      b[static_cast<std::size_t>(j)] = cplx{br, bi};
+      for (index_t i = ilo; i < j; ++i) {
+        const std::size_t c = c0 + static_cast<std::size_t>(i - ilo);
+        const double ar = re_[c], ai = im_[c];
+        b[static_cast<std::size_t>(i)] -= cplx{ar * br - ai * bi, ar * bi + ai * br};
+      }
+    }
+  }
+}
+
+void SplitBandMatrix::solve_transposed_multi_inplace(
+    std::vector<std::vector<cplx>>& bs) const {
+  require(factorized_, "SplitBandMatrix::solve_transposed_multi: factorize() first");
+  for (const auto& b : bs) {
+    require(static_cast<index_t>(b.size()) == n_,
+            "SplitBandMatrix::solve_transposed_multi: size mismatch");
+  }
+  for (auto& b : bs) solve_transposed_inplace(b);
+}
+
+}  // namespace maps::math

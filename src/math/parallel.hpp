@@ -38,6 +38,14 @@ class ThreadPool {
                             const std::function<void(std::size_t, std::size_t)>& fn,
                             std::size_t min_chunk = 1);
 
+  /// Register the calling thread as a pool-equivalent worker: nested
+  /// parallel_for calls from it run serially inline, exactly as they do from
+  /// the pool's own workers. The runtime TaskQueue marks its workers this
+  /// way so concurrently executing tasks never contend for the single-task
+  /// global pool. Idempotent; scoped for the thread's lifetime.
+  static void register_worker_thread() { in_worker_ = true; }
+  static bool is_worker_thread() { return in_worker_; }
+
  private:
   struct Task {
     std::function<void(std::size_t, std::size_t)> body;

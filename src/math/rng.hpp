@@ -11,6 +11,17 @@
 
 namespace maps::math {
 
+/// Derive an independent seed for a named stream of a base seed (splitmix64
+/// over the pair). Used for per-pattern RNG streams in dataset sampling:
+/// pattern k's draws depend only on (seed, k), never on how many patterns
+/// precede it or which shard simulates it.
+inline std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : gen_(seed) {}

@@ -1,0 +1,85 @@
+// Bounded MPMC channel: the runtime's backpressure primitive for
+// stage-threaded pipelines.
+//
+// A Channel<T> holds at most `capacity` items; push() blocks while full, so
+// an upstream stage that outruns its consumer parks instead of accumulating
+// unbounded in-flight state. close() wakes everyone: pending items still
+// drain, then pop() returns nullopt and push() returns false, so a stage
+// observing a failure closes its channels and the pipeline unwinds without
+// special-case signalling. (The datagen pipeline's backpressure is its
+// bounded in-order future window — see datagen.cpp; Channel is the
+// primitive for workloads with free-running stage threads, e.g. a future
+// multi-device generation fan-in.)
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "math/types.hpp"
+
+namespace maps::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    maps::require(capacity > 0, "Channel: capacity must be positive");
+  }
+
+  /// Blocks while the channel is full. Returns false (dropping v) if the
+  /// channel was closed.
+  bool push(T v) {
+    std::unique_lock lk(mu_);
+    cv_space_.wait(lk, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    lk.unlock();
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once the channel is closed *and*
+  /// drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_items_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    cv_space_.notify_one();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_items_, cv_space_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace maps::runtime

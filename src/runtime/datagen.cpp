@@ -1,0 +1,459 @@
+#include "runtime/datagen.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "math/parallel.hpp"
+#include "runtime/task_queue.hpp"
+#include "solver/cache.hpp"
+
+namespace maps::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct WorkItem {
+  int phase = 0;
+  std::size_t pos = 0;
+};
+
+struct SolvedPattern {
+  std::vector<data::SampleRecord> records;
+  int factorizations = 0;
+  int solves = 0;
+};
+
+void validate_phases(const std::vector<DatagenPhase>& phases) {
+  maps::require(!phases.empty(), "datagen: at least one phase required");
+  for (const auto& ph : phases) {
+    maps::require(ph.device != nullptr && ph.patterns != nullptr,
+                  "datagen: phase device/patterns must be set");
+    maps::require(ph.patterns->densities.size() == ph.patterns->ids.size(),
+                  "datagen: pattern/ids mismatch");
+  }
+}
+
+/// Aggregate (deduplicated) device-cache counters across phases.
+solver::CacheStats cache_snapshot(const std::vector<DatagenPhase>& phases) {
+  solver::CacheStats total;
+  std::set<const solver::FactorizationCache*> seen;
+  for (const auto& ph : phases) {
+    const auto* cache = ph.device->solver_cache.get();
+    if (cache == nullptr || !seen.insert(cache).second) continue;
+    const auto s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+  }
+  return total;
+}
+
+/// The stage-parallel core: runs every item through prep and solve tasks on
+/// a TaskQueue and hands finished patterns to `commit` in submission order.
+void run_pipeline(const std::vector<DatagenPhase>& phases,
+                  const std::vector<WorkItem>& items, const DatagenOptions& opts,
+                  DatagenStats& stats,
+                  const std::function<void(const WorkItem&, SolvedPattern&&)>& commit) {
+  const auto t_start = Clock::now();
+  const auto cache_before = cache_snapshot(phases);
+
+  TaskQueue queue(opts.workers);
+  const std::size_t inflight =
+      opts.max_inflight > 0 ? opts.max_inflight : queue.worker_count() + 2;
+
+  std::deque<std::pair<WorkItem, Future<data::PreparedPattern>>> prep_win;
+  std::deque<std::pair<WorkItem, Future<SolvedPattern>>> solve_win;
+  std::size_t next = 0, done = 0;
+  auto t_last_progress = t_start;
+
+  while (done < items.size()) {
+    // Keep the bounded window full (backpressure: at most `inflight`
+    // patterns hold prepared factorizations at once).
+    while (next < items.size() && prep_win.size() + solve_win.size() < inflight) {
+      const WorkItem w = items[next++];
+      const DatagenPhase& ph = phases[static_cast<std::size_t>(w.phase)];
+      prep_win.emplace_back(w, queue.submit([&ph, w] {
+        return data::prepare_pattern(*ph.device, ph.patterns->densities[w.pos], w.pos,
+                                     ph.patterns->ids[w.pos]);
+      }));
+    }
+
+    // Chain the solve stage of every prepared pattern, not just the oldest:
+    // a straggling prep (e.g. a slow iterative factorization) must not
+    // head-of-line-block the solves of patterns already prepared. Commit
+    // order below follows solve submission order — safe, because the memory
+    // sink scatters by (phase, position) and the shard sink's manifest
+    // records its append order, so final dataset bytes are order-independent.
+    bool chained = false;
+    for (auto it = prep_win.begin(); it != prep_win.end();) {
+      if (!it->second.ready()) {
+        ++it;
+        continue;
+      }
+      auto [w, fut] = std::move(*it);
+      it = prep_win.erase(it);
+      data::PreparedPattern prepared = fut.get();  // rethrows prep failures
+      const DatagenPhase& ph = phases[static_cast<std::size_t>(w.phase)];
+      solve_win.emplace_back(
+          w, queue.submit([&ph, pp = std::move(prepared)]() mutable {
+            SolvedPattern sp;
+            sp.records = data::solve_prepared(*ph.device, pp, ph.patterns->strategy);
+            for (auto& r : sp.records) r.fidelity = ph.fidelity_tag;
+            for (const auto& b : pp.group_backends) {
+              sp.factorizations += b->factorization_count();
+              sp.solves += b->solve_count();
+            }
+            return sp;
+          }));
+      chained = true;
+    }
+    if (chained) continue;
+
+    // Solved pattern ready: commit (oldest-submitted first).
+    if (!solve_win.empty() && solve_win.front().second.ready()) {
+      auto [w, fut] = std::move(solve_win.front());
+      solve_win.pop_front();
+      SolvedPattern sp = fut.get();  // rethrows solve failures
+      stats.samples += sp.records.size();
+      stats.factorizations += sp.factorizations;
+      stats.solves += sp.solves;
+      commit(w, std::move(sp));
+      ++stats.patterns;
+      ++done;
+
+      const auto now = Clock::now();
+      stats.seconds = seconds_between(t_start, now);
+      if (opts.log != nullptr && opts.progress_every_s > 0 &&
+          seconds_between(t_last_progress, now) >= opts.progress_every_s &&
+          done < items.size()) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "[datagen] %zu/%zu patterns | %.2f patterns/s | %.1f solves/s",
+                      done, items.size(), stats.patterns_per_s(),
+                      stats.solves_per_s());
+        *opts.log << line << "\n";
+        t_last_progress = now;
+      }
+      if (opts.after_pattern) opts.after_pattern(done);
+      continue;
+    }
+
+    // Nothing ready: block on the oldest outstanding stage. Workers stay
+    // busy on the queued window meanwhile.
+    if (!solve_win.empty()) {
+      solve_win.front().second.wait();
+    } else if (!prep_win.empty()) {
+      prep_win.front().second.wait();
+    } else {
+      break;  // defensive: no work in flight and nothing to submit
+    }
+  }
+
+  stats.seconds = seconds_between(t_start, Clock::now());
+  const auto cache_after = cache_snapshot(phases);
+  stats.cache_hits = cache_after.hits - cache_before.hits;
+  stats.cache_misses = cache_after.misses - cache_before.misses;
+}
+
+}  // namespace
+
+io::JsonValue DatagenStats::to_json() const {
+  io::JsonValue v;
+  v["patterns"] = static_cast<double>(patterns);
+  v["skipped"] = static_cast<double>(skipped);
+  v["samples"] = static_cast<double>(samples);
+  v["factorizations"] = factorizations;
+  v["solves"] = solves;
+  v["seconds"] = seconds;
+  v["patterns_per_s"] = patterns_per_s();
+  v["solves_per_s"] = solves_per_s();
+  io::JsonValue cache;
+  cache["hits"] = static_cast<double>(cache_hits);
+  cache["misses"] = static_cast<double>(cache_misses);
+  cache["hit_rate"] = cache_hit_rate();
+  v["cache"] = cache;
+  return v;
+}
+
+data::Dataset generate_pipelined(const std::vector<DatagenPhase>& phases,
+                                 const std::string& name, const DatagenOptions& opts,
+                                 DatagenStats* stats_out) {
+  validate_phases(phases);
+  maps::require(opts.shard.single(),
+                "generate_pipelined: sharded runs go through generate_sharded");
+
+  // Phase-major sample layout, matching the reference path's ordering.
+  std::vector<std::size_t> phase_offset(phases.size(), 0);
+  std::size_t total = 0;
+  std::vector<WorkItem> items;
+  for (std::size_t ph = 0; ph < phases.size(); ++ph) {
+    phase_offset[ph] = total;
+    const std::size_t m = phases[ph].patterns->densities.size();
+    total += m * phases[ph].device->excitations.size();
+    for (std::size_t p = 0; p < m; ++p) {
+      items.push_back({static_cast<int>(ph), p});
+    }
+  }
+
+  data::Dataset ds;
+  ds.name = name;
+  ds.samples.resize(total);
+  DatagenStats stats;
+  run_pipeline(phases, items, opts, stats,
+               [&](const WorkItem& w, SolvedPattern&& sp) {
+                 const std::size_t n_exc = sp.records.size();  // one per excitation
+                 const std::size_t base =
+                     phase_offset[static_cast<std::size_t>(w.phase)] + w.pos * n_exc;
+                 for (std::size_t e = 0; e < sp.records.size(); ++e) {
+                   ds.samples[base + e] = std::move(sp.records[e]);
+                 }
+               });
+  if (stats_out != nullptr) *stats_out = stats;
+  return ds;
+}
+
+DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
+                              const std::string& name, const std::string& output,
+                              const DatagenOptions& opts) {
+  namespace fs = std::filesystem;
+  validate_phases(phases);
+  opts.shard.validate();
+
+  const std::size_t m = phases.front().patterns->densities.size();
+  const std::size_t n_exc = phases.front().device->excitations.size();
+  for (const auto& ph : phases) {
+    maps::require(ph.patterns->densities.size() == m &&
+                      ph.device->excitations.size() == n_exc,
+                  "generate_sharded: phases must share pattern and excitation counts");
+  }
+
+  const std::string part_path =
+      shard_part_path(output, opts.shard.index, opts.shard.count);
+  const std::string manifest_path =
+      shard_manifest_path(output, opts.shard.index, opts.shard.count);
+
+  // Start fresh, or adopt the committed prefix of a previous (killed) run.
+  ShardManifest manifest;
+  bool fresh = true;
+  if (opts.resume && fs::exists(manifest_path)) {
+    manifest = ShardManifest::load(manifest_path);
+    maps::require(manifest.dataset_name == name && manifest.shard_index == opts.shard.index &&
+                      manifest.shard_count == opts.shard.count &&
+                      manifest.patterns_total == m &&
+                      manifest.samples_per_pattern == n_exc &&
+                      manifest.phases == static_cast<int>(phases.size()),
+                  "generate_sharded: resume manifest does not match this job (" +
+                      manifest_path + ")");
+    const std::uint64_t committed = manifest.committed_bytes();
+    if (committed > 0) {
+      maps::require(fs::exists(part_path),
+                    "generate_sharded: manifest found but shard part file missing: " +
+                        part_path);
+      const std::uint64_t actual = fs::file_size(part_path);
+      maps::require(actual >= committed,
+                    "generate_sharded: shard part file shorter than its manifest: " +
+                        part_path);
+      // Drop a partial trailing write from the killed run.
+      if (actual > committed) fs::resize_file(part_path, committed);
+    }
+    fresh = false;
+  }
+  if (fresh) {
+    manifest = ShardManifest{};
+    manifest.dataset_name = name;
+    manifest.shard_index = opts.shard.index;
+    manifest.shard_count = opts.shard.count;
+    manifest.patterns_total = m;
+    manifest.samples_per_pattern = n_exc;
+    manifest.phases = static_cast<int>(phases.size());
+  }
+
+  DatagenStats stats;
+  // O(1) committed lookups: resume startup must stay linear in the shard's
+  // pattern count.
+  std::set<std::pair<int, std::uint64_t>> committed;
+  for (const auto& e : manifest.completed) committed.insert({e.phase, e.pattern});
+  std::vector<WorkItem> items;
+  for (std::size_t ph = 0; ph < phases.size(); ++ph) {
+    for (const std::size_t p : opts.shard.owned(m)) {
+      if (committed.count({static_cast<int>(ph), static_cast<std::uint64_t>(p)})) {
+        ++stats.skipped;
+      } else {
+        items.push_back({static_cast<int>(ph), p});
+      }
+    }
+  }
+
+  if (manifest.done && items.empty()) {
+    if (opts.log != nullptr) {
+      *opts.log << "[datagen] shard " << opts.shard.index << "/" << opts.shard.count
+                << " already complete (" << stats.skipped
+                << " pattern blocks committed)\n";
+    }
+    return stats;
+  }
+
+  std::ofstream part(part_path,
+                     fresh ? std::ios::binary | std::ios::trunc
+                           : std::ios::binary | std::ios::app);
+  maps::require(part.good(), "generate_sharded: cannot open " + part_path);
+
+  run_pipeline(phases, items, opts, stats,
+               [&](const WorkItem& w, SolvedPattern&& sp) {
+                 for (const auto& r : sp.records) data::write_sample(part, r);
+                 part.flush();
+                 maps::require(part.good(),
+                               "generate_sharded: write failed for " + part_path);
+                 ShardManifest::Entry e;
+                 e.phase = w.phase;
+                 e.pattern = w.pos;
+                 e.bytes = static_cast<std::uint64_t>(part.tellp());
+                 manifest.completed.push_back(e);
+                 manifest.save(manifest_path);
+               });
+
+  manifest.done = true;
+  manifest.save(manifest_path);
+  if (opts.log != nullptr) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "[datagen] shard %d/%d done: %zu pattern blocks (%zu resumed) | "
+                  "%.2f patterns/s | %.1f solves/s",
+                  opts.shard.index, opts.shard.count, stats.patterns, stats.skipped,
+                  stats.patterns_per_s(), stats.solves_per_s());
+    *opts.log << line << "\n";
+  }
+  return stats;
+}
+
+int detect_shard_count(const std::string& output) {
+  namespace fs = std::filesystem;
+  const fs::path out(output);
+  const fs::path dir = out.parent_path().empty() ? fs::path(".") : out.parent_path();
+  const std::string prefix = out.filename().string() + ".shard-0-of-";
+  const std::string suffix = ".manifest.json";
+  if (!fs::exists(dir)) return 0;
+  std::set<int> candidates;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string count_str =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    try {
+      const int count = std::stoi(count_str);
+      if (count >= 1 && std::to_string(count) == count_str) candidates.insert(count);
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  if (candidates.empty()) return 0;
+  // Stale manifests from a differently-sharded earlier run make the answer
+  // ambiguous; refusing beats silently merging the old data.
+  maps::require(candidates.size() == 1,
+                "detect_shard_count: manifests for multiple shard counts exist "
+                "next to " + output +
+                    " — set shard_count in the config or remove the stale "
+                    ".shard-*.manifest.json files");
+  return *candidates.begin();
+}
+
+bool all_shards_done(const std::string& output, int shard_count) {
+  for (int i = 0; i < shard_count; ++i) {
+    const std::string path = shard_manifest_path(output, i, shard_count);
+    if (!std::filesystem::exists(path)) return false;
+    try {
+      if (!ShardManifest::load(path).done) return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+data::Dataset merge_shards(const std::string& output, int shard_count,
+                           bool write_output) {
+  maps::require(shard_count >= 1, "merge_shards: shard count must be >= 1");
+
+  std::vector<ShardManifest> manifests;
+  for (int i = 0; i < shard_count; ++i) {
+    const std::string path = shard_manifest_path(output, i, shard_count);
+    maps::require(std::filesystem::exists(path),
+                  "merge_shards: missing shard manifest " + path);
+    manifests.push_back(ShardManifest::load(path));
+    const auto& mf = manifests.back();
+    maps::require(mf.done, "merge_shards: shard " + std::to_string(i) +
+                               " is not finished (" + path + ")");
+    maps::require(mf.shard_index == i && mf.shard_count == shard_count,
+                  "merge_shards: manifest identity mismatch in " + path);
+    maps::require(mf.dataset_name == manifests.front().dataset_name &&
+                      mf.patterns_total == manifests.front().patterns_total &&
+                      mf.samples_per_pattern == manifests.front().samples_per_pattern &&
+                      mf.phases == manifests.front().phases,
+                  "merge_shards: shards describe different datasets");
+  }
+
+  const std::uint64_t m = manifests.front().patterns_total;
+  const std::uint64_t spp = manifests.front().samples_per_pattern;
+  const int phases = manifests.front().phases;
+  const std::size_t total = static_cast<std::size_t>(m * spp * phases);
+
+  data::Dataset ds;
+  ds.name = manifests.front().dataset_name;
+  ds.samples.resize(total);
+  std::vector<bool> filled(total, false);
+
+  for (int i = 0; i < shard_count; ++i) {
+    const std::string path = shard_part_path(output, i, shard_count);
+    std::ifstream is(path, std::ios::binary);
+    maps::require(is.good(), "merge_shards: cannot open " + path);
+    for (const auto& entry : manifests[static_cast<std::size_t>(i)].completed) {
+      maps::require(entry.phase >= 0 && entry.phase < phases && entry.pattern < m,
+                    "merge_shards: manifest entry out of range in shard " +
+                        std::to_string(i));
+      const std::size_t base = static_cast<std::size_t>(entry.phase) *
+                                   static_cast<std::size_t>(m * spp) +
+                               static_cast<std::size_t>(entry.pattern * spp);
+      for (std::uint64_t e = 0; e < spp; ++e) {
+        maps::require(!filled[base + e],
+                      "merge_shards: duplicate pattern across shards");
+        ds.samples[base + e] = data::read_sample(is);
+        filled[base + e] = true;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < total; ++k) {
+    maps::require(filled[k], "merge_shards: dataset has holes — are all shards run "
+                             "with the same pattern set and shard count?");
+  }
+
+  if (write_output) {
+    // Write-then-rename: concurrent mergers (two shards finishing at once
+    // both observing all_shards_done) each produce identical bytes and the
+    // atomic rename makes one of them the winner — never a torn output.
+    const std::string tmp =
+        output + ".merge-tmp." + std::to_string(::getpid());
+    ds.save(tmp);
+    if (std::rename(tmp.c_str(), output.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw MapsError("merge_shards: rename to " + output + " failed");
+    }
+  }
+  return ds;
+}
+
+}  // namespace maps::runtime

@@ -1,0 +1,109 @@
+// The async dataset-generation pipeline: stage-parallel, sharded, resumable.
+//
+// Work unit: one (phase, pattern position). Phases are fidelity passes over
+// the same pattern lineup (one phase for a plain dataset, low+high for
+// multi-fidelity pairs). Each unit flows through producer/consumer stages:
+//
+//   prep   task:  pattern render -> operator assembly -> factorization
+//                 (split-complex prepared band backend for direct solves)
+//   solve  task:  batched forward + adjoint multi-RHS solves -> labels
+//   collect (orchestrator thread): in-order scatter into the Dataset, or
+//                 append to the shard .part file + manifest commit
+//
+// prep and solve run as TaskQueue jobs; the orchestrator keeps a bounded
+// window of in-flight patterns (backpressure bounds the resident LU factors)
+// and drains results in submission order, so output order — and therefore
+// file bytes — is deterministic. With W workers, the prep of pattern i+1
+// overlaps the back-substitution of pattern i; with one worker the pipeline
+// degrades to the serial fast path.
+//
+// Sharding: ShardPlan round-robins positions; each shard writes
+// `<output>.shard-i-of-N.part` plus a manifest of committed (phase, pattern)
+// blocks (resume skips those), and merge_shards reassembles the global order
+// into a file byte-identical to a single-process run.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/data/generator.hpp"
+#include "runtime/shard.hpp"
+
+namespace maps::runtime {
+
+/// One fidelity pass: device + its pattern set + the fidelity tag stamped
+/// onto the records (1 = base resolution).
+struct DatagenPhase {
+  const devices::DeviceProblem* device = nullptr;
+  const data::PatternSet* patterns = nullptr;
+  int fidelity_tag = 1;
+};
+
+struct DatagenOptions {
+  ShardPlan shard;                 // {0, 1} = the whole job
+  bool resume = false;             // skip manifest-committed patterns
+  std::size_t workers = 0;         // pipeline task workers; 0 = math::num_threads()
+  std::size_t max_inflight = 0;    // in-flight patterns; 0 = workers + 2
+  double progress_every_s = 10.0;  // throughput log cadence; <= 0 disables
+  std::ostream* log = nullptr;
+  /// Test hook, called after each pattern commits (argument: patterns
+  /// completed so far this run). An exception thrown here aborts the run
+  /// exactly like a kill — the manifest keeps the committed prefix.
+  std::function<void(std::size_t)> after_pattern;
+};
+
+/// Counters are in per-phase pattern blocks — the pipeline's work unit. A
+/// single-fidelity run has one block per pattern; a multi-fidelity pattern
+/// counts once per fidelity phase (so patterns_per_s compares like-for-like
+/// only across runs with the same phase count).
+struct DatagenStats {
+  std::size_t patterns = 0;   // blocks simulated this run (excludes skipped)
+  std::size_t skipped = 0;    // resume: blocks already committed
+  std::size_t samples = 0;
+  int factorizations = 0;
+  int solves = 0;
+  double seconds = 0.0;
+  std::size_t cache_hits = 0, cache_misses = 0;  // device factorization cache
+
+  double patterns_per_s() const { return seconds > 0 ? patterns / seconds : 0.0; }
+  double solves_per_s() const { return seconds > 0 ? solves / seconds : 0.0; }
+  double cache_hit_rate() const {
+    const std::size_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+  io::JsonValue to_json() const;
+};
+
+/// In-memory pipelined generation of all phases (no files, no sharding —
+/// opts.shard/resume are ignored). Sample order matches the reference path:
+/// phase-major, pattern-ascending, excitation order.
+data::Dataset generate_pipelined(const std::vector<DatagenPhase>& phases,
+                                 const std::string& name,
+                                 const DatagenOptions& opts = {},
+                                 DatagenStats* stats_out = nullptr);
+
+/// File-backed generation of opts.shard's slice: appends to the .part file,
+/// commits the manifest after every pattern, honours opts.resume. All phases
+/// must share the pattern count and excitation count.
+DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
+                              const std::string& name, const std::string& output,
+                              const DatagenOptions& opts = {});
+
+/// True when every shard's manifest exists and reports done.
+bool all_shards_done(const std::string& output, int shard_count);
+
+/// Infer the shard count of `output` from the manifest files next to it
+/// (shard 0's manifest names the count). Returns 0 when no shard manifests
+/// exist — e.g. the run was launched with --shard flags the config file
+/// never saw.
+int detect_shard_count(const std::string& output);
+
+/// Reassemble `shard_count` completed shards of `output` into the full
+/// dataset (byte-identical to a single-process run when saved). Throws if a
+/// shard is missing, unfinished, or inconsistent. Writes `output` when
+/// `write_output`; always returns the merged dataset.
+data::Dataset merge_shards(const std::string& output, int shard_count,
+                           bool write_output = true);
+
+}  // namespace maps::runtime

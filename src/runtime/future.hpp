@@ -1,0 +1,106 @@
+// Minimal promise/future pair for the async execution layer.
+//
+// A Future<T> is a handle to a value produced by a TaskQueue job (or any
+// producer holding the matching Promise<T>). Unlike std::future it is
+// copyable — several pipeline stages may wait on the same upstream result —
+// and exposes a non-blocking ready() poll, which the datagen pipeline uses
+// to drain completed patterns without stalling on stragglers. Exceptions
+// thrown by the producer are captured and rethrown from get().
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "math/types.hpp"
+
+namespace maps::runtime {
+
+namespace detail {
+
+template <typename T>
+struct SharedState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool done = false;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking: has the producer delivered (value or exception)?
+  bool ready() const {
+    maps::require(valid(), "Future::ready: empty future");
+    std::lock_guard lk(state_->mu);
+    return state_->done;
+  }
+
+  void wait() const {
+    maps::require(valid(), "Future::wait: empty future");
+    std::unique_lock lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->done; });
+  }
+
+  /// Block until delivered; return the value or rethrow the producer's
+  /// exception. The value is *moved out* — get() is one-shot per future
+  /// chain (copies of the same Future share one underlying value).
+  T get() {
+    maps::require(valid(), "Future::get: empty future");
+    std::unique_lock lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->done; });
+    if (state_->error) std::rethrow_exception(state_->error);
+    maps::require(state_->value.has_value(), "Future::get: value already taken");
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    return out;
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::SharedState<T>>()) {}
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  void set_value(T value) {
+    {
+      std::lock_guard lk(state_->mu);
+      maps::require(!state_->done, "Promise::set_value: already satisfied");
+      state_->value = std::move(value);
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  void set_exception(std::exception_ptr e) {
+    {
+      std::lock_guard lk(state_->mu);
+      maps::require(!state_->done, "Promise::set_exception: already satisfied");
+      state_->error = std::move(e);
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+}  // namespace maps::runtime

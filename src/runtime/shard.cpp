@@ -1,0 +1,123 @@
+#include "runtime/shard.hpp"
+
+#include <cstdio>
+
+namespace maps::runtime {
+
+std::vector<std::size_t> ShardPlan::owned(std::size_t total) const {
+  validate();
+  std::vector<std::size_t> out;
+  for (std::size_t p = static_cast<std::size_t>(index); p < total;
+       p += static_cast<std::size_t>(count)) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+ShardPlan ShardPlan::parse(const std::string& spec) {
+  const auto slash = spec.find('/');
+  maps::require(slash != std::string::npos && slash > 0 && slash + 1 < spec.size(),
+                "shard spec must be i/N (e.g. 0/4), got '" + spec + "'");
+  ShardPlan plan;
+  try {
+    std::size_t used = 0;
+    plan.index = std::stoi(spec.substr(0, slash), &used);
+    maps::require(used == slash, "shard spec: index is not a number");
+    plan.count = std::stoi(spec.substr(slash + 1), &used);
+    maps::require(used == spec.size() - slash - 1, "shard spec: count is not a number");
+  } catch (const MapsError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw MapsError("shard spec must be i/N (e.g. 0/4), got '" + spec + "'");
+  }
+  plan.validate();
+  return plan;
+}
+
+void ShardPlan::validate() const {
+  maps::require(count >= 1, "shard count must be >= 1");
+  maps::require(index >= 0 && index < count,
+                "shard index must be in [0, count), got " + std::to_string(index) +
+                    "/" + std::to_string(count));
+}
+
+std::string shard_part_path(const std::string& output, int index, int count) {
+  return output + ".shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+         ".part";
+}
+
+std::string shard_manifest_path(const std::string& output, int index, int count) {
+  return output + ".shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+         ".manifest.json";
+}
+
+bool ShardManifest::is_completed(int phase, std::uint64_t pattern) const {
+  for (const auto& e : completed) {
+    if (e.phase == phase && e.pattern == pattern) return true;
+  }
+  return false;
+}
+
+std::uint64_t ShardManifest::committed_bytes() const {
+  return completed.empty() ? 0 : completed.back().bytes;
+}
+
+io::JsonValue ShardManifest::to_json() const {
+  io::JsonValue v;
+  v["dataset"] = dataset_name;
+  io::JsonValue shard;
+  shard["index"] = shard_index;
+  shard["count"] = shard_count;
+  v["shard"] = shard;
+  v["patterns_total"] = static_cast<double>(patterns_total);
+  v["samples_per_pattern"] = static_cast<double>(samples_per_pattern);
+  v["phases"] = phases;
+  v["done"] = done;
+  io::JsonArray entries;
+  for (const auto& e : completed) {
+    io::JsonValue entry;
+    entry["phase"] = e.phase;
+    entry["pattern"] = static_cast<double>(e.pattern);
+    entry["bytes"] = static_cast<double>(e.bytes);
+    entries.push_back(std::move(entry));
+  }
+  v["completed"] = io::JsonValue(std::move(entries));
+  return v;
+}
+
+ShardManifest ShardManifest::from_json(const io::JsonValue& v) {
+  ShardManifest m;
+  m.dataset_name = v.at("dataset").as_string();
+  m.shard_index = static_cast<int>(v.at("shard").at("index").as_int());
+  m.shard_count = static_cast<int>(v.at("shard").at("count").as_int());
+  m.patterns_total = static_cast<std::uint64_t>(v.at("patterns_total").as_int());
+  m.samples_per_pattern =
+      static_cast<std::uint64_t>(v.at("samples_per_pattern").as_int());
+  m.phases = static_cast<int>(v.at("phases").as_int());
+  m.done = v.at("done").as_bool();
+  for (const auto& entry : v.at("completed").as_array()) {
+    Entry e;
+    e.phase = static_cast<int>(entry.at("phase").as_int());
+    e.pattern = static_cast<std::uint64_t>(entry.at("pattern").as_int());
+    e.bytes = static_cast<std::uint64_t>(entry.at("bytes").as_int());
+    m.completed.push_back(e);
+  }
+  return m;
+}
+
+void ShardManifest::save(const std::string& path) const {
+  // Commit atomically: a kill during the write leaves the previous manifest
+  // (and thus a consistent resume point) in place.
+  const std::string tmp = path + ".tmp";
+  io::json_save(to_json(), tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw MapsError("ShardManifest::save: rename to " + path + " failed");
+  }
+}
+
+ShardManifest ShardManifest::load(const std::string& path) {
+  return from_json(io::json_load(path));
+}
+
+}  // namespace maps::runtime

@@ -1,0 +1,80 @@
+// TaskQueue: the submit-style async execution layer on top of
+// math::ThreadPool's thread budget.
+//
+// The global ThreadPool runs one blocking parallel_for at a time — the right
+// shape for data-parallel kernels, the wrong one for pipelines that want
+// assembly/factorization of pattern i+1 in flight while pattern i is still
+// in back-substitution. TaskQueue adds that layer: submit(fn) enqueues an
+// opaque job and returns a Future for its result; a fixed set of workers
+// (default: the pool's thread budget, math::num_threads()) drains the queue
+// FIFO. Every worker registers itself with the ThreadPool
+// (register_worker_thread), so library code called from a task runs its
+// nested parallel_for serially instead of contending for the single-task
+// global pool — T workers each running serial kernels preserves the machine's
+// total parallelism.
+//
+// Deadlock rule: a task must never block on the Future of another *queued*
+// task (FIFO workers would starve). The datagen pipeline obeys this by
+// construction — only the orchestrating (non-worker) thread waits on
+// futures; tasks receive their inputs by value.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/future.hpp"
+
+namespace maps::runtime {
+
+class TaskQueue {
+ public:
+  /// `workers` = 0 sizes from math::num_threads().
+  explicit TaskQueue(std::size_t workers = 0);
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t pending() const;
+
+  /// Enqueue fn for asynchronous execution; the returned future delivers
+  /// fn's result (or captured exception).
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  Future<R> submit(F&& fn) {
+    Promise<R> promise;
+    Future<R> future = promise.future();
+    enqueue([p = std::move(promise), f = std::forward<F>(fn)]() mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          static_assert(!std::is_void_v<R>, "submit: use submit<int> wrappers");
+        } else {
+          p.set_value(f());
+        }
+      } catch (...) {
+        p.set_exception(std::current_exception());
+      }
+    });
+    return future;
+  }
+
+  /// Process-wide queue used by solve_batch_async and other one-off
+  /// submitters. First call fixes the size.
+  static TaskQueue& shared();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace maps::runtime

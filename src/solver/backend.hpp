@@ -26,6 +26,7 @@
 
 #include "fdfd/assembler.hpp"
 #include "math/bicgstab.hpp"
+#include "runtime/future.hpp"
 
 namespace maps::solver {
 
@@ -80,10 +81,27 @@ class SolverBackend {
   virtual std::vector<std::vector<cplx>> solve_transposed_batch(
       std::span<const std::vector<cplx>> rhs);
 
+  /// Asynchronous batched solves: the batch is handed (by value) to the
+  /// shared runtime::TaskQueue and the future delivers the solutions, so a
+  /// dataset pipeline can overlap the next pattern's assembly/factorization
+  /// with this batch's back-substitution. The caller must keep the backend
+  /// alive until the future is ready. Factorization happens on the worker if
+  /// not already prepared.
+  runtime::Future<std::vector<std::vector<cplx>>> solve_batch_async(
+      std::vector<std::vector<cplx>> rhs);
+  runtime::Future<std::vector<std::vector<cplx>>> solve_transposed_batch_async(
+      std::vector<std::vector<cplx>> rhs);
+
   /// The assembled operator this backend answers for, on the *fine* grid
   /// (the CoarseGridBackend assembles it lazily for consumers that need W
   /// or residuals; its internal solve grid stays coarse).
   virtual const fdfd::FdfdOperator& op() const = 0;
+
+  /// The symmetrizing row scale W of the operator. Equivalent to op().W, but
+  /// backends that assemble the CSR operator lazily (prepared band, coarse
+  /// grid) can serve it without triggering that assembly — the adjoint path
+  /// only ever needs W.
+  virtual const std::vector<cplx>& W() const { return op().W; }
 
   virtual int factorization_count() const { return factorizations_.load(); }
   virtual int solve_count() const { return solves_.load(); }

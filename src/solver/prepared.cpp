@@ -1,0 +1,71 @@
+#include "solver/prepared.hpp"
+
+namespace maps::solver {
+
+PreparedBandBackend::PreparedBandBackend(const grid::GridSpec& spec,
+                                         const maps::math::RealGrid& eps, double omega,
+                                         const fdfd::PmlSpec& pml)
+    : spec_(spec), eps_(eps), pml_(pml),
+      band_(fdfd::assemble_banded(spec, eps, omega, pml)) {}
+
+void PreparedBandBackend::factorize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!band_.AB.factorized()) {
+    band_.AB.factorize();
+    ++factorizations_;
+  }
+}
+
+std::vector<cplx> PreparedBandBackend::solve(const std::vector<cplx>& rhs) {
+  factorize();
+  ++solves_;
+  std::vector<cplx> x = rhs;
+  band_.AB.solve_inplace(x);
+  return x;
+}
+
+std::vector<cplx> PreparedBandBackend::solve_transposed(const std::vector<cplx>& rhs) {
+  factorize();
+  ++solves_;
+  std::vector<cplx> x = rhs;
+  band_.AB.solve_transposed_inplace(x);
+  return x;
+}
+
+std::vector<std::vector<cplx>> PreparedBandBackend::solve_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  factorize();
+  solves_ += static_cast<int>(rhs.size());
+  std::vector<std::vector<cplx>> out(rhs.begin(), rhs.end());
+  if (!out.empty()) band_.AB.solve_multi_inplace(out);
+  return out;
+}
+
+std::vector<std::vector<cplx>> PreparedBandBackend::solve_transposed_batch(
+    std::span<const std::vector<cplx>> rhs) {
+  factorize();
+  solves_ += static_cast<int>(rhs.size());
+  std::vector<std::vector<cplx>> out(rhs.begin(), rhs.end());
+  if (!out.empty()) band_.AB.solve_transposed_multi_inplace(out);
+  return out;
+}
+
+const fdfd::FdfdOperator& PreparedBandBackend::op() const {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  if (!csr_op_) {
+    csr_op_ = fdfd::assemble(spec_, eps_, band_.omega, pml_);
+  }
+  return *csr_op_;
+}
+
+std::size_t PreparedBandBackend::factor_bytes() const {
+  return band_.AB.storage_bytes();
+}
+
+std::unique_ptr<PreparedBandBackend> make_prepared_backend(
+    const grid::GridSpec& spec, const maps::math::RealGrid& eps, double omega,
+    const fdfd::PmlSpec& pml) {
+  return std::make_unique<PreparedBandBackend>(spec, eps, omega, pml);
+}
+
+}  // namespace maps::solver

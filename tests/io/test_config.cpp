@@ -191,3 +191,35 @@ TEST(Config, ApplySolverSettingsConfiguresDevice) {
   EXPECT_EQ(device.solver_cache->capacity(), 5u);
   EXPECT_EQ(device.solver_cache->capacity_bytes(), 2u << 20);
 }
+
+TEST(Config, DataGenShardKeys) {
+  const auto cfg = mio::DataGenConfig::from_json(
+      mio::json_parse(R"({"shard_index": 1, "shard_count": 3, "resume": true})"));
+  EXPECT_EQ(cfg.shard_index, 1);
+  EXPECT_EQ(cfg.shard_count, 3);
+  EXPECT_TRUE(cfg.resume);
+
+  // Defaults: the whole job, no resume.
+  const auto plain = mio::DataGenConfig::from_json(mio::json_parse("{}"));
+  EXPECT_EQ(plain.shard_index, 0);
+  EXPECT_EQ(plain.shard_count, 1);
+  EXPECT_FALSE(plain.resume);
+
+  // Round-trip through to_json.
+  const auto rt = mio::DataGenConfig::from_json(cfg.to_json());
+  EXPECT_EQ(rt.shard_index, 1);
+  EXPECT_EQ(rt.shard_count, 3);
+  EXPECT_TRUE(rt.resume);
+}
+
+TEST(Config, DataGenShardValidation) {
+  EXPECT_THROW(
+      mio::DataGenConfig::from_json(mio::json_parse(R"({"shard_count": 0})")),
+      maps::MapsError);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"shard_index": 2, "shard_count": 2})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"shard_index": -1})")),
+               maps::MapsError);
+}

@@ -3,10 +3,12 @@
 // drive them.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "io/runners.hpp"
+#include "runtime/shard.hpp"
 
 namespace mio = maps::io;
 using mio::JsonValue;
@@ -110,4 +112,78 @@ TEST(Runners, DensityCsvShape) {
   ASSERT_TRUE(std::getline(in, l2));
   EXPECT_EQ(l1, "0.5,0.5,0.5");
   EXPECT_EQ(l2, "0.5,0.5,1");
+}
+
+TEST(Runners, DatagenReportsThroughput) {
+  std::ostringstream log;
+  mio::DataGenConfig dg;
+  dg.sampler.num_patterns = 3;
+  dg.output = tmp_path("tp.mapsd");
+  const auto report = mio::run_datagen(dg, log);
+  const auto& tp = report.at("throughput");
+  EXPECT_EQ(tp.at("patterns").as_int(), 3);
+  EXPECT_GT(tp.at("patterns_per_s").as_number(), 0.0);
+  EXPECT_GT(tp.at("solves_per_s").as_number(), 0.0);
+  EXPECT_GE(tp.at("cache").at("hit_rate").as_number(), 0.0);
+  EXPECT_NE(log.str().find("throughput"), std::string::npos);
+}
+
+TEST(Runners, DatagenShardedRunAndMerge) {
+  std::ostringstream log;
+  const std::string out = tmp_path("sharded.mapsd");
+  // TempDir persists across test invocations: drop any stale shard state.
+  for (int i = 0; i < 2; ++i) {
+    std::remove(maps::runtime::shard_part_path(out, i, 2).c_str());
+    std::remove(maps::runtime::shard_manifest_path(out, i, 2).c_str());
+  }
+  std::remove(out.c_str());
+
+  // Reference single-process dataset.
+  mio::DataGenConfig single;
+  single.sampler.num_patterns = 4;
+  single.sampler.seed = 8;
+  single.output = tmp_path("sharded_ref.mapsd");
+  mio::run_datagen(single, log);
+
+  mio::DataGenConfig shard = single;
+  shard.output = out;
+  shard.shard_count = 2;
+
+  shard.shard_index = 0;
+  auto r0 = mio::run_datagen(shard, log);
+  EXPECT_FALSE(r0.at("shard").at("merged").as_bool());
+
+  shard.shard_index = 1;
+  auto r1 = mio::run_datagen(shard, log);
+  // The final shard sees every manifest done and merges automatically.
+  EXPECT_TRUE(r1.at("shard").at("merged").as_bool());
+  EXPECT_EQ(r1.at("samples").as_int(), 4);
+
+  auto bytes = [](const std::string& p) {
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  EXPECT_EQ(bytes(single.output), bytes(out));
+
+  // Standalone merge runner agrees.
+  const auto merged = mio::run_datagen_merge(shard, log);
+  EXPECT_EQ(merged.at("samples").as_int(), 4);
+  EXPECT_EQ(merged.at("shards").as_int(), 2);
+}
+
+TEST(Runners, DatagenRejectsUnwritableOutputEarly) {
+  std::ostringstream log;
+  mio::DataGenConfig dg;
+  dg.sampler.num_patterns = 2;
+  dg.output = tmp_path("no_such_dir") + "/nested/out.mapsd";
+  try {
+    mio::run_datagen(dg, log);
+    FAIL() << "expected MapsError for unwritable output";
+  } catch (const maps::MapsError& e) {
+    EXPECT_NE(std::string(e.what()).find("not writable"), std::string::npos);
+  }
+  // Nothing was simulated: the failure must precede sampling.
+  EXPECT_EQ(log.str().find("sampled"), std::string::npos);
 }

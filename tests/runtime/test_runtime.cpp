@@ -1,0 +1,181 @@
+// Runtime primitives: Future/Promise, TaskQueue, bounded Channel, ShardPlan
+// partitioning and the shard manifest format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "math/parallel.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/future.hpp"
+#include "runtime/shard.hpp"
+#include "runtime/task_queue.hpp"
+
+namespace rt = maps::runtime;
+
+TEST(Future, DeliversValueAndReady) {
+  rt::Promise<int> p;
+  auto f = p.future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.set_value(42);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Future, PropagatesException) {
+  rt::Promise<int> p;
+  auto f = p.future();
+  p.set_exception(std::make_exception_ptr(maps::MapsError("boom")));
+  EXPECT_TRUE(f.ready());
+  EXPECT_THROW(f.get(), maps::MapsError);
+}
+
+TEST(Future, CopiesShareState) {
+  rt::Promise<std::string> p;
+  auto f1 = p.future();
+  auto f2 = f1;
+  p.set_value("shared");
+  EXPECT_TRUE(f2.ready());
+  EXPECT_EQ(f2.get(), "shared");
+}
+
+TEST(TaskQueue, RunsSubmittedTasks) {
+  rt::TaskQueue q(3);
+  EXPECT_EQ(q.worker_count(), 3u);
+  std::vector<rt::Future<int>> futures;
+  for (int k = 0; k < 20; ++k) {
+    futures.push_back(q.submit([k] { return k * k; }));
+  }
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(k)].get(), k * k);
+  }
+}
+
+TEST(TaskQueue, PropagatesTaskException) {
+  rt::TaskQueue q(1);
+  auto f = q.submit([]() -> int { throw maps::MapsError("task failed"); });
+  EXPECT_THROW(f.get(), maps::MapsError);
+}
+
+TEST(TaskQueue, NestedParallelForRunsSerially) {
+  // Tasks on queue workers must be able to call library code that uses the
+  // global pool: the nested parallel_for runs inline on the worker.
+  rt::TaskQueue q(2);
+  auto f = q.submit([] {
+    EXPECT_TRUE(maps::math::ThreadPool::is_worker_thread());
+    std::vector<int> out(64, 0);
+    maps::math::parallel_for(0, out.size(),
+                             [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    return std::accumulate(out.begin(), out.end(), 0);
+  });
+  EXPECT_EQ(f.get(), 63 * 64 / 2);
+}
+
+TEST(TaskQueue, SharedInstanceWorks) {
+  auto f = rt::TaskQueue::shared().submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(Channel, PushPopFifo) {
+  rt::Channel<int> ch(4);
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.pop().value(), 1);
+  EXPECT_EQ(ch.pop().value(), 2);
+}
+
+TEST(Channel, CloseDrainsThenEnds) {
+  rt::Channel<int> ch(4);
+  ch.push(5);
+  ch.close();
+  EXPECT_FALSE(ch.push(6));          // rejected after close
+  EXPECT_EQ(ch.pop().value(), 5);    // pending items still drain
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Channel, BackpressureBlocksProducer) {
+  rt::Channel<int> ch(2);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int k = 0; k < 6; ++k) {
+      ch.push(k);
+      produced.fetch_add(1);
+    }
+  });
+  // Give the producer time to hit the capacity wall.
+  for (int spin = 0; spin < 200 && produced.load() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_LE(produced.load(), 3);  // 2 in channel + at most 1 in flight
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(ch.pop().value(), k);
+  }
+  producer.join();
+  EXPECT_EQ(produced.load(), 6);
+}
+
+TEST(ShardPlan, PartitionCoversAndDisjoint) {
+  const std::size_t total = 23;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 4; ++i) {
+    rt::ShardPlan plan{i, 4};
+    for (const auto p : plan.owned(total)) {
+      EXPECT_TRUE(plan.owns(p));
+      EXPECT_TRUE(seen.insert(p).second) << "position owned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(ShardPlan, ParseAndValidate) {
+  const auto plan = rt::ShardPlan::parse("2/5");
+  EXPECT_EQ(plan.index, 2);
+  EXPECT_EQ(plan.count, 5);
+  EXPECT_THROW(rt::ShardPlan::parse("5/5"), maps::MapsError);
+  EXPECT_THROW(rt::ShardPlan::parse("x/3"), maps::MapsError);
+  EXPECT_THROW(rt::ShardPlan::parse("3"), maps::MapsError);
+  EXPECT_THROW((rt::ShardPlan{-1, 2}).validate(), maps::MapsError);
+}
+
+TEST(ShardManifest, JsonRoundTrip) {
+  rt::ShardManifest m;
+  m.dataset_name = "bending/random";
+  m.shard_index = 1;
+  m.shard_count = 3;
+  m.patterns_total = 12;
+  m.samples_per_pattern = 2;
+  m.phases = 2;
+  m.completed.push_back({0, 4, 1000});
+  m.completed.push_back({1, 7, 2500});
+  m.done = true;
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/maps_manifest_rt.json";
+  m.save(path);
+  const auto loaded = rt::ShardManifest::load(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(loaded.dataset_name, m.dataset_name);
+  EXPECT_EQ(loaded.shard_index, 1);
+  EXPECT_EQ(loaded.shard_count, 3);
+  EXPECT_EQ(loaded.patterns_total, 12u);
+  EXPECT_EQ(loaded.samples_per_pattern, 2u);
+  EXPECT_EQ(loaded.phases, 2);
+  EXPECT_TRUE(loaded.done);
+  ASSERT_EQ(loaded.completed.size(), 2u);
+  EXPECT_TRUE(loaded.is_completed(0, 4));
+  EXPECT_TRUE(loaded.is_completed(1, 7));
+  EXPECT_FALSE(loaded.is_completed(0, 7));
+  EXPECT_EQ(loaded.committed_bytes(), 2500u);
+}
+
+TEST(ShardPaths, NameShardFiles) {
+  EXPECT_EQ(rt::shard_part_path("out.mapsd", 0, 2), "out.mapsd.shard-0-of-2.part");
+  EXPECT_EQ(rt::shard_manifest_path("out.mapsd", 1, 2),
+            "out.mapsd.shard-1-of-2.manifest.json");
+}

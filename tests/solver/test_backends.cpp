@@ -13,6 +13,7 @@
 #include "solver/coarse.hpp"
 #include "solver/direct.hpp"
 #include "solver/iterative.hpp"
+#include "solver/prepared.hpp"
 
 namespace ms = maps::solver;
 namespace mf = maps::fdfd;
@@ -310,4 +311,62 @@ TEST(SimulationSolverLayer, SolveBatchMatchesSequentialSolves) {
     EXPECT_LT(rel_l2(batched[k].data(), single.data()), 1e-11) << "source " << k;
   }
   EXPECT_EQ(sim.factorization_count(), 1);
+}
+
+TEST(PreparedBandBackend, MatchesDirectBackend) {
+  WaveguideRig rig;
+  ms::DirectBandedBackend direct(rig.spec, rig.eps, rig.omega, rig.pml);
+  auto prepared = ms::make_prepared_backend(rig.spec, rig.eps, rig.omega, rig.pml);
+  EXPECT_EQ(prepared->name(), "prepared_band");
+
+  const auto x_direct = direct.solve(rig.rhs);
+  const auto x_prep = prepared->solve(rig.rhs);
+  EXPECT_LT(rel_l2(x_prep, x_direct), 1e-12);
+
+  const auto t_direct = direct.solve_transposed(rig.rhs);
+  const auto t_prep = prepared->solve_transposed(rig.rhs);
+  EXPECT_LT(rel_l2(t_prep, t_direct), 1e-12);
+
+  // W is served without assembling the CSR operator; op() assembles lazily
+  // and agrees with the direct backend's.
+  ASSERT_EQ(prepared->W().size(), direct.op().W.size());
+  for (std::size_t n = 0; n < prepared->W().size(); ++n) {
+    ASSERT_EQ(prepared->W()[n], direct.op().W[n]);
+  }
+  EXPECT_GT(prepared->factor_bytes(), 0u);
+  EXPECT_EQ(prepared->factorization_count(), 1);
+}
+
+TEST(PreparedBandBackend, BatchMatchesSingleSolves) {
+  WaveguideRig rig;
+  auto prepared = ms::make_prepared_backend(rig.spec, rig.eps, rig.omega, rig.pml);
+  std::vector<std::vector<cplx>> batch;
+  for (unsigned s = 0; s < 3; ++s) batch.push_back(random_rhs(48 * 48, 70 + s));
+  const auto xs = prepared->solve_batch(batch);
+  const auto ts = prepared->solve_transposed_batch(batch);
+  ASSERT_EQ(xs.size(), 3u);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_LT(rel_l2(xs[k], prepared->solve(batch[k])), 1e-13);
+    EXPECT_LT(rel_l2(ts[k], prepared->solve_transposed(batch[k])), 1e-13);
+  }
+}
+
+TEST(SolverAsync, SolveBatchAsyncDeliversViaFuture) {
+  WaveguideRig rig;
+  ms::DirectBandedBackend backend(rig.spec, rig.eps, rig.omega, rig.pml);
+
+  std::vector<std::vector<cplx>> batch = {rig.rhs, random_rhs(48 * 48, 91)};
+  auto future = backend.solve_batch_async(batch);
+  auto tfuture = backend.solve_transposed_batch_async(batch);
+
+  const auto async_xs = future.get();
+  const auto sync_xs = backend.solve_batch(batch);
+  ASSERT_EQ(async_xs.size(), 2u);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_LT(rel_l2(async_xs[k], sync_xs[k]), 1e-13);
+  }
+  const auto async_ts = tfuture.get();
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_LT(rel_l2(async_ts[k], backend.solve_transposed(batch[k])), 1e-12);
+  }
 }

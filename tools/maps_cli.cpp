@@ -3,23 +3,59 @@
 // Every pipeline (dataset acquisition, model training, inverse design) is
 // driven by a JSON config with a "task" field; this tool validates and runs
 // them and prints a JSON report to stdout, so experiment scripts can be
-// plain shell + jq.
+// plain shell + jq. Failures also land on stdout as a structured JSON error
+// ({"ok": false, "error": {...}}) with a nonzero exit code, so a scripted
+// fleet of shards can triage a bad config or an unwritable output path
+// without scraping stderr.
+//
+// Sharded dataset generation: `run <config> --shard i/N [--resume]`
+// overrides the config's shard keys, one process per shard;
+// `merge <config>` reassembles the completed shards into the final dataset.
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "io/runners.hpp"
+#include "runtime/shard.hpp"
 
 namespace {
 
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  maps_cli run <config.json>        execute a config (task: datagen|train|invdes)\n"
+      "  maps_cli run <config.json> [--shard i/N] [--resume]\n"
+      "                                    execute a config (task: datagen|train|invdes);\n"
+      "                                    --shard/--resume select a datagen shard slice\n"
+      "  maps_cli merge <config.json>      merge a sharded datagen run into its output\n"
       "  maps_cli validate <config.json>   parse and echo the normalized config\n"
       "  maps_cli example-config <task>    print a starter config for a task\n"
       "  maps_cli devices                  list benchmark devices\n";
   return 1;
+}
+
+/// Structured failure report on stdout + nonzero exit. `kind` classifies for
+/// scripts: "config" (malformed/invalid config), "io" (unreadable/unwritable
+/// paths), "internal" (everything else).
+int fail(const std::string& kind, const std::string& message) {
+  maps::io::JsonValue err;
+  err["ok"] = false;
+  maps::io::JsonValue detail;
+  detail["type"] = kind;
+  detail["message"] = message;
+  err["error"] = detail;
+  std::cout << err.dump(2) << "\n";
+  return 2;
+}
+
+std::string classify(const std::string& message) {
+  // MapsError messages from the config layer carry their scope prefix; path
+  // problems mention open/write/readability.
+  for (const char* hint : {"cannot open", "not writable", "write failed",
+                           "rename", "missing shard", "truncated"}) {
+    if (message.find(hint) != std::string::npos) return "io";
+  }
+  return "config";
 }
 
 int cmd_devices() {
@@ -46,8 +82,7 @@ int cmd_example_config(const std::string& task) {
   } else if (task == "invdes") {
     v = InvDesConfig{}.to_json();
   } else {
-    std::cerr << "unknown task '" << task << "' (datagen | train | invdes)\n";
-    return 1;
+    return fail("config", "unknown task '" + task + "' (datagen | train | invdes)");
   }
   v["task"] = task;
   std::cout << v.dump(2) << "\n";
@@ -68,11 +103,55 @@ int cmd_validate(const std::string& path) {
   } else if (task == "invdes") {
     normalized = InvDesConfig::from_json(body).to_json();
   } else {
-    std::cerr << "unknown task '" << task << "'\n";
-    return 1;
+    return fail("config", "unknown task '" + task + "'");
   }
   normalized["task"] = task;
   std::cout << normalized.dump(2) << "\n";
+  return 0;
+}
+
+int cmd_run(const std::string& path, const std::vector<std::string>& flags) {
+  using namespace maps::io;
+  JsonValue doc = json_load(path);
+
+  // --shard / --resume override the config's shard keys (datagen only).
+  bool sharded_flags = false;
+  for (std::size_t k = 0; k < flags.size(); ++k) {
+    if (flags[k] == "--shard") {
+      if (k + 1 >= flags.size()) {
+        return fail("config", "--shard requires an i/N argument");
+      }
+      const auto plan = maps::runtime::ShardPlan::parse(flags[++k]);
+      doc["shard_index"] = plan.index;
+      doc["shard_count"] = plan.count;
+      sharded_flags = true;
+    } else if (flags[k] == "--resume") {
+      doc["resume"] = true;
+      sharded_flags = true;
+    } else {
+      return fail("config", "unknown flag '" + flags[k] + "'");
+    }
+  }
+  if (sharded_flags && doc.at("task").as_string() != "datagen") {
+    return fail("config", "--shard/--resume apply to datagen configs only");
+  }
+
+  const auto report = run_config_json(doc, std::cerr);
+  std::cout << report.dump(2) << "\n";
+  return 0;
+}
+
+int cmd_merge(const std::string& path) {
+  using namespace maps::io;
+  const JsonValue doc = json_load(path);
+  if (doc.at("task").as_string() != "datagen") {
+    return fail("config", "merge applies to datagen configs only");
+  }
+  JsonValue body = doc;
+  body.as_object().erase("task");
+  const auto report =
+      run_datagen_merge(DataGenConfig::from_json(body), std::cerr);
+  std::cout << report.dump(2) << "\n";
   return 0;
 }
 
@@ -85,14 +164,14 @@ int main(int argc, char** argv) {
     if (cmd == "devices") return cmd_devices();
     if (cmd == "example-config" && argc >= 3) return cmd_example_config(argv[2]);
     if (cmd == "validate" && argc >= 3) return cmd_validate(argv[2]);
+    if (cmd == "merge" && argc >= 3) return cmd_merge(argv[2]);
     if (cmd == "run" && argc >= 3) {
-      const auto report = maps::io::run_config_file(argv[2], std::cerr);
-      std::cout << report.dump(2) << "\n";
-      return 0;
+      return cmd_run(argv[2], {argv + 3, argv + argc});
     }
+  } catch (const maps::MapsError& e) {
+    return fail(classify(e.what()), e.what());
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return fail("internal", e.what());
   }
   return usage();
 }

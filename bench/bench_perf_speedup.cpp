@@ -4,10 +4,17 @@
 // resolution, plus the amortized re-solve (factorization cached) case.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common.hpp"
+#include "core/invdes/engine.hpp"
+#include "core/invdes/init.hpp"
+#include "devices/builders.hpp"
+#include "devices/sparams.hpp"
 #include "fdfd/simulation.hpp"
 #include "fdfd/source.hpp"
 #include "math/rng.hpp"
+#include "param/pipeline.hpp"
 
 using namespace maps;
 
@@ -145,6 +152,71 @@ static void BM_FdfdCoarseGridSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FdfdCoarseGridSolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_InvdesStep(benchmark::State& state) {
+  // One adjoint inverse-design iteration on the bend device: forward solves
+  // for every excitation group plus one transposed (adjoint) batch, all
+  // against one factorization per group — the direct-solve-dominated hot
+  // loop of MAPS-InvDes, riding the split-complex kernel end to end.
+  const auto device = devices::make_device(devices::DeviceKind::Bend);
+  const auto theta0 = invdes::make_initial_theta(device, invdes::InitKind::PathSeed);
+  invdes::InvDesOptions options;
+  options.iterations = 1;
+  for (auto _ : state) {
+    invdes::InverseDesigner designer(
+        device, devices::make_default_pipeline(device, devices::DeviceKind::Bend),
+        options);
+    benchmark::DoNotOptimize(designer.run(theta0));
+  }
+}
+BENCHMARK(BM_InvdesStep)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+// Full S-parameter pass over the bend device's excitations at three
+// wavelengths: one assembly + factorization + solve per (excitation,
+// lambda) — the verification sweep that follows every inverse-design run.
+// Shared by the split and interleaved variants so the ratio the CI perf
+// gate tracks cannot drift from a one-sided edit.
+void sparam_sweep_body(benchmark::State& state) {
+  std::vector<devices::DeviceProblem> sweep;
+  for (const double lambda : {1.50, 1.55, 1.60}) {
+    devices::BuildOptions bo;
+    bo.lambda = lambda;
+    sweep.push_back(devices::make_device(devices::DeviceKind::Bend, bo));
+  }
+  maps::math::RealGrid rho(sweep.front().design_map.box.ni,
+                           sweep.front().design_map.box.nj, 0.5);
+  const auto eps = param::embed_density(sweep.front().design_map, rho);
+  for (auto _ : state) {
+    for (const auto& device : sweep) {
+      benchmark::DoNotOptimize(devices::compute_sparams(device, eps));
+    }
+  }
+}
+
+}  // namespace
+
+static void BM_SparamSweep(benchmark::State& state) { sparam_sweep_body(state); }
+BENCHMARK(BM_SparamSweep)->Unit(benchmark::kMillisecond);
+
+static void BM_SparamSweepInterleaved(benchmark::State& state) {
+  // The same sweep on the MAPS_SOLVER_INTERLEAVED fallback. The ratio of
+  // this to BM_SparamSweep is the split-kernel speedup measured within one
+  // run — runner-speed-independent, which is what the CI perf gate tracks.
+  // Save/restore the variable so an operator-set value (a whole-suite
+  // interleaved A/B run) survives this benchmark.
+  const char* prev = std::getenv("MAPS_SOLVER_INTERLEAVED");
+  const std::string saved = prev != nullptr ? prev : "";
+  setenv("MAPS_SOLVER_INTERLEAVED", "1", 1);
+  sparam_sweep_body(state);
+  if (prev != nullptr) {
+    setenv("MAPS_SOLVER_INTERLEAVED", saved.c_str(), 1);
+  } else {
+    unsetenv("MAPS_SOLVER_INTERLEAVED");
+  }
+}
+BENCHMARK(BM_SparamSweepInterleaved)->Unit(benchmark::kMillisecond);
 
 static void BM_FnoInference(benchmark::State& state) {
   const index_t n = state.range(0);

@@ -4,7 +4,7 @@
 #include "math/interpolate.hpp"
 #include "math/parallel.hpp"
 #include "runtime/datagen.hpp"
-#include "solver/prepared.hpp"
+#include "solver/backend.hpp"
 
 namespace maps::data {
 
@@ -83,7 +83,7 @@ SampleRecord simulate_sample(const devices::DeviceProblem& device,
   fdfd::Simulation sim(device.spec, s.eps, exc.omega, device.sim_options);
   CplxGrid Ez = sim.solve(exc.J);
   auto adj = fdfd::compute_adjoint(sim, Ez, exc.terms);
-  finish_record(s, exc, sim.op().W, std::move(Ez), std::move(adj));
+  finish_record(s, exc, sim.backend().W(), std::move(Ez), std::move(adj));
   return s;
 }
 
@@ -99,7 +99,7 @@ std::vector<SampleRecord> simulate_pattern(const devices::DeviceProblem& device,
     // solve the group against a throwaway backend (use_cache = false).
     auto gs = device.solve_excitation_group(base_eps, group, /*with_adjoint=*/true,
                                             /*use_cache=*/false);
-    const auto& W = gs.sim.op().W;
+    const auto& W = gs.sim.backend().W();
     for (std::size_t k = 0; k < group.size(); ++k) {
       const auto& exc = device.excitations[group[k]];
       SampleRecord s =
@@ -124,16 +124,11 @@ PreparedPattern prepare_pattern(const devices::DeviceProblem& device,
   for (const auto& group : pp.groups) {
     const auto& first = device.excitations[group.front()];
     const RealGrid eps = device.excitation_eps(pp.base_eps, first);
-    std::shared_ptr<solver::SolverBackend> backend;
-    if (device.sim_options.solver == solver::SolverKind::Direct) {
-      // The pipeline's fast path: band-direct assembly + split-complex LU.
-      backend = solver::make_prepared_backend(device.spec, eps, first.omega,
-                                              device.sim_options.pml);
-    } else {
-      backend = solver::make_backend(device.spec, eps, first.omega,
-                                     device.sim_options.pml,
-                                     device.sim_options.solver_config());
-    }
+    // Direct backends take the split-complex band-direct path by default, so
+    // one make_backend call covers every solver kind.
+    std::shared_ptr<solver::SolverBackend> backend =
+        solver::make_backend(device.spec, eps, first.omega, device.sim_options.pml,
+                             device.sim_options.solver_config());
     backend->factorize();
     pp.group_backends.push_back(std::move(backend));
   }

@@ -37,7 +37,8 @@ Dataset generate_dataset_reference(const devices::DeviceProblem& device,
 
 /// Stage 1 output: the pattern rendered onto the device grid plus one
 /// *factorized* solver backend per excitation group. Direct-solver devices
-/// take the split-complex prepared band fast path (solver/prepared.hpp).
+/// ride the split-complex band-direct kernel, which is the default
+/// DirectBandedBackend path (solver/direct.hpp).
 struct PreparedPattern {
   std::size_t position = 0;   // index into the PatternSet
   std::uint64_t pattern_id = 0;

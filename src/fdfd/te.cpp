@@ -74,12 +74,17 @@ FdfdOperator assemble_te(const grid::GridSpec& spec, const RealGrid& eps,
 TeSimulation::TeSimulation(grid::GridSpec spec, RealGrid eps, double omega,
                            PmlSpec pml)
     : spec_(spec), eps_(std::move(eps)), omega_(omega), pml_(pml),
-      op_(assemble_te(spec_, eps_, omega_, pml_)) {}
+      op_(assemble_te(spec_, eps_, omega_, pml_)),
+      interleaved_(maps::math::interleaved_fallback_requested()) {}
 
 void TeSimulation::ensure_factorized() {
-  if (!lu_) {
+  if (split_ || lu_) return;
+  if (interleaved_) {
     lu_ = maps::math::to_band(op_.A);
     lu_->factorize();
+  } else {
+    split_ = maps::math::to_split_band(op_.A);
+    split_->factorize();
   }
 }
 
@@ -87,14 +92,26 @@ CplxGrid TeSimulation::solve(const CplxGrid& Mz) {
   maps::require(Mz.nx() == spec_.nx && Mz.ny() == spec_.ny,
                 "TeSimulation::solve: source shape mismatch");
   ensure_factorized();
-  return CplxGrid(spec_.nx, spec_.ny, lu_->solve(rhs_from_current(Mz, omega_)));
+  std::vector<cplx> x = rhs_from_current(Mz, omega_);
+  if (split_) {
+    split_->solve_inplace(x);
+  } else {
+    lu_->solve_inplace(x);
+  }
+  return CplxGrid(spec_.nx, spec_.ny, std::move(x));
 }
 
 CplxGrid TeSimulation::solve_transposed(const std::vector<cplx>& rhs) {
   maps::require(static_cast<index_t>(rhs.size()) == spec_.cells(),
                 "TeSimulation::solve_transposed: rhs size mismatch");
   ensure_factorized();
-  return CplxGrid(spec_.nx, spec_.ny, lu_->solve_transposed(rhs));
+  std::vector<cplx> x = rhs;
+  if (split_) {
+    split_->solve_transposed_inplace(x);
+  } else {
+    lu_->solve_transposed_inplace(x);
+  }
+  return CplxGrid(spec_.nx, spec_.ny, std::move(x));
 }
 
 TeFields TeSimulation::derive_fields(CplxGrid Hz) const {

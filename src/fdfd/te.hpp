@@ -68,6 +68,12 @@ class TeSimulation {
   double omega_;
   PmlSpec pml_;
   FdfdOperator op_;
+  // Split-complex banded LU by default; interleaved BandMatrix only under
+  // the MAPS_SOLVER_INTERLEAVED fallback, latched at construction (same
+  // convention as the TM solver layer's DirectBandedBackend, so the
+  // setenv/construct/unsetenv toggle works for both).
+  bool interleaved_ = false;
+  std::optional<maps::math::SplitBandMatrix> split_;
   std::optional<maps::math::BandMatrix<cplx>> lu_;
 };
 

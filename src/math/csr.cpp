@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "math/parallel.hpp"
 
@@ -143,9 +144,14 @@ double CsrMatrix<T>::residual_norm(const std::vector<T>& x,
 template class CsrMatrix<double>;
 template class CsrMatrix<cplx>;
 
-template <typename T>
-BandMatrix<T> to_band(const CsrMatrix<T>& a) {
-  require(a.rows() == a.cols(), "to_band: matrix must be square");
+namespace {
+
+/// Shared CSR -> band conversion: detect kl/ku from the stored entries,
+/// then scatter. `Band` is any band type exposing (n, kl, ku) construction
+/// and set(r, c, v) — interleaved BandMatrix<T> or SplitBandMatrix.
+template <typename Band, typename T>
+Band csr_to_band_impl(const CsrMatrix<T>& a, const char* what) {
+  require(a.rows() == a.cols(), std::string(what) + ": matrix must be square");
   index_t kl = 0, ku = 0;
   for (index_t r = 0; r < a.rows(); ++r) {
     for (index_t k = a.row_ptr()[static_cast<std::size_t>(r)];
@@ -155,7 +161,7 @@ BandMatrix<T> to_band(const CsrMatrix<T>& a) {
       ku = std::max(ku, c - r);
     }
   }
-  BandMatrix<T> b(a.rows(), kl, ku);
+  Band b(a.rows(), kl, ku);
   for (index_t r = 0; r < a.rows(); ++r) {
     for (index_t k = a.row_ptr()[static_cast<std::size_t>(r)];
          k < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
@@ -166,7 +172,18 @@ BandMatrix<T> to_band(const CsrMatrix<T>& a) {
   return b;
 }
 
+}  // namespace
+
+template <typename T>
+BandMatrix<T> to_band(const CsrMatrix<T>& a) {
+  return csr_to_band_impl<BandMatrix<T>>(a, "to_band");
+}
+
 template BandMatrix<double> to_band(const CsrMatrix<double>&);
 template BandMatrix<cplx> to_band(const CsrMatrix<cplx>&);
+
+SplitBandMatrix to_split_band(const CsrCplx& a) {
+  return csr_to_band_impl<SplitBandMatrix>(a, "to_split_band");
+}
 
 }  // namespace maps::math

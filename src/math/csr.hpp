@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "math/banded.hpp"
+#include "math/banded_split.hpp"
 #include "math/types.hpp"
 
 namespace maps::math {
@@ -71,5 +72,10 @@ BandMatrix<T> to_band(const CsrMatrix<T>& a);
 
 extern template BandMatrix<double> to_band(const CsrMatrix<double>&);
 extern template BandMatrix<cplx> to_band(const CsrMatrix<cplx>&);
+
+/// Convert a square complex CSR matrix to split-complex banded storage
+/// (bands auto-detected) — the direct-solve fast path for operators that
+/// were assembled as CSR rather than straight into band storage.
+SplitBandMatrix to_split_band(const CsrCplx& a);
 
 }  // namespace maps::math

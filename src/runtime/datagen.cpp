@@ -242,12 +242,17 @@ DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
       shard_part_path(output, opts.shard.index, opts.shard.count);
   const std::string manifest_path =
       shard_manifest_path(output, opts.shard.index, opts.shard.count);
+  const std::string journal_path =
+      shard_journal_path(output, opts.shard.index, opts.shard.count);
 
   // Start fresh, or adopt the committed prefix of a previous (killed) run.
   ShardManifest manifest;
   bool fresh = true;
   if (opts.resume && fs::exists(manifest_path)) {
     manifest = ShardManifest::load(manifest_path);
+    // Commits since the last compaction live in the append-only journal
+    // (one flushed line per pattern block; a torn trailing line is dropped).
+    manifest.absorb_journal(journal_path);
     maps::require(manifest.dataset_name == name && manifest.shard_index == opts.shard.index &&
                       manifest.shard_count == opts.shard.count &&
                       manifest.patterns_total == m &&
@@ -277,6 +282,9 @@ DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
     manifest.patterns_total = m;
     manifest.samples_per_pattern = n_exc;
     manifest.phases = static_cast<int>(phases.size());
+    // A journal from an unrelated earlier run at this path must not leak
+    // into the fresh manifest.
+    std::remove(journal_path.c_str());
   }
 
   DatagenStats stats;
@@ -309,6 +317,16 @@ DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
                            : std::ios::binary | std::ios::app);
   maps::require(part.good(), "generate_sharded: cannot open " + part_path);
 
+  // Commit protocol: the base manifest is rewritten atomically only at
+  // open/resume/close (compaction points); each per-pattern commit appends
+  // one flushed journal line. That keeps the whole run O(n) in shard size —
+  // the old rewrite-the-manifest-per-commit protocol was O(n^2) — while the
+  // crash guarantee is unchanged: manifest + complete journal lines describe
+  // exactly the committed prefix, and a torn trailing line loses at most the
+  // in-flight pattern.
+  ShardJournal journal(journal_path);
+  journal.compact(manifest, manifest_path);
+
   run_pipeline(phases, items, opts, stats,
                [&](const WorkItem& w, SolvedPattern&& sp) {
                  for (const auto& r : sp.records) data::write_sample(part, r);
@@ -320,11 +338,13 @@ DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
                  e.pattern = w.pos;
                  e.bytes = static_cast<std::uint64_t>(part.tellp());
                  manifest.completed.push_back(e);
-                 manifest.save(manifest_path);
+                 journal.append(e);
                });
 
   manifest.done = true;
-  manifest.save(manifest_path);
+  journal.compact(manifest, manifest_path);
+  journal.close();
+  std::remove(journal_path.c_str());
   if (opts.log != nullptr) {
     char line[200];
     std::snprintf(line, sizeof(line),

@@ -1,6 +1,9 @@
 #include "runtime/shard.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
 
 namespace maps::runtime {
 
@@ -49,6 +52,11 @@ std::string shard_part_path(const std::string& output, int index, int count) {
 std::string shard_manifest_path(const std::string& output, int index, int count) {
   return output + ".shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
          ".manifest.json";
+}
+
+std::string shard_journal_path(const std::string& output, int index, int count) {
+  return output + ".shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+         ".journal";
 }
 
 bool ShardManifest::is_completed(int phase, std::uint64_t pattern) const {
@@ -118,6 +126,78 @@ void ShardManifest::save(const std::string& path) const {
 
 ShardManifest ShardManifest::load(const std::string& path) {
   return from_json(io::json_load(path));
+}
+
+std::size_t ShardManifest::absorb_journal(const std::string& journal_path) {
+  std::ifstream is(journal_path, std::ios::binary);
+  if (!is.good()) return 0;  // no journal: the manifest is the full record
+
+  // A compaction that crashed between the manifest rename and the journal
+  // truncation leaves journal lines that the manifest already contains;
+  // skip those instead of double-counting.
+  std::set<std::pair<int, std::uint64_t>> seen;
+  for (const auto& e : completed) seen.insert({e.phase, e.pattern});
+
+  std::size_t adopted = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    Entry e;
+    try {
+      const io::JsonValue v = io::json_parse(line);
+      e.phase = static_cast<int>(v.at("phase").as_int());
+      e.pattern = static_cast<std::uint64_t>(v.at("pattern").as_int());
+      e.bytes = static_cast<std::uint64_t>(v.at("bytes").as_int());
+    } catch (const std::exception&) {
+      // Torn trailing line from a kill mid-append: everything from here on
+      // is uncommitted. Stop — the last fully flushed commit wins.
+      break;
+    }
+    if (!seen.insert({e.phase, e.pattern}).second) continue;
+    completed.push_back(e);
+    ++adopted;
+  }
+  return adopted;
+}
+
+ShardJournal::ShardJournal(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  maps::require(file_ != nullptr, "ShardJournal: cannot open " + path_);
+}
+
+ShardJournal::~ShardJournal() { close(); }
+
+void ShardJournal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void ShardJournal::append(const ShardManifest::Entry& e) {
+  maps::require(file_ != nullptr, "ShardJournal::append: journal closed");
+  io::JsonValue v;
+  v["phase"] = e.phase;
+  v["pattern"] = static_cast<double>(e.pattern);
+  v["bytes"] = static_cast<double>(e.bytes);
+  const std::string line = v.dump() + "\n";
+  const std::size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);
+  maps::require(wrote == line.size() && std::fflush(file_) == 0,
+                "ShardJournal::append: write to " + path_ + " failed");
+}
+
+void ShardJournal::compact(const ShardManifest& manifest,
+                           const std::string& manifest_path) {
+  // Order matters for crash safety: first make the manifest the full record
+  // (atomic rename), only then drop the journal lines it absorbed. A crash
+  // in between is healed by absorb_journal's dedup on the next resume.
+  manifest.save(manifest_path);
+  close();
+  std::FILE* truncated = std::fopen(path_.c_str(), "wb");
+  maps::require(truncated != nullptr, "ShardJournal::compact: cannot truncate " + path_);
+  std::fclose(truncated);
+  file_ = std::fopen(path_.c_str(), "ab");
+  maps::require(file_ != nullptr, "ShardJournal::compact: cannot reopen " + path_);
 }
 
 }  // namespace maps::runtime

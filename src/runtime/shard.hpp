@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,7 @@ struct ShardPlan {
 /// File layout of one shard of `output`.
 std::string shard_part_path(const std::string& output, int index, int count);
 std::string shard_manifest_path(const std::string& output, int index, int count);
+std::string shard_journal_path(const std::string& output, int index, int count);
 
 /// Progress record of one shard: which (phase, pattern) blocks the .part
 /// file contains, in file order, and the committed byte size after each.
@@ -71,6 +73,45 @@ struct ShardManifest {
   /// Atomic save (tmp + rename), plain load.
   void save(const std::string& path) const;
   static ShardManifest load(const std::string& path);
+
+  /// Absorb the append-only commit journal next to this manifest: each valid
+  /// line is one committed Entry appended after the manifest's own
+  /// `completed` list. A torn trailing line (from a kill mid-append) is
+  /// ignored — the crash guarantee is then exactly the pre-journal one: the
+  /// last fully flushed commit wins. Returns the number of entries adopted.
+  /// Missing journal file is fine (0).
+  std::size_t absorb_journal(const std::string& journal_path);
+};
+
+/// Append-only journal of per-pattern commits. The full-manifest rewrite is
+/// O(completed) per save, which made the per-pattern commit loop O(n^2) in
+/// shard size; a journal line per commit keeps it O(n). The journal is only
+/// meaningful next to the base manifest it extends: `compact` folds it back
+/// into an atomically rewritten manifest (on open, resume and close) and
+/// truncates it.
+class ShardJournal {
+ public:
+  /// Open for appending (creates the file if absent).
+  explicit ShardJournal(std::string path);
+  ~ShardJournal();
+
+  /// Append one committed entry as a single flushed JSON line.
+  void append(const ShardManifest::Entry& e);
+
+  /// Fold journaled state into `manifest` (assumed already absorbed), save
+  /// the manifest atomically at `manifest_path`, and truncate the journal —
+  /// after which the manifest alone is the full commit record again.
+  void compact(const ShardManifest& manifest, const std::string& manifest_path);
+
+  /// Close the append handle (the destructor also closes).
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  // Kept open across appends; reopened after compaction truncates.
+  std::FILE* file_ = nullptr;
 };
 
 }  // namespace maps::runtime

@@ -107,9 +107,10 @@ class SolverBackend {
   virtual int solve_count() const { return solves_.load(); }
   SolverStats stats() const { return {factorization_count(), solve_count()}; }
 
-  /// Bytes of prepared solve state held by this backend (LU factors, cached
-  /// transposes). 0 before preparation; drives the FactorizationCache's
-  /// memory-aware eviction.
+  /// Bytes of resident solve state held by this backend (band storage, LU
+  /// factors, cached transposes) — whatever is allocated *now*, which for
+  /// band-direct backends includes the unfactorized band array. Drives the
+  /// FactorizationCache's memory-aware eviction.
   virtual std::size_t factor_bytes() const { return 0; }
 
  protected:

@@ -38,6 +38,11 @@ ProblemKey make_problem_key(const grid::GridSpec& spec, const maps::math::RealGr
   key.pml_R0 = pml.R0;
   key.kind = config.kind;
   key.coarse_factor = config.kind == SolverKind::CoarseGrid ? config.coarse_factor : 0;
+  // Direct and CoarseGrid (direct on the coarse grid) both latch the
+  // interleaved fallback at construction.
+  if (config.kind != SolverKind::Iterative) {
+    key.interleaved = maps::math::interleaved_fallback_requested();
+  }
   if (config.kind == SolverKind::Iterative) {
     // Tolerances are part of an iterative backend's identity: a backend
     // prepared at a loose rtol must not answer solves requesting a tight one.

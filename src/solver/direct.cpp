@@ -7,18 +7,48 @@
 
 namespace maps::solver {
 
+bool interleaved_solver_requested() { return maps::math::interleaved_fallback_requested(); }
+
 DirectBandedBackend::DirectBandedBackend(const grid::GridSpec& spec,
                                          const maps::math::RealGrid& eps, double omega,
                                          const fdfd::PmlSpec& pml)
-    : op_(fdfd::assemble(spec, eps, omega, pml)) {}
+    : interleaved_(interleaved_solver_requested()),
+      spec_(spec), eps_(eps), omega_(omega), pml_(pml) {
+  if (interleaved_) {
+    // Legacy path: eager CSR assembly, band conversion at factorize().
+    csr_op_ = fdfd::assemble(spec_, eps_, omega_, pml_);
+    W_ = csr_op_->W;
+  } else {
+    // Fast path: assemble straight into split band storage; the CSR operator
+    // is only built if a consumer asks for op().
+    auto band = fdfd::assemble_banded(spec_, eps_, omega_, pml_);
+    W_ = std::move(band.W);
+    split_.emplace(std::move(band.AB));
+  }
+}
 
-DirectBandedBackend::DirectBandedBackend(fdfd::FdfdOperator op) : op_(std::move(op)) {}
+DirectBandedBackend::DirectBandedBackend(fdfd::FdfdOperator op)
+    : interleaved_(interleaved_solver_requested()),
+      spec_(op.spec), omega_(op.omega), W_(op.W) {
+  csr_op_ = std::move(op);
+}
 
 void DirectBandedBackend::factorize() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!lu_) {
-    lu_ = maps::math::to_band(op_.A);
-    lu_->factorize();
+  if (interleaved_) {
+    if (!lu_) {
+      lu_ = maps::math::to_band(csr_op_->A);
+      lu_->factorize();
+      ++factorizations_;
+    }
+    return;
+  }
+  if (!split_) {
+    // Constructed from an assembled operator: band storage comes from CSR.
+    split_ = maps::math::to_split_band(csr_op_->A);
+  }
+  if (!split_->factorized()) {
+    split_->factorize();
     ++factorizations_;
   }
 }
@@ -26,13 +56,25 @@ void DirectBandedBackend::factorize() {
 std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
   factorize();
   ++solves_;
-  return lu_->solve(rhs);
+  std::vector<cplx> x = rhs;
+  if (interleaved_) {
+    lu_->solve_inplace(x);
+  } else {
+    split_->solve_inplace(x);
+  }
+  return x;
 }
 
 std::vector<cplx> DirectBandedBackend::solve_transposed(const std::vector<cplx>& rhs) {
   factorize();
   ++solves_;
-  return lu_->solve_transposed(rhs);
+  std::vector<cplx> x = rhs;
+  if (interleaved_) {
+    lu_->solve_transposed_inplace(x);
+  } else {
+    split_->solve_transposed_inplace(x);
+  }
+  return x;
 }
 
 std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
@@ -44,9 +86,15 @@ std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
 
   // Split the batch into one contiguous slice per worker; each slice runs the
   // multi-RHS sweep, so with a single thread the whole batch still shares one
-  // pass over the factors.
+  // pass over the factors. On a pool worker thread (the datagen solve stage
+  // runs inside TaskQueue workers) nested parallel_for executes serially, so
+  // slicing would degrade to per-RHS factor sweeps — keep the whole batch in
+  // one fused sweep there.
   const std::size_t n_slices =
-      std::min<std::size_t>(out.size(), std::max<std::size_t>(1, maps::math::num_threads()));
+      maps::math::ThreadPool::is_worker_thread()
+          ? 1
+          : std::min<std::size_t>(out.size(),
+                                  std::max<std::size_t>(1, maps::math::num_threads()));
   const std::size_t per_slice = (out.size() + n_slices - 1) / n_slices;
   // Exceptions must not escape into pool workers (the pool has no unwind
   // path); capture the first one and rethrow on the calling thread.
@@ -59,10 +107,18 @@ std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
     try {
       std::vector<std::vector<cplx>> slice(std::make_move_iterator(out.begin() + lo),
                                            std::make_move_iterator(out.begin() + hi));
-      if (transposed) {
-        lu_->solve_transposed_multi_inplace(slice);
+      if (interleaved_) {
+        if (transposed) {
+          lu_->solve_transposed_multi_inplace(slice);
+        } else {
+          lu_->solve_multi_inplace(slice);
+        }
       } else {
-        lu_->solve_multi_inplace(slice);
+        if (transposed) {
+          split_->solve_transposed_multi_inplace(slice);
+        } else {
+          split_->solve_multi_inplace(slice);
+        }
       }
       std::move(slice.begin(), slice.end(), out.begin() + lo);
     } catch (const std::exception& e) {
@@ -82,6 +138,20 @@ std::vector<std::vector<cplx>> DirectBandedBackend::solve_batch(
 std::vector<std::vector<cplx>> DirectBandedBackend::solve_transposed_batch(
     std::span<const std::vector<cplx>> rhs) {
   return batch_solve_impl(rhs, /*transposed=*/true);
+}
+
+const fdfd::FdfdOperator& DirectBandedBackend::op() const {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  if (!csr_op_) {
+    csr_op_ = fdfd::assemble(spec_, eps_, omega_, pml_);
+  }
+  return *csr_op_;
+}
+
+std::size_t DirectBandedBackend::factor_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (split_) return split_->storage_bytes();
+  return lu_ ? lu_->storage_bytes() : 0;
 }
 
 }  // namespace maps::solver

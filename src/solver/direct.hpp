@@ -1,6 +1,21 @@
 // Direct banded-LU backend: the High-fidelity (exact) solve path.
 //
-// Wraps math::BandMatrix LU over the assembled FDFD operator. The
+// The default kernel is the split-complex banded LU (math::SplitBandMatrix):
+// when constructed from a problem definition the operator is assembled
+// straight into split band storage (fdfd::assemble_banded — no triplet/CSR/
+// to_band chain) and factorized/solved by the split kernel, which runs >2x
+// faster than the interleaved BandMatrix<cplx> on the FDFD band profile.
+// Every consumer of the solver layer — Simulation, adjoint batches,
+// S-parameter sweeps, the invdes engine, the datagen prep stage — inherits
+// this path through make_backend/make_cached_backend.
+//
+// MAPS_SOLVER_INTERLEAVED=1 (read per construction, so tests can toggle it
+// with setenv) falls back to the legacy interleaved BandMatrix<cplx> kernel.
+// Pivot order is identical between the two, so solutions agree to rounding
+// (~1e-15 relative); the equivalence is pinned in tests/solver.
+//
+// The CSR fine-grid operator is assembled lazily on op() access — the hot
+// paths only ever need W, which the banded assembly already provides. The
 // factorization is computed lazily on first solve (thread-safe) and reused
 // for every subsequent forward, transposed and batched solve. Batches are
 // split across the thread pool; each worker's slice goes through the
@@ -15,11 +30,16 @@
 
 namespace maps::solver {
 
+/// True when the MAPS_SOLVER_INTERLEAVED environment variable requests the
+/// legacy interleaved-complex kernel (any value except unset/empty/"0").
+bool interleaved_solver_requested();
+
 class DirectBandedBackend final : public SolverBackend {
  public:
   DirectBandedBackend(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
                       double omega, const fdfd::PmlSpec& pml);
-  /// Take ownership of an already-assembled operator.
+  /// Take ownership of an already-assembled operator (band storage is then
+  /// converted from the CSR matrix at factorization time).
   explicit DirectBandedBackend(fdfd::FdfdOperator op);
 
   std::string name() const override { return "direct_banded"; }
@@ -30,22 +50,47 @@ class DirectBandedBackend final : public SolverBackend {
       std::span<const std::vector<cplx>> rhs) override;
   std::vector<std::vector<cplx>> solve_transposed_batch(
       std::span<const std::vector<cplx>> rhs) override;
-  const fdfd::FdfdOperator& op() const override { return op_; }
 
-  /// Bytes held by the LU factors (0 before first solve). Locked: the cache
-  /// polls this concurrently with lazy factorization.
-  std::size_t factor_bytes() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return lu_ ? lu_->storage_bytes() : 0;
-  }
+  /// Fine-grid operator with CSR A, assembled lazily on first access.
+  const fdfd::FdfdOperator& op() const override;
+
+  /// The symmetrizing row scale (always available, never triggers the lazy
+  /// CSR assembly).
+  const std::vector<cplx>& W() const override { return W_; }
+
+  /// True when this backend runs the split-complex kernel (the default;
+  /// false only under MAPS_SOLVER_INTERLEAVED).
+  bool split_path() const { return !interleaved_; }
+
+  /// Bytes of band solve state. On the split path the band array exists
+  /// (and is resident) from construction, so this reports its size
+  /// immediately — factorization happens in place and adds nothing. The
+  /// interleaved fallback converts CSR to band lazily, so it reports 0
+  /// until the first factorize(). Do not use == 0 as a "not yet
+  /// factorized" probe. Locked: the cache polls this concurrently with
+  /// lazy factorization.
+  std::size_t factor_bytes() const override;
 
  private:
   std::vector<std::vector<cplx>> batch_solve_impl(
       std::span<const std::vector<cplx>> rhs, bool transposed);
 
-  fdfd::FdfdOperator op_;
-  mutable std::mutex mu_;
-  std::optional<maps::math::BandMatrix<cplx>> lu_;
+  bool interleaved_ = false;
+
+  // Problem definition for the lazy CSR assembly (unused when the backend
+  // was handed an already-assembled operator).
+  grid::GridSpec spec_;
+  maps::math::RealGrid eps_;
+  double omega_ = 0.0;
+  fdfd::PmlSpec pml_;
+  std::vector<cplx> W_;
+
+  mutable std::mutex mu_;  // guards lazy factorization
+  std::optional<maps::math::SplitBandMatrix> split_;
+  std::optional<maps::math::BandMatrix<cplx>> lu_;  // interleaved fallback
+
+  mutable std::mutex op_mu_;  // guards lazy CSR assembly
+  mutable std::optional<fdfd::FdfdOperator> csr_op_;
 };
 
 }  // namespace maps::solver

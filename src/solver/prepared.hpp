@@ -1,64 +1,28 @@
-// PreparedBandBackend: the direct solve path of the dataset-generation
-// runtime's prep stage.
+// PreparedBandBackend: historical name for the split-complex direct solve
+// path of the dataset-generation runtime's prep stage.
 //
-// Functionally a DirectBandedBackend (exact banded LU on the fine grid), but
-// built on the split-complex fast path: the operator is assembled straight
-// into SplitBandMatrix storage (fdfd::assemble_banded — no triplet/CSR/
-// to_band chain) and factorized/solved by the split kernel, which runs >2x
-// faster than the interleaved BandMatrix on the FDFD band profile. Fields
-// agree with the direct backend to rounding (~1e-15 relative; pivot order is
-// identical), and a fixed pipeline run is bit-reproducible — which is what
-// the shard-merge byte-identity guarantee rests on.
-//
-// The CSR fine-grid operator is assembled lazily on op() access (the datagen
-// path only reads op().W, which is always available); same pattern as
-// CoarseGridBackend.
+// The split-complex prepared-operator kernel this class used to implement is
+// now the default path of DirectBandedBackend itself (band-direct assembly
+// via fdfd::assemble_banded + math::SplitBandMatrix factorize/solve), so the
+// prepared backend collapsed into a thin view over that code path: same
+// storage, same kernels, same lazy CSR op() assembly, same bit-reproducible
+// solves that the shard-merge byte-identity guarantee rests on.
 #pragma once
 
-#include <mutex>
-#include <optional>
+#include <memory>
 
-#include "solver/backend.hpp"
+#include "solver/direct.hpp"
 
 namespace maps::solver {
 
-class PreparedBandBackend final : public SolverBackend {
- public:
-  PreparedBandBackend(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
-                      double omega, const fdfd::PmlSpec& pml);
-
-  std::string name() const override { return "prepared_band"; }
-  void factorize() override;
-  std::vector<cplx> solve(const std::vector<cplx>& rhs) override;
-  std::vector<cplx> solve_transposed(const std::vector<cplx>& rhs) override;
-  std::vector<std::vector<cplx>> solve_batch(
-      std::span<const std::vector<cplx>> rhs) override;
-  std::vector<std::vector<cplx>> solve_transposed_batch(
-      std::span<const std::vector<cplx>> rhs) override;
-
-  /// Fine-grid operator with CSR A, assembled lazily; W is served from the
-  /// banded assembly without triggering it.
-  const fdfd::FdfdOperator& op() const override;
-
-  /// The symmetrizing row scale (always available, no CSR assembly).
-  const std::vector<cplx>& W() const override { return band_.W; }
-
-  std::size_t factor_bytes() const override;
-
- private:
-  grid::GridSpec spec_;
-  maps::math::RealGrid eps_;
-  fdfd::PmlSpec pml_;
-  fdfd::BandedOperator band_;
-  std::mutex mu_;  // guards lazy factorization
-  mutable std::mutex op_mu_;
-  mutable std::optional<fdfd::FdfdOperator> csr_op_;
-};
+using PreparedBandBackend = DirectBandedBackend;
 
 /// Direct-kind prepared backend for one problem (the runtime prep stage's
-/// constructor).
-std::unique_ptr<PreparedBandBackend> make_prepared_backend(
+/// constructor). Equivalent to constructing a DirectBandedBackend.
+inline std::unique_ptr<PreparedBandBackend> make_prepared_backend(
     const grid::GridSpec& spec, const maps::math::RealGrid& eps, double omega,
-    const fdfd::PmlSpec& pml);
+    const fdfd::PmlSpec& pml) {
+  return std::make_unique<PreparedBandBackend>(spec, eps, omega, pml);
+}
 
 }  // namespace maps::solver

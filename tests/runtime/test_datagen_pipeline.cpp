@@ -135,9 +135,12 @@ TEST(DatagenPipeline, ResumeSkipsCommittedPatterns) {
   };
   EXPECT_THROW(rt::generate_sharded(phases, name, out, crash), maps::MapsError);
   {
-    const auto manifest =
-        rt::ShardManifest::load(rt::shard_manifest_path(out, 0, 1));
+    // The on-disk commit record is the compacted base manifest plus one
+    // journal line per pattern committed since (the O(n) commit protocol).
+    auto manifest = rt::ShardManifest::load(rt::shard_manifest_path(out, 0, 1));
     EXPECT_FALSE(manifest.done);
+    EXPECT_TRUE(manifest.completed.empty());
+    EXPECT_EQ(manifest.absorb_journal(rt::shard_journal_path(out, 0, 1)), 2u);
     EXPECT_EQ(manifest.completed.size(), 2u);
   }
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -178,4 +179,76 @@ TEST(ShardPaths, NameShardFiles) {
   EXPECT_EQ(rt::shard_part_path("out.mapsd", 0, 2), "out.mapsd.shard-0-of-2.part");
   EXPECT_EQ(rt::shard_manifest_path("out.mapsd", 1, 2),
             "out.mapsd.shard-1-of-2.manifest.json");
+  EXPECT_EQ(rt::shard_journal_path("out.mapsd", 1, 2),
+            "out.mapsd.shard-1-of-2.journal");
+}
+
+TEST(ShardJournal, KillAndResumeAtAFewHundredPatterns) {
+  // The O(n) commit protocol at shard scale: a base manifest plus several
+  // hundred journaled commits, a kill that tears the trailing line mid-
+  // append, then resume. The torn line must be dropped, everything before it
+  // adopted in file order, and compaction must fold the journal back into an
+  // atomically rewritten manifest.
+  const std::string dir = std::string(::testing::TempDir());
+  const std::string manifest_path = dir + "/maps_journal.manifest.json";
+  const std::string journal_path = dir + "/maps_journal.journal";
+  std::filesystem::remove(manifest_path);
+  std::filesystem::remove(journal_path);
+
+  rt::ShardManifest base;
+  base.dataset_name = "bending/random";
+  base.patterns_total = 400;
+  base.samples_per_pattern = 1;
+  base.save(manifest_path);
+
+  constexpr int kPatterns = 300;
+  {
+    rt::ShardJournal journal(journal_path);
+    for (int p = 0; p < kPatterns; ++p) {
+      journal.append({0, static_cast<std::uint64_t>(p),
+                      static_cast<std::uint64_t>(100 * (p + 1))});
+    }
+  }
+  // "Kill" mid-append: a torn, unparseable trailing line.
+  {
+    std::ofstream torn(journal_path, std::ios::binary | std::ios::app);
+    torn << "{\"phase\":0,\"patt";
+  }
+
+  auto resumed = rt::ShardManifest::load(manifest_path);
+  EXPECT_EQ(resumed.absorb_journal(journal_path), static_cast<std::size_t>(kPatterns));
+  ASSERT_EQ(resumed.completed.size(), static_cast<std::size_t>(kPatterns));
+  // File order preserved: committed_bytes is the last complete commit.
+  EXPECT_EQ(resumed.committed_bytes(), static_cast<std::uint64_t>(100 * kPatterns));
+  EXPECT_TRUE(resumed.is_completed(0, 0));
+  EXPECT_TRUE(resumed.is_completed(0, kPatterns - 1));
+  EXPECT_FALSE(resumed.is_completed(0, kPatterns));
+
+  // Compaction folds the journal into the manifest and truncates it; a
+  // subsequent load needs no journal replay.
+  {
+    rt::ShardJournal journal(journal_path);
+    journal.compact(resumed, manifest_path);
+  }
+  EXPECT_EQ(std::filesystem::file_size(journal_path), 0u);
+  auto compacted = rt::ShardManifest::load(manifest_path);
+  EXPECT_EQ(compacted.completed.size(), static_cast<std::size_t>(kPatterns));
+  EXPECT_EQ(compacted.absorb_journal(journal_path), 0u);
+
+  // A crashed compaction (manifest rewritten, journal not yet truncated)
+  // must not double-count: absorbing a stale journal over the compacted
+  // manifest adopts nothing new.
+  {
+    rt::ShardJournal journal(journal_path);
+    for (int p = 0; p < 5; ++p) {
+      journal.append({0, static_cast<std::uint64_t>(p),
+                      static_cast<std::uint64_t>(100 * (p + 1))});
+    }
+  }
+  auto healed = rt::ShardManifest::load(manifest_path);
+  EXPECT_EQ(healed.absorb_journal(journal_path), 0u);
+  EXPECT_EQ(healed.completed.size(), static_cast<std::size_t>(kPatterns));
+
+  std::filesystem::remove(manifest_path);
+  std::filesystem::remove(journal_path);
 }

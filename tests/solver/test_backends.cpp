@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "fdfd/simulation.hpp"
 #include "fdfd/source.hpp"
@@ -237,6 +238,13 @@ TEST(FactorizationCache, KeyDiscriminatesEpsOmegaAndPml) {
   pml2.ncells += 1;
   EXPECT_NE(ms::make_problem_key(rig.spec, rig.eps, rig.omega, pml2, cfg), base);
   EXPECT_EQ(ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, cfg), base);
+
+  // The interleaved fallback is latched per construction, so a cached split
+  // backend must not answer a lookup made under MAPS_SOLVER_INTERLEAVED.
+  setenv("MAPS_SOLVER_INTERLEAVED", "1", 1);
+  const auto inter = ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, cfg);
+  unsetenv("MAPS_SOLVER_INTERLEAVED");
+  EXPECT_NE(inter, base);
 }
 
 TEST(FactorizationCache, WavelengthSweepFactorizesLessThanItSolves) {
@@ -317,7 +325,10 @@ TEST(PreparedBandBackend, MatchesDirectBackend) {
   WaveguideRig rig;
   ms::DirectBandedBackend direct(rig.spec, rig.eps, rig.omega, rig.pml);
   auto prepared = ms::make_prepared_backend(rig.spec, rig.eps, rig.omega, rig.pml);
-  EXPECT_EQ(prepared->name(), "prepared_band");
+  // The prepared backend is now a thin view over DirectBandedBackend (the
+  // split path became the default), so it reports the direct name.
+  EXPECT_EQ(prepared->name(), "direct_banded");
+  EXPECT_TRUE(prepared->split_path());
 
   const auto x_direct = direct.solve(rig.rhs);
   const auto x_prep = prepared->solve(rig.rhs);
@@ -348,6 +359,77 @@ TEST(PreparedBandBackend, BatchMatchesSingleSolves) {
   for (std::size_t k = 0; k < batch.size(); ++k) {
     EXPECT_LT(rel_l2(xs[k], prepared->solve(batch[k])), 1e-13);
     EXPECT_LT(rel_l2(ts[k], prepared->solve_transposed(batch[k])), 1e-13);
+  }
+}
+
+TEST(SolverBackends, SplitMatchesInterleavedFallback) {
+  // The MAPS_SOLVER_INTERLEAVED=1 escape hatch must agree with the default
+  // split-complex path to rounding (identical pivot order; ~1e-15 relative
+  // per entry, pinned here at 1e-12 over the whole field) on forward,
+  // transposed and batched solves.
+  WaveguideRig rig;
+  ms::DirectBandedBackend split_backend(rig.spec, rig.eps, rig.omega, rig.pml);
+  ASSERT_TRUE(split_backend.split_path());
+
+  setenv("MAPS_SOLVER_INTERLEAVED", "1", 1);
+  ms::DirectBandedBackend inter(rig.spec, rig.eps, rig.omega, rig.pml);
+  unsetenv("MAPS_SOLVER_INTERLEAVED");
+  ASSERT_FALSE(inter.split_path());
+  EXPECT_EQ(inter.name(), split_backend.name());
+
+  EXPECT_LT(rel_l2(split_backend.solve(rig.rhs), inter.solve(rig.rhs)), 1e-12);
+  EXPECT_LT(rel_l2(split_backend.solve_transposed(rig.rhs),
+                   inter.solve_transposed(rig.rhs)),
+            1e-12);
+
+  std::vector<std::vector<cplx>> batch;
+  for (unsigned s = 0; s < 3; ++s) batch.push_back(random_rhs(rig.spec.cells(), 300 + s));
+  const auto xs = split_backend.solve_batch(batch);
+  const auto xi = inter.solve_batch(batch);
+  const auto ts = split_backend.solve_transposed_batch(batch);
+  const auto ti = inter.solve_transposed_batch(batch);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_LT(rel_l2(xs[k], xi[k]), 1e-12) << "rhs " << k;
+    EXPECT_LT(rel_l2(ts[k], ti[k]), 1e-12) << "rhs " << k;
+  }
+
+  // Both report the same W (the banded assembly is coefficient-identical to
+  // the CSR assembly).
+  ASSERT_EQ(split_backend.W().size(), inter.W().size());
+  for (std::size_t n = 0; n < inter.W().size(); ++n) {
+    ASSERT_EQ(split_backend.W()[n], inter.W()[n]);
+  }
+}
+
+TEST(FactorizationCache, HitPathBitIdenticalToColdSolve) {
+  // A cached wavelength sweep must not perturb results: the hit path hands
+  // back the same prepared split factors, so its solutions are bit-identical
+  // to a cold solve of the same problem — no tolerance, exact equality.
+  WaveguideRig rig;
+  mf::SimOptions opts;
+  opts.pml = rig.pml;
+  opts.cache = std::make_shared<ms::FactorizationCache>(4);
+
+  std::vector<std::vector<cplx>> hits;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const double lambda : {1.55, 1.60}) {
+      mf::Simulation sim(rig.spec, rig.eps, maps::omega_of_wavelength(lambda), opts);
+      hits.push_back(sim.solve_raw(rig.rhs).data());
+    }
+  }
+  ASSERT_EQ(opts.cache->stats().hits, 2u);  // second pass reused both factors
+
+  std::size_t k = 0;
+  for (const double lambda : {1.55, 1.60}) {
+    ms::DirectBandedBackend cold(rig.spec, rig.eps, maps::omega_of_wavelength(lambda),
+                                 rig.pml);
+    const auto x_cold = cold.solve(rig.rhs);
+    for (std::size_t n = 0; n < x_cold.size(); ++n) {
+      // Exact: same kernel, same factors, same back-substitution order.
+      ASSERT_EQ(hits[k][n], x_cold[n]) << "lambda " << lambda << " n " << n;
+      ASSERT_EQ(hits[k + 2][n], x_cold[n]) << "hit pass, lambda " << lambda;
+    }
+    ++k;
   }
 }
 

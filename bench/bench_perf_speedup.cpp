@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "common.hpp"
 #include "core/invdes/engine.hpp"
@@ -15,6 +17,7 @@
 #include "fdfd/source.hpp"
 #include "math/rng.hpp"
 #include "param/pipeline.hpp"
+#include "serve/service.hpp"
 
 using namespace maps;
 
@@ -217,6 +220,102 @@ static void BM_SparamSweepInterleaved(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparamSweepInterleaved)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+// --------------------------------------------------------- serve throughput
+//
+// BM_ServeThroughput pair: the same stream of distinct surrogate queries
+// served (a) strictly one request at a time — the only mode the stateful
+// training forward() supported before the serving layer existed — and (b)
+// through the micro-batcher on 4 TaskQueue workers. The ratio of the two
+// real_times is the serving win (request-dispatch amortization + batched
+// const inference + worker parallelism) measured within one run, which is
+// what the CI perf gate tracks as serve_batched_vs_unbatched. The result
+// cache is disabled in both so the comparison is pure model inference; the
+// requests use the 32x32 grid of the Low-fidelity (factor-2 coarse) serving
+// tier.
+
+constexpr index_t kServeGrid = 32;
+constexpr int kServeRequests = 64;
+
+std::shared_ptr<maps::serve::ModelRegistry> serve_registry() {
+  nn::ModelConfig mcfg;
+  mcfg.kind = nn::ModelKind::Fno;
+  mcfg.in_channels = 4;
+  mcfg.out_channels = 2;
+  mcfg.width = 8;
+  mcfg.modes = 4;
+  mcfg.depth = 2;
+  auto registry = std::make_shared<maps::serve::ModelRegistry>();
+  registry->install("bench-fno", mcfg, nn::make_model(mcfg));
+  return registry;
+}
+
+std::vector<maps::serve::ServeRequest> serve_requests() {
+  std::vector<maps::serve::ServeRequest> reqs;
+  reqs.reserve(kServeRequests);
+  const index_t n = kServeGrid;
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  math::Rng rng(29);
+  for (int k = 0; k < kServeRequests; ++k) {
+    maps::serve::ServeRequest req;
+    req.spec = spec;
+    // Distinct pattern per request: no two queries share a cache key.
+    math::RealGrid eps(n, n, 2.07);
+    for (index_t j = n / 3; j < 2 * n / 3; ++j) {
+      for (index_t i = n / 3; i < 2 * n / 3; ++i) {
+        eps(i, j) = 2.07 + 10.0 * rng.uniform();
+      }
+    }
+    req.eps = std::move(eps);
+    req.J = fdfd::point_source(spec, n / 4 + (k % 8), n / 2);
+    req.omega = omega_of_wavelength(1.55);
+    req.pml.ncells = static_cast<int>(n / 8);
+    req.fidelity = solver::FidelityLevel::Low;
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+}  // namespace
+
+static void BM_ServeOneAtATime(benchmark::State& state) {
+  const auto registry = serve_registry();
+  const auto requests = serve_requests();
+  maps::serve::ServeOptions options;
+  options.max_batch = 1;  // no coalescing: each request is its own forward
+  options.max_delay_ms = 0.0;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  maps::serve::PredictionService service(registry, options);
+  for (auto _ : state) {
+    for (const auto& req : requests) {
+      benchmark::DoNotOptimize(service.predict(req));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeRequests);
+}
+BENCHMARK(BM_ServeOneAtATime)->Unit(benchmark::kMillisecond);
+
+static void BM_ServeMicroBatched(benchmark::State& state) {
+  const auto registry = serve_registry();
+  const auto requests = serve_requests();
+  maps::serve::ServeOptions options;
+  options.max_batch = 32;
+  options.max_delay_ms = 2.0;
+  options.workers = 4;
+  options.cache_capacity = 0;
+  maps::serve::PredictionService service(registry, options);
+  for (auto _ : state) {
+    std::vector<maps::runtime::Future<maps::serve::ServeResponse>> futures;
+    futures.reserve(requests.size());
+    for (const auto& req : requests) futures.push_back(service.submit(req));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * kServeRequests);
+}
+BENCHMARK(BM_ServeMicroBatched)->Unit(benchmark::kMillisecond);
 
 static void BM_FnoInference(benchmark::State& state) {
   const index_t n = state.range(0);

@@ -312,6 +312,123 @@ JsonValue TrainConfig::to_json() const {
   return v;
 }
 
+// ------------------------------------------------------------------- serve
+
+serve::WireDefaults ServeConfig::wire_defaults() const {
+  serve::WireDefaults d;
+  d.dl = dl;
+  d.wavelength = wavelength;
+  d.pml = pml;
+  d.fidelity = solver::fidelity_from_name(fidelity);
+  return d;
+}
+
+ServeConfig ServeConfig::from_json(const JsonValue& v) {
+  FieldReader r(v, "serve");
+  ServeConfig cfg;
+  cfg.model.kind = model_kind_from_name(r.string("model", "fno"));
+  cfg.model.width = r.integer("width", static_cast<int>(cfg.model.width));
+  cfg.model.modes = r.integer("modes", static_cast<int>(cfg.model.modes));
+  cfg.model.depth = r.integer("depth", cfg.model.depth);
+  cfg.model.seed = static_cast<unsigned>(r.integer("model_seed", 42));
+  cfg.wave_prior =
+      r.boolean("wave_prior", cfg.model.kind == nn::ModelKind::NeurOLight);
+  cfg.model.in_channels =
+      maps::train::EncodingOptions{cfg.wave_prior}.channels();
+  cfg.model_id = r.string("model_id", "default");
+  cfg.checkpoint = r.string("checkpoint", "");
+
+  cfg.standardizer.eps_lo = r.number("std_eps_lo", cfg.standardizer.eps_lo);
+  cfg.standardizer.eps_hi = r.number("std_eps_hi", cfg.standardizer.eps_hi);
+  cfg.standardizer.field_scale =
+      r.number("std_field_scale", cfg.standardizer.field_scale);
+  cfg.standardizer.j_scale = r.number("std_j_scale", cfg.standardizer.j_scale);
+  cfg.standardizer.lambda_ref =
+      r.number("std_lambda_ref", cfg.standardizer.lambda_ref);
+
+  cfg.serve.max_batch = r.integer("max_batch", cfg.serve.max_batch);
+  cfg.serve.max_delay_ms = r.number("max_delay_ms", cfg.serve.max_delay_ms);
+  // The size_t knobs reject negatives before the cast — a config with
+  // "workers": -1 must be a clean error, not a 2^64-thread TaskQueue.
+  const auto non_negative = [](int v, const char* what) {
+    if (v < 0) {
+      throw MapsError(std::string("serve: ") + what + " must be >= 0");
+    }
+    return static_cast<std::size_t>(v);
+  };
+  cfg.serve.workers =
+      non_negative(r.integer("workers", static_cast<int>(cfg.serve.workers)),
+                   "workers");
+  cfg.serve.cache_capacity = non_negative(
+      r.integer("cache_capacity", static_cast<int>(cfg.serve.cache_capacity)),
+      "cache_capacity");
+  cfg.serve.cache_shards = non_negative(
+      r.integer("cache_shards", static_cast<int>(cfg.serve.cache_shards)),
+      "cache_shards");
+  cfg.serve.escalate_rms_factor =
+      r.number("escalate_rms_factor", cfg.serve.escalate_rms_factor);
+  cfg.serve.solver_cache_capacity = non_negative(
+      r.integer("solver_cache_capacity",
+                static_cast<int>(cfg.serve.solver_cache_capacity)),
+      "solver_cache_capacity");
+
+  cfg.dl = r.number("dl", cfg.dl);
+  cfg.wavelength = r.number("wavelength", cfg.wavelength);
+  cfg.pml.ncells = r.integer("pml_ncells", cfg.pml.ncells);
+  cfg.fidelity = r.string("fidelity", "low");
+  cfg.port = r.integer("port", 0);
+  cfg.max_connections = r.integer("max_connections", -1);
+  cfg.report = r.string("report", "");
+  r.reject_unknown();
+
+  (void)solver::fidelity_from_name(cfg.fidelity);  // validate the spelling
+  if (cfg.serve.max_batch < 1) throw MapsError("serve: max_batch must be >= 1");
+  if (cfg.serve.max_delay_ms < 0.0) {
+    throw MapsError("serve: max_delay_ms must be >= 0");
+  }
+  if (cfg.serve.cache_shards < 1) throw MapsError("serve: cache_shards must be >= 1");
+  if (cfg.port < 0 || cfg.port > 65535) {
+    throw MapsError("serve: port must be in [0, 65535]");
+  }
+  check_positive(cfg.dl, "dl");
+  check_positive(cfg.wavelength, "wavelength");
+  check_positive(cfg.standardizer.field_scale, "std_field_scale");
+  check_positive(cfg.standardizer.j_scale, "std_j_scale");
+  return cfg;
+}
+
+JsonValue ServeConfig::to_json() const {
+  JsonValue v;
+  v["model"] = nn::model_name(model.kind);
+  v["width"] = model.width;
+  v["modes"] = model.modes;
+  v["depth"] = model.depth;
+  v["model_seed"] = static_cast<int>(model.seed);
+  v["wave_prior"] = wave_prior;
+  v["model_id"] = model_id;
+  if (!checkpoint.empty()) v["checkpoint"] = checkpoint;
+  v["std_eps_lo"] = standardizer.eps_lo;
+  v["std_eps_hi"] = standardizer.eps_hi;
+  v["std_field_scale"] = standardizer.field_scale;
+  v["std_j_scale"] = standardizer.j_scale;
+  v["std_lambda_ref"] = standardizer.lambda_ref;
+  v["max_batch"] = serve.max_batch;
+  v["max_delay_ms"] = serve.max_delay_ms;
+  v["workers"] = static_cast<int>(serve.workers);
+  v["cache_capacity"] = static_cast<int>(serve.cache_capacity);
+  v["cache_shards"] = static_cast<int>(serve.cache_shards);
+  v["escalate_rms_factor"] = serve.escalate_rms_factor;
+  v["solver_cache_capacity"] = static_cast<int>(serve.solver_cache_capacity);
+  v["dl"] = dl;
+  v["wavelength"] = wavelength;
+  v["pml_ncells"] = pml.ncells;
+  v["fidelity"] = fidelity;
+  v["port"] = port;
+  v["max_connections"] = max_connections;
+  if (!report.empty()) v["report"] = report;
+  return v;
+}
+
 // ------------------------------------------------------------------ invdes
 
 InvDesConfig InvDesConfig::from_json(const JsonValue& v) {

@@ -15,6 +15,7 @@
 #include "devices/builders.hpp"
 #include "io/json.hpp"
 #include "nn/models.hpp"
+#include "serve/wire.hpp"
 #include "solver/backend.hpp"
 
 namespace maps::io {
@@ -79,6 +80,37 @@ struct TrainConfig {
   std::string report;             // optional metrics JSON output path
 
   static TrainConfig from_json(const JsonValue& v);
+  JsonValue to_json() const;
+};
+
+/// maps_cli serve: the multi-fidelity surrogate prediction server
+/// (src/serve/). "model"/"width"/"modes"/"depth" describe the architecture,
+/// "checkpoint" the trainer-saved parameter file (empty = fresh random
+/// weights, a dev mode), and the "standardizer" block carries the training
+/// normalization constants the input encoder needs. "max_batch" /
+/// "max_delay_ms" tune the micro-batcher, "cache_capacity"/"cache_shards"
+/// the result cache, "workers" the inference worker pool (0 = shared
+/// queue), "port" selects TCP mode (0 = stdin/stdout), and
+/// "escalate_rms_factor" arms the low-confidence solver escalation screen.
+struct ServeConfig {
+  nn::ModelConfig model;
+  bool wave_prior = false;
+  std::string model_id = "default";
+  std::string checkpoint;
+  maps::train::Standardizer standardizer;
+  serve::ServeOptions serve;
+  // Wire-request defaults.
+  double dl = 0.1;
+  double wavelength = 1.55;
+  fdfd::PmlSpec pml;
+  std::string fidelity = "low";
+  int port = 0;           // 0 = stdio mode
+  int max_connections = -1;  // TCP mode: stop after N connections (-1 = run on)
+  std::string report;     // optional stats JSON output path
+
+  serve::WireDefaults wire_defaults() const;
+
+  static ServeConfig from_json(const JsonValue& v);
   JsonValue to_json() const;
 };
 

@@ -8,11 +8,14 @@
 #include <ostream>
 #include <set>
 
+#include <iostream>
+
 #include "core/data/generator.hpp"
 #include "core/invdes/init.hpp"
 #include "core/train/trainer.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/datagen.hpp"
+#include "serve/server.hpp"
 
 namespace maps::io {
 
@@ -317,6 +320,46 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
   return report;
 }
 
+JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& out,
+                    std::ostream& log) {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  maps::train::EncodingOptions encoding;
+  encoding.wave_prior = config.wave_prior;
+  const auto served = registry->load(config.model_id, config.model, config.checkpoint,
+                                     encoding, config.standardizer);
+  log << "[serve] model " << served->id << " v" << served->version << " ("
+      << nn::model_name(config.model.kind) << ", " << served->param_count
+      << " parameters" << (config.checkpoint.empty() ? ", RANDOM WEIGHTS" : "")
+      << ")\n";
+  if (config.checkpoint.empty()) {
+    log << "[serve] warning: no checkpoint configured — serving fresh random "
+           "weights (dev mode)\n";
+  }
+
+  serve::PredictionService service(registry, config.serve);
+  const auto defaults = config.wire_defaults();
+  log << "[serve] max_batch=" << config.serve.max_batch
+      << " max_delay_ms=" << config.serve.max_delay_ms
+      << " cache=" << config.serve.cache_capacity << "x"
+      << config.serve.cache_shards << " workers=" << config.serve.workers
+      << " fidelity_default=" << config.fidelity << "\n";
+
+  if (config.port > 0) {
+    serve::serve_tcp(service, defaults, config.port, &log, config.max_connections);
+  } else {
+    serve::serve_stream(service, defaults, in, out, &log);
+  }
+
+  JsonValue report;
+  report["task"] = "serve";
+  report["model"] = served->id;
+  report["model_version"] = served->version;
+  report["serve_stats"] = serve::stats_to_json(service.stats());
+  report["config"] = config.to_json();
+  if (!config.report.empty()) json_save(report, config.report);
+  return report;
+}
+
 JsonValue run_config_json(const JsonValue& doc, std::ostream& log) {
   const std::string task = doc.at("task").as_string();
   // The "task" key routes; the runner configs reject unknown fields, so
@@ -327,6 +370,13 @@ JsonValue run_config_json(const JsonValue& doc, std::ostream& log) {
   if (task == "datagen") return run_datagen(DataGenConfig::from_json(body), log);
   if (task == "train") return run_train(TrainConfig::from_json(body), log);
   if (task == "invdes") return run_invdes(InvDesConfig::from_json(body), log);
+  if (task == "serve") {
+    // The serve wire protocol owns stdout; running it through the generic
+    // dispatch would append the report to the reply stream and corrupt it.
+    throw MapsError(
+        "run_config_file: task 'serve' must run via `maps_cli serve <config>` "
+        "(replies on stdout, report on stderr)");
+  }
   throw MapsError("run_config_file: unknown task '" + task + "'");
 }
 

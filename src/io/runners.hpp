@@ -31,6 +31,14 @@ JsonValue run_train(const TrainConfig& config, std::ostream& log);
 /// transmissions, and iteration history summary.
 JsonValue run_invdes(const InvDesConfig& config, std::ostream& log);
 
+/// Run the prediction server (src/serve/): load the configured model into a
+/// ModelRegistry and serve ndjson requests from `in` to `out` (stdio mode)
+/// or over TCP when config.port > 0 (`in`/`out` unused then). Returns the
+/// ServeStats report once the stream closes / the connection budget is
+/// spent.
+JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& out,
+                    std::ostream& log);
+
 /// Dispatch on the config's "task" field ("datagen" | "train" | "invdes").
 JsonValue run_config_file(const std::string& path, std::ostream& log);
 

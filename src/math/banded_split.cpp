@@ -42,6 +42,27 @@ inline void dot_accum(const double* __restrict ar, const double* __restrict ai,
   out_i = (si0 + si1) + (si2 + si3);
 }
 
+/// b[t] -= (ar[t] + i ai[t]) * (br + i bi) for t in [0, len): the scatter
+/// counterpart of dot_accum, shared by the forward solves' L-application and
+/// back-substitution loops. Unlike the transposed gather, every update here
+/// targets a distinct element — there is no floating-point dependency chain
+/// for multiple accumulators to break — so the dot_accum treatment was
+/// measured to buy nothing (and a 4-wide manual unroll regressed the
+/// multi-RHS sweep ~30%; see the notes in BENCH_kernels.json). This
+/// restrict-qualified split-load form performs at parity with the complex-
+/// arithmetic loop it replaces and keeps the scatter in one place. Per-
+/// element operations and order are unchanged: results stay bit-identical.
+inline void axpy_scatter(const double* __restrict ar, const double* __restrict ai,
+                         double br, double bi, cplx* __restrict b,
+                         std::size_t len) {
+  double* __restrict bd = reinterpret_cast<double*>(b);
+  for (std::size_t t = 0; t < len; ++t) {
+    const double a_r = ar[t], a_i = ai[t];
+    bd[2 * t + 0] -= a_r * br - a_i * bi;
+    bd[2 * t + 1] -= a_r * bi + a_i * br;
+  }
+}
+
 }  // namespace
 
 SplitBandMatrix::SplitBandMatrix(index_t n, index_t kl, index_t ku)
@@ -143,12 +164,9 @@ void SplitBandMatrix::solve_inplace(std::vector<cplx>& b) const {
       const cplx bj = b[static_cast<std::size_t>(j)];
       if (bj != cplx{}) {
         const std::size_t d = at(j, j);
-        const double br = bj.real(), bi = bj.imag();
-        for (index_t k = 1; k <= km; ++k) {
-          const double ar = re_[d + static_cast<std::size_t>(k)];
-          const double ai = im_[d + static_cast<std::size_t>(k)];
-          b[static_cast<std::size_t>(j + k)] -= cplx{ar * br - ai * bi, ar * bi + ai * br};
-        }
+        axpy_scatter(&re_[d + 1], &im_[d + 1], bj.real(), bj.imag(),
+                     &b[static_cast<std::size_t>(j + 1)],
+                     static_cast<std::size_t>(km));
       }
     }
   }
@@ -161,12 +179,9 @@ void SplitBandMatrix::solve_inplace(std::vector<cplx>& b) const {
     const double bi = (bj0.imag() * dr - bj0.real() * di) / den;
     b[static_cast<std::size_t>(j)] = cplx{br, bi};
     const index_t ilo = std::max<index_t>(0, j - kv);
-    const std::size_t c0 = at(ilo, j);
-    for (index_t i = ilo; i < j; ++i) {
-      const std::size_t c = c0 + static_cast<std::size_t>(i - ilo);
-      const double ar = re_[c], ai = im_[c];
-      b[static_cast<std::size_t>(i)] -= cplx{ar * br - ai * bi, ar * bi + ai * br};
-    }
+    axpy_scatter(&re_[at(ilo, j)], &im_[at(ilo, j)], br, bi,
+                 &b[static_cast<std::size_t>(ilo)],
+                 static_cast<std::size_t>(j - ilo));
   }
 }
 
@@ -228,13 +243,9 @@ void SplitBandMatrix::solve_multi_inplace(std::vector<std::vector<cplx>>& bs) co
         }
         const cplx bj = b[static_cast<std::size_t>(j)];
         if (bj != cplx{}) {
-          const double br = bj.real(), bi = bj.imag();
-          for (index_t k = 1; k <= km; ++k) {
-            const double ar = re_[d + static_cast<std::size_t>(k)];
-            const double ai = im_[d + static_cast<std::size_t>(k)];
-            b[static_cast<std::size_t>(j + k)] -=
-                cplx{ar * br - ai * bi, ar * bi + ai * br};
-          }
+          axpy_scatter(&re_[d + 1], &im_[d + 1], bj.real(), bj.imag(),
+                       &b[static_cast<std::size_t>(j + 1)],
+                       static_cast<std::size_t>(km));
         }
       }
     }
@@ -251,11 +262,8 @@ void SplitBandMatrix::solve_multi_inplace(std::vector<std::vector<cplx>>& bs) co
       const double br = (bj0.real() * dr + bj0.imag() * di) / den;
       const double bi = (bj0.imag() * dr - bj0.real() * di) / den;
       b[static_cast<std::size_t>(j)] = cplx{br, bi};
-      for (index_t i = ilo; i < j; ++i) {
-        const std::size_t c = c0 + static_cast<std::size_t>(i - ilo);
-        const double ar = re_[c], ai = im_[c];
-        b[static_cast<std::size_t>(i)] -= cplx{ar * br - ai * bi, ar * bi + ai * br};
-      }
+      axpy_scatter(&re_[c0], &im_[c0], br, bi, &b[static_cast<std::size_t>(ilo)],
+                   static_cast<std::size_t>(j - ilo));
     }
   }
 }

@@ -1,0 +1,41 @@
+#include "nn/infer.hpp"
+
+#include <algorithm>
+
+namespace maps::nn {
+
+Tensor stack_batch(std::span<const Tensor> inputs) {
+  require(!inputs.empty(), "stack_batch: empty input list");
+  const Tensor& first = inputs.front();
+  require(first.ndim() == 4 && first.size(0) == 1,
+          "stack_batch: inputs must be (1, C, H, W)");
+  const index_t row = first.numel();
+  Tensor batch({static_cast<index_t>(inputs.size()), first.size(1), first.size(2),
+                first.size(3)});
+  for (std::size_t n = 0; n < inputs.size(); ++n) {
+    require(inputs[n].same_shape(first), "stack_batch: input shape mismatch");
+    std::copy(inputs[n].data(), inputs[n].data() + row,
+              batch.data() + static_cast<index_t>(n) * row);
+  }
+  return batch;
+}
+
+std::vector<Tensor> split_batch(const Tensor& batch) {
+  require(batch.ndim() == 4, "split_batch: expects a 4D batch");
+  const index_t N = batch.size(0);
+  const index_t row = batch.numel() / std::max<index_t>(1, N);
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(N));
+  for (index_t n = 0; n < N; ++n) {
+    Tensor t({1, batch.size(1), batch.size(2), batch.size(3)});
+    std::copy(batch.data() + n * row, batch.data() + (n + 1) * row, t.data());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Tensor> infer_batch(const Module& model, std::span<const Tensor> inputs) {
+  return split_batch(model.infer(stack_batch(inputs)));
+}
+
+}  // namespace maps::nn

@@ -23,26 +23,35 @@ Conv2d::Conv2d(index_t c_in, index_t c_out, index_t k, maps::math::Rng& rng,
   kaiming_init(w_.value, c_in * k * k, rng);
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+Tensor Conv2d::run_forward(const Tensor& x, std::vector<float>& col) const {
   require(x.ndim() == 4 && x.size(1) == c_in_, "Conv2d: bad input shape");
-  x_cache_ = x;
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
   const index_t hw = H * W;
   const index_t ck2 = c_in_ * k_ * k_;
   Tensor y({N, c_out_, H, W});
-  col_.resize(static_cast<std::size_t>(ck2 * hw));
+  col.resize(static_cast<std::size_t>(ck2 * hw));
   const float* wp = w_.value.data();
   for (index_t n = 0; n < N; ++n) {
-    maps::math::im2col(x.data() + n * c_in_ * hw, c_in_, H, W, k_, col_.data());
+    maps::math::im2col(x.data() + n * c_in_ * hw, c_in_, H, W, k_, col.data());
     // Bias fills each output plane; the GEMM accumulates on top (beta = 1).
     float* yn = y.data() + n * c_out_ * hw;
     for (index_t co = 0; co < c_out_; ++co) {
       std::fill(yn + co * hw, yn + (co + 1) * hw, b_.value[co]);
     }
     maps::math::sgemm(Trans::No, Trans::No, c_out_, hw, ck2, 1.0f, wp, ck2,
-                      col_.data(), hw, 1.0f, yn, hw);
+                      col.data(), hw, 1.0f, yn, hw);
   }
   return y;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  x_cache_ = x;
+  return run_forward(x, col_);
+}
+
+Tensor Conv2d::infer(const Tensor& x) const {
+  std::vector<float> col;  // local scratch: infer must not touch member state
+  return run_forward(x, col);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
@@ -92,9 +101,8 @@ Linear::Linear(index_t f_in, index_t f_out, maps::math::Rng& rng, std::string ta
   kaiming_init(w_.value, f_in, rng);
 }
 
-Tensor Linear::forward(const Tensor& x) {
+Tensor Linear::run_forward(const Tensor& x) const {
   require(x.ndim() == 2 && x.size(1) == f_in_, "Linear: bad input shape");
-  x_cache_ = x;
   const index_t N = x.size(0);
   Tensor y({N, f_out_});
   // Y = X * W^T + b as one batched GEMM (bias seeds the output, beta = 1).
@@ -105,6 +113,13 @@ Tensor Linear::forward(const Tensor& x) {
                     f_in_, w_.value.data(), f_in_, 1.0f, y.data(), f_out_);
   return y;
 }
+
+Tensor Linear::forward(const Tensor& x) {
+  x_cache_ = x;
+  return run_forward(x);
+}
+
+Tensor Linear::infer(const Tensor& x) const { return run_forward(x); }
 
 Tensor Linear::backward(const Tensor& grad_out) {
   const Tensor& x = x_cache_;
@@ -170,6 +185,10 @@ double act_derivative(Act kind, double v) {
 
 Tensor Activation::forward(const Tensor& x) {
   x_cache_ = x;
+  return infer(x);
+}
+
+Tensor Activation::infer(const Tensor& x) const {
   Tensor y = x;
   for (index_t i = 0; i < y.numel(); ++i) {
     y[i] = static_cast<float>(act_forward(kind_, x[i]));
@@ -195,15 +214,12 @@ GroupNorm::GroupNorm(index_t groups, index_t channels, double eps)
   require(channels % groups == 0, "GroupNorm: channels must divide by groups");
 }
 
-Tensor GroupNorm::forward(const Tensor& x) {
+void GroupNorm::run_forward(const Tensor& x, Tensor& y, Tensor* xhat,
+                            std::vector<double>* inv_std_out) const {
   require(x.ndim() == 4 && x.size(1) == channels_, "GroupNorm: bad input shape");
-  x_cache_ = x;
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
   const index_t cg = channels_ / groups_;
   const index_t m = cg * H * W;
-  xhat_cache_ = Tensor({N, channels_, H, W});
-  inv_std_.assign(static_cast<std::size_t>(N * groups_), 0.0);
-  Tensor y({N, channels_, H, W});
 
   for (index_t n = 0; n < N; ++n) {
     for (index_t g = 0; g < groups_; ++g) {
@@ -225,19 +241,38 @@ Tensor GroupNorm::forward(const Tensor& x) {
       }
       var /= static_cast<double>(m);
       const double inv_std = 1.0 / std::sqrt(var + eps_);
-      inv_std_[static_cast<std::size_t>(n * groups_ + g)] = inv_std;
+      if (inv_std_out != nullptr) {
+        (*inv_std_out)[static_cast<std::size_t>(n * groups_ + g)] = inv_std;
+      }
       for (index_t c = g * cg; c < (g + 1) * cg; ++c) {
         const float ga = gamma_.value[c], be = beta_.value[c];
         for (index_t h = 0; h < H; ++h) {
           for (index_t w = 0; w < W; ++w) {
             const float xh = static_cast<float>((x.at(n, c, h, w) - mean) * inv_std);
-            xhat_cache_.at(n, c, h, w) = xh;
+            if (xhat != nullptr) xhat->at(n, c, h, w) = xh;
             y.at(n, c, h, w) = ga * xh + be;
           }
         }
       }
     }
   }
+}
+
+Tensor GroupNorm::forward(const Tensor& x) {
+  require(x.ndim() == 4 && x.size(1) == channels_, "GroupNorm: bad input shape");
+  x_cache_ = x;
+  const index_t N = x.size(0), H = x.size(2), W = x.size(3);
+  xhat_cache_ = Tensor({N, channels_, H, W});
+  inv_std_.assign(static_cast<std::size_t>(N * groups_), 0.0);
+  Tensor y({N, channels_, H, W});
+  run_forward(x, y, &xhat_cache_, &inv_std_);
+  return y;
+}
+
+Tensor GroupNorm::infer(const Tensor& x) const {
+  require(x.ndim() == 4 && x.size(1) == channels_, "GroupNorm: bad input shape");
+  Tensor y({x.size(0), channels_, x.size(2), x.size(3)});
+  run_forward(x, y, nullptr, nullptr);
   return y;
 }
 
@@ -295,13 +330,12 @@ Tensor GroupNorm::backward(const Tensor& grad_out) {
 
 // --------------------------------------------------------------- MaxPool2d
 
-Tensor MaxPool2d::forward(const Tensor& x) {
+Tensor MaxPool2d::run_forward(const Tensor& x, std::vector<index_t>* argmax) const {
   require(x.ndim() == 4, "MaxPool2d: expects 4D input");
   const index_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
   require(H % 2 == 0 && W % 2 == 0, "MaxPool2d: H and W must be even");
-  in_shape_ = x.shape();
   Tensor y({N, C, H / 2, W / 2});
-  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  if (argmax != nullptr) argmax->assign(static_cast<std::size_t>(y.numel()), 0);
   index_t out = 0;
   for (index_t n = 0; n < N; ++n) {
     for (index_t c = 0; c < C; ++c) {
@@ -319,7 +353,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
             }
           }
           y[out] = best;
-          argmax_[static_cast<std::size_t>(out)] = best_idx;
+          if (argmax != nullptr) (*argmax)[static_cast<std::size_t>(out)] = best_idx;
           ++out;
         }
       }
@@ -327,6 +361,13 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   }
   return y;
 }
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return run_forward(x, &argmax_);
+}
+
+Tensor MaxPool2d::infer(const Tensor& x) const { return run_forward(x, nullptr); }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
   require(!in_shape_.empty(), "MaxPool2d::backward: call forward first");
@@ -339,9 +380,8 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
 
 // -------------------------------------------------------------- Upsample2x
 
-Tensor Upsample2x::forward(const Tensor& x) {
+Tensor Upsample2x::run_forward(const Tensor& x) const {
   require(x.ndim() == 4, "Upsample2x: expects 4D input");
-  in_shape_ = x.shape();
   const index_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
   Tensor y({N, C, H * 2, W * 2});
   for (index_t n = 0; n < N; ++n) {
@@ -355,6 +395,13 @@ Tensor Upsample2x::forward(const Tensor& x) {
   }
   return y;
 }
+
+Tensor Upsample2x::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return run_forward(x);
+}
+
+Tensor Upsample2x::infer(const Tensor& x) const { return run_forward(x); }
 
 Tensor Upsample2x::backward(const Tensor& grad_out) {
   require(!in_shape_.empty(), "Upsample2x::backward: call forward first");

@@ -21,12 +21,17 @@ class Conv2d final : public Module {
   std::string name() const override { return tag_; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override { return {&w_, &b_}; }
 
   index_t in_channels() const { return c_in_; }
   index_t out_channels() const { return c_out_; }
 
  private:
+  /// The im2col+GEMM forward shared by forward() and infer(); `col` is the
+  /// caller-provided per-sample column scratch.
+  Tensor run_forward(const Tensor& x, std::vector<float>& col) const;
+
   index_t c_in_, c_out_, k_;
   std::string tag_;
   Param w_;  // (c_out, c_in, k, k)
@@ -45,9 +50,12 @@ class Linear final : public Module {
   std::string name() const override { return tag_; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override { return {&w_, &b_}; }
 
  private:
+  Tensor run_forward(const Tensor& x) const;
+
   index_t f_in_, f_out_;
   std::string tag_;
   Param w_;  // (f_out, f_in)
@@ -63,6 +71,7 @@ class Activation final : public Module {
   std::string name() const override { return "activation"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
   Act kind_;
@@ -77,9 +86,15 @@ class GroupNorm final : public Module {
   std::string name() const override { return "group_norm"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override { return {&gamma_, &beta_}; }
 
  private:
+  /// Shared normalization core: writes y; optionally records xhat and the
+  /// per-(n, g) inverse stddev for backward (null in the infer path).
+  void run_forward(const Tensor& x, Tensor& y, Tensor* xhat,
+                   std::vector<double>* inv_std) const;
+
   index_t groups_, channels_;
   double eps_;
   Param gamma_, beta_;
@@ -93,8 +108,11 @@ class MaxPool2d final : public Module {
   std::string name() const override { return "max_pool2d"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
+  Tensor run_forward(const Tensor& x, std::vector<index_t>* argmax) const;
+
   std::vector<index_t> argmax_;
   std::vector<index_t> in_shape_;
 };
@@ -105,8 +123,11 @@ class Upsample2x final : public Module {
   std::string name() const override { return "upsample2x"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
+  Tensor run_forward(const Tensor& x) const;
+
   std::vector<index_t> in_shape_;
 };
 

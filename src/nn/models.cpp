@@ -16,6 +16,12 @@ Tensor FnoBlock::forward(const Tensor& x) {
   return act_.forward(y);
 }
 
+Tensor FnoBlock::infer(const Tensor& x) const {
+  Tensor y = spectral_.infer(x);
+  y.add_(pointwise_.infer(x));
+  return act_.infer(y);
+}
+
 Tensor FnoBlock::backward(const Tensor& grad_out) {
   const Tensor g = act_.backward(grad_out);
   Tensor gx = spectral_.backward(g);
@@ -43,6 +49,14 @@ Tensor FfnoBlock::forward(const Tensor& x) {
   Tensor s = spec_x_.forward(x);
   s.add_(spec_y_.forward(x));
   Tensor h = w2_.forward(act_.forward(w1_.forward(s)));
+  h.add_(x);  // residual
+  return h;
+}
+
+Tensor FfnoBlock::infer(const Tensor& x) const {
+  Tensor s = spec_x_.infer(x);
+  s.add_(spec_y_.infer(x));
+  Tensor h = w2_.infer(act_.infer(w1_.infer(s)));
   h.add_(x);  // residual
   return h;
 }
@@ -92,6 +106,7 @@ Fno2d::Fno2d(index_t c_in, index_t c_out, index_t width, index_t modes, int dept
 
 Tensor Fno2d::forward(const Tensor& x) { return seq_.forward(x); }
 Tensor Fno2d::backward(const Tensor& g) { return seq_.backward(g); }
+Tensor Fno2d::infer(const Tensor& x) const { return seq_.infer(x); }
 std::vector<Param*> Fno2d::parameters() { return seq_.parameters(); }
 
 // ------------------------------------------------------------------ Ffno2d
@@ -171,6 +186,19 @@ Tensor UNet::forward(const Tensor& x) {
   return head_.forward(d1);
 }
 
+Tensor UNet::infer(const Tensor& x) const {
+  // Same dataflow as forward(), with the skip tensors held locally instead
+  // of in the backward caches.
+  Tensor s1 = enc1_.infer(x);
+  Tensor s2 = enc2_.infer(pool1_.infer(s1));
+  Tensor mid = bottleneck_.infer(pool2_.infer(s2));
+  Tensor u2 = concat_channels(up2_.infer(mid), s2);
+  Tensor d2 = dec2_.infer(u2);
+  Tensor u1 = concat_channels(up1_.infer(d2), s1);
+  Tensor d1 = dec1_.infer(u1);
+  return head_.infer(d1);
+}
+
 Tensor UNet::backward(const Tensor& grad_out) {
   Tensor g = head_.backward(grad_out);
   g = dec1_.backward(g);
@@ -212,11 +240,10 @@ SParamCnn::SParamCnn(index_t c_in, index_t n_outputs, index_t width,
   convs_.add(std::make_unique<Activation>(Act::Gelu));
 }
 
-Tensor SParamCnn::forward(const Tensor& x) {
-  Tensor h = convs_.forward(x);  // (N, C, H', W')
-  pre_pool_shape_ = h.shape();
+namespace {
+/// Global average pool (N, C, H, W) -> (N, C).
+Tensor global_avg_pool(const Tensor& h) {
   const index_t N = h.size(0), C = h.size(1), H = h.size(2), W = h.size(3);
-  // Global average pool -> (N, C).
   Tensor pooled({N, C});
   const double inv = 1.0 / static_cast<double>(H * W);
   for (index_t n = 0; n < N; ++n) {
@@ -228,7 +255,18 @@ Tensor SParamCnn::forward(const Tensor& x) {
       pooled[n * C + c] = static_cast<float>(s * inv);
     }
   }
-  return fc_.forward(pooled);
+  return pooled;
+}
+}  // namespace
+
+Tensor SParamCnn::forward(const Tensor& x) {
+  Tensor h = convs_.forward(x);  // (N, C, H', W')
+  pre_pool_shape_ = h.shape();
+  return fc_.forward(global_avg_pool(h));
+}
+
+Tensor SParamCnn::infer(const Tensor& x) const {
+  return fc_.infer(global_avg_pool(convs_.infer(x)));
 }
 
 Tensor SParamCnn::backward(const Tensor& grad_out) {

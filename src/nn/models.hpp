@@ -21,6 +21,7 @@ class FnoBlock final : public Module {
   std::string name() const override { return tag_; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override;
 
  private:
@@ -37,6 +38,7 @@ class FfnoBlock final : public Module {
   std::string name() const override { return tag_; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override;
 
  private:
@@ -53,6 +55,7 @@ class DoubleConv final : public Module {
   std::string name() const override { return "double_conv"; }
   Tensor forward(const Tensor& x) override { return seq_.forward(x); }
   Tensor backward(const Tensor& g) override { return seq_.backward(g); }
+  Tensor infer(const Tensor& x) const override { return seq_.infer(x); }
   std::vector<Param*> parameters() override { return seq_.parameters(); }
 
  private:
@@ -66,6 +69,7 @@ class Fno2d final : public Module {
   std::string name() const override { return "fno2d"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override;
 
  private:
@@ -79,6 +83,7 @@ class Ffno2d final : public Module {
   std::string name() const override { return "ffno2d"; }
   Tensor forward(const Tensor& x) override { return seq_.forward(x); }
   Tensor backward(const Tensor& g) override { return seq_.backward(g); }
+  Tensor infer(const Tensor& x) const override { return seq_.infer(x); }
   std::vector<Param*> parameters() override { return seq_.parameters(); }
 
  private:
@@ -92,6 +97,7 @@ class UNet final : public Module {
   std::string name() const override { return "unet"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override;
 
  private:
@@ -109,6 +115,7 @@ class SParamCnn final : public Module {
   std::string name() const override { return "sparam_cnn"; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override;
 
  private:

@@ -32,6 +32,15 @@ class Module {
   virtual std::string name() const = 0;
   virtual Tensor forward(const Tensor& x) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Inference-only forward: the same arithmetic as forward() (bit-identical
+  /// outputs) but const — no activation caches are written, so one module
+  /// instance can answer concurrent infer() calls from many threads (the
+  /// serving layer's contract). Layers that implement it must not touch any
+  /// mutable state; the default throws for modules without an inference path.
+  virtual Tensor infer(const Tensor& x) const {
+    (void)x;
+    throw MapsError("Module::infer: no const inference path for " + name());
+  }
   /// All trainable parameters (recursing into children).
   virtual std::vector<Param*> parameters() { return {}; }
 
@@ -61,6 +70,11 @@ class Sequential final : public Module {
     Tensor g = grad_out;
     for (auto it = mods_.rbegin(); it != mods_.rend(); ++it) g = (*it)->backward(g);
     return g;
+  }
+  Tensor infer(const Tensor& x) const override {
+    Tensor y = x;
+    for (const auto& m : mods_) y = m->infer(y);
+    return y;
   }
   std::vector<Param*> parameters() override {
     std::vector<Param*> ps;

@@ -66,15 +66,15 @@ SpectralConv2d::SpectralConv2d(index_t c_in, index_t c_out, index_t modes_x,
   spectral_init(w_.value, c_in, rng);
 }
 
-Tensor SpectralConv2d::forward(const Tensor& x) {
+Tensor SpectralConv2d::run_forward(const Tensor& x,
+                                   std::vector<CplxGrid>& x_hat) const {
   require(x.ndim() == 4 && x.size(1) == c_in_, "SpectralConv2d: bad input shape");
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
   require(2 * mx_ <= W && my_ <= H, "SpectralConv2d: modes exceed grid");
-  in_shape_ = x.shape();
 
   // One batched FFT over the N * c_in transform batch (shared twiddle plan).
-  x_hat_ = gather_planes(x);
-  maps::math::fft2_batch_inplace(x_hat_, false);
+  x_hat = gather_planes(x);
+  maps::math::fft2_batch_inplace(x_hat, false);
 
   // Mix channels on the retained corner blocks, then batch-invert.
   std::vector<CplxGrid> yhat(static_cast<std::size_t>(N * c_out_));
@@ -93,7 +93,7 @@ Tensor SpectralConv2d::forward(const Tensor& x) {
               const index_t base =
                   ((((b * c_in_ + ci) * c_out_ + co) * mx_ + km) * my_ + ky) * 2;
               const cplx wv{wp[base], wp[base + 1]};
-              s += wv * x_hat_[static_cast<std::size_t>(n * c_in_ + ci)](kx, ky);
+              s += wv * x_hat[static_cast<std::size_t>(n * c_in_ + ci)](kx, ky);
             }
             g(kx, ky) = s;
           }
@@ -107,6 +107,16 @@ Tensor SpectralConv2d::forward(const Tensor& x) {
   Tensor y({N, c_out_, H, W});
   scatter_planes(yhat, y, 1.0);
   return y;
+}
+
+Tensor SpectralConv2d::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return run_forward(x, x_hat_);
+}
+
+Tensor SpectralConv2d::infer(const Tensor& x) const {
+  std::vector<CplxGrid> x_hat;  // dropped: infer keeps no backward state
+  return run_forward(x, x_hat);
 }
 
 Tensor SpectralConv2d::backward(const Tensor& grad_out) {
@@ -195,17 +205,17 @@ SpectralConv1d::SpectralConv1d(index_t c_in, index_t c_out, index_t modes,
   spectral_init(w_.value, c_in, rng);
 }
 
-Tensor SpectralConv1d::forward(const Tensor& x) {
+Tensor SpectralConv1d::run_forward(const Tensor& x,
+                                   std::vector<CplxGrid>& x_hat) const {
   require(x.ndim() == 4 && x.size(1) == c_in_, "SpectralConv1d: bad input shape");
   const index_t N = x.size(0), H = x.size(2), W = x.size(3);
   const index_t L = (axis_ == FftAxis::X) ? W : H;   // transformed length
   const index_t T = (axis_ == FftAxis::X) ? H : W;   // untransformed length
   require(2 * m_ <= L, "SpectralConv1d: modes exceed axis length");
-  in_shape_ = x.shape();
   const bool along_x = axis_ == FftAxis::X;
 
-  x_hat_ = gather_planes(x);
-  maps::math::fft1_lines_batch_inplace(x_hat_, along_x, false);
+  x_hat = gather_planes(x);
+  maps::math::fft1_lines_batch_inplace(x_hat, along_x, false);
 
   auto mode_at = [&](const CplxGrid& g, index_t k, index_t t) -> const cplx& {
     return along_x ? g(k, t) : g(t, k);
@@ -226,7 +236,7 @@ Tensor SpectralConv1d::forward(const Tensor& x) {
             for (index_t ci = 0; ci < c_in_; ++ci) {
               const index_t base = (((b * c_in_ + ci) * c_out_ + co) * m_ + km) * 2;
               const cplx wv{wp[base], wp[base + 1]};
-              s += wv * mode_at(x_hat_[static_cast<std::size_t>(n * c_in_ + ci)], k, t);
+              s += wv * mode_at(x_hat[static_cast<std::size_t>(n * c_in_ + ci)], k, t);
             }
             if (along_x) {
               g(k, t) = s;
@@ -244,6 +254,16 @@ Tensor SpectralConv1d::forward(const Tensor& x) {
   Tensor y({N, c_out_, H, W});
   scatter_planes(yhat, y, 1.0);
   return y;
+}
+
+Tensor SpectralConv1d::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return run_forward(x, x_hat_);
+}
+
+Tensor SpectralConv1d::infer(const Tensor& x) const {
+  std::vector<CplxGrid> x_hat;
+  return run_forward(x, x_hat);
 }
 
 Tensor SpectralConv1d::backward(const Tensor& grad_out) {

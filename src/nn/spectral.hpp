@@ -22,9 +22,15 @@ class SpectralConv2d final : public Module {
   std::string name() const override { return tag_; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override { return {&w_}; }
 
  private:
+  /// FFT -> corner-block channel mixing -> inverse FFT, shared by forward()
+  /// and infer(). On return `x_hat` holds the input-plane FFTs (the forward
+  /// path moves it into the backward cache; infer drops it).
+  Tensor run_forward(const Tensor& x, std::vector<maps::math::CplxGrid>& x_hat) const;
+
   index_t c_in_, c_out_, mx_, my_;
   std::string tag_;
   // (2 blocks, c_in, c_out, mx, my, 2[re/im])
@@ -43,9 +49,12 @@ class SpectralConv1d final : public Module {
   std::string name() const override { return tag_; }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> parameters() override { return {&w_}; }
 
  private:
+  Tensor run_forward(const Tensor& x, std::vector<maps::math::CplxGrid>& x_hat) const;
+
   index_t c_in_, c_out_, m_;
   FftAxis axis_;
   std::string tag_;

@@ -1,0 +1,145 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace maps::serve {
+
+MicroBatcher::MicroBatcher(BatcherOptions options)
+    : options_(options),
+      queue_(options.queue != nullptr ? options.queue : &runtime::TaskQueue::shared()) {
+  require(options_.max_batch >= 1, "MicroBatcher: max_batch must be >= 1");
+  require(options_.max_delay_ms >= 0.0, "MicroBatcher: max_delay_ms must be >= 0");
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  flusher_.join();  // the flusher drains pending_ before exiting
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+BatcherStats MicroBatcher::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void MicroBatcher::submit(BatchJob job) {
+  require(job.model != nullptr && job.model->model != nullptr,
+          "MicroBatcher::submit: job carries no model snapshot");
+  {
+    std::lock_guard lk(mu_);
+    require(!stop_, "MicroBatcher::submit: batcher is shutting down");
+    pending_.push_back({std::move(job), Clock::now()});
+    ++stats_.requests;
+  }
+  cv_.notify_one();
+}
+
+void MicroBatcher::flusher_loop() {
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stop_) return;
+      cv_.wait(lk, [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    const std::size_t max_batch = static_cast<std::size_t>(options_.max_batch);
+    bool full = pending_.size() >= max_batch;
+    if (!full && !stop_) {
+      // Wait out the oldest request's deadline or a fill-up, whichever first.
+      const auto deadline = pending_.front().enqueued + delay;
+      cv_.wait_until(lk, deadline, [this, max_batch] {
+        return stop_ || pending_.size() >= max_batch;
+      });
+      if (pending_.empty()) continue;
+      full = pending_.size() >= max_batch;
+      if (!full && !stop_ && Clock::now() < deadline) continue;  // spurious wake
+    }
+
+    const std::size_t take = std::min(pending_.size(), max_batch);
+    std::vector<BatchJob> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front().job));
+      pending_.pop_front();
+    }
+    ++stats_.batches;
+    if (full) {
+      ++stats_.full_flushes;
+    } else {
+      ++stats_.deadline_flushes;
+    }
+    stats_.max_batch_seen = std::max<std::uint64_t>(stats_.max_batch_seen, take);
+    ++in_flight_;
+    lk.unlock();
+    dispatch(std::move(batch));
+    lk.lock();
+  }
+}
+
+void MicroBatcher::dispatch(std::vector<BatchJob> batch) {
+  // The future is intentionally dropped: completion flows through the job
+  // callbacks, and the destructor tracks in_flight_ instead.
+  (void)queue_->submit([this, batch = std::move(batch)]() mutable -> int {
+    run_batch(batch);
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+    return 0;
+  });
+}
+
+void MicroBatcher::run_batch(std::vector<BatchJob>& batch) const {
+  // The queue is FIFO and model installs are monotone, so jobs for different
+  // model snapshots sit in consecutive runs: stack and infer one run at a
+  // time. In steady state this is the whole batch; across a hot-swap the
+  // batch splits at the swap point instead of running old-encoded inputs
+  // through the new model.
+  std::size_t lo = 0;
+  while (lo < batch.size()) {
+    std::size_t hi = lo + 1;
+    while (hi < batch.size() && batch[hi].model == batch[lo].model) ++hi;
+    std::exception_ptr error;
+    std::vector<nn::Tensor> outputs;
+    try {
+      // Stack the rows straight out of the jobs (no intermediate copy), run
+      // one const forward, split back per request.
+      const nn::Tensor& first = batch[lo].input;
+      require(first.ndim() == 4 && first.size(0) == 1,
+              "MicroBatcher: job inputs must be (1, C, H, W)");
+      const index_t row = first.numel();
+      nn::Tensor stacked({static_cast<index_t>(hi - lo), first.size(1),
+                          first.size(2), first.size(3)});
+      for (std::size_t i = lo; i < hi; ++i) {
+        require(batch[i].input.same_shape(first),
+                "MicroBatcher: input shape mismatch");
+        std::copy(batch[i].input.data(), batch[i].input.data() + row,
+                  stacked.data() + static_cast<index_t>(i - lo) * row);
+      }
+      outputs = nn::split_batch(batch[lo].model->model->infer(stacked));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (error != nullptr) {
+        batch[i].done(nn::Tensor{}, error);
+      } else {
+        batch[i].done(std::move(outputs[i - lo]), nullptr);
+      }
+    }
+    lo = hi;
+  }
+}
+
+}  // namespace maps::serve

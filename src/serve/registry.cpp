@@ -1,0 +1,84 @@
+#include "serve/registry.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "nn/serialize.hpp"
+
+namespace maps::serve {
+
+namespace {
+
+/// A checkpoint that parses but carries NaN/Inf weights would poison every
+/// prediction; screen before publishing.
+void verify_finite(nn::Module& model, const std::string& id) {
+  for (const nn::Param* p : model.parameters()) {
+    const float* v = p->value.data();
+    for (index_t i = 0; i < p->value.numel(); ++i) {
+      if (!std::isfinite(v[i])) {
+        throw MapsError("ModelRegistry: checkpoint for '" + id +
+                        "' has non-finite values in parameter " + p->name);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const ServedModel> ModelRegistry::load(
+    const std::string& id, const nn::ModelConfig& config,
+    const std::string& checkpoint, maps::train::EncodingOptions encoding,
+    maps::train::Standardizer standardizer) {
+  auto bundle = std::make_shared<ServedModel>();
+  bundle->id = id;
+  bundle->config = config;
+  bundle->encoding = encoding;
+  bundle->standardizer = standardizer;
+
+  // Build + verify while this thread holds the only reference; readers keep
+  // snapshotting the previous model until publish().
+  std::unique_ptr<nn::Module> model = nn::make_model(config);
+  if (!checkpoint.empty()) {
+    nn::load_parameters(*model, checkpoint);  // throws on name/shape mismatch
+  }
+  verify_finite(*model, id);
+  bundle->param_count = model->num_parameters();
+  bundle->model = std::shared_ptr<const nn::Module>(std::move(model));
+  return publish(std::move(bundle));
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::install(
+    const std::string& id, const nn::ModelConfig& config,
+    std::unique_ptr<nn::Module> model, maps::train::EncodingOptions encoding,
+    maps::train::Standardizer standardizer) {
+  require(model != nullptr, "ModelRegistry::install: null model");
+  auto bundle = std::make_shared<ServedModel>();
+  bundle->id = id;
+  bundle->config = config;
+  bundle->encoding = encoding;
+  bundle->standardizer = standardizer;
+  verify_finite(*model, id);
+  bundle->param_count = model->num_parameters();
+  bundle->model = std::shared_ptr<const nn::Module>(std::move(model));
+  return publish(std::move(bundle));
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::publish(
+    std::shared_ptr<ServedModel> bundle) {
+  std::unique_lock lk(mu_);
+  bundle->version = next_version_++;
+  active_ = std::move(bundle);
+  return active_;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::active() const {
+  std::shared_lock lk(mu_);
+  return active_;
+}
+
+int ModelRegistry::version() const {
+  std::shared_lock lk(mu_);
+  return active_ ? active_->version : 0;
+}
+
+}  // namespace maps::serve

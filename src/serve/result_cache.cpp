@@ -1,0 +1,95 @@
+#include "serve/result_cache.hpp"
+
+#include <cstring>
+
+namespace maps::serve {
+
+std::size_t QueryKeyHash::operator()(const QueryKey& k) const {
+  // FNV-1a over the key fields; omega enters via its bit pattern.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(k.pattern_digest);
+  std::uint64_t omega_bits = 0;
+  static_assert(sizeof(k.omega) == sizeof(omega_bits));
+  std::memcpy(&omega_bits, &k.omega, sizeof(omega_bits));
+  mix(omega_bits);
+  mix(static_cast<std::uint64_t>(k.fidelity));
+  mix(static_cast<std::uint64_t>(k.model_version));
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  const std::size_t n = std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(1, capacity)));
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Spread the capacity; earlier shards absorb the remainder.
+    shard->capacity = capacity / n + (s < capacity % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const QueryKey& key) {
+  return *shards_[QueryKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedResult> ResultCache::get(const QueryKey& key) {
+  if (!enabled()) return nullptr;
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  ++s.hits;
+  return it->second->second;
+}
+
+void ResultCache::put(const QueryKey& key, std::shared_ptr<const CachedResult> value) {
+  if (!enabled()) return;
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->second = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(value));
+  s.index.emplace(key, s.lru.begin());
+  while (s.lru.size() > s.capacity) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace maps::serve

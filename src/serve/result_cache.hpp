@@ -1,0 +1,93 @@
+// ResultCache: sharded LRU over finished predictions.
+//
+// Serving traffic is repetitive — wavelength sweeps re-query the same
+// pattern, design loops revisit candidate structures, dashboards re-fetch —
+// so a finished prediction is worth keeping. Entries are keyed on the full
+// query identity: a digest of the pattern (eps bytes + source bytes + grid
+// shape + pml), the frequency, the requested fidelity, and the model version
+// that answered (solver answers use version 0: exact results survive model
+// hot-swaps). The key space is split across independently locked shards so
+// concurrent lookups from many worker threads don't serialize on one mutex;
+// each shard runs its own LRU list with a per-shard slice of the capacity.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "math/field2d.hpp"
+
+namespace maps::serve {
+
+struct QueryKey {
+  std::uint64_t pattern_digest = 0;  // eps + source + geometry
+  double omega = 0.0;
+  int fidelity = 0;       // solver::FidelityLevel as int
+  int model_version = 0;  // 0 for solver-grade entries
+
+  bool operator==(const QueryKey&) const = default;
+};
+
+struct QueryKeyHash {
+  std::size_t operator()(const QueryKey& k) const;
+};
+
+/// What the cache stores: the answer plus how it was produced, so a cache
+/// hit can report the original source ("surrogate" vs "solver").
+struct CachedResult {
+  maps::math::CplxGrid Ez;
+  bool solver_grade = false;  // produced by (or escalated to) the solver path
+};
+
+struct ResultCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` entries total, spread over `shards` independent LRU shards
+  /// (each gets at least one slot). capacity == 0 disables the cache:
+  /// lookups miss without counting and insertions drop.
+  explicit ResultCache(std::size_t capacity = 1024, std::size_t shards = 8);
+
+  /// nullptr on miss; refreshes LRU position on hit.
+  std::shared_ptr<const CachedResult> get(const QueryKey& key);
+
+  /// Insert (or refresh) an entry, evicting the shard's LRU tail past the
+  /// per-shard capacity.
+  void put(const QueryKey& key, std::shared_ptr<const CachedResult> value);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  bool enabled() const { return capacity_ > 0; }
+  ResultCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<QueryKey, std::shared_ptr<const CachedResult>>> lru;
+    std::unordered_map<QueryKey, decltype(lru)::iterator, QueryKeyHash> index;
+    std::size_t capacity = 0;
+    std::size_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shard_for(const QueryKey& key);
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace maps::serve

@@ -1,0 +1,212 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace maps::serve {
+
+namespace {
+
+/// One reply slot in the in-order pipeline: either an already-formed error
+/// document (parse failures reply immediately) or a pending prediction.
+struct PendingReply {
+  bool is_error = false;
+  io::JsonValue error_doc;
+  runtime::Future<ServeResponse> future;
+  io::JsonValue id;
+  bool return_field = true;
+};
+
+}  // namespace
+
+StreamServeReport serve_stream(PredictionService& service,
+                               const WireDefaults& defaults, std::istream& in,
+                               std::ostream& out, std::ostream* log) {
+  StreamServeReport report;
+  std::mutex mu;
+  std::condition_variable cv_space, cv_items;
+  std::deque<PendingReply> queue;
+  bool done_reading = false;
+  std::size_t errors = 0;
+  // Enough in-flight replies to keep full batches forming, bounded so a
+  // streaming client cannot queue unbounded field buffers.
+  const std::size_t window =
+      std::max<std::size_t>(64, 4 * static_cast<std::size_t>(
+                                        service.options().max_batch));
+
+  std::thread writer([&] {
+    for (;;) {
+      PendingReply reply;
+      {
+        std::unique_lock lk(mu);
+        cv_items.wait(lk, [&] { return done_reading || !queue.empty(); });
+        if (queue.empty()) return;  // done_reading && drained
+        reply = std::move(queue.front());
+        queue.pop_front();
+      }
+      cv_space.notify_one();
+      io::JsonValue doc;
+      if (reply.is_error) {
+        doc = std::move(reply.error_doc);
+      } else {
+        try {
+          doc = encode_response(reply.id, reply.future.get(), reply.return_field);
+        } catch (const std::exception& e) {
+          doc = encode_error(reply.id, e.what());
+          std::lock_guard lk(mu);
+          ++errors;
+        }
+      }
+      out << doc.dump() << "\n" << std::flush;
+    }
+  });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++report.requests;
+    PendingReply reply;
+    try {
+      const io::JsonValue doc = io::json_parse(line);
+      WireRequest wire = parse_request(doc, defaults);
+      reply.id = wire.id;
+      reply.return_field = wire.return_field;
+      reply.future = service.submit(std::move(wire.request));
+    } catch (const std::exception& e) {
+      reply.is_error = true;
+      io::JsonValue id;  // null: the id may not even have parsed
+      reply.error_doc = encode_error(id, e.what());
+      std::lock_guard lk(mu);
+      ++errors;
+    }
+    {
+      std::unique_lock lk(mu);
+      cv_space.wait(lk, [&] { return queue.size() < window; });
+      queue.push_back(std::move(reply));
+    }
+    cv_items.notify_one();
+  }
+  {
+    std::lock_guard lk(mu);
+    done_reading = true;
+  }
+  cv_items.notify_all();
+  writer.join();
+  report.errors = errors;
+  if (log != nullptr) {
+    *log << "[serve] stream closed: " << report.requests << " request(s), "
+         << report.errors << " error(s)\n";
+  }
+  return report;
+}
+
+namespace {
+
+/// Minimal bidirectional streambuf over a connected socket fd.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_.data(), in_.data(), in_.data());
+    setp(out_.data(), out_.data() + out_.size());
+  }
+  ~FdStreamBuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, in_.data(), in_.size());
+    if (n <= 0) return traits_type::eof();
+    setg(in_.data(), in_.data(), in_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n <= 0) return -1;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    setp(out_.data(), out_.data() + out_.size());
+    return 0;
+  }
+
+  int fd_;
+  std::array<char, 1 << 14> in_;
+  std::array<char, 1 << 14> out_;
+};
+
+}  // namespace
+
+void serve_tcp(PredictionService& service, const WireDefaults& defaults, int port,
+               std::ostream* log, int max_connections,
+               std::atomic<int>* bound_port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listener >= 0, "serve_tcp: socket() failed");
+  const int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listener);
+    throw MapsError("serve_tcp: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listener, 16) != 0) {
+    ::close(listener);
+    throw MapsError("serve_tcp: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (bound_port != nullptr) bound_port->store(ntohs(addr.sin_port));
+  if (log != nullptr) {
+    *log << "[serve] listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n";
+  }
+
+  std::vector<std::thread> handlers;
+  for (int served = 0; max_connections < 0 || served < max_connections; ++served) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) break;
+    handlers.emplace_back([&service, &defaults, log, conn] {
+      FdStreamBuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      serve_stream(service, defaults, in, out, log);
+      ::close(conn);
+    });
+  }
+  ::close(listener);
+  for (auto& t : handlers) t.join();
+}
+
+}  // namespace maps::serve

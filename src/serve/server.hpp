@@ -1,0 +1,43 @@
+// Serving front ends: the ndjson stdio loop and a simple TCP socket mode.
+//
+// serve_stream is pipelined: a reader parses request lines and submits them
+// to the service immediately, while a writer thread emits replies in request
+// order — so a client that streams many lines before reading replies gets
+// the full benefit of the micro-batcher. The in-flight window is bounded
+// (backpressure: the reader parks when the reply queue is full). EOF drains
+// everything and returns.
+//
+// serve_tcp accepts connections on a loopback-bound listening socket and
+// runs the same line loop per connection (one thread each, connections
+// pipelined independently).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/wire.hpp"
+
+namespace maps::serve {
+
+struct StreamServeReport {
+  std::size_t requests = 0;
+  std::size_t errors = 0;  // malformed lines / failed predictions
+};
+
+/// Serve ndjson requests from `in`, one reply line per request on `out`,
+/// until EOF. `log` (optional) receives human-readable progress lines.
+StreamServeReport serve_stream(PredictionService& service,
+                               const WireDefaults& defaults, std::istream& in,
+                               std::ostream& out, std::ostream* log = nullptr);
+
+/// Listen on 127.0.0.1:`port` (port 0 picks a free one) and serve each
+/// connection with the stream loop. Returns after `max_connections`
+/// connections have been served (-1 = forever). `bound_port`, when non-null,
+/// receives the actual listening port before the first accept — tests use
+/// port 0 plus this to avoid collisions.
+void serve_tcp(PredictionService& service, const WireDefaults& defaults, int port,
+               std::ostream* log = nullptr, int max_connections = -1,
+               std::atomic<int>* bound_port = nullptr);
+
+}  // namespace maps::serve

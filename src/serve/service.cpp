@@ -1,0 +1,270 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "core/train/encoding.hpp"
+#include "solver/cache.hpp"
+
+namespace maps::serve {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* response_source_name(ResponseSource source) {
+  switch (source) {
+    case ResponseSource::Surrogate: return "surrogate";
+    case ResponseSource::Solver: return "solver";
+  }
+  return "?";
+}
+
+QueryKey PredictionService::make_key(const ServeRequest& request, int model_version) {
+  // Pattern identity: eps bytes, source bytes, geometry and PML — everything
+  // that changes the answer besides (omega, fidelity, model), which are key
+  // fields of their own.
+  std::uint64_t h = solver::digest_grid(request.eps);
+  h = fnv_mix(h, request.J.data().data(), request.J.data().size() * sizeof(cplx));
+  h = fnv_mix(h, &request.spec.nx, sizeof(request.spec.nx));
+  h = fnv_mix(h, &request.spec.ny, sizeof(request.spec.ny));
+  h = fnv_mix(h, &request.spec.dl, sizeof(request.spec.dl));
+  h = fnv_mix(h, &request.pml.ncells, sizeof(request.pml.ncells));
+  h = fnv_mix(h, &request.pml.m, sizeof(request.pml.m));
+  h = fnv_mix(h, &request.pml.R0, sizeof(request.pml.R0));
+  QueryKey key;
+  key.pattern_digest = h;
+  key.omega = request.omega;
+  key.fidelity = static_cast<int>(request.fidelity);
+  key.model_version = model_version;
+  return key;
+}
+
+PredictionService::PredictionService(std::shared_ptr<ModelRegistry> registry,
+                                     ServeOptions options)
+    : registry_(std::move(registry)), options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      solver_cache_(std::make_shared<solver::FactorizationCache>(
+          std::max<std::size_t>(1, options.solver_cache_capacity))) {
+  require(registry_ != nullptr, "PredictionService: null registry");
+  if (options_.workers > 0) {
+    own_queue_ = std::make_unique<runtime::TaskQueue>(options_.workers);
+    queue_ = own_queue_.get();
+  } else {
+    queue_ = &runtime::TaskQueue::shared();
+  }
+  BatcherOptions bopt;
+  bopt.max_batch = options_.max_batch;
+  bopt.max_delay_ms = options_.max_delay_ms;
+  bopt.queue = queue_;
+  batcher_ = std::make_unique<MicroBatcher>(bopt);
+}
+
+PredictionService::~PredictionService() {
+  // Order matters: the batcher drains its surrogate batches first (their
+  // callbacks touch the cache and counters), then we wait out the directly
+  // submitted solver jobs before any member is torn down.
+  batcher_.reset();
+  while (inflight_.load() != 0) std::this_thread::yield();
+}
+
+runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
+  runtime::Promise<ServeResponse> promise;
+  runtime::Future<ServeResponse> future = promise.future();
+  requests_.fetch_add(1);
+  const double start = now_ms();
+
+  try {
+    require(request.eps.nx() == request.spec.nx && request.eps.ny() == request.spec.ny,
+            "PredictionService: eps shape does not match spec");
+    require(request.J.nx() == request.spec.nx && request.J.ny() == request.spec.ny,
+            "PredictionService: source shape does not match spec");
+    require(request.omega > 0.0, "PredictionService: omega must be positive");
+
+    const bool surrogate = request.fidelity == solver::FidelityLevel::Low;
+    std::shared_ptr<const ServedModel> model;
+    int model_version = 0;
+    if (surrogate) {
+      model = registry_->active();
+      require(model != nullptr, "PredictionService: no active model for surrogate "
+                                "fidelity (load one into the registry)");
+      model_version = model->version;
+    }
+
+    const QueryKey key = make_key(request, model_version);
+    if (const auto hit = cache_.get(key)) {
+      cache_hits_.fetch_add(1);
+      ServeResponse response;
+      response.Ez = hit->Ez;
+      // `source` reports the tier that produced the answer; cache_hit says
+      // it was served from the cache without re-running that tier.
+      response.source =
+          hit->solver_grade ? ResponseSource::Solver : ResponseSource::Surrogate;
+      response.cache_hit = true;
+      if (model != nullptr) {
+        response.model_id = model->id;
+        response.model_version = model->version;
+      }
+      finish(promise, std::move(response), start);
+      return future;
+    }
+
+    if (!surrogate) {
+      // Explicit medium/high fidelity: dispatch a solver-backed job.
+      solver_requests_.fetch_add(1);
+      inflight_.fetch_add(1);
+      (void)queue_->submit(
+          [this, request = std::move(request), key, promise, start]() mutable -> int {
+            try {
+              ServeResponse response = solve_high(request);
+              cache_.put(key, std::make_shared<CachedResult>(
+                                  CachedResult{response.Ez, true}));
+              finish(promise, std::move(response), start);
+            } catch (...) {
+              errors_.fetch_add(1);
+              promise.set_exception(std::current_exception());
+            }
+            inflight_.fetch_sub(1);
+            return 0;
+          });
+      return future;
+    }
+
+    surrogate_requests_.fetch_add(1);
+    answer_surrogate(request, model, key, std::move(promise), start);
+  } catch (...) {
+    errors_.fetch_add(1);
+    promise.set_exception(std::current_exception());
+  }
+  return future;
+}
+
+void PredictionService::answer_surrogate(
+    const ServeRequest& request, const std::shared_ptr<const ServedModel>& model,
+    const QueryKey& key, runtime::Promise<ServeResponse> promise, double start_ms) {
+  nn::Tensor input = maps::train::make_input_batch(1, request.spec.nx, request.spec.ny,
+                                                   model->encoding);
+  maps::train::encode_input(input, 0, request.eps, request.J, request.omega,
+                            request.spec.dl, model->standardizer, model->encoding);
+
+  BatchJob job;
+  job.input = std::move(input);
+  job.model = model;
+  job.done = [this, request, model, key, promise, start_ms](
+                 nn::Tensor output, std::exception_ptr error) mutable {
+    if (error != nullptr) {
+      errors_.fetch_add(1);
+      promise.set_exception(error);
+      return;
+    }
+    try {
+      ServeResponse response;
+      response.model_id = model->id;
+      response.model_version = model->version;
+      response.Ez = maps::train::decode_field(output, 0, model->standardizer);
+      response.source = ResponseSource::Surrogate;
+
+      // Confidence screen: a non-finite field always escalates; a field
+      // whose RMS blows past the training-set scale is suspect when the
+      // RMS screen is armed.
+      double sumsq = 0.0;
+      bool finite = true;
+      for (index_t n = 0; n < response.Ez.size() && finite; ++n) {
+        const cplx v = response.Ez[n];
+        finite = std::isfinite(v.real()) && std::isfinite(v.imag());
+        sumsq += std::norm(v);
+      }
+      const double rms =
+          std::sqrt(sumsq / static_cast<double>(std::max<index_t>(1, response.Ez.size())));
+      const bool suspect =
+          !finite || (options_.escalate_rms_factor > 0.0 &&
+                      rms > options_.escalate_rms_factor *
+                                model->standardizer.field_scale);
+      if (suspect) {
+        // Running on a TaskQueue worker already: solve inline rather than
+        // re-queueing (a worker must never wait on queued work).
+        escalations_.fetch_add(1);
+        ServeResponse solved = solve_high(request);
+        solved.model_id = model->id;
+        solved.model_version = model->version;
+        solved.escalated = true;
+        cache_.put(key, std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
+        finish(promise, std::move(solved), start_ms);
+        return;
+      }
+      cache_.put(key, std::make_shared<CachedResult>(CachedResult{response.Ez, false}));
+      finish(promise, std::move(response), start_ms);
+    } catch (...) {
+      errors_.fetch_add(1);
+      promise.set_exception(std::current_exception());
+    }
+  };
+  batcher_->submit(std::move(job));
+}
+
+ServeResponse PredictionService::solve_high(const ServeRequest& request) {
+  // The solver tier inherits the split-complex LU direct path and the
+  // FactorizationCache: repeat escalations of one pattern only pay
+  // back-substitution. Medium fidelity maps to the iterative backend.
+  fdfd::SimOptions sim_options;
+  sim_options.pml = request.pml;
+  sim_options.set_fidelity(request.fidelity == solver::FidelityLevel::Low
+                               ? solver::FidelityLevel::High
+                               : request.fidelity);
+  sim_options.cache = solver_cache_;
+  fdfd::Simulation sim(request.spec, request.eps, request.omega, sim_options);
+  ServeResponse response;
+  response.Ez = sim.solve(request.J);
+  response.source = ResponseSource::Solver;
+  return response;
+}
+
+void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
+                               ServeResponse response, double start_ms) {
+  const double latency = now_ms() - start_ms;
+  response.latency_ms = latency;
+  {
+    std::lock_guard lk(latency_mu_);
+    total_latency_ms_ += latency;
+    max_latency_ms_ = std::max(max_latency_ms_, latency);
+  }
+  promise.set_value(std::move(response));
+}
+
+ServeStatsSnapshot PredictionService::stats() const {
+  ServeStatsSnapshot s;
+  s.requests = requests_.load();
+  s.cache_hits = cache_hits_.load();
+  s.surrogate_requests = surrogate_requests_.load();
+  s.solver_requests = solver_requests_.load();
+  s.escalations = escalations_.load();
+  s.errors = errors_.load();
+  {
+    std::lock_guard lk(latency_mu_);
+    s.total_latency_ms = total_latency_ms_;
+    s.max_latency_ms = max_latency_ms_;
+  }
+  s.batcher = batcher_->stats();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace maps::serve

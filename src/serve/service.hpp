@@ -1,0 +1,155 @@
+// PredictionService: the multi-fidelity surrogate serving front end.
+//
+// One service answers pattern queries (permittivity map + source + frequency
+// + fidelity hint) from a three-tier pipeline:
+//
+//   1. ResultCache     sharded LRU keyed on (pattern digest, omega,
+//                      fidelity, model version) — repeat queries cost a hash
+//                      lookup, the model never re-runs;
+//   2. MicroBatcher    misses at surrogate fidelity queue for a dynamically
+//                      coalesced batched Module::infer on TaskQueue workers
+//                      (flush on max_batch or the max_delay deadline);
+//   3. Escalation      `fidelity: high` requests — and surrogate outputs that
+//                      fail the confidence screen — run through
+//                      solver::SolverBackend via fdfd::Simulation, sharing
+//                      one FactorizationCache (split-complex LU) across
+//                      requests, so repeat verifications only back-substitute.
+//
+// submit() is asynchronous (returns a runtime::Future); predict() is the
+// blocking convenience. Callers are external threads — do not call predict()
+// from a TaskQueue worker (it would block a worker on queued work, the
+// queue's deadlock rule). Models come from a ModelRegistry and may be
+// hot-swapped while the service runs; every response reports the model
+// version that produced it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fdfd/simulation.hpp"
+#include "runtime/future.hpp"
+#include "runtime/task_queue.hpp"
+#include "serve/batcher.hpp"
+#include "serve/registry.hpp"
+#include "serve/result_cache.hpp"
+
+namespace maps::serve {
+
+struct ServeRequest {
+  grid::GridSpec spec;        // nx, ny, dl of the query pattern
+  maps::math::RealGrid eps;   // permittivity map (nx, ny)
+  maps::math::CplxGrid J;     // current source (nx, ny)
+  double omega = 0.0;
+  fdfd::PmlSpec pml;          // escalation-solve boundary spec
+  solver::FidelityLevel fidelity = solver::FidelityLevel::Low;
+};
+
+/// The tier that produced the answer. Cache hits keep the producing tier
+/// and set ServeResponse::cache_hit instead.
+enum class ResponseSource { Surrogate, Solver };
+
+const char* response_source_name(ResponseSource source);
+
+struct ServeResponse {
+  maps::math::CplxGrid Ez;
+  ResponseSource source = ResponseSource::Surrogate;
+  bool cache_hit = false;
+  bool escalated = false;   // surrogate answer failed the confidence screen
+  std::string model_id;     // empty for pure solver answers
+  int model_version = 0;    // 0 for pure solver answers
+  double latency_ms = 0.0;
+};
+
+struct ServeOptions {
+  // Micro-batching.
+  int max_batch = 32;
+  double max_delay_ms = 2.0;
+  /// Workers for batched inference and escalation solves; 0 = the shared
+  /// process-wide TaskQueue.
+  std::size_t workers = 0;
+
+  // Result cache (entries; 0 disables).
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+
+  // Escalation policy: a surrogate field whose RMS exceeds
+  // escalate_rms_factor * field_scale (or is non-finite) is re-answered by
+  // the solver. 0 disables the RMS screen (non-finite always escalates).
+  double escalate_rms_factor = 0.0;
+  /// Prepared high-fidelity operators kept across escalation solves.
+  std::size_t solver_cache_capacity = 4;
+};
+
+/// Monotone service counters (snapshot).
+struct ServeStatsSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t surrogate_requests = 0;
+  std::uint64_t solver_requests = 0;     // explicit fidelity-high dispatches
+  std::uint64_t escalations = 0;         // confidence-screen failures
+  std::uint64_t errors = 0;
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  BatcherStats batcher;
+  ResultCacheStats cache;
+
+  double avg_latency_ms() const {
+    const std::uint64_t done = requests - errors;
+    return done == 0 ? 0.0 : total_latency_ms / static_cast<double>(done);
+  }
+};
+
+class PredictionService {
+ public:
+  PredictionService(std::shared_ptr<ModelRegistry> registry, ServeOptions options = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  runtime::Future<ServeResponse> submit(ServeRequest request);
+  ServeResponse predict(ServeRequest request) { return submit(std::move(request)).get(); }
+
+  ModelRegistry& registry() { return *registry_; }
+  const ServeOptions& options() const { return options_; }
+  ServeStatsSnapshot stats() const;
+
+  /// The escalation path's factorization cache (tests assert the solver
+  /// dispatch through its counters).
+  const solver::FactorizationCache& solver_cache() const { return *solver_cache_; }
+
+  /// Query identity as cached (exposed for tests).
+  static QueryKey make_key(const ServeRequest& request, int model_version);
+
+ private:
+  void finish(runtime::Promise<ServeResponse>& promise, ServeResponse response,
+              double start_ms);
+  ServeResponse solve_high(const ServeRequest& request);
+  void answer_surrogate(const ServeRequest& request,
+                        const std::shared_ptr<const ServedModel>& model,
+                        const QueryKey& key, runtime::Promise<ServeResponse> promise,
+                        double start_ms);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ServeOptions options_;
+  std::unique_ptr<runtime::TaskQueue> own_queue_;  // set when options.workers > 0
+  runtime::TaskQueue* queue_;
+  ResultCache cache_;
+  std::shared_ptr<solver::FactorizationCache> solver_cache_;
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> surrogate_requests_{0};
+  std::atomic<std::uint64_t> solver_requests_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  mutable std::mutex latency_mu_;
+  double total_latency_ms_ = 0.0;
+  double max_latency_ms_ = 0.0;
+};
+
+}  // namespace maps::serve

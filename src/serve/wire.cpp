@@ -1,0 +1,156 @@
+#include "serve/wire.hpp"
+
+#include <cmath>
+
+#include "fdfd/source.hpp"
+
+namespace maps::serve {
+
+using io::JsonArray;
+using io::JsonValue;
+
+double WireDefaults::default_omega() const {
+  return omega > 0.0 ? omega : omega_of_wavelength(wavelength);
+}
+
+namespace {
+
+maps::math::RealGrid parse_eps(const JsonValue& doc, index_t nx, index_t ny) {
+  const JsonArray& arr = doc.at("eps").as_array();
+  require(static_cast<index_t>(arr.size()) == nx * ny,
+          "serve request: eps must have nx*ny entries");
+  maps::math::RealGrid eps(nx, ny);
+  for (std::size_t n = 0; n < arr.size(); ++n) {
+    eps[static_cast<index_t>(n)] = arr[n].as_number();
+  }
+  return eps;
+}
+
+maps::math::CplxGrid parse_source(const JsonValue* src, const grid::GridSpec& spec) {
+  if (src == nullptr) {
+    return fdfd::point_source(spec, spec.nx / 4, spec.ny / 2);
+  }
+  if (src->has("type")) {
+    const std::string& type = src->at("type").as_string();
+    require(type == "point", "serve request: source type must be 'point'");
+    const index_t i = static_cast<index_t>(src->at("i").as_int());
+    const index_t j = static_cast<index_t>(src->at("j").as_int());
+    require(i >= 0 && i < spec.nx && j >= 0 && j < spec.ny,
+            "serve request: point source outside the grid");
+    return fdfd::point_source(spec, i, j);
+  }
+  const JsonArray& re = src->at("re").as_array();
+  const JsonArray& im = src->at("im").as_array();
+  require(static_cast<index_t>(re.size()) == spec.cells() && re.size() == im.size(),
+          "serve request: source re/im must have nx*ny entries");
+  maps::math::CplxGrid J(spec.nx, spec.ny);
+  for (std::size_t n = 0; n < re.size(); ++n) {
+    J[static_cast<index_t>(n)] = cplx{re[n].as_number(), im[n].as_number()};
+  }
+  return J;
+}
+
+}  // namespace
+
+WireRequest parse_request(const JsonValue& doc, const WireDefaults& defaults) {
+  require(doc.is_object(), "serve request: expected a JSON object");
+  WireRequest out;
+  if (const JsonValue* id = doc.find("id")) out.id = *id;
+
+  const index_t nx = static_cast<index_t>(doc.at("nx").as_int());
+  const index_t ny = static_cast<index_t>(doc.at("ny").as_int());
+  require(nx > 0 && ny > 0, "serve request: nx and ny must be positive");
+  ServeRequest& req = out.request;
+  req.spec = grid::GridSpec{nx, ny,
+                            doc.has("dl") ? doc.at("dl").as_number() : defaults.dl};
+  require(req.spec.dl > 0.0, "serve request: dl must be positive");
+  req.eps = parse_eps(doc, nx, ny);
+  req.J = parse_source(doc.find("source"), req.spec);
+  req.pml = defaults.pml;
+
+  if (doc.has("omega")) {
+    req.omega = doc.at("omega").as_number();
+  } else if (doc.has("wavelength")) {
+    req.omega = omega_of_wavelength(doc.at("wavelength").as_number());
+  } else {
+    req.omega = defaults.default_omega();
+  }
+  require(req.omega > 0.0 && std::isfinite(req.omega),
+          "serve request: omega/wavelength must be positive");
+
+  req.fidelity = doc.has("fidelity")
+                     ? solver::fidelity_from_name(doc.at("fidelity").as_string())
+                     : defaults.fidelity;
+  out.return_field =
+      doc.has("return_field") ? doc.at("return_field").as_bool() : true;
+  return out;
+}
+
+JsonValue encode_response(const JsonValue& id, const ServeResponse& response,
+                          bool return_field) {
+  JsonValue v;
+  v["id"] = id;
+  v["ok"] = true;
+  v["source"] = response_source_name(response.source);
+  v["cache_hit"] = response.cache_hit;
+  v["escalated"] = response.escalated;
+  if (!response.model_id.empty()) {
+    v["model"] = response.model_id;
+    v["model_version"] = response.model_version;
+  }
+  v["latency_ms"] = response.latency_ms;
+  v["nx"] = response.Ez.nx();
+  v["ny"] = response.Ez.ny();
+  double sumsq = 0.0;
+  for (index_t n = 0; n < response.Ez.size(); ++n) sumsq += std::norm(response.Ez[n]);
+  v["rms"] = response.Ez.size() == 0
+                 ? 0.0
+                 : std::sqrt(sumsq / static_cast<double>(response.Ez.size()));
+  if (return_field) {
+    JsonArray re, im;
+    re.reserve(static_cast<std::size_t>(response.Ez.size()));
+    im.reserve(static_cast<std::size_t>(response.Ez.size()));
+    for (index_t n = 0; n < response.Ez.size(); ++n) {
+      re.push_back(response.Ez[n].real());
+      im.push_back(response.Ez[n].imag());
+    }
+    JsonValue field;
+    field["re"] = JsonValue(std::move(re));
+    field["im"] = JsonValue(std::move(im));
+    v["field"] = field;
+  }
+  return v;
+}
+
+JsonValue encode_error(const JsonValue& id, const std::string& message) {
+  JsonValue v;
+  v["id"] = id;
+  v["ok"] = false;
+  JsonValue detail;
+  detail["message"] = message;
+  v["error"] = detail;
+  return v;
+}
+
+JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
+  JsonValue v;
+  v["requests"] = static_cast<double>(stats.requests);
+  v["cache_hits"] = static_cast<double>(stats.cache_hits);
+  v["cache_hit_rate"] = stats.cache.hit_rate();
+  v["cache_entries"] = static_cast<double>(stats.cache.entries);
+  v["cache_evictions"] = static_cast<double>(stats.cache.evictions);
+  v["surrogate_requests"] = static_cast<double>(stats.surrogate_requests);
+  v["solver_requests"] = static_cast<double>(stats.solver_requests);
+  v["escalations"] = static_cast<double>(stats.escalations);
+  v["errors"] = static_cast<double>(stats.errors);
+  v["batches"] = static_cast<double>(stats.batcher.batches);
+  v["avg_batch"] = stats.batcher.avg_batch();
+  v["max_batch_seen"] = static_cast<double>(stats.batcher.max_batch_seen);
+  v["full_flushes"] = static_cast<double>(stats.batcher.full_flushes);
+  v["deadline_flushes"] = static_cast<double>(stats.batcher.deadline_flushes);
+  v["avg_latency_ms"] = stats.avg_latency_ms();
+  v["max_latency_ms"] = stats.max_latency_ms;
+  return v;
+}
+
+}  // namespace maps::serve

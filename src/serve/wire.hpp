@@ -1,0 +1,63 @@
+// Wire protocol of the serving layer: newline-delimited JSON.
+//
+// One request per line on the way in, one reply per line on the way out,
+// ordered. Requests:
+//
+//   {"id": 7,                     // optional, echoed verbatim in the reply
+//    "eps": [ ... ],              // nx*ny permittivity values, x fastest
+//    "nx": 64, "ny": 64,
+//    "dl": 0.1,                   // optional, default from the serve config
+//    "wavelength": 1.55,          // or "omega"; optional
+//    "fidelity": "low",           // low = surrogate, medium = iterative
+//                                 // solve, high = direct LU solve
+//    "source": {"type": "point", "i": 16, "j": 32},
+//                                 // or {"re": [...], "im": [...]} (nx*ny);
+//                                 // optional, default point at (nx/4, ny/2)
+//    "return_field": true}        // optional; false returns summary only
+//
+// Replies:
+//
+//   {"id": 7, "ok": true, "source": "surrogate", "cache_hit": false,
+//    "escalated": false, "model": "bend-fno", "model_version": 1,
+//    "latency_ms": 1.9, "nx": 64, "ny": 64, "rms": 0.37,
+//    "field": {"re": [...], "im": [...]}}
+//
+// "source" is the tier that produced the answer ("surrogate" | "solver");
+// "cache_hit": true marks a reply served from the result cache without
+// re-running that tier. Errors: {"id": ..., "ok": false, "error":
+// {"message": "..."}} — the stream stays usable after an error reply.
+#pragma once
+
+#include "io/json.hpp"
+#include "serve/service.hpp"
+
+namespace maps::serve {
+
+/// Request fields the wire format lets clients omit (set from ServeConfig).
+struct WireDefaults {
+  double dl = 0.1;
+  double omega = 0.0;  // 0 = derive from `wavelength` default below
+  double wavelength = 1.55;
+  fdfd::PmlSpec pml;
+  solver::FidelityLevel fidelity = solver::FidelityLevel::Low;
+
+  double default_omega() const;
+};
+
+struct WireRequest {
+  io::JsonValue id;  // null when the client sent none
+  ServeRequest request;
+  bool return_field = true;
+};
+
+/// Parse one request document. Throws MapsError on malformed requests.
+WireRequest parse_request(const io::JsonValue& doc, const WireDefaults& defaults);
+
+io::JsonValue encode_response(const io::JsonValue& id, const ServeResponse& response,
+                              bool return_field);
+io::JsonValue encode_error(const io::JsonValue& id, const std::string& message);
+
+/// The "serve_stats" report block (CLI exit report, tests).
+io::JsonValue stats_to_json(const ServeStatsSnapshot& stats);
+
+}  // namespace maps::serve

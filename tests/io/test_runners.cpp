@@ -7,7 +7,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/train/encoding.hpp"
+#include "fdfd/source.hpp"
 #include "io/runners.hpp"
+#include "nn/serialize.hpp"
 #include "runtime/shard.hpp"
 
 namespace mio = maps::io;
@@ -75,6 +78,66 @@ TEST(Runners, DatagenTrainInvdesPipeline) {
   EXPECT_NE(text.find("[datagen]"), std::string::npos);
   EXPECT_NE(text.find("[train]"), std::string::npos);
   EXPECT_NE(text.find("[invdes]"), std::string::npos);
+}
+
+TEST(Runners, ServeAnswersTrainerCheckpointOverStdio) {
+  // Trainer side: persist a tiny model exactly as run_train's checkpoint
+  // step does (nn::save_parameters).
+  maps::nn::ModelConfig mcfg;
+  mcfg.kind = maps::nn::ModelKind::Fno;
+  mcfg.in_channels = 4;
+  mcfg.out_channels = 2;
+  mcfg.width = 4;
+  mcfg.modes = 2;
+  mcfg.depth = 1;
+  mcfg.seed = 123;
+  const auto trained = maps::nn::make_model(mcfg);
+  const std::string ckpt = tmp_path("serve_model.ckpt");
+  maps::nn::save_parameters(*trained, ckpt);
+
+  // Server side: a serve config pointing at the checkpoint, driven through
+  // the stdio runner with two requests (one repeats: a cache hit).
+  mio::ServeConfig cfg;
+  cfg.model = mcfg;
+  cfg.model.seed = 9;  // weights must come from the checkpoint
+  cfg.checkpoint = ckpt;
+  cfg.serve.max_batch = 4;
+  cfg.serve.max_delay_ms = 1.0;
+  cfg.serve.workers = 1;
+  cfg.pml.ncells = 3;
+
+  std::ostringstream request;
+  request << "{\"id\": 1, \"nx\": 16, \"ny\": 16, \"eps\": [";
+  for (int n = 0; n < 16 * 16; ++n) request << (n == 0 ? "" : ",") << "2.25";
+  request << "]}";
+  std::istringstream in(request.str() + "\n");
+  std::ostringstream out, log;
+  const auto report = mio::run_serve(cfg, in, out, log);
+
+  EXPECT_EQ(report.at("task").as_string(), "serve");
+  EXPECT_EQ(report.at("model_version").as_int(), 1);
+  EXPECT_EQ(report.at("serve_stats").at("requests").as_int(), 1);
+
+  const auto reply = mio::json_parse(out.str().substr(0, out.str().find('\n')));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("source").as_string(), "surrogate");
+  ASSERT_TRUE(reply.has("field"));
+
+  // The served prediction is the checkpointed model's, not the server
+  // seed's: rebuild the pipeline by hand and compare one field value.
+  maps::train::EncodingOptions enc;
+  maps::train::Standardizer std_;
+  maps::grid::GridSpec spec{16, 16, cfg.dl};
+  maps::math::RealGrid eps(16, 16, 2.25);
+  const auto J = maps::fdfd::point_source(spec, 4, 8);
+  auto input = maps::train::make_input_batch(1, 16, 16, enc);
+  maps::train::encode_input(input, 0, eps, J, maps::omega_of_wavelength(cfg.wavelength),
+                            cfg.dl, std_, enc);
+  const auto expected =
+      maps::train::decode_field(trained->infer(input), 0, std_);
+  const double got = reply.at("field").at("re").at(7).as_number();
+  EXPECT_DOUBLE_EQ(got, expected[7].real());
+  std::remove(ckpt.c_str());
 }
 
 TEST(Runners, ConfigFileDispatch) {

@@ -1,0 +1,166 @@
+// ModelRegistry: trainer-save -> server-load round trip, checkpoint
+// verification, and hot-swap consistency under concurrent readers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "nn/serialize.hpp"
+#include "serve/registry.hpp"
+
+namespace {
+
+using namespace maps;
+
+nn::ModelConfig tiny_config(unsigned seed = 42) {
+  nn::ModelConfig cfg;
+  cfg.kind = nn::ModelKind::Fno;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 2;
+  cfg.depth = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+nn::Tensor probe_input() {
+  math::Rng rng(5);
+  nn::Tensor x({1, 4, 8, 8});
+  for (index_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ModelRegistry, TrainerSaveServerLoadRoundTrip) {
+  // "Trainer" side: a model with its own weights, saved with nn::serialize.
+  const auto cfg = tiny_config(/*seed=*/77);
+  const auto trained = nn::make_model(cfg);
+  const std::string path = temp_path("maps_registry_roundtrip.ckpt");
+  nn::save_parameters(*trained, path);
+
+  // "Server" side: the registry rebuilds the architecture (different init
+  // seed: weights must come from the checkpoint, not the constructor).
+  auto server_cfg = cfg;
+  server_cfg.seed = 1;
+  serve::ModelRegistry registry;
+  const auto served = registry.load("roundtrip", server_cfg, path);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->version, 1);
+  EXPECT_EQ(served->param_count, trained->num_parameters());
+
+  const nn::Tensor x = probe_input();
+  EXPECT_TRUE(bit_identical(served->model->infer(x), trained->infer(x)));
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, LoadRejectsArchitectureMismatch) {
+  const auto trained = nn::make_model(tiny_config());
+  const std::string path = temp_path("maps_registry_mismatch.ckpt");
+  nn::save_parameters(*trained, path);
+
+  auto wrong = tiny_config();
+  wrong.width = 8;  // different shapes: load_parameters must throw
+  serve::ModelRegistry registry;
+  EXPECT_THROW(registry.load("bad", wrong, path), MapsError);
+  EXPECT_EQ(registry.active(), nullptr);  // nothing was published
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, LoadRejectsNonFiniteCheckpointKeepingActiveModel) {
+  const auto cfg = tiny_config();
+  const auto model = nn::make_model(cfg);
+  model->parameters().front()->value[0] = std::numeric_limits<float>::quiet_NaN();
+  const std::string path = temp_path("maps_registry_nan.ckpt");
+  nn::save_parameters(*model, path);
+
+  serve::ModelRegistry registry;
+  const auto good = registry.install("good", cfg, nn::make_model(cfg));
+  EXPECT_THROW(registry.load("poisoned", cfg, path), MapsError);
+  // The previously active model survived the failed swap.
+  EXPECT_EQ(registry.active(), good);
+  EXPECT_EQ(registry.version(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, HotSwapUnderConcurrentReadersHasNoTornReads) {
+  // Two checkpoints with distinct weights; readers must always observe a
+  // bundle whose id matches its weights exactly (a torn read — id from one
+  // install, weights from another — would produce a third output).
+  const auto cfg_a = tiny_config(/*seed=*/11);
+  const auto cfg_b = tiny_config(/*seed=*/22);
+  const std::string path_a = temp_path("maps_registry_swap_a.ckpt");
+  const std::string path_b = temp_path("maps_registry_swap_b.ckpt");
+  const auto model_a = nn::make_model(cfg_a);
+  const auto model_b = nn::make_model(cfg_b);
+  nn::save_parameters(*model_a, path_a);
+  nn::save_parameters(*model_b, path_b);
+
+  const nn::Tensor x = probe_input();
+  const nn::Tensor expect_a = model_a->infer(x);
+  const nn::Tensor expect_b = model_b->infer(x);
+  ASSERT_FALSE(bit_identical(expect_a, expect_b));
+
+  serve::ModelRegistry registry;
+  registry.load("a", cfg_a, path_a);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> reads{0};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        const auto bundle = registry.active();
+        ASSERT_NE(bundle, nullptr);
+        const nn::Tensor y = bundle->model->infer(x);
+        const nn::Tensor& expected = bundle->id == "a" ? expect_a : expect_b;
+        if (!bit_identical(y, expected)) torn.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  // Writer: stress hot-swapping between the two checkpoints. Keep swapping
+  // until the readers have really raced against some swaps (on a single-CPU
+  // host the writer can otherwise finish before a reader ever runs); the
+  // yield + cap keep the test bounded either way.
+  constexpr int kMinSwaps = 40;
+  constexpr int kMaxSwaps = 4000;
+  int swaps = 0;
+  while (swaps < kMinSwaps || (reads.load() < 24 && swaps < kMaxSwaps)) {
+    const bool install_b = swaps % 2 == 0;
+    registry.load(install_b ? "b" : "a", install_b ? cfg_b : cfg_a,
+                  install_b ? path_b : path_a);
+    ++swaps;
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(registry.version(), 1 + swaps);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace

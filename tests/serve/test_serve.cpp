@@ -1,0 +1,305 @@
+// PredictionService: cache tier, micro-batcher tier, solver escalation tier.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "fdfd/simulation.hpp"
+#include "fdfd/source.hpp"
+#include "math/rng.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace maps;
+
+constexpr index_t kN = 16;
+
+nn::ModelConfig tiny_model_config() {
+  nn::ModelConfig cfg;
+  cfg.kind = nn::ModelKind::Fno;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 2;
+  cfg.depth = 1;
+  return cfg;
+}
+
+std::shared_ptr<serve::ModelRegistry> tiny_registry() {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const auto cfg = tiny_model_config();
+  registry->install("tiny-fno", cfg, nn::make_model(cfg));
+  return registry;
+}
+
+serve::ServeRequest make_request(unsigned seed,
+                                 solver::FidelityLevel fidelity =
+                                     solver::FidelityLevel::Low) {
+  serve::ServeRequest req;
+  req.spec = grid::GridSpec{kN, kN, 6.4 / static_cast<double>(kN)};
+  math::Rng rng(seed);
+  math::RealGrid eps(kN, kN, 2.07);
+  for (index_t j = kN / 4; j < 3 * kN / 4; ++j) {
+    for (index_t i = kN / 4; i < 3 * kN / 4; ++i) {
+      eps(i, j) = 2.07 + 10.0 * rng.uniform();
+    }
+  }
+  req.eps = std::move(eps);
+  req.J = fdfd::point_source(req.spec, kN / 4, kN / 2);
+  req.omega = omega_of_wavelength(1.55);
+  req.pml.ncells = 3;
+  req.fidelity = fidelity;
+  return req;
+}
+
+bool fields_bit_identical(const math::CplxGrid& a, const math::CplxGrid& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(cplx)) == 0;
+}
+
+TEST(PredictionService, BatchedRepliesBitIdenticalToUnbatched) {
+  const auto registry = tiny_registry();
+
+  serve::ServeOptions unbatched;
+  unbatched.max_batch = 1;
+  unbatched.max_delay_ms = 0.0;
+  unbatched.workers = 1;
+  unbatched.cache_capacity = 0;
+  serve::PredictionService one(registry, unbatched);
+
+  serve::ServeOptions batched;
+  batched.max_batch = 8;
+  batched.max_delay_ms = 50.0;  // force full-batch flushes
+  batched.workers = 2;
+  batched.cache_capacity = 0;
+  serve::PredictionService many(registry, batched);
+
+  std::vector<serve::ServeRequest> requests;
+  for (unsigned k = 0; k < 8; ++k) requests.push_back(make_request(100 + k));
+
+  std::vector<math::CplxGrid> unbatched_fields;
+  for (const auto& req : requests) unbatched_fields.push_back(one.predict(req).Ez);
+
+  std::vector<runtime::Future<serve::ServeResponse>> futures;
+  for (const auto& req : requests) futures.push_back(many.submit(req));
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    const auto response = futures[k].get();
+    EXPECT_EQ(response.source, serve::ResponseSource::Surrogate);
+    EXPECT_TRUE(fields_bit_identical(response.Ez, unbatched_fields[k]))
+        << "request " << k;
+  }
+  // The batched service really coalesced (one full batch of 8).
+  const auto stats = many.stats();
+  EXPECT_EQ(stats.batcher.requests, 8u);
+  EXPECT_LE(stats.batcher.batches, 2u);
+  EXPECT_GE(stats.batcher.max_batch_seen, 4u);
+}
+
+TEST(PredictionService, CacheHitServedWithoutRerunningModel) {
+  const auto registry = tiny_registry();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.workers = 1;
+  serve::PredictionService service(registry, options);
+
+  const auto req = make_request(7);
+  const auto first = service.predict(req);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.source, serve::ResponseSource::Surrogate);
+  const auto runs_after_first = service.stats().batcher.requests;
+
+  const auto second = service.predict(req);
+  EXPECT_TRUE(second.cache_hit);
+  // Cache hits report the tier that produced the answer.
+  EXPECT_EQ(second.source, serve::ResponseSource::Surrogate);
+  EXPECT_TRUE(fields_bit_identical(second.Ez, first.Ez));
+  // The model did not run again: the batcher saw no new request.
+  EXPECT_EQ(service.stats().batcher.requests, runs_after_first);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // A different pattern misses.
+  const auto third = service.predict(make_request(8));
+  EXPECT_FALSE(third.cache_hit);
+}
+
+TEST(PredictionService, HighFidelityDispatchesThroughSolverBackend) {
+  const auto registry = tiny_registry();
+  serve::ServeOptions options;
+  options.workers = 1;
+  serve::PredictionService service(registry, options);
+
+  const auto req = make_request(21, solver::FidelityLevel::High);
+  const auto response = service.predict(req);
+  EXPECT_EQ(response.source, serve::ResponseSource::Solver);
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_TRUE(response.model_id.empty());
+
+  // The solve went through the service's SolverBackend factorization cache.
+  const auto cache_stats = service.solver_cache().stats();
+  EXPECT_EQ(cache_stats.misses, 1u);
+  EXPECT_GE(service.solver_cache().factorization_count(), 1);
+  EXPECT_EQ(service.stats().solver_requests, 1u);
+
+  // ... and agrees with a direct fdfd::Simulation solve at 1e-12.
+  fdfd::SimOptions sim_options;
+  sim_options.pml = req.pml;
+  sim_options.solver = solver::SolverKind::Direct;
+  fdfd::Simulation sim(req.spec, req.eps, req.omega, sim_options);
+  const auto direct = sim.solve(req.J);
+  ASSERT_TRUE(direct.same_shape(response.Ez));
+  double num = 0.0, den = 0.0;
+  for (index_t n = 0; n < direct.size(); ++n) {
+    num += std::norm(direct[n] - response.Ez[n]);
+    den += std::norm(direct[n]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-12);
+
+  // A repeat high-fidelity query is a result-cache hit (no second solve),
+  // still reported solver-grade.
+  const auto again = service.predict(req);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.source, serve::ResponseSource::Solver);
+  EXPECT_EQ(service.solver_cache().stats().misses, 1u);
+}
+
+TEST(PredictionService, DeadlineFlushesPartialBatch) {
+  const auto registry = tiny_registry();
+  serve::ServeOptions options;
+  options.max_batch = 32;  // far more than we submit
+  options.max_delay_ms = 5.0;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  serve::PredictionService service(registry, options);
+
+  std::vector<runtime::Future<serve::ServeResponse>> futures;
+  for (unsigned k = 0; k < 3; ++k) futures.push_back(service.submit(make_request(k)));
+  for (auto& f : futures) EXPECT_EQ(f.get().source, serve::ResponseSource::Surrogate);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batcher.requests, 3u);
+  EXPECT_GE(stats.batcher.deadline_flushes, 1u);
+  EXPECT_EQ(stats.batcher.full_flushes, 0u);
+}
+
+TEST(PredictionService, LowConfidenceEscalatesToSolver) {
+  const auto registry = tiny_registry();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.workers = 1;
+  // Absurdly tight screen: every surrogate answer is "suspect".
+  options.escalate_rms_factor = 1e-9;
+  serve::PredictionService service(registry, options);
+
+  const auto req = make_request(33);
+  const auto response = service.predict(req);
+  EXPECT_TRUE(response.escalated);
+  EXPECT_EQ(response.source, serve::ResponseSource::Solver);
+  EXPECT_EQ(service.stats().escalations, 1u);
+
+  fdfd::SimOptions sim_options;
+  sim_options.pml = req.pml;
+  sim_options.solver = solver::SolverKind::Direct;
+  fdfd::Simulation sim(req.spec, req.eps, req.omega, sim_options);
+  const auto direct = sim.solve(req.J);
+  double num = 0.0, den = 0.0;
+  for (index_t n = 0; n < direct.size(); ++n) {
+    num += std::norm(direct[n] - response.Ez[n]);
+    den += std::norm(direct[n]);
+  }
+  EXPECT_LT(std::sqrt(num / den), 1e-12);
+
+  // The escalated answer was cached: the repeat is a hit, still solver-grade.
+  const auto again = service.predict(req);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(service.stats().escalations, 1u);
+}
+
+TEST(PredictionService, MediumFidelityUsesIterativeSolverTier) {
+  const auto registry = tiny_registry();
+  serve::ServeOptions options;
+  options.workers = 1;
+  serve::PredictionService service(registry, options);
+
+  const auto req = make_request(40, solver::FidelityLevel::Medium);
+  const auto response = service.predict(req);
+  EXPECT_EQ(response.source, serve::ResponseSource::Solver);
+
+  fdfd::SimOptions sim_options;
+  sim_options.pml = req.pml;
+  sim_options.solver = solver::SolverKind::Direct;
+  fdfd::Simulation sim(req.spec, req.eps, req.omega, sim_options);
+  const auto direct = sim.solve(req.J);
+  double num = 0.0, den = 0.0;
+  for (index_t n = 0; n < direct.size(); ++n) {
+    num += std::norm(direct[n] - response.Ez[n]);
+    den += std::norm(direct[n]);
+  }
+  // Iterative tier: agreement to the BiCGSTAB tolerance, not bitwise.
+  EXPECT_LT(std::sqrt(num / den), 1e-4);
+}
+
+TEST(PredictionService, HotSwapMidQueueDoesNotRetargetQueuedJobs) {
+  // A request encoded and queued for model v1 must run on v1's weights even
+  // when a hot-swap to v2 lands before the batch flushes; the later request
+  // runs on v2. The batcher splits the batch at the swap point.
+  const auto registry = std::make_shared<serve::ModelRegistry>();
+  auto cfg_v1 = tiny_model_config();
+  cfg_v1.seed = 11;
+  auto cfg_v2 = tiny_model_config();
+  cfg_v2.seed = 22;
+  registry->install("v1", cfg_v1, nn::make_model(cfg_v1));
+
+  serve::ServeOptions options;
+  options.max_batch = 32;       // never fills: both jobs ride one deadline flush
+  options.max_delay_ms = 60.0;  // long enough to swap before the flush
+  options.workers = 1;
+  options.cache_capacity = 0;
+  serve::PredictionService service(registry, options);
+
+  const auto req = make_request(60);
+  auto before_swap = service.submit(req);
+  registry->install("v2", cfg_v2, nn::make_model(cfg_v2));
+  auto after_swap = service.submit(req);
+
+  auto r1 = before_swap.get();
+  auto r2 = after_swap.get();
+  EXPECT_EQ(r1.model_id, "v1");
+  EXPECT_EQ(r1.model_version, 1);
+  EXPECT_EQ(r2.model_id, "v2");
+  EXPECT_EQ(r2.model_version, 2);
+  // Different weights, different answers — and each matches a fresh
+  // single-service run pinned to that model.
+  EXPECT_FALSE(fields_bit_identical(r1.Ez, r2.Ez));
+
+  const auto fresh_v1 = std::make_shared<serve::ModelRegistry>();
+  fresh_v1->install("v1", cfg_v1, nn::make_model(cfg_v1));
+  serve::ServeOptions one;
+  one.max_batch = 1;
+  one.workers = 1;
+  one.cache_capacity = 0;
+  serve::PredictionService ref(fresh_v1, one);
+  EXPECT_TRUE(fields_bit_identical(r1.Ez, ref.predict(req).Ez));
+}
+
+TEST(PredictionService, MalformedRequestFailsTheFutureOnly) {
+  const auto registry = tiny_registry();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.workers = 1;
+  serve::PredictionService service(registry, options);
+
+  auto bad = make_request(50);
+  bad.eps = math::RealGrid(kN / 2, kN, 2.0);  // shape mismatch
+  auto future = service.submit(std::move(bad));
+  EXPECT_THROW(future.get(), MapsError);
+  EXPECT_EQ(service.stats().errors, 1u);
+
+  // The service still answers well-formed requests afterwards.
+  EXPECT_EQ(service.predict(make_request(51)).source,
+            serve::ResponseSource::Surrogate);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Wire protocol + front ends: request parsing, reply encoding, the ndjson
+// stream loop and the TCP socket mode.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace maps;
+using io::JsonValue;
+
+constexpr index_t kN = 16;
+
+std::shared_ptr<serve::ModelRegistry> tiny_registry() {
+  nn::ModelConfig cfg;
+  cfg.kind = nn::ModelKind::Fno;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 2;
+  cfg.depth = 1;
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->install("wire-fno", cfg, nn::make_model(cfg));
+  return registry;
+}
+
+std::string request_line(int id, double eps_fill, const std::string& extra = "") {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"nx\": " << kN << ", \"ny\": " << kN
+     << ", \"eps\": [";
+  for (index_t n = 0; n < kN * kN; ++n) os << (n == 0 ? "" : ",") << eps_fill;
+  os << "]" << extra << "}";
+  return os.str();
+}
+
+serve::WireDefaults test_defaults() {
+  serve::WireDefaults d;
+  d.dl = 0.4;
+  d.pml.ncells = 3;
+  return d;
+}
+
+TEST(Wire, ParseAppliesDefaults) {
+  const auto doc = io::json_parse(request_line(4, 2.1));
+  const auto wire = serve::parse_request(doc, test_defaults());
+  EXPECT_EQ(wire.request.spec.nx, kN);
+  EXPECT_EQ(wire.request.spec.dl, 0.4);
+  EXPECT_DOUBLE_EQ(wire.request.omega, omega_of_wavelength(1.55));
+  EXPECT_EQ(wire.request.fidelity, solver::FidelityLevel::Low);
+  EXPECT_EQ(wire.request.pml.ncells, 3);
+  EXPECT_TRUE(wire.return_field);
+  EXPECT_DOUBLE_EQ(wire.request.eps(3, 7), 2.1);
+  // Default source: a point at (nx/4, ny/2).
+  EXPECT_NE(wire.request.J(kN / 4, kN / 2), cplx{});
+}
+
+TEST(Wire, ParseOverridesAndErrors) {
+  const auto doc = io::json_parse(request_line(
+      1, 2.0,
+      ", \"wavelength\": 1.3, \"fidelity\": \"high\", \"return_field\": false, "
+      "\"source\": {\"type\": \"point\", \"i\": 2, \"j\": 3}"));
+  const auto wire = serve::parse_request(doc, test_defaults());
+  EXPECT_DOUBLE_EQ(wire.request.omega, omega_of_wavelength(1.3));
+  EXPECT_EQ(wire.request.fidelity, solver::FidelityLevel::High);
+  EXPECT_FALSE(wire.return_field);
+  EXPECT_NE(wire.request.J(2, 3), cplx{});
+
+  // eps length mismatch
+  EXPECT_THROW(serve::parse_request(
+                   io::json_parse("{\"nx\": 4, \"ny\": 4, \"eps\": [1, 2]}"),
+                   test_defaults()),
+               MapsError);
+  // unknown fidelity spelling
+  EXPECT_THROW(serve::parse_request(io::json_parse(request_line(
+                                        1, 2.0, ", \"fidelity\": \"turbo\"")),
+                                    test_defaults()),
+               MapsError);
+  // out-of-grid point source
+  EXPECT_THROW(
+      serve::parse_request(
+          io::json_parse(request_line(
+              1, 2.0, ", \"source\": {\"type\": \"point\", \"i\": 99, \"j\": 0}")),
+          test_defaults()),
+      MapsError);
+}
+
+TEST(Wire, ServeStreamAnswersInOrderAndSurvivesBadLines) {
+  serve::PredictionService service(tiny_registry(), [] {
+    serve::ServeOptions o;
+    o.max_batch = 4;
+    o.max_delay_ms = 1.0;
+    o.workers = 1;
+    return o;
+  }());
+
+  std::ostringstream input;
+  input << request_line(1, 2.0) << "\n"
+        << "this is not json\n"
+        << request_line(2, 3.0, ", \"return_field\": false") << "\n"
+        << request_line(3, 2.0) << "\n";  // same pattern as id 1: cache hit
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  const auto report = serve::serve_stream(service, test_defaults(), in, out);
+  EXPECT_EQ(report.requests, 4u);
+  EXPECT_EQ(report.errors, 1u);
+
+  std::istringstream replies(out.str());
+  std::string line;
+  std::vector<JsonValue> docs;
+  while (std::getline(replies, line)) docs.push_back(io::json_parse(line));
+  ASSERT_EQ(docs.size(), 4u);
+
+  EXPECT_TRUE(docs[0].at("ok").as_bool());
+  EXPECT_EQ(docs[0].at("id").as_int(), 1);
+  EXPECT_TRUE(docs[0].has("field"));
+  EXPECT_EQ(docs[0].at("field").at("re").size(), static_cast<std::size_t>(kN * kN));
+
+  EXPECT_FALSE(docs[1].at("ok").as_bool());  // the malformed line, in order
+  EXPECT_TRUE(docs[1].has("error"));
+
+  EXPECT_TRUE(docs[2].at("ok").as_bool());
+  EXPECT_EQ(docs[2].at("id").as_int(), 2);
+  EXPECT_FALSE(docs[2].has("field"));  // return_field: false
+
+  EXPECT_TRUE(docs[3].at("ok").as_bool());
+  EXPECT_EQ(docs[3].at("id").as_int(), 3);
+
+  const auto stats = serve::stats_to_json(service.stats());
+  EXPECT_EQ(stats.at("requests").as_int(), 3);  // the bad line never reached it
+}
+
+TEST(Wire, TcpModeServesAConnection) {
+  serve::PredictionService service(tiny_registry(), [] {
+    serve::ServeOptions o;
+    o.max_batch = 1;
+    o.workers = 1;
+    return o;
+  }());
+  const auto defaults = test_defaults();
+
+  std::atomic<int> port{0};
+  std::thread server([&] {
+    serve::serve_tcp(service, defaults, /*port=*/0, nullptr,
+                     /*max_connections=*/1, &port);
+  });
+  while (port.load() == 0) std::this_thread::yield();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port.load()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::string line = request_line(9, 2.0, ", \"return_field\": false") + "\n";
+  ASSERT_EQ(::write(fd, line.data(), line.size()),
+            static_cast<ssize_t>(line.size()));
+  ::shutdown(fd, SHUT_WR);
+
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) reply.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  server.join();
+
+  ASSERT_FALSE(reply.empty());
+  const auto doc = io::json_parse(reply.substr(0, reply.find('\n')));
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("id").as_int(), 9);
+  EXPECT_EQ(doc.at("source").as_string(), "surrogate");
+}
+
+}  // namespace

@@ -18,6 +18,14 @@ Tracked ratios:
                                     S-parameter sweep (BENCH_speedup.json)
   conv2d_gemm_vs_direct             im2col+GEMM conv over the seed direct
                                     loops (BENCH_kernels.json)
+  serve_batched_vs_unbatched        micro-batched surrogate serving on 4
+                                    TaskQueue workers over strictly
+                                    sequential one-request-at-a-time serving
+                                    (BENCH_speedup.json; the win is worker-
+                                    parallelism-bound, so the single-core
+                                    committed baseline sits near 1x while
+                                    multi-core CI runners measure the real
+                                    batching speedup)
 
 Usage: check_bench_regression.py [fresh_dir] [baseline_dir]
   fresh_dir     directory with the just-emitted BENCH_*.json
@@ -106,6 +114,12 @@ TRACKED = [
         "file": "BENCH_kernels.json",
         "ratio": lambda doc: ratio_from_benchmarks(
             doc, "BM_Conv2dDirectFwdBwd", "BM_Conv2dGemmFwdBwd"),
+    },
+    {
+        "name": "serve_batched_vs_unbatched",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_ServeOneAtATime", "BM_ServeMicroBatched"),
     },
 ]
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Multi-host (or multi-process) launcher for sharded dataset generation.
+#
+# Fans out one `maps_cli run --shard i/N --resume` invocation per shard and
+# finishes with `maps_cli merge`, producing a dataset byte-identical to a
+# single-process run. Shards are resumable: re-running the launcher after a
+# kill re-simulates only the missing patterns (the manifest + journal carry
+# everything), so the launcher is idempotent.
+#
+# Usage:
+#   tools/launch_shards.sh <config.json> <num_shards> [options]
+#
+# Options:
+#   --hosts "h1 h2 ..."   distribute shards round-robin over SSH hosts
+#                         (shared filesystem assumed: every host must see the
+#                         config and the output directory at the same paths;
+#                         otherwise copy the .part/.manifest files back before
+#                         the merge)
+#   --cli <path>          maps_cli binary (default: build/maps_cli, resolved
+#                         relative to the repo root on local runs and used
+#                         verbatim on remote hosts)
+#   --no-merge            launch the shards but skip the final merge (useful
+#                         when another scheduler decides when all hosts are
+#                         done)
+#
+# Exit status: nonzero if any shard or the merge fails; each shard's JSON
+# report lands next to the output as <output>.shard-<i>.report.json so a
+# failed fleet can be triaged with jq.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <config.json> <num_shards> [--hosts \"h1 h2\"] [--cli path] [--no-merge]" >&2
+  exit 1
+fi
+
+CONFIG="$1"
+SHARDS="$2"
+shift 2
+
+HOSTS=()
+CLI=""
+MERGE=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --hosts) read -r -a HOSTS <<< "$2"; shift 2 ;;
+    --cli) CLI="$2"; shift 2 ;;
+    --no-merge) MERGE=0; shift ;;
+    *) echo "[launch_shards] unknown option '$1'" >&2; exit 1 ;;
+  esac
+done
+
+if [[ ! -f "$CONFIG" ]]; then
+  echo "[launch_shards] config not found: $CONFIG" >&2
+  exit 1
+fi
+if ! [[ "$SHARDS" =~ ^[0-9]+$ ]] || [[ "$SHARDS" -lt 1 ]]; then
+  echo "[launch_shards] num_shards must be a positive integer, got '$SHARDS'" >&2
+  exit 1
+fi
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+if [[ -z "$CLI" ]]; then
+  CLI="$REPO_ROOT/build/maps_cli"
+fi
+if [[ ${#HOSTS[@]} -eq 0 && ! -x "$CLI" ]]; then
+  echo "[launch_shards] maps_cli not found/executable: $CLI (build first or pass --cli)" >&2
+  exit 1
+fi
+
+# Report path prefix: next to the dataset output named in the config.
+OUTPUT="$(python3 - "$CONFIG" <<'PY'
+import json, sys
+print(json.load(open(sys.argv[1])).get("output", "dataset.mapsd"))
+PY
+)"
+
+echo "[launch_shards] ${SHARDS} shard(s) of $CONFIG -> $OUTPUT" >&2
+PIDS=()
+for ((i = 0; i < SHARDS; ++i)); do
+  report="${OUTPUT}.shard-${i}.report.json"
+  if [[ ${#HOSTS[@]} -gt 0 ]]; then
+    host="${HOSTS[$((i % ${#HOSTS[@]}))]}"
+    echo "[launch_shards] shard $i/$SHARDS -> $host" >&2
+    ssh "$host" "$CLI run $CONFIG --shard $i/$SHARDS --resume" > "$report" &
+  else
+    echo "[launch_shards] shard $i/$SHARDS -> local pid fork" >&2
+    "$CLI" run "$CONFIG" --shard "$i/$SHARDS" --resume > "$report" &
+  fi
+  PIDS+=($!)
+done
+
+FAILED=0
+for ((i = 0; i < ${#PIDS[@]}; ++i)); do
+  if ! wait "${PIDS[$i]}"; then
+    echo "[launch_shards] shard $i FAILED (see ${OUTPUT}.shard-${i}.report.json)" >&2
+    FAILED=1
+  fi
+done
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "[launch_shards] one or more shards failed; rerun to resume them" >&2
+  exit 1
+fi
+
+if [[ "$MERGE" -eq 1 ]]; then
+  # A shard that finished last may already have merged (the runner merges
+  # opportunistically when it sees every manifest done); merge is idempotent
+  # either way and validates the result. With --hosts the coordinator may
+  # not have the binary locally, so the merge runs on the first host (shared
+  # filesystem, same as the shards).
+  echo "[launch_shards] merging ${SHARDS} shard(s)" >&2
+  if [[ ${#HOSTS[@]} -gt 0 ]]; then
+    ssh "${HOSTS[0]}" "$CLI merge $CONFIG" > "${OUTPUT}.merge.report.json"
+  else
+    "$CLI" merge "$CONFIG" > "${OUTPUT}.merge.report.json"
+  fi
+  echo "[launch_shards] merged -> $OUTPUT" >&2
+fi
+echo "[launch_shards] done" >&2

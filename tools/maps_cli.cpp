@@ -28,6 +28,10 @@ int usage() {
       "                                    execute a config (task: datagen|train|invdes);\n"
       "                                    --shard/--resume select a datagen shard slice\n"
       "  maps_cli merge <config.json>      merge a sharded datagen run into its output\n"
+      "  maps_cli serve <config.json> [--port N]\n"
+      "                                    run the prediction server: ndjson requests\n"
+      "                                    on stdin -> replies on stdout (or TCP with\n"
+      "                                    --port); the stats report lands on stderr\n"
       "  maps_cli validate <config.json>   parse and echo the normalized config\n"
       "  maps_cli example-config <task>    print a starter config for a task\n"
       "  maps_cli devices                  list benchmark devices\n";
@@ -81,8 +85,11 @@ int cmd_example_config(const std::string& task) {
     v = cfg.to_json();
   } else if (task == "invdes") {
     v = InvDesConfig{}.to_json();
+  } else if (task == "serve") {
+    v = ServeConfig{}.to_json();
   } else {
-    return fail("config", "unknown task '" + task + "' (datagen | train | invdes)");
+    return fail("config",
+                "unknown task '" + task + "' (datagen | train | invdes | serve)");
   }
   v["task"] = task;
   std::cout << v.dump(2) << "\n";
@@ -102,6 +109,8 @@ int cmd_validate(const std::string& path) {
     normalized = TrainConfig::from_json(body).to_json();
   } else if (task == "invdes") {
     normalized = InvDesConfig::from_json(body).to_json();
+  } else if (task == "serve") {
+    normalized = ServeConfig::from_json(body).to_json();
   } else {
     return fail("config", "unknown task '" + task + "'");
   }
@@ -141,6 +150,29 @@ int cmd_run(const std::string& path, const std::vector<std::string>& flags) {
   return 0;
 }
 
+int cmd_serve(const std::string& path, const std::vector<std::string>& flags) {
+  using namespace maps::io;
+  JsonValue doc = json_load(path);
+  if (doc.has("task") && doc.at("task").as_string() != "serve") {
+    return fail("config", "serve requires a serve config (task: serve)");
+  }
+  for (std::size_t k = 0; k < flags.size(); ++k) {
+    if (flags[k] == "--port") {
+      if (k + 1 >= flags.size()) return fail("config", "--port requires a number");
+      doc["port"] = std::stoi(flags[++k]);
+    } else {
+      return fail("config", "unknown flag '" + flags[k] + "'");
+    }
+  }
+  if (doc.has("task")) doc.as_object().erase("task");
+  const auto config = ServeConfig::from_json(doc);
+  // Replies own stdout (the wire protocol); the stats report goes to stderr
+  // so scripted clients can still collect it.
+  const auto report = run_serve(config, std::cin, std::cout, std::cerr);
+  std::cerr << report.dump(2) << "\n";
+  return 0;
+}
+
 int cmd_merge(const std::string& path) {
   using namespace maps::io;
   const JsonValue doc = json_load(path);
@@ -165,6 +197,9 @@ int main(int argc, char** argv) {
     if (cmd == "example-config" && argc >= 3) return cmd_example_config(argv[2]);
     if (cmd == "validate" && argc >= 3) return cmd_validate(argv[2]);
     if (cmd == "merge" && argc >= 3) return cmd_merge(argv[2]);
+    if (cmd == "serve" && argc >= 3) {
+      return cmd_serve(argv[2], {argv + 3, argv + argc});
+    }
     if (cmd == "run" && argc >= 3) {
       return cmd_run(argv[2], {argv + 3, argv + argc});
     }

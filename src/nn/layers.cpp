@@ -45,8 +45,11 @@ Tensor Conv2d::run_forward(const Tensor& x, std::vector<float>& col) const {
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
+  // Cache only after run_forward validated the input, so a rejected tensor
+  // can't poison the backward cache.
+  Tensor y = run_forward(x, col_);
   x_cache_ = x;
-  return run_forward(x, col_);
+  return y;
 }
 
 Tensor Conv2d::infer(const Tensor& x) const {
@@ -115,8 +118,9 @@ Tensor Linear::run_forward(const Tensor& x) const {
 }
 
 Tensor Linear::forward(const Tensor& x) {
+  Tensor y = run_forward(x);
   x_cache_ = x;
-  return run_forward(x);
+  return y;
 }
 
 Tensor Linear::infer(const Tensor& x) const { return run_forward(x); }
@@ -363,8 +367,9 @@ Tensor MaxPool2d::run_forward(const Tensor& x, std::vector<index_t>* argmax) con
 }
 
 Tensor MaxPool2d::forward(const Tensor& x) {
+  Tensor y = run_forward(x, &argmax_);
   in_shape_ = x.shape();
-  return run_forward(x, &argmax_);
+  return y;
 }
 
 Tensor MaxPool2d::infer(const Tensor& x) const { return run_forward(x, nullptr); }
@@ -397,8 +402,9 @@ Tensor Upsample2x::run_forward(const Tensor& x) const {
 }
 
 Tensor Upsample2x::forward(const Tensor& x) {
+  Tensor y = run_forward(x);
   in_shape_ = x.shape();
-  return run_forward(x);
+  return y;
 }
 
 Tensor Upsample2x::infer(const Tensor& x) const { return run_forward(x); }

@@ -110,8 +110,11 @@ Tensor SpectralConv2d::run_forward(const Tensor& x,
 }
 
 Tensor SpectralConv2d::forward(const Tensor& x) {
+  // Cache only after run_forward validated the input, so a rejected tensor
+  // can't poison the backward cache.
+  Tensor y = run_forward(x, x_hat_);
   in_shape_ = x.shape();
-  return run_forward(x, x_hat_);
+  return y;
 }
 
 Tensor SpectralConv2d::infer(const Tensor& x) const {
@@ -257,8 +260,9 @@ Tensor SpectralConv1d::run_forward(const Tensor& x,
 }
 
 Tensor SpectralConv1d::forward(const Tensor& x) {
+  Tensor y = run_forward(x, x_hat_);
   in_shape_ = x.shape();
-  return run_forward(x, x_hat_);
+  return y;
 }
 
 Tensor SpectralConv1d::infer(const Tensor& x) const {

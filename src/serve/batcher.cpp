@@ -1,6 +1,7 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -87,17 +88,32 @@ void MicroBatcher::flusher_loop() {
 }
 
 void MicroBatcher::dispatch(std::vector<BatchJob> batch) {
-  // The future is intentionally dropped: completion flows through the job
-  // callbacks, and the destructor tracks in_flight_ instead.
-  (void)queue_->submit([this, batch = std::move(batch)]() mutable -> int {
-    run_batch(batch);
-    {
-      std::lock_guard lk(mu_);
-      --in_flight_;
-    }
+  // The batch rides in a shared_ptr so it survives a throwing enqueue: if
+  // the queue refuses the job (shutdown race, allocation failure), the
+  // catch still holds the jobs and can fail them instead of leaving their
+  // callers hung in Future::get.
+  auto shared = std::make_shared<std::vector<BatchJob>>(std::move(batch));
+  const auto complete = [this] {
+    std::lock_guard lk(mu_);
+    --in_flight_;
+    // Notify while holding mu_: the destructor waits on in_flight_ == 0
+    // and may destroy this object the moment it observes it, so this
+    // thread's last touch of cv_idle_ must happen before mu_ is released.
     cv_idle_.notify_all();
-    return 0;
-  });
+  };
+  try {
+    // The future is intentionally dropped: completion flows through the job
+    // callbacks, and the destructor tracks in_flight_ instead.
+    (void)queue_->submit([this, shared, complete]() -> int {
+      run_batch(*shared);
+      complete();
+      return 0;
+    });
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (auto& job : *shared) job.done(nn::Tensor{}, error);
+    complete();
+  }
 }
 
 void MicroBatcher::run_batch(std::vector<BatchJob>& batch) const {
@@ -105,11 +121,17 @@ void MicroBatcher::run_batch(std::vector<BatchJob>& batch) const {
   // model snapshots sit in consecutive runs: stack and infer one run at a
   // time. In steady state this is the whole batch; across a hot-swap the
   // batch splits at the swap point instead of running old-encoded inputs
-  // through the new model.
+  // through the new model. Runs also split on input shape: requests for
+  // different grid sizes can co-arrive within one flush window, and a
+  // mixed-shape run cannot stack — each shape gets its own forward instead
+  // of failing every job in the batch.
   std::size_t lo = 0;
   while (lo < batch.size()) {
     std::size_t hi = lo + 1;
-    while (hi < batch.size() && batch[hi].model == batch[lo].model) ++hi;
+    while (hi < batch.size() && batch[hi].model == batch[lo].model &&
+           batch[hi].input.same_shape(batch[lo].input)) {
+      ++hi;
+    }
     std::exception_ptr error;
     std::vector<nn::Tensor> outputs;
     try {

@@ -11,6 +11,7 @@
 // each shard runs its own LRU list with a per-shard slice of the capacity.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -28,7 +29,15 @@ struct QueryKey {
   int fidelity = 0;       // solver::FidelityLevel as int
   int model_version = 0;  // 0 for solver-grade entries
 
-  bool operator==(const QueryKey&) const = default;
+  /// Equality compares omega's bit pattern, matching QueryKeyHash, so keys
+  /// that differ only as +0.0 vs -0.0 (equal as doubles, distinct bits)
+  /// cannot land in one shard's map while hashing to another.
+  bool operator==(const QueryKey& o) const {
+    return pattern_digest == o.pattern_digest &&
+           std::bit_cast<std::uint64_t>(omega) ==
+               std::bit_cast<std::uint64_t>(o.omega) &&
+           fidelity == o.fidelity && model_version == o.model_version;
+  }
 };
 
 struct QueryKeyHash {

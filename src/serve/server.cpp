@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <istream>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -128,7 +131,10 @@ class FdStreamBuf final : public std::streambuf {
  protected:
   int_type underflow() override {
     if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::read(fd_, in_.data(), in_.size());
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_.data(), in_.size());
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return traits_type::eof();
     setg(in_.data(), in_.data(), in_.data() + n);
     return traits_type::to_int_type(*gptr());
@@ -151,6 +157,7 @@ class FdStreamBuf final : public std::streambuf {
     std::size_t left = static_cast<std::size_t>(pptr() - pbase());
     while (left > 0) {
       const ssize_t n = ::write(fd_, p, left);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return -1;
       p += n;
       left -= static_cast<std::size_t>(n);
@@ -193,20 +200,68 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
     *log << "[serve] listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n";
   }
 
-  std::vector<std::thread> handlers;
+  // Handler threads each buffer their connection's log lines and flush them
+  // whole under log_mu, so concurrent connections cannot interleave writes
+  // on the shared log stream. Finished threads are reaped on every accept so
+  // a long-lived server doesn't accumulate joinable-but-done threads. A list
+  // keeps the slot-then-spawn sequence exception-safe: a failed spawn pops
+  // the empty slot and refuses one connection instead of unwinding past
+  // joinable threads (std::terminate).
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::list<Handler> handlers;
+  std::mutex log_mu;
+  const auto reap = [&handlers](bool all) {
+    for (auto it = handlers.begin(); it != handlers.end();) {
+      if (all || it->done->load()) {
+        it->thread.join();
+        it = handlers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   for (int served = 0; max_connections < 0 || served < max_connections; ++served) {
-    const int conn = ::accept(listener, nullptr, nullptr);
+    int conn;
+    do {
+      conn = ::accept(listener, nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
     if (conn < 0) break;
-    handlers.emplace_back([&service, &defaults, log, conn] {
-      FdStreamBuf buf(conn);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      serve_stream(service, defaults, in, out, log);
+    reap(/*all=*/false);
+    try {
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      handlers.push_back({std::thread{}, done});
+      handlers.back().thread =
+          std::thread([&service, &defaults, log, &log_mu, conn, done] {
+            FdStreamBuf buf(conn);
+            std::istream in(&buf);
+            std::ostream out(&buf);
+            std::ostringstream conn_log;
+            serve_stream(service, defaults, in, out,
+                         log != nullptr ? &conn_log : nullptr);
+            ::close(conn);
+            if (log != nullptr) {
+              std::lock_guard lk(log_mu);
+              *log << conn_log.str();
+            }
+            done->store(true);
+          });
+    } catch (...) {
+      // Thread or allocation exhaustion: drop this connection, keep serving.
+      if (!handlers.empty() && !handlers.back().thread.joinable()) {
+        handlers.pop_back();
+      }
       ::close(conn);
-    });
+      if (log != nullptr) {
+        std::lock_guard lk(log_mu);
+        *log << "[serve] refusing connection: handler spawn failed\n";
+      }
+    }
   }
   ::close(listener);
-  for (auto& t : handlers) t.join();
+  reap(/*all=*/true);
 }
 
 }  // namespace maps::serve

@@ -130,26 +130,38 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     if (!surrogate) {
       // Explicit medium/high fidelity: dispatch a solver-backed job.
       solver_requests_.fetch_add(1);
+      // inflight_ must be raised before the job can run (the job decrements
+      // it), so roll the increment back if the enqueue itself throws —
+      // otherwise the destructor's drain loop would spin forever.
       inflight_.fetch_add(1);
-      (void)queue_->submit(
-          [this, request = std::move(request), key, promise, start]() mutable -> int {
-            try {
-              ServeResponse response = solve_high(request);
-              cache_.put(key, std::make_shared<CachedResult>(
-                                  CachedResult{response.Ez, true}));
-              finish(promise, std::move(response), start);
-            } catch (...) {
-              errors_.fetch_add(1);
-              promise.set_exception(std::current_exception());
-            }
-            inflight_.fetch_sub(1);
-            return 0;
-          });
+      try {
+        (void)queue_->submit(
+            [this, request = std::move(request), key, promise, start]() mutable -> int {
+              try {
+                ServeResponse response = solve_high(request);
+                cache_.put(key, std::make_shared<CachedResult>(
+                                    CachedResult{response.Ez, true}));
+                finish(promise, std::move(response), start);
+              } catch (...) {
+                errors_.fetch_add(1);
+                promise.set_exception(std::current_exception());
+              }
+              inflight_.fetch_sub(1);
+              return 0;
+            });
+      } catch (...) {
+        inflight_.fetch_sub(1);
+        throw;
+      }
       return future;
     }
 
     surrogate_requests_.fetch_add(1);
-    answer_surrogate(request, model, key, std::move(promise), start);
+    // The promise is passed by copy (shared state), not moved: if
+    // answer_surrogate throws before the job is queued, the catch below
+    // still holds a live promise to carry the error to the caller.
+    answer_surrogate(std::make_shared<const ServeRequest>(std::move(request)),
+                     model, key, promise, start);
   } catch (...) {
     errors_.fetch_add(1);
     promise.set_exception(std::current_exception());
@@ -158,17 +170,21 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
 }
 
 void PredictionService::answer_surrogate(
-    const ServeRequest& request, const std::shared_ptr<const ServedModel>& model,
-    const QueryKey& key, runtime::Promise<ServeResponse> promise, double start_ms) {
-  nn::Tensor input = maps::train::make_input_batch(1, request.spec.nx, request.spec.ny,
-                                                   model->encoding);
-  maps::train::encode_input(input, 0, request.eps, request.J, request.omega,
-                            request.spec.dl, model->standardizer, model->encoding);
+    std::shared_ptr<const ServeRequest> request,
+    const std::shared_ptr<const ServedModel>& model, const QueryKey& key,
+    runtime::Promise<ServeResponse> promise, double start_ms) {
+  nn::Tensor input = maps::train::make_input_batch(1, request->spec.nx,
+                                                   request->spec.ny, model->encoding);
+  maps::train::encode_input(input, 0, request->eps, request->J, request->omega,
+                            request->spec.dl, model->standardizer, model->encoding);
 
   BatchJob job;
   job.input = std::move(input);
   job.model = model;
-  job.done = [this, request, model, key, promise, start_ms](
+  // The request rides along as a shared_ptr: the callback only needs it for
+  // the escalation fallback, and sharing one buffer avoids deep-copying the
+  // eps/J grids into every queued job.
+  job.done = [this, request = std::move(request), model, key, promise, start_ms](
                  nn::Tensor output, std::exception_ptr error) mutable {
     if (error != nullptr) {
       errors_.fetch_add(1);
@@ -202,7 +218,7 @@ void PredictionService::answer_surrogate(
         // Running on a TaskQueue worker already: solve inline rather than
         // re-queueing (a worker must never wait on queued work).
         escalations_.fetch_add(1);
-        ServeResponse solved = solve_high(request);
+        ServeResponse solved = solve_high(*request);
         solved.model_id = model->id;
         solved.model_version = model->version;
         solved.escalated = true;

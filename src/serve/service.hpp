@@ -127,7 +127,7 @@ class PredictionService {
   void finish(runtime::Promise<ServeResponse>& promise, ServeResponse response,
               double start_ms);
   ServeResponse solve_high(const ServeRequest& request);
-  void answer_surrogate(const ServeRequest& request,
+  void answer_surrogate(std::shared_ptr<const ServeRequest> request,
                         const std::shared_ptr<const ServedModel>& model,
                         const QueryKey& key, runtime::Promise<ServeResponse> promise,
                         double start_ms);

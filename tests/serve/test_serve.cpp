@@ -34,24 +34,30 @@ std::shared_ptr<serve::ModelRegistry> tiny_registry() {
   return registry;
 }
 
-serve::ServeRequest make_request(unsigned seed,
-                                 solver::FidelityLevel fidelity =
-                                     solver::FidelityLevel::Low) {
+serve::ServeRequest make_request_sized(index_t n, unsigned seed,
+                                       solver::FidelityLevel fidelity =
+                                           solver::FidelityLevel::Low) {
   serve::ServeRequest req;
-  req.spec = grid::GridSpec{kN, kN, 6.4 / static_cast<double>(kN)};
+  req.spec = grid::GridSpec{n, n, 6.4 / static_cast<double>(n)};
   math::Rng rng(seed);
-  math::RealGrid eps(kN, kN, 2.07);
-  for (index_t j = kN / 4; j < 3 * kN / 4; ++j) {
-    for (index_t i = kN / 4; i < 3 * kN / 4; ++i) {
+  math::RealGrid eps(n, n, 2.07);
+  for (index_t j = n / 4; j < 3 * n / 4; ++j) {
+    for (index_t i = n / 4; i < 3 * n / 4; ++i) {
       eps(i, j) = 2.07 + 10.0 * rng.uniform();
     }
   }
   req.eps = std::move(eps);
-  req.J = fdfd::point_source(req.spec, kN / 4, kN / 2);
+  req.J = fdfd::point_source(req.spec, n / 4, n / 2);
   req.omega = omega_of_wavelength(1.55);
   req.pml.ncells = 3;
   req.fidelity = fidelity;
   return req;
+}
+
+serve::ServeRequest make_request(unsigned seed,
+                                 solver::FidelityLevel fidelity =
+                                     solver::FidelityLevel::Low) {
+  return make_request_sized(kN, seed, fidelity);
 }
 
 bool fields_bit_identical(const math::CplxGrid& a, const math::CplxGrid& b) {
@@ -96,6 +102,43 @@ TEST(PredictionService, BatchedRepliesBitIdenticalToUnbatched) {
   EXPECT_EQ(stats.batcher.requests, 8u);
   EXPECT_LE(stats.batcher.batches, 2u);
   EXPECT_GE(stats.batcher.max_batch_seen, 4u);
+}
+
+TEST(PredictionService, MixedGridSizesInOneBatchWindow) {
+  const auto registry = tiny_registry();
+
+  serve::ServeOptions unbatched;
+  unbatched.max_batch = 1;
+  unbatched.max_delay_ms = 0.0;
+  unbatched.workers = 1;
+  unbatched.cache_capacity = 0;
+  serve::PredictionService one(registry, unbatched);
+
+  serve::ServeOptions batched;
+  batched.max_batch = 8;
+  batched.max_delay_ms = 50.0;  // hold the window open so both sizes co-arrive
+  batched.workers = 2;
+  batched.cache_capacity = 0;
+  serve::PredictionService many(registry, batched);
+
+  // Interleave two grid sizes so one flush holds both: the batcher must
+  // split the run per shape (FNO is resolution-agnostic) instead of failing
+  // every job in the batch on a stacking shape mismatch.
+  std::vector<serve::ServeRequest> requests;
+  for (unsigned k = 0; k < 8; ++k) {
+    requests.push_back(make_request_sized(k % 2 == 0 ? kN : 2 * kN, 300 + k));
+  }
+
+  std::vector<math::CplxGrid> expected;
+  for (const auto& req : requests) expected.push_back(one.predict(req).Ez);
+
+  std::vector<runtime::Future<serve::ServeResponse>> futures;
+  for (const auto& req : requests) futures.push_back(many.submit(req));
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    const auto response = futures[k].get();
+    EXPECT_EQ(response.source, serve::ResponseSource::Surrogate);
+    EXPECT_TRUE(fields_bit_identical(response.Ez, expected[k])) << "request " << k;
+  }
 }
 
 TEST(PredictionService, CacheHitServedWithoutRerunningModel) {

@@ -53,6 +53,11 @@ if [[ ! -f "$CONFIG" ]]; then
   echo "[launch_shards] config not found: $CONFIG" >&2
   exit 1
 fi
+# Absolutize the config path: ssh commands start in the remote $HOME, so a
+# relative path would silently resolve against the wrong directory on
+# --hosts runs even when the shared filesystem has it at the same absolute
+# location.
+CONFIG="$(cd "$(dirname "$CONFIG")" && pwd)/$(basename "$CONFIG")"
 if ! [[ "$SHARDS" =~ ^[0-9]+$ ]] || [[ "$SHARDS" -lt 1 ]]; then
   echo "[launch_shards] num_shards must be a positive integer, got '$SHARDS'" >&2
   exit 1
@@ -74,6 +79,14 @@ print(json.load(open(sys.argv[1])).get("output", "dataset.mapsd"))
 PY
 )"
 
+# Remote shards resolve a relative output path against their own $HOME, so
+# the dataset would silently land somewhere other than where the coordinator
+# reports; require an absolute path up front instead.
+if [[ ${#HOSTS[@]} -gt 0 && "$OUTPUT" != /* ]]; then
+  echo "[launch_shards] --hosts requires an absolute 'output' path in the config (got '$OUTPUT')" >&2
+  exit 1
+fi
+
 echo "[launch_shards] ${SHARDS} shard(s) of $CONFIG -> $OUTPUT" >&2
 PIDS=()
 for ((i = 0; i < SHARDS; ++i)); do
@@ -81,7 +94,7 @@ for ((i = 0; i < SHARDS; ++i)); do
   if [[ ${#HOSTS[@]} -gt 0 ]]; then
     host="${HOSTS[$((i % ${#HOSTS[@]}))]}"
     echo "[launch_shards] shard $i/$SHARDS -> $host" >&2
-    ssh "$host" "$CLI run $CONFIG --shard $i/$SHARDS --resume" > "$report" &
+    ssh "$host" "$(printf '%q run %q --shard %q --resume' "$CLI" "$CONFIG" "$i/$SHARDS")" > "$report" &
   else
     echo "[launch_shards] shard $i/$SHARDS -> local pid fork" >&2
     "$CLI" run "$CONFIG" --shard "$i/$SHARDS" --resume > "$report" &
@@ -109,7 +122,7 @@ if [[ "$MERGE" -eq 1 ]]; then
   # filesystem, same as the shards).
   echo "[launch_shards] merging ${SHARDS} shard(s)" >&2
   if [[ ${#HOSTS[@]} -gt 0 ]]; then
-    ssh "${HOSTS[0]}" "$CLI merge $CONFIG" > "${OUTPUT}.merge.report.json"
+    ssh "${HOSTS[0]}" "$(printf '%q merge %q' "$CLI" "$CONFIG")" > "${OUTPUT}.merge.report.json"
   else
     "$CLI" merge "$CONFIG" > "${OUTPUT}.merge.report.json"
   fi

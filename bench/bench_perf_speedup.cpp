@@ -6,6 +6,7 @@
 
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -15,6 +16,7 @@
 #include "devices/sparams.hpp"
 #include "fdfd/simulation.hpp"
 #include "fdfd/source.hpp"
+#include "fdfd/te.hpp"
 #include "math/rng.hpp"
 #include "param/pipeline.hpp"
 #include "serve/service.hpp"
@@ -53,6 +55,24 @@ static void BM_FdfdFullSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FdfdFullSolve)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+static void BM_FdfdFullSolveMixed(benchmark::State& state) {
+  // The same full solve on SolverPrecision::Mixed: fp32 split-complex
+  // factorization + iterative refinement to double accuracy. The ratio of
+  // BM_FdfdFullSolve to this is the mixed-precision speedup the CI perf
+  // gate tracks as fdfd_mixed_vs_double.
+  const index_t n = state.range(0);
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  const auto J = fdfd::point_source(spec, n / 4, n / 2);
+  auto opts = sim_opt(n);
+  opts.precision = solver::SolverPrecision::Mixed;
+  for (auto _ : state) {
+    fdfd::Simulation sim(spec, eps, omega_of_wavelength(1.55), opts);
+    benchmark::DoNotOptimize(sim.solve(J));
+  }
+}
+BENCHMARK(BM_FdfdFullSolveMixed)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 
 static void BM_FdfdCachedResolve(benchmark::State& state) {
   // New source, same structure: factorization amortized.
@@ -220,6 +240,73 @@ static void BM_SparamSweepInterleaved(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparamSweepInterleaved)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+/// RAII save/set/restore of one environment variable for A/B bench bodies.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+}  // namespace
+
+static void BM_SparamSweepMixed(benchmark::State& state) {
+  // The same sweep with MAPS_SOLVER_PRECISION=mixed: every factorization in
+  // the pass runs fp32 + refinement. BM_SparamSweep / this is the
+  // sparam_mixed_vs_double CI gate — the end-to-end mixed-precision win on
+  // the verification workload, measured within one run.
+  ScopedEnv env("MAPS_SOLVER_PRECISION", "mixed");
+  sparam_sweep_body(state);
+}
+BENCHMARK(BM_SparamSweepMixed)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+// TE (Hz-polarized) full solve: assembly + factorization + one solve, the
+// hot loop of TE-mode studies. Shared by the split/interleaved pair below so
+// the te_split_vs_interleaved CI gate compares identical work.
+void te_solve_body(benchmark::State& state, index_t n) {
+  const auto eps = random_eps(n);
+  grid::GridSpec spec{n, n, 6.4 / static_cast<double>(n)};
+  const auto Mz = fdfd::point_source(spec, n / 4, n / 2);
+  fdfd::PmlSpec pml;
+  pml.ncells = static_cast<int>(n / 8);
+  for (auto _ : state) {
+    fdfd::TeSimulation sim(spec, eps, omega_of_wavelength(1.55), pml);
+    benchmark::DoNotOptimize(sim.solve(Mz));
+  }
+}
+
+}  // namespace
+
+static void BM_TeSolveSplit(benchmark::State& state) {
+  te_solve_body(state, state.range(0));
+}
+BENCHMARK(BM_TeSolveSplit)->Arg(64)->Unit(benchmark::kMillisecond);
+
+static void BM_TeSolveInterleaved(benchmark::State& state) {
+  ScopedEnv env("MAPS_SOLVER_INTERLEAVED", "1");
+  te_solve_body(state, state.range(0));
+}
+BENCHMARK(BM_TeSolveInterleaved)->Arg(64)->Unit(benchmark::kMillisecond);
 
 namespace {
 

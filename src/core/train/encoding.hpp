@@ -7,6 +7,8 @@
 // a dataset-level field scale so losses are O(1).
 #pragma once
 
+#include <optional>
+
 #include "core/data/dataset.hpp"
 #include "nn/tensor.hpp"
 
@@ -41,6 +43,24 @@ struct FieldSample {
 };
 
 Standardizer fit_standardizer(const std::vector<FieldSample>& train_samples);
+
+/// Per-field standardizer overrides: a set field replaces whatever value the
+/// base standardizer carries (serving layers values as config-explicit >
+/// checkpoint-provenance > defaults).
+struct StandardizerOverrides {
+  std::optional<double> eps_lo, eps_hi, field_scale, j_scale, lambda_ref;
+
+  void apply(Standardizer& s) const {
+    if (eps_lo) s.eps_lo = *eps_lo;
+    if (eps_hi) s.eps_hi = *eps_hi;
+    if (field_scale) s.field_scale = *field_scale;
+    if (j_scale) s.j_scale = *j_scale;
+    if (lambda_ref) s.lambda_ref = *lambda_ref;
+  }
+  bool any() const {
+    return eps_lo || eps_hi || field_scale || j_scale || lambda_ref;
+  }
+};
 
 /// Write one sample's input channels into batch row n.
 void encode_input(nn::Tensor& batch, index_t n, const maps::math::RealGrid& eps,

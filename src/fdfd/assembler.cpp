@@ -51,9 +51,10 @@ FdfdOperator assemble(const grid::GridSpec& spec, const maps::math::RealGrid& ep
   return op;
 }
 
-BandedOperator assemble_banded(const grid::GridSpec& spec,
-                               const maps::math::RealGrid& eps, double omega,
-                               const PmlSpec& pml) {
+template <typename T>
+BandedOperatorT<T> assemble_banded_t(const grid::GridSpec& spec,
+                                     const maps::math::RealGrid& eps, double omega,
+                                     const PmlSpec& pml) {
   maps::require(eps.nx() == spec.nx && eps.ny() == spec.ny,
                 "assemble_banded: eps map does not match grid");
   maps::require(omega > 0, "assemble_banded: omega must be positive");
@@ -63,11 +64,11 @@ BandedOperator assemble_banded(const grid::GridSpec& spec,
   const StretchProfile sx = make_stretch(nx, spec.dl, omega, pml);
   const StretchProfile sy = make_stretch(ny, spec.dl, omega, pml);
 
-  BandedOperator op;
+  BandedOperatorT<T> op;
   // Natural ordering couples n to n±1 and n±nx; a single-row grid only
   // needs the i neighbors.
   const index_t bw = ny > 1 ? nx : 1;
-  op.AB = maps::math::SplitBandMatrix(nx * ny, bw, bw);
+  op.AB = maps::math::SplitBandMatrixT<T>(nx * ny, bw, bw);
   op.W.resize(static_cast<std::size_t>(nx * ny));
   op.omega = omega;
   op.spec = spec;
@@ -96,6 +97,11 @@ BandedOperator assemble_banded(const grid::GridSpec& spec,
   }
   return op;
 }
+
+template BandedOperatorT<double> assemble_banded_t<double>(
+    const grid::GridSpec&, const maps::math::RealGrid&, double, const PmlSpec&);
+template BandedOperatorT<float> assemble_banded_t<float>(
+    const grid::GridSpec&, const maps::math::RealGrid&, double, const PmlSpec&);
 
 std::vector<cplx> rhs_from_current(const maps::math::CplxGrid& J, double omega) {
   std::vector<cplx> b(static_cast<std::size_t>(J.size()));

@@ -40,16 +40,39 @@ FdfdOperator assemble(const grid::GridSpec& spec, const maps::math::RealGrid& ep
 /// fast path of the dataset-generation runtime: coefficient arithmetic is
 /// identical to assemble(), so the banded system equals to_band(assemble().A)
 /// entry-for-entry; only W and the band are produced (no CSR A).
-struct BandedOperator {
-  maps::math::SplitBandMatrix AB;
+///
+/// The band scalar T is a template parameter so the mixed-precision solver
+/// path (solver::SolverPrecision::Mixed) assembles straight into fp32 band
+/// storage: coefficient arithmetic stays double (identical stretch/coupling
+/// values), only the final store rounds to T — the same rounding a
+/// double-assemble + convert would produce, without ever allocating or
+/// writing the double-sized band.
+template <typename T>
+struct BandedOperatorT {
+  maps::math::SplitBandMatrixT<T> AB;
   std::vector<cplx> W;              // symmetrizing row scale, size N
   double omega = 0.0;
   grid::GridSpec spec;
 };
 
-BandedOperator assemble_banded(const grid::GridSpec& spec,
-                               const maps::math::RealGrid& eps, double omega,
-                               const PmlSpec& pml);
+using BandedOperator = BandedOperatorT<double>;
+using BandedOperatorF = BandedOperatorT<float>;
+
+template <typename T>
+BandedOperatorT<T> assemble_banded_t(const grid::GridSpec& spec,
+                                     const maps::math::RealGrid& eps, double omega,
+                                     const PmlSpec& pml);
+
+extern template BandedOperatorT<double> assemble_banded_t<double>(
+    const grid::GridSpec&, const maps::math::RealGrid&, double, const PmlSpec&);
+extern template BandedOperatorT<float> assemble_banded_t<float>(
+    const grid::GridSpec&, const maps::math::RealGrid&, double, const PmlSpec&);
+
+inline BandedOperator assemble_banded(const grid::GridSpec& spec,
+                                      const maps::math::RealGrid& eps, double omega,
+                                      const PmlSpec& pml) {
+  return assemble_banded_t<double>(spec, eps, omega, pml);
+}
 
 /// Right-hand side from a current source: b = -i omega J.
 std::vector<cplx> rhs_from_current(const maps::math::CplxGrid& J, double omega);

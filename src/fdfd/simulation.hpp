@@ -26,6 +26,11 @@ struct SimOptions {
   SolverKind solver = SolverKind::Direct;
   maps::math::BicgstabOptions iterative;
   int coarse_factor = 2;  // CoarseGrid backend coarsening
+  /// Factor precision of the direct path: Double (exact) or Mixed (fp32
+  /// factors + iterative refinement back to double accuracy). Defaults to
+  /// the MAPS_SOLVER_PRECISION environment override, else Double.
+  solver::SolverPrecision precision = solver::default_solver_precision();
+  solver::RefinementOptions refinement;
   /// Optional shared cache: Simulations with identical (eps, omega, pml,
   /// solver) then share one factorization.
   std::shared_ptr<solver::FactorizationCache> cache;
@@ -39,6 +44,8 @@ struct SimOptions {
     cfg.kind = solver;
     cfg.iterative = iterative;
     cfg.coarse_factor = coarse_factor;
+    cfg.precision = precision;
+    cfg.refinement = refinement;
     return cfg;
   }
 };

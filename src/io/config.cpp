@@ -92,6 +92,15 @@ int read_solver_settings(FieldReader& r, SolverSettings& s, const char* scope) {
   s.config.iterative.max_iters =
       r.integer("solver_max_iters", s.config.iterative.max_iters);
   s.config.coarse_factor = r.integer("coarse_factor", s.config.coarse_factor);
+  // Explicit key wins over the MAPS_SOLVER_PRECISION environment default
+  // SolverConfig was constructed with.
+  if (r.has("solver_precision")) {
+    s.config.precision =
+        solver::solver_precision_from_name(r.get("solver_precision").as_string());
+  }
+  s.config.refinement.rtol = r.number("refine_rtol", s.config.refinement.rtol);
+  s.config.refinement.max_iters =
+      r.integer("refine_max_iters", s.config.refinement.max_iters);
   s.cache_capacity = r.integer("cache_capacity", s.cache_capacity);
   s.cache_capacity_mb = r.integer("cache_capacity_mb", s.cache_capacity_mb);
   if (s.config.coarse_factor < 2) {
@@ -105,6 +114,12 @@ int read_solver_settings(FieldReader& r, SolverSettings& s, const char* scope) {
   }
   check_positive(s.config.iterative.rtol, "solver_rtol");
   check_positive(s.config.iterative.max_iters, "solver_max_iters");
+  check_positive(s.config.refinement.rtol, "refine_rtol");
+  if (s.config.refinement.max_iters < 0) {
+    // 0 is legal: it forces the double fallback on the first refined solve
+    // (the deterministic stall-path test hook).
+    throw MapsError(std::string(scope) + ": refine_max_iters must be >= 0");
+  }
   return resolution;
 }
 
@@ -114,6 +129,9 @@ void write_solver_settings(JsonValue& v, const SolverSettings& s) {
   v["solver_rtol"] = s.config.iterative.rtol;
   v["solver_max_iters"] = s.config.iterative.max_iters;
   v["coarse_factor"] = s.config.coarse_factor;
+  v["solver_precision"] = solver::solver_precision_name(s.config.precision);
+  v["refine_rtol"] = s.config.refinement.rtol;
+  v["refine_max_iters"] = s.config.refinement.max_iters;
   v["cache_capacity"] = s.cache_capacity;
   v["cache_capacity_mb"] = s.cache_capacity_mb;
 }
@@ -125,6 +143,8 @@ void apply_solver_settings(devices::DeviceProblem& device,
   device.sim_options.solver = settings.config.kind;
   device.sim_options.iterative = settings.config.iterative;
   device.sim_options.coarse_factor = settings.config.coarse_factor;
+  device.sim_options.precision = settings.config.precision;
+  device.sim_options.refinement = settings.config.refinement;
   if (device.solver_cache) {
     device.solver_cache->set_capacity(static_cast<std::size_t>(settings.cache_capacity));
   } else {
@@ -183,6 +203,10 @@ DataGenConfig DataGenConfig::from_json(const JsonValue& v) {
     throw MapsError("datagen: fidelity must be in [1, 4]");
   }
   cfg.multi_fidelity = r.boolean("multi_fidelity", false);
+  cfg.memory_budget_mb = r.integer("memory_budget_mb", 0);
+  if (cfg.memory_budget_mb < 0) {
+    throw MapsError("datagen: memory_budget_mb must be >= 0");
+  }
   cfg.output = r.string("output", "dataset.mapsd");
   cfg.shard_index = r.integer("shard_index", 0);
   cfg.shard_count = r.integer("shard_count", 1);
@@ -225,6 +249,7 @@ JsonValue DataGenConfig::to_json() const {
   v["fidelity"] = fidelity;
   write_solver_settings(v, solver);
   v["multi_fidelity"] = multi_fidelity;
+  v["memory_budget_mb"] = memory_budget_mb;
   v["output"] = output;
   v["shard_index"] = shard_index;
   v["shard_count"] = shard_count;
@@ -338,13 +363,20 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
   cfg.model_id = r.string("model_id", "default");
   cfg.checkpoint = r.string("checkpoint", "");
 
-  cfg.standardizer.eps_lo = r.number("std_eps_lo", cfg.standardizer.eps_lo);
-  cfg.standardizer.eps_hi = r.number("std_eps_hi", cfg.standardizer.eps_hi);
-  cfg.standardizer.field_scale =
-      r.number("std_field_scale", cfg.standardizer.field_scale);
-  cfg.standardizer.j_scale = r.number("std_j_scale", cfg.standardizer.j_scale);
-  cfg.standardizer.lambda_ref =
-      r.number("std_lambda_ref", cfg.standardizer.lambda_ref);
+  // std_* keys are optional overrides: the checkpoint's embedded provenance
+  // normally supplies these, and an explicitly configured value outranks it.
+  // Track presence before reading so the registry knows which fields the
+  // operator pinned.
+  auto std_override = [&r](const char* key) -> std::optional<double> {
+    if (!r.has(key)) return std::nullopt;
+    return r.number(key, 0.0);
+  };
+  cfg.std_overrides.eps_lo = std_override("std_eps_lo");
+  cfg.std_overrides.eps_hi = std_override("std_eps_hi");
+  cfg.std_overrides.field_scale = std_override("std_field_scale");
+  cfg.std_overrides.j_scale = std_override("std_j_scale");
+  cfg.std_overrides.lambda_ref = std_override("std_lambda_ref");
+  cfg.std_overrides.apply(cfg.standardizer);
 
   cfg.serve.max_batch = r.integer("max_batch", cfg.serve.max_batch);
   cfg.serve.max_delay_ms = r.number("max_delay_ms", cfg.serve.max_delay_ms);
@@ -371,6 +403,10 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
       r.integer("solver_cache_capacity",
                 static_cast<int>(cfg.serve.solver_cache_capacity)),
       "solver_cache_capacity");
+  if (r.has("solver_precision")) {
+    cfg.serve.solver_precision =
+        solver::solver_precision_from_name(r.get("solver_precision").as_string());
+  }
 
   cfg.dl = r.number("dl", cfg.dl);
   cfg.wavelength = r.number("wavelength", cfg.wavelength);
@@ -419,6 +455,7 @@ JsonValue ServeConfig::to_json() const {
   v["cache_shards"] = static_cast<int>(serve.cache_shards);
   v["escalate_rms_factor"] = serve.escalate_rms_factor;
   v["solver_cache_capacity"] = static_cast<int>(serve.solver_cache_capacity);
+  v["solver_precision"] = solver::solver_precision_name(serve.solver_precision);
   v["dl"] = dl;
   v["wavelength"] = wavelength;
   v["pml_ncells"] = pml.ncells;

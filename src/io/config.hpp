@@ -33,7 +33,10 @@ const char* model_kind_name(nn::ModelKind kind);
 /// "solver" overrides the kind directly; "solver_rtol" / "solver_max_iters"
 /// tune the iterative backend, "coarse_factor" the coarse-grid backend and
 /// "cache_capacity" (entries) / "cache_capacity_mb" (factor-byte budget,
-/// 0 = unlimited) the device factorization cache.
+/// 0 = unlimited) the device factorization cache. "solver_precision"
+/// ("double" | "mixed") selects the direct path's factor precision —
+/// mixed = fp32 factors + iterative refinement to double accuracy — and
+/// "refine_rtol" / "refine_max_iters" tune the refinement loop.
 struct SolverSettings {
   solver::FidelityLevel fidelity = solver::FidelityLevel::High;
   solver::SolverConfig config;  // kind follows fidelity unless "solver" given
@@ -56,6 +59,11 @@ struct DataGenConfig {
   int fidelity = 1;
   bool multi_fidelity = false;  // pair each pattern at fidelity and 2x
   SolverSettings solver;
+  /// Soft cap on the memory the pipeline's in-flight window may commit to
+  /// resident LU factors (MB). 0 keeps the fixed workers+2 window; a budget
+  /// derives max_inflight from the per-pattern factor_bytes() estimate so
+  /// large grids stop over-committing memory.
+  int memory_budget_mb = 0;
   data::SamplerOptions sampler;
   std::string output = "dataset.mapsd";
   int shard_index = 0;
@@ -98,6 +106,9 @@ struct ServeConfig {
   std::string model_id = "default";
   std::string checkpoint;
   maps::train::Standardizer standardizer;
+  /// Which std_* keys were explicitly present in the JSON: these outrank the
+  /// checkpoint's embedded standardizer provenance at registry load time.
+  maps::train::StandardizerOverrides std_overrides;
   serve::ServeOptions serve;
   // Wire-request defaults.
   double dl = 0.1;

@@ -139,6 +139,7 @@ JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
   runtime::DatagenOptions opts;
   opts.shard = plan;
   opts.resume = config.resume;
+  opts.memory_budget_mb = static_cast<std::size_t>(config.memory_budget_mb);
   opts.progress_every_s = 5.0;
   opts.log = &log;
 
@@ -249,7 +250,18 @@ JsonValue run_train(const TrainConfig& config, std::ostream& log) {
   const auto result = trainer.fit(&device);
 
   if (!config.checkpoint.empty()) {
-    nn::save_parameters(*model, config.checkpoint);
+    // Embed the fitted standardizer as checkpoint provenance: serving loads
+    // these "std_*" keys back so the constants no longer need to be copied
+    // into the serve config by hand.
+    const auto& std_ = loader->standardizer();
+    const std::map<std::string, double> meta = {
+        {"std_eps_lo", std_.eps_lo},
+        {"std_eps_hi", std_.eps_hi},
+        {"std_field_scale", std_.field_scale},
+        {"std_j_scale", std_.j_scale},
+        {"std_lambda_ref", std_.lambda_ref},
+    };
+    nn::save_parameters(*model, config.checkpoint, meta);
     log << "[train] checkpoint -> " << config.checkpoint << "\n";
   }
 
@@ -326,7 +338,8 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
   maps::train::EncodingOptions encoding;
   encoding.wave_prior = config.wave_prior;
   const auto served = registry->load(config.model_id, config.model, config.checkpoint,
-                                     encoding, config.standardizer);
+                                     encoding, config.standardizer,
+                                     config.std_overrides);
   log << "[serve] model " << served->id << " v" << served->version << " ("
       << nn::model_name(config.model.kind) << ", " << served->param_count
       << " parameters" << (config.checkpoint.empty() ? ", RANDOM WEIGHTS" : "")

@@ -18,7 +18,9 @@ namespace {
 /// the floating-point add dependency chain — a single chained accumulator
 /// runs at FMA *latency* per element (~4x slower than the interleaved
 /// kernel); spread across four chains the loop runs at FMA throughput.
-inline void dot_accum(const double* __restrict ar, const double* __restrict ai,
+/// Accumulation is always double; fp32 factor loads widen on the fly.
+template <typename T>
+inline void dot_accum(const T* __restrict ar, const T* __restrict ai,
                       const cplx* __restrict x, std::size_t len, double& out_r,
                       double& out_i) {
   double sr0 = 0.0, si0 = 0.0, sr1 = 0.0, si1 = 0.0;
@@ -52,7 +54,8 @@ inline void dot_accum(const double* __restrict ar, const double* __restrict ai,
 /// restrict-qualified split-load form performs at parity with the complex-
 /// arithmetic loop it replaces and keeps the scatter in one place. Per-
 /// element operations and order are unchanged: results stay bit-identical.
-inline void axpy_scatter(const double* __restrict ar, const double* __restrict ai,
+template <typename T>
+inline void axpy_scatter(const T* __restrict ar, const T* __restrict ai,
                          double br, double bi, cplx* __restrict b,
                          std::size_t len) {
   double* __restrict bd = reinterpret_cast<double*>(b);
@@ -65,36 +68,57 @@ inline void axpy_scatter(const double* __restrict ar, const double* __restrict a
 
 }  // namespace
 
-SplitBandMatrix::SplitBandMatrix(index_t n, index_t kl, index_t ku)
+template <typename T>
+SplitBandMatrixT<T>::SplitBandMatrixT(index_t n, index_t kl, index_t ku)
     : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1) {
   require(n > 0 && kl >= 0 && ku >= 0, "SplitBandMatrix: invalid shape");
   require(kl < n && ku < n, "SplitBandMatrix: band exceeds dimension");
   const std::size_t cells = static_cast<std::size_t>(ldab_) * static_cast<std::size_t>(n_);
-  re_.assign(cells, 0.0);
-  im_.assign(cells, 0.0);
+  re_.assign(cells, T(0));
+  im_.assign(cells, T(0));
   ipiv_.assign(static_cast<std::size_t>(n_), 0);
 }
 
-void SplitBandMatrix::set(index_t i, index_t j, cplx v) {
+template <typename T>
+template <typename U>
+SplitBandMatrixT<T>::SplitBandMatrixT(const SplitBandMatrixT<U>& other)
+    : n_(other.n_), kl_(other.kl_), ku_(other.ku_), ldab_(other.ldab_),
+      ipiv_(other.ipiv_) {
+  require(!other.factorized_,
+          "SplitBandMatrix: cannot precision-convert factorized storage");
+  re_.resize(other.re_.size());
+  im_.resize(other.im_.size());
+  for (std::size_t t = 0; t < re_.size(); ++t) {
+    re_[t] = static_cast<T>(other.re_[t]);
+    im_[t] = static_cast<T>(other.im_[t]);
+  }
+}
+
+template <typename T>
+void SplitBandMatrixT<T>::set(index_t i, index_t j, cplx v) {
   require(i >= 0 && i < n_ && j >= 0 && j < n_, "SplitBandMatrix::set: out of range");
   require(i - j <= kl_ && j - i <= ku_, "SplitBandMatrix::set: outside band");
   require(!factorized_, "SplitBandMatrix::set: matrix already factorized");
-  re_[at(i, j)] = v.real();
-  im_[at(i, j)] = v.imag();
+  re_[at(i, j)] = static_cast<T>(v.real());
+  im_[at(i, j)] = static_cast<T>(v.imag());
 }
 
-cplx SplitBandMatrix::get(index_t i, index_t j) const {
+template <typename T>
+cplx SplitBandMatrixT<T>::get(index_t i, index_t j) const {
   require(i >= 0 && i < n_ && j >= 0 && j < n_, "SplitBandMatrix::get: out of range");
   if (i - j > kl_ || j - i > ku_) return cplx{};
-  return {re_[at(i, j)], im_[at(i, j)]};
+  return {static_cast<double>(re_[at(i, j)]), static_cast<double>(im_[at(i, j)])};
 }
 
 // xGBTF2 on split storage. Column j: pivot among the kl rows below the
 // diagonal (|re| + |im| magnitude, matching BandMatrix so the pivot sequence
 // is identical), swap rows across the affected columns, scale the
 // multipliers by 1/pivot, then rank-1 update the trailing window. The two
-// innermost loops run over contiguous double arrays — no complex arithmetic.
-void SplitBandMatrix::factorize() {
+// innermost loops run over contiguous scalar arrays — no complex arithmetic.
+// All elimination arithmetic stays in T (fp32 for the float instantiation —
+// that is where the 2x bandwidth/SIMD win of the mixed path comes from).
+template <typename T>
+void SplitBandMatrixT<T>::factorize() {
   require(!factorized_, "SplitBandMatrix::factorize: already factorized");
   index_t ju = 0;  // rightmost column touched by row interchanges so far
 
@@ -102,17 +126,17 @@ void SplitBandMatrix::factorize() {
     const index_t km = std::min(kl_, n_ - 1 - j);
     const std::size_t d = at(j, j);
     index_t jp = 0;
-    double best = std::abs(re_[d]) + std::abs(im_[d]);
+    T best = std::abs(re_[d]) + std::abs(im_[d]);
     for (index_t k = 1; k <= km; ++k) {
-      const double m = std::abs(re_[d + static_cast<std::size_t>(k)]) +
-                       std::abs(im_[d + static_cast<std::size_t>(k)]);
+      const T m = std::abs(re_[d + static_cast<std::size_t>(k)]) +
+                  std::abs(im_[d + static_cast<std::size_t>(k)]);
       if (m > best) {
         best = m;
         jp = k;
       }
     }
     ipiv_[static_cast<std::size_t>(j)] = j + jp;
-    if (best == 0.0) throw MapsError("SplitBandMatrix::factorize: singular matrix");
+    if (best == T(0)) throw MapsError("SplitBandMatrix::factorize: singular matrix");
 
     ju = std::max(ju, std::min(j + ku_ + jp, n_ - 1));
     if (jp != 0) {
@@ -122,24 +146,29 @@ void SplitBandMatrix::factorize() {
       }
     }
     if (km > 0) {
-      const double dr = re_[d], di = im_[d];
-      const double den = dr * dr + di * di;
-      const double pr = dr / den, pi = -di / den;  // 1 / pivot
-      double* __restrict mr = &re_[d];
-      double* __restrict mi = &im_[d];
+      const T dr = re_[d], di = im_[d];
+      const T den = dr * dr + di * di;
+      if (den == T(0)) {
+        // fp32 can underflow a pivot whose |re| + |im| survived: |z|^2
+        // vanishes before |z| does. Refuse rather than divide by zero.
+        throw MapsError("SplitBandMatrix::factorize: pivot underflow");
+      }
+      const T pr = dr / den, pi = -di / den;  // 1 / pivot
+      T* __restrict mr = &re_[d];
+      T* __restrict mi = &im_[d];
       for (index_t k = 1; k <= km; ++k) {
-        const double ar = mr[k], ai = mi[k];
+        const T ar = mr[k], ai = mi[k];
         mr[k] = ar * pr - ai * pi;
         mi[k] = ar * pi + ai * pr;
       }
       for (index_t col = j + 1; col <= ju; ++col) {
         const std::size_t c = at(j, col);
-        const double br = re_[c], bi = im_[c];
-        if (br != 0.0 || bi != 0.0) {
-          double* __restrict cr = &re_[c];
-          double* __restrict ci = &im_[c];
+        const T br = re_[c], bi = im_[c];
+        if (br != T(0) || bi != T(0)) {
+          T* __restrict cr = &re_[c];
+          T* __restrict ci = &im_[c];
           for (index_t k = 1; k <= km; ++k) {
-            const double ar = mr[k], ai = mi[k];
+            const T ar = mr[k], ai = mi[k];
             cr[k] -= ar * br - ai * bi;
             ci[k] -= ar * bi + ai * br;
           }
@@ -151,7 +180,8 @@ void SplitBandMatrix::factorize() {
 }
 
 // xGBTRS 'N': apply L (with interchanges), then banded back-substitution.
-void SplitBandMatrix::solve_inplace(std::vector<cplx>& b) const {
+template <typename T>
+void SplitBandMatrixT<T>::solve_inplace(std::vector<cplx>& b) const {
   require(factorized_, "SplitBandMatrix::solve: factorize() first");
   require(static_cast<index_t>(b.size()) == n_, "SplitBandMatrix::solve: size mismatch");
   const index_t kv = kl_ + ku_;
@@ -187,7 +217,8 @@ void SplitBandMatrix::solve_inplace(std::vector<cplx>& b) const {
 
 // xGBTRS 'T': U^T forward substitution, then L^T and the interchanges in
 // reverse order.
-void SplitBandMatrix::solve_transposed_inplace(std::vector<cplx>& b) const {
+template <typename T>
+void SplitBandMatrixT<T>::solve_transposed_inplace(std::vector<cplx>& b) const {
   require(factorized_, "SplitBandMatrix::solve_transposed: factorize() first");
   require(static_cast<index_t>(b.size()) == n_,
           "SplitBandMatrix::solve_transposed: size mismatch");
@@ -222,7 +253,8 @@ void SplitBandMatrix::solve_transposed_inplace(std::vector<cplx>& b) const {
   }
 }
 
-void SplitBandMatrix::solve_multi_inplace(std::vector<std::vector<cplx>>& bs) const {
+template <typename T>
+void SplitBandMatrixT<T>::solve_multi_inplace(std::vector<std::vector<cplx>>& bs) const {
   require(factorized_, "SplitBandMatrix::solve_multi: factorize() first");
   for (const auto& b : bs) {
     require(static_cast<index_t>(b.size()) == n_,
@@ -273,7 +305,8 @@ void SplitBandMatrix::solve_multi_inplace(std::vector<std::vector<cplx>>& bs) co
 // RHS before moving on — the transposed analogue of solve_multi_inplace,
 // which is what keeps adjoint batches on the one-factor-stream-per-batch
 // cost model.
-void SplitBandMatrix::solve_transposed_multi_inplace(
+template <typename T>
+void SplitBandMatrixT<T>::solve_transposed_multi_inplace(
     std::vector<std::vector<cplx>>& bs) const {
   require(factorized_, "SplitBandMatrix::solve_transposed_multi: factorize() first");
   for (const auto& b : bs) {
@@ -324,5 +357,10 @@ void SplitBandMatrix::solve_transposed_multi_inplace(
     }
   }
 }
+
+template class SplitBandMatrixT<double>;
+template class SplitBandMatrixT<float>;
+template SplitBandMatrixT<float>::SplitBandMatrixT(const SplitBandMatrixT<double>&);
+template SplitBandMatrixT<double>::SplitBandMatrixT(const SplitBandMatrixT<float>&);
 
 }  // namespace maps::math

@@ -6,7 +6,8 @@
 namespace maps::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x4D415053;  // "MAPS"
+constexpr std::uint32_t kMagic = 0x4D415053;      // "MAPS"
+constexpr std::uint32_t kMetaMagic = 0x4D455441;  // "META"
 
 void write_u32(std::ostream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -16,9 +17,25 @@ std::uint32_t read_u32(std::istream& is) {
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
+
+/// Advance past the parameter records (header already consumed). Used by
+/// load_metadata to reach the trailer without binding to an architecture.
+void skip_parameters(std::istream& is, std::uint32_t count) {
+  for (std::uint32_t p = 0; p < count; ++p) {
+    const std::uint32_t name_len = read_u32(is);
+    is.seekg(name_len, std::ios::cur);
+    const std::uint32_t ndim = read_u32(is);
+    std::uint64_t numel = 1;
+    for (std::uint32_t d = 0; d < ndim; ++d) numel *= read_u32(is);
+    is.seekg(static_cast<std::streamoff>(numel * sizeof(float)), std::ios::cur);
+    require(is.good(), "load_metadata: truncated parameter record");
+  }
+}
+
 }  // namespace
 
-void save_parameters(Module& model, const std::string& path) {
+void save_parameters(Module& model, const std::string& path,
+                     const std::map<std::string, double>& metadata) {
   std::ofstream os(path, std::ios::binary);
   require(os.good(), "save_parameters: cannot open file");
   const auto params = model.parameters();
@@ -33,6 +50,15 @@ void save_parameters(Module& model, const std::string& path) {
     }
     os.write(reinterpret_cast<const char*>(p->value.data()),
              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!metadata.empty()) {
+    write_u32(os, kMetaMagic);
+    write_u32(os, static_cast<std::uint32_t>(metadata.size()));
+    for (const auto& [key, value] : metadata) {
+      write_u32(os, static_cast<std::uint32_t>(key.size()));
+      os.write(key.data(), static_cast<std::streamsize>(key.size()));
+      os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    }
   }
   require(os.good(), "save_parameters: write failed");
 }
@@ -61,6 +87,29 @@ void load_parameters(Module& model, const std::string& path) {
             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
   }
   require(is.good(), "load_parameters: truncated file");
+}
+
+std::map<std::string, double> load_metadata(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(is.good(), "load_metadata: cannot open file");
+  require(read_u32(is) == kMagic, "load_metadata: bad magic");
+  skip_parameters(is, read_u32(is));
+
+  std::map<std::string, double> meta;
+  std::uint32_t trailer = 0;
+  is.read(reinterpret_cast<char*>(&trailer), sizeof(trailer));
+  if (!is.good() || trailer != kMetaMagic) return meta;  // pre-trailer format
+  const std::uint32_t count = read_u32(is);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t key_len = read_u32(is);
+    std::string key(key_len, '\0');
+    is.read(key.data(), key_len);
+    double value = 0.0;
+    is.read(reinterpret_cast<char*>(&value), sizeof(value));
+    require(is.good(), "load_metadata: truncated metadata trailer");
+    meta[key] = value;
+  }
+  return meta;
 }
 
 }  // namespace maps::nn

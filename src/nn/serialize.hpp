@@ -1,17 +1,30 @@
 // Model checkpointing: a small tagged binary format (name, shape, float32
 // payload per parameter). Loading matches by name and shape so checkpoints
 // survive unrelated architecture reordering.
+//
+// Checkpoints may carry an optional metadata trailer after the parameter
+// records — a tagged list of (string key, double value) pairs used for
+// training provenance such as the dataset standardizer constants ("std_*"
+// keys). The trailer is backward and forward compatible: load_parameters
+// reads exactly the declared parameters and never touches it, and
+// load_metadata returns an empty map for trailer-less checkpoints.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "nn/module.hpp"
 
 namespace maps::nn {
 
-void save_parameters(Module& model, const std::string& path);
+void save_parameters(Module& model, const std::string& path,
+                     const std::map<std::string, double>& metadata = {});
 
 /// Throws on missing file or any name/shape mismatch.
 void load_parameters(Module& model, const std::string& path);
+
+/// Read the metadata trailer of a checkpoint (empty map when the file
+/// predates the trailer format). Throws on missing file or bad magic.
+std::map<std::string, double> load_metadata(const std::string& path);
 
 }  // namespace maps::nn

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -13,6 +14,7 @@
 #include "math/parallel.hpp"
 #include "runtime/task_queue.hpp"
 #include "solver/cache.hpp"
+#include "solver/direct.hpp"
 
 namespace maps::runtime {
 
@@ -33,6 +35,8 @@ struct SolvedPattern {
   std::vector<data::SampleRecord> records;
   int factorizations = 0;
   int solves = 0;
+  int refine_iterations = 0;  // mixed-precision refinement work (0 = double)
+  int refine_fallbacks = 0;
 };
 
 void validate_phases(const std::vector<DatagenPhase>& phases) {
@@ -69,8 +73,33 @@ void run_pipeline(const std::vector<DatagenPhase>& phases,
   const auto cache_before = cache_snapshot(phases);
 
   TaskQueue queue(opts.workers);
-  const std::size_t inflight =
-      opts.max_inflight > 0 ? opts.max_inflight : queue.worker_count() + 2;
+  std::size_t inflight = opts.max_inflight;
+  if (inflight == 0) {
+    inflight = queue.worker_count() + 2;
+    if (opts.memory_budget_mb > 0) {
+      // Clamp the window so its resident prepared factorizations fit the
+      // budget. The estimate is the worst (largest-grid) phase: every window
+      // slot may hold a prepared backend for any phase.
+      std::size_t per_pattern = 0;
+      for (const auto& ph : phases) {
+        per_pattern = std::max(per_pattern,
+                               solver::DirectBandedBackend::estimate_factor_bytes(
+                                   ph.device->spec, ph.device->sim_options.precision));
+      }
+      const std::size_t budget_bytes = opts.memory_budget_mb * (std::size_t{1} << 20);
+      if (per_pattern > 0) {
+        const std::size_t cap = std::max<std::size_t>(1, budget_bytes / per_pattern);
+        if (cap < inflight) {
+          inflight = cap;
+          if (opts.log != nullptr) {
+            *opts.log << "[datagen] memory budget " << opts.memory_budget_mb
+                      << " MB caps in-flight window at " << inflight << " (est. "
+                      << (per_pattern >> 20) << " MB/pattern)\n";
+          }
+        }
+      }
+    }
+  }
 
   std::deque<std::pair<WorkItem, Future<data::PreparedPattern>>> prep_win;
   std::deque<std::pair<WorkItem, Future<SolvedPattern>>> solve_win;
@@ -113,6 +142,8 @@ void run_pipeline(const std::vector<DatagenPhase>& phases,
             for (const auto& b : pp.group_backends) {
               sp.factorizations += b->factorization_count();
               sp.solves += b->solve_count();
+              sp.refine_iterations += b->refinement_iteration_count();
+              sp.refine_fallbacks += b->refinement_fallback_count();
             }
             return sp;
           }));
@@ -128,6 +159,8 @@ void run_pipeline(const std::vector<DatagenPhase>& phases,
       stats.samples += sp.records.size();
       stats.factorizations += sp.factorizations;
       stats.solves += sp.solves;
+      stats.refine_iterations += sp.refine_iterations;
+      stats.refine_fallbacks += sp.refine_fallbacks;
       commit(w, std::move(sp));
       ++stats.patterns;
       ++done;
@@ -175,6 +208,8 @@ io::JsonValue DatagenStats::to_json() const {
   v["samples"] = static_cast<double>(samples);
   v["factorizations"] = factorizations;
   v["solves"] = solves;
+  v["refine_iterations"] = refine_iterations;
+  v["refine_fallbacks"] = refine_fallbacks;
   v["seconds"] = seconds;
   v["patterns_per_s"] = patterns_per_s();
   v["solves_per_s"] = solves_per_s();

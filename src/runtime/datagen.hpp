@@ -45,6 +45,13 @@ struct DatagenOptions {
   bool resume = false;             // skip manifest-committed patterns
   std::size_t workers = 0;         // pipeline task workers; 0 = math::num_threads()
   std::size_t max_inflight = 0;    // in-flight patterns; 0 = workers + 2
+  /// Soft cap (MB) on the factor memory the in-flight window may hold
+  /// resident at once. When set (and max_inflight is 0), the window is
+  /// workers + 2 clamped down so that window * per-pattern factor-byte
+  /// estimate (solver::DirectBandedBackend::estimate_factor_bytes over the
+  /// largest phase grid) stays within the budget — large grids stop
+  /// over-committing memory. Never clamps below 1; 0 disables.
+  std::size_t memory_budget_mb = 0;
   double progress_every_s = 10.0;  // throughput log cadence; <= 0 disables
   std::ostream* log = nullptr;
   /// Test hook, called after each pattern commits (argument: patterns
@@ -63,6 +70,10 @@ struct DatagenStats {
   std::size_t samples = 0;
   int factorizations = 0;
   int solves = 0;
+  /// Mixed-precision solve accounting (both 0 under double precision):
+  /// refinement steps taken and double-factorization fallbacks triggered.
+  int refine_iterations = 0;
+  int refine_fallbacks = 0;
   double seconds = 0.0;
   std::size_t cache_hits = 0, cache_misses = 0;  // device factorization cache
 

@@ -28,7 +28,8 @@ void verify_finite(nn::Module& model, const std::string& id) {
 std::shared_ptr<const ServedModel> ModelRegistry::load(
     const std::string& id, const nn::ModelConfig& config,
     const std::string& checkpoint, maps::train::EncodingOptions encoding,
-    maps::train::Standardizer standardizer) {
+    maps::train::Standardizer standardizer,
+    const maps::train::StandardizerOverrides& overrides) {
   auto bundle = std::make_shared<ServedModel>();
   bundle->id = id;
   bundle->config = config;
@@ -40,7 +41,25 @@ std::shared_ptr<const ServedModel> ModelRegistry::load(
   std::unique_ptr<nn::Module> model = nn::make_model(config);
   if (!checkpoint.empty()) {
     nn::load_parameters(*model, checkpoint);  // throws on name/shape mismatch
+    // Training provenance: the trainer embeds its fitted standardizer as
+    // "std_*" metadata, so serving no longer depends on the values being
+    // duplicated into the serve config.
+    const auto meta = nn::load_metadata(checkpoint);
+    maps::train::StandardizerOverrides from_meta;
+    auto pick = [&meta](const char* key) -> std::optional<double> {
+      const auto it = meta.find(key);
+      if (it == meta.end()) return std::nullopt;
+      return it->second;
+    };
+    from_meta.eps_lo = pick("std_eps_lo");
+    from_meta.eps_hi = pick("std_eps_hi");
+    from_meta.field_scale = pick("std_field_scale");
+    from_meta.j_scale = pick("std_j_scale");
+    from_meta.lambda_ref = pick("std_lambda_ref");
+    from_meta.apply(bundle->standardizer);
   }
+  // Config-explicit values outrank checkpoint provenance.
+  overrides.apply(bundle->standardizer);
   verify_finite(*model, id);
   bundle->param_count = model->num_parameters();
   bundle->model = std::shared_ptr<const nn::Module>(std::move(model));

@@ -43,10 +43,16 @@ class ModelRegistry {
   /// and publish it as the active model. Throws on any checkpoint mismatch
   /// or non-finite parameter; the previously active model stays published in
   /// that case.
+  ///
+  /// Standardizer precedence: `standardizer` is the base (defaults); "std_*"
+  /// keys in the checkpoint's metadata trailer (written by the trainer, see
+  /// nn::save_parameters) replace base fields; `overrides` (config-explicit
+  /// values) win over both.
   std::shared_ptr<const ServedModel> load(
       const std::string& id, const nn::ModelConfig& config,
       const std::string& checkpoint, maps::train::EncodingOptions encoding = {},
-      maps::train::Standardizer standardizer = {});
+      maps::train::Standardizer standardizer = {},
+      const maps::train::StandardizerOverrides& overrides = {});
 
   /// Publish an already-constructed module (in-process embedding: the
   /// trainer handing its model straight to a service, benches, tests).

@@ -246,6 +246,7 @@ ServeResponse PredictionService::solve_high(const ServeRequest& request) {
                                ? solver::FidelityLevel::High
                                : request.fidelity);
   sim_options.cache = solver_cache_;
+  sim_options.precision = options_.solver_precision;
   fdfd::Simulation sim(request.spec, request.eps, request.omega, sim_options);
   ServeResponse response;
   response.Ez = sim.solve(request.J);
@@ -273,6 +274,10 @@ ServeStatsSnapshot PredictionService::stats() const {
   s.solver_requests = solver_requests_.load();
   s.escalations = escalations_.load();
   s.errors = errors_.load();
+  s.solver_refine_iterations =
+      static_cast<std::uint64_t>(solver_cache_->refinement_iteration_count());
+  s.solver_refine_fallbacks =
+      static_cast<std::uint64_t>(solver_cache_->refinement_fallback_count());
   {
     std::lock_guard lk(latency_mu_);
     s.total_latency_ms = total_latency_ms_;

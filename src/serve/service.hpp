@@ -80,6 +80,10 @@ struct ServeOptions {
   double escalate_rms_factor = 0.0;
   /// Prepared high-fidelity operators kept across escalation solves.
   std::size_t solver_cache_capacity = 4;
+  /// Factor precision of the escalation solver tier: Mixed halves the bytes
+  /// each cached factorization holds (~2x the prepared operators per byte
+  /// budget) and refines solves back to double accuracy.
+  solver::SolverPrecision solver_precision = solver::default_solver_precision();
 };
 
 /// Monotone service counters (snapshot).
@@ -90,6 +94,11 @@ struct ServeStatsSnapshot {
   std::uint64_t solver_requests = 0;     // explicit fidelity-high dispatches
   std::uint64_t escalations = 0;         // confidence-screen failures
   std::uint64_t errors = 0;
+  // Mixed-precision accounting of the escalation solver tier (0 under
+  // double precision): refinement steps taken and double-factorization
+  // fallbacks across the cached backends.
+  std::uint64_t solver_refine_iterations = 0;
+  std::uint64_t solver_refine_fallbacks = 0;
   double total_latency_ms = 0.0;
   double max_latency_ms = 0.0;
   BatcherStats batcher;

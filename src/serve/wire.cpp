@@ -143,6 +143,10 @@ JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
   v["solver_requests"] = static_cast<double>(stats.solver_requests);
   v["escalations"] = static_cast<double>(stats.escalations);
   v["errors"] = static_cast<double>(stats.errors);
+  v["solver_refine_iterations"] =
+      static_cast<double>(stats.solver_refine_iterations);
+  v["solver_refine_fallbacks"] =
+      static_cast<double>(stats.solver_refine_fallbacks);
   v["batches"] = static_cast<double>(stats.batcher.batches);
   v["avg_batch"] = stats.batcher.avg_batch();
   v["max_batch_seen"] = static_cast<double>(stats.batcher.max_batch_seen);

@@ -1,5 +1,7 @@
 #include "solver/backend.hpp"
 
+#include <cstdlib>
+
 #include "runtime/task_queue.hpp"
 #include "solver/coarse.hpp"
 #include "solver/direct.hpp"
@@ -30,6 +32,26 @@ FidelityLevel fidelity_from_name(const std::string& name) {
   if (name == "medium") return FidelityLevel::Medium;
   if (name == "high") return FidelityLevel::High;
   throw MapsError("fidelity must be low | medium | high, got '" + name + "'");
+}
+
+const char* solver_precision_name(SolverPrecision precision) {
+  switch (precision) {
+    case SolverPrecision::Double: return "double";
+    case SolverPrecision::Mixed: return "mixed";
+  }
+  return "unknown";
+}
+
+SolverPrecision solver_precision_from_name(const std::string& name) {
+  if (name == "double") return SolverPrecision::Double;
+  if (name == "mixed") return SolverPrecision::Mixed;
+  throw MapsError("solver_precision must be double | mixed, got '" + name + "'");
+}
+
+SolverPrecision default_solver_precision() {
+  const char* env = std::getenv("MAPS_SOLVER_PRECISION");
+  if (env != nullptr && std::string(env) == "mixed") return SolverPrecision::Mixed;
+  return SolverPrecision::Double;
 }
 
 SolverKind solver_kind_for(FidelityLevel level) {
@@ -85,12 +107,14 @@ std::unique_ptr<SolverBackend> make_backend(const grid::GridSpec& spec,
                                             const SolverConfig& config) {
   switch (config.kind) {
     case SolverKind::Direct:
-      return std::make_unique<DirectBandedBackend>(spec, eps, omega, pml);
+      return std::make_unique<DirectBandedBackend>(spec, eps, omega, pml,
+                                                   config.precision, config.refinement);
     case SolverKind::Iterative:
       return std::make_unique<IterativeBackend>(spec, eps, omega, pml, config.iterative);
     case SolverKind::CoarseGrid:
       return std::make_unique<CoarseGridBackend>(spec, eps, omega, pml,
-                                                 config.coarse_factor);
+                                                 config.coarse_factor, config.precision,
+                                                 config.refinement);
   }
   throw MapsError("make_backend: unknown solver kind");
 }

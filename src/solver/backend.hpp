@@ -32,6 +32,12 @@ namespace maps::solver {
 
 enum class SolverKind { Direct, Iterative, CoarseGrid };
 
+/// Factor precision of the direct banded path. Double is the exact kernel;
+/// Mixed factorizes in fp32 (half the factor bytes, ~2x effective bandwidth)
+/// and iteratively refines each solve back to double accuracy, falling back
+/// to a double factorization when refinement stalls.
+enum class SolverPrecision { Double, Mixed };
+
 /// The multi-fidelity axis (Sec. III-A.3): High = exact direct solve,
 /// Medium = iterative to a residual tolerance, Low = coarse-grid surrogate.
 enum class FidelityLevel { Low, Medium, High };
@@ -41,11 +47,36 @@ const char* fidelity_name(FidelityLevel level);
 FidelityLevel fidelity_from_name(const std::string& name);
 SolverKind solver_kind_for(FidelityLevel level);
 
+const char* solver_precision_name(SolverPrecision precision);
+SolverPrecision solver_precision_from_name(const std::string& name);
+/// The session default: Mixed when the MAPS_SOLVER_PRECISION environment
+/// variable is set to "mixed", Double otherwise. Read per call (like the
+/// MAPS_SOLVER_INTERLEAVED fallback), so tests, benches and the CI mixed leg
+/// can toggle it with setenv without touching configs.
+SolverPrecision default_solver_precision();
+
+/// Tuning of the mixed-precision iterative refinement loop (Direct backends
+/// with SolverPrecision::Mixed).
+struct RefinementOptions {
+  /// Converged when ||b - A x|| / ||b|| drops to rtol (double-accumulated
+  /// residual against the CSR operator). The default sits at the double
+  /// round-off floor so refined solves pass the 1e-12 agreement tests.
+  double rtol = 1e-13;
+  /// Refinement iteration cap; hitting it (or stalling — a step that fails
+  /// to shrink the residual by at least 2x) falls back to a double
+  /// factorization. 0 forces the fallback on the first solve (test hook).
+  int max_iters = 20;
+};
+
 /// Everything needed to pick and tune a backend for one operator.
 struct SolverConfig {
   SolverKind kind = SolverKind::Direct;
   maps::math::BicgstabOptions iterative;
   int coarse_factor = 2;  // grid coarsening of the Low-fidelity path
+  /// Factor precision of the direct path (defaults to the
+  /// MAPS_SOLVER_PRECISION environment override, else Double).
+  SolverPrecision precision = default_solver_precision();
+  RefinementOptions refinement;
 
   /// Config preset for a fidelity level (kind chosen per solver_kind_for).
   static SolverConfig for_fidelity(FidelityLevel level);
@@ -57,6 +88,8 @@ struct SolverConfig {
 struct SolverStats {
   int factorizations = 0;  // LU factorizations (0 for purely iterative)
   int solves = 0;          // forward + transposed solves, batch entries included
+  int refine_iterations = 0;  // mixed-precision refinement steps taken
+  int refine_fallbacks = 0;   // refinement stalls that re-factorized in double
 };
 
 class SolverBackend {
@@ -105,7 +138,13 @@ class SolverBackend {
 
   virtual int factorization_count() const { return factorizations_.load(); }
   virtual int solve_count() const { return solves_.load(); }
-  SolverStats stats() const { return {factorization_count(), solve_count()}; }
+  /// Mixed-precision refinement accounting (0 on every non-mixed backend).
+  virtual int refinement_iteration_count() const { return refine_iterations_.load(); }
+  virtual int refinement_fallback_count() const { return refine_fallbacks_.load(); }
+  SolverStats stats() const {
+    return {factorization_count(), solve_count(), refinement_iteration_count(),
+            refinement_fallback_count()};
+  }
 
   /// Bytes of resident solve state held by this backend (band storage, LU
   /// factors, cached transposes) — whatever is allocated *now*, which for
@@ -116,6 +155,8 @@ class SolverBackend {
  protected:
   std::atomic<int> factorizations_{0};
   std::atomic<int> solves_{0};
+  std::atomic<int> refine_iterations_{0};
+  std::atomic<int> refine_fallbacks_{0};
 };
 
 /// Construct a backend for one (spec, eps, omega, pml) problem.

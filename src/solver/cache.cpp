@@ -42,6 +42,10 @@ ProblemKey make_problem_key(const grid::GridSpec& spec, const maps::math::RealGr
   // interleaved fallback at construction.
   if (config.kind != SolverKind::Iterative) {
     key.interleaved = maps::math::interleaved_fallback_requested();
+    // The interleaved fallback has no fp32 kernel: backends downgrade a
+    // mixed request to double there, and the key mirrors that so both
+    // spellings land on one entry.
+    key.precision = key.interleaved ? SolverPrecision::Double : config.precision;
   }
   if (config.kind == SolverKind::Iterative) {
     // Tolerances are part of an iterative backend's identity: a backend
@@ -164,6 +168,24 @@ int FactorizationCache::solve_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   int total = 0;
   for (const auto& [key, backend] : entries_) total += backend->solve_count();
+  return total;
+}
+
+int FactorizationCache::refinement_iteration_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const auto& [key, backend] : entries_) {
+    total += backend->refinement_iteration_count();
+  }
+  return total;
+}
+
+int FactorizationCache::refinement_fallback_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int total = 0;
+  for (const auto& [key, backend] : entries_) {
+    total += backend->refinement_fallback_count();
+  }
   return total;
 }
 

@@ -44,6 +44,10 @@ struct ProblemKey {
   // made while the fallback is requested (or vice versa), so the flag is
   // part of the problem identity.
   bool interleaved = false;
+  // Factor precision is likewise latched at construction: a mixed-precision
+  // (fp32 + refinement) backend must not answer a lookup asking for the
+  // exact double path, and vice versa.
+  SolverPrecision precision = SolverPrecision::Double;
 
   bool operator==(const ProblemKey&) const = default;
 };
@@ -97,6 +101,10 @@ class FactorizationCache {
   int factorization_count() const;
   /// Total solves answered by backends currently in the cache.
   int solve_count() const;
+  /// Total mixed-precision refinement iterations / double fallbacks across
+  /// backends currently in the cache (0 everywhere under double precision).
+  int refinement_iteration_count() const;
+  int refinement_fallback_count() const;
   void clear();
 
  private:

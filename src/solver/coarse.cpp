@@ -23,7 +23,9 @@ fdfd::PmlSpec coarsened_pml(const fdfd::PmlSpec& pml, int factor) {
 }  // namespace
 
 CoarseGridBackend::CoarseGridBackend(const grid::GridSpec& spec, const RealGrid& eps,
-                                     double omega, const fdfd::PmlSpec& pml, int factor)
+                                     double omega, const fdfd::PmlSpec& pml, int factor,
+                                     SolverPrecision precision,
+                                     const RefinementOptions& refinement)
     : fine_spec_(spec), fine_eps_(eps), omega_(omega), pml_(pml), factor_(factor) {
   maps::require(factor >= 2, "CoarseGridBackend: factor must be >= 2");
   maps::require(spec.nx >= 2 * factor && spec.ny >= 2 * factor,
@@ -33,7 +35,8 @@ CoarseGridBackend::CoarseGridBackend(const grid::GridSpec& spec, const RealGrid&
   const RealGrid coarse_eps =
       maps::math::bilinear_resample(eps, coarse_spec_.nx, coarse_spec_.ny);
   inner_ = std::make_unique<DirectBandedBackend>(coarse_spec_, coarse_eps, omega,
-                                                 coarsened_pml(pml, factor));
+                                                 coarsened_pml(pml, factor), precision,
+                                                 refinement);
 }
 
 std::vector<cplx> CoarseGridBackend::restrict_rhs(const std::vector<cplx>& rhs) const {

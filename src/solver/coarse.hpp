@@ -25,7 +25,9 @@ namespace maps::solver {
 class CoarseGridBackend final : public SolverBackend {
  public:
   CoarseGridBackend(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
-                    double omega, const fdfd::PmlSpec& pml, int factor = 2);
+                    double omega, const fdfd::PmlSpec& pml, int factor = 2,
+                    SolverPrecision precision = default_solver_precision(),
+                    const RefinementOptions& refinement = {});
 
   std::string name() const override { return "coarse_grid"; }
   void factorize() override { inner_->factorize(); }
@@ -42,6 +44,12 @@ class CoarseGridBackend final : public SolverBackend {
 
   int factorization_count() const override { return inner_->factorization_count(); }
   int solve_count() const override { return inner_->solve_count(); }
+  int refinement_iteration_count() const override {
+    return inner_->refinement_iteration_count();
+  }
+  int refinement_fallback_count() const override {
+    return inner_->refinement_fallback_count();
+  }
   std::size_t factor_bytes() const override { return inner_->factor_bytes(); }
 
   const grid::GridSpec& coarse_spec() const { return coarse_spec_; }

@@ -1,6 +1,8 @@
 #include "solver/direct.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "math/csr.hpp"
 #include "math/parallel.hpp"
@@ -9,10 +11,24 @@ namespace maps::solver {
 
 bool interleaved_solver_requested() { return maps::math::interleaved_fallback_requested(); }
 
+namespace {
+
+double l2_norm(const std::vector<cplx>& v) {
+  double s = 0.0;
+  for (const cplx& z : v) s += std::norm(z);
+  return std::sqrt(s);
+}
+
+}  // namespace
+
 DirectBandedBackend::DirectBandedBackend(const grid::GridSpec& spec,
                                          const maps::math::RealGrid& eps, double omega,
-                                         const fdfd::PmlSpec& pml)
+                                         const fdfd::PmlSpec& pml,
+                                         SolverPrecision precision,
+                                         const RefinementOptions& refinement)
     : interleaved_(interleaved_solver_requested()),
+      precision_(interleaved_solver_requested() ? SolverPrecision::Double : precision),
+      refinement_(refinement),
       spec_(spec), eps_(eps), omega_(omega), pml_(pml) {
   if (interleaved_) {
     // Legacy path: eager CSR assembly, band conversion at factorize().
@@ -20,21 +36,42 @@ DirectBandedBackend::DirectBandedBackend(const grid::GridSpec& spec,
     W_ = csr_op_->W;
   } else {
     // Fast path: assemble straight into split band storage; the CSR operator
-    // is only built if a consumer asks for op().
-    auto band = fdfd::assemble_banded(spec_, eps_, omega_, pml_);
-    W_ = std::move(band.W);
-    split_.emplace(std::move(band.AB));
+    // is only built if a consumer asks for op() (or the mixed path needs
+    // refinement residuals).
+    if (precision_ == SolverPrecision::Mixed) {
+      // Assemble directly into fp32 band storage: the coefficients round to
+      // float at the store (identical to a double-assemble + convert), and
+      // the double-sized band is never allocated or written — the resident
+      // factor state is half-sized from construction on.
+      auto band = fdfd::assemble_banded_t<float>(spec_, eps_, omega_, pml_);
+      W_ = std::move(band.W);
+      split_f_.emplace(std::move(band.AB));
+      mixed_active_.store(true);
+    } else {
+      auto band = fdfd::assemble_banded(spec_, eps_, omega_, pml_);
+      W_ = std::move(band.W);
+      split_.emplace(std::move(band.AB));
+    }
   }
 }
 
-DirectBandedBackend::DirectBandedBackend(fdfd::FdfdOperator op)
+DirectBandedBackend::DirectBandedBackend(fdfd::FdfdOperator op,
+                                         SolverPrecision precision,
+                                         const RefinementOptions& refinement)
     : interleaved_(interleaved_solver_requested()),
+      precision_(interleaved_solver_requested() ? SolverPrecision::Double : precision),
+      refinement_(refinement),
       spec_(op.spec), omega_(op.omega), W_(op.W) {
   csr_op_ = std::move(op);
+  if (!interleaved_ && precision_ == SolverPrecision::Mixed) mixed_active_.store(true);
 }
 
 void DirectBandedBackend::factorize() {
   std::lock_guard<std::mutex> lock(mu_);
+  factorize_locked();
+}
+
+void DirectBandedBackend::factorize_locked() {
   if (interleaved_) {
     if (!lu_) {
       lu_ = maps::math::to_band(csr_op_->A);
@@ -43,14 +80,99 @@ void DirectBandedBackend::factorize() {
     }
     return;
   }
+  if (mixed_active_.load()) {
+    if (!split_f_) {
+      // Constructed from an assembled operator: csr_op_ was set in the
+      // constructor and is immutable, so reading it here is race-free.
+      split_f_.emplace(
+          maps::math::SplitBandMatrixF(maps::math::to_split_band(csr_op_->A)));
+    }
+    if (split_f_->factorized()) return;
+    try {
+      split_f_->factorize();
+      ++factorizations_;
+      return;
+    } catch (const std::exception&) {
+      // Singular in fp32 (pivot under/overflow) while the double operator
+      // may be fine — take the fallback instead of failing the solve.
+      ++refine_fallbacks_;
+      mixed_active_.store(false);
+    }
+  }
   if (!split_) {
-    // Constructed from an assembled operator: band storage comes from CSR.
-    split_ = maps::math::to_split_band(csr_op_->A);
+    if (eps_.size() > 0) {
+      // Problem definition in hand (mixed fallback dropped the double band
+      // at construction): re-assemble straight into band storage.
+      split_.emplace(fdfd::assemble_banded(spec_, eps_, omega_, pml_).AB);
+    } else {
+      split_ = maps::math::to_split_band(csr_op_->A);
+    }
   }
   if (!split_->factorized()) {
     split_->factorize();
     ++factorizations_;
   }
+}
+
+void DirectBandedBackend::fall_back_to_double() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!mixed_active_.load()) return;  // another thread already fell back
+  ++refine_fallbacks_;
+  mixed_active_.store(false);
+  // The fp32 factors stay resident: concurrent solves may still be reading
+  // them mid-refinement; they re-check mixed_active_ afterwards and answer
+  // from the double factors built here.
+  factorize_locked();
+}
+
+// Classical mixed-precision iterative refinement over a batch: residuals are
+// accumulated in double against the CSR operator, corrections come from one
+// fused fp32 multi-RHS sweep per round. Converged right-hand sides drop out
+// of the round; a stalled one (step shrinking the residual < 2x) or the
+// iteration cap flags the whole batch for the double fallback.
+bool DirectBandedBackend::refine_batch(std::span<const std::vector<cplx>> rhs,
+                                       std::vector<std::vector<cplx>>& xs,
+                                       bool transposed) {
+  const auto& A = op().A;
+  const std::size_t nrhs = rhs.size();
+  std::vector<double> bnorm(nrhs), prev_rel(nrhs, std::numeric_limits<double>::max());
+  std::vector<bool> done(nrhs, false);
+  for (std::size_t r = 0; r < nrhs; ++r) bnorm[r] = l2_norm(rhs[r]);
+
+  for (int it = 0; it <= refinement_.max_iters; ++it) {
+    std::vector<std::vector<cplx>> residuals;
+    std::vector<std::size_t> active;
+    for (std::size_t r = 0; r < nrhs; ++r) {
+      if (done[r]) continue;
+      std::vector<cplx> res =
+          transposed ? A.matvec_transposed(xs[r]) : A.matvec(xs[r]);
+      for (std::size_t t = 0; t < res.size(); ++t) res[t] = rhs[r][t] - res[t];
+      const double rnorm = l2_norm(res);
+      const double rel = bnorm[r] > 0.0 ? rnorm / bnorm[r] : rnorm;
+      if (rel <= refinement_.rtol) {
+        done[r] = true;
+        continue;
+      }
+      if (it >= refinement_.max_iters) return false;  // cap hit, still short
+      if (rel > 0.5 * prev_rel[r]) return false;      // stalled
+      prev_rel[r] = rel;
+      active.push_back(r);
+      residuals.push_back(std::move(res));
+    }
+    if (active.empty()) return true;
+    if (transposed) {
+      split_f_->solve_transposed_multi_inplace(residuals);
+    } else {
+      split_f_->solve_multi_inplace(residuals);
+    }
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      auto& x = xs[active[k]];
+      const auto& d = residuals[k];
+      for (std::size_t t = 0; t < x.size(); ++t) x[t] += d[t];
+    }
+    refine_iterations_ += static_cast<int>(active.size());
+  }
+  return false;
 }
 
 std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
@@ -59,9 +181,20 @@ std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
   std::vector<cplx> x = rhs;
   if (interleaved_) {
     lu_->solve_inplace(x);
-  } else {
-    split_->solve_inplace(x);
+    return x;
   }
+  if (mixed_active_.load()) {
+    split_f_->solve_inplace(x);
+    std::vector<std::vector<cplx>> xs;
+    xs.push_back(std::move(x));
+    if (refine_batch(std::span<const std::vector<cplx>>(&rhs, 1), xs,
+                     /*transposed=*/false)) {
+      return std::move(xs[0]);
+    }
+    fall_back_to_double();
+    x = rhs;
+  }
+  split_->solve_inplace(x);
   return x;
 }
 
@@ -71,9 +204,20 @@ std::vector<cplx> DirectBandedBackend::solve_transposed(const std::vector<cplx>&
   std::vector<cplx> x = rhs;
   if (interleaved_) {
     lu_->solve_transposed_inplace(x);
-  } else {
-    split_->solve_transposed_inplace(x);
+    return x;
   }
+  if (mixed_active_.load()) {
+    split_f_->solve_transposed_inplace(x);
+    std::vector<std::vector<cplx>> xs;
+    xs.push_back(std::move(x));
+    if (refine_batch(std::span<const std::vector<cplx>>(&rhs, 1), xs,
+                     /*transposed=*/true)) {
+      return std::move(xs[0]);
+    }
+    fall_back_to_double();
+    x = rhs;
+  }
+  split_->solve_transposed_inplace(x);
   return x;
 }
 
@@ -83,6 +227,7 @@ std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
   solves_ += static_cast<int>(rhs.size());
   std::vector<std::vector<cplx>> out(rhs.begin(), rhs.end());
   if (out.empty()) return out;
+  const bool mixed = mixed_active_.load();
 
   // Split the batch into one contiguous slice per worker; each slice runs the
   // multi-RHS sweep, so with a single thread the whole batch still shares one
@@ -100,6 +245,7 @@ std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
   // path); capture the first one and rethrow on the calling thread.
   std::mutex err_mu;
   std::string first_error;
+  std::atomic<bool> need_fallback{false};
   maps::math::parallel_for(0, n_slices, [&](std::size_t s) {
     const std::size_t lo = s * per_slice;
     const std::size_t hi = std::min(out.size(), lo + per_slice);
@@ -112,6 +258,15 @@ std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
           lu_->solve_transposed_multi_inplace(slice);
         } else {
           lu_->solve_multi_inplace(slice);
+        }
+      } else if (mixed) {
+        if (transposed) {
+          split_f_->solve_transposed_multi_inplace(slice);
+        } else {
+          split_f_->solve_multi_inplace(slice);
+        }
+        if (!refine_batch(rhs.subspan(lo, hi - lo), slice, transposed)) {
+          need_fallback.store(true);
         }
       } else {
         if (transposed) {
@@ -127,6 +282,14 @@ std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
     }
   });
   if (!first_error.empty()) throw MapsError(first_error);
+  if (need_fallback.load()) {
+    // Some slice's refinement stalled: build the double factors and
+    // re-answer the whole batch on the exact path (rare, so the duplicated
+    // work is acceptable; correctness over partially refined results).
+    fall_back_to_double();
+    solves_ -= static_cast<int>(rhs.size());  // the re-run recounts them
+    return batch_solve_impl(rhs, transposed);
+  }
   return out;
 }
 
@@ -150,8 +313,23 @@ const fdfd::FdfdOperator& DirectBandedBackend::op() const {
 
 std::size_t DirectBandedBackend::factor_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (split_) return split_->storage_bytes();
-  return lu_ ? lu_->storage_bytes() : 0;
+  std::size_t bytes = 0;
+  if (split_) bytes += split_->storage_bytes();
+  if (split_f_) bytes += split_f_->storage_bytes();
+  if (lu_) bytes += lu_->storage_bytes();
+  return bytes;
+}
+
+std::size_t DirectBandedBackend::estimate_factor_bytes(const grid::GridSpec& spec,
+                                                       SolverPrecision precision) {
+  const auto n = static_cast<std::size_t>(spec.cells());
+  const auto bw = static_cast<std::size_t>(spec.nx);  // kl = ku = nx
+  const std::size_t ldab = 3 * bw + 1;                // 2*kl + ku + 1
+  const std::size_t scalar =
+      (precision == SolverPrecision::Mixed && !interleaved_solver_requested())
+          ? sizeof(float)
+          : sizeof(double);
+  return 2 * ldab * n * scalar + n * sizeof(index_t);
 }
 
 }  // namespace maps::solver

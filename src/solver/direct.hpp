@@ -9,13 +9,31 @@
 // S-parameter sweeps, the invdes engine, the datagen prep stage — inherits
 // this path through make_backend/make_cached_backend.
 //
+// SolverPrecision::Mixed swaps the factor storage for the fp32 sibling
+// (math::SplitBandMatrixF — assembled directly in float32 by
+// fdfd::assemble_banded_t<float>, half the bytes, twice the effective
+// bandwidth through the O(n*bw^2) elimination sweep) and recovers double
+// accuracy by classical iterative refinement: after the fp32 solve, iterate
+//   r = b - A x        (residual accumulated in double against the CSR op)
+//   d = solve(LU_f32, r)
+//   x += d
+// until the relative residual reaches RefinementOptions::rtol. Each step
+// shrinks the error by ~cond(A) * eps_f32, so well-conditioned FDFD
+// operators converge in a handful of iterations; if a step fails to shrink
+// the residual 2x (ill-conditioned / PML-heavy operators) or the iteration
+// cap is hit, the backend falls back to a double factorization — sticky for
+// the backend's lifetime — and re-answers from the exact path. Refinement
+// steps and fallbacks are counted in the backend stats.
+//
 // MAPS_SOLVER_INTERLEAVED=1 (read per construction, so tests can toggle it
-// with setenv) falls back to the legacy interleaved BandMatrix<cplx> kernel.
+// with setenv) falls back to the legacy interleaved BandMatrix<cplx> kernel
+// (always double; a mixed request downgrades to double there).
 // Pivot order is identical between the two, so solutions agree to rounding
 // (~1e-15 relative); the equivalence is pinned in tests/solver.
 //
 // The CSR fine-grid operator is assembled lazily on op() access — the hot
-// paths only ever need W, which the banded assembly already provides. The
+// paths only ever need W, which the banded assembly already provides (the
+// mixed path triggers it on the first refined solve for residuals). The
 // factorization is computed lazily on first solve (thread-safe) and reused
 // for every subsequent forward, transposed and batched solve. Batches are
 // split across the thread pool; each worker's slice goes through the
@@ -23,6 +41,7 @@
 // slice instead of once per right-hand side.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 
@@ -37,10 +56,14 @@ bool interleaved_solver_requested();
 class DirectBandedBackend final : public SolverBackend {
  public:
   DirectBandedBackend(const grid::GridSpec& spec, const maps::math::RealGrid& eps,
-                      double omega, const fdfd::PmlSpec& pml);
+                      double omega, const fdfd::PmlSpec& pml,
+                      SolverPrecision precision = default_solver_precision(),
+                      const RefinementOptions& refinement = {});
   /// Take ownership of an already-assembled operator (band storage is then
   /// converted from the CSR matrix at factorization time).
-  explicit DirectBandedBackend(fdfd::FdfdOperator op);
+  explicit DirectBandedBackend(fdfd::FdfdOperator op,
+                               SolverPrecision precision = default_solver_precision(),
+                               const RefinementOptions& refinement = {});
 
   std::string name() const override { return "direct_banded"; }
   void factorize() override;
@@ -62,20 +85,54 @@ class DirectBandedBackend final : public SolverBackend {
   /// false only under MAPS_SOLVER_INTERLEAVED).
   bool split_path() const { return !interleaved_; }
 
+  /// The precision this backend was configured with (Mixed downgrades to
+  /// Double under the interleaved fallback).
+  SolverPrecision precision() const { return precision_; }
+  /// True while solves are answered by the fp32 factors + refinement. Flips
+  /// to false permanently once refinement has stalled and the backend fell
+  /// back to double factors.
+  bool mixed_active() const { return mixed_active_.load(); }
+
   /// Bytes of band solve state. On the split path the band array exists
   /// (and is resident) from construction, so this reports its size
-  /// immediately — factorization happens in place and adds nothing. The
-  /// interleaved fallback converts CSR to band lazily, so it reports 0
+  /// immediately — factorization happens in place and adds nothing; under
+  /// SolverPrecision::Mixed this is the fp32 array, i.e. ~half the double
+  /// footprint (plus the double factors too after a refinement fallback).
+  /// The interleaved fallback converts CSR to band lazily, so it reports 0
   /// until the first factorize(). Do not use == 0 as a "not yet
   /// factorized" probe. Locked: the cache polls this concurrently with
   /// lazy factorization.
   std::size_t factor_bytes() const override;
 
+  /// Predicted factor_bytes() for a backend built from `spec` at `precision`,
+  /// without assembling anything: the split band array is 2 scalar planes of
+  /// (2*kl+ku+1) x n with kl = ku = nx, plus the pivot vector. Mixed counts
+  /// fp32 planes (half the double footprint) unless the interleaved fallback
+  /// is active, which has no fp32 kernel. Used by capacity planners (e.g.
+  /// the datagen memory budget) that must size windows before any solve.
+  static std::size_t estimate_factor_bytes(const grid::GridSpec& spec,
+                                           SolverPrecision precision);
+
  private:
   std::vector<std::vector<cplx>> batch_solve_impl(
       std::span<const std::vector<cplx>> rhs, bool transposed);
+  /// Refine the fp32 solutions in `xs` (solved from `rhs`) to double
+  /// accuracy in place. Returns false when refinement stalled or hit the
+  /// iteration cap and the caller must fall back to the double path.
+  bool refine_batch(std::span<const std::vector<cplx>> rhs,
+                    std::vector<std::vector<cplx>>& xs, bool transposed);
+  /// Build + factorize the double factors after a refinement stall (or an
+  /// fp32 factorization failure). Idempotent; flips mixed_active_ off. The
+  /// fp32 factors are left in place so concurrent in-flight refinements
+  /// stay valid — they re-check mixed_active_ and re-solve on the double
+  /// path themselves.
+  void fall_back_to_double();
+  void factorize_locked();
 
   bool interleaved_ = false;
+  SolverPrecision precision_ = SolverPrecision::Double;
+  RefinementOptions refinement_;
+  std::atomic<bool> mixed_active_{false};
 
   // Problem definition for the lazy CSR assembly (unused when the backend
   // was handed an already-assembled operator).
@@ -85,8 +142,9 @@ class DirectBandedBackend final : public SolverBackend {
   fdfd::PmlSpec pml_;
   std::vector<cplx> W_;
 
-  mutable std::mutex mu_;  // guards lazy factorization
+  mutable std::mutex mu_;  // guards lazy factorization + fallback
   std::optional<maps::math::SplitBandMatrix> split_;
+  std::optional<maps::math::SplitBandMatrixF> split_f_;  // mixed-precision path
   std::optional<maps::math::BandMatrix<cplx>> lu_;  // interleaved fallback
 
   mutable std::mutex op_mu_;  // guards lazy CSR assembly

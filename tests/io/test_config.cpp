@@ -223,3 +223,72 @@ TEST(Config, DataGenShardValidation) {
                    mio::json_parse(R"({"shard_index": -1})")),
                maps::MapsError);
 }
+
+TEST(Config, SolverPrecisionKeysAndRoundTrip) {
+  const auto cfg = mio::DataGenConfig::from_json(mio::json_parse(
+      R"({"solver_precision": "mixed", "refine_rtol": 1e-11,
+          "refine_max_iters": 7})"));
+  EXPECT_EQ(cfg.solver.config.precision, maps::solver::SolverPrecision::Mixed);
+  EXPECT_DOUBLE_EQ(cfg.solver.config.refinement.rtol, 1e-11);
+  EXPECT_EQ(cfg.solver.config.refinement.max_iters, 7);
+
+  const auto back = mio::DataGenConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.solver.config.precision, maps::solver::SolverPrecision::Mixed);
+  EXPECT_DOUBLE_EQ(back.solver.config.refinement.rtol, 1e-11);
+  EXPECT_EQ(back.solver.config.refinement.max_iters, 7);
+
+  // refine_max_iters = 0 is legal (the deterministic forced-fallback hook);
+  // bad spellings and negative values are not.
+  EXPECT_EQ(mio::DataGenConfig::from_json(
+                mio::json_parse(R"({"refine_max_iters": 0})"))
+                .solver.config.refinement.max_iters,
+            0);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"solver_precision": "half"})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"refine_max_iters": -1})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"refine_rtol": 0})")),
+               maps::MapsError);
+}
+
+TEST(Config, DataGenMemoryBudgetKey) {
+  const auto cfg = mio::DataGenConfig::from_json(
+      mio::json_parse(R"({"memory_budget_mb": 512})"));
+  EXPECT_EQ(cfg.memory_budget_mb, 512);
+  EXPECT_EQ(mio::DataGenConfig::from_json(cfg.to_json()).memory_budget_mb, 512);
+  // Default off; negative rejected.
+  EXPECT_EQ(mio::DataGenConfig::from_json(mio::json_parse("{}")).memory_budget_mb, 0);
+  EXPECT_THROW(mio::DataGenConfig::from_json(
+                   mio::json_parse(R"({"memory_budget_mb": -1})")),
+               maps::MapsError);
+}
+
+TEST(Config, ServeStandardizerOverridesTrackExplicitKeys) {
+  // Only keys present in the JSON become overrides: the rest must stay
+  // unset so checkpoint provenance can fill them at registry load time.
+  const auto cfg = mio::ServeConfig::from_json(
+      mio::json_parse(R"({"std_eps_hi": 9.5, "std_j_scale": 2.0})"));
+  EXPECT_TRUE(cfg.std_overrides.eps_hi.has_value());
+  EXPECT_TRUE(cfg.std_overrides.j_scale.has_value());
+  EXPECT_FALSE(cfg.std_overrides.eps_lo.has_value());
+  EXPECT_FALSE(cfg.std_overrides.field_scale.has_value());
+  EXPECT_FALSE(cfg.std_overrides.lambda_ref.has_value());
+  EXPECT_DOUBLE_EQ(*cfg.std_overrides.eps_hi, 9.5);
+  // The inline standardizer reflects the explicit values immediately.
+  EXPECT_DOUBLE_EQ(cfg.standardizer.eps_hi, 9.5);
+  EXPECT_DOUBLE_EQ(cfg.standardizer.j_scale, 2.0);
+
+  const auto plain = mio::ServeConfig::from_json(mio::json_parse("{}"));
+  EXPECT_FALSE(plain.std_overrides.any());
+}
+
+TEST(Config, ServeSolverPrecisionKey) {
+  const auto cfg = mio::ServeConfig::from_json(
+      mio::json_parse(R"({"solver_precision": "mixed"})"));
+  EXPECT_EQ(cfg.serve.solver_precision, maps::solver::SolverPrecision::Mixed);
+  const auto back = mio::ServeConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.serve.solver_precision, maps::solver::SolverPrecision::Mixed);
+}

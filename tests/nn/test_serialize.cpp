@@ -82,3 +82,52 @@ TEST(Serialize, MissingFileThrows) {
   auto m = mn::make_model(cfg);
   EXPECT_THROW(mn::load_parameters(*m, "/nonexistent/path/model.bin"), maps::MapsError);
 }
+
+TEST(Serialize, MetadataTrailerRoundTrips) {
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::Fno;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 2;
+  auto m1 = mn::make_model(cfg);
+  const auto path = temp_path("metadata");
+  mn::save_parameters(*m1, path,
+                      {{"std_eps_lo", 1.0},
+                       {"std_eps_hi", 12.25},
+                       {"std_field_scale", 0.037125}});
+
+  const auto meta = mn::load_metadata(path);
+  ASSERT_EQ(meta.size(), 3u);
+  EXPECT_DOUBLE_EQ(meta.at("std_eps_lo"), 1.0);
+  EXPECT_DOUBLE_EQ(meta.at("std_eps_hi"), 12.25);
+  EXPECT_DOUBLE_EQ(meta.at("std_field_scale"), 0.037125);
+
+  // The trailer is invisible to the parameter loader: weights round-trip
+  // exactly as they do from a trailer-free checkpoint.
+  auto m2 = mn::make_model(cfg);
+  mn::load_parameters(*m2, path);
+  auto x = random_input(2);
+  auto ref = m1->forward(x);
+  auto got = m2->forward(x);
+  for (index_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_NEAR(got[i], ref[i], 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MetadataAbsentFromLegacyCheckpoint) {
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::Fno;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 1;
+  auto m = mn::make_model(cfg);
+  const auto path = temp_path("no_metadata");
+  mn::save_parameters(*m, path);  // no trailer written
+  EXPECT_TRUE(mn::load_metadata(path).empty());
+  std::remove(path.c_str());
+}

@@ -203,3 +203,39 @@ TEST(DatagenPipeline, ResumeManifestMismatchIsRejected) {
   EXPECT_THROW(rt::generate_sharded(phases, "name-b", out, resume), maps::MapsError);
   remove_shard_files(out, 1);
 }
+
+TEST(DatagenPipeline, MemoryBudgetClampsInflightWindow) {
+  const auto ps = bend_patterns(3, 23);
+  const std::vector<rt::DatagenPhase> phases = {{&bend(), &ps, 1}};
+
+  // Reference: the default (workers + 2) window.
+  rt::DatagenStats ref_stats;
+  const auto ref = rt::generate_pipelined(phases, "budget-ref", {}, &ref_stats);
+
+  // 1 MB is far below one bend factorization, so the window must clamp to
+  // the floor of 1 and say so in the log...
+  std::ostringstream log;
+  rt::DatagenOptions tight;
+  tight.memory_budget_mb = 1;
+  tight.log = &log;
+  tight.progress_every_s = 0;
+  rt::DatagenStats stats;
+  const auto ds = rt::generate_pipelined(phases, "budget-ref", tight, &stats);
+  EXPECT_NE(log.str().find("memory budget"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("window at 1"), std::string::npos) << log.str();
+
+  // ...without changing what gets generated.
+  EXPECT_EQ(stats.samples, ref_stats.samples);
+  ASSERT_EQ(ds.samples.size(), ref.samples.size());
+  EXPECT_LT(field_rel_err(ds.samples[0].Ez, ref.samples[0].Ez), 1e-14);
+
+  // A generous budget leaves the window alone (no clamp message).
+  std::ostringstream log_wide;
+  rt::DatagenOptions wide;
+  wide.memory_budget_mb = 64 * 1024;
+  wide.log = &log_wide;
+  wide.progress_every_s = 0;
+  rt::generate_pipelined(phases, "budget-ref", wide, nullptr);
+  EXPECT_EQ(log_wide.str().find("memory budget"), std::string::npos)
+      << log_wide.str();
+}

@@ -163,4 +163,57 @@ TEST(ModelRegistry, HotSwapUnderConcurrentReadersHasNoTornReads) {
   std::remove(path_b.c_str());
 }
 
+TEST(ModelRegistry, StandardizerPrecedenceConfigOverMetadataOverBase) {
+  // Trainer side: checkpoint carrying std_* provenance in its metadata
+  // trailer, the way run_train writes it.
+  const auto cfg = tiny_config(/*seed=*/31);
+  const auto trained = nn::make_model(cfg);
+  const std::string path = temp_path("maps_registry_std_meta.ckpt");
+  nn::save_parameters(*trained, path,
+                      {{"std_eps_lo", 2.0},
+                       {"std_eps_hi", 11.5},
+                       {"std_field_scale", 0.25},
+                       {"std_j_scale", 3.0},
+                       {"std_lambda_ref", 1.31}});
+
+  // Base standardizer (the serve config's defaults) loses to the trailer...
+  serve::ModelRegistry registry;
+  maps::train::Standardizer base;
+  base.eps_hi = 99.0;
+  base.field_scale = 99.0;
+  const auto no_override = registry.load("m", cfg, path, {}, base);
+  EXPECT_DOUBLE_EQ(no_override->standardizer.eps_lo, 2.0);
+  EXPECT_DOUBLE_EQ(no_override->standardizer.eps_hi, 11.5);
+  EXPECT_DOUBLE_EQ(no_override->standardizer.field_scale, 0.25);
+  EXPECT_DOUBLE_EQ(no_override->standardizer.j_scale, 3.0);
+  EXPECT_DOUBLE_EQ(no_override->standardizer.lambda_ref, 1.31);
+
+  // ...and config-explicit overrides outrank the trailer, field by field.
+  maps::train::StandardizerOverrides overrides;
+  overrides.eps_hi = 7.0;
+  const auto with_override = registry.load("m", cfg, path, {}, base, overrides);
+  EXPECT_DOUBLE_EQ(with_override->standardizer.eps_hi, 7.0);   // config wins
+  EXPECT_DOUBLE_EQ(with_override->standardizer.eps_lo, 2.0);   // trailer kept
+  EXPECT_DOUBLE_EQ(with_override->standardizer.j_scale, 3.0);  // trailer kept
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, LegacyCheckpointKeepsBaseStandardizer) {
+  // Pre-trailer checkpoints carry no provenance: the base (config) values
+  // must survive untouched.
+  const auto cfg = tiny_config(/*seed=*/32);
+  const auto trained = nn::make_model(cfg);
+  const std::string path = temp_path("maps_registry_std_legacy.ckpt");
+  nn::save_parameters(*trained, path);
+
+  serve::ModelRegistry registry;
+  maps::train::Standardizer base;
+  base.eps_lo = 1.5;
+  base.field_scale = 0.125;
+  const auto served = registry.load("m", cfg, path, {}, base);
+  EXPECT_DOUBLE_EQ(served->standardizer.eps_lo, 1.5);
+  EXPECT_DOUBLE_EQ(served->standardizer.field_scale, 0.125);
+  std::remove(path.c_str());
+}
+
 }  // namespace

@@ -26,6 +26,19 @@ Tracked ratios:
                                     committed baseline sits near 1x while
                                     multi-core CI runners measure the real
                                     batching speedup)
+  fdfd_cached_resolve_vs_full       amortized re-solve against a cached
+                                    factorization over the full
+                                    assemble+factorize+solve at n=64
+                                    (BENCH_speedup.json)
+  te_split_vs_interleaved           split-complex kernel over the interleaved
+                                    fallback on the TE (Hz) full solve
+                                    (BENCH_speedup.json)
+  fdfd_mixed_vs_double              fp32-factor + iterative-refinement direct
+                                    solve over the double factorization at
+                                    n=128 (BENCH_speedup.json)
+  sparam_mixed_vs_double            the same mixed-precision win end-to-end
+                                    on the S-parameter verification sweep
+                                    (BENCH_speedup.json)
 
 Usage: check_bench_regression.py [fresh_dir] [baseline_dir]
   fresh_dir     directory with the just-emitted BENCH_*.json
@@ -120,6 +133,30 @@ TRACKED = [
         "file": "BENCH_speedup.json",
         "ratio": lambda doc: ratio_from_benchmarks(
             doc, "BM_ServeOneAtATime", "BM_ServeMicroBatched"),
+    },
+    {
+        "name": "fdfd_cached_resolve_vs_full",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_FdfdFullSolve/64", "BM_FdfdCachedResolve/64"),
+    },
+    {
+        "name": "te_split_vs_interleaved",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_TeSolveInterleaved/64", "BM_TeSolveSplit/64"),
+    },
+    {
+        "name": "fdfd_mixed_vs_double",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_FdfdFullSolve/128", "BM_FdfdFullSolveMixed/128"),
+    },
+    {
+        "name": "sparam_mixed_vs_double",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_SparamSweep", "BM_SparamSweepMixed"),
     },
 ]
 

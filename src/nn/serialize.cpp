@@ -100,8 +100,24 @@ std::map<std::string, double> load_metadata(const std::string& path) {
   is.read(reinterpret_cast<char*>(&trailer), sizeof(trailer));
   if (!is.good() || trailer != kMetaMagic) return meta;  // pre-trailer format
   const std::uint32_t count = read_u32(is);
+  // Validate the unread counts against the bytes actually left in the file
+  // before allocating: a corrupt/truncated trailer must fail the require
+  // below, not trigger a multi-GB std::string / map allocation first.
+  const auto pos = is.tellg();
+  is.seekg(0, std::ios::end);
+  const auto end_pos = is.tellg();
+  is.seekg(pos);
+  std::uint64_t remaining =
+      (pos >= 0 && end_pos > pos) ? static_cast<std::uint64_t>(end_pos - pos) : 0;
+  // Each record is at least key_len(u32) + key + value(f64) = 12 bytes.
+  require(is.good() && count <= remaining / 12,
+          "load_metadata: corrupt metadata trailer (count)");
   for (std::uint32_t k = 0; k < count; ++k) {
+    require(remaining >= 12, "load_metadata: truncated metadata trailer");
     const std::uint32_t key_len = read_u32(is);
+    require(is.good() && key_len <= remaining - 12,
+            "load_metadata: corrupt metadata trailer (key length)");
+    remaining -= 12 + static_cast<std::uint64_t>(key_len);
     std::string key(key_len, '\0');
     is.read(key.data(), key_len);
     double value = 0.0;

@@ -46,6 +46,12 @@ ProblemKey make_problem_key(const grid::GridSpec& spec, const maps::math::RealGr
     // mixed request to double there, and the key mirrors that so both
     // spellings land on one entry.
     key.precision = key.interleaved ? SolverPrecision::Double : config.precision;
+    if (key.precision == SolverPrecision::Mixed) {
+      // Refinement tuning changes what a mixed backend answers (tolerance,
+      // stall/fallback point), so it is keyed like iterative tolerances.
+      key.refine_rtol = config.refinement.rtol;
+      key.refine_max_iters = config.refinement.max_iters;
+    }
   }
   if (config.kind == SolverKind::Iterative) {
     // Tolerances are part of an iterative backend's identity: a backend

@@ -48,6 +48,11 @@ struct ProblemKey {
   // (fp32 + refinement) backend must not answer a lookup asking for the
   // exact double path, and vice versa.
   SolverPrecision precision = SolverPrecision::Double;
+  // Refinement tuning is part of a mixed backend's identity, mirroring how
+  // BicgstabOptions tolerances are keyed for iterative backends: a backend
+  // refined to a loose rtol must not answer a lookup asking for a tight one.
+  double refine_rtol = 0.0;    // 0 unless precision == Mixed
+  int refine_max_iters = 0;    // ditto
 
   bool operator==(const ProblemKey&) const = default;
 };

@@ -95,10 +95,18 @@ void DirectBandedBackend::factorize_locked() {
     } catch (const std::exception&) {
       // Singular in fp32 (pivot under/overflow) while the double operator
       // may be fine — take the fallback instead of failing the solve.
+      // Build the double factors before publishing the flag flip so no
+      // reader ever sees mixed_active_ == false with unfactorized state.
       ++refine_fallbacks_;
+      factorize_double_locked();
       mixed_active_.store(false);
+      return;
     }
   }
+  factorize_double_locked();
+}
+
+void DirectBandedBackend::factorize_double_locked() {
   if (!split_) {
     if (eps_.size() > 0) {
       // Problem definition in hand (mixed fallback dropped the double band
@@ -118,11 +126,21 @@ void DirectBandedBackend::fall_back_to_double() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!mixed_active_.load()) return;  // another thread already fell back
   ++refine_fallbacks_;
+  // Build the double factors BEFORE publishing mixed_active_ = false.
+  // Backends are shared lock-free on the solve path (FactorizationCache
+  // hands one instance to serve/datagen threads): a concurrent solve that
+  // loads the flag between a store-first and the factorization would skip
+  // the fp32 path and hit an empty/partially-factorized split_. The
+  // seq_cst flag store releases the split_ writes, so any reader that
+  // observes false finds fully built double factors. Note the order must
+  // be explicit here — factorize_locked() with the flag still true takes
+  // the (already factorized) mixed branch and never builds the double
+  // path, hence the dedicated double-only routine.
+  factorize_double_locked();
   mixed_active_.store(false);
   // The fp32 factors stay resident: concurrent solves may still be reading
   // them mid-refinement; they re-check mixed_active_ afterwards and answer
   // from the double factors built here.
-  factorize_locked();
 }
 
 // Classical mixed-precision iterative refinement over a batch: residuals are
@@ -323,8 +341,10 @@ std::size_t DirectBandedBackend::factor_bytes() const {
 std::size_t DirectBandedBackend::estimate_factor_bytes(const grid::GridSpec& spec,
                                                        SolverPrecision precision) {
   const auto n = static_cast<std::size_t>(spec.cells());
-  const auto bw = static_cast<std::size_t>(spec.nx);  // kl = ku = nx
-  const std::size_t ldab = 3 * bw + 1;                // 2*kl + ku + 1
+  // kl = ku = bw, matching the assembler's rule: a single-row grid only
+  // couples nearest neighbours along x, so its band collapses to width 1.
+  const auto bw = static_cast<std::size_t>(spec.ny > 1 ? spec.nx : 1);
+  const std::size_t ldab = 3 * bw + 1;  // 2*kl + ku + 1
   const std::size_t scalar =
       (precision == SolverPrecision::Mixed && !interleaved_solver_requested())
           ? sizeof(float)

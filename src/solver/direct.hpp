@@ -106,7 +106,8 @@ class DirectBandedBackend final : public SolverBackend {
 
   /// Predicted factor_bytes() for a backend built from `spec` at `precision`,
   /// without assembling anything: the split band array is 2 scalar planes of
-  /// (2*kl+ku+1) x n with kl = ku = nx, plus the pivot vector. Mixed counts
+  /// (2*kl+ku+1) x n with kl = ku = (ny > 1 ? nx : 1), the assembler's
+  /// bandwidth rule, plus the pivot vector. Mixed counts
   /// fp32 planes (half the double footprint) unless the interleaved fallback
   /// is active, which has no fp32 kernel. Used by capacity planners (e.g.
   /// the datagen memory budget) that must size windows before any solve.
@@ -128,6 +129,10 @@ class DirectBandedBackend final : public SolverBackend {
   /// path themselves.
   void fall_back_to_double();
   void factorize_locked();
+  /// Double-path slice of factorize_locked(): build + factorize split_ only,
+  /// ignoring mixed_active_. fall_back_to_double() needs it directly so the
+  /// double factors are complete before the flag flips off.
+  void factorize_double_locked();
 
   bool interleaved_ = false;
   SolverPrecision precision_ = SolverPrecision::Double;

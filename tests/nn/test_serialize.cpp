@@ -1,7 +1,9 @@
 // Checkpoint round trips and mismatch detection.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 
 #include "math/rng.hpp"
 #include "nn/models.hpp"
@@ -114,6 +116,42 @@ TEST(Serialize, MetadataTrailerRoundTrips) {
   for (index_t i = 0; i < ref.numel(); ++i) {
     ASSERT_NEAR(got[i], ref[i], 1e-9);
   }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptMetadataTrailerThrowsInsteadOfAllocating) {
+  mn::ModelConfig cfg;
+  cfg.kind = mn::ModelKind::Fno;
+  cfg.in_channels = 3;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 3;
+  cfg.depth = 1;
+  auto m = mn::make_model(cfg);
+  const auto path = temp_path("corrupt_trailer");
+  mn::save_parameters(*m, path);
+
+  // Hand-append a trailer whose key_len claims ~4 GB: load_metadata must
+  // reject it against the remaining file size, not std::bad_alloc first.
+  const auto append_u32 = [](std::ostream& os, std::uint32_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    append_u32(os, 0x4D455441u);  // "META"
+    append_u32(os, 1u);           // count
+    append_u32(os, 0xFFFFFFFFu);  // absurd key_len
+  }
+  EXPECT_THROW(mn::load_metadata(path), maps::MapsError);
+
+  // Same for a count far beyond what the file could hold.
+  mn::save_parameters(*m, path);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    append_u32(os, 0x4D455441u);  // "META"
+    append_u32(os, 0x10000000u);  // 268M records in an empty trailer
+  }
+  EXPECT_THROW(mn::load_metadata(path), maps::MapsError);
   std::remove(path.c_str());
 }
 

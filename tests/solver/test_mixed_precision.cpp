@@ -215,6 +215,36 @@ TEST(MixedPrecision, ProblemKeyIdentityIncludesPrecision) {
   EXPECT_TRUE(key_i.interleaved);
 }
 
+TEST(MixedPrecision, ProblemKeyIdentityIncludesRefinementOptions) {
+  PmlHeavyRig rig;
+  ms::SolverConfig config;
+  config.kind = ms::SolverKind::Direct;
+  config.precision = ms::SolverPrecision::Mixed;
+  config.refinement.rtol = 1e-13;
+  config.refinement.max_iters = 20;
+  const auto key_a = ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, config);
+
+  // A looser tolerance (or a different iteration cap) changes what a mixed
+  // backend answers, so it must land on a distinct cache entry.
+  config.refinement.rtol = 1e-8;
+  const auto key_b = ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, config);
+  EXPECT_FALSE(key_a == key_b);
+  config.refinement.rtol = 1e-13;
+  config.refinement.max_iters = 5;
+  const auto key_c = ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, config);
+  EXPECT_FALSE(key_a == key_c);
+
+  // Double-precision keys ignore refinement tuning entirely — the options
+  // are dead weight on the exact path and must not split cache entries.
+  config.precision = ms::SolverPrecision::Double;
+  config.refinement.rtol = 1e-13;
+  config.refinement.max_iters = 20;
+  const auto key_d1 = ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, config);
+  config.refinement.rtol = 1e-8;
+  const auto key_d2 = ms::make_problem_key(rig.spec, rig.eps, rig.omega, rig.pml, config);
+  EXPECT_TRUE(key_d1 == key_d2);
+}
+
 TEST(MixedPrecision, SimulationInheritsPrecisionOption) {
   PmlHeavyRig rig;
   const auto J = mf::point_source(rig.spec, 14, 24);

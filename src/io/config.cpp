@@ -408,6 +408,30 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
         solver::solver_precision_from_name(r.get("solver_precision").as_string());
   }
 
+  // Reliability layer: admission control, escalation circuit breaker, and
+  // stream limits / graceful-shutdown drain.
+  cfg.serve.max_inflight = non_negative(
+      r.integer("max_inflight", static_cast<int>(cfg.serve.max_inflight)),
+      "max_inflight");
+  cfg.serve.max_queue_ms = r.number("max_queue_ms", cfg.serve.max_queue_ms);
+  cfg.serve.breaker_failures =
+      r.integer("breaker_failures", cfg.serve.breaker_failures);
+  cfg.serve.breaker_backoff_ms =
+      r.number("breaker_backoff_ms", cfg.serve.breaker_backoff_ms);
+  cfg.serve.breaker_backoff_max_ms =
+      r.number("breaker_backoff_max_ms", cfg.serve.breaker_backoff_max_ms);
+  cfg.serve.breaker_half_open_probes =
+      r.integer("breaker_half_open_probes", cfg.serve.breaker_half_open_probes);
+  const int max_request_mb = r.integer(
+      "max_request_mb", static_cast<int>(cfg.stream.max_request_bytes >> 20));
+  cfg.stream.max_request_bytes =
+      non_negative(max_request_mb, "max_request_mb") << 20;
+  cfg.stream.conn_max_inflight = non_negative(
+      r.integer("conn_max_inflight", static_cast<int>(cfg.stream.conn_max_inflight)),
+      "conn_max_inflight");
+  cfg.stream.drain_deadline_ms =
+      r.number("drain_deadline_ms", cfg.stream.drain_deadline_ms);
+
   cfg.dl = r.number("dl", cfg.dl);
   cfg.wavelength = r.number("wavelength", cfg.wavelength);
   cfg.pml.ncells = r.integer("pml_ncells", cfg.pml.ncells);
@@ -425,6 +449,23 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
   if (cfg.serve.cache_shards < 1) throw MapsError("serve: cache_shards must be >= 1");
   if (cfg.port < 0 || cfg.port > 65535) {
     throw MapsError("serve: port must be in [0, 65535]");
+  }
+  if (cfg.serve.max_queue_ms < 0.0) {
+    throw MapsError("serve: max_queue_ms must be >= 0");
+  }
+  if (cfg.serve.breaker_failures > 0) {
+    if (cfg.serve.breaker_backoff_ms <= 0.0) {
+      throw MapsError("serve: breaker_backoff_ms must be > 0");
+    }
+    if (cfg.serve.breaker_backoff_max_ms < cfg.serve.breaker_backoff_ms) {
+      throw MapsError("serve: breaker_backoff_max_ms must be >= breaker_backoff_ms");
+    }
+    if (cfg.serve.breaker_half_open_probes < 1) {
+      throw MapsError("serve: breaker_half_open_probes must be >= 1");
+    }
+  }
+  if (cfg.stream.drain_deadline_ms < 0.0) {
+    throw MapsError("serve: drain_deadline_ms must be >= 0");
   }
   check_positive(cfg.dl, "dl");
   check_positive(cfg.wavelength, "wavelength");
@@ -456,6 +497,15 @@ JsonValue ServeConfig::to_json() const {
   v["escalate_rms_factor"] = serve.escalate_rms_factor;
   v["solver_cache_capacity"] = static_cast<int>(serve.solver_cache_capacity);
   v["solver_precision"] = solver::solver_precision_name(serve.solver_precision);
+  v["max_inflight"] = static_cast<int>(serve.max_inflight);
+  v["max_queue_ms"] = serve.max_queue_ms;
+  v["breaker_failures"] = serve.breaker_failures;
+  v["breaker_backoff_ms"] = serve.breaker_backoff_ms;
+  v["breaker_backoff_max_ms"] = serve.breaker_backoff_max_ms;
+  v["breaker_half_open_probes"] = serve.breaker_half_open_probes;
+  v["max_request_mb"] = static_cast<int>(stream.max_request_bytes >> 20);
+  v["conn_max_inflight"] = static_cast<int>(stream.conn_max_inflight);
+  v["drain_deadline_ms"] = stream.drain_deadline_ms;
   v["dl"] = dl;
   v["wavelength"] = wavelength;
   v["pml_ncells"] = pml.ncells;

@@ -15,6 +15,7 @@
 #include "devices/builders.hpp"
 #include "io/json.hpp"
 #include "nn/models.hpp"
+#include "serve/server.hpp"
 #include "serve/wire.hpp"
 #include "solver/backend.hpp"
 
@@ -110,6 +111,10 @@ struct ServeConfig {
   /// checkpoint's embedded standardizer provenance at registry load time.
   maps::train::StandardizerOverrides std_overrides;
   serve::ServeOptions serve;
+  /// Stream/connection limits and the graceful-shutdown drain deadline
+  /// ("max_request_mb", "conn_max_inflight", "drain_deadline_ms"; the stop
+  /// flag itself is wired at runtime, not from JSON).
+  serve::StreamOptions stream;
   // Wire-request defaults.
   double dl = 0.1;
   double wavelength = 1.55;

@@ -333,7 +333,7 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
 }
 
 JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& out,
-                    std::ostream& log) {
+                    std::ostream& log, const std::atomic<bool>* stop) {
   auto registry = std::make_shared<serve::ModelRegistry>();
   maps::train::EncodingOptions encoding;
   encoding.wave_prior = config.wave_prior;
@@ -357,10 +357,16 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
       << config.serve.cache_shards << " workers=" << config.serve.workers
       << " fidelity_default=" << config.fidelity << "\n";
 
+  serve::StreamOptions stream = config.stream;
+  stream.stop = stop;
   if (config.port > 0) {
-    serve::serve_tcp(service, defaults, config.port, &log, config.max_connections);
+    serve::serve_tcp(service, defaults, config.port, &log, config.max_connections,
+                     nullptr, stream);
   } else {
-    serve::serve_stream(service, defaults, in, out, &log);
+    serve::serve_stream(service, defaults, in, out, &log, stream);
+  }
+  if (stop != nullptr && stop->load()) {
+    log << "[serve] graceful shutdown: in-flight work drained\n";
   }
 
   JsonValue report;

@@ -4,6 +4,7 @@
 // behaviour is unit-testable.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 
 #include "io/config.hpp"
@@ -35,9 +36,13 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log);
 /// ModelRegistry and serve ndjson requests from `in` to `out` (stdio mode)
 /// or over TCP when config.port > 0 (`in`/`out` unused then). Returns the
 /// ServeStats report once the stream closes / the connection budget is
-/// spent.
+/// spent. `stop`, when non-null, is the graceful-shutdown flag (flipped by
+/// the CLI's SIGTERM/SIGINT handler): in-flight replies drain under
+/// config.stream.drain_deadline_ms and the final stats report is still
+/// produced.
 JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& out,
-                    std::ostream& log);
+                    std::ostream& log,
+                    const std::atomic<bool>* stop = nullptr);
 
 /// Dispatch on the config's "task" field ("datagen" | "train" | "invdes").
 JsonValue run_config_file(const std::string& path, std::ostream& log);

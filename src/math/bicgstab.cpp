@@ -35,6 +35,7 @@ BicgstabResult bicgstab(
   cplx rho{1.0}, alpha{1.0}, omega{1.0};
 
   for (int it = 0; it < opt.max_iters; ++it) {
+    if (opt.check_cancel) opt.check_cancel();
     const cplx rho_new = dotc(std::span<const cplx>(r0), std::span<const cplx>(r));
     if (std::abs(rho_new) < 1e-300) break;  // breakdown
     if (it == 0) {

@@ -18,6 +18,9 @@ struct BicgstabOptions {
   int max_iters = 2000;
   double rtol = 1e-8;        // relative residual tolerance
   bool jacobi_precond = true;
+  /// Called between Krylov iterations when set; may throw to abort the
+  /// solve (the solver layer wires request deadlines through this).
+  std::function<void()> check_cancel;
 };
 
 struct BicgstabResult {

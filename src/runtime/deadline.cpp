@@ -1,0 +1,41 @@
+#include "runtime/deadline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace maps::runtime {
+
+namespace {
+
+thread_local double t_deadline_ms = 0.0;  // 0 = none
+
+}  // namespace
+
+double now_steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double current_deadline_ms() { return t_deadline_ms; }
+
+bool deadline_expired() {
+  return t_deadline_ms > 0.0 && now_steady_ms() >= t_deadline_ms;
+}
+
+void check_deadline(const char* where) {
+  if (deadline_expired()) {
+    throw DeadlineExceeded(std::string(where) + ": deadline exceeded");
+  }
+}
+
+DeadlineGuard::DeadlineGuard(double deadline_abs_ms) : previous_(t_deadline_ms) {
+  if (deadline_abs_ms > 0.0) {
+    t_deadline_ms = previous_ > 0.0 ? std::min(previous_, deadline_abs_ms)
+                                    : deadline_abs_ms;
+  }
+}
+
+DeadlineGuard::~DeadlineGuard() { t_deadline_ms = previous_; }
+
+}  // namespace maps::runtime

@@ -1,0 +1,55 @@
+// Deadline propagation: a thread-local absolute deadline that long-running
+// kernels (solver refinement, Krylov iterations) poll between work units.
+//
+// The serving layer computes an absolute deadline when a request carries a
+// `deadline_ms` budget and installs a DeadlineGuard on the thread that runs
+// the expensive tier. Everything the thread calls synchronously — Simulation,
+// DirectBandedBackend refinement, BiCGSTAB — can then `check_deadline()`
+// without any plumbing through the solver interfaces, and a blown deadline
+// unwinds as DeadlineExceeded, which the wire layer turns into a structured
+// {"error": {"code": "deadline_exceeded"}} reply instead of blocking the
+// pipeline on work nobody is waiting for anymore.
+//
+// Guards nest: an inner guard can only tighten (the effective deadline is
+// the minimum of the active ones) and the destructor restores the outer one.
+// No deadline installed => checks are no-ops.
+#pragma once
+
+#include <string>
+
+#include "math/types.hpp"
+
+namespace maps::runtime {
+
+/// Thrown by check_deadline() past the installed deadline.
+class DeadlineExceeded : public MapsError {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : MapsError(what) {}
+};
+
+/// Milliseconds on the steady clock (the deadline time base).
+double now_steady_ms();
+
+/// The calling thread's effective absolute deadline (steady ms), 0 = none.
+double current_deadline_ms();
+
+/// True when a deadline is installed and has passed.
+bool deadline_expired();
+
+/// Throw DeadlineExceeded("<where>: deadline exceeded") when expired.
+void check_deadline(const char* where);
+
+/// Install `deadline_abs_ms` (steady ms; <= 0 = no-op) as this thread's
+/// deadline for the guard's scope, tightening any active outer deadline.
+class DeadlineGuard {
+ public:
+  explicit DeadlineGuard(double deadline_abs_ms);
+  ~DeadlineGuard();
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+
+ private:
+  double previous_;
+};
+
+}  // namespace maps::runtime

@@ -8,6 +8,7 @@
 // thrown by the producer are captured and rethrown from get().
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -52,6 +53,17 @@ class Future {
     maps::require(valid(), "Future::wait: empty future");
     std::unique_lock lk(state_->mu);
     state_->cv.wait(lk, [&] { return state_->done; });
+  }
+
+  /// Bounded wait: true when delivered within `ms` (<= 0 polls). The
+  /// graceful-shutdown drain uses this to stop waiting on stragglers once
+  /// the drain deadline is spent.
+  bool wait_for_ms(double ms) const {
+    maps::require(valid(), "Future::wait_for_ms: empty future");
+    std::unique_lock lk(state_->mu);
+    if (ms <= 0.0) return state_->done;
+    return state_->cv.wait_for(lk, std::chrono::duration<double, std::milli>(ms),
+                               [&] { return state_->done; });
   }
 
   /// Block until delivered; return the value or rethrow the producer's

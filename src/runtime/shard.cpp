@@ -1,11 +1,36 @@
 #include "runtime/shard.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <thread>
 #include <utility>
 
+#include "runtime/fault.hpp"
+
 namespace maps::runtime {
+
+namespace {
+
+// Transient shard I/O (momentarily full/slow disk, NFS hiccup) must not
+// abort an hours-long datagen run: journal appends, manifest saves and
+// journal compactions retry up to kIoAttempts times with exponential
+// backoff plus a small deterministic jitter, so a fleet of shards on one
+// recovering disk doesn't retry in lockstep.
+constexpr int kIoAttempts = 3;
+
+void io_retry_backoff(int attempt) {
+  static std::atomic<unsigned> salt{0};
+  const double jitter = static_cast<double>(salt.fetch_add(1) % 7) * 0.1;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      static_cast<double>(1 << (attempt - 1)) + jitter));
+}
+
+}  // namespace
 
 std::vector<std::size_t> ShardPlan::owned(std::size_t total) const {
   validate();
@@ -115,12 +140,24 @@ ShardManifest ShardManifest::from_json(const io::JsonValue& v) {
 
 void ShardManifest::save(const std::string& path) const {
   // Commit atomically: a kill during the write leaves the previous manifest
-  // (and thus a consistent resume point) in place.
+  // (and thus a consistent resume point) in place. The whole tmp+rename
+  // sequence is idempotent, so transient failures simply retry it.
   const std::string tmp = path + ".tmp";
-  io::json_save(to_json(), tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw MapsError("ShardManifest::save: rename to " + path + " failed");
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fault::point("manifest.save")) {
+        throw MapsError("ShardManifest::save: injected I/O failure");
+      }
+      io::json_save(to_json(), tmp);
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw MapsError("ShardManifest::save: rename to " + path + " failed");
+      }
+      return;
+    } catch (const MapsError&) {
+      if (attempt >= kIoAttempts) throw;
+      io_retry_backoff(attempt);
+    }
   }
 }
 
@@ -181,9 +218,32 @@ void ShardJournal::append(const ShardManifest::Entry& e) {
   v["pattern"] = static_cast<double>(e.pattern);
   v["bytes"] = static_cast<double>(e.bytes);
   const std::string line = v.dump() + "\n";
-  const std::size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);
-  maps::require(wrote == line.size() && std::fflush(file_) == 0,
-                "ShardJournal::append: write to " + path_ + " failed");
+  // The journal's crash contract is "last fully flushed line wins"; a blind
+  // rewrite after a partial write would glue the retried line onto the torn
+  // one and poison every later line for absorb_journal. Every prior append
+  // was flushed, so ftell here is the committed physical size — retries
+  // truncate back to it before rewriting.
+  const long committed = std::ftell(file_);
+  maps::require(committed >= 0, "ShardJournal::append: ftell on " + path_ + " failed");
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fault::point("journal.append")) {
+        throw MapsError("ShardJournal::append: injected I/O failure");
+      }
+      const std::size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);
+      maps::require(wrote == line.size() && std::fflush(file_) == 0,
+                    "ShardJournal::append: write to " + path_ + " failed");
+      return;
+    } catch (const MapsError&) {
+      if (attempt >= kIoAttempts) throw;
+      std::clearerr(file_);
+      if (::ftruncate(::fileno(file_), static_cast<off_t>(committed)) != 0 ||
+          std::fseek(file_, committed, SEEK_SET) != 0) {
+        throw;  // cannot restore the committed prefix: surface the failure
+      }
+      io_retry_backoff(attempt);
+    }
+  }
 }
 
 void ShardJournal::compact(const ShardManifest& manifest,
@@ -193,9 +253,21 @@ void ShardJournal::compact(const ShardManifest& manifest,
   // in between is healed by absorb_journal's dedup on the next resume.
   manifest.save(manifest_path);
   close();
-  std::FILE* truncated = std::fopen(path_.c_str(), "wb");
-  maps::require(truncated != nullptr, "ShardJournal::compact: cannot truncate " + path_);
-  std::fclose(truncated);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fault::point("journal.compact")) {
+        throw MapsError("ShardJournal::compact: injected I/O failure");
+      }
+      std::FILE* truncated = std::fopen(path_.c_str(), "wb");
+      maps::require(truncated != nullptr,
+                    "ShardJournal::compact: cannot truncate " + path_);
+      std::fclose(truncated);
+      break;
+    } catch (const MapsError&) {
+      if (attempt >= kIoAttempts) throw;
+      io_retry_backoff(attempt);
+    }
+  }
   file_ = std::fopen(path_.c_str(), "ab");
   maps::require(file_ != nullptr, "ShardJournal::compact: cannot reopen " + path_);
 }

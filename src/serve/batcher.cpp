@@ -1,5 +1,7 @@
 #include "serve/batcher.hpp"
 
+#include "runtime/fault.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <utility>
@@ -135,6 +137,11 @@ void MicroBatcher::run_batch(std::vector<BatchJob>& batch) const {
     std::exception_ptr error;
     std::vector<nn::Tensor> outputs;
     try {
+      // Chaos hook: MAPS_FAULTS "batcher.run_batch" breaks or stalls the
+      // stacked forward inside the per-run try, so an injected throw flows
+      // through the same error delivery as a real inference failure (and
+      // the service's single-sample retry path absorbs it).
+      runtime::fault::point("batcher.run_batch");
       // Stack the rows straight out of the jobs (no intermediate copy), run
       // one const forward, split back per request.
       const nn::Tensor& first = batch[lo].input;

@@ -1,0 +1,113 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+
+#include "runtime/deadline.hpp"
+
+namespace maps::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options)
+    : options_(options), backoff_ms_(options.backoff_ms) {}
+
+bool CircuitBreaker::allow() {
+  if (options_.failure_threshold <= 0) return true;
+  std::lock_guard lk(mu_);
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open: {
+      const double now = runtime::now_steady_ms();
+      if (now - opened_at_ms_ < backoff_ms_) {
+        ++stats_.rejected;
+        return false;
+      }
+      state_ = BreakerState::HalfOpen;
+      probes_outstanding_ = 1;
+      return true;
+    }
+    case BreakerState::HalfOpen:
+      if (probes_outstanding_ < std::max(1, options_.half_open_probes)) {
+        ++probes_outstanding_;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard lk(mu_);
+  ++stats_.successes;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::HalfOpen) {
+    // Recovery confirmed: close and reset the backoff schedule.
+    state_ = BreakerState::Closed;
+    probes_outstanding_ = 0;
+    backoff_ms_ = options_.backoff_ms;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard lk(mu_);
+  ++stats_.failures;
+  const double now = runtime::now_steady_ms();
+  switch (state_) {
+    case BreakerState::Closed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        open_locked(now);
+      }
+      break;
+    case BreakerState::HalfOpen:
+      // The probe failed: back off harder before the next one.
+      backoff_ms_ = std::min(backoff_ms_ * options_.backoff_multiplier,
+                             options_.backoff_max_ms);
+      open_locked(now);
+      break;
+    case BreakerState::Open:
+      // Late failure from an attempt admitted before the trip; stays open.
+      break;
+  }
+}
+
+void CircuitBreaker::cancel() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard lk(mu_);
+  if (state_ == BreakerState::HalfOpen && probes_outstanding_ > 0) {
+    --probes_outstanding_;
+  }
+}
+
+void CircuitBreaker::open_locked(double now) {
+  state_ = BreakerState::Open;
+  opened_at_ms_ = now;
+  probes_outstanding_ = 0;
+  consecutive_failures_ = 0;
+  ++stats_.open_total;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lk(mu_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  std::lock_guard lk(mu_);
+  BreakerStats s = stats_;
+  s.state = state_;
+  s.current_backoff_ms = backoff_ms_;
+  return s;
+}
+
+}  // namespace maps::serve

@@ -1,0 +1,81 @@
+// Circuit breaker for the solver-escalation tier.
+//
+// The solver is the expensive, stateful, occasionally-slow tier of the
+// serving pipeline. When it starts failing (or timing out) consistently,
+// continuing to send every escalation through it turns one outage into a
+// pipeline-wide pile-up. The breaker is the standard three-state machine:
+//
+//   Closed    everything flows; N consecutive failures trip it Open.
+//   Open      allow() refuses until the backoff elapses; the service
+//             answers from the surrogate tier instead, tagged
+//             "degraded": true (graceful degradation, not an error).
+//   HalfOpen  after the backoff, a bounded number of probe attempts pass
+//             through. A probe success closes the breaker; a failure
+//             re-opens it with exponentially grown backoff (capped).
+//
+// Thread-safe; time base is the steady clock (runtime::now_steady_ms).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace maps::serve {
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive failures that trip the breaker open. <= 0 disables it
+  /// (allow() always true, nothing recorded).
+  int failure_threshold = 5;
+  double backoff_ms = 1000.0;        // first open period
+  double backoff_multiplier = 2.0;   // growth per re-open from half-open
+  double backoff_max_ms = 30000.0;
+  int half_open_probes = 1;          // concurrent probes allowed half-open
+};
+
+struct BreakerStats {
+  BreakerState state = BreakerState::Closed;
+  std::uint64_t failures = 0;       // record_failure() calls
+  std::uint64_t successes = 0;      // record_success() calls
+  std::uint64_t open_total = 0;     // times the breaker tripped open
+  std::uint64_t rejected = 0;       // allow() == false occurrences
+  double current_backoff_ms = 0.0;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  /// May an attempt proceed? Closed: always. Open: false until the backoff
+  /// elapses, then the breaker turns HalfOpen and admits probes. HalfOpen:
+  /// true while fewer than half_open_probes attempts are outstanding.
+  /// Every allow() == true MUST be matched by exactly one record_success()
+  /// or record_failure() for the attempt.
+  bool allow();
+
+  void record_success();
+  void record_failure();
+  /// Release an allow() == true reservation whose attempt never ran (e.g.
+  /// the request's deadline expired in the queue before the solver started):
+  /// no outcome is recorded, a half-open probe slot is returned.
+  void cancel();
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+
+ private:
+  void open_locked(double now);
+
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  int probes_outstanding_ = 0;
+  double opened_at_ms_ = 0.0;
+  double backoff_ms_ = 0.0;
+  BreakerStats stats_;
+};
+
+}  // namespace maps::serve

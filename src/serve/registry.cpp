@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "nn/serialize.hpp"
+#include "runtime/fault.hpp"
 
 namespace maps::serve {
 
@@ -30,6 +31,7 @@ std::shared_ptr<const ServedModel> ModelRegistry::load(
     const std::string& checkpoint, maps::train::EncodingOptions encoding,
     maps::train::Standardizer standardizer,
     const maps::train::StandardizerOverrides& overrides) {
+  runtime::fault::point("registry.load");
   auto bundle = std::make_shared<ServedModel>();
   bundle->id = id;
   bundle->config = config;

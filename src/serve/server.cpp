@@ -20,6 +20,9 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/deadline.hpp"
+#include "runtime/fault.hpp"
+
 namespace maps::serve {
 
 namespace {
@@ -34,24 +37,57 @@ struct PendingReply {
   bool return_field = true;
 };
 
+/// getline with a byte cap: an over-limit line sets `oversized`, the rest of
+/// the line is discarded (the stream stays line-synchronized for siblings).
+/// Returns false on EOF with nothing read; a final un-terminated line is
+/// still delivered.
+bool bounded_getline(std::istream& in, std::string& line, std::size_t limit,
+                     bool& oversized) {
+  line.clear();
+  oversized = false;
+  char ch;
+  while (in.get(ch)) {
+    if (ch == '\n') return true;
+    if (limit > 0 && line.size() >= limit) {
+      oversized = true;
+      while (in.get(ch)) {
+        if (ch == '\n') break;
+      }
+      return true;
+    }
+    line.push_back(ch);
+  }
+  return !line.empty();
+}
+
 }  // namespace
 
 StreamServeReport serve_stream(PredictionService& service,
                                const WireDefaults& defaults, std::istream& in,
-                               std::ostream& out, std::ostream* log) {
+                               std::ostream& out, std::ostream* log,
+                               const StreamOptions& options) {
   StreamServeReport report;
   std::mutex mu;
   std::condition_variable cv_space, cv_items;
   std::deque<PendingReply> queue;
   bool done_reading = false;
   std::size_t errors = 0;
+  const auto stopping = [&options] {
+    return options.stop != nullptr && options.stop->load();
+  };
   // Enough in-flight replies to keep full batches forming, bounded so a
-  // streaming client cannot queue unbounded field buffers.
-  const std::size_t window =
+  // streaming client cannot queue unbounded field buffers. The configured
+  // per-connection cap tightens it further.
+  std::size_t window =
       std::max<std::size_t>(64, 4 * static_cast<std::size_t>(
                                         service.options().max_batch));
+  if (options.conn_max_inflight > 0) {
+    window = std::max<std::size_t>(1, std::min(window, options.conn_max_inflight));
+  }
 
   std::thread writer([&] {
+    bool sink_broken = false;
+    double drain_until = 0.0;  // armed when the stop flag is first observed
     for (;;) {
       PendingReply reply;
       {
@@ -66,35 +102,79 @@ StreamServeReport serve_stream(PredictionService& service,
       if (reply.is_error) {
         doc = std::move(reply.error_doc);
       } else {
-        try {
-          doc = encode_response(reply.id, reply.future.get(), reply.return_field);
-        } catch (const std::exception& e) {
-          doc = encode_error(reply.id, e.what());
+        bool ready = true;
+        if (stopping()) {
+          // Draining: wait out the remaining drain budget, not forever.
+          if (drain_until == 0.0) {
+            drain_until = runtime::now_steady_ms() + options.drain_deadline_ms;
+          }
+          ready = reply.future.wait_for_ms(drain_until - runtime::now_steady_ms());
+        }
+        if (!ready) {
+          doc = encode_error(
+              reply.id, WireError{"shutting_down",
+                                  "server draining: reply abandoned at shutdown",
+                                  0.0});
           std::lock_guard lk(mu);
           ++errors;
+        } else {
+          try {
+            doc = encode_response(reply.id, reply.future.get(), reply.return_field);
+          } catch (...) {
+            doc = encode_error(reply.id, classify_error(std::current_exception()));
+            std::lock_guard lk(mu);
+            ++errors;
+          }
         }
       }
-      out << doc.dump() << "\n" << std::flush;
+      if (!sink_broken) {
+        out << doc.dump() << "\n" << std::flush;
+        if (!out.good()) {
+          // Client went away mid-reply (broken pipe / closed socket). Not
+          // fatal: log it once and drain the remaining replies unsent so
+          // the service's in-flight accounting still settles.
+          sink_broken = true;
+          if (log != nullptr) {
+            *log << "[serve] client disconnected mid-reply; draining "
+                    "remaining replies unsent\n";
+          }
+        }
+      }
     }
   });
 
   std::string line;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  for (;;) {
+    if (stopping()) break;  // shutdown: stop consuming, drain what's in
+    bool oversized = false;
+    if (!bounded_getline(in, line, options.max_request_bytes, oversized)) break;
+    if (!oversized && line.find_first_not_of(" \t\r") == std::string::npos) continue;
     ++report.requests;
     PendingReply reply;
-    try {
-      const io::JsonValue doc = io::json_parse(line);
-      WireRequest wire = parse_request(doc, defaults);
-      reply.id = wire.id;
-      reply.return_field = wire.return_field;
-      reply.future = service.submit(std::move(wire.request));
-    } catch (const std::exception& e) {
+    if (oversized) {
       reply.is_error = true;
-      io::JsonValue id;  // null: the id may not even have parsed
-      reply.error_doc = encode_error(id, e.what());
+      io::JsonValue id;  // the id sits somewhere inside the discarded line
+      reply.error_doc = encode_error(
+          id, WireError{"request_too_large",
+                        "serve request: line exceeds " +
+                            std::to_string(options.max_request_bytes) + " bytes",
+                        0.0});
       std::lock_guard lk(mu);
       ++errors;
+    } else {
+      try {
+        const io::JsonValue doc = io::json_parse(line);
+        WireRequest wire = parse_request(doc, defaults);
+        reply.id = wire.id;
+        reply.return_field = wire.return_field;
+        reply.future = service.submit(std::move(wire.request));
+      } catch (const std::exception& e) {
+        reply.is_error = true;
+        io::JsonValue id;  // null: the id may not even have parsed
+        reply.error_doc = encode_error(id, e.what());
+        std::lock_guard lk(mu);
+        ++errors;
+      }
     }
     {
       std::unique_lock lk(mu);
@@ -112,7 +192,8 @@ StreamServeReport serve_stream(PredictionService& service,
   report.errors = errors;
   if (log != nullptr) {
     *log << "[serve] stream closed: " << report.requests << " request(s), "
-         << report.errors << " error(s)\n";
+         << report.errors << " error(s)"
+         << (stopping() ? " (shutdown drain)" : "") << "\n";
   }
   return report;
 }
@@ -131,6 +212,9 @@ class FdStreamBuf final : public std::streambuf {
  protected:
   int_type underflow() override {
     if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    // Chaos hook: an armed "serve.tcp.read" io fault models the peer
+    // vanishing mid-request (reads hit EOF from then on).
+    if (runtime::fault::point("serve.tcp.read")) return traits_type::eof();
     ssize_t n;
     do {
       n = ::read(fd_, in_.data(), in_.size());
@@ -155,8 +239,11 @@ class FdStreamBuf final : public std::streambuf {
   int flush_out() {
     const char* p = pbase();
     std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+    if (left > 0 && runtime::fault::point("serve.tcp.write")) return -1;
     while (left > 0) {
-      const ssize_t n = ::write(fd_, p, left);
+      // MSG_NOSIGNAL: a peer that closed mid-reply must surface as EPIPE
+      // here (the writer logs and drains), not as a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return -1;
       p += n;
@@ -175,7 +262,7 @@ class FdStreamBuf final : public std::streambuf {
 
 void serve_tcp(PredictionService& service, const WireDefaults& defaults, int port,
                std::ostream* log, int max_connections,
-               std::atomic<int>* bound_port) {
+               std::atomic<int>* bound_port, const StreamOptions& options) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   require(listener >= 0, "serve_tcp: socket() failed");
   const int reuse = 1;
@@ -210,9 +297,13 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
   struct Handler {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
+    int fd = -1;
   };
   std::list<Handler> handlers;
   std::mutex log_mu;
+  const auto stopping = [&options] {
+    return options.stop != nullptr && options.stop->load();
+  };
   const auto reap = [&handlers](bool all) {
     for (auto it = handlers.begin(); it != handlers.end();) {
       if (all || it->done->load()) {
@@ -224,23 +315,26 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
     }
   };
   for (int served = 0; max_connections < 0 || served < max_connections; ++served) {
+    if (stopping()) break;
     int conn;
     do {
       conn = ::accept(listener, nullptr, nullptr);
-    } while (conn < 0 && errno == EINTR);
+      // A signal (SIGTERM/SIGINT installed without SA_RESTART) interrupts
+      // the blocking accept; re-check the stop flag before retrying.
+    } while (conn < 0 && errno == EINTR && !stopping());
     if (conn < 0) break;
     reap(/*all=*/false);
     try {
       auto done = std::make_shared<std::atomic<bool>>(false);
-      handlers.push_back({std::thread{}, done});
+      handlers.push_back({std::thread{}, done, conn});
       handlers.back().thread =
-          std::thread([&service, &defaults, log, &log_mu, conn, done] {
+          std::thread([&service, &defaults, log, &log_mu, conn, done, &options] {
             FdStreamBuf buf(conn);
             std::istream in(&buf);
             std::ostream out(&buf);
             std::ostringstream conn_log;
             serve_stream(service, defaults, in, out,
-                         log != nullptr ? &conn_log : nullptr);
+                         log != nullptr ? &conn_log : nullptr, options);
             ::close(conn);
             if (log != nullptr) {
               std::lock_guard lk(log_mu);
@@ -261,6 +355,16 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
     }
   }
   ::close(listener);
+  if (stopping()) {
+    // Graceful drain: wake every connection's reader (EOF on its next read)
+    // so each stream drains in-flight replies under the drain deadline.
+    for (auto& h : handlers) ::shutdown(h.fd, SHUT_RD);
+    if (log != nullptr) {
+      std::lock_guard lk(log_mu);
+      *log << "[serve] shutdown requested: draining " << handlers.size()
+           << " connection(s)\n";
+    }
+  }
   reap(/*all=*/true);
 }
 

@@ -1,7 +1,6 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <thread>
@@ -13,12 +12,6 @@ namespace maps::serve {
 
 namespace {
 
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 std::uint64_t fnv_mix(std::uint64_t h, const void* data, std::size_t bytes) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < bytes; ++i) {
@@ -26,6 +19,14 @@ std::uint64_t fnv_mix(std::uint64_t h, const void* data, std::size_t bytes) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+nn::Tensor encode_request(const ServeRequest& request, const ServedModel& model) {
+  nn::Tensor input = maps::train::make_input_batch(1, request.spec.nx,
+                                                   request.spec.ny, model.encoding);
+  maps::train::encode_input(input, 0, request.eps, request.J, request.omega,
+                            request.spec.dl, model.standardizer, model.encoding);
+  return input;
 }
 
 }  // namespace
@@ -71,6 +72,12 @@ PredictionService::PredictionService(std::shared_ptr<ModelRegistry> registry,
   } else {
     queue_ = &runtime::TaskQueue::shared();
   }
+  BreakerOptions bropt;
+  bropt.failure_threshold = options_.breaker_failures;
+  bropt.backoff_ms = options_.breaker_backoff_ms;
+  bropt.backoff_max_ms = options_.breaker_backoff_max_ms;
+  bropt.half_open_probes = options_.breaker_half_open_probes;
+  breaker_ = std::make_unique<CircuitBreaker>(bropt);
   BatcherOptions bopt;
   bopt.max_batch = options_.max_batch;
   bopt.max_delay_ms = options_.max_delay_ms;
@@ -90,7 +97,11 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
   runtime::Promise<ServeResponse> promise;
   runtime::Future<ServeResponse> future = promise.future();
   requests_.fetch_add(1);
-  const double start = now_ms();
+  // Every submitted request holds one inflight slot until its terminal
+  // finish() or fail() — admission control below counts this uniformly for
+  // cache hits, surrogate jobs and solver jobs alike.
+  inflight_.fetch_add(1);
+  const double start = runtime::now_steady_ms();
 
   try {
     require(request.eps.nx() == request.spec.nx && request.eps.ny() == request.spec.ny,
@@ -98,6 +109,8 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     require(request.J.nx() == request.spec.nx && request.J.ny() == request.spec.ny,
             "PredictionService: source shape does not match spec");
     require(request.omega > 0.0, "PredictionService: omega must be positive");
+    const double deadline_abs =
+        request.deadline_ms > 0.0 ? start + request.deadline_ms : 0.0;
 
     const bool surrogate = request.fidelity == solver::FidelityLevel::Low;
     std::shared_ptr<const ServedModel> model;
@@ -127,32 +140,47 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
       return future;
     }
 
+    // Cache misses consume pipeline stages; shed here, at ingress, while the
+    // reply still costs microseconds. Cache hits above bypass admission —
+    // they never queue.
+    admit(request);
+
     if (!surrogate) {
       // Explicit medium/high fidelity: dispatch a solver-backed job.
       solver_requests_.fetch_add(1);
-      // inflight_ must be raised before the job can run (the job decrements
-      // it), so roll the increment back if the enqueue itself throws —
-      // otherwise the destructor's drain loop would spin forever.
-      inflight_.fetch_add(1);
-      try {
-        (void)queue_->submit(
-            [this, request = std::move(request), key, promise, start]() mutable -> int {
-              try {
-                ServeResponse response = solve_high(request);
-                cache_.put(key, std::make_shared<CachedResult>(
-                                    CachedResult{response.Ez, true}));
-                finish(promise, std::move(response), start);
-              } catch (...) {
-                errors_.fetch_add(1);
-                promise.set_exception(std::current_exception());
-              }
-              inflight_.fetch_sub(1);
-              return 0;
-            });
-      } catch (...) {
-        inflight_.fetch_sub(1);
-        throw;
+      if (!breaker_->allow()) {
+        // Solver tier is fenced off. Degrade to an un-verified surrogate
+        // answer when a model is loaded; otherwise the caller gets the
+        // structured breaker_open error and its retry_after hint.
+        auto fallback = registry_->active();
+        if (fallback != nullptr) {
+          answer_surrogate(std::make_shared<const ServeRequest>(std::move(request)),
+                           fallback, key, promise, start, deadline_abs,
+                           /*degraded=*/true);
+          return future;
+        }
+        throw BreakerOpenError(
+            "PredictionService: solver circuit breaker is open and no "
+            "surrogate model is loaded to degrade to");
       }
+      (void)queue_->submit(
+          [this, request = std::move(request), key, promise, start,
+           deadline_abs]() mutable -> int {
+            try {
+              if (deadline_abs > 0.0 && runtime::now_steady_ms() >= deadline_abs) {
+                breaker_->cancel();  // the solver never ran: no outcome to record
+                throw runtime::DeadlineExceeded(
+                    "PredictionService: deadline exceeded in the solver queue");
+              }
+              ServeResponse response = solve_guarded(request, deadline_abs);
+              cache_.put(key, std::make_shared<CachedResult>(
+                                  CachedResult{response.Ez, true}));
+              finish(promise, std::move(response), start);
+            } catch (...) {
+              fail(promise, std::current_exception());
+            }
+            return 0;
+          });
       return future;
     }
 
@@ -161,42 +189,113 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     // answer_surrogate throws before the job is queued, the catch below
     // still holds a live promise to carry the error to the caller.
     answer_surrogate(std::make_shared<const ServeRequest>(std::move(request)),
-                     model, key, promise, start);
+                     model, key, promise, start, deadline_abs, /*degraded=*/false);
   } catch (...) {
-    errors_.fetch_add(1);
-    promise.set_exception(std::current_exception());
+    fail(promise, std::current_exception());
   }
   return future;
+}
+
+void PredictionService::admit(const ServeRequest& request) {
+  (void)request;
+  // inflight_ already counts this request, so "more than max_inflight" means
+  // max_inflight other requests are occupying the pipeline.
+  if (options_.max_inflight > 0 && inflight_.load() > options_.max_inflight) {
+    throw OverloadedError(
+        "PredictionService: overloaded (" + std::to_string(inflight_.load() - 1) +
+            " requests in flight, limit " + std::to_string(options_.max_inflight) + ")",
+        backlog_estimate_ms());
+  }
+  if (options_.max_queue_ms > 0.0) {
+    const double wait = backlog_estimate_ms();
+    if (wait > options_.max_queue_ms) {
+      throw OverloadedError(
+          "PredictionService: overloaded (estimated queue wait " +
+              std::to_string(wait) + " ms exceeds max_queue_ms " +
+              std::to_string(options_.max_queue_ms) + ")",
+          wait);
+    }
+  }
+}
+
+double PredictionService::backlog_estimate_ms() const {
+  // Queue-theory-lite: (waiting ahead of you) / workers * average service
+  // time. Before any request completes, fall back to the batch window as
+  // the only latency scale the service knows.
+  const std::uint64_t done = completed_.load();
+  double avg = options_.max_delay_ms + 1.0;
+  if (done > 0) {
+    std::lock_guard lk(latency_mu_);
+    avg = total_latency_ms_ / static_cast<double>(done);
+  }
+  const std::uint64_t inflight = inflight_.load();
+  const double ahead = inflight > 0 ? static_cast<double>(inflight - 1) : 0.0;
+  const double workers = static_cast<double>(std::max<std::size_t>(1, queue_->worker_count()));
+  return std::max(1.0, ahead / workers * std::max(avg, 0.1));
 }
 
 void PredictionService::answer_surrogate(
     std::shared_ptr<const ServeRequest> request,
     const std::shared_ptr<const ServedModel>& model, const QueryKey& key,
-    runtime::Promise<ServeResponse> promise, double start_ms) {
-  nn::Tensor input = maps::train::make_input_batch(1, request->spec.nx,
-                                                   request->spec.ny, model->encoding);
-  maps::train::encode_input(input, 0, request->eps, request->J, request->omega,
-                            request->spec.dl, model->standardizer, model->encoding);
-
+    runtime::Promise<ServeResponse> promise, double start_ms,
+    double deadline_abs_ms, bool degraded) {
   BatchJob job;
-  job.input = std::move(input);
+  job.input = encode_request(*request, *model);
   job.model = model;
   // The request rides along as a shared_ptr: the callback only needs it for
   // the escalation fallback, and sharing one buffer avoids deep-copying the
   // eps/J grids into every queued job.
-  job.done = [this, request = std::move(request), model, key, promise, start_ms](
-                 nn::Tensor output, std::exception_ptr error) mutable {
-    if (error != nullptr) {
-      errors_.fetch_add(1);
-      promise.set_exception(error);
-      return;
-    }
+  job.done = [this, request = std::move(request), model, key, promise, start_ms,
+              deadline_abs_ms, degraded](nn::Tensor output,
+                                         std::exception_ptr error) mutable {
     try {
+      // Queue hand-off deadline check: the reply is late no matter what the
+      // batch produced, so don't spend decode/screen/escalation on it.
+      if (deadline_abs_ms > 0.0 && runtime::now_steady_ms() >= deadline_abs_ms) {
+        throw runtime::DeadlineExceeded(
+            "PredictionService: deadline exceeded in the batch queue");
+      }
+      if (error != nullptr) {
+        // The batched forward failed (or a chaos fault fired inside it).
+        // A single-sample retry re-runs this request alone through the same
+        // encode + infer, which is bit-identical to its batched row — a
+        // transient batch failure stays invisible to the caller.
+        surrogate_retries_.fetch_add(1);
+        try {
+          output = model->model->infer(encode_request(*request, *model));
+          error = nullptr;
+        } catch (...) {
+          // Surrogate tier is down for this request; fail over to the
+          // solver when the breaker permits.
+          if (breaker_->allow()) {
+            solver_failovers_.fetch_add(1);
+            ServeResponse solved = solve_guarded(*request, deadline_abs_ms);
+            solved.model_id = model->id;
+            solved.model_version = model->version;
+            cache_.put(key,
+                       std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
+            finish(promise, std::move(solved), start_ms);
+            return;
+          }
+          std::rethrow_exception(error);
+        }
+      }
+
       ServeResponse response;
       response.model_id = model->id;
       response.model_version = model->version;
       response.Ez = maps::train::decode_field(output, 0, model->standardizer);
       response.source = ResponseSource::Surrogate;
+
+      if (degraded) {
+        // Breaker-open fallback for a solver-fidelity request: serve the
+        // surrogate answer un-verified and say so. Not cached — a recovered
+        // solver should re-answer the next identical query at full grade.
+        response.degraded = true;
+        degraded_served_.fetch_add(1);
+        finish(promise, std::move(response), start_ms);
+        return;
+      }
 
       // Confidence screen: a non-finite field always escalates; a field
       // whose RMS blows past the training-set scale is suspect when the
@@ -218,22 +317,58 @@ void PredictionService::answer_surrogate(
         // Running on a TaskQueue worker already: solve inline rather than
         // re-queueing (a worker must never wait on queued work).
         escalations_.fetch_add(1);
-        ServeResponse solved = solve_high(*request);
-        solved.model_id = model->id;
-        solved.model_version = model->version;
-        solved.escalated = true;
-        cache_.put(key, std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
-        finish(promise, std::move(solved), start_ms);
+        if (!breaker_->allow()) {
+          // Solver tier fenced off: the suspect surrogate answer beats no
+          // answer. Degrade instead of escalating.
+          response.degraded = true;
+          degraded_served_.fetch_add(1);
+          finish(promise, std::move(response), start_ms);
+          return;
+        }
+        try {
+          ServeResponse solved = solve_guarded(*request, deadline_abs_ms);
+          solved.model_id = model->id;
+          solved.model_version = model->version;
+          solved.escalated = true;
+          cache_.put(key,
+                     std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
+          finish(promise, std::move(solved), start_ms);
+        } catch (const runtime::DeadlineExceeded&) {
+          throw;  // the reply is late either way: report the blown budget
+        } catch (...) {
+          // Escalation solve broke (breaker recorded the failure inside
+          // solve_guarded): degrade to the suspect surrogate answer.
+          response.degraded = true;
+          degraded_served_.fetch_add(1);
+          finish(promise, std::move(response), start_ms);
+        }
         return;
       }
       cache_.put(key, std::make_shared<CachedResult>(CachedResult{response.Ez, false}));
       finish(promise, std::move(response), start_ms);
     } catch (...) {
-      errors_.fetch_add(1);
-      promise.set_exception(std::current_exception());
+      fail(promise, std::current_exception());
     }
   };
   batcher_->submit(std::move(job));
+}
+
+ServeResponse PredictionService::solve_guarded(const ServeRequest& request,
+                                               double deadline_abs_ms) {
+  // Wrap the solve in the request's deadline scope and the breaker's
+  // accounting. A deadline blown mid-solve counts as a solver timeout —
+  // from the pipeline's perspective the tier failed to answer in budget —
+  // so repeated timeouts trip the breaker exactly like hard failures.
+  try {
+    runtime::DeadlineGuard guard(deadline_abs_ms);
+    ServeResponse response = solve_high(request);
+    runtime::check_deadline("PredictionService::solve_guarded");
+    breaker_->record_success();
+    return response;
+  } catch (...) {
+    breaker_->record_failure();
+    throw;
+  }
 }
 
 ServeResponse PredictionService::solve_high(const ServeRequest& request) {
@@ -256,14 +391,33 @@ ServeResponse PredictionService::solve_high(const ServeRequest& request) {
 
 void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
                                ServeResponse response, double start_ms) {
-  const double latency = now_ms() - start_ms;
+  const double latency = runtime::now_steady_ms() - start_ms;
   response.latency_ms = latency;
+  completed_.fetch_add(1);
   {
     std::lock_guard lk(latency_mu_);
     total_latency_ms_ += latency;
     max_latency_ms_ = std::max(max_latency_ms_, latency);
   }
   promise.set_value(std::move(response));
+  // Last touch of service state: the destructor's drain proceeds the moment
+  // this hits zero.
+  inflight_.fetch_sub(1);
+}
+
+void PredictionService::fail(runtime::Promise<ServeResponse>& promise,
+                             std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const OverloadedError&) {
+    shed_.fetch_add(1);
+  } catch (const runtime::DeadlineExceeded&) {
+    deadline_exceeded_.fetch_add(1);
+  } catch (...) {
+    errors_.fetch_add(1);
+  }
+  promise.set_exception(std::move(error));
+  inflight_.fetch_sub(1);
 }
 
 ServeStatsSnapshot PredictionService::stats() const {
@@ -274,6 +428,13 @@ ServeStatsSnapshot PredictionService::stats() const {
   s.solver_requests = solver_requests_.load();
   s.escalations = escalations_.load();
   s.errors = errors_.load();
+  s.shed = shed_.load();
+  s.deadline_exceeded = deadline_exceeded_.load();
+  s.degraded_served = degraded_served_.load();
+  s.surrogate_retries = surrogate_retries_.load();
+  s.solver_failovers = solver_failovers_.load();
+  s.completed = completed_.load();
+  s.breaker = breaker_->stats();
   s.solver_refine_iterations =
       static_cast<std::uint64_t>(solver_cache_->refinement_iteration_count());
   s.solver_refine_fallbacks =

@@ -29,9 +29,11 @@
 #include <string>
 
 #include "fdfd/simulation.hpp"
+#include "runtime/deadline.hpp"
 #include "runtime/future.hpp"
 #include "runtime/task_queue.hpp"
 #include "serve/batcher.hpp"
+#include "serve/breaker.hpp"
 #include "serve/registry.hpp"
 #include "serve/result_cache.hpp"
 
@@ -44,6 +46,27 @@ struct ServeRequest {
   double omega = 0.0;
   fdfd::PmlSpec pml;          // escalation-solve boundary spec
   solver::FidelityLevel fidelity = solver::FidelityLevel::Low;
+  /// Latency budget in ms from submit() (0 = none). Past the deadline the
+  /// request stops consuming pipeline stages — queue hand-offs, refinement
+  /// rounds and Krylov iterations all check — and its future fails with
+  /// runtime::DeadlineExceeded ("deadline_exceeded" on the wire).
+  double deadline_ms = 0.0;
+};
+
+/// Thrown by submit() when admission control sheds the request (pipeline
+/// saturated). `retry_after_ms` is the service's current backlog estimate.
+class OverloadedError : public MapsError {
+ public:
+  OverloadedError(const std::string& what, double retry_after)
+      : MapsError(what), retry_after_ms(retry_after) {}
+  double retry_after_ms = 0.0;
+};
+
+/// Thrown when the solver tier is required (no surrogate fallback possible)
+/// but its circuit breaker is open.
+class BreakerOpenError : public MapsError {
+ public:
+  explicit BreakerOpenError(const std::string& what) : MapsError(what) {}
 };
 
 /// The tier that produced the answer. Cache hits keep the producing tier
@@ -57,6 +80,11 @@ struct ServeResponse {
   ResponseSource source = ResponseSource::Surrogate;
   bool cache_hit = false;
   bool escalated = false;   // surrogate answer failed the confidence screen
+  /// Best-effort answer served while the solver tier's circuit breaker is
+  /// open (or after a failed escalation): the surrogate output is returned
+  /// un-verified instead of failing the request. Degraded answers are never
+  /// cached, so a recovered solver re-answers the next identical query.
+  bool degraded = false;
   std::string model_id;     // empty for pure solver answers
   int model_version = 0;    // 0 for pure solver answers
   double latency_ms = 0.0;
@@ -84,6 +112,24 @@ struct ServeOptions {
   /// each cached factorization holds (~2x the prepared operators per byte
   /// budget) and refines solves back to double accuracy.
   solver::SolverPrecision solver_precision = solver::default_solver_precision();
+
+  // Admission control. A request that misses the cache is shed with
+  // OverloadedError when more than max_inflight requests are already in the
+  // pipeline (0 = unlimited), or when the estimated queue wait alone exceeds
+  // max_queue_ms (0 = no wait bound). Shedding at ingress keeps tail latency
+  // bounded: a saturated service answers "overloaded + retry_after_ms" in
+  // microseconds instead of queueing work it cannot finish in time.
+  std::size_t max_inflight = 0;
+  double max_queue_ms = 0.0;
+
+  // Solver-escalation circuit breaker. After `breaker_failures` consecutive
+  // solver failures/timeouts the breaker opens: escalations short-circuit to
+  // degraded surrogate answers (no solver attempts) until a backoff expires,
+  // then half-open probes test recovery. 0 disables the breaker.
+  int breaker_failures = 5;
+  double breaker_backoff_ms = 1000.0;
+  double breaker_backoff_max_ms = 30000.0;
+  int breaker_half_open_probes = 1;
 };
 
 /// Monotone service counters (snapshot).
@@ -94,6 +140,14 @@ struct ServeStatsSnapshot {
   std::uint64_t solver_requests = 0;     // explicit fidelity-high dispatches
   std::uint64_t escalations = 0;         // confidence-screen failures
   std::uint64_t errors = 0;
+  // Reliability counters.
+  std::uint64_t shed = 0;               // rejected by admission control
+  std::uint64_t deadline_exceeded = 0;  // failed their latency budget
+  std::uint64_t degraded_served = 0;    // un-verified surrogate fallbacks
+  std::uint64_t surrogate_retries = 0;  // single-sample retries after batch failure
+  std::uint64_t solver_failovers = 0;   // surrogate failures answered by the solver
+  std::uint64_t completed = 0;          // requests that produced an answer
+  BreakerStats breaker;                 // solver-tier circuit breaker
   // Mixed-precision accounting of the escalation solver tier (0 under
   // double precision): refinement steps taken and double-factorization
   // fallbacks across the cached backends.
@@ -105,8 +159,7 @@ struct ServeStatsSnapshot {
   ResultCacheStats cache;
 
   double avg_latency_ms() const {
-    const std::uint64_t done = requests - errors;
-    return done == 0 ? 0.0 : total_latency_ms / static_cast<double>(done);
+    return completed == 0 ? 0.0 : total_latency_ms / static_cast<double>(completed);
   }
 };
 
@@ -132,14 +185,26 @@ class PredictionService {
   /// Query identity as cached (exposed for tests).
   static QueryKey make_key(const ServeRequest& request, int model_version);
 
+  /// Circuit breaker of the escalation solver tier (exposed for tests).
+  const CircuitBreaker& breaker() const { return *breaker_; }
+
  private:
   void finish(runtime::Promise<ServeResponse>& promise, ServeResponse response,
               double start_ms);
+  /// Terminal error path: classifies `error` into the right counter
+  /// (shed / deadline_exceeded / errors), releases the inflight slot and
+  /// fails the promise. Every submitted request ends in finish() or fail().
+  void fail(runtime::Promise<ServeResponse>& promise, std::exception_ptr error);
+  void admit(const ServeRequest& request);
+  double backlog_estimate_ms() const;
   ServeResponse solve_high(const ServeRequest& request);
+  /// solve_high under the request's deadline guard and the circuit breaker's
+  /// failure accounting.
+  ServeResponse solve_guarded(const ServeRequest& request, double deadline_abs_ms);
   void answer_surrogate(std::shared_ptr<const ServeRequest> request,
                         const std::shared_ptr<const ServedModel>& model,
                         const QueryKey& key, runtime::Promise<ServeResponse> promise,
-                        double start_ms);
+                        double start_ms, double deadline_abs_ms, bool degraded);
 
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
@@ -147,6 +212,7 @@ class PredictionService {
   runtime::TaskQueue* queue_;
   ResultCache cache_;
   std::shared_ptr<solver::FactorizationCache> solver_cache_;
+  std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<MicroBatcher> batcher_;
 
   std::atomic<std::uint64_t> requests_{0};
@@ -155,6 +221,12 @@ class PredictionService {
   std::atomic<std::uint64_t> solver_requests_{0};
   std::atomic<std::uint64_t> escalations_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> degraded_served_{0};
+  std::atomic<std::uint64_t> surrogate_retries_{0};
+  std::atomic<std::uint64_t> solver_failovers_{0};
+  std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> inflight_{0};
   mutable std::mutex latency_mu_;
   double total_latency_ms_ = 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "fdfd/source.hpp"
+#include "runtime/fault.hpp"
 
 namespace maps::serve {
 
@@ -81,6 +82,11 @@ WireRequest parse_request(const JsonValue& doc, const WireDefaults& defaults) {
   req.fidelity = doc.has("fidelity")
                      ? solver::fidelity_from_name(doc.at("fidelity").as_string())
                      : defaults.fidelity;
+  if (doc.has("deadline_ms")) {
+    req.deadline_ms = doc.at("deadline_ms").as_number();
+    require(req.deadline_ms > 0.0 && std::isfinite(req.deadline_ms),
+            "serve request: deadline_ms must be positive");
+  }
   out.return_field =
       doc.has("return_field") ? doc.at("return_field").as_bool() : true;
   return out;
@@ -94,6 +100,7 @@ JsonValue encode_response(const JsonValue& id, const ServeResponse& response,
   v["source"] = response_source_name(response.source);
   v["cache_hit"] = response.cache_hit;
   v["escalated"] = response.escalated;
+  v["degraded"] = response.degraded;
   if (!response.model_id.empty()) {
     v["model"] = response.model_id;
     v["model_version"] = response.model_version;
@@ -122,14 +129,44 @@ JsonValue encode_response(const JsonValue& id, const ServeResponse& response,
   return v;
 }
 
-JsonValue encode_error(const JsonValue& id, const std::string& message) {
+WireError classify_error(std::exception_ptr error) {
+  WireError out;
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const OverloadedError& e) {
+    out.code = "overloaded";
+    out.message = e.what();
+    out.retry_after_ms = e.retry_after_ms;
+  } catch (const runtime::DeadlineExceeded& e) {
+    out.code = "deadline_exceeded";
+    out.message = e.what();
+  } catch (const BreakerOpenError& e) {
+    out.code = "breaker_open";
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.code = "internal";
+    out.message = e.what();
+  } catch (...) {
+    out.code = "internal";
+    out.message = "unknown error";
+  }
+  return out;
+}
+
+JsonValue encode_error(const JsonValue& id, const WireError& error) {
   JsonValue v;
   v["id"] = id;
   v["ok"] = false;
   JsonValue detail;
-  detail["message"] = message;
+  detail["code"] = error.code;
+  detail["message"] = error.message;
+  if (error.retry_after_ms > 0.0) detail["retry_after_ms"] = error.retry_after_ms;
   v["error"] = detail;
   return v;
+}
+
+JsonValue encode_error(const JsonValue& id, const std::string& message) {
+  return encode_error(id, WireError{"bad_request", message, 0.0});
 }
 
 JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
@@ -154,6 +191,33 @@ JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
   v["deadline_flushes"] = static_cast<double>(stats.batcher.deadline_flushes);
   v["avg_latency_ms"] = stats.avg_latency_ms();
   v["max_latency_ms"] = stats.max_latency_ms;
+  // Reliability counters.
+  v["completed"] = static_cast<double>(stats.completed);
+  v["shed"] = static_cast<double>(stats.shed);
+  v["deadline_exceeded"] = static_cast<double>(stats.deadline_exceeded);
+  v["degraded_served"] = static_cast<double>(stats.degraded_served);
+  v["surrogate_retries"] = static_cast<double>(stats.surrogate_retries);
+  v["solver_failovers"] = static_cast<double>(stats.solver_failovers);
+  JsonValue breaker;
+  breaker["state"] = breaker_state_name(stats.breaker.state);
+  breaker["failures"] = static_cast<double>(stats.breaker.failures);
+  breaker["successes"] = static_cast<double>(stats.breaker.successes);
+  breaker["open_total"] = static_cast<double>(stats.breaker.open_total);
+  breaker["rejected"] = static_cast<double>(stats.breaker.rejected);
+  breaker["current_backoff_ms"] = stats.breaker.current_backoff_ms;
+  v["breaker"] = breaker;
+  // Per-fault-point chaos counters, present only when MAPS_FAULTS armed
+  // anything (the block's absence is the "clean run" signal).
+  if (runtime::fault::armed()) {
+    JsonValue faults;
+    for (const auto& p : runtime::fault::stats()) {
+      JsonValue entry;
+      entry["hits"] = static_cast<double>(p.hits);
+      entry["fires"] = static_cast<double>(p.fires);
+      faults[p.name] = entry;
+    }
+    v["faults"] = faults;
+  }
   return v;
 }
 

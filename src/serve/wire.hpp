@@ -24,8 +24,19 @@
 //
 // "source" is the tier that produced the answer ("surrogate" | "solver");
 // "cache_hit": true marks a reply served from the result cache without
-// re-running that tier. Errors: {"id": ..., "ok": false, "error":
-// {"message": "..."}} — the stream stays usable after an error reply.
+// re-running that tier; "degraded": true marks a best-effort surrogate
+// answer served while the solver tier's circuit breaker is open.
+//
+// Requests may carry "deadline_ms": a per-request latency budget. A request
+// that cannot be answered inside it fails with code "deadline_exceeded".
+//
+// Errors: {"id": ..., "ok": false, "error": {"code": "...", "message":
+// "...", "retry_after_ms": ...}} — the stream stays usable after an error
+// reply. Codes: "bad_request" (malformed request), "request_too_large"
+// (line over the server's byte cap), "overloaded" (admission control shed
+// the request; retry_after_ms is the backlog estimate),
+// "deadline_exceeded", "breaker_open" (solver fenced off, no surrogate to
+// degrade to), "shutting_down" (server draining), "internal".
 #pragma once
 
 #include "io/json.hpp"
@@ -55,6 +66,23 @@ WireRequest parse_request(const io::JsonValue& doc, const WireDefaults& defaults
 
 io::JsonValue encode_response(const io::JsonValue& id, const ServeResponse& response,
                               bool return_field);
+
+/// A structured wire error: machine-readable code + human message, plus an
+/// optional backlog hint for "overloaded".
+struct WireError {
+  std::string code = "internal";
+  std::string message;
+  double retry_after_ms = 0.0;  // emitted only when > 0
+};
+
+/// Map a failed request's exception onto its wire error code:
+/// OverloadedError -> "overloaded" (with retry_after_ms), DeadlineExceeded ->
+/// "deadline_exceeded", BreakerOpenError -> "breaker_open", anything else ->
+/// "internal".
+WireError classify_error(std::exception_ptr error);
+
+io::JsonValue encode_error(const io::JsonValue& id, const WireError& error);
+/// Parse-site convenience: code "bad_request".
 io::JsonValue encode_error(const io::JsonValue& id, const std::string& message);
 
 /// The "serve_stats" report block (CLI exit report, tests).

@@ -6,6 +6,8 @@
 
 #include "math/csr.hpp"
 #include "math/parallel.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/fault.hpp"
 
 namespace maps::solver {
 
@@ -72,6 +74,11 @@ void DirectBandedBackend::factorize() {
 }
 
 void DirectBandedBackend::factorize_locked() {
+  // Reliability instrumentation: a request-scoped deadline aborts before the
+  // (expensive) factorization starts, and the chaos harness can break or
+  // stall this exact point (MAPS_FAULTS "solver.factorize").
+  runtime::check_deadline("DirectBandedBackend::factorize");
+  runtime::fault::point("solver.factorize");
   if (interleaved_) {
     if (!lu_) {
       lu_ = maps::math::to_band(csr_op_->A);
@@ -158,6 +165,9 @@ bool DirectBandedBackend::refine_batch(std::span<const std::vector<cplx>> rhs,
   for (std::size_t r = 0; r < nrhs; ++r) bnorm[r] = l2_norm(rhs[r]);
 
   for (int it = 0; it <= refinement_.max_iters; ++it) {
+    // A blown request deadline stops refining between rounds: the caller is
+    // no longer waiting, so the remaining rounds are pure waste.
+    runtime::check_deadline("DirectBandedBackend::refine");
     std::vector<std::vector<cplx>> residuals;
     std::vector<std::size_t> active;
     for (std::size_t r = 0; r < nrhs; ++r) {
@@ -194,6 +204,7 @@ bool DirectBandedBackend::refine_batch(std::span<const std::vector<cplx>> rhs,
 }
 
 std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
+  runtime::fault::point("solver.solve");
   factorize();
   ++solves_;
   std::vector<cplx> x = rhs;

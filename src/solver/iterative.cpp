@@ -1,6 +1,8 @@
 #include "solver/iterative.hpp"
 
 #include "math/parallel.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/fault.hpp"
 
 namespace maps::solver {
 
@@ -33,7 +35,14 @@ const maps::math::CsrCplx& IterativeBackend::transposed_op() {
 std::vector<cplx> IterativeBackend::run(const maps::math::CsrCplx& A,
                                         const std::vector<cplx>& rhs,
                                         const char* what) {
-  auto res = maps::math::bicgstab(A, rhs, options_);
+  runtime::fault::point("solver.iterative");
+  auto options = options_;
+  if (runtime::current_deadline_ms() > 0.0 && !options.check_cancel) {
+    // A request-scoped deadline aborts between Krylov iterations instead of
+    // grinding out the full max_iters for a caller that stopped waiting.
+    options.check_cancel = [] { runtime::check_deadline("IterativeBackend"); };
+  }
+  auto res = maps::math::bicgstab(A, rhs, options);
   if (!res.converged) {
     throw MapsError(std::string("IterativeBackend: ") + what +
                     " BiCGSTAB did not converge (rel res " +

@@ -8,10 +8,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
+#include "runtime/fault.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -180,6 +183,112 @@ TEST(Wire, TcpModeServesAConnection) {
   EXPECT_TRUE(doc.at("ok").as_bool());
   EXPECT_EQ(doc.at("id").as_int(), 9);
   EXPECT_EQ(doc.at("source").as_string(), "surrogate");
+}
+
+TEST(Wire, ParseDeadline) {
+  const auto wire = serve::parse_request(
+      io::json_parse(request_line(1, 2.0, ", \"deadline_ms\": 250")),
+      test_defaults());
+  EXPECT_DOUBLE_EQ(wire.request.deadline_ms, 250.0);
+  // Omitted: no budget.
+  EXPECT_DOUBLE_EQ(serve::parse_request(io::json_parse(request_line(1, 2.0)),
+                                        test_defaults())
+                       .request.deadline_ms,
+                   0.0);
+  // A deadline must be a positive finite number.
+  for (const char* bad : {", \"deadline_ms\": 0", ", \"deadline_ms\": -5",
+                          ", \"deadline_ms\": \"soon\""}) {
+    EXPECT_THROW(serve::parse_request(io::json_parse(request_line(1, 2.0, bad)),
+                                      test_defaults()),
+                 MapsError)
+        << bad;
+  }
+}
+
+TEST(Wire, EncodeResponseCarriesDegradedFlag) {
+  serve::ServeResponse response;
+  response.Ez = math::CplxGrid(2, 2);
+  response.degraded = true;
+  const auto v = serve::encode_response(JsonValue(7), response,
+                                        /*return_field=*/false);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("degraded").as_bool());
+  response.degraded = false;
+  EXPECT_FALSE(serve::encode_response(JsonValue(7), response, false)
+                   .at("degraded")
+                   .as_bool());
+}
+
+TEST(Wire, ClassifyErrorMapsExceptionsToCodes) {
+  const auto classify = [](std::exception_ptr e) {
+    return serve::classify_error(e);
+  };
+  const auto overloaded = classify(std::make_exception_ptr(
+      serve::OverloadedError("serve: overloaded", 12.5)));
+  EXPECT_EQ(overloaded.code, "overloaded");
+  EXPECT_DOUBLE_EQ(overloaded.retry_after_ms, 12.5);
+  EXPECT_EQ(classify(std::make_exception_ptr(
+                         runtime::DeadlineExceeded("deadline exceeded")))
+                .code,
+            "deadline_exceeded");
+  EXPECT_EQ(classify(std::make_exception_ptr(
+                         serve::BreakerOpenError("breaker open")))
+                .code,
+            "breaker_open");
+  EXPECT_EQ(classify(std::make_exception_ptr(std::runtime_error("boom"))).code,
+            "internal");
+}
+
+TEST(Wire, EncodeErrorEmitsCodeAndRetryHint) {
+  serve::WireError err;
+  err.code = "overloaded";
+  err.message = "pipeline saturated";
+  err.retry_after_ms = 40.0;
+  const auto v = serve::encode_error(JsonValue(3), err);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("id").as_int(), 3);
+  EXPECT_EQ(v.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(v.at("error").at("message").as_string(), "pipeline saturated");
+  EXPECT_DOUBLE_EQ(v.at("error").at("retry_after_ms").as_number(), 40.0);
+
+  // retry_after_ms is omitted when there is no hint; the string overload is
+  // the parse-site convenience with code "bad_request".
+  err.retry_after_ms = 0.0;
+  EXPECT_FALSE(serve::encode_error(JsonValue(3), err).at("error").has("retry_after_ms"));
+  const auto bad = serve::encode_error(JsonValue(), "no eps");
+  EXPECT_EQ(bad.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(Wire, StatsJsonCarriesReliabilityBlock) {
+  serve::ServeStatsSnapshot stats;
+  stats.shed = 2;
+  stats.deadline_exceeded = 3;
+  stats.degraded_served = 4;
+  stats.surrogate_retries = 5;
+  stats.solver_failovers = 1;
+  stats.completed = 7;
+  stats.breaker.state = serve::BreakerState::Open;
+  stats.breaker.open_total = 1;
+  stats.breaker.rejected = 6;
+  const auto v = serve::stats_to_json(stats);
+  EXPECT_EQ(v.at("shed").as_int(), 2);
+  EXPECT_EQ(v.at("deadline_exceeded").as_int(), 3);
+  EXPECT_EQ(v.at("degraded_served").as_int(), 4);
+  EXPECT_EQ(v.at("surrogate_retries").as_int(), 5);
+  EXPECT_EQ(v.at("solver_failovers").as_int(), 1);
+  EXPECT_EQ(v.at("completed").as_int(), 7);
+  EXPECT_EQ(v.at("breaker").at("state").as_string(), "open");
+  EXPECT_EQ(v.at("breaker").at("open_total").as_int(), 1);
+  EXPECT_EQ(v.at("breaker").at("rejected").as_int(), 6);
+  // The per-point fault block appears only when the harness is armed.
+  maps::runtime::fault::disarm_all();
+  EXPECT_FALSE(serve::stats_to_json(stats).has("faults"));
+  maps::runtime::fault::arm_from_spec("wire.test.point=throw@nth:99");
+  EXPECT_TRUE(serve::stats_to_json(stats).has("faults"));
+  maps::runtime::fault::disarm_all();
+  if (const char* env = std::getenv("MAPS_FAULTS")) {
+    if (env[0] != '\0') maps::runtime::fault::arm_from_spec(env);
+  }
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 // Sharded dataset generation: `run <config> --shard i/N [--resume]`
 // overrides the config's shard keys, one process per shard;
 // `merge <config>` reassembles the completed shards into the final dataset.
+#include <csignal>
 #include <cstdio>
+#include <atomic>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +22,24 @@
 #include "runtime/shard.hpp"
 
 namespace {
+
+/// Graceful-shutdown flag for `maps_cli serve`: SIGTERM/SIGINT flip it, the
+/// serve loops drain in-flight work under the configured drain deadline,
+/// flush the final stats report and exit 0.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+void install_stop_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: the signal must interrupt blocking read()/accept() with
+  // EINTR so the serve loops observe the flag instead of blocking forever.
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
 
 int usage() {
   std::cerr <<
@@ -166,9 +186,13 @@ int cmd_serve(const std::string& path, const std::vector<std::string>& flags) {
   }
   if (doc.has("task")) doc.as_object().erase("task");
   const auto config = ServeConfig::from_json(doc);
+  // SIGTERM/SIGINT request a graceful drain (bounded by drain_deadline_ms),
+  // after which the final stats report is still emitted and we exit 0 — a
+  // supervisor's stop is an orderly event, not a crash.
+  install_stop_handlers();
   // Replies own stdout (the wire protocol); the stats report goes to stderr
   // so scripted clients can still collect it.
-  const auto report = run_serve(config, std::cin, std::cout, std::cerr);
+  const auto report = run_serve(config, std::cin, std::cout, std::cerr, &g_stop);
   std::cerr << report.dump(2) << "\n";
   return 0;
 }

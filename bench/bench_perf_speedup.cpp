@@ -4,9 +4,17 @@
 // resolution, plus the amortized re-solve (factorization cached) case.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -19,6 +27,7 @@
 #include "fdfd/te.hpp"
 #include "math/rng.hpp"
 #include "param/pipeline.hpp"
+#include "serve/http_server.hpp"
 #include "serve/service.hpp"
 
 using namespace maps;
@@ -403,6 +412,167 @@ static void BM_ServeMicroBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kServeRequests);
 }
 BENCHMARK(BM_ServeMicroBatched)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+// ----------------------------------------------------- stampede coalescing
+//
+// BM_ServeStampede pair: 32 clients race the SAME cold-cache query. Without
+// coalescing every racer runs its own surrogate forward; with it the first
+// becomes the leader, the other 31 attach to the in-flight computation and
+// share the answer. The CI perf gate tracks the ratio of the two real_times
+// as serve_coalesced_vs_stampede.
+
+constexpr int kStampedeClients = 32;
+
+double run_stampede_wave(maps::serve::PredictionService& service,
+                         const maps::serve::ServeRequest& req) {
+  std::vector<maps::runtime::Future<maps::serve::ServeResponse>> futures;
+  futures.reserve(kStampedeClients);
+  for (int k = 0; k < kStampedeClients; ++k) futures.push_back(service.submit(req));
+  double checksum = 0.0;
+  for (auto& f : futures) checksum += f.get().latency_ms;
+  return checksum;
+}
+
+maps::serve::ServeOptions stampede_options(bool coalesce) {
+  maps::serve::ServeOptions options;
+  options.max_batch = 8;
+  options.max_delay_ms = 2.0;
+  options.workers = 2;
+  options.cache_capacity = 0;  // every wave is a cold-cache stampede
+  options.coalesce = coalesce;
+  return options;
+}
+
+}  // namespace
+
+static void BM_ServeStampede(benchmark::State& state) {
+  const auto registry = serve_registry();
+  const auto req = serve_requests().front();
+  maps::serve::PredictionService service(registry, stampede_options(false));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stampede_wave(service, req));
+  }
+  state.SetItemsProcessed(state.iterations() * kStampedeClients);
+}
+BENCHMARK(BM_ServeStampede)->Unit(benchmark::kMillisecond);
+
+static void BM_ServeStampedeCoalesced(benchmark::State& state) {
+  const auto registry = serve_registry();
+  const auto req = serve_requests().front();
+  maps::serve::PredictionService service(registry, stampede_options(true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stampede_wave(service, req));
+  }
+  state.SetItemsProcessed(state.iterations() * kStampedeClients);
+}
+BENCHMARK(BM_ServeStampedeCoalesced)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+// ------------------------------------------------------ HTTP keep-alive RTT
+//
+// One persistent HTTP/1.1 connection issuing small /predict requests
+// back-to-back. The result cache answers every repeat, so the measured cost
+// is the front end itself: event-loop dispatch, incremental parse, worker
+// hand-off and the in-order reply write.
+
+int bench_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads one Content-Length-framed response off `fd` into `scratch`.
+bool bench_read_reply(int fd, std::string& scratch) {
+  scratch.clear();
+  char buf[4096];
+  std::size_t body_at = std::string::npos;
+  std::size_t content_length = 0;
+  for (;;) {
+    if (body_at == std::string::npos) {
+      const auto head_end = scratch.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const auto cl = scratch.find("Content-Length: ");
+        if (cl == std::string::npos || cl > head_end) return false;
+        content_length = static_cast<std::size_t>(
+            std::atoll(scratch.c_str() + cl + 16));
+        body_at = head_end + 4;
+      }
+    }
+    if (body_at != std::string::npos &&
+        scratch.size() >= body_at + content_length) {
+      return true;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return false;
+    scratch.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+static void BM_ServeHttpKeepAlive(benchmark::State& state) {
+  const auto registry = serve_registry();
+  maps::serve::ServeOptions options;
+  options.max_batch = 8;
+  options.max_delay_ms = 0.5;
+  options.workers = 2;
+  options.cache_capacity = 64;  // repeats are cache hits: front-end cost only
+  maps::serve::PredictionService service(registry, options);
+  const maps::serve::WireDefaults defaults;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> port{0};
+  maps::serve::HttpOptions http;
+  http.stream.stop = &stop;
+  std::thread server([&] {
+    maps::serve::serve_http(service, defaults, http, nullptr, &port);
+  });
+  while (port.load() == 0) std::this_thread::yield();
+  const int fd = bench_connect(port.load());
+
+  // One wire body, reused: 32x32 eps, summary-only reply.
+  std::ostringstream body;
+  body << "{\"nx\": " << kServeGrid << ", \"ny\": " << kServeGrid
+       << ", \"dl\": " << (6.4 / static_cast<double>(kServeGrid))
+       << ", \"return_field\": false, \"eps\": [";
+  {
+    const auto req = serve_requests().front();
+    for (index_t n = 0; n < req.eps.size(); ++n) {
+      body << (n == 0 ? "" : ",") << req.eps[n];
+    }
+  }
+  body << "]}";
+  std::ostringstream wire;
+  wire << "POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Length: "
+       << body.str().size() << "\r\n\r\n" << body.str();
+  const std::string request = wire.str();
+
+  std::string scratch;
+  bool alive = fd >= 0;
+  for (auto _ : state) {
+    alive = alive &&
+            ::send(fd, request.data(), request.size(), MSG_NOSIGNAL) ==
+                static_cast<ssize_t>(request.size()) &&
+            bench_read_reply(fd, scratch);
+    if (!alive) state.SkipWithError("http connection failed");
+  }
+  if (fd >= 0) ::close(fd);
+  stop.store(true);
+  server.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeHttpKeepAlive)->Unit(benchmark::kMillisecond);
 
 static void BM_FnoInference(benchmark::State& state) {
   const index_t n = state.range(0);

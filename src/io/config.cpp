@@ -1,5 +1,7 @@
 #include "io/config.hpp"
 
+#include <arpa/inet.h>
+
 #include <cctype>
 #include <set>
 
@@ -431,12 +433,15 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
       "conn_max_inflight");
   cfg.stream.drain_deadline_ms =
       r.number("drain_deadline_ms", cfg.stream.drain_deadline_ms);
+  cfg.stream.bind_address = r.string("bind_address", cfg.stream.bind_address);
+  cfg.serve.coalesce = r.boolean("coalesce", cfg.serve.coalesce);
 
   cfg.dl = r.number("dl", cfg.dl);
   cfg.wavelength = r.number("wavelength", cfg.wavelength);
   cfg.pml.ncells = r.integer("pml_ncells", cfg.pml.ncells);
   cfg.fidelity = r.string("fidelity", "low");
   cfg.port = r.integer("port", 0);
+  cfg.http = r.boolean("http", false);
   cfg.max_connections = r.integer("max_connections", -1);
   cfg.report = r.string("report", "");
   r.reject_unknown();
@@ -466,6 +471,16 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
   }
   if (cfg.stream.drain_deadline_ms < 0.0) {
     throw MapsError("serve: drain_deadline_ms must be >= 0");
+  }
+  {
+    // Fail at config-parse time, not bind time: a typo'd bind_address must
+    // not get as far as loading models and opening sockets.
+    in_addr parsed{};
+    if (::inet_pton(AF_INET, cfg.stream.bind_address.c_str(), &parsed) != 1) {
+      throw MapsError("serve: invalid bind_address '" + cfg.stream.bind_address +
+                      "' (expected an IPv4 literal such as 127.0.0.1 or "
+                      "0.0.0.0)");
+    }
   }
   check_positive(cfg.dl, "dl");
   check_positive(cfg.wavelength, "wavelength");
@@ -506,11 +521,14 @@ JsonValue ServeConfig::to_json() const {
   v["max_request_mb"] = static_cast<int>(stream.max_request_bytes >> 20);
   v["conn_max_inflight"] = static_cast<int>(stream.conn_max_inflight);
   v["drain_deadline_ms"] = stream.drain_deadline_ms;
+  v["bind_address"] = stream.bind_address;
+  v["coalesce"] = serve.coalesce;
   v["dl"] = dl;
   v["wavelength"] = wavelength;
   v["pml_ncells"] = pml.ncells;
   v["fidelity"] = fidelity;
   v["port"] = port;
+  v["http"] = http;
   v["max_connections"] = max_connections;
   if (!report.empty()) v["report"] = report;
   return v;

@@ -120,7 +120,11 @@ struct ServeConfig {
   double wavelength = 1.55;
   fdfd::PmlSpec pml;
   std::string fidelity = "low";
-  int port = 0;           // 0 = stdio mode
+  int port = 0;           // 0 = stdio mode (TCP/HTTP: 0 picks a free port)
+  /// Front-end selector: false = ndjson (stdio when port == 0, TCP
+  /// otherwise), true = the event-loop HTTP/1.1 server ("http" key; pair
+  /// with "bind_address" to serve beyond loopback).
+  bool http = false;
   int max_connections = -1;  // TCP mode: stop after N connections (-1 = run on)
   std::string report;     // optional stats JSON output path
 

@@ -114,7 +114,7 @@ bool JsonValue::operator==(const JsonValue& o) const {
 
 namespace {
 
-void dump_string(std::string& out, const std::string& s) {
+void dump_string(std::string& out, std::string_view s) {
   out += '"';
   for (const char c : s) {
     switch (c) {
@@ -207,6 +207,88 @@ std::string JsonValue::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+// -------------------------------------------------------- streaming writer
+
+void JsonWriter::comma() {
+  // A value directly after its key is never comma-separated; siblings within
+  // one object/array are.
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      *out_ += ',';
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  *out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  first_.pop_back();
+  *out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  *out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  first_.pop_back();
+  *out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  dump_string(*out_, k);
+  *out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double n) {
+  comma();
+  dump_number(*out_, n);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  *out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  dump_string(*out_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  *out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const JsonValue& v) {
+  comma();
+  v.dump_to(*out_, /*indent=*/0, /*depth=*/0);
+  return *this;
 }
 
 // ------------------------------------------------------------------- parsing

@@ -74,6 +74,7 @@ class JsonValue {
   bool operator==(const JsonValue& o) const;
 
  private:
+  friend class JsonWriter;
   void dump_to(std::string& out, int indent, int depth) const;
 
   JsonType type_;
@@ -82,6 +83,47 @@ class JsonValue {
   std::string str_;
   JsonArray arr_;
   JsonObject obj_;
+};
+
+/// Streaming serializer: appends compact JSON — byte-identical to what
+/// JsonValue::dump(0) would produce for the same document — directly onto a
+/// caller-owned string. Hot reply paths (the serve wire layer emitting
+/// nx*ny-element field arrays per prediction) use it to skip building a
+/// JsonValue tree per reply; string escaping and number formatting are the
+/// same single implementations dump() uses, so wire escaping lives in one
+/// place. The writer tracks nesting only to place commas — callers are
+/// trusted to emit a well-formed sequence (keys only inside objects, every
+/// key followed by exactly one value).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object member key (escaped), followed by ':'.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double n);
+  JsonWriter& value(int n) { return value(static_cast<double>(n)); }
+  JsonWriter& value(index_t n) { return value(static_cast<double>(n)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  /// Exact-match overload: without it a std::string argument is ambiguous
+  /// between string_view and the implicit JsonValue constructor.
+  JsonWriter& value(const std::string& s) { return value(std::string_view(s)); }
+  JsonWriter& null();
+  /// Splice an already-built document subtree (e.g. an echoed request id).
+  JsonWriter& value(const JsonValue& v);
+
+ private:
+  void comma();
+
+  std::string* out_;
+  std::vector<bool> first_;  // per nesting level: no element emitted yet
+  bool pending_key_ = false;
 };
 
 /// Parse a complete JSON document (trailing whitespace allowed, trailing

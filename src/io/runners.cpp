@@ -15,6 +15,7 @@
 #include "core/train/trainer.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/datagen.hpp"
+#include "serve/http_server.hpp"
 #include "serve/server.hpp"
 
 namespace maps::io {
@@ -359,7 +360,16 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
 
   serve::StreamOptions stream = config.stream;
   stream.stop = stop;
-  if (config.port > 0) {
+  JsonValue http_report;
+  if (config.http) {
+    serve::HttpOptions http;
+    http.port = config.port;
+    http.stream = stream;
+    const auto hr = serve::serve_http(service, defaults, http, &log, nullptr);
+    http_report["requests"] = static_cast<double>(hr.requests);
+    http_report["errors"] = static_cast<double>(hr.errors);
+    http_report["connections"] = static_cast<double>(hr.connections);
+  } else if (config.port > 0) {
     serve::serve_tcp(service, defaults, config.port, &log, config.max_connections,
                      nullptr, stream);
   } else {
@@ -374,6 +384,7 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
   report["model"] = served->id;
   report["model_version"] = served->version;
   report["serve_stats"] = serve::stats_to_json(service.stats());
+  if (config.http) report["http"] = http_report;
   report["config"] = config.to_json();
   if (!config.report.empty()) json_save(report, config.report);
   return report;

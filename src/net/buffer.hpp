@@ -1,0 +1,51 @@
+// ByteBuffer: the per-connection read/write accumulation buffer of the net
+// layer.
+//
+// A contiguous std::string with a consumed-prefix offset, so the HTTP parser
+// can peek at everything received so far, consume exactly the bytes one
+// message used, and leave the pipelined remainder in place for the next
+// message — without shifting memory on every consume. The consumed prefix is
+// compacted away lazily, once it outgrows half the buffer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace maps::net {
+
+class ByteBuffer {
+ public:
+  void append(const char* data, std::size_t n) { data_.append(data, n); }
+  void append(std::string_view s) { data_.append(s); }
+
+  /// Everything received and not yet consumed.
+  std::string_view readable() const {
+    return std::string_view(data_).substr(offset_);
+  }
+  std::size_t size() const { return data_.size() - offset_; }
+  bool empty() const { return size() == 0; }
+
+  /// Drop `n` bytes from the front (n <= size()).
+  void consume(std::size_t n) {
+    offset_ += n;
+    if (offset_ >= data_.size()) {
+      data_.clear();
+      offset_ = 0;
+    } else if (offset_ > data_.size() / 2 && offset_ > 4096) {
+      data_.erase(0, offset_);
+      offset_ = 0;
+    }
+  }
+
+  void clear() {
+    data_.clear();
+    offset_ = 0;
+  }
+
+ private:
+  std::string data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace maps::net

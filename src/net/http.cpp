@@ -1,0 +1,348 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace maps::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Find "\r\n" in the unconsumed bytes; npos when incomplete.
+std::size_t find_crlf(std::string_view s) { return s.find("\r\n"); }
+
+/// Comma-separated token list membership, case-insensitive
+/// ("Connection: keep-alive, TE" contains "keep-alive").
+bool token_list_contains(std::string_view list, std::string_view token) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    std::string_view item = list.substr(pos, comma == std::string_view::npos
+                                                 ? std::string_view::npos
+                                                 : comma - pos);
+    if (iequals(trim(item), token)) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::find_header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string message) {
+  state_ = State::Error;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return Status::Error;
+}
+
+HttpParser::Status HttpParser::finish_headers() {
+  // Framing decision (RFC 9112 §6): Transfer-Encoding wins over
+  // Content-Length; both present is a smuggling vector -> reject.
+  const std::string* te = request_.find_header("Transfer-Encoding");
+  const std::string* cl = request_.find_header("Content-Length");
+  if (te && cl) {
+    return fail(400, "both Transfer-Encoding and Content-Length present");
+  }
+
+  // Keep-alive default per version, overridden by Connection tokens.
+  request_.keep_alive = request_.version_minor >= 1;
+  if (const std::string* conn = request_.find_header("Connection")) {
+    if (token_list_contains(*conn, "close")) {
+      request_.keep_alive = false;
+    } else if (token_list_contains(*conn, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+
+  if (te) {
+    if (!iequals(trim(*te), "chunked")) {
+      return fail(400, "unsupported Transfer-Encoding: " + *te);
+    }
+    state_ = State::ChunkSize;
+    return Status::NeedMore;
+  }
+  if (cl) {
+    std::string_view text = trim(*cl);
+    if (text.empty() ||
+        !std::all_of(text.begin(), text.end(),
+                     [](char c) { return c >= '0' && c <= '9'; }) ||
+        text.size() > 15) {
+      return fail(400, "invalid Content-Length");
+    }
+    std::size_t n = 0;
+    for (char c : text) n = n * 10 + static_cast<std::size_t>(c - '0');
+    if (n > limits_.max_body_bytes) {
+      return fail(413, "request body exceeds limit");
+    }
+    if (n == 0) {
+      state_ = State::Ready;
+      return Status::Ready;
+    }
+    body_remaining_ = n;
+    request_.body.reserve(n);
+    state_ = State::Body;
+    return Status::NeedMore;
+  }
+  // No framing headers: no body.
+  state_ = State::Ready;
+  return Status::Ready;
+}
+
+HttpParser::Status HttpParser::feed(ByteBuffer& in) {
+  while (true) {
+    switch (state_) {
+      case State::RequestLine: {
+        std::string_view data = in.readable();
+        std::size_t eol = find_crlf(data);
+        if (eol == std::string_view::npos) {
+          if (data.size() > limits_.max_header_bytes) {
+            return fail(431, "request line exceeds header limit");
+          }
+          return Status::NeedMore;
+        }
+        std::string_view line = data.substr(0, eol);
+        header_bytes_ = eol + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return fail(431, "request line exceeds header limit");
+        }
+        // METHOD SP TARGET SP HTTP/1.x — exactly two separating spaces.
+        std::size_t sp1 = line.find(' ');
+        std::size_t sp2 =
+            sp1 == std::string_view::npos ? std::string_view::npos
+                                          : line.find(' ', sp1 + 1);
+        if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+            sp1 == 0 || sp2 == sp1 + 1 ||
+            line.find(' ', sp2 + 1) != std::string_view::npos) {
+          return fail(400, "malformed request line");
+        }
+        std::string_view method = line.substr(0, sp1);
+        std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        std::string_view version = line.substr(sp2 + 1);
+        if (version.size() != 8 || version.substr(0, 7) != "HTTP/1." ||
+            (version[7] != '0' && version[7] != '1')) {
+          return fail(400, "unsupported HTTP version");
+        }
+        if (!std::all_of(method.begin(), method.end(), [](char c) {
+              return (c >= 'A' && c <= 'Z') || c == '-';
+            })) {
+          return fail(400, "malformed request line");
+        }
+        request_.method.assign(method);
+        request_.target.assign(target);
+        request_.version_minor = version[7] - '0';
+        in.consume(eol + 2);
+        state_ = State::Headers;
+        break;
+      }
+
+      case State::Headers: {
+        std::string_view data = in.readable();
+        std::size_t eol = find_crlf(data);
+        if (eol == std::string_view::npos) {
+          if (header_bytes_ + data.size() > limits_.max_header_bytes) {
+            return fail(431, "headers exceed limit");
+          }
+          return Status::NeedMore;
+        }
+        header_bytes_ += eol + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return fail(431, "headers exceed limit");
+        }
+        if (eol == 0) {  // blank line: end of headers
+          in.consume(2);
+          Status st = finish_headers();
+          if (st != Status::NeedMore) return st;
+          break;
+        }
+        std::string_view line = data.substr(0, eol);
+        std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0 ||
+            line[colon - 1] == ' ' || line[colon - 1] == '\t') {
+          return fail(400, "malformed header field");
+        }
+        request_.headers.emplace_back(std::string(line.substr(0, colon)),
+                                      std::string(trim(line.substr(colon + 1))));
+        in.consume(eol + 2);
+        break;
+      }
+
+      case State::Body: {
+        std::string_view data = in.readable();
+        if (data.empty()) return Status::NeedMore;
+        std::size_t take = std::min(data.size(), body_remaining_);
+        request_.body.append(data.substr(0, take));
+        in.consume(take);
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) return Status::NeedMore;
+        state_ = State::Ready;
+        return Status::Ready;
+      }
+
+      case State::ChunkSize: {
+        std::string_view data = in.readable();
+        std::size_t eol = find_crlf(data);
+        if (eol == std::string_view::npos) {
+          if (data.size() > 1024) return fail(400, "invalid chunk size line");
+          return Status::NeedMore;
+        }
+        std::string_view line = data.substr(0, eol);
+        // Strip chunk extensions (";ext=val"); size is hex.
+        std::size_t semi = line.find(';');
+        std::string_view hex =
+            trim(semi == std::string_view::npos ? line : line.substr(0, semi));
+        if (hex.empty() || hex.size() > 8 ||
+            !std::all_of(hex.begin(), hex.end(), [](char c) {
+              return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+            })) {
+          return fail(400, "invalid chunk size");
+        }
+        std::size_t n = 0;
+        for (char c : hex) {
+          n = n * 16 + static_cast<std::size_t>(
+                           c <= '9' ? c - '0'
+                                    : std::tolower(static_cast<unsigned char>(c)) -
+                                          'a' + 10);
+        }
+        if (request_.body.size() + n > limits_.max_body_bytes) {
+          return fail(413, "request body exceeds limit");
+        }
+        in.consume(eol + 2);
+        if (n == 0) {
+          state_ = State::Trailers;
+        } else {
+          body_remaining_ = n;
+          state_ = State::ChunkData;
+        }
+        break;
+      }
+
+      case State::ChunkData: {
+        std::string_view data = in.readable();
+        if (data.empty()) return Status::NeedMore;
+        std::size_t take = std::min(data.size(), body_remaining_);
+        request_.body.append(data.substr(0, take));
+        in.consume(take);
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) return Status::NeedMore;
+        state_ = State::ChunkCrlf;
+        break;
+      }
+
+      case State::ChunkCrlf: {
+        std::string_view data = in.readable();
+        if (data.size() < 2) return Status::NeedMore;
+        if (data.substr(0, 2) != "\r\n") {
+          return fail(400, "missing CRLF after chunk data");
+        }
+        in.consume(2);
+        state_ = State::ChunkSize;
+        break;
+      }
+
+      case State::Trailers: {
+        // Trailer fields are parsed for framing and discarded.
+        std::string_view data = in.readable();
+        std::size_t eol = find_crlf(data);
+        if (eol == std::string_view::npos) {
+          if (data.size() > limits_.max_header_bytes) {
+            return fail(431, "trailers exceed limit");
+          }
+          return Status::NeedMore;
+        }
+        in.consume(eol + 2);
+        if (eol == 0) {
+          state_ = State::Ready;
+          return Status::Ready;
+        }
+        break;
+      }
+
+      case State::Ready:
+        return Status::Ready;
+      case State::Error:
+        return Status::Error;
+    }
+  }
+}
+
+HttpRequest HttpParser::take_request() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  state_ = State::RequestLine;
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  error_status_ = 0;
+  error_message_.clear();
+  return out;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          const std::vector<std::pair<std::string, std::string>>&
+                              extra) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  char head[64];
+  std::snprintf(head, sizeof(head), "HTTP/1.1 %d ", status);
+  out += head;
+  out += http_status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  std::snprintf(head, sizeof(head), "%zu", body.size());
+  out += head;
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  for (const auto& [k, v] : extra) {
+    out += "\r\n";
+    out += k;
+    out += ": ";
+    out += v;
+  }
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace maps::net

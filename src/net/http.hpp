@@ -1,0 +1,107 @@
+// Incremental HTTP/1.1 message layer: request parser + response serializer.
+//
+// The parser is a push state machine over a ByteBuffer: feed() consumes as
+// many buffered bytes as one request needs and stops, leaving pipelined
+// follow-up requests untouched for the next feed() after take_request()
+// resets the machine. It understands request line + headers, fixed
+// Content-Length bodies, and chunked transfer coding (with trailers), and
+// enforces two byte caps:
+//
+//   max_header_bytes   request line + headers; over it -> 431 (the headers
+//                      cannot be trusted, so the connection must close)
+//   max_body_bytes     declared or accumulated body; over it -> 413
+//
+// Malformed input (bad request line, header without ':', conflicting
+// framing headers, invalid chunk size) parks the parser in Error with
+// status 400; the connection layer replies with the structured error
+// envelope and closes. The parser never throws — serving must not unwind
+// on hostile bytes.
+//
+// Keep-alive follows RFC defaults: HTTP/1.1 persists unless
+// "Connection: close"; HTTP/1.0 closes unless "Connection: keep-alive".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/buffer.hpp"
+
+namespace maps::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase as received ("GET", "POST", ...)
+  std::string target;   // origin-form, e.g. "/predict"
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* find_header(std::string_view name) const;
+};
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 64u << 10;
+  std::size_t max_body_bytes = 8u << 20;
+};
+
+class HttpParser {
+ public:
+  enum class Status { NeedMore, Ready, Error };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consume buffered bytes until one request is complete (Ready), the data
+  /// runs out (NeedMore), or the input is rejected (Error; see
+  /// error_status() / error_message(), the parser stays parked and the
+  /// connection should be closed after the error reply).
+  Status feed(ByteBuffer& in);
+
+  /// Move the completed request out and reset for the next one (keep-alive).
+  HttpRequest take_request();
+
+  /// True while a request is mid-parse (header or body bytes consumed but
+  /// not Ready) — a peer that disconnects here truncated its request.
+  bool mid_request() const { return state_ != State::RequestLine || header_bytes_ > 0; }
+
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  enum class State {
+    RequestLine,
+    Headers,
+    Body,       // fixed Content-Length remainder
+    ChunkSize,
+    ChunkData,
+    ChunkCrlf,
+    Trailers,
+    Ready,
+    Error,
+  };
+
+  Status fail(int status, std::string message);
+  Status finish_headers();  // framing decision after the blank line
+
+  HttpLimits limits_;
+  State state_ = State::RequestLine;
+  HttpRequest request_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_remaining_ = 0;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// Serialize one response head + body. Emitted headers: Content-Type,
+/// Content-Length, Connection (+ any `extra` pairs, e.g. Retry-After).
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          const std::vector<std::pair<std::string, std::string>>&
+                              extra = {});
+
+const char* http_status_reason(int status);
+
+}  // namespace maps::net

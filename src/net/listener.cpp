@@ -1,0 +1,59 @@
+#include "net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "math/types.hpp"
+
+namespace maps::net {
+
+int make_listener(const std::string& bind_address, int port, int backlog) {
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, bind_address.c_str(), &parsed) != 1) {
+    throw MapsError("serve: invalid bind_address '" + bind_address +
+                    "' (expected an IPv4 literal such as 127.0.0.1 or 0.0.0.0)");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "serve: socket() failed");
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parsed;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw MapsError("serve: cannot bind " + bind_address + ":" +
+                    std::to_string(port) + " (" + std::strerror(err) + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw MapsError("serve: listen() failed on " + bind_address + ":" +
+                    std::to_string(port));
+  }
+  return fd;
+}
+
+int listener_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  require(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+          "serve: getsockname() failed");
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  require(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+          "serve: fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace maps::net

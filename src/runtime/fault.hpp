@@ -35,7 +35,8 @@
 //
 // Registered point names in this repo: solver.factorize, solver.solve,
 // solver.iterative, batcher.run_batch, registry.load, journal.append,
-// journal.compact, manifest.save, serve.tcp.read, serve.tcp.write.
+// journal.compact, manifest.save, serve.tcp.read, serve.tcp.write,
+// http.read, http.write, coalesce.attach.
 #pragma once
 
 #include <atomic>

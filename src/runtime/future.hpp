@@ -11,10 +11,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "math/types.hpp"
 
@@ -29,6 +31,7 @@ struct SharedState {
   std::optional<T> value;
   std::exception_ptr error;
   bool done = false;
+  std::vector<std::function<void()>> callbacks;
 };
 
 }  // namespace detail
@@ -66,6 +69,24 @@ class Future {
                                [&] { return state_->done; });
   }
 
+  /// Completion hook: `fn` runs exactly once, after the producer delivers
+  /// (value or exception) — immediately on the caller's thread when the
+  /// future is already done, otherwise on the producer's thread inside
+  /// set_value / set_exception. Callbacks must be cheap and non-blocking
+  /// (the HTTP front end uses them to hand a finished reply back to its
+  /// event loop); never wait on another future from inside one.
+  void subscribe(std::function<void()> fn) const {
+    maps::require(valid(), "Future::subscribe: empty future");
+    {
+      std::unique_lock lk(state_->mu);
+      if (!state_->done) {
+        state_->callbacks.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();  // already delivered: run inline, outside the lock
+  }
+
   /// Block until delivered; return the value or rethrow the producer's
   /// exception. The value is *moved out* — get() is one-shot per future
   /// chain (copies of the same Future share one underlying value).
@@ -92,23 +113,29 @@ class Promise {
   Future<T> future() const { return Future<T>(state_); }
 
   void set_value(T value) {
+    std::vector<std::function<void()>> callbacks;
     {
       std::lock_guard lk(state_->mu);
       maps::require(!state_->done, "Promise::set_value: already satisfied");
       state_->value = std::move(value);
       state_->done = true;
+      callbacks.swap(state_->callbacks);
     }
     state_->cv.notify_all();
+    for (auto& fn : callbacks) fn();
   }
 
   void set_exception(std::exception_ptr e) {
+    std::vector<std::function<void()>> callbacks;
     {
       std::lock_guard lk(state_->mu);
       maps::require(!state_->done, "Promise::set_exception: already satisfied");
       state_->error = std::move(e);
       state_->done = true;
+      callbacks.swap(state_->callbacks);
     }
     state_->cv.notify_all();
+    for (auto& fn : callbacks) fn();
   }
 
  private:

@@ -1,0 +1,67 @@
+// HTTP/1.1 serve front end on the net::EventLoop.
+//
+// One event-loop thread owns every socket: accepts, reads, incremental
+// parsing and reply writes all happen there, so thousands of idle keep-alive
+// connections cost file descriptors, not threads. Service work never runs on
+// the loop: a /predict body is handed to the service's TaskQueue, the
+// prediction futures are subscribed, and the finished reply is posted back
+// to the loop thread, which slots it into the connection's in-order reply
+// queue (pipelined requests answer strictly in request order).
+//
+// Endpoints:
+//   POST /predict   one wire request object, or a JSON array of them (the
+//                   reply is then a JSON array, per-element ok/error)
+//   GET  /healthz   {"status": "ok" | "degraded" | "draining" |
+//                   "unavailable", ...} — degraded/unavailable follow the
+//                   solver breaker and model registry, draining follows the
+//                   stop flag; statuses ok/degraded answer 200, the rest 503
+//   GET  /stats     the ServeStats wire JSON (same document as the CLI
+//                   "serve_stats" report block)
+//
+// Errors reuse the PR 7 wire envelope {"error":{"code",...}}: 400
+// bad_request, 413 request_too_large, 429 overloaded (+ Retry-After), 503
+// breaker_open / shutting_down, 504 deadline_exceeded, 500 internal.
+//
+// Shutdown: when options.stream.stop flips, the listener closes, reads
+// pause, in-flight replies drain under stream.drain_deadline_ms, then every
+// connection is torn down and serve_http returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/server.hpp"
+
+namespace maps::serve {
+
+struct HttpOptions {
+  int port = 0;          // 0 picks a free port (see bound_port)
+  int backlog = 128;
+  /// Accepted-connection cap; excess accepts are closed immediately.
+  std::size_t max_connections = 10000;
+  std::size_t max_header_bytes = 64u << 10;  // over it: 431, close
+  /// Drain-flag poll period of the loop (ms).
+  double tick_ms = 20.0;
+  /// Shared socket front-end knobs: bind_address, max_request_bytes (the
+  /// body cap behind 413), conn_max_inflight (per-connection pipeline
+  /// window), stop, drain_deadline_ms.
+  StreamOptions stream;
+};
+
+struct HttpServeReport {
+  std::size_t requests = 0;     // HTTP requests parsed (all endpoints)
+  std::size_t errors = 0;       // error replies (4xx/5xx) + aborted conns
+  std::size_t connections = 0;  // connections accepted
+};
+
+/// Run the HTTP front end until the stop flag flips (or forever). Blocks the
+/// calling thread (it becomes the event-loop thread). `bound_port`, when
+/// non-null, receives the listening port before the first accept.
+HttpServeReport serve_http(PredictionService& service,
+                           const WireDefaults& defaults,
+                           const HttpOptions& options = {},
+                           std::ostream* log = nullptr,
+                           std::atomic<int>* bound_port = nullptr);
+
+}  // namespace maps::serve

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/listener.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
 
@@ -27,11 +28,11 @@ namespace maps::serve {
 
 namespace {
 
-/// One reply slot in the in-order pipeline: either an already-formed error
-/// document (parse failures reply immediately) or a pending prediction.
+/// One reply slot in the in-order pipeline: either an already-serialized
+/// error line (parse failures reply immediately) or a pending prediction.
 struct PendingReply {
   bool is_error = false;
-  io::JsonValue error_doc;
+  std::string error_text;
   runtime::Future<ServeResponse> future;
   io::JsonValue id;
   bool return_field = true;
@@ -98,9 +99,9 @@ StreamServeReport serve_stream(PredictionService& service,
         queue.pop_front();
       }
       cv_space.notify_one();
-      io::JsonValue doc;
+      std::string text;
       if (reply.is_error) {
-        doc = std::move(reply.error_doc);
+        text = std::move(reply.error_text);
       } else {
         bool ready = true;
         if (stopping()) {
@@ -111,7 +112,7 @@ StreamServeReport serve_stream(PredictionService& service,
           ready = reply.future.wait_for_ms(drain_until - runtime::now_steady_ms());
         }
         if (!ready) {
-          doc = encode_error(
+          text = encode_error_text(
               reply.id, WireError{"shutting_down",
                                   "server draining: reply abandoned at shutdown",
                                   0.0});
@@ -119,16 +120,18 @@ StreamServeReport serve_stream(PredictionService& service,
           ++errors;
         } else {
           try {
-            doc = encode_response(reply.id, reply.future.get(), reply.return_field);
+            text = encode_response_text(reply.id, reply.future.get(),
+                                        reply.return_field);
           } catch (...) {
-            doc = encode_error(reply.id, classify_error(std::current_exception()));
+            text = encode_error_text(reply.id,
+                                     classify_error(std::current_exception()));
             std::lock_guard lk(mu);
             ++errors;
           }
         }
       }
       if (!sink_broken) {
-        out << doc.dump() << "\n" << std::flush;
+        out << text << "\n" << std::flush;
         if (!out.good()) {
           // Client went away mid-reply (broken pipe / closed socket). Not
           // fatal: log it once and drain the remaining replies unsent so
@@ -154,7 +157,7 @@ StreamServeReport serve_stream(PredictionService& service,
     if (oversized) {
       reply.is_error = true;
       io::JsonValue id;  // the id sits somewhere inside the discarded line
-      reply.error_doc = encode_error(
+      reply.error_text = encode_error_text(
           id, WireError{"request_too_large",
                         "serve request: line exceeds " +
                             std::to_string(options.max_request_bytes) + " bytes",
@@ -171,7 +174,8 @@ StreamServeReport serve_stream(PredictionService& service,
       } catch (const std::exception& e) {
         reply.is_error = true;
         io::JsonValue id;  // null: the id may not even have parsed
-        reply.error_doc = encode_error(id, e.what());
+        reply.error_text =
+            encode_error_text(id, WireError{"bad_request", e.what(), 0.0});
         std::lock_guard lk(mu);
         ++errors;
       }
@@ -263,28 +267,11 @@ class FdStreamBuf final : public std::streambuf {
 void serve_tcp(PredictionService& service, const WireDefaults& defaults, int port,
                std::ostream* log, int max_connections,
                std::atomic<int>* bound_port, const StreamOptions& options) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  require(listener >= 0, "serve_tcp: socket() failed");
-  const int reuse = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listener);
-    throw MapsError("serve_tcp: cannot bind 127.0.0.1:" + std::to_string(port));
-  }
-  if (::listen(listener, 16) != 0) {
-    ::close(listener);
-    throw MapsError("serve_tcp: listen() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
-  if (bound_port != nullptr) bound_port->store(ntohs(addr.sin_port));
+  const int listener = net::make_listener(options.bind_address, port, 16);
+  if (bound_port != nullptr) bound_port->store(net::listener_port(listener));
   if (log != nullptr) {
-    *log << "[serve] listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n";
+    *log << "[serve] listening on " << options.bind_address << ":"
+         << net::listener_port(listener) << "\n";
   }
 
   // Handler threads each buffer their connection's log lines and flush them

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstddef>
 #include <iosfwd>
+#include <string>
 
 #include "serve/wire.hpp"
 
@@ -40,6 +41,11 @@ struct StreamOptions {
   /// "shutting_down"}} instead of holding the process open.
   const std::atomic<bool>* stop = nullptr;
   double drain_deadline_ms = 5000.0;
+  /// Listening address shared by the socket front ends (TCP and HTTP). Must
+  /// be an IPv4 literal; the default keeps the server loopback-only — serve
+  /// to other machines by opting into "0.0.0.0" (or a specific interface)
+  /// explicitly. Validated at bind time with a clear error.
+  std::string bind_address = "127.0.0.1";
 };
 
 /// Serve ndjson requests from `in`, one reply line per request on `out`,
@@ -51,7 +57,7 @@ StreamServeReport serve_stream(PredictionService& service,
                                std::ostream& out, std::ostream* log = nullptr,
                                const StreamOptions& options = {});
 
-/// Listen on 127.0.0.1:`port` (port 0 picks a free one) and serve each
+/// Listen on `options.bind_address`:`port` (port 0 picks a free one) and serve each
 /// connection with the stream loop. Returns after `max_connections`
 /// connections have been served (-1 = forever) or once `options.stop` flips
 /// true (active connections are shut down for reading and drained under the

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/train/encoding.hpp"
+#include "runtime/fault.hpp"
 #include "solver/cache.hpp"
 
 namespace maps::serve {
@@ -102,6 +103,10 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
   // cache hits, surrogate jobs and solver jobs alike.
   inflight_.fetch_add(1);
   const double start = runtime::now_steady_ms();
+  // Declared outside the try so the catch can clean up a registered
+  // pending-leader slot when dispatch throws after lead_pending().
+  QueryKey key;
+  bool leading = false;
 
   try {
     require(request.eps.nx() == request.spec.nx && request.eps.ny() == request.spec.ny,
@@ -122,7 +127,7 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
       model_version = model->version;
     }
 
-    const QueryKey key = make_key(request, model_version);
+    key = make_key(request, model_version);
     if (const auto hit = cache_.get(key)) {
       cache_hits_.fetch_add(1);
       ServeResponse response;
@@ -140,6 +145,12 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
       return future;
     }
 
+    // Identical query already in flight? Attach to it instead of running
+    // the pipeline again — the cache-stampede path: N racing misses cost
+    // one forward. Attached requests add no pipeline work, so they bypass
+    // admission control just like cache hits.
+    if (attach_pending(key, promise, start)) return future;
+
     // Cache misses consume pipeline stages; shed here, at ingress, while the
     // reply still costs microseconds. Cache hits above bypass admission —
     // they never queue.
@@ -154,6 +165,8 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
         // structured breaker_open error and its retry_after hint.
         auto fallback = registry_->active();
         if (fallback != nullptr) {
+          lead_pending(key);
+          leading = true;
           answer_surrogate(std::make_shared<const ServeRequest>(std::move(request)),
                            fallback, key, promise, start, deadline_abs,
                            /*degraded=*/true);
@@ -163,6 +176,8 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
             "PredictionService: solver circuit breaker is open and no "
             "surrogate model is loaded to degrade to");
       }
+      lead_pending(key);
+      leading = true;
       (void)queue_->submit(
           [this, request = std::move(request), key, promise, start,
            deadline_abs]() mutable -> int {
@@ -175,9 +190,9 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
               ServeResponse response = solve_guarded(request, deadline_abs);
               cache_.put(key, std::make_shared<CachedResult>(
                                   CachedResult{response.Ez, true}));
-              finish(promise, std::move(response), start);
+              finish(promise, std::move(response), start, &key);
             } catch (...) {
-              fail(promise, std::current_exception());
+              fail(promise, std::current_exception(), &key);
             }
             return 0;
           });
@@ -185,13 +200,15 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     }
 
     surrogate_requests_.fetch_add(1);
+    lead_pending(key);
+    leading = true;
     // The promise is passed by copy (shared state), not moved: if
     // answer_surrogate throws before the job is queued, the catch below
     // still holds a live promise to carry the error to the caller.
     answer_surrogate(std::make_shared<const ServeRequest>(std::move(request)),
                      model, key, promise, start, deadline_abs, /*degraded=*/false);
   } catch (...) {
-    fail(promise, std::current_exception());
+    fail(promise, std::current_exception(), leading ? &key : nullptr);
   }
   return future;
 }
@@ -274,7 +291,7 @@ void PredictionService::answer_surrogate(
             solved.model_version = model->version;
             cache_.put(key,
                        std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
-            finish(promise, std::move(solved), start_ms);
+            finish(promise, std::move(solved), start_ms, &key);
             return;
           }
           std::rethrow_exception(error);
@@ -293,7 +310,7 @@ void PredictionService::answer_surrogate(
         // solver should re-answer the next identical query at full grade.
         response.degraded = true;
         degraded_served_.fetch_add(1);
-        finish(promise, std::move(response), start_ms);
+        finish(promise, std::move(response), start_ms, &key);
         return;
       }
 
@@ -322,7 +339,7 @@ void PredictionService::answer_surrogate(
           // answer. Degrade instead of escalating.
           response.degraded = true;
           degraded_served_.fetch_add(1);
-          finish(promise, std::move(response), start_ms);
+          finish(promise, std::move(response), start_ms, &key);
           return;
         }
         try {
@@ -332,7 +349,7 @@ void PredictionService::answer_surrogate(
           solved.escalated = true;
           cache_.put(key,
                      std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
-          finish(promise, std::move(solved), start_ms);
+          finish(promise, std::move(solved), start_ms, &key);
         } catch (const runtime::DeadlineExceeded&) {
           throw;  // the reply is late either way: report the blown budget
         } catch (...) {
@@ -340,14 +357,14 @@ void PredictionService::answer_surrogate(
           // solve_guarded): degrade to the suspect surrogate answer.
           response.degraded = true;
           degraded_served_.fetch_add(1);
-          finish(promise, std::move(response), start_ms);
+          finish(promise, std::move(response), start_ms, &key);
         }
         return;
       }
       cache_.put(key, std::make_shared<CachedResult>(CachedResult{response.Ez, false}));
-      finish(promise, std::move(response), start_ms);
+      finish(promise, std::move(response), start_ms, &key);
     } catch (...) {
-      fail(promise, std::current_exception());
+      fail(promise, std::current_exception(), &key);
     }
   };
   batcher_->submit(std::move(job));
@@ -389,16 +406,67 @@ ServeResponse PredictionService::solve_high(const ServeRequest& request) {
   return response;
 }
 
-void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
-                               ServeResponse response, double start_ms) {
-  const double latency = runtime::now_steady_ms() - start_ms;
-  response.latency_ms = latency;
-  completed_.fetch_add(1);
-  {
-    std::lock_guard lk(latency_mu_);
-    total_latency_ms_ += latency;
-    max_latency_ms_ = std::max(max_latency_ms_, latency);
+bool PredictionService::attach_pending(const QueryKey& key,
+                                       const runtime::Promise<ServeResponse>& promise,
+                                       double start_ms) {
+  if (!options_.coalesce) return false;
+  // Chaos `io` action: pretend the in-flight entry was not found. The
+  // request degrades gracefully into a duplicate leader — correct answer,
+  // one wasted forward.
+  if (runtime::fault::point("coalesce.attach")) return false;
+  std::lock_guard lk(pending_mu_);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return false;
+  it->second.push_back(Waiter{promise, start_ms});
+  coalesced_.fetch_add(1);
+  return true;
+}
+
+void PredictionService::lead_pending(const QueryKey& key) {
+  if (!options_.coalesce) return;
+  std::lock_guard lk(pending_mu_);
+  // emplace is a no-op when a racing leader won the slot: this request
+  // still runs its own pipeline, it just fans out to nobody.
+  pending_.emplace(key, std::vector<Waiter>{});
+}
+
+std::vector<PredictionService::Waiter> PredictionService::take_waiters(
+    const QueryKey* key) {
+  std::vector<Waiter> out;
+  if (key == nullptr || !options_.coalesce) return out;
+  std::lock_guard lk(pending_mu_);
+  auto it = pending_.find(*key);
+  if (it != pending_.end()) {
+    out = std::move(it->second);
+    pending_.erase(it);
   }
+  return out;
+}
+
+void PredictionService::record_completion(double latency_ms) {
+  completed_.fetch_add(1);
+  std::lock_guard lk(latency_mu_);
+  total_latency_ms_ += latency_ms;
+  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+}
+
+void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
+                               ServeResponse response, double start_ms,
+                               const QueryKey* key) {
+  std::vector<Waiter> waiters = take_waiters(key);
+  const double now = runtime::now_steady_ms();
+  // Fan out to attached waiters first (they copy), then the leader consumes
+  // the original. Each request is billed its own latency from its own
+  // submit().
+  for (Waiter& w : waiters) {
+    ServeResponse copy = response;
+    copy.latency_ms = now - w.start_ms;
+    record_completion(copy.latency_ms);
+    w.promise.set_value(std::move(copy));
+    inflight_.fetch_sub(1);
+  }
+  response.latency_ms = now - start_ms;
+  record_completion(response.latency_ms);
   promise.set_value(std::move(response));
   // Last touch of service state: the destructor's drain proceeds the moment
   // this hits zero.
@@ -406,15 +474,21 @@ void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
 }
 
 void PredictionService::fail(runtime::Promise<ServeResponse>& promise,
-                             std::exception_ptr error) {
+                             std::exception_ptr error, const QueryKey* key) {
+  std::vector<Waiter> waiters = take_waiters(key);
+  const auto n = static_cast<std::uint64_t>(1 + waiters.size());
   try {
     std::rethrow_exception(error);
   } catch (const OverloadedError&) {
-    shed_.fetch_add(1);
+    shed_.fetch_add(n);
   } catch (const runtime::DeadlineExceeded&) {
-    deadline_exceeded_.fetch_add(1);
+    deadline_exceeded_.fetch_add(n);
   } catch (...) {
-    errors_.fetch_add(1);
+    errors_.fetch_add(n);
+  }
+  for (Waiter& w : waiters) {
+    w.promise.set_exception(error);
+    inflight_.fetch_sub(1);
   }
   promise.set_exception(std::move(error));
   inflight_.fetch_sub(1);
@@ -433,6 +507,7 @@ ServeStatsSnapshot PredictionService::stats() const {
   s.degraded_served = degraded_served_.load();
   s.surrogate_retries = surrogate_retries_.load();
   s.solver_failovers = solver_failovers_.load();
+  s.coalesced = coalesced_.load();
   s.completed = completed_.load();
   s.breaker = breaker_->stats();
   s.solver_refine_iterations =

@@ -26,7 +26,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "fdfd/simulation.hpp"
 #include "runtime/deadline.hpp"
@@ -113,6 +116,15 @@ struct ServeOptions {
   /// budget) and refines solves back to double accuracy.
   solver::SolverPrecision solver_precision = solver::default_solver_precision();
 
+  // In-flight request coalescing (cache-stampede protection). When N
+  // identical queries race a cold cache, the first becomes the leader and
+  // runs the pipeline once; the other N-1 attach to its in-flight
+  // computation and share the answer (each billed its own latency). Attached
+  // requests skip admission control — they add no pipeline work. Coalesced
+  // waiters inherit the leader's deadline; their own deadline_ms is not
+  // enforced while attached.
+  bool coalesce = true;
+
   // Admission control. A request that misses the cache is shed with
   // OverloadedError when more than max_inflight requests are already in the
   // pipeline (0 = unlimited), or when the estimated queue wait alone exceeds
@@ -146,6 +158,7 @@ struct ServeStatsSnapshot {
   std::uint64_t degraded_served = 0;    // un-verified surrogate fallbacks
   std::uint64_t surrogate_retries = 0;  // single-sample retries after batch failure
   std::uint64_t solver_failovers = 0;   // surrogate failures answered by the solver
+  std::uint64_t coalesced = 0;          // attached to an identical in-flight query
   std::uint64_t completed = 0;          // requests that produced an answer
   BreakerStats breaker;                 // solver-tier circuit breaker
   // Mixed-precision accounting of the escalation solver tier (0 under
@@ -178,6 +191,12 @@ class PredictionService {
   const ServeOptions& options() const { return options_; }
   ServeStatsSnapshot stats() const;
 
+  /// The worker pool this service runs on. Front ends offload request
+  /// decode/submit work here to keep their I/O threads non-blocking. The
+  /// TaskQueue deadlock rule applies: never block on a queued-task future
+  /// from one of these workers — use Future::subscribe.
+  runtime::TaskQueue& task_queue() { return *queue_; }
+
   /// The escalation path's factorization cache (tests assert the solver
   /// dispatch through its counters).
   const solver::FactorizationCache& solver_cache() const { return *solver_cache_; }
@@ -189,12 +208,35 @@ class PredictionService {
   const CircuitBreaker& breaker() const { return *breaker_; }
 
  private:
+  /// A request attached to another request's in-flight computation: its
+  /// promise is fanned out to at the leader's terminal.
+  struct Waiter {
+    runtime::Promise<ServeResponse> promise;
+    double start_ms = 0.0;
+  };
+
+  /// Terminal success path. When `key` is non-null the pending-waiter entry
+  /// for it is popped and every attached waiter receives a copy of the
+  /// response (with its own latency). Every submitted request ends in
+  /// finish() or fail() exactly once.
   void finish(runtime::Promise<ServeResponse>& promise, ServeResponse response,
-              double start_ms);
+              double start_ms, const QueryKey* key = nullptr);
   /// Terminal error path: classifies `error` into the right counter
   /// (shed / deadline_exceeded / errors), releases the inflight slot and
-  /// fails the promise. Every submitted request ends in finish() or fail().
-  void fail(runtime::Promise<ServeResponse>& promise, std::exception_ptr error);
+  /// fails the promise — and every attached waiter when `key` is non-null.
+  void fail(runtime::Promise<ServeResponse>& promise, std::exception_ptr error,
+            const QueryKey* key = nullptr);
+  /// Coalescing: join an identical in-flight computation. True = attached
+  /// (the caller's promise is satisfied at the leader's terminal).
+  bool attach_pending(const QueryKey& key,
+                      const runtime::Promise<ServeResponse>& promise,
+                      double start_ms);
+  /// Coalescing: announce this request as the in-flight computation for
+  /// `key`. No-op when another leader already holds the slot (the race loser
+  /// simply runs its own pipeline and fans out to nobody).
+  void lead_pending(const QueryKey& key);
+  std::vector<Waiter> take_waiters(const QueryKey* key);
+  void record_completion(double latency_ms);
   void admit(const ServeRequest& request);
   double backlog_estimate_ms() const;
   ServeResponse solve_high(const ServeRequest& request);
@@ -226,8 +268,13 @@ class PredictionService {
   std::atomic<std::uint64_t> degraded_served_{0};
   std::atomic<std::uint64_t> surrogate_retries_{0};
   std::atomic<std::uint64_t> solver_failovers_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> inflight_{0};
+  /// In-flight computations by query key; the mapped waiters are the
+  /// attached requests fanned out to at the leader's terminal.
+  std::mutex pending_mu_;
+  std::unordered_map<QueryKey, std::vector<Waiter>, QueryKeyHash> pending_;
   mutable std::mutex latency_mu_;
   double total_latency_ms_ = 0.0;
   double max_latency_ms_ = 0.0;

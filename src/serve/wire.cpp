@@ -129,6 +129,63 @@ JsonValue encode_response(const JsonValue& id, const ServeResponse& response,
   return v;
 }
 
+std::string encode_response_text(const JsonValue& id, const ServeResponse& response,
+                                 bool return_field) {
+  // Mirrors encode_response exactly: same fields, emitted in std::map key
+  // order (the order dump() would use), so the bytes match dump(0).
+  std::string out;
+  out.reserve(return_field
+                  ? static_cast<std::size_t>(response.Ez.size()) * 40 + 256
+                  : 256);
+  io::JsonWriter w(out);
+  w.begin_object();
+  w.key("cache_hit").value(response.cache_hit);
+  w.key("degraded").value(response.degraded);
+  w.key("escalated").value(response.escalated);
+  if (return_field) {
+    w.key("field").begin_object();
+    w.key("im").begin_array();
+    for (index_t n = 0; n < response.Ez.size(); ++n) w.value(response.Ez[n].imag());
+    w.end_array();
+    w.key("re").begin_array();
+    for (index_t n = 0; n < response.Ez.size(); ++n) w.value(response.Ez[n].real());
+    w.end_array();
+    w.end_object();
+  }
+  w.key("id").value(id);
+  w.key("latency_ms").value(response.latency_ms);
+  if (!response.model_id.empty()) {
+    w.key("model").value(response.model_id);
+    w.key("model_version").value(response.model_version);
+  }
+  w.key("nx").value(response.Ez.nx());
+  w.key("ny").value(response.Ez.ny());
+  w.key("ok").value(true);
+  double sumsq = 0.0;
+  for (index_t n = 0; n < response.Ez.size(); ++n) sumsq += std::norm(response.Ez[n]);
+  w.key("rms").value(response.Ez.size() == 0
+                         ? 0.0
+                         : std::sqrt(sumsq / static_cast<double>(response.Ez.size())));
+  w.key("source").value(response_source_name(response.source));
+  w.end_object();
+  return out;
+}
+
+std::string encode_error_text(const JsonValue& id, const WireError& error) {
+  std::string out;
+  io::JsonWriter w(out);
+  w.begin_object();
+  w.key("error").begin_object();
+  w.key("code").value(error.code);
+  w.key("message").value(error.message);
+  if (error.retry_after_ms > 0.0) w.key("retry_after_ms").value(error.retry_after_ms);
+  w.end_object();
+  w.key("id").value(id);
+  w.key("ok").value(false);
+  w.end_object();
+  return out;
+}
+
 WireError classify_error(std::exception_ptr error) {
   WireError out;
   try {
@@ -198,6 +255,7 @@ JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
   v["degraded_served"] = static_cast<double>(stats.degraded_served);
   v["surrogate_retries"] = static_cast<double>(stats.surrogate_retries);
   v["solver_failovers"] = static_cast<double>(stats.solver_failovers);
+  v["coalesced"] = static_cast<double>(stats.coalesced);
   JsonValue breaker;
   breaker["state"] = breaker_state_name(stats.breaker.state);
   breaker["failures"] = static_cast<double>(stats.breaker.failures);

@@ -67,6 +67,13 @@ WireRequest parse_request(const io::JsonValue& doc, const WireDefaults& defaults
 io::JsonValue encode_response(const io::JsonValue& id, const ServeResponse& response,
                               bool return_field);
 
+/// Streaming encoder: the same reply document as encode_response(...).dump()
+/// — byte-identical, pinned by tests — serialized straight onto a string via
+/// io::JsonWriter. The hot reply path: no JsonValue tree per response, which
+/// matters when `field` carries nx*ny*2 numbers.
+std::string encode_response_text(const io::JsonValue& id,
+                                 const ServeResponse& response, bool return_field);
+
 /// A structured wire error: machine-readable code + human message, plus an
 /// optional backlog hint for "overloaded".
 struct WireError {
@@ -84,6 +91,10 @@ WireError classify_error(std::exception_ptr error);
 io::JsonValue encode_error(const io::JsonValue& id, const WireError& error);
 /// Parse-site convenience: code "bad_request".
 io::JsonValue encode_error(const io::JsonValue& id, const std::string& message);
+
+/// Streaming form of encode_error — byte-identical to
+/// encode_error(id, error).dump().
+std::string encode_error_text(const io::JsonValue& id, const WireError& error);
 
 /// The "serve_stats" report block (CLI exit report, tests).
 io::JsonValue stats_to_json(const ServeStatsSnapshot& stats);

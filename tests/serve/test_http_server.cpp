@@ -1,0 +1,582 @@
+// HTTP/1.1 front end: endpoints, keep-alive pipelining, protocol-edge
+// rejections, slow-loris isolation, in-flight request coalescing, the
+// 1000-idle-connection scalability floor, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fdfd/source.hpp"
+#include "io/json.hpp"
+#include "math/rng.hpp"
+#include "runtime/fault.hpp"
+#include "serve/http_server.hpp"
+
+namespace {
+
+using namespace maps;
+namespace fault = maps::runtime::fault;
+
+constexpr index_t kN = 16;
+
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    fault::disarm_all();
+    if (!spec.empty()) fault::arm_from_spec(spec);
+  }
+  ~FaultGuard() {
+    fault::disarm_all();
+    if (const char* env = std::getenv("MAPS_FAULTS")) {
+      if (env[0] != '\0') fault::arm_from_spec(env);
+    }
+  }
+};
+
+nn::ModelConfig tiny_model_config() {
+  nn::ModelConfig cfg;
+  cfg.kind = nn::ModelKind::Fno;
+  cfg.in_channels = 4;
+  cfg.out_channels = 2;
+  cfg.width = 4;
+  cfg.modes = 2;
+  cfg.depth = 1;
+  return cfg;
+}
+
+std::shared_ptr<serve::ModelRegistry> tiny_registry() {
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  const auto cfg = tiny_model_config();
+  registry->install("tiny-fno", cfg, nn::make_model(cfg));
+  return registry;
+}
+
+serve::ServeOptions small_options() {
+  serve::ServeOptions o;
+  o.max_batch = 1;
+  o.max_delay_ms = 0.5;
+  o.workers = 1;
+  o.cache_capacity = 0;
+  return o;
+}
+
+serve::WireDefaults test_defaults() {
+  serve::WireDefaults d;
+  d.dl = 0.4;
+  d.pml.ncells = 3;
+  return d;
+}
+
+std::string predict_body(int id, double eps_fill,
+                         const std::string& extra = "") {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"nx\": " << kN << ", \"ny\": " << kN
+     << ", \"eps\": [";
+  for (index_t n = 0; n < kN * kN; ++n) os << (n == 0 ? "" : ",") << eps_fill;
+  os << "]" << extra << "}";
+  return os.str();
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string http_request(const std::string& method, const std::string& target,
+                         const std::string& body = "",
+                         const std::string& extra_headers = "") {
+  std::ostringstream os;
+  os << method << " " << target << " HTTP/1.1\r\nHost: t\r\n" << extra_headers;
+  if (!body.empty() || method == "POST") {
+    os << "Content-Length: " << body.size() << "\r\n";
+  }
+  os << "\r\n" << body;
+  return os.str();
+}
+
+struct HttpReply {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* header(const std::string& name) const {
+    for (const auto& [k, v] : headers) {
+      if (k.size() == name.size() &&
+          std::equal(k.begin(), k.end(), name.begin(), [](char a, char b) {
+            return std::tolower(static_cast<unsigned char>(a)) ==
+                   std::tolower(static_cast<unsigned char>(b));
+          })) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Minimal blocking HTTP client: one fd, buffered reads, Content-Length
+/// framing (the server always sends one).
+struct HttpClient {
+  int fd = -1;
+  std::string buf;
+
+  explicit HttpClient(int port) : fd(connect_loopback(port)) {}
+  ~HttpClient() { close(); }
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  bool send_raw(const std::string& bytes) const {
+    return ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  /// Reads one response; returns false on EOF/parse trouble.
+  bool read_reply(HttpReply& out) {
+    const auto read_more = [&]() -> bool {
+      char tmp[4096];
+      const ssize_t n = ::read(fd, tmp, sizeof(tmp));
+      if (n <= 0) return false;
+      buf.append(tmp, static_cast<std::size_t>(n));
+      return true;
+    };
+    std::size_t head_end;
+    while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+      if (!read_more()) return false;
+    }
+    const std::string head = buf.substr(0, head_end);
+    std::istringstream hs(head);
+    std::string line;
+    std::getline(hs, line);  // "HTTP/1.1 200 OK\r"
+    if (line.size() < 12 || line.compare(0, 5, "HTTP/") != 0) return false;
+    out.status = std::atoi(line.c_str() + 9);
+    out.headers.clear();
+    while (std::getline(hs, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      out.headers.emplace_back(line.substr(0, colon), value);
+    }
+    std::size_t content_length = 0;
+    if (const std::string* cl = out.header("Content-Length")) {
+      content_length = static_cast<std::size_t>(std::atoll(cl->c_str()));
+    }
+    const std::size_t total = head_end + 4 + content_length;
+    while (buf.size() < total) {
+      if (!read_more()) return false;
+    }
+    out.body = buf.substr(head_end + 4, content_length);
+    buf.erase(0, total);
+    return true;
+  }
+
+  /// EOF probe: true once the server has closed the connection.
+  bool at_eof() const {
+    char c;
+    return ::recv(fd, &c, 1, 0) == 0;
+  }
+};
+
+/// A running serve_http instance on its own thread, port 0.
+struct HttpHarness {
+  serve::PredictionService service;
+  serve::WireDefaults defaults = test_defaults();
+  std::atomic<bool> stop{false};
+  std::atomic<int> port{0};
+  serve::HttpServeReport report;
+  std::thread thread;
+
+  explicit HttpHarness(serve::ServeOptions options,
+                       serve::HttpOptions http = {})
+      : service(tiny_registry(), options) {
+    http.stream.stop = &stop;
+    thread = std::thread([this, http] {
+      report = serve::serve_http(service, defaults, http, nullptr, &port);
+    });
+    while (port.load() == 0) std::this_thread::yield();
+  }
+
+  ~HttpHarness() { shutdown(); }
+  void shutdown() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+};
+
+std::size_t thread_count() {
+  std::size_t n = 0;
+  std::ifstream stat("/proc/self/stat");
+  std::string tok;
+  // Field 20 of /proc/self/stat is num_threads; field 2 (comm) may hold
+  // spaces, so count from the closing paren instead of splitting naively.
+  std::getline(stat, tok);
+  const auto paren = tok.rfind(')');
+  std::istringstream rest(tok.substr(paren + 2));
+  std::string field;
+  for (int i = 3; i <= 20 && (rest >> field); ++i) {
+    if (i == 20) n = static_cast<std::size_t>(std::atoll(field.c_str()));
+  }
+  return n;
+}
+
+}  // namespace
+
+// --- endpoints ---------------------------------------------------------------
+
+TEST(HttpServe, PredictHealthzStatsRoundTrip) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+
+  // Single predict.
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/predict",
+                   predict_body(7, 2.5, ", \"return_field\": false"))));
+  HttpReply reply;
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  {
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_TRUE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("id").as_int(), 7);
+    EXPECT_EQ(doc.at("source").as_string(), "surrogate");
+  }
+
+  // Batch predict: JSON array in, JSON array out, element order preserved,
+  // per-element errors inline (HTTP status stays 200).
+  const std::string batch = "[" + predict_body(1, 2.0) + "," +
+                            "{\"id\": 2, \"nx\": 0}" + "," +
+                            predict_body(3, 3.0) + "]";
+  ASSERT_TRUE(client.send_raw(http_request("POST", "/predict", batch)));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  {
+    const auto doc = io::json_parse(reply.body);
+    ASSERT_TRUE(doc.is_array());
+    ASSERT_EQ(doc.as_array().size(), 3u);
+    EXPECT_TRUE(doc.as_array()[0].at("ok").as_bool());
+    EXPECT_FALSE(doc.as_array()[1].at("ok").as_bool());
+    EXPECT_EQ(doc.as_array()[1].at("error").at("code").as_string(),
+              "bad_request");
+    EXPECT_TRUE(doc.as_array()[2].at("ok").as_bool());
+    EXPECT_EQ(doc.as_array()[2].at("id").as_int(), 3);
+  }
+
+  // Healthz: model loaded, breaker closed -> ok.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  {
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_EQ(doc.at("status").as_string(), "ok");
+    EXPECT_TRUE(doc.at("model_loaded").as_bool());
+    EXPECT_EQ(doc.at("model").as_string(), "tiny-fno");
+    EXPECT_EQ(doc.at("breaker").as_string(), "closed");
+  }
+
+  // Stats: the ServeStats wire document, including the coalesced counter.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/stats")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  {
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_GE(doc.at("requests").as_int(), 3);
+    EXPECT_TRUE(doc.has("coalesced"));
+    EXPECT_TRUE(doc.has("batches"));
+  }
+
+  // Unknown target and wrong methods carry the structured envelope.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/nope")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 404);
+  EXPECT_EQ(io::json_parse(reply.body).at("error").at("code").as_string(),
+            "not_found");
+
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/predict")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 405);
+  ASSERT_NE(reply.header("Allow"), nullptr);
+  EXPECT_EQ(*reply.header("Allow"), "POST");
+
+  ASSERT_TRUE(client.send_raw(http_request("POST", "/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 405);
+  ASSERT_NE(reply.header("Allow"), nullptr);
+  EXPECT_EQ(*reply.header("Allow"), "GET");
+
+  client.close();
+  h.shutdown();
+  EXPECT_GE(h.report.requests, 7u);
+  EXPECT_EQ(h.report.connections, 1u);
+}
+
+// --- keep-alive + pipelining -------------------------------------------------
+
+TEST(HttpServe, PipelinedRequestsAnswerInOrder) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+
+  // Three requests in one write; the slow /predict answers must not let the
+  // instant /healthz overtake them.
+  std::string wire =
+      http_request("POST", "/predict",
+                   predict_body(1, 2.0, ", \"return_field\": false")) +
+      http_request("GET", "/healthz") +
+      http_request("POST", "/predict",
+                   predict_body(2, 3.0, ", \"return_field\": false"));
+  ASSERT_TRUE(client.send_raw(wire));
+
+  HttpReply reply;
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(io::json_parse(reply.body).at("id").as_int(), 1);
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_TRUE(io::json_parse(reply.body).has("status"));  // the healthz doc
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(io::json_parse(reply.body).at("id").as_int(), 2);
+}
+
+// --- protocol edges ----------------------------------------------------------
+
+TEST(HttpServe, OversizedBodyIs413WithEnvelopeThenClose) {
+  FaultGuard guard("");
+  serve::HttpOptions http;
+  http.stream.max_request_bytes = 256;
+  HttpHarness h(small_options(), http);
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+
+  // Head only, no body bytes: the cap check fires at header completion, and
+  // leaving the kernel buffer empty keeps the close a clean FIN (unread data
+  // at close can turn into an RST that races the 413 reply).
+  ASSERT_TRUE(client.send_raw(
+      "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: 1000\r\n\r\n"));
+  HttpReply reply;
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 413);
+  const auto doc = io::json_parse(reply.body);
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("error").at("code").as_string(), "request_too_large");
+  ASSERT_NE(reply.header("Connection"), nullptr);
+  EXPECT_EQ(*reply.header("Connection"), "close");
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(HttpServe, MalformedRequestLineIs400ThenClose) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+
+  ASSERT_TRUE(client.send_raw("NOT HTTP AT ALL\r\n\r\n"));
+  HttpReply reply;
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_EQ(io::json_parse(reply.body).at("error").at("code").as_string(),
+            "bad_request");
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(HttpServe, SlowLorisPartialHeaderDoesNotStallSiblings) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+
+  // The loris trickles half a header and then just sits there.
+  HttpClient loris(h.port.load());
+  ASSERT_GE(loris.fd, 0);
+  ASSERT_TRUE(loris.send_raw("POST /predict HTTP/1.1\r\nContent-Le"));
+
+  // A well-behaved sibling gets full service while the loris dangles.
+  HttpClient good(h.port.load());
+  ASSERT_GE(good.fd, 0);
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_TRUE(good.send_raw(http_request("GET", "/healthz")));
+    HttpReply reply;
+    ASSERT_TRUE(good.read_reply(reply));
+    EXPECT_EQ(reply.status, 200);
+  }
+}
+
+// --- coalescing --------------------------------------------------------------
+
+TEST(HttpServe, IdenticalConcurrentPredictsCoalesceToOneForward) {
+  FaultGuard guard("");
+  serve::ServeOptions options;
+  options.workers = 1;        // serializes submits: exactly one leader
+  options.cache_capacity = 0; // every request is a cache miss
+  options.coalesce = true;
+  options.max_batch = 32;
+  options.max_delay_ms = 150.0;  // flush window >> attach window
+  HttpHarness h(options);
+
+  constexpr int kClients = 8;
+  const std::string wire = http_request(
+      "POST", "/predict", predict_body(5, 2.25, ", \"return_field\": false"));
+  std::vector<std::unique_ptr<HttpClient>> clients;
+  for (int k = 0; k < kClients; ++k) {
+    clients.push_back(std::make_unique<HttpClient>(h.port.load()));
+    ASSERT_GE(clients.back()->fd, 0);
+    ASSERT_TRUE(clients.back()->send_raw(wire));
+  }
+  for (auto& client : clients) {
+    HttpReply reply;
+    ASSERT_TRUE(client->read_reply(reply));
+    EXPECT_EQ(reply.status, 200);
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_TRUE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("id").as_int(), 5);
+  }
+
+  const auto stats = h.service.stats();
+  // One leader ran the surrogate pipeline once; everyone else attached.
+  EXPECT_EQ(stats.batcher.requests, 1u);
+  EXPECT_EQ(stats.surrogate_requests, 1u);
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients));
+}
+
+// --- admission control on the HTTP surface -----------------------------------
+
+TEST(HttpServe, OverloadAnswers429WithRetryAfter) {
+  FaultGuard guard("batcher.run_batch=stall:200");
+  auto options = small_options();
+  // Two workers: with one, the second request's parse job would queue
+  // behind the stalled batch flush and never race the in-flight slot.
+  options.workers = 2;
+  options.max_inflight = 1;
+  options.coalesce = false;
+  HttpHarness h(options);
+
+  HttpClient first(h.port.load());
+  HttpClient second(h.port.load());
+  ASSERT_GE(first.fd, 0);
+  ASSERT_GE(second.fd, 0);
+  ASSERT_TRUE(first.send_raw(http_request(
+      "POST", "/predict", predict_body(1, 2.0, ", \"return_field\": false"))));
+  // Give the first request time to occupy the only in-flight slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(second.send_raw(http_request(
+      "POST", "/predict", predict_body(2, 3.0, ", \"return_field\": false"))));
+
+  HttpReply shed;
+  ASSERT_TRUE(second.read_reply(shed));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_EQ(io::json_parse(shed.body).at("error").at("code").as_string(),
+            "overloaded");
+  ASSERT_NE(shed.header("Retry-After"), nullptr);
+  EXPECT_GE(std::atoi(shed.header("Retry-After")->c_str()), 1);
+
+  HttpReply ok;
+  ASSERT_TRUE(first.read_reply(ok));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_TRUE(io::json_parse(ok.body).at("ok").as_bool());
+}
+
+// --- scalability floor -------------------------------------------------------
+
+TEST(HttpServe, ThousandIdleKeepAliveConnectionsNoNewThreads) {
+  FaultGuard guard("");
+  // The test itself needs ~1000 client fds on top of the server's 1000.
+  rlimit lim{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &lim), 0);
+  if (lim.rlim_cur < 4096 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = std::min<rlim_t>(lim.rlim_max, 8192);
+    ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &lim), 0);
+  }
+
+  HttpHarness h(small_options());
+  constexpr int kConns = 1000;
+  std::vector<std::unique_ptr<HttpClient>> conns;
+  conns.reserve(kConns);
+  conns.push_back(std::make_unique<HttpClient>(h.port.load()));
+  ASSERT_GE(conns.back()->fd, 0);
+
+  // Warm-up predict first so every lazily-created service thread (batcher
+  // flusher, queue workers) exists before the baseline count is taken.
+  HttpReply reply;
+  ASSERT_TRUE(conns.front()->send_raw(http_request(
+      "POST", "/predict", predict_body(8, 2.0, ", \"return_field\": false"))));
+  ASSERT_TRUE(conns.front()->read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  const std::size_t threads_baseline = thread_count();
+
+  for (int k = 1; k < kConns; ++k) {
+    conns.push_back(std::make_unique<HttpClient>(h.port.load()));
+    ASSERT_GE(conns.back()->fd, 0) << "connection " << k;
+    // Prove it is a live HTTP connection, then leave it idle.
+    if (k % 250 == 0) {
+      ASSERT_TRUE(conns.back()->send_raw(http_request("GET", "/healthz")));
+      ASSERT_TRUE(conns.back()->read_reply(reply));
+      EXPECT_EQ(reply.status, 200);
+    }
+  }
+
+  // All 1000 idle connections are held by the single event-loop thread:
+  // request service still works and the process thread count is flat.
+  ASSERT_TRUE(conns.front()->send_raw(http_request(
+      "POST", "/predict", predict_body(9, 2.0, ", \"return_field\": false"))));
+  ASSERT_TRUE(conns.front()->read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  ASSERT_TRUE(conns.back()->send_raw(http_request("GET", "/stats")));
+  ASSERT_TRUE(conns.back()->read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+
+  EXPECT_EQ(thread_count(), threads_baseline);
+  conns.clear();
+  h.shutdown();
+  EXPECT_EQ(h.report.connections, static_cast<std::size_t>(kConns));
+}
+
+// --- graceful drain ----------------------------------------------------------
+
+TEST(HttpServe, DrainFinishesInflightRepliesThenExits) {
+  FaultGuard guard("batcher.run_batch=stall:80");
+  serve::HttpOptions http;
+  http.tick_ms = 5.0;
+  http.stream.drain_deadline_ms = 5000.0;
+  HttpHarness h(small_options(), http);
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+
+  // A reply is in flight (stalled in the batcher) when the stop flag flips.
+  ASSERT_TRUE(client.send_raw(http_request(
+      "POST", "/predict", predict_body(4, 2.0, ", \"return_field\": false"))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  h.stop.store(true);
+
+  HttpReply reply;
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_TRUE(io::json_parse(reply.body).at("ok").as_bool());
+  EXPECT_TRUE(client.at_eof());  // drained connections are closed
+
+  h.shutdown();  // joins: serve_http returned on its own
+  EXPECT_GE(h.report.requests, 1u);
+}

@@ -528,3 +528,56 @@ TEST(Reliability, TcpSiblingConnectionUnaffectedByBadClient) {
   EXPECT_TRUE(doc.at("ok").as_bool());
   EXPECT_EQ(doc.at("id").as_int(), 9);
 }
+
+// --- coalescing under chaos --------------------------------------------------
+
+TEST(Reliability, CoalesceAttachFaultDegradesToDuplicateLeaders) {
+  // An armed "coalesce.attach" io fault makes attach_pending report "no
+  // in-flight twin": the racer becomes a second leader and the query simply
+  // runs twice — correct answers, no stuck waiters, just no dedup.
+  FaultGuard guard("coalesce.attach=io");
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  options.coalesce = true;
+  options.max_batch = 32;
+  options.max_delay_ms = 50.0;
+  serve::PredictionService service(tiny_registry(), options);
+
+  auto a = service.submit(make_request(80));
+  auto b = service.submit(make_request(80));
+  EXPECT_TRUE(fields_bit_identical(a.get().Ez, b.get().Ez));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.batcher.requests, 2u);  // both ran the pipeline
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Reliability, FailedLeaderFansTheErrorToAttachedWaiters) {
+  // When the leader's pipeline fails (here: its deadline blows while the
+  // batch stalls), every attached waiter gets the same exception — nobody
+  // hangs on an answer that will never come. A batch `throw` would not do:
+  // the single-sample retry heals it invisibly.
+  FaultGuard guard("batcher.run_batch=stall:200");
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  options.coalesce = true;
+  options.max_batch = 32;
+  options.max_delay_ms = 5.0;
+  serve::PredictionService service(tiny_registry(), options);
+
+  auto req = make_request(81);
+  req.deadline_ms = 25.0;
+  auto leader = service.submit(std::move(req));
+  auto twin = make_request(81);
+  twin.deadline_ms = 25.0;  // identical query -> same key, attaches
+  auto waiter = service.submit(std::move(twin));
+  EXPECT_EQ(service.stats().coalesced, 1u);
+  EXPECT_THROW(leader.get(), maps::runtime::DeadlineExceeded);
+  EXPECT_THROW(waiter.get(), maps::runtime::DeadlineExceeded);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}

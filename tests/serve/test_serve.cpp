@@ -345,4 +345,55 @@ TEST(PredictionService, MalformedRequestFailsTheFutureOnly) {
             serve::ResponseSource::Surrogate);
 }
 
+TEST(PredictionService, CoalescesIdenticalInflightQueries) {
+  serve::ServeOptions options;
+  options.workers = 1;         // serializes submits: exactly one leader
+  options.cache_capacity = 0;  // every request is a cache miss
+  options.coalesce = true;
+  options.max_batch = 32;
+  options.max_delay_ms = 150.0;  // the leader sits in the flush window
+  serve::PredictionService service(tiny_registry(), options);
+
+  constexpr int kRacers = 6;
+  std::vector<runtime::Future<serve::ServeResponse>> futures;
+  for (int k = 0; k < kRacers; ++k) {
+    futures.push_back(service.submit(make_request(60)));  // identical query
+  }
+  futures.push_back(service.submit(make_request(61)));  // distinct: own work
+
+  const auto first = futures.front().get();
+  for (int k = 1; k < kRacers; ++k) {
+    const auto racer = futures[static_cast<std::size_t>(k)].get();
+    EXPECT_TRUE(fields_bit_identical(first.Ez, racer.Ez));
+    EXPECT_GE(racer.latency_ms, 0.0);  // billed its own wait, not the leader's
+  }
+  EXPECT_FALSE(
+      fields_bit_identical(first.Ez, futures.back().get().Ez));
+
+  const auto stats = service.stats();
+  // The surrogate ran for the two distinct patterns only.
+  EXPECT_EQ(stats.batcher.requests, 2u);
+  EXPECT_EQ(stats.surrogate_requests, 2u);
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kRacers - 1));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRacers + 1));
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(PredictionService, CoalescingDisabledRunsEveryQuery) {
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  options.coalesce = false;
+  options.max_batch = 32;
+  options.max_delay_ms = 50.0;
+  serve::PredictionService service(tiny_registry(), options);
+
+  auto a = service.submit(make_request(70));
+  auto b = service.submit(make_request(70));
+  EXPECT_TRUE(fields_bit_identical(a.get().Ez, b.get().Ez));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batcher.requests, 2u);
+  EXPECT_EQ(stats.coalesced, 0u);
+}
+
 }  // namespace

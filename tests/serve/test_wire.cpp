@@ -8,12 +8,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "math/rng.hpp"
 #include "runtime/fault.hpp"
 #include "serve/server.hpp"
 
@@ -257,6 +259,48 @@ TEST(Wire, EncodeErrorEmitsCodeAndRetryHint) {
   EXPECT_FALSE(serve::encode_error(JsonValue(3), err).at("error").has("retry_after_ms"));
   const auto bad = serve::encode_error(JsonValue(), "no eps");
   EXPECT_EQ(bad.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(Wire, StreamingEncodersBitIdenticalToDump) {
+  // The serve front ends emit replies through the io::json streaming writer;
+  // these pins guarantee a client diffing old and new replies sees nothing.
+  serve::ServeResponse response;
+  response.Ez = math::CplxGrid(3, 2);
+  math::Rng rng(42);
+  for (index_t n = 0; n < response.Ez.size(); ++n) {
+    // Mixed magnitudes exercise the number formatter (exponents, negatives).
+    response.Ez[n] = cplx{(rng.uniform() - 0.5) * std::pow(10.0, n - 3.0),
+                          rng.uniform() * 1e6};
+  }
+  response.source = serve::ResponseSource::Surrogate;
+  response.cache_hit = true;
+  response.escalated = true;
+  response.latency_ms = 1.0 / 3.0;
+
+  for (const bool return_field : {true, false}) {
+    // Without a model block (pure solver answer) ...
+    EXPECT_EQ(serve::encode_response_text(JsonValue(7), response, return_field),
+              serve::encode_response(JsonValue(7), response, return_field).dump())
+        << "return_field=" << return_field;
+    // ... and with one; a null id exercises the omitted-id spelling.
+    serve::ServeResponse with_model = response;
+    with_model.model_id = "tiny \"quoted\" fno";
+    with_model.model_version = 3;
+    EXPECT_EQ(
+        serve::encode_response_text(JsonValue(), with_model, return_field),
+        serve::encode_response(JsonValue(), with_model, return_field).dump())
+        << "return_field=" << return_field;
+  }
+
+  serve::WireError err;
+  err.code = "overloaded";
+  err.message = "pipeline \\ saturated\n";
+  err.retry_after_ms = 12.5;
+  EXPECT_EQ(serve::encode_error_text(JsonValue(3), err),
+            serve::encode_error(JsonValue(3), err).dump());
+  err.retry_after_ms = 0.0;  // hint omitted
+  EXPECT_EQ(serve::encode_error_text(JsonValue("req-9"), err),
+            serve::encode_error(JsonValue("req-9"), err).dump());
 }
 
 TEST(Wire, StatsJsonCarriesReliabilityBlock) {

@@ -39,6 +39,11 @@ Tracked ratios:
   sparam_mixed_vs_double            the same mixed-precision win end-to-end
                                     on the S-parameter verification sweep
                                     (BENCH_speedup.json)
+  serve_coalesced_vs_stampede       in-flight request coalescing over N
+                                    identical cache-missing queries racing
+                                    each other (BENCH_speedup.json; the
+                                    coalesced run pays one surrogate forward
+                                    where the stampede pays N)
 
 Usage: check_bench_regression.py [fresh_dir] [baseline_dir]
   fresh_dir     directory with the just-emitted BENCH_*.json
@@ -157,6 +162,12 @@ TRACKED = [
         "file": "BENCH_speedup.json",
         "ratio": lambda doc: ratio_from_benchmarks(
             doc, "BM_SparamSweep", "BM_SparamSweepMixed"),
+    },
+    {
+        "name": "serve_coalesced_vs_stampede",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_ServeStampede", "BM_ServeStampedeCoalesced"),
     },
 ]
 

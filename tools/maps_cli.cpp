@@ -48,10 +48,12 @@ int usage() {
       "                                    execute a config (task: datagen|train|invdes);\n"
       "                                    --shard/--resume select a datagen shard slice\n"
       "  maps_cli merge <config.json>      merge a sharded datagen run into its output\n"
-      "  maps_cli serve <config.json> [--port N]\n"
+      "  maps_cli serve <config.json> [--port N] [--http] [--bind ADDR]\n"
       "                                    run the prediction server: ndjson requests\n"
       "                                    on stdin -> replies on stdout (or TCP with\n"
-      "                                    --port); the stats report lands on stderr\n"
+      "                                    --port, or HTTP/1.1 with --http); --bind\n"
+      "                                    sets the listen address (default loopback);\n"
+      "                                    the stats report lands on stderr\n"
       "  maps_cli validate <config.json>   parse and echo the normalized config\n"
       "  maps_cli example-config <task>    print a starter config for a task\n"
       "  maps_cli devices                  list benchmark devices\n";
@@ -180,6 +182,13 @@ int cmd_serve(const std::string& path, const std::vector<std::string>& flags) {
     if (flags[k] == "--port") {
       if (k + 1 >= flags.size()) return fail("config", "--port requires a number");
       doc["port"] = std::stoi(flags[++k]);
+    } else if (flags[k] == "--http") {
+      doc["http"] = true;
+    } else if (flags[k] == "--bind") {
+      if (k + 1 >= flags.size()) {
+        return fail("config", "--bind requires an IPv4 address");
+      }
+      doc["bind_address"] = flags[++k];
     } else {
       return fail("config", "unknown flag '" + flags[k] + "'");
     }

@@ -28,6 +28,99 @@ double beta_schedule(double beta_start, double beta_end, int iter, int total) {
   return beta_start * std::pow(beta_end / beta_start, f);
 }
 
+namespace {
+
+maps::nn::AdamOptions adam_options_for(const InvDesOptions& options) {
+  maps::nn::AdamOptions adam_opt;
+  adam_opt.lr = options.lr;
+  return adam_opt;
+}
+
+}  // namespace
+
+InvDesStepper::InvDesStepper(param::DesignPipeline& pipeline, InvDesOptions options,
+                             std::vector<double> theta0)
+    : pipeline_(pipeline),
+      options_(options),
+      adam_(theta0.size(), adam_options_for(options)) {
+  maps::require(options_.iterations > 0, "InvDesStepper: iterations must be > 0");
+  maps::require(static_cast<int>(theta0.size()) == pipeline_.num_params(),
+                "InvDesStepper: theta0 size mismatch");
+  state_.theta = std::move(theta0);
+  pipeline_.feasible(state_.theta);
+  state_.adam = adam_.state();
+}
+
+InvDesStepper::InvDesStepper(param::DesignPipeline& pipeline, InvDesOptions options,
+                             StepperState resume)
+    : pipeline_(pipeline),
+      options_(options),
+      adam_(resume.theta.size(), adam_options_for(options)) {
+  maps::require(options_.iterations > 0, "InvDesStepper: iterations must be > 0");
+  maps::require(static_cast<int>(resume.theta.size()) == pipeline_.num_params(),
+                "InvDesStepper: resume theta size mismatch");
+  maps::require(resume.step >= 0, "InvDesStepper: resume step must be >= 0");
+  adam_.restore(resume.adam);
+  state_ = std::move(resume);
+}
+
+IterationRecord InvDesStepper::step(GradientProvider& provider) {
+  maps::require(!done(), "InvDesStepper::step: optimization already finished");
+  const int it = state_.step;
+  const double beta =
+      beta_schedule(options_.beta_start, options_.beta_end, it, options_.iterations);
+  pipeline_.set_projection_beta(beta);
+
+  const RealGrid rho = pipeline_.density(state_.theta);
+  const RealGrid eps = param::embed_density(pipeline_.map(), rho);
+  GradEval ge = provider.evaluate(eps);
+  state_.total_factorizations += ge.factorizations;
+  state_.total_solves += ge.solves;
+
+  std::vector<double> grad_theta = pipeline_.backward(ge.grad_eps);
+  double fom = ge.fom;
+  if (options_.gray_penalty > 0.0) {
+    // Maximize F - w * gray(rho_bar).
+    fom -= options_.gray_penalty * param::gray_indicator(rho);
+    RealGrid gpen = param::gray_indicator_grad(rho);
+    const std::vector<double> gt = pipeline_.backward_density(gpen);
+    for (std::size_t i = 0; i < grad_theta.size(); ++i) {
+      grad_theta[i] -= options_.gray_penalty * gt[i];
+    }
+  }
+
+  IterationRecord rec;
+  rec.iteration = it;
+  rec.fom = fom;
+  rec.beta = beta;
+  rec.transmissions = ge.transmissions;
+  if (options_.record_density) {
+    rec.density = rho;
+    rec.theta = state_.theta;
+  }
+  if (options_.progress) options_.progress(it, fom);
+
+  adam_.step(state_.theta, grad_theta, /*maximize=*/true);
+  pipeline_.feasible(state_.theta);
+  state_.adam = adam_.state();
+  state_.fom = fom;
+  ++state_.step;
+  return rec;
+}
+
+InvDesResult InvDesStepper::finalize(std::vector<IterationRecord> history) {
+  pipeline_.set_projection_beta(options_.beta_end);
+  InvDesResult res;
+  res.theta = state_.theta;
+  res.density = pipeline_.density(res.theta);
+  res.eps = param::embed_density(pipeline_.map(), res.density);
+  res.fom = state_.fom;
+  res.history = std::move(history);
+  res.total_factorizations = state_.total_factorizations;
+  res.total_solves = state_.total_solves;
+  return res;
+}
+
 InverseDesigner::InverseDesigner(const devices::DeviceProblem& device,
                                  param::DesignPipeline pipeline, InvDesOptions options)
     : device_(device), pipeline_(std::move(pipeline)), options_(options) {
@@ -36,61 +129,11 @@ InverseDesigner::InverseDesigner(const devices::DeviceProblem& device,
 
 InvDesResult InverseDesigner::run(std::vector<double> theta0,
                                   GradientProvider& provider) {
-  maps::require(static_cast<int>(theta0.size()) == pipeline_.num_params(),
-                "InverseDesigner: theta0 size mismatch");
-  std::vector<double> theta = std::move(theta0);
-  pipeline_.feasible(theta);
-
-  maps::nn::AdamOptions adam_opt;
-  adam_opt.lr = options_.lr;
-  maps::nn::AdamVector adam(theta.size(), adam_opt);
-
-  InvDesResult res;
-  for (int it = 0; it < options_.iterations; ++it) {
-    const double beta =
-        beta_schedule(options_.beta_start, options_.beta_end, it, options_.iterations);
-    pipeline_.set_projection_beta(beta);
-
-    const RealGrid rho = pipeline_.density(theta);
-    const RealGrid eps = param::embed_density(pipeline_.map(), rho);
-    GradEval ge = provider.evaluate(eps);
-    res.total_factorizations += ge.factorizations;
-    res.total_solves += ge.solves;
-
-    std::vector<double> grad_theta = pipeline_.backward(ge.grad_eps);
-    double fom = ge.fom;
-    if (options_.gray_penalty > 0.0) {
-      // Maximize F - w * gray(rho_bar).
-      fom -= options_.gray_penalty * param::gray_indicator(rho);
-      RealGrid gpen = param::gray_indicator_grad(rho);
-      const std::vector<double> gt = pipeline_.backward_density(gpen);
-      for (std::size_t i = 0; i < grad_theta.size(); ++i) {
-        grad_theta[i] -= options_.gray_penalty * gt[i];
-      }
-    }
-
-    IterationRecord rec;
-    rec.iteration = it;
-    rec.fom = fom;
-    rec.beta = beta;
-    rec.transmissions = ge.transmissions;
-    if (options_.record_density) {
-      rec.density = rho;
-      rec.theta = theta;
-    }
-    res.history.push_back(std::move(rec));
-    if (options_.progress) options_.progress(it, fom);
-
-    adam.step(theta, grad_theta, /*maximize=*/true);
-    pipeline_.feasible(theta);
-  }
-
-  pipeline_.set_projection_beta(options_.beta_end);
-  res.theta = theta;
-  res.density = pipeline_.density(theta);
-  res.eps = param::embed_density(pipeline_.map(), res.density);
-  res.fom = res.history.empty() ? 0.0 : res.history.back().fom;
-  return res;
+  InvDesStepper stepper(pipeline_, options_, std::move(theta0));
+  std::vector<IterationRecord> history;
+  history.reserve(static_cast<std::size_t>(options_.iterations));
+  while (!stepper.done()) history.push_back(stepper.step(provider));
+  return stepper.finalize(std::move(history));
 }
 
 InvDesResult InverseDesigner::run(std::vector<double> theta0) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "devices/device.hpp"
+#include "nn/optim.hpp"
 #include "param/pipeline.hpp"
 
 namespace maps::invdes {
@@ -71,6 +72,52 @@ struct InvDesResult {
   std::vector<IterationRecord> history;
   int total_factorizations = 0;  // solver work across the whole run
   int total_solves = 0;
+};
+
+/// Serializable mid-run snapshot of an optimization: everything needed to
+/// continue an interrupted run on the exact same trajectory. `step` is the
+/// next iteration to execute; the beta schedule is a pure function of the
+/// step index, and any per-step stochastic draw is derived from
+/// math::stream_seed(seed, step), so the step counter doubles as the RNG
+/// stream position.
+struct StepperState {
+  int step = 0;
+  std::vector<double> theta;
+  nn::AdamVectorState adam;
+  double fom = 0.0;  // objective of the last completed step
+  int total_factorizations = 0;
+  int total_solves = 0;
+};
+
+/// Step-wise re-entrant form of the optimization loop: one `step()` call per
+/// iteration, with a checkpointable StepperState between any two. This is
+/// what lets a served inverse-design job yield the worker between steps
+/// (cancellation points, progress, crash-safe journaling) — run() below is
+/// this loop driven to completion. The pipeline is borrowed, not owned; the
+/// caller keeps it alive for the stepper's lifetime.
+class InvDesStepper {
+ public:
+  InvDesStepper(param::DesignPipeline& pipeline, InvDesOptions options,
+                std::vector<double> theta0);
+  /// Resume form: continue from a journaled mid-run snapshot.
+  InvDesStepper(param::DesignPipeline& pipeline, InvDesOptions options,
+                StepperState resume);
+
+  bool done() const { return state_.step >= options_.iterations; }
+  /// One optimization iteration (gradient eval + Adam ascent). Pre: !done().
+  IterationRecord step(GradientProvider& provider);
+  const StepperState& state() const { return state_; }
+  const InvDesOptions& options() const { return options_; }
+
+  /// Final projection at the schedule's beta_end. `history` — the
+  /// caller-accumulated per-step records — is moved into the result.
+  InvDesResult finalize(std::vector<IterationRecord> history = {});
+
+ private:
+  param::DesignPipeline& pipeline_;
+  InvDesOptions options_;
+  nn::AdamVector adam_;
+  StepperState state_;
 };
 
 class InverseDesigner {

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 
 #include <cctype>
+#include <cmath>
 #include <set>
 
 namespace maps::io {
@@ -444,6 +445,12 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
   cfg.http = r.boolean("http", false);
   cfg.max_connections = r.integer("max_connections", -1);
   cfg.report = r.string("report", "");
+  cfg.jobs_dir = r.string("jobs_dir", "");
+  // A journal directory implies the jobs API: configuring where jobs persist
+  // while leaving the endpoints unmounted would be a silent misconfiguration.
+  cfg.jobs = r.boolean("jobs", !cfg.jobs_dir.empty());
+  cfg.jobs_max_running = r.integer("jobs_max_running", cfg.jobs_max_running);
+  cfg.jobs_max_queued = r.integer("jobs_max_queued", cfg.jobs_max_queued);
   r.reject_unknown();
 
   (void)solver::fidelity_from_name(cfg.fidelity);  // validate the spelling
@@ -471,6 +478,15 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
   }
   if (cfg.stream.drain_deadline_ms < 0.0) {
     throw MapsError("serve: drain_deadline_ms must be >= 0");
+  }
+  if (cfg.jobs && !cfg.http) {
+    throw MapsError("serve: jobs requires the HTTP front end (\"http\": true)");
+  }
+  if (cfg.jobs_max_running < 1) {
+    throw MapsError("serve: jobs_max_running must be >= 1");
+  }
+  if (cfg.jobs_max_queued < 0) {
+    throw MapsError("serve: jobs_max_queued must be >= 0");
   }
   {
     // Fail at config-parse time, not bind time: a typo'd bind_address must
@@ -531,6 +547,10 @@ JsonValue ServeConfig::to_json() const {
   v["http"] = http;
   v["max_connections"] = max_connections;
   if (!report.empty()) v["report"] = report;
+  v["jobs"] = jobs;
+  if (!jobs_dir.empty()) v["jobs_dir"] = jobs_dir;
+  v["jobs_max_running"] = jobs_max_running;
+  v["jobs_max_queued"] = jobs_max_queued;
   return v;
 }
 
@@ -586,6 +606,59 @@ JsonValue InvDesConfig::to_json() const {
   if (!density_out.empty()) v["density_out"] = density_out;
   if (!history_out.empty()) v["history_out"] = history_out;
   if (!report.empty()) v["report"] = report;
+  return v;
+}
+
+// ------------------------------------------------------------------- sweep
+
+SweepJobConfig SweepJobConfig::from_json(const JsonValue& v) {
+  FieldReader r(v, "sweep");
+  SweepJobConfig cfg;
+  cfg.device = device_kind_from_name(r.string("device", "bending"));
+  cfg.fidelity = read_solver_settings(r, cfg.solver, "sweep");
+  cfg.sweep = r.string("sweep", "corners");
+  if (r.has("theta")) {
+    for (const auto& t : r.get("theta").as_array()) {
+      cfg.theta.push_back(t.as_number());
+    }
+  }
+  cfg.init = r.string("init", "path_seed");
+  cfg.seed = static_cast<unsigned>(r.integer("seed", 7));
+  if (r.has("wavelengths")) {
+    for (const auto& w : r.get("wavelengths").as_array()) {
+      cfg.wavelengths.push_back(w.as_number());
+    }
+  }
+  if (cfg.wavelengths.empty()) cfg.wavelengths.push_back(1.55);
+  r.reject_unknown();
+
+  if (cfg.sweep != "corners" && cfg.sweep != "sparams") {
+    throw MapsError("sweep: sweep must be corners | sparams");
+  }
+  if (cfg.init != "gray" && cfg.init != "random" && cfg.init != "path_seed") {
+    throw MapsError("sweep: init must be gray | random | path_seed");
+  }
+  for (const double w : cfg.wavelengths) check_positive(w, "wavelengths");
+  for (const double t : cfg.theta) {
+    if (!std::isfinite(t)) throw MapsError("sweep: theta must be finite");
+  }
+  return cfg;
+}
+
+JsonValue SweepJobConfig::to_json() const {
+  JsonValue v;
+  v["device"] = devices::device_name(device);
+  v["fidelity"] = fidelity;
+  write_solver_settings(v, solver);
+  v["sweep"] = sweep;
+  if (!theta.empty()) {
+    JsonArray t(theta.begin(), theta.end());
+    v["theta"] = JsonValue(std::move(t));
+  }
+  v["init"] = init;
+  v["seed"] = static_cast<int>(seed);
+  JsonArray w(wavelengths.begin(), wavelengths.end());
+  v["wavelengths"] = JsonValue(std::move(w));
   return v;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/data/sampler.hpp"
 #include "core/invdes/engine.hpp"
@@ -127,6 +128,15 @@ struct ServeConfig {
   bool http = false;
   int max_connections = -1;  // TCP mode: stop after N connections (-1 = run on)
   std::string report;     // optional stats JSON output path
+  /// Long-running jobs API (/v1/jobs, HTTP front end only). "jobs" mounts
+  /// the endpoints; "jobs_dir" names the manifest/journal directory for
+  /// crash-safe resume (empty = in-memory jobs, lost on restart);
+  /// "jobs_max_running" / "jobs_max_queued" bound concurrency and the
+  /// admission queue.
+  bool jobs = false;
+  std::string jobs_dir;
+  int jobs_max_running = 1;
+  int jobs_max_queued = 8;
 
   serve::WireDefaults wire_defaults() const;
 
@@ -148,6 +158,25 @@ struct InvDesConfig {
   std::string report;              // optional summary JSON
 
   static InvDesConfig from_json(const JsonValue& v);
+  JsonValue to_json() const;
+};
+
+/// serve "/v1/jobs" sweep job: batched evaluations of one fixed design —
+/// the lithography robustness corners of MAPS-InvDes ("sweep": "corners")
+/// or a multi-wavelength S-parameter matrix ("sweep": "sparams"). "theta"
+/// pins the design variables explicitly; when absent the design comes from
+/// "init"/"seed" exactly as maps_invdes would start it.
+struct SweepJobConfig {
+  devices::DeviceKind device = devices::DeviceKind::Bend;
+  int fidelity = 1;
+  SolverSettings solver;
+  std::string sweep = "corners";  // corners | sparams
+  std::vector<double> theta;      // explicit design variables; empty = init
+  std::string init = "path_seed";
+  unsigned seed = 7;
+  std::vector<double> wavelengths;  // sparams grid; defaults to {1.55}
+
+  static SweepJobConfig from_json(const JsonValue& v);
   JsonValue to_json() const;
 };
 

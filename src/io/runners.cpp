@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>
+#include <memory>
 #include <ostream>
 #include <set>
 
@@ -16,6 +17,7 @@
 #include "nn/serialize.hpp"
 #include "runtime/datagen.hpp"
 #include "serve/http_server.hpp"
+#include "serve/jobs.hpp"
 #include "serve/server.hpp"
 
 namespace maps::io {
@@ -360,11 +362,32 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
 
   serve::StreamOptions stream = config.stream;
   stream.stop = stop;
+  // The jobs API shares the service's TaskQueue, so one optimization step
+  // interleaves with predict batches instead of pinning a worker.
+  std::unique_ptr<serve::JobManager> jobs;
+  if (config.http && config.jobs) {
+    serve::JobsOptions jobs_options;
+    jobs_options.max_running = config.jobs_max_running;
+    jobs_options.max_queued = config.jobs_max_queued;
+    jobs_options.journal_dir = config.jobs_dir;
+    jobs = std::make_unique<serve::JobManager>(service.task_queue(),
+                                               jobs_options, &log);
+    log << "[serve] jobs API mounted at /v1/jobs (max_running="
+        << jobs_options.max_running << " max_queued=" << jobs_options.max_queued
+        << (config.jobs_dir.empty() ? ", no journal"
+                                    : ", journal " + config.jobs_dir)
+        << ")\n";
+    const int requeued = jobs->resume_journaled();
+    if (requeued > 0) {
+      log << "[serve] resumed " << requeued << " journaled job(s)\n";
+    }
+  }
   JsonValue http_report;
   if (config.http) {
     serve::HttpOptions http;
     http.port = config.port;
     http.stream = stream;
+    http.jobs = jobs.get();
     const auto hr = serve::serve_http(service, defaults, http, &log, nullptr);
     http_report["requests"] = static_cast<double>(hr.requests);
     http_report["errors"] = static_cast<double>(hr.errors);
@@ -383,7 +406,12 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
   report["task"] = "serve";
   report["model"] = served->id;
   report["model_version"] = served->version;
-  report["serve_stats"] = serve::stats_to_json(service.stats());
+  if (jobs != nullptr) {
+    const serve::JobsStatsSnapshot jobs_stats = jobs->stats();
+    report["serve_stats"] = serve::stats_to_json(service.stats(), &jobs_stats);
+  } else {
+    report["serve_stats"] = serve::stats_to_json(service.stats());
+  }
   if (config.http) report["http"] = http_report;
   report["config"] = config.to_json();
   if (!config.report.empty()) json_save(report, config.report);

@@ -92,6 +92,15 @@ void Sgd::zero_grad() {
 AdamVector::AdamVector(std::size_t n, AdamOptions options)
     : options_(options), m_(n, 0.0), v_(n, 0.0) {}
 
+void AdamVector::restore(AdamVectorState state) {
+  require(state.m.size() == m_.size() && state.v.size() == v_.size() &&
+              state.t >= 0,
+          "AdamVector::restore: state size mismatch");
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  t_ = state.t;
+}
+
 void AdamVector::step(std::vector<double>& theta, const std::vector<double>& grad,
                       bool maximize) {
   require(theta.size() == m_.size() && grad.size() == m_.size(),

@@ -50,6 +50,14 @@ class Sgd {
   std::vector<std::vector<float>> vel_;
 };
 
+/// Serializable snapshot of an AdamVector: first/second moments plus the
+/// bias-correction step count. Checkpointing this alongside theta lets an
+/// interrupted inverse-design run resume on the exact same trajectory.
+struct AdamVectorState {
+  std::vector<double> m, v;
+  int t = 0;
+};
+
 /// Adam over a plain double vector (inverse-design variables).
 class AdamVector {
  public:
@@ -58,6 +66,10 @@ class AdamVector {
   void step(std::vector<double>& theta, const std::vector<double>& grad,
             bool maximize = false);
   void set_lr(double lr) { options_.lr = lr; }
+
+  AdamVectorState state() const { return {m_, v_, t_}; }
+  /// Restore a snapshot taken with state(). Throws on a size mismatch.
+  void restore(AdamVectorState state);
 
  private:
   AdamOptions options_;

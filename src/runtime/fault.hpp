@@ -36,7 +36,7 @@
 // Registered point names in this repo: solver.factorize, solver.solve,
 // solver.iterative, batcher.run_batch, registry.load, journal.append,
 // journal.compact, manifest.save, serve.tcp.read, serve.tcp.write,
-// http.read, http.write, coalesce.attach.
+// http.read, http.write, coalesce.attach, jobs.step, jobs.journal.
 #pragma once
 
 #include <atomic>

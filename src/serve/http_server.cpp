@@ -19,6 +19,7 @@
 #include "net/listener.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
+#include "serve/jobs.hpp"
 
 namespace maps::serve {
 
@@ -30,11 +31,49 @@ int status_for(const std::string& code) {
   if (code == "bad_request") return 400;
   if (code == "not_found") return 404;
   if (code == "method_not_allowed") return 405;
+  if (code == "not_ready") return 409;
   if (code == "request_too_large") return 413;
   if (code == "overloaded") return 429;
   if (code == "breaker_open" || code == "shutting_down") return 503;
   if (code == "deadline_exceeded") return 504;
   return 500;
+}
+
+/// Resolve a request target onto its canonical (unversioned) route path.
+/// "/v1/..." strips the prefix; bare paths are deprecated aliases of their
+/// /v1 forms and pass through unchanged. Returns false for any other
+/// "/v<n>" prefix — an unsupported API version.
+bool canonical_path(const std::string& target, std::string* path) {
+  if (target == "/v1" || target.rfind("/v1/", 0) == 0) {
+    *path = target.substr(3);
+    return true;
+  }
+  if (target.size() > 2 && target[0] == '/' && target[1] == 'v') {
+    std::size_t i = 2;
+    while (i < target.size() && target[i] >= '0' && target[i] <= '9') ++i;
+    if (i > 2 && (i == target.size() || target[i] == '/')) return false;
+  }
+  *path = target;
+  return true;
+}
+
+/// Jobs-route exceptions onto wire errors: admission shed -> 429 (with
+/// Retry-After), unknown id -> 404, result-before-terminal -> 409, anything
+/// else (spec parse/validation) -> 400.
+WireError classify_jobs_error(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const OverloadedError& e) {
+    return WireError{"overloaded", e.what(), e.retry_after_ms};
+  } catch (const JobNotFound& e) {
+    return WireError{"not_found", e.what(), 0.0};
+  } catch (const JobNotReady& e) {
+    return WireError{"not_ready", e.what(), 0.0};
+  } catch (const std::exception& e) {
+    return WireError{"bad_request", e.what(), 0.0};
+  } catch (...) {
+    return WireError{"internal", "unknown error", 0.0};
+  }
 }
 
 /// Retry-After is whole seconds on the wire; round the backlog estimate up
@@ -78,7 +117,11 @@ class HttpServer {
  public:
   HttpServer(PredictionService& service, const WireDefaults& defaults,
              const HttpOptions& options, std::ostream* log)
-      : service_(service), defaults_(defaults), options_(options), log_(log) {
+      : service_(service),
+        defaults_(defaults),
+        options_(options),
+        jobs_(options.jobs),
+        log_(log) {
     limits_.max_header_bytes = options_.max_header_bytes;
     limits_.max_body_bytes = options_.stream.max_request_bytes > 0
                                  ? options_.stream.max_request_bytes
@@ -143,6 +186,9 @@ class HttpServer {
       draining_ = true;
       drain_until_ =
           runtime::now_steady_ms() + options_.stream.drain_deadline_ms;
+      // Long-running jobs journal their checkpoint and park at the next
+      // step boundary; a restart re-adopts them via resume_journaled().
+      if (jobs_ != nullptr) jobs_->drain();
       // Stop accepting, stop reading; in-flight replies drain below.
       loop_.remove_fd(listener_fd_);
       ::close(listener_fd_);
@@ -283,10 +329,21 @@ class HttpServer {
                   /*keep_alive=*/false);
       return;
     }
-    if (req.target == "/predict") {
+    std::string path;
+    if (!canonical_path(req.target, &path)) {
+      reply_error(conn,
+                  WireError{"not_found",
+                            "unsupported API version in " + req.target +
+                                " (supported: /v1)",
+                            0.0},
+                  req.keep_alive);
+      return;
+    }
+    if (path == "/predict") {
       if (req.method != "POST") {
         reply_error(conn,
-                    WireError{"method_not_allowed", "/predict requires POST", 0.0},
+                    WireError{"method_not_allowed",
+                              req.target + " requires POST", 0.0},
                     req.keep_alive, {{"Allow", "POST"}});
         return;
       }
@@ -294,7 +351,7 @@ class HttpServer {
       offload_predict(conn, slot, std::move(req.body), req.keep_alive);
       return;
     }
-    if (req.target == "/healthz" || req.target == "/stats") {
+    if (path == "/healthz" || path == "/stats") {
       if (req.method != "GET") {
         reply_error(conn,
                     WireError{"method_not_allowed",
@@ -304,16 +361,104 @@ class HttpServer {
       }
       auto slot = push_slot(conn);
       const auto [status, body] =
-          req.target == "/healthz"
-              ? healthz_reply()
-              : std::pair<int, std::string>{200,
-                                            stats_to_json(service_.stats()).dump()};
+          path == "/healthz" ? healthz_reply()
+                             : std::pair<int, std::string>{200, stats_body()};
       fill_slot(slot, status, body, req.keep_alive, {});
+      return;
+    }
+    if (path == "/jobs" || path.rfind("/jobs/", 0) == 0) {
+      handle_jobs(conn, req, path);
       return;
     }
     reply_error(conn,
                 WireError{"not_found", "unknown target " + req.target, 0.0},
                 req.keep_alive);
+  }
+
+  /// The /v1/jobs routes. JobManager calls are mutex-guarded bookkeeping
+  /// (submit validates the spec but never steps), so they run inline on the
+  /// loop thread like the other control-plane endpoints.
+  void handle_jobs(const std::shared_ptr<Conn>& conn,
+                   const net::HttpRequest& req, const std::string& path) {
+    if (jobs_ == nullptr) {
+      reply_error(conn,
+                  WireError{"not_found",
+                            "jobs API disabled (serve with a jobs journal "
+                            "dir to enable it)",
+                            0.0},
+                  req.keep_alive);
+      return;
+    }
+    try {
+      // Every JobManager call happens before push_slot: a thrown
+      // JobNotFound/JobNotReady must not leave an unfillable slot at the
+      // head of the connection's reply pipeline.
+      if (path == "/jobs") {
+        if (req.method == "POST") {
+          const std::string id = jobs_->submit(io::json_parse(req.body));
+          const std::string body = jobs_->status(id).dump();
+          auto slot = push_slot(conn);
+          // 202: the job is accepted, not finished; poll GET /v1/jobs/{id}.
+          fill_slot(slot, 202, body, req.keep_alive, {});
+          return;
+        }
+        if (req.method == "GET") {
+          const std::string body = jobs_->list().dump();
+          auto slot = push_slot(conn);
+          fill_slot(slot, 200, body, req.keep_alive, {});
+          return;
+        }
+        reply_error(conn,
+                    WireError{"method_not_allowed",
+                              req.target + " requires GET or POST", 0.0},
+                    req.keep_alive, {{"Allow", "GET, POST"}});
+        return;
+      }
+      const std::string rest = path.substr(6);  // past "/jobs/"
+      const std::size_t slash = rest.find('/');
+      const std::string id = rest.substr(0, slash);
+      const std::string action =
+          slash == std::string::npos ? std::string() : rest.substr(slash);
+      if (action.empty() || action == "/result") {
+        if (req.method != "GET") {
+          reply_error(conn,
+                      WireError{"method_not_allowed",
+                                req.target + " requires GET", 0.0},
+                      req.keep_alive, {{"Allow", "GET"}});
+          return;
+        }
+        const std::string body = action.empty() ? jobs_->status(id).dump()
+                                                : jobs_->result(id).dump();
+        auto slot = push_slot(conn);
+        fill_slot(slot, 200, body, req.keep_alive, {});
+        return;
+      }
+      if (action == "/cancel") {
+        if (req.method != "POST") {
+          reply_error(conn,
+                      WireError{"method_not_allowed",
+                                req.target + " requires POST", 0.0},
+                      req.keep_alive, {{"Allow", "POST"}});
+          return;
+        }
+        const std::string body = jobs_->cancel(id).dump();
+        auto slot = push_slot(conn);
+        fill_slot(slot, 200, body, req.keep_alive, {});
+        return;
+      }
+      reply_error(conn,
+                  WireError{"not_found", "unknown target " + req.target, 0.0},
+                  req.keep_alive);
+    } catch (...) {
+      reply_error(conn, classify_jobs_error(std::current_exception()),
+                  req.keep_alive);
+    }
+  }
+
+  std::string stats_body() {
+    if (jobs_ == nullptr) return stats_to_json(service_.stats()).dump();
+    const JobsStatsSnapshot snapshot = jobs_->stats();
+    return stats_to_json(service_.stats(), &snapshot).dump();
   }
 
   std::pair<int, std::string> healthz_reply() {
@@ -339,6 +484,11 @@ class HttpServer {
     if (model != nullptr) {
       v["model"] = model->id;
       v["model_version"] = model->version;
+    }
+    if (jobs_ != nullptr) {
+      const JobsStatsSnapshot snapshot = jobs_->stats();
+      v["jobs_queued"] = snapshot.queued;
+      v["jobs_running"] = snapshot.running;
     }
     v["status"] = status;
     return {code, v.dump()};
@@ -615,6 +765,7 @@ class HttpServer {
   PredictionService& service_;
   const WireDefaults& defaults_;
   const HttpOptions& options_;
+  JobManager* jobs_;
   std::ostream* log_;
   net::EventLoop loop_;
   net::HttpLimits limits_;

@@ -8,19 +8,32 @@
 // to the loop thread, which slots it into the connection's in-order reply
 // queue (pipelined requests answer strictly in request order).
 //
-// Endpoints:
-//   POST /predict   one wire request object, or a JSON array of them (the
-//                   reply is then a JSON array, per-element ok/error)
-//   GET  /healthz   {"status": "ok" | "degraded" | "draining" |
-//                   "unavailable", ...} — degraded/unavailable follow the
-//                   solver breaker and model registry, draining follows the
-//                   stop flag; statuses ok/degraded answer 200, the rest 503
-//   GET  /stats     the ServeStats wire JSON (same document as the CLI
-//                   "serve_stats" report block)
+// The API is versioned under a /v1 prefix; see serve/README.md for the
+// versioning contract. Bare paths (/predict, /healthz, /stats) remain as
+// deprecated aliases of their /v1 forms; any other /v<n>/ prefix answers a
+// structured 404. Endpoints:
+//   POST /v1/predict           one wire request object, or a JSON array of
+//                              them (the reply is then a JSON array,
+//                              per-element ok/error)
+//   GET  /v1/healthz           {"status": "ok" | "degraded" | "draining" |
+//                              "unavailable", ...} — degraded/unavailable
+//                              follow the solver breaker and model registry,
+//                              draining follows the stop flag; statuses
+//                              ok/degraded answer 200, the rest 503; carries
+//                              jobs_running/jobs_queued when jobs are mounted
+//   GET  /v1/stats             the ServeStats wire JSON (same document as
+//                              the CLI "serve_stats" report block)
+//   POST /v1/jobs              submit a long-running job (serve/jobs.hpp)
+//   GET  /v1/jobs              list jobs, submission-ordered
+//   GET  /v1/jobs/{id}         status + progress of one job
+//   GET  /v1/jobs/{id}/result  terminal document (409 before terminal state)
+//   POST /v1/jobs/{id}/cancel  request cancellation (idempotent)
+// The jobs routes answer 404 "jobs API disabled" unless options.jobs is set.
 //
 // Errors reuse the PR 7 wire envelope {"error":{"code",...}}: 400
-// bad_request, 413 request_too_large, 429 overloaded (+ Retry-After), 503
-// breaker_open / shutting_down, 504 deadline_exceeded, 500 internal.
+// bad_request, 404 not_found, 405 method_not_allowed, 409 not_ready, 413
+// request_too_large, 429 overloaded (+ Retry-After), 503 breaker_open /
+// shutting_down, 504 deadline_exceeded, 500 internal.
 //
 // Shutdown: when options.stream.stop flips, the listener closes, reads
 // pause, in-flight replies drain under stream.drain_deadline_ms, then every
@@ -35,6 +48,8 @@
 
 namespace maps::serve {
 
+class JobManager;
+
 struct HttpOptions {
   int port = 0;          // 0 picks a free port (see bound_port)
   int backlog = 128;
@@ -47,6 +62,10 @@ struct HttpOptions {
   /// body cap behind 413), conn_max_inflight (per-connection pipeline
   /// window), stop, drain_deadline_ms.
   StreamOptions stream;
+  /// Mounts the /v1/jobs routes when non-null (borrowed, must outlive the
+  /// server). Shutdown drains it: running jobs journal their checkpoint and
+  /// park at the next step boundary.
+  JobManager* jobs = nullptr;
 };
 
 struct HttpServeReport {

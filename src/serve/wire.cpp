@@ -172,18 +172,11 @@ std::string encode_response_text(const JsonValue& id, const ServeResponse& respo
 }
 
 std::string encode_error_text(const JsonValue& id, const WireError& error) {
-  std::string out;
-  io::JsonWriter w(out);
-  w.begin_object();
-  w.key("error").begin_object();
-  w.key("code").value(error.code);
-  w.key("message").value(error.message);
-  if (error.retry_after_ms > 0.0) w.key("retry_after_ms").value(error.retry_after_ms);
-  w.end_object();
-  w.key("id").value(id);
-  w.key("ok").value(false);
-  w.end_object();
-  return out;
+  // One encoder for every front end: error documents are small (no nx*ny
+  // field payload), so the streaming path simply serializes the tree the
+  // canonical encoder builds — bit-identity by construction, not by two
+  // hand-assembled copies kept in sync.
+  return encode_error(id, error).dump();
 }
 
 WireError classify_error(std::exception_ptr error) {
@@ -226,7 +219,8 @@ JsonValue encode_error(const JsonValue& id, const std::string& message) {
   return encode_error(id, WireError{"bad_request", message, 0.0});
 }
 
-JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
+JsonValue stats_to_json(const ServeStatsSnapshot& stats,
+                        const JobsStatsSnapshot* jobs) {
   JsonValue v;
   v["requests"] = static_cast<double>(stats.requests);
   v["cache_hits"] = static_cast<double>(stats.cache_hits);
@@ -264,6 +258,21 @@ JsonValue stats_to_json(const ServeStatsSnapshot& stats) {
   breaker["rejected"] = static_cast<double>(stats.breaker.rejected);
   breaker["current_backoff_ms"] = stats.breaker.current_backoff_ms;
   v["breaker"] = breaker;
+  // Long-running jobs block, present only when the jobs API is mounted.
+  if (jobs != nullptr) {
+    JsonValue j;
+    j["submitted"] = static_cast<double>(jobs->submitted);
+    j["completed"] = static_cast<double>(jobs->completed);
+    j["failed"] = static_cast<double>(jobs->failed);
+    j["cancelled"] = static_cast<double>(jobs->cancelled);
+    j["resumed"] = static_cast<double>(jobs->resumed);
+    j["shed"] = static_cast<double>(jobs->shed);
+    j["steps"] = static_cast<double>(jobs->steps);
+    j["journal_retries"] = static_cast<double>(jobs->journal_retries);
+    j["running"] = jobs->running;
+    j["queued"] = jobs->queued;
+    v["jobs"] = j;
+  }
   // Per-fault-point chaos counters, present only when MAPS_FAULTS armed
   // anything (the block's absence is the "clean run" signal).
   if (runtime::fault::armed()) {

@@ -36,10 +36,15 @@
 // (line over the server's byte cap), "overloaded" (admission control shed
 // the request; retry_after_ms is the backlog estimate),
 // "deadline_exceeded", "breaker_open" (solver fenced off, no surrogate to
-// degrade to), "shutting_down" (server draining), "internal".
+// degrade to), "shutting_down" (server draining), "internal". The jobs API
+// (serve/jobs.hpp) adds "not_found" (unknown id or route), "not_ready"
+// (result fetched before a terminal state) and, inside terminal result
+// documents, "job_failed" / "job_cancelled". Every front end emits this
+// same envelope through the single encoder below.
 #pragma once
 
 #include "io/json.hpp"
+#include "serve/jobs.hpp"
 #include "serve/service.hpp"
 
 namespace maps::serve {
@@ -96,7 +101,10 @@ io::JsonValue encode_error(const io::JsonValue& id, const std::string& message);
 /// encode_error(id, error).dump().
 std::string encode_error_text(const io::JsonValue& id, const WireError& error);
 
-/// The "serve_stats" report block (CLI exit report, tests).
-io::JsonValue stats_to_json(const ServeStatsSnapshot& stats);
+/// The "serve_stats" report block (CLI exit report, tests). `jobs` — the
+/// job-manager counters when the jobs API is mounted — adds a "jobs"
+/// sub-block; null omits it.
+io::JsonValue stats_to_json(const ServeStatsSnapshot& stats,
+                            const JobsStatsSnapshot* jobs = nullptr);
 
 }  // namespace maps::serve

@@ -107,6 +107,66 @@ TEST(Engine, HistoryRecordsDensityWhenAsked) {
   }
 }
 
+TEST(Stepper, LoopMatchesRunExactly) {
+  // run() is the stepper driven to completion; the two must agree to the
+  // bit, or a served job would not reproduce the CLI's result.
+  const auto dev = md::make_device(md::DeviceKind::Bend);
+  mi::InvDesOptions opt;
+  opt.iterations = 5;
+  auto theta0 = mi::make_initial_theta(dev, mi::InitKind::PathSeed);
+
+  auto run_pipeline = md::make_default_pipeline(dev, md::DeviceKind::Bend);
+  mi::InverseDesigner designer(dev, std::move(run_pipeline), opt);
+  const auto via_run = designer.run(theta0);
+
+  auto pipeline = md::make_default_pipeline(dev, md::DeviceKind::Bend);
+  mi::NumericalProvider provider(dev);
+  mi::InvDesStepper stepper(pipeline, opt, theta0);
+  std::vector<mi::IterationRecord> history;
+  while (!stepper.done()) history.push_back(stepper.step(provider));
+  const auto via_steps = stepper.finalize(std::move(history));
+
+  EXPECT_DOUBLE_EQ(via_steps.fom, via_run.fom);
+  ASSERT_EQ(via_steps.theta.size(), via_run.theta.size());
+  for (std::size_t n = 0; n < via_steps.theta.size(); ++n) {
+    EXPECT_DOUBLE_EQ(via_steps.theta[n], via_run.theta[n]) << "theta[" << n << "]";
+  }
+  ASSERT_EQ(via_steps.history.size(), via_run.history.size());
+  EXPECT_EQ(via_steps.total_solves, via_run.total_solves);
+}
+
+TEST(Stepper, ResumeFromStateContinuesTheSameTrajectory) {
+  // Interrupt after 2 of 5 steps, hand the StepperState to a fresh stepper
+  // on a fresh pipeline (what a restarted serve job does) and finish: the
+  // final state must be bit-identical to the uninterrupted run.
+  const auto dev = md::make_device(md::DeviceKind::Bend);
+  mi::InvDesOptions opt;
+  opt.iterations = 5;
+  auto theta0 = mi::make_initial_theta(dev, mi::InitKind::PathSeed);
+
+  auto pipeline_a = md::make_default_pipeline(dev, md::DeviceKind::Bend);
+  mi::NumericalProvider provider(dev);
+  mi::InvDesStepper uninterrupted(pipeline_a, opt, theta0);
+  mi::StepperState snapshot;
+  while (!uninterrupted.done()) {
+    if (uninterrupted.state().step == 2) snapshot = uninterrupted.state();
+    (void)uninterrupted.step(provider);
+  }
+
+  ASSERT_EQ(snapshot.step, 2);
+  auto pipeline_b = md::make_default_pipeline(dev, md::DeviceKind::Bend);
+  mi::InvDesStepper resumed(pipeline_b, opt, std::move(snapshot));
+  while (!resumed.done()) (void)resumed.step(provider);
+
+  EXPECT_DOUBLE_EQ(resumed.state().fom, uninterrupted.state().fom);
+  ASSERT_EQ(resumed.state().theta.size(), uninterrupted.state().theta.size());
+  for (std::size_t n = 0; n < resumed.state().theta.size(); ++n) {
+    EXPECT_DOUBLE_EQ(resumed.state().theta[n], uninterrupted.state().theta[n]);
+  }
+  EXPECT_EQ(resumed.state().total_solves, uninterrupted.state().total_solves);
+  EXPECT_EQ(resumed.state().adam.t, uninterrupted.state().adam.t);
+}
+
 TEST(Engine, ProgressCallbackFires) {
   const auto dev = md::make_device(md::DeviceKind::Bend);
   mi::InvDesOptions opt;

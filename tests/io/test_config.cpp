@@ -292,3 +292,57 @@ TEST(Config, ServeSolverPrecisionKey) {
   const auto back = mio::ServeConfig::from_json(cfg.to_json());
   EXPECT_EQ(back.serve.solver_precision, maps::solver::SolverPrecision::Mixed);
 }
+
+TEST(Config, ServeJobsKeys) {
+  // Off by default; a journal dir implies the jobs API.
+  const auto plain = mio::ServeConfig::from_json(mio::json_parse("{}"));
+  EXPECT_FALSE(plain.jobs);
+  const auto cfg = mio::ServeConfig::from_json(mio::json_parse(
+      R"({"http": true, "jobs_dir": "/tmp/j", "jobs_max_running": 2,
+          "jobs_max_queued": 4})"));
+  EXPECT_TRUE(cfg.jobs);
+  EXPECT_EQ(cfg.jobs_dir, "/tmp/j");
+  EXPECT_EQ(cfg.jobs_max_running, 2);
+  EXPECT_EQ(cfg.jobs_max_queued, 4);
+  const auto back = mio::ServeConfig::from_json(cfg.to_json());
+  EXPECT_TRUE(back.jobs);
+  EXPECT_EQ(back.jobs_max_running, 2);
+
+  // Jobs ride the HTTP front end only, and the knobs have floors.
+  EXPECT_THROW(mio::ServeConfig::from_json(mio::json_parse(
+                   R"({"jobs": true})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::ServeConfig::from_json(mio::json_parse(
+                   R"({"http": true, "jobs": true, "jobs_max_running": 0})")),
+               maps::MapsError);
+}
+
+TEST(Config, SweepJobDefaultsAndValidation) {
+  const auto cfg = mio::SweepJobConfig::from_json(mio::json_parse("{}"));
+  EXPECT_EQ(cfg.sweep, "corners");
+  EXPECT_EQ(cfg.init, "path_seed");
+  EXPECT_TRUE(cfg.theta.empty());
+  ASSERT_EQ(cfg.wavelengths.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.wavelengths[0], 1.55);
+
+  const auto sp = mio::SweepJobConfig::from_json(mio::json_parse(
+      R"({"sweep": "sparams", "wavelengths": [1.5, 1.55, 1.6],
+          "theta": [0.25, 0.75]})"));
+  EXPECT_EQ(sp.sweep, "sparams");
+  ASSERT_EQ(sp.wavelengths.size(), 3u);
+  ASSERT_EQ(sp.theta.size(), 2u);
+  const auto back = mio::SweepJobConfig::from_json(sp.to_json());
+  EXPECT_EQ(back.sweep, "sparams");
+  ASSERT_EQ(back.wavelengths.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.theta[1], 0.75);
+
+  EXPECT_THROW(mio::SweepJobConfig::from_json(
+                   mio::json_parse(R"({"sweep": "spiral"})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::SweepJobConfig::from_json(
+                   mio::json_parse(R"({"wavelengths": [-1.0]})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::SweepJobConfig::from_json(
+                   mio::json_parse(R"({"unknown_key": 1})")),
+               maps::MapsError);
+}

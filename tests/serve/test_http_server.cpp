@@ -25,7 +25,9 @@
 #include "io/json.hpp"
 #include "math/rng.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/task_queue.hpp"
 #include "serve/http_server.hpp"
+#include "serve/jobs.hpp"
 
 namespace {
 
@@ -579,4 +581,252 @@ TEST(HttpServe, DrainFinishesInflightRepliesThenExits) {
 
   h.shutdown();  // joins: serve_http returned on its own
   EXPECT_GE(h.report.requests, 1u);
+}
+
+// --- /v1 versioning ----------------------------------------------------------
+
+TEST(HttpServe, V1PrefixAndBareAliasesAnswerAlike) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+
+  // Canonical /v1 routes work end to end.
+  HttpReply reply;
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/predict",
+                   predict_body(11, 2.5, ", \"return_field\": false"))));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(io::json_parse(reply.body).at("id").as_int(), 11);
+
+  // Versioned and bare paths serve the same healthz document.
+  std::string versioned, bare;
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  versioned = reply.body;
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  bare = reply.body;
+  EXPECT_EQ(versioned, bare);
+
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/stats")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_TRUE(io::json_parse(reply.body).has("requests"));
+
+  // Unknown versions answer the structured envelope, not a bare 404.
+  for (const char* target : {"/v2/healthz", "/v2", "/v99/jobs"}) {
+    ASSERT_TRUE(client.send_raw(http_request("GET", target)));
+    ASSERT_TRUE(client.read_reply(reply));
+    EXPECT_EQ(reply.status, 404) << target;
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_EQ(doc.at("error").at("code").as_string(), "not_found");
+    EXPECT_NE(doc.at("error").at("message").as_string().find(
+                  "unsupported API version"),
+              std::string::npos);
+  }
+
+  // Method checks apply to /v1 routes the same way.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/predict")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 405);
+
+  // Without a mounted JobManager the jobs routes are a structured 404.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/jobs")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 404);
+  EXPECT_NE(io::json_parse(reply.body).at("error").at("message").as_string().find(
+                "jobs API disabled"),
+            std::string::npos);
+}
+
+// --- jobs over HTTP ----------------------------------------------------------
+
+namespace {
+
+/// HttpHarness plus a mounted JobManager on its own TaskQueue.
+struct JobsHarness {
+  runtime::TaskQueue queue{2};
+  serve::JobManager jobs;
+  std::unique_ptr<HttpHarness> h;
+
+  explicit JobsHarness(serve::JobsOptions options = {}) : jobs(queue, options) {
+    serve::HttpOptions http;
+    http.tick_ms = 5.0;
+    http.jobs = &jobs;
+    h = std::make_unique<HttpHarness>(small_options(), http);
+  }
+  int port() { return h->port.load(); }
+};
+
+std::string tiny_invdes_spec(int iterations) {
+  return "{\"type\": \"invdes\", \"iterations\": " +
+         std::to_string(iterations) + ", \"lr\": 0.05}";
+}
+
+/// Poll GET /v1/jobs/{id} until the job is terminal; returns the status doc.
+io::JsonValue poll_job(HttpClient& client, const std::string& id) {
+  for (int k = 0; k < 30000; ++k) {
+    HttpReply reply;
+    EXPECT_TRUE(client.send_raw(http_request("GET", "/v1/jobs/" + id)));
+    EXPECT_TRUE(client.read_reply(reply));
+    EXPECT_EQ(reply.status, 200);
+    const auto doc = io::json_parse(reply.body);
+    const std::string state = doc.at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") {
+      return doc;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ADD_FAILURE() << "job " << id << " never reached a terminal state";
+  return io::JsonValue();
+}
+
+}  // namespace
+
+TEST(HttpServe, JobsSubmitPollResultOverHttp) {
+  FaultGuard guard("");
+  JobsHarness jh;
+  HttpClient client(jh.port());
+  ASSERT_GE(client.fd, 0);
+
+  // Submit: 202 Accepted with the initial status document.
+  HttpReply reply;
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs", tiny_invdes_spec(2))));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 202);
+  const auto submitted = io::json_parse(reply.body);
+  const std::string id = submitted.at("id").as_string();
+  EXPECT_EQ(submitted.at("type").as_string(), "invdes");
+  EXPECT_EQ(submitted.at("total_steps").as_int(), 2);
+
+  // Poll to completion, then fetch the terminal result.
+  const auto status = poll_job(client, id);
+  EXPECT_EQ(status.at("state").as_string(), "done");
+  ASSERT_TRUE(client.send_raw(
+      http_request("GET", "/v1/jobs/" + id + "/result")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  const auto result = io::json_parse(reply.body);
+  EXPECT_TRUE(result.at("ok").as_bool());
+  EXPECT_EQ(result.at("result").at("task").as_string(), "invdes");
+  EXPECT_GT(result.at("result").at("fom").as_number(), 0.0);
+
+  // The list carries it; healthz and stats surface the jobs counters.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/jobs")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(io::json_parse(reply.body).at("jobs").size(), 1u);
+
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  {
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_EQ(doc.at("jobs_running").as_int(), 0);
+    EXPECT_EQ(doc.at("jobs_queued").as_int(), 0);
+  }
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/stats")));
+  ASSERT_TRUE(client.read_reply(reply));
+  {
+    const auto doc = io::json_parse(reply.body);
+    EXPECT_EQ(doc.at("jobs").at("submitted").as_int(), 1);
+    EXPECT_EQ(doc.at("jobs").at("completed").as_int(), 1);
+    EXPECT_GE(doc.at("jobs").at("steps").as_int(), 2);
+  }
+}
+
+TEST(HttpServe, JobsErrorsCarryTheEnvelope) {
+  FaultGuard guard("");
+  JobsHarness jh;
+  HttpClient client(jh.port());
+  ASSERT_GE(client.fd, 0);
+
+  // Unknown id: 404 not_found.
+  HttpReply reply;
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/jobs/job-999999")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 404);
+  EXPECT_EQ(io::json_parse(reply.body).at("error").at("code").as_string(),
+            "not_found");
+
+  // Malformed spec: 400 bad_request at submit time.
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs", "{\"type\": \"bogus\"}")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_EQ(io::json_parse(reply.body).at("error").at("code").as_string(),
+            "bad_request");
+
+  // Result before a terminal state: 409 not_ready.
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs", tiny_invdes_spec(40))));
+  ASSERT_TRUE(client.read_reply(reply));
+  ASSERT_EQ(reply.status, 202);
+  const std::string id = io::json_parse(reply.body).at("id").as_string();
+  ASSERT_TRUE(client.send_raw(
+      http_request("GET", "/v1/jobs/" + id + "/result")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 409);
+  EXPECT_EQ(io::json_parse(reply.body).at("error").at("code").as_string(),
+            "not_ready");
+
+  // Wrong method on a jobs route: 405 with Allow.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/jobs/" + id + "/cancel")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 405);
+  ASSERT_NE(reply.header("Allow"), nullptr);
+  EXPECT_EQ(*reply.header("Allow"), "POST");
+
+  // Cancel mid-run: the job lands in cancelled, result answers 200 with the
+  // structured job_cancelled document (the fetch itself succeeded).
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs/" + id + "/cancel", "")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  const auto final_status = poll_job(client, id);
+  EXPECT_EQ(final_status.at("state").as_string(), "cancelled");
+  EXPECT_LT(final_status.at("step").as_int(), 40);
+  ASSERT_TRUE(client.send_raw(
+      http_request("GET", "/v1/jobs/" + id + "/result")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  const auto result = io::json_parse(reply.body);
+  EXPECT_FALSE(result.at("ok").as_bool());
+  EXPECT_EQ(result.at("error").at("code").as_string(), "job_cancelled");
+}
+
+TEST(HttpServe, JobsQueueFullAnswers429WithRetryAfter) {
+  FaultGuard guard("");
+  serve::JobsOptions options;
+  options.max_running = 1;
+  options.max_queued = 0;
+  JobsHarness jh(options);
+  HttpClient client(jh.port());
+  ASSERT_GE(client.fd, 0);
+
+  HttpReply reply;
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs", tiny_invdes_spec(30))));
+  ASSERT_TRUE(client.read_reply(reply));
+  ASSERT_EQ(reply.status, 202);
+  const std::string id = io::json_parse(reply.body).at("id").as_string();
+
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs", tiny_invdes_spec(2))));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 429);
+  EXPECT_EQ(io::json_parse(reply.body).at("error").at("code").as_string(),
+            "overloaded");
+  ASSERT_NE(reply.header("Retry-After"), nullptr);
+  EXPECT_GE(std::atoi(reply.header("Retry-After")->c_str()), 1);
+
+  // Unblock the slot so teardown is quick.
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/v1/jobs/" + id + "/cancel", "")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
 }

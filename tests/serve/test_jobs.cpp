@@ -1,0 +1,404 @@
+// JobManager: the long-running jobs behind /v1/jobs — lifecycle, sweep
+// engines, cancellation, admission control, crash-safe journal resume
+// (including the pinned resumed-equals-uninterrupted final objective), and
+// chaos behavior at the jobs.step / jobs.journal fault points.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "io/json.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/task_queue.hpp"
+#include "serve/jobs.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace maps;
+namespace fault = maps::runtime::fault;
+
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    fault::disarm_all();
+    if (!spec.empty()) fault::arm_from_spec(spec);
+  }
+  ~FaultGuard() {
+    fault::disarm_all();
+    if (const char* env = std::getenv("MAPS_FAULTS")) {
+      if (env[0] != '\0') fault::arm_from_spec(env);
+    }
+  }
+};
+
+std::string scratch_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/maps_jobs_" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+io::JsonValue invdes_spec(int iterations) {
+  io::JsonValue spec;
+  spec["type"] = "invdes";
+  spec["iterations"] = iterations;
+  spec["lr"] = 0.05;
+  return spec;
+}
+
+io::JsonValue sweep_spec(const std::string& sweep) {
+  io::JsonValue spec;
+  spec["type"] = "sweep";
+  spec["sweep"] = sweep;
+  return spec;
+}
+
+bool terminal(const std::string& state) {
+  return state == "done" || state == "failed" || state == "cancelled";
+}
+
+/// Poll a job until it reaches a terminal state; returns its final status.
+io::JsonValue wait_terminal(const serve::JobManager& jobs,
+                            const std::string& id,
+                            double timeout_s = 120.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const io::JsonValue status = jobs.status(id);
+    if (terminal(status.at("state").as_string())) return status;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "job " << id << " did not finish: " << status.dump();
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Poll until the job has executed at least `step` steps (still running).
+void wait_step(const serve::JobManager& jobs, const std::string& id, int step) {
+  for (;;) {
+    const io::JsonValue status = jobs.status(id);
+    if (static_cast<int>(status.at("step").as_int()) >= step ||
+        terminal(status.at("state").as_string())) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+// --- lifecycle ---------------------------------------------------------------
+
+TEST(Jobs, InvdesLifecycleSubmitPollResult) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(2);
+  serve::JobManager jobs(queue);
+
+  const std::string id = jobs.submit(invdes_spec(3));
+  EXPECT_EQ(id, "job-000001");
+
+  const io::JsonValue status = wait_terminal(jobs, id);
+  EXPECT_EQ(status.at("state").as_string(), "done");
+  EXPECT_EQ(status.at("step").as_int(), 3);
+  EXPECT_EQ(status.at("total_steps").as_int(), 3);
+  EXPECT_GT(status.at("objective").as_number(), 0.0);
+  EXPECT_GT(status.at("solves").as_int(), 0);
+
+  const io::JsonValue result = jobs.result(id);
+  EXPECT_TRUE(result.at("ok").as_bool());
+  const io::JsonValue& doc = result.at("result");
+  EXPECT_EQ(doc.at("task").as_string(), "invdes");
+  EXPECT_EQ(doc.at("device").as_string(), "bending");
+  EXPECT_EQ(doc.at("iterations").as_int(), 3);
+  EXPECT_GT(doc.at("theta").size(), 0u);
+  EXPECT_DOUBLE_EQ(doc.at("fom").as_number(), status.at("objective").as_number());
+
+  const io::JsonValue all = jobs.list();
+  ASSERT_EQ(all.at("jobs").size(), 1u);
+  EXPECT_EQ(all.at("jobs").as_array()[0].at("id").as_string(), id);
+
+  const serve::JobsStatsSnapshot stats = jobs.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.steps, 3u);
+  EXPECT_EQ(stats.running, 0);
+  EXPECT_EQ(stats.queued, 0);
+}
+
+TEST(Jobs, SweepCornersRunsEveryCorner) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(2);
+  serve::JobManager jobs(queue);
+
+  const std::string id = jobs.submit(sweep_spec("corners"));
+  const io::JsonValue status = wait_terminal(jobs, id);
+  ASSERT_EQ(status.at("state").as_string(), "done");
+  EXPECT_EQ(status.at("step").as_int(), 3);
+
+  const io::JsonValue result = jobs.result(id);
+  ASSERT_TRUE(result.at("ok").as_bool());
+  const io::JsonValue& doc = result.at("result");
+  EXPECT_EQ(doc.at("task").as_string(), "sweep");
+  EXPECT_EQ(doc.at("sweep").as_string(), "corners");
+  const io::JsonArray& items = doc.at("items").as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].at("corner").as_string(), "nominal");
+  for (const auto& item : items) {
+    EXPECT_TRUE(item.has("fom"));
+    EXPECT_GT(item.at("transmissions").size(), 0u);
+  }
+}
+
+TEST(Jobs, SweepSparamsReportsEntries) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(2);
+  serve::JobManager jobs(queue);
+
+  io::JsonValue spec = sweep_spec("sparams");
+  io::JsonArray lambdas;
+  lambdas.push_back(1.55);
+  spec["wavelengths"] = io::JsonValue(std::move(lambdas));
+  const std::string id = jobs.submit(spec);
+  const io::JsonValue status = wait_terminal(jobs, id);
+  ASSERT_EQ(status.at("state").as_string(), "done");
+
+  const io::JsonValue result = jobs.result(id);
+  const io::JsonArray& items = result.at("result").at("items").as_array();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_DOUBLE_EQ(items[0].at("wavelength").as_number(), 1.55);
+  EXPECT_GT(items[0].at("entries").size(), 0u);
+  EXPECT_TRUE(items[0].has("contrast"));
+}
+
+// --- validation and lookups --------------------------------------------------
+
+TEST(Jobs, MalformedSpecsRejectedAtSubmit) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(1);
+  serve::JobManager jobs(queue);
+
+  EXPECT_THROW(jobs.submit(io::JsonValue()), MapsError);
+  io::JsonValue unknown;
+  unknown["type"] = "bogus";
+  EXPECT_THROW(jobs.submit(unknown), MapsError);
+  io::JsonValue bad_key = invdes_spec(2);
+  bad_key["report"] = "out.json";  // file outputs make no sense for a job
+  EXPECT_THROW(jobs.submit(bad_key), MapsError);
+  io::JsonValue bad_field = invdes_spec(2);
+  bad_field["iterations"] = -3;
+  EXPECT_THROW(jobs.submit(bad_field), MapsError);
+
+  EXPECT_EQ(jobs.stats().submitted, 0u);
+  EXPECT_THROW(jobs.status("job-000001"), serve::JobNotFound);
+  EXPECT_THROW(jobs.result("nope"), serve::JobNotFound);
+  EXPECT_THROW(jobs.cancel("nope"), serve::JobNotFound);
+}
+
+TEST(Jobs, ResultBeforeTerminalIsNotReady) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(2);
+  serve::JobManager jobs(queue);
+
+  const std::string id = jobs.submit(invdes_spec(4));
+  EXPECT_THROW(jobs.result(id), serve::JobNotReady);
+  wait_terminal(jobs, id);
+  EXPECT_NO_THROW(jobs.result(id));
+}
+
+// --- cancellation ------------------------------------------------------------
+
+TEST(Jobs, CancelQueuedImmediatelyAndRunningAtStepBoundary) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(2);
+  serve::JobsOptions options;
+  options.max_running = 1;
+  serve::JobManager jobs(queue, options);
+
+  const std::string running = jobs.submit(invdes_spec(50));
+  const std::string queued = jobs.submit(invdes_spec(50));
+
+  // The queued job never held a slot: cancel is immediate.
+  const io::JsonValue q = jobs.cancel(queued);
+  EXPECT_EQ(q.at("state").as_string(), "cancelled");
+
+  // The running job parks at the next step boundary, well before 50 steps.
+  wait_step(jobs, running, 1);
+  const io::JsonValue r = jobs.cancel(running);
+  EXPECT_TRUE(r.at("state").as_string() == "cancelling" ||
+              r.at("state").as_string() == "cancelled");
+  const io::JsonValue final_status = wait_terminal(jobs, running);
+  EXPECT_EQ(final_status.at("state").as_string(), "cancelled");
+  EXPECT_LT(final_status.at("step").as_int(), 50);
+
+  const io::JsonValue result = jobs.result(running);
+  EXPECT_FALSE(result.at("ok").as_bool());
+  EXPECT_EQ(result.at("error").at("code").as_string(), "job_cancelled");
+  // Idempotent on terminal jobs.
+  EXPECT_EQ(jobs.cancel(running).at("state").as_string(), "cancelled");
+  EXPECT_EQ(jobs.stats().cancelled, 2u);
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST(Jobs, QueueFullAndDrainingShedWithOverloaded) {
+  FaultGuard guard("");
+  runtime::TaskQueue queue(2);
+  serve::JobsOptions options;
+  options.max_running = 1;
+  options.max_queued = 1;
+  serve::JobManager jobs(queue, options);
+
+  (void)jobs.submit(invdes_spec(30));  // takes the running slot
+  (void)jobs.submit(invdes_spec(30));  // fills the queue
+  EXPECT_THROW(jobs.submit(invdes_spec(30)), serve::OverloadedError);
+  EXPECT_EQ(jobs.stats().shed, 1u);
+
+  jobs.drain();
+  EXPECT_THROW(jobs.submit(invdes_spec(2)), serve::OverloadedError);
+  EXPECT_EQ(jobs.stats().shed, 2u);
+}
+
+// --- journal resume ----------------------------------------------------------
+
+TEST(Jobs, ResumedJobMatchesUninterruptedObjective) {
+  FaultGuard guard("");
+  const std::string dir = scratch_dir("resume");
+  constexpr int kIterations = 6;
+
+  // Baseline: the same spec run start-to-finish without interruption.
+  double uninterrupted_fom = 0.0;
+  {
+    runtime::TaskQueue queue(2);
+    serve::JobManager jobs(queue);
+    const std::string id = jobs.submit(invdes_spec(kIterations));
+    wait_terminal(jobs, id);
+    uninterrupted_fom = jobs.result(id).at("result").at("fom").as_number();
+  }
+
+  // Interrupted run: drain mid-flight (parks the job with its journaled
+  // checkpoint), drop the manager — the on-disk journal is all that's left.
+  std::string id;
+  {
+    runtime::TaskQueue queue(2);
+    serve::JobsOptions options;
+    options.journal_dir = dir;
+    serve::JobManager jobs(queue, options);
+    id = jobs.submit(invdes_spec(kIterations));
+    wait_step(jobs, id, 2);
+    jobs.drain();
+  }
+
+  // A kill mid-append leaves a torn trailing line; resume must ignore it
+  // and continue from the last fully flushed step.
+  {
+    std::ofstream torn(dir + "/" + id + ".journal",
+                       std::ios::binary | std::ios::app);
+    torn << "{\"step\": 99, \"objective\": 0.1, \"fact";
+  }
+
+  // Fresh manager on the same journal dir: the job re-queues from its
+  // checkpoint and lands on the exact objective of the uninterrupted run.
+  {
+    runtime::TaskQueue queue(2);
+    serve::JobsOptions options;
+    options.journal_dir = dir;
+    serve::JobManager jobs(queue, options);
+    EXPECT_EQ(jobs.resume_journaled(), 1);
+    const io::JsonValue status = wait_terminal(jobs, id);
+    EXPECT_EQ(status.at("state").as_string(), "done");
+    EXPECT_EQ(status.at("step").as_int(), kIterations);
+    EXPECT_TRUE(status.at("resumed").as_bool());
+    EXPECT_EQ(jobs.stats().resumed, 1u);
+    const io::JsonValue result = jobs.result(id);
+    ASSERT_TRUE(result.at("ok").as_bool());
+    EXPECT_DOUBLE_EQ(result.at("result").at("fom").as_number(),
+                     uninterrupted_fom);
+  }
+
+  // Terminal jobs stay queryable across yet another restart.
+  {
+    runtime::TaskQueue queue(1);
+    serve::JobsOptions options;
+    options.journal_dir = dir;
+    serve::JobManager jobs(queue, options);
+    EXPECT_EQ(jobs.resume_journaled(), 0);
+    const io::JsonValue result = jobs.result(id);
+    EXPECT_TRUE(result.at("ok").as_bool());
+    EXPECT_DOUBLE_EQ(result.at("result").at("fom").as_number(),
+                     uninterrupted_fom);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Jobs, CancelledAndQueuedStatesSurviveRestart) {
+  FaultGuard guard("");
+  const std::string dir = scratch_dir("restart_states");
+  std::string cancelled_id, queued_id;
+  {
+    runtime::TaskQueue queue(2);
+    serve::JobsOptions options;
+    options.max_running = 1;
+    options.journal_dir = dir;
+    serve::JobManager jobs(queue, options);
+    (void)jobs.submit(invdes_spec(24));  // occupies the slot
+    cancelled_id = jobs.submit(invdes_spec(2));
+    queued_id = jobs.submit(sweep_spec("corners"));
+    (void)jobs.cancel(cancelled_id);
+    jobs.drain();
+  }
+  {
+    runtime::TaskQueue queue(2);
+    serve::JobsOptions options;
+    options.max_running = 2;
+    options.journal_dir = dir;
+    serve::JobManager jobs(queue, options);
+    EXPECT_EQ(jobs.resume_journaled(), 2);  // the parked job + the queued one
+    EXPECT_EQ(jobs.status(cancelled_id).at("state").as_string(), "cancelled");
+    const io::JsonValue status = wait_terminal(jobs, queued_id);
+    EXPECT_EQ(status.at("state").as_string(), "done");
+    // New submissions never collide with resumed ids.
+    EXPECT_EQ(jobs.submit(invdes_spec(1)), "job-000004");
+    wait_terminal(jobs, "job-000004");
+    (void)wait_terminal(jobs, "job-000001");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- chaos -------------------------------------------------------------------
+
+TEST(Jobs, JournalIoFaultsDegradeDurabilityNotTheJob) {
+  FaultGuard guard("jobs.journal=io@every:2");
+  const std::string dir = scratch_dir("chaos_journal");
+  runtime::TaskQueue queue(2);
+  serve::JobsOptions options;
+  options.journal_dir = dir;
+  serve::JobManager jobs(queue, options);
+
+  const std::string id = jobs.submit(sweep_spec("corners"));
+  const io::JsonValue status = wait_terminal(jobs, id);
+  EXPECT_EQ(status.at("state").as_string(), "done");
+  EXPECT_TRUE(jobs.result(id).at("ok").as_bool());
+  EXPECT_GT(jobs.stats().journal_retries, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Jobs, StepFaultFailsTheJobWithItsMessage) {
+  FaultGuard guard("jobs.step=throw@nth:2");
+  runtime::TaskQueue queue(2);
+  serve::JobManager jobs(queue);
+
+  const std::string id = jobs.submit(invdes_spec(5));
+  const io::JsonValue status = wait_terminal(jobs, id);
+  EXPECT_EQ(status.at("state").as_string(), "failed");
+  const io::JsonValue result = jobs.result(id);
+  EXPECT_FALSE(result.at("ok").as_bool());
+  EXPECT_EQ(result.at("error").at("code").as_string(), "job_failed");
+  EXPECT_NE(result.at("error").at("message").as_string().find("injected"),
+            std::string::npos);
+  EXPECT_EQ(jobs.stats().failed, 1u);
+}

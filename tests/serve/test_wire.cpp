@@ -335,4 +335,34 @@ TEST(Wire, StatsJsonCarriesReliabilityBlock) {
   }
 }
 
+TEST(Wire, StatsJsonCarriesJobsBlockWhenMounted) {
+  const serve::ServeStatsSnapshot stats;
+  // Without a job manager the block is absent — its presence is the
+  // "jobs API mounted" signal for operators.
+  EXPECT_FALSE(serve::stats_to_json(stats).has("jobs"));
+
+  serve::JobsStatsSnapshot jobs;
+  jobs.submitted = 5;
+  jobs.completed = 2;
+  jobs.failed = 1;
+  jobs.cancelled = 1;
+  jobs.resumed = 1;
+  jobs.shed = 3;
+  jobs.steps = 40;
+  jobs.journal_retries = 4;
+  jobs.running = 1;
+  jobs.queued = 2;
+  const auto v = serve::stats_to_json(stats, &jobs);
+  EXPECT_EQ(v.at("jobs").at("submitted").as_int(), 5);
+  EXPECT_EQ(v.at("jobs").at("completed").as_int(), 2);
+  EXPECT_EQ(v.at("jobs").at("failed").as_int(), 1);
+  EXPECT_EQ(v.at("jobs").at("cancelled").as_int(), 1);
+  EXPECT_EQ(v.at("jobs").at("resumed").as_int(), 1);
+  EXPECT_EQ(v.at("jobs").at("shed").as_int(), 3);
+  EXPECT_EQ(v.at("jobs").at("steps").as_int(), 40);
+  EXPECT_EQ(v.at("jobs").at("journal_retries").as_int(), 4);
+  EXPECT_EQ(v.at("jobs").at("running").as_int(), 1);
+  EXPECT_EQ(v.at("jobs").at("queued").as_int(), 2);
+}
+
 }  // namespace

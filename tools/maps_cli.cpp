@@ -20,6 +20,7 @@
 
 #include "io/runners.hpp"
 #include "runtime/shard.hpp"
+#include "serve/wire.hpp"
 
 namespace {
 
@@ -49,10 +50,13 @@ int usage() {
       "                                    --shard/--resume select a datagen shard slice\n"
       "  maps_cli merge <config.json>      merge a sharded datagen run into its output\n"
       "  maps_cli serve <config.json> [--port N] [--http] [--bind ADDR]\n"
+      "                               [--jobs-dir DIR]\n"
       "                                    run the prediction server: ndjson requests\n"
       "                                    on stdin -> replies on stdout (or TCP with\n"
       "                                    --port, or HTTP/1.1 with --http); --bind\n"
       "                                    sets the listen address (default loopback);\n"
+      "                                    --jobs-dir mounts the /v1/jobs API with its\n"
+      "                                    crash-safe journal in DIR (HTTP only);\n"
       "                                    the stats report lands on stderr\n"
       "  maps_cli validate <config.json>   parse and echo the normalized config\n"
       "  maps_cli example-config <task>    print a starter config for a task\n"
@@ -60,16 +64,14 @@ int usage() {
   return 1;
 }
 
-/// Structured failure report on stdout + nonzero exit. `kind` classifies for
-/// scripts: "config" (malformed/invalid config), "io" (unreadable/unwritable
-/// paths), "internal" (everything else).
+/// Structured failure report on stdout + nonzero exit, in the serve wire
+/// error envelope ({"id": null, "ok": false, "error": {"code", "message"}})
+/// so CLI and server failures parse identically. `kind` becomes the code:
+/// "config" (malformed/invalid config), "io" (unreadable/unwritable paths),
+/// "internal" (everything else).
 int fail(const std::string& kind, const std::string& message) {
-  maps::io::JsonValue err;
-  err["ok"] = false;
-  maps::io::JsonValue detail;
-  detail["type"] = kind;
-  detail["message"] = message;
-  err["error"] = detail;
+  const auto err = maps::serve::encode_error(
+      maps::io::JsonValue(), maps::serve::WireError{kind, message, 0.0});
   std::cout << err.dump(2) << "\n";
   return 2;
 }
@@ -189,6 +191,12 @@ int cmd_serve(const std::string& path, const std::vector<std::string>& flags) {
         return fail("config", "--bind requires an IPv4 address");
       }
       doc["bind_address"] = flags[++k];
+    } else if (flags[k] == "--jobs-dir") {
+      if (k + 1 >= flags.size()) {
+        return fail("config", "--jobs-dir requires a directory path");
+      }
+      doc["jobs_dir"] = flags[++k];
+      doc["jobs"] = true;
     } else {
       return fail("config", "unknown flag '" + flags[k] + "'");
     }

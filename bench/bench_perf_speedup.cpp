@@ -27,6 +27,8 @@
 #include "fdfd/te.hpp"
 #include "math/rng.hpp"
 #include "param/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/http_server.hpp"
 #include "serve/service.hpp"
 
@@ -468,6 +470,47 @@ static void BM_ServeStampedeCoalesced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kStampedeClients);
 }
 BENCHMARK(BM_ServeStampedeCoalesced)->Unit(benchmark::kMillisecond);
+
+// BM_ServeObs pair: the coalesced stampede workload with the observability
+// layer fully off (metrics disabled, no traces — every instrumentation site
+// degrades to one relaxed atomic load or null check) versus fully on
+// (histograms recording and a Trace allocated and carried per request). The
+// CI gate tracks off_time/instrumented_time as serve_obs_overhead with a
+// baseline near 1.0: instrumentation must stay in the noise.
+
+static void BM_ServeObsOff(benchmark::State& state) {
+  maps::obs::set_metrics_enabled(false);
+  const auto registry = serve_registry();
+  const auto req = serve_requests().front();
+  maps::serve::PredictionService service(registry, stampede_options(true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stampede_wave(service, req));
+  }
+  state.SetItemsProcessed(state.iterations() * kStampedeClients);
+  maps::obs::set_metrics_enabled(true);
+}
+BENCHMARK(BM_ServeObsOff)->Unit(benchmark::kMillisecond);
+
+static void BM_ServeObsInstrumented(benchmark::State& state) {
+  maps::obs::set_metrics_enabled(true);
+  const auto registry = serve_registry();
+  const auto req = serve_requests().front();
+  maps::serve::PredictionService service(registry, stampede_options(true));
+  for (auto _ : state) {
+    std::vector<maps::runtime::Future<maps::serve::ServeResponse>> futures;
+    futures.reserve(kStampedeClients);
+    for (int k = 0; k < kStampedeClients; ++k) {
+      maps::serve::ServeRequest traced = req;
+      traced.trace = std::make_shared<maps::obs::Trace>();
+      futures.push_back(service.submit(std::move(traced)));
+    }
+    double checksum = 0.0;
+    for (auto& f : futures) checksum += f.get().latency_ms;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kStampedeClients);
+}
+BENCHMARK(BM_ServeObsInstrumented)->Unit(benchmark::kMillisecond);
 
 namespace {
 

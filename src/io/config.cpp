@@ -6,6 +6,8 @@
 #include <cmath>
 #include <set>
 
+#include "obs/log.hpp"
+
 namespace maps::io {
 
 namespace {
@@ -451,7 +453,17 @@ ServeConfig ServeConfig::from_json(const JsonValue& v) {
   cfg.jobs = r.boolean("jobs", !cfg.jobs_dir.empty());
   cfg.jobs_max_running = r.integer("jobs_max_running", cfg.jobs_max_running);
   cfg.jobs_max_queued = r.integer("jobs_max_queued", cfg.jobs_max_queued);
+  cfg.metrics = r.boolean("metrics", cfg.metrics);
+  cfg.slow_request_ms = r.number("slow_request_ms", cfg.slow_request_ms);
+  cfg.serve.slow_request_ms = cfg.slow_request_ms;
+  cfg.log_level = r.string("log_level", cfg.log_level);
+  cfg.log_format = r.string("log_format", cfg.log_format);
   r.reject_unknown();
+
+  // Validate the spellings now (throws MapsError on anything else); the
+  // parsed values are applied process-wide by run_serve, not here.
+  (void)obs::parse_log_level(cfg.log_level);
+  (void)obs::parse_log_format(cfg.log_format);
 
   (void)solver::fidelity_from_name(cfg.fidelity);  // validate the spelling
   if (cfg.serve.max_batch < 1) throw MapsError("serve: max_batch must be >= 1");
@@ -551,6 +563,10 @@ JsonValue ServeConfig::to_json() const {
   if (!jobs_dir.empty()) v["jobs_dir"] = jobs_dir;
   v["jobs_max_running"] = jobs_max_running;
   v["jobs_max_queued"] = jobs_max_queued;
+  v["metrics"] = metrics;
+  v["slow_request_ms"] = slow_request_ms;
+  v["log_level"] = log_level;
+  v["log_format"] = log_format;
   return v;
 }
 

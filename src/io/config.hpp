@@ -137,6 +137,15 @@ struct ServeConfig {
   std::string jobs_dir;
   int jobs_max_running = 1;
   int jobs_max_queued = 8;
+  /// Observability: "metrics" toggles the process registry (histograms +
+  /// /v1/metrics families), "slow_request_ms" arms the span-tree dump for
+  /// requests slower than the threshold (-1 = off, 0 = every request),
+  /// "log_level" / "log_format" configure the structured logger
+  /// (debug|info|warn|error|off, text|json).
+  bool metrics = true;
+  double slow_request_ms = -1.0;
+  std::string log_level = "info";
+  std::string log_format = "text";
 
   serve::WireDefaults wire_defaults() const;
 

@@ -8,8 +8,12 @@
 #include <memory>
 #include <ostream>
 #include <set>
+#include <sstream>
 
 #include <iostream>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 #include "core/data/generator.hpp"
 #include "core/invdes/init.hpp"
@@ -109,19 +113,25 @@ JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
   auto device = devices::make_device(config.device, build);
   apply_solver_settings(device, config.solver);
   const runtime::ShardPlan plan{config.shard_index, config.shard_count};
-  log << "[datagen] device=" << devices::device_name(config.device)
-      << " strategy=" << data::strategy_name(config.sampler.strategy)
-      << " fidelity=" << config.fidelity
-      << " solver=" << solver::solver_kind_name(config.solver.config.kind)
-      << " shard=" << plan.index << "/" << plan.count
-      << (config.resume ? " resume" : "") << "\n";
+  {
+    std::ostringstream msg;
+    msg << "device=" << devices::device_name(config.device)
+        << " strategy=" << data::strategy_name(config.sampler.strategy)
+        << " fidelity=" << config.fidelity
+        << " solver=" << solver::solver_kind_name(config.solver.config.kind)
+        << " shard=" << plan.index << "/" << plan.count
+        << (config.resume ? " resume" : "");
+    obs::log_to(&log, obs::LogLevel::Info, "datagen", msg.str());
+  }
 
   // Job-wide cache accounting: trajectory sampling runs real inverse
   // designs through the device cache; snapshot before it, not around the
   // generation pipeline only.
   const auto cache_before = device_cache_stats({&device});
   const auto patterns = data::sample_patterns(device, config.device, config.sampler);
-  log << "[datagen] sampled " << patterns.densities.size() << " patterns\n";
+  obs::log_to(&log, obs::LogLevel::Info, "datagen",
+              "sampled " + std::to_string(patterns.densities.size()) +
+                  " patterns");
 
   // Phase lineup (the high-fidelity pass rides the same pipeline).
   std::vector<runtime::DatagenPhase> phases = {{&device, &patterns, 1}};
@@ -156,8 +166,9 @@ JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
     // Single-process job: pipeline in memory, save directly.
     data::Dataset dataset = runtime::generate_pipelined(phases, name, opts, &stats);
     dataset.save(config.output);
-    log << "[datagen] wrote " << dataset.size() << " samples to " << config.output
-        << "\n";
+    obs::log_to(&log, obs::LogLevel::Info, "datagen",
+                "wrote " + std::to_string(dataset.size()) + " samples to " +
+                    config.output);
     report["samples"] = static_cast<int>(dataset.size());
     report["transmission"] = transmission_stats(dataset.primary_transmissions());
   } else {
@@ -173,14 +184,18 @@ JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
     bool merged = false;
     if (runtime::all_shards_done(config.output, plan.count)) {
       const auto dataset = runtime::merge_shards(config.output, plan.count);
-      log << "[datagen] merged " << plan.count << " shard(s): " << dataset.size()
-          << " samples -> " << config.output << "\n";
+      obs::log_to(&log, obs::LogLevel::Info, "datagen",
+                  "merged " + std::to_string(plan.count) + " shard(s): " +
+                      std::to_string(dataset.size()) + " samples -> " +
+                      config.output);
       report["samples"] = static_cast<int>(dataset.size());
       report["transmission"] = transmission_stats(dataset.primary_transmissions());
       merged = true;
     } else {
-      log << "[datagen] shard " << plan.index << "/" << plan.count
-          << " complete; waiting on other shards before merge\n";
+      obs::log_to(&log, obs::LogLevel::Info, "datagen",
+                  "shard " + std::to_string(plan.index) + "/" +
+                      std::to_string(plan.count) +
+                      " complete; waiting on other shards before merge");
       report["samples"] = static_cast<int>(stats.samples);
     }
     shard["merged"] = merged;
@@ -191,9 +206,13 @@ JsonValue run_datagen(const DataGenConfig& config, std::ostream& log) {
   stats.cache_hits = cache_after.hits - cache_before.hits;
   stats.cache_misses = cache_after.misses - cache_before.misses;
   report["throughput"] = stats.to_json();
-  log << "[datagen] throughput: " << stats.patterns_per_s() << " patterns/s, "
-      << stats.solves_per_s() << " solves/s, cache hit-rate "
-      << stats.cache_hit_rate() << "\n";
+  {
+    std::ostringstream msg;
+    msg << "throughput: " << stats.patterns_per_s() << " patterns/s, "
+        << stats.solves_per_s() << " solves/s, cache hit-rate "
+        << stats.cache_hit_rate();
+    obs::log_to(&log, obs::LogLevel::Info, "datagen", msg.str());
+  }
   report["config"] = config.to_json();
   return report;
 }
@@ -207,8 +226,10 @@ JsonValue run_datagen_merge(const DataGenConfig& config, std::ostream& log) {
     if (detected > 0) count = detected;
   }
   const auto dataset = runtime::merge_shards(config.output, count);
-  log << "[datagen] merged " << count << " shard(s): " << dataset.size()
-      << " samples -> " << config.output << "\n";
+  obs::log_to(&log, obs::LogLevel::Info, "datagen",
+              "merged " + std::to_string(count) + " shard(s): " +
+                  std::to_string(dataset.size()) + " samples -> " +
+                  config.output);
   JsonValue report;
   report["task"] = "datagen-merge";
   report["output"] = config.output;
@@ -337,28 +358,51 @@ JsonValue run_invdes(const InvDesConfig& config, std::ostream& log) {
 
 JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& out,
                     std::ostream& log, const std::atomic<bool>* stop) {
+  // Apply the process-wide observability knobs first so every line below —
+  // including model-load warnings — already honors the configured level and
+  // format. The sink redirect routes stream-less emitters (the slow-request
+  // span dump, log_global warnings) into this runner's log stream; restore
+  // the default on every exit path so a later run_serve (tests run several
+  // per process) never writes into a dead stream.
+  obs::set_metrics_enabled(config.metrics);
+  obs::set_log_level(obs::parse_log_level(config.log_level));
+  obs::set_log_format(obs::parse_log_format(config.log_format));
+  obs::set_log_sink(&log);
+  struct SinkReset {
+    ~SinkReset() { obs::set_log_sink(nullptr); }
+  } sink_reset;
+
   auto registry = std::make_shared<serve::ModelRegistry>();
   maps::train::EncodingOptions encoding;
   encoding.wave_prior = config.wave_prior;
   const auto served = registry->load(config.model_id, config.model, config.checkpoint,
                                      encoding, config.standardizer,
                                      config.std_overrides);
-  log << "[serve] model " << served->id << " v" << served->version << " ("
-      << nn::model_name(config.model.kind) << ", " << served->param_count
-      << " parameters" << (config.checkpoint.empty() ? ", RANDOM WEIGHTS" : "")
-      << ")\n";
+  {
+    std::ostringstream msg;
+    msg << "model " << served->id << " v" << served->version << " ("
+        << nn::model_name(config.model.kind) << ", " << served->param_count
+        << " parameters" << (config.checkpoint.empty() ? ", RANDOM WEIGHTS" : "")
+        << ")";
+    obs::log_to(&log, obs::LogLevel::Info, "serve", msg.str());
+  }
   if (config.checkpoint.empty()) {
-    log << "[serve] warning: no checkpoint configured — serving fresh random "
-           "weights (dev mode)\n";
+    obs::log_to(&log, obs::LogLevel::Warn, "serve",
+                "warning: no checkpoint configured — serving fresh random "
+                "weights (dev mode)");
   }
 
   serve::PredictionService service(registry, config.serve);
   const auto defaults = config.wire_defaults();
-  log << "[serve] max_batch=" << config.serve.max_batch
-      << " max_delay_ms=" << config.serve.max_delay_ms
-      << " cache=" << config.serve.cache_capacity << "x"
-      << config.serve.cache_shards << " workers=" << config.serve.workers
-      << " fidelity_default=" << config.fidelity << "\n";
+  {
+    std::ostringstream msg;
+    msg << "max_batch=" << config.serve.max_batch
+        << " max_delay_ms=" << config.serve.max_delay_ms
+        << " cache=" << config.serve.cache_capacity << "x"
+        << config.serve.cache_shards << " workers=" << config.serve.workers
+        << " fidelity_default=" << config.fidelity;
+    obs::log_to(&log, obs::LogLevel::Info, "serve", msg.str());
+  }
 
   serve::StreamOptions stream = config.stream;
   stream.stop = stop;
@@ -372,14 +416,19 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
     jobs_options.journal_dir = config.jobs_dir;
     jobs = std::make_unique<serve::JobManager>(service.task_queue(),
                                                jobs_options, &log);
-    log << "[serve] jobs API mounted at /v1/jobs (max_running="
-        << jobs_options.max_running << " max_queued=" << jobs_options.max_queued
-        << (config.jobs_dir.empty() ? ", no journal"
-                                    : ", journal " + config.jobs_dir)
-        << ")\n";
+    {
+      std::ostringstream msg;
+      msg << "jobs API mounted at /v1/jobs (max_running="
+          << jobs_options.max_running << " max_queued=" << jobs_options.max_queued
+          << (config.jobs_dir.empty() ? ", no journal"
+                                      : ", journal " + config.jobs_dir)
+          << ")";
+      obs::log_to(&log, obs::LogLevel::Info, "serve", msg.str());
+    }
     const int requeued = jobs->resume_journaled();
     if (requeued > 0) {
-      log << "[serve] resumed " << requeued << " journaled job(s)\n";
+      obs::log_to(&log, obs::LogLevel::Info, "serve",
+                  "resumed " + std::to_string(requeued) + " journaled job(s)");
     }
   }
   JsonValue http_report;
@@ -399,7 +448,8 @@ JsonValue run_serve(const ServeConfig& config, std::istream& in, std::ostream& o
     serve::serve_stream(service, defaults, in, out, &log, stream);
   }
   if (stop != nullptr && stop->load()) {
-    log << "[serve] graceful shutdown: in-flight work drained\n";
+    obs::log_to(&log, obs::LogLevel::Info, "serve",
+                "graceful shutdown: in-flight work drained");
   }
 
   JsonValue report;

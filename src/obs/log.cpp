@@ -1,0 +1,133 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "io/json.hpp"
+#include "math/types.hpp"
+
+namespace maps::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::Text)};
+
+std::mutex g_sink_mu;
+std::ostream* g_sink = nullptr;  // null => std::cerr
+
+std::ostream& sink_locked() { return g_sink != nullptr ? *g_sink : std::cerr; }
+
+std::int64_t epoch_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogFormat log_format() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+void set_log_format(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw MapsError("log_level must be one of debug|info|warn|error|off, got '" +
+                  std::string(name) + "'");
+}
+
+LogFormat parse_log_format(std::string_view name) {
+  if (name == "text") return LogFormat::Text;
+  if (name == "json") return LogFormat::Json;
+  throw MapsError("log_format must be 'text' or 'json', got '" +
+                  std::string(name) + "'");
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::Off;
+}
+
+std::string format_line(LogLevel level, std::string_view component,
+                        std::string_view message, std::string_view trace_id) {
+  if (log_format() == LogFormat::Text) {
+    std::string line;
+    line.reserve(component.size() + message.size() + trace_id.size() + 16);
+    line.push_back('[');
+    line.append(component);
+    line.append("] ");
+    line.append(message);
+    if (!trace_id.empty()) {
+      line.append(" trace=");
+      line.append(trace_id);
+    }
+    line.push_back('\n');
+    return line;
+  }
+  io::JsonObject obj;
+  obj["component"] = io::JsonValue(std::string(component));
+  obj["level"] = io::JsonValue(level_name(level));
+  obj["msg"] = io::JsonValue(std::string(message));
+  if (!trace_id.empty()) obj["trace"] = io::JsonValue(std::string(trace_id));
+  obj["ts"] = io::JsonValue(static_cast<double>(epoch_ms()));
+  return io::JsonValue(std::move(obj)).dump() + "\n";
+}
+
+void log_to(std::ostream* out, LogLevel level, std::string_view component,
+            std::string_view message, std::string_view trace_id) {
+  if (out == nullptr || !log_enabled(level)) return;
+  *out << format_line(level, component, message, trace_id);
+  out->flush();
+}
+
+void set_log_sink(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = out;
+}
+
+void log_global(LogLevel level, std::string_view component,
+                std::string_view message, std::string_view trace_id) {
+  if (!log_enabled(level)) return;
+  const std::string line = format_line(level, component, message, trace_id);
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  sink_locked() << line;
+  sink_locked().flush();
+}
+
+void write_raw_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  sink_locked() << line << "\n";
+  sink_locked().flush();
+}
+
+}  // namespace maps::obs

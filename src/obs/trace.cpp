@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+#include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/deadline.hpp"
+
+namespace maps::obs {
+
+namespace {
+
+thread_local Trace* t_current_trace = nullptr;
+
+}  // namespace
+
+Trace::Trace(std::string id)
+    : id_(id.empty() ? next_request_id() : std::move(id)),
+      created_ms_(runtime::now_steady_ms()) {}
+
+void Trace::add_span(std::string_view name, double start_ms, double end_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(Span{std::string(name), start_ms, end_ms});
+}
+
+void Trace::adopt(const Trace& other) {
+  if (&other == this) return;
+  const std::vector<Span> theirs = other.spans();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& s : theirs) {
+    if (spans_.size() >= kMaxSpans) {
+      dropped_ += 1;
+      continue;
+    }
+    spans_.push_back(s);
+  }
+}
+
+std::vector<Span> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::uint64_t Trace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+bool Trace::claim_dump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dumped_) return false;
+  dumped_ = true;
+  return true;
+}
+
+std::string next_request_id() {
+  // Boot tag: steady-clock microseconds at first call XORed with an
+  // address-space cookie — distinct across processes without wall-clock
+  // or /dev/urandom dependencies.
+  static const std::uint64_t boot = [] {
+    const auto t = static_cast<std::uint64_t>(runtime::now_steady_ms() * 1000.0);
+    static int anchor;
+    return (t * 0x9e3779b97f4a7c15ULL) ^
+           reinterpret_cast<std::uintptr_t>(&anchor);
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "r-%08llx-%llu",
+                static_cast<unsigned long long>(boot & 0xffffffffULL),
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+Trace* current_trace() { return t_current_trace; }
+
+TraceScope::TraceScope(Trace* trace) : previous_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { t_current_trace = previous_; }
+
+ScopedSpan::ScopedSpan(const char* name, Trace* trace, Histogram* hist)
+    : name_(name), trace_(trace), hist_(hist) {
+  if (trace_ == nullptr && (hist_ == nullptr || !metrics_enabled())) return;
+  active_ = true;
+  start_ms_ = runtime::now_steady_ms();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double end = runtime::now_steady_ms();
+  if (trace_ != nullptr) trace_->add_span(name_, start_ms_, end);
+  if (hist_ != nullptr && metrics_enabled()) hist_->record(end - start_ms_);
+}
+
+std::string render_span_tree(const Trace& trace, double total_ms,
+                             std::string_view outcome) {
+  using io::JsonArray;
+  using io::JsonObject;
+  using io::JsonValue;
+  JsonObject root;
+  root["event"] = JsonValue("slow_request");
+  root["trace"] = JsonValue(trace.id());
+  root["total_ms"] = JsonValue(total_ms);
+  root["outcome"] = JsonValue(std::string(outcome));
+  JsonArray spans;
+  const double origin = trace.created_ms();
+  for (const Span& s : trace.spans()) {
+    JsonObject span;
+    span["name"] = JsonValue(s.name);
+    span["start_ms"] = JsonValue(s.start_ms - origin);
+    span["dur_ms"] = JsonValue(s.end_ms - s.start_ms);
+    spans.push_back(JsonValue(std::move(span)));
+  }
+  root["spans"] = JsonValue(std::move(spans));
+  if (trace.dropped() > 0) {
+    root["spans_dropped"] = JsonValue(static_cast<double>(trace.dropped()));
+  }
+  return JsonValue(std::move(root)).dump();
+}
+
+}  // namespace maps::obs

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "math/parallel.hpp"
+#include "obs/log.hpp"
 #include "runtime/task_queue.hpp"
 #include "solver/cache.hpp"
 #include "solver/direct.hpp"
@@ -92,9 +93,11 @@ void run_pipeline(const std::vector<DatagenPhase>& phases,
         if (cap < inflight) {
           inflight = cap;
           if (opts.log != nullptr) {
-            *opts.log << "[datagen] memory budget " << opts.memory_budget_mb
-                      << " MB caps in-flight window at " << inflight << " (est. "
-                      << (per_pattern >> 20) << " MB/pattern)\n";
+            obs::log_to(opts.log, obs::LogLevel::Info, "datagen",
+                        "memory budget " + std::to_string(opts.memory_budget_mb) +
+                            " MB caps in-flight window at " +
+                            std::to_string(inflight) + " (est. " +
+                            std::to_string(per_pattern >> 20) + " MB/pattern)");
           }
         }
       }
@@ -172,10 +175,10 @@ void run_pipeline(const std::vector<DatagenPhase>& phases,
           done < items.size()) {
         char line[160];
         std::snprintf(line, sizeof(line),
-                      "[datagen] %zu/%zu patterns | %.2f patterns/s | %.1f solves/s",
+                      "%zu/%zu patterns | %.2f patterns/s | %.1f solves/s",
                       done, items.size(), stats.patterns_per_s(),
                       stats.solves_per_s());
-        *opts.log << line << "\n";
+        obs::log_to(opts.log, obs::LogLevel::Info, "datagen", line);
         t_last_progress = now;
       }
       if (opts.after_pattern) opts.after_pattern(done);
@@ -340,9 +343,11 @@ DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
 
   if (manifest.done && items.empty()) {
     if (opts.log != nullptr) {
-      *opts.log << "[datagen] shard " << opts.shard.index << "/" << opts.shard.count
-                << " already complete (" << stats.skipped
-                << " pattern blocks committed)\n";
+      obs::log_to(opts.log, obs::LogLevel::Info, "datagen",
+                  "shard " + std::to_string(opts.shard.index) + "/" +
+                      std::to_string(opts.shard.count) + " already complete (" +
+                      std::to_string(stats.skipped) +
+                      " pattern blocks committed)");
     }
     return stats;
   }
@@ -383,11 +388,11 @@ DatagenStats generate_sharded(const std::vector<DatagenPhase>& phases,
   if (opts.log != nullptr) {
     char line[200];
     std::snprintf(line, sizeof(line),
-                  "[datagen] shard %d/%d done: %zu pattern blocks (%zu resumed) | "
+                  "shard %d/%d done: %zu pattern blocks (%zu resumed) | "
                   "%.2f patterns/s | %.1f solves/s",
                   opts.shard.index, opts.shard.count, stats.patterns, stats.skipped,
                   stats.patterns_per_s(), stats.solves_per_s());
-    *opts.log << line << "\n";
+    obs::log_to(opts.log, obs::LogLevel::Info, "datagen", line);
   }
   return stats;
 }

@@ -1,5 +1,6 @@
 #include "serve/batcher.hpp"
 
+#include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
 
 #include <algorithm>
@@ -14,6 +15,8 @@ MicroBatcher::MicroBatcher(BatcherOptions options)
       queue_(options.queue != nullptr ? options.queue : &runtime::TaskQueue::shared()) {
   require(options_.max_batch >= 1, "MicroBatcher: max_batch must be >= 1");
   require(options_.max_delay_ms >= 0.0, "MicroBatcher: max_delay_ms must be >= 0");
+  hist_queue_ms_ = &obs::registry().histogram("serve.batch.queue_ms");
+  hist_forward_ms_ = &obs::registry().histogram("serve.surrogate.forward_ms");
   flusher_ = std::thread([this] { flusher_loop(); });
 }
 
@@ -36,6 +39,9 @@ BatcherStats MicroBatcher::stats() const {
 void MicroBatcher::submit(BatchJob job) {
   require(job.model != nullptr && job.model->model != nullptr,
           "MicroBatcher::submit: job carries no model snapshot");
+  if (obs::metrics_enabled() || job.trace != nullptr) {
+    job.enqueued_ms = runtime::now_steady_ms();
+  }
   {
     std::lock_guard lk(mu_);
     require(!stop_, "MicroBatcher::submit: batcher is shutting down");
@@ -134,6 +140,26 @@ void MicroBatcher::run_batch(std::vector<BatchJob>& batch) const {
            batch[hi].input.same_shape(batch[lo].input)) {
       ++hi;
     }
+    // Stage timing: each job's queue wait (submit -> run start), then one
+    // forward span shared by every job in the run — the batch is the unit
+    // of inference, so coalesced requests legitimately share the interval.
+    bool timed = obs::metrics_enabled();
+    for (std::size_t i = lo; i < hi && !timed; ++i) {
+      timed = batch[i].trace != nullptr;
+    }
+    const double run_start = timed ? runtime::now_steady_ms() : 0.0;
+    if (timed) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        BatchJob& job = batch[i];
+        if (job.enqueued_ms <= 0.0) continue;
+        if (obs::metrics_enabled()) {
+          hist_queue_ms_->record(run_start - job.enqueued_ms);
+        }
+        if (job.trace != nullptr) {
+          job.trace->add_span("batch.queue", job.enqueued_ms, run_start);
+        }
+      }
+    }
     std::exception_ptr error;
     std::vector<nn::Tensor> outputs;
     try {
@@ -159,6 +185,15 @@ void MicroBatcher::run_batch(std::vector<BatchJob>& batch) const {
       outputs = nn::split_batch(batch[lo].model->model->infer(stacked));
     } catch (...) {
       error = std::current_exception();
+    }
+    if (timed) {
+      const double run_end = runtime::now_steady_ms();
+      if (obs::metrics_enabled()) hist_forward_ms_->record(run_end - run_start);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (batch[i].trace != nullptr) {
+          batch[i].trace->add_span("surrogate.forward", run_start, run_end);
+        }
+      }
     }
     for (std::size_t i = lo; i < hi; ++i) {
       if (error != nullptr) {

@@ -30,6 +30,8 @@
 #include <thread>
 
 #include "nn/infer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/task_queue.hpp"
 #include "serve/registry.hpp"
 
@@ -44,6 +46,12 @@ struct BatchJob {
   nn::Tensor input;  // (1, C, H, W)
   std::shared_ptr<const ServedModel> model;
   std::function<void(nn::Tensor output, std::exception_ptr error)> done;
+  /// Request trace (null = untraced): the batcher records the queue-wait
+  /// span and the (shared, per-run) surrogate forward span into it.
+  obs::TracePtr trace;
+  /// Steady-clock submit time, stamped by MicroBatcher::submit when
+  /// instrumentation is live (0 otherwise).
+  double enqueued_ms = 0.0;
 };
 
 struct BatcherOptions {
@@ -93,6 +101,8 @@ class MicroBatcher {
 
   BatcherOptions options_;
   runtime::TaskQueue* queue_;
+  obs::Histogram* hist_queue_ms_ = nullptr;
+  obs::Histogram* hist_forward_ms_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       // wakes the flusher

@@ -17,6 +17,9 @@
 #include "net/event_loop.hpp"
 #include "net/http.hpp"
 #include "net/listener.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
 #include "serve/jobs.hpp"
@@ -91,6 +94,9 @@ struct Slot {
   bool ready = false;
   bool close_after = false;
   std::string bytes;
+  /// Echoed as X-Request-Id on the reply (client-supplied or generated) so
+  /// a probe failure seen by a load balancer joins against server logs.
+  std::string request_id;
 };
 
 /// Per-connection state. Owned by the loop thread; worker threads never
@@ -121,7 +127,8 @@ class HttpServer {
         defaults_(defaults),
         options_(options),
         jobs_(options.jobs),
-        log_(log) {
+        log_(log),
+        hist_parse_ms_(&obs::registry().histogram("serve.ingress.parse_ms")) {
     limits_.max_header_bytes = options_.max_header_bytes;
     limits_.max_body_bytes = options_.stream.max_request_bytes > 0
                                  ? options_.stream.max_request_bytes
@@ -140,10 +147,9 @@ class HttpServer {
     net::set_nonblocking(listener_fd_);
     const int port = net::listener_port(listener_fd_);
     if (bound_port != nullptr) bound_port->store(port);
-    if (log_ != nullptr) {
-      *log_ << "[serve] http listening on " << options_.stream.bind_address
-            << ":" << port << "\n";
-    }
+    obs::log_to(log_, obs::LogLevel::Info, "serve",
+                "http listening on " + options_.stream.bind_address + ":" +
+                    std::to_string(port));
     loop_.add_fd(listener_fd_, net::EventLoop::kRead,
                  [this](std::uint32_t) { on_accept(); });
     loop_.run([this] { tick(); }, options_.tick_ms);
@@ -161,11 +167,11 @@ class HttpServer {
     report.requests = requests_.load();
     report.errors = errors_.load();
     report.connections = connections_;
-    if (log_ != nullptr) {
-      *log_ << "[serve] http closed: " << report.requests << " request(s), "
-            << report.errors << " error(s), " << report.connections
-            << " connection(s)\n";
-    }
+    obs::log_to(log_, obs::LogLevel::Info, "serve",
+                "http closed: " + std::to_string(report.requests) +
+                    " request(s), " + std::to_string(report.errors) +
+                    " error(s), " + std::to_string(report.connections) +
+                    " connection(s)");
     return report;
   }
 
@@ -193,10 +199,9 @@ class HttpServer {
       loop_.remove_fd(listener_fd_);
       ::close(listener_fd_);
       listener_fd_ = -1;
-      if (log_ != nullptr) {
-        *log_ << "[serve] shutdown requested: draining " << conns_.size()
-              << " connection(s)\n";
-      }
+      obs::log_to(log_, obs::LogLevel::Info, "serve",
+                  "shutdown requested: draining " +
+                      std::to_string(conns_.size()) + " connection(s)");
       for (int fd : conn_fds()) {
         const auto conn = conns_.at(fd);
         conn->eof = true;
@@ -210,10 +215,9 @@ class HttpServer {
       for (int fd : conn_fds()) close_conn(conns_.at(fd));
       if (abandoned > 0) {
         errors_.fetch_add(abandoned);
-        if (log_ != nullptr) {
-          *log_ << "[serve] drain deadline: dropped " << abandoned
-                << " connection(s)\n";
-        }
+        obs::log_to(log_, obs::LogLevel::Warn, "serve",
+                    "drain deadline: dropped " + std::to_string(abandoned) +
+                        " connection(s)");
       }
       loop_.stop();
     }
@@ -309,6 +313,7 @@ class HttpServer {
             status == 400 ? "bad_request" : "request_too_large",
             conn->parser.error_message(), 0.0};
         auto slot = push_slot(conn);
+        slot->request_id = obs::next_request_id();
         fill_slot(slot, status, encode_error_text(JsonValue(), err),
                   /*keep_alive=*/false, {});
         // The byte stream is no longer trustworthy: reply, then close.
@@ -323,6 +328,12 @@ class HttpServer {
   }
 
   void handle_request(const std::shared_ptr<Conn>& conn, net::HttpRequest req) {
+    // Request identity: honor a client-supplied X-Request-Id, else mint
+    // one. Every slot pushed while this request routes echoes it back.
+    const std::string* supplied = req.find_header("x-request-id");
+    current_request_id_ = (supplied != nullptr && !supplied->empty())
+                              ? *supplied
+                              : obs::next_request_id();
     if (draining_) {
       reply_error(conn,
                   WireError{"shutting_down", "server draining", 0.0},
@@ -349,6 +360,19 @@ class HttpServer {
       }
       auto slot = push_slot(conn);
       offload_predict(conn, slot, std::move(req.body), req.keep_alive);
+      return;
+    }
+    if (path == "/metrics") {
+      if (req.method != "GET") {
+        reply_error(conn,
+                    WireError{"method_not_allowed",
+                              req.target + " requires GET", 0.0},
+                    req.keep_alive, {{"Allow", "GET"}});
+        return;
+      }
+      auto slot = push_slot(conn);
+      fill_slot(slot, 200, metrics_text(service_, jobs_), req.keep_alive, {},
+                "text/plain; version=0.0.4; charset=utf-8");
       return;
     }
     if (path == "/healthz" || path == "/stats") {
@@ -524,12 +548,29 @@ class HttpServer {
   void predict_job(const std::shared_ptr<Conn>& conn,
                    const std::shared_ptr<Slot>& slot, const std::string& body,
                    bool keep_alive) {
+    // Ingress trace: created here (not on the loop thread) so the untraced
+    // path costs the loop nothing; the id ties the span tree to the
+    // X-Request-Id the client sees.
+    obs::TracePtr trace;
+    if (service_.tracing_enabled()) {
+      trace = std::make_shared<obs::Trace>(slot->request_id);
+    }
     try {
-      const JsonValue doc = io::json_parse(body);
-      if (doc.is_array()) {
+      JsonValue doc;
+      WireRequest wire;
+      bool is_batch = false;
+      {
+        // The parse span covers the JSON document and (single-request
+        // bodies) the eps/J grid decode — the real ingress byte-crunching.
+        obs::ScopedSpan span("ingress.parse", trace.get(), hist_parse_ms_);
+        doc = io::json_parse(body);
+        is_batch = doc.is_array();
+        if (!is_batch) wire = parse_request(doc, defaults_);
+      }
+      if (is_batch) {
         predict_batch(conn, slot, doc.as_array(), keep_alive);
       } else {
-        WireRequest wire = parse_request(doc, defaults_);
+        wire.request.trace = trace;
         auto future = service_.submit(std::move(wire.request));
         auto id = std::make_shared<JsonValue>(std::move(wire.id));
         const bool return_field = wire.return_field;
@@ -590,6 +631,12 @@ class HttpServer {
         WireRequest wire = parse_request(batch[i], defaults_);
         state->ids[i] = std::move(wire.id);
         state->return_field[i] = wire.return_field ? 1 : 0;
+        if (service_.tracing_enabled()) {
+          // One trace per element (suffixed id): element latencies differ,
+          // so each gets its own slow-dump decision.
+          wire.request.trace = std::make_shared<obs::Trace>(
+              slot->request_id + "#" + std::to_string(i));
+        }
         state->futures[i] = service_.submit(std::move(wire.request));
         ++live;
       } catch (const std::exception& e) {
@@ -640,6 +687,9 @@ class HttpServer {
                const std::shared_ptr<Slot>& slot, int status, std::string body,
                bool keep_alive,
                std::vector<std::pair<std::string, std::string>> extra = {}) {
+    if (!slot->request_id.empty()) {
+      extra.emplace_back("X-Request-Id", slot->request_id);
+    }
     std::string bytes =
         net::http_response(status, "application/json", body, keep_alive, extra);
     loop_.post([this, conn, slot, bytes = std::move(bytes), keep_alive]() mutable {
@@ -656,6 +706,7 @@ class HttpServer {
 
   std::shared_ptr<Slot> push_slot(const std::shared_ptr<Conn>& conn) {
     auto slot = std::make_shared<Slot>();
+    slot->request_id = current_request_id_;
     conn->slots.push_back(slot);
     return slot;
   }
@@ -663,9 +714,12 @@ class HttpServer {
   /// Loop thread: complete a slot in place (inline endpoints, parse errors).
   void fill_slot(const std::shared_ptr<Slot>& slot, int status,
                  const std::string& body, bool keep_alive,
-                 const std::vector<std::pair<std::string, std::string>>& extra) {
-    slot->bytes =
-        net::http_response(status, "application/json", body, keep_alive, extra);
+                 std::vector<std::pair<std::string, std::string>> extra,
+                 const char* content_type = "application/json") {
+    if (!slot->request_id.empty()) {
+      extra.emplace_back("X-Request-Id", slot->request_id);
+    }
+    slot->bytes = net::http_response(status, content_type, body, keep_alive, extra);
     slot->close_after = !keep_alive;
     slot->ready = true;
   }
@@ -767,6 +821,7 @@ class HttpServer {
   const HttpOptions& options_;
   JobManager* jobs_;
   std::ostream* log_;
+  obs::Histogram* hist_parse_ms_;
   net::EventLoop loop_;
   net::HttpLimits limits_;
   std::size_t window_ = 64;
@@ -775,6 +830,9 @@ class HttpServer {
   bool draining_ = false;
   double drain_until_ = 0.0;
   std::size_t connections_ = 0;
+  /// Request id of the request currently being routed on the loop thread;
+  /// push_slot copies it into the slot it creates.
+  std::string current_request_id_;
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::size_t> errors_{0};
   /// Predict jobs whose completion has not yet been posted to the loop.

@@ -22,7 +22,11 @@
 #include "io/config.hpp"
 #include "param/blur.hpp"
 #include "param/litho.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "param/symmetry.hpp"
+#include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
 #include "serve/service.hpp"
 
@@ -478,7 +482,7 @@ std::string JobManager::journal_path(const std::string& id) const {
 }
 
 void JobManager::warn(const std::string& message) {
-  if (log_ != nullptr) *log_ << "[jobs] warning: " << message << "\n";
+  obs::log_to(log_, obs::LogLevel::Warn, "jobs", "warning: " + message);
 }
 
 io::JsonValue JobManager::manifest_json_locked(const Job& job) const {
@@ -801,7 +805,10 @@ void JobManager::run_step(const std::shared_ptr<Job>& job) {
   // the last journaled step and the result: resume skips straight to it.
   bool done = job->engine->finished();
   if (!done) {
+    static obs::Histogram& step_hist =
+        obs::registry().histogram("jobs.step_ms");
     try {
+      obs::ScopedSpan span("jobs.step", obs::current_trace(), &step_hist);
       if (runtime::fault::point("jobs.step")) {
         throw MapsError("jobs: injected step failure");
       }

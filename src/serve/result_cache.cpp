@@ -84,6 +84,21 @@ ResultCacheStats ResultCache::stats() const {
   return total;
 }
 
+std::vector<ResultCacheStats> ResultCache::shard_stats() const {
+  std::vector<ResultCacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lk(shard->mu);
+    ResultCacheStats s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.evictions = shard->evictions;
+    s.entries = shard->lru.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
 void ResultCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard lk(shard->mu);

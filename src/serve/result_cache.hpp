@@ -81,6 +81,9 @@ class ResultCache {
   std::size_t shard_count() const { return shards_.size(); }
   bool enabled() const { return capacity_ > 0; }
   ResultCacheStats stats() const;
+  /// One ResultCacheStats per shard, in shard order (the metrics scrape
+  /// reports per-shard hit ratios so key skew across shards is visible).
+  std::vector<ResultCacheStats> shard_stats() const;
   void clear();
 
  private:

@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "net/listener.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
 
@@ -137,10 +140,9 @@ StreamServeReport serve_stream(PredictionService& service,
           // fatal: log it once and drain the remaining replies unsent so
           // the service's in-flight accounting still settles.
           sink_broken = true;
-          if (log != nullptr) {
-            *log << "[serve] client disconnected mid-reply; draining "
-                    "remaining replies unsent\n";
-          }
+          obs::log_to(log, obs::LogLevel::Warn, "serve",
+                      "client disconnected mid-reply; draining remaining "
+                      "replies unsent");
         }
       }
     }
@@ -166,8 +168,19 @@ StreamServeReport serve_stream(PredictionService& service,
       ++errors;
     } else {
       try {
-        const io::JsonValue doc = io::json_parse(line);
-        WireRequest wire = parse_request(doc, defaults);
+        obs::TracePtr trace;
+        if (service.tracing_enabled()) {
+          trace = std::make_shared<obs::Trace>();
+        }
+        io::JsonValue doc;
+        WireRequest wire;
+        {
+          obs::ScopedSpan span("ingress.parse", trace.get(),
+                               &obs::registry().histogram("serve.ingress.parse_ms"));
+          doc = io::json_parse(line);
+          wire = parse_request(doc, defaults);
+        }
+        wire.request.trace = std::move(trace);
         reply.id = wire.id;
         reply.return_field = wire.return_field;
         reply.future = service.submit(std::move(wire.request));
@@ -194,10 +207,11 @@ StreamServeReport serve_stream(PredictionService& service,
   cv_items.notify_all();
   writer.join();
   report.errors = errors;
-  if (log != nullptr) {
-    *log << "[serve] stream closed: " << report.requests << " request(s), "
-         << report.errors << " error(s)"
-         << (stopping() ? " (shutdown drain)" : "") << "\n";
+  if (log != nullptr && obs::log_enabled(obs::LogLevel::Info)) {
+    obs::log_to(log, obs::LogLevel::Info, "serve",
+                "stream closed: " + std::to_string(report.requests) +
+                    " request(s), " + std::to_string(report.errors) +
+                    " error(s)" + (stopping() ? " (shutdown drain)" : ""));
   }
   return report;
 }
@@ -269,10 +283,9 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
                std::atomic<int>* bound_port, const StreamOptions& options) {
   const int listener = net::make_listener(options.bind_address, port, 16);
   if (bound_port != nullptr) bound_port->store(net::listener_port(listener));
-  if (log != nullptr) {
-    *log << "[serve] listening on " << options.bind_address << ":"
-         << net::listener_port(listener) << "\n";
-  }
+  obs::log_to(log, obs::LogLevel::Info, "serve",
+              "listening on " + options.bind_address + ":" +
+                  std::to_string(net::listener_port(listener)));
 
   // Handler threads each buffer their connection's log lines and flush them
   // whole under log_mu, so concurrent connections cannot interleave writes
@@ -337,7 +350,8 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
       ::close(conn);
       if (log != nullptr) {
         std::lock_guard lk(log_mu);
-        *log << "[serve] refusing connection: handler spawn failed\n";
+        obs::log_to(log, obs::LogLevel::Warn, "serve",
+                    "refusing connection: handler spawn failed");
       }
     }
   }
@@ -348,8 +362,9 @@ void serve_tcp(PredictionService& service, const WireDefaults& defaults, int por
     for (auto& h : handlers) ::shutdown(h.fd, SHUT_RD);
     if (log != nullptr) {
       std::lock_guard lk(log_mu);
-      *log << "[serve] shutdown requested: draining " << handlers.size()
-           << " connection(s)\n";
+      obs::log_to(log, obs::LogLevel::Info, "serve",
+                  "shutdown requested: draining " +
+                      std::to_string(handlers.size()) + " connection(s)");
     }
   }
   reap(/*all=*/true);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include "core/train/encoding.hpp"
+#include "obs/log.hpp"
 #include "runtime/fault.hpp"
 #include "solver/cache.hpp"
 
@@ -84,6 +86,13 @@ PredictionService::PredictionService(std::shared_ptr<ModelRegistry> registry,
   bopt.max_delay_ms = options_.max_delay_ms;
   bopt.queue = queue_;
   batcher_ = std::make_unique<MicroBatcher>(bopt);
+  hist_total_ms_ = &obs::registry().histogram("serve.request.total_ms");
+  hist_cache_lookup_ms_ = &obs::registry().histogram("serve.cache.lookup_ms");
+  slow_request_ms_ = options_.slow_request_ms;
+  if (const char* env = std::getenv("MAPS_SLOW_REQUEST_MS");
+      env != nullptr && *env != '\0') {
+    slow_request_ms_ = std::atof(env);
+  }
 }
 
 PredictionService::~PredictionService() {
@@ -103,6 +112,9 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
   // cache hits, surrogate jobs and solver jobs alike.
   inflight_.fetch_add(1);
   const double start = runtime::now_steady_ms();
+  // The trace rides the request into the pipeline; keep a handle for the
+  // terminal paths (the request itself is moved into the dispatch).
+  const obs::TracePtr trace = request.trace;
   // Declared outside the try so the catch can clean up a registered
   // pending-leader slot when dispatch throws after lead_pending().
   QueryKey key;
@@ -128,7 +140,12 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     }
 
     key = make_key(request, model_version);
-    if (const auto hit = cache_.get(key)) {
+    std::shared_ptr<const CachedResult> hit;
+    {
+      obs::ScopedSpan span("cache.lookup", trace.get(), hist_cache_lookup_ms_);
+      hit = cache_.get(key);
+    }
+    if (hit) {
       cache_hits_.fetch_add(1);
       ServeResponse response;
       response.Ez = hit->Ez;
@@ -141,7 +158,7 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
         response.model_id = model->id;
         response.model_version = model->version;
       }
-      finish(promise, std::move(response), start);
+      finish(promise, std::move(response), start, nullptr, trace);
       return future;
     }
 
@@ -149,7 +166,7 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     // the pipeline again — the cache-stampede path: N racing misses cost
     // one forward. Attached requests add no pipeline work, so they bypass
     // admission control just like cache hits.
-    if (attach_pending(key, promise, start)) return future;
+    if (attach_pending(key, promise, start, trace)) return future;
 
     // Cache misses consume pipeline stages; shed here, at ingress, while the
     // reply still costs microseconds. Cache hits above bypass admission —
@@ -180,7 +197,7 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
       leading = true;
       (void)queue_->submit(
           [this, request = std::move(request), key, promise, start,
-           deadline_abs]() mutable -> int {
+           deadline_abs, trace]() mutable -> int {
             try {
               if (deadline_abs > 0.0 && runtime::now_steady_ms() >= deadline_abs) {
                 breaker_->cancel();  // the solver never ran: no outcome to record
@@ -190,9 +207,9 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
               ServeResponse response = solve_guarded(request, deadline_abs);
               cache_.put(key, std::make_shared<CachedResult>(
                                   CachedResult{response.Ez, true}));
-              finish(promise, std::move(response), start, &key);
+              finish(promise, std::move(response), start, &key, trace);
             } catch (...) {
-              fail(promise, std::current_exception(), &key);
+              fail(promise, std::current_exception(), &key, trace);
             }
             return 0;
           });
@@ -208,7 +225,7 @@ runtime::Future<ServeResponse> PredictionService::submit(ServeRequest request) {
     answer_surrogate(std::make_shared<const ServeRequest>(std::move(request)),
                      model, key, promise, start, deadline_abs, /*degraded=*/false);
   } catch (...) {
-    fail(promise, std::current_exception(), leading ? &key : nullptr);
+    fail(promise, std::current_exception(), leading ? &key : nullptr, trace);
   }
   return future;
 }
@@ -259,6 +276,7 @@ void PredictionService::answer_surrogate(
   BatchJob job;
   job.input = encode_request(*request, *model);
   job.model = model;
+  job.trace = request->trace;
   // The request rides along as a shared_ptr: the callback only needs it for
   // the escalation fallback, and sharing one buffer avoids deep-copying the
   // eps/J grids into every queued job.
@@ -291,7 +309,7 @@ void PredictionService::answer_surrogate(
             solved.model_version = model->version;
             cache_.put(key,
                        std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
-            finish(promise, std::move(solved), start_ms, &key);
+            finish(promise, std::move(solved), start_ms, &key, request->trace);
             return;
           }
           std::rethrow_exception(error);
@@ -310,7 +328,7 @@ void PredictionService::answer_surrogate(
         // solver should re-answer the next identical query at full grade.
         response.degraded = true;
         degraded_served_.fetch_add(1);
-        finish(promise, std::move(response), start_ms, &key);
+        finish(promise, std::move(response), start_ms, &key, request->trace);
         return;
       }
 
@@ -339,7 +357,7 @@ void PredictionService::answer_surrogate(
           // answer. Degrade instead of escalating.
           response.degraded = true;
           degraded_served_.fetch_add(1);
-          finish(promise, std::move(response), start_ms, &key);
+          finish(promise, std::move(response), start_ms, &key, request->trace);
           return;
         }
         try {
@@ -349,7 +367,7 @@ void PredictionService::answer_surrogate(
           solved.escalated = true;
           cache_.put(key,
                      std::make_shared<CachedResult>(CachedResult{solved.Ez, true}));
-          finish(promise, std::move(solved), start_ms, &key);
+          finish(promise, std::move(solved), start_ms, &key, request->trace);
         } catch (const runtime::DeadlineExceeded&) {
           throw;  // the reply is late either way: report the blown budget
         } catch (...) {
@@ -357,14 +375,14 @@ void PredictionService::answer_surrogate(
           // solve_guarded): degrade to the suspect surrogate answer.
           response.degraded = true;
           degraded_served_.fetch_add(1);
-          finish(promise, std::move(response), start_ms, &key);
+          finish(promise, std::move(response), start_ms, &key, request->trace);
         }
         return;
       }
       cache_.put(key, std::make_shared<CachedResult>(CachedResult{response.Ez, false}));
-      finish(promise, std::move(response), start_ms, &key);
+      finish(promise, std::move(response), start_ms, &key, request->trace);
     } catch (...) {
-      fail(promise, std::current_exception(), &key);
+      fail(promise, std::current_exception(), &key, request->trace);
     }
   };
   batcher_->submit(std::move(job));
@@ -376,6 +394,10 @@ ServeResponse PredictionService::solve_guarded(const ServeRequest& request,
   // accounting. A deadline blown mid-solve counts as a solver timeout —
   // from the pipeline's perspective the tier failed to answer in budget —
   // so repeated timeouts trip the breaker exactly like hard failures.
+  // The ambient trace scope lets the solver backend (factorize/solve/
+  // refine, which have no trace parameter) record spans against this
+  // request from this thread.
+  obs::TraceScope trace_scope(request.trace.get());
   try {
     runtime::DeadlineGuard guard(deadline_abs_ms);
     ServeResponse response = solve_high(request);
@@ -408,7 +430,7 @@ ServeResponse PredictionService::solve_high(const ServeRequest& request) {
 
 bool PredictionService::attach_pending(const QueryKey& key,
                                        const runtime::Promise<ServeResponse>& promise,
-                                       double start_ms) {
+                                       double start_ms, const obs::TracePtr& trace) {
   if (!options_.coalesce) return false;
   // Chaos `io` action: pretend the in-flight entry was not found. The
   // request degrades gracefully into a duplicate leader — correct answer,
@@ -417,7 +439,7 @@ bool PredictionService::attach_pending(const QueryKey& key,
   std::lock_guard lk(pending_mu_);
   auto it = pending_.find(key);
   if (it == pending_.end()) return false;
-  it->second.push_back(Waiter{promise, start_ms});
+  it->second.push_back(Waiter{promise, start_ms, trace});
   coalesced_.fetch_add(1);
   return true;
 }
@@ -450,9 +472,19 @@ void PredictionService::record_completion(double latency_ms) {
   max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
 }
 
+void PredictionService::observe_terminal(const obs::TracePtr& trace,
+                                         double total_ms, const char* outcome) {
+  if (obs::metrics_enabled()) hist_total_ms_->record(total_ms);
+  if (trace == nullptr) return;
+  if (slow_request_ms_ >= 0.0 && total_ms >= slow_request_ms_ &&
+      trace->claim_dump()) {
+    obs::write_raw_line(obs::render_span_tree(*trace, total_ms, outcome));
+  }
+}
+
 void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
                                ServeResponse response, double start_ms,
-                               const QueryKey* key) {
+                               const QueryKey* key, const obs::TracePtr& trace) {
   std::vector<Waiter> waiters = take_waiters(key);
   const double now = runtime::now_steady_ms();
   // Fan out to attached waiters first (they copy), then the leader consumes
@@ -462,11 +494,16 @@ void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
     ServeResponse copy = response;
     copy.latency_ms = now - w.start_ms;
     record_completion(copy.latency_ms);
+    // The attacher did none of the pipeline work itself — adopt the
+    // leader's spans so its trace names what it waited on.
+    if (w.trace != nullptr && trace != nullptr) w.trace->adopt(*trace);
+    observe_terminal(w.trace, copy.latency_ms, "ok");
     w.promise.set_value(std::move(copy));
     inflight_.fetch_sub(1);
   }
   response.latency_ms = now - start_ms;
   record_completion(response.latency_ms);
+  observe_terminal(trace, response.latency_ms, "ok");
   promise.set_value(std::move(response));
   // Last touch of service state: the destructor's drain proceeds the moment
   // this hits zero.
@@ -474,22 +511,30 @@ void PredictionService::finish(runtime::Promise<ServeResponse>& promise,
 }
 
 void PredictionService::fail(runtime::Promise<ServeResponse>& promise,
-                             std::exception_ptr error, const QueryKey* key) {
+                             std::exception_ptr error, const QueryKey* key,
+                             const obs::TracePtr& trace) {
   std::vector<Waiter> waiters = take_waiters(key);
   const auto n = static_cast<std::uint64_t>(1 + waiters.size());
+  const char* outcome = "error";
   try {
     std::rethrow_exception(error);
   } catch (const OverloadedError&) {
     shed_.fetch_add(n);
+    outcome = "overloaded";
   } catch (const runtime::DeadlineExceeded&) {
     deadline_exceeded_.fetch_add(n);
+    outcome = "deadline_exceeded";
   } catch (...) {
     errors_.fetch_add(n);
   }
+  const double now = runtime::now_steady_ms();
   for (Waiter& w : waiters) {
+    if (w.trace != nullptr && trace != nullptr) w.trace->adopt(*trace);
+    observe_terminal(w.trace, now - w.start_ms, outcome);
     w.promise.set_exception(error);
     inflight_.fetch_sub(1);
   }
+  if (trace != nullptr) observe_terminal(trace, now - trace->created_ms(), outcome);
   promise.set_exception(std::move(error));
   inflight_.fetch_sub(1);
 }

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "fdfd/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/future.hpp"
 #include "runtime/task_queue.hpp"
@@ -54,6 +56,12 @@ struct ServeRequest {
   /// rounds and Krylov iterations all check — and its future fails with
   /// runtime::DeadlineExceeded ("deadline_exceeded" on the wire).
   double deadline_ms = 0.0;
+  /// Trace context created at ingress (null = untraced). The pipeline
+  /// records per-stage spans into it (cache lookup, batch queue, surrogate
+  /// forward, solver factorize/solve) and the terminal finish()/fail()
+  /// emits the span tree as one NDJSON line when the request ran longer
+  /// than ServeOptions::slow_request_ms.
+  obs::TracePtr trace;
 };
 
 /// Thrown by submit() when admission control sheds the request (pipeline
@@ -142,6 +150,13 @@ struct ServeOptions {
   double breaker_backoff_ms = 1000.0;
   double breaker_backoff_max_ms = 30000.0;
   int breaker_half_open_probes = 1;
+
+  // Observability. A traced request whose end-to-end latency exceeds
+  // slow_request_ms has its whole span tree written to the obs log sink as
+  // one NDJSON line (0 = dump every traced request; negative = disabled).
+  // The MAPS_SLOW_REQUEST_MS environment variable overrides this at
+  // construction so a test suite can be re-run with the dump path armed.
+  double slow_request_ms = -1.0;
 };
 
 /// Monotone service counters (snapshot).
@@ -190,6 +205,11 @@ class PredictionService {
   ModelRegistry& registry() { return *registry_; }
   const ServeOptions& options() const { return options_; }
   ServeStatsSnapshot stats() const;
+  /// Per-shard result-cache counters (the /v1/metrics scrape reports a hit
+  /// ratio per shard so a skewed key distribution is visible).
+  std::vector<ResultCacheStats> cache_shard_stats() const {
+    return cache_.shard_stats();
+  }
 
   /// The worker pool this service runs on. Front ends offload request
   /// decode/submit work here to keep their I/O threads non-blocking. The
@@ -207,30 +227,50 @@ class PredictionService {
   /// Circuit breaker of the escalation solver tier (exposed for tests).
   const CircuitBreaker& breaker() const { return *breaker_; }
 
+  /// Effective slow-request threshold (config + MAPS_SLOW_REQUEST_MS
+  /// override; negative = disabled). Exposed for front ends deciding
+  /// whether to allocate a trace at ingress.
+  double slow_request_ms() const { return slow_request_ms_; }
+  /// True when requests should carry a trace context: metrics are on or
+  /// the slow-request dump is armed.
+  bool tracing_enabled() const {
+    return obs::metrics_enabled() || slow_request_ms_ >= 0.0;
+  }
+
  private:
   /// A request attached to another request's in-flight computation: its
   /// promise is fanned out to at the leader's terminal.
   struct Waiter {
     runtime::Promise<ServeResponse> promise;
     double start_ms = 0.0;
+    /// The attacher's own trace: at fan-out it adopts the leader's spans
+    /// so each client's slow dump names the work it actually waited on.
+    obs::TracePtr trace;
   };
 
   /// Terminal success path. When `key` is non-null the pending-waiter entry
   /// for it is popped and every attached waiter receives a copy of the
   /// response (with its own latency). Every submitted request ends in
-  /// finish() or fail() exactly once.
+  /// finish() or fail() exactly once. `trace` is the leader's trace (may be
+  /// null): finish/fail record the total-latency histogram and emit the
+  /// slow-request span dump against it.
   void finish(runtime::Promise<ServeResponse>& promise, ServeResponse response,
-              double start_ms, const QueryKey* key = nullptr);
+              double start_ms, const QueryKey* key = nullptr,
+              const obs::TracePtr& trace = nullptr);
   /// Terminal error path: classifies `error` into the right counter
   /// (shed / deadline_exceeded / errors), releases the inflight slot and
   /// fails the promise — and every attached waiter when `key` is non-null.
   void fail(runtime::Promise<ServeResponse>& promise, std::exception_ptr error,
-            const QueryKey* key = nullptr);
+            const QueryKey* key = nullptr, const obs::TracePtr& trace = nullptr);
+  /// One observed request terminal: total-latency histogram + threshold-
+  /// triggered span-tree dump (at most once per trace).
+  void observe_terminal(const obs::TracePtr& trace, double total_ms,
+                        const char* outcome);
   /// Coalescing: join an identical in-flight computation. True = attached
   /// (the caller's promise is satisfied at the leader's terminal).
   bool attach_pending(const QueryKey& key,
                       const runtime::Promise<ServeResponse>& promise,
-                      double start_ms);
+                      double start_ms, const obs::TracePtr& trace);
   /// Coalescing: announce this request as the in-flight computation for
   /// `key`. No-op when another leader already holds the slot (the race loser
   /// simply runs its own pipeline and fans out to nobody).
@@ -256,6 +296,11 @@ class PredictionService {
   std::shared_ptr<solver::FactorizationCache> solver_cache_;
   std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<MicroBatcher> batcher_;
+  /// Cached registry refs (stable for the process lifetime) so the hot
+  /// path never touches the registry map.
+  obs::Histogram* hist_total_ms_ = nullptr;
+  obs::Histogram* hist_cache_lookup_ms_ = nullptr;
+  double slow_request_ms_ = -1.0;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

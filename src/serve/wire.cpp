@@ -1,8 +1,10 @@
 #include "serve/wire.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "fdfd/source.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/fault.hpp"
 
 namespace maps::serve {
@@ -285,7 +287,95 @@ JsonValue stats_to_json(const ServeStatsSnapshot& stats,
     }
     v["faults"] = faults;
   }
+  // Per-stage latency readouts from the obs registry, present only while
+  // metrics are enabled (existing keys above stay bit-compatible).
+  if (obs::metrics_enabled()) {
+    v["latency"] = latency_to_json();
+  }
   return v;
+}
+
+JsonValue latency_to_json() {
+  JsonValue block;
+  obs::registry().visit_histograms(
+      [&block](const std::string& name, const obs::Histogram& h) {
+        const obs::Histogram::Snapshot snap = h.snapshot();
+        JsonValue e;
+        e["count"] = static_cast<double>(snap.count);
+        e["sum_ms"] = snap.sum;
+        e["p50_ms"] = snap.percentile(0.50);
+        e["p90_ms"] = snap.percentile(0.90);
+        e["p99_ms"] = snap.percentile(0.99);
+        block[name] = e;
+      });
+  return block;
+}
+
+std::string metrics_text(const PredictionService& service,
+                         const JobManager* jobs) {
+  std::ostringstream os;
+  os.precision(9);
+  os << obs::registry().render_prometheus();
+  const auto counter = [&os](const char* name, std::uint64_t value) {
+    os << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+  };
+  const auto gauge = [&os](const char* name, double value) {
+    os << "# TYPE " << name << " gauge\n" << name << " " << value << "\n";
+  };
+  const ServeStatsSnapshot s = service.stats();
+  counter("maps_serve_requests_total", s.requests);
+  counter("maps_serve_completed_total", s.completed);
+  counter("maps_serve_cache_hits_total", s.cache_hits);
+  counter("maps_serve_cache_evictions_total", s.cache.evictions);
+  counter("maps_serve_surrogate_requests_total", s.surrogate_requests);
+  counter("maps_serve_solver_requests_total", s.solver_requests);
+  counter("maps_serve_escalations_total", s.escalations);
+  counter("maps_serve_errors_total", s.errors);
+  counter("maps_serve_shed_total", s.shed);
+  counter("maps_serve_deadline_exceeded_total", s.deadline_exceeded);
+  counter("maps_serve_degraded_served_total", s.degraded_served);
+  counter("maps_serve_surrogate_retries_total", s.surrogate_retries);
+  counter("maps_serve_solver_failovers_total", s.solver_failovers);
+  counter("maps_serve_coalesced_total", s.coalesced);
+  counter("maps_serve_batches_total", s.batcher.batches);
+  counter("maps_serve_batch_full_flushes_total", s.batcher.full_flushes);
+  counter("maps_serve_batch_deadline_flushes_total", s.batcher.deadline_flushes);
+  counter("maps_solver_refine_iterations_total", s.solver_refine_iterations);
+  counter("maps_solver_refine_fallbacks_total", s.solver_refine_fallbacks);
+  gauge("maps_serve_cache_entries", static_cast<double>(s.cache.entries));
+  gauge("maps_serve_cache_hit_ratio", s.cache.hit_rate());
+  // Per-shard hit ratio: a skewed key distribution shows up as one hot
+  // shard long before the aggregate ratio moves.
+  const auto shards = service.cache_shard_stats();
+  os << "# TYPE maps_serve_cache_shard_hit_ratio gauge\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    os << "maps_serve_cache_shard_hit_ratio{shard=\"" << i << "\"} "
+       << shards[i].hit_rate() << "\n";
+  }
+  // Breaker: one 0/1 sample per state (the standard enum exposition), plus
+  // its counters.
+  os << "# TYPE maps_serve_breaker_state gauge\n";
+  for (const BreakerState state :
+       {BreakerState::Closed, BreakerState::Open, BreakerState::HalfOpen}) {
+    os << "maps_serve_breaker_state{state=\"" << breaker_state_name(state)
+       << "\"} " << (s.breaker.state == state ? 1 : 0) << "\n";
+  }
+  counter("maps_serve_breaker_failures_total", s.breaker.failures);
+  counter("maps_serve_breaker_rejected_total", s.breaker.rejected);
+  counter("maps_serve_breaker_open_total", s.breaker.open_total);
+  if (jobs != nullptr) {
+    const JobsStatsSnapshot j = jobs->stats();
+    counter("maps_jobs_submitted_total", j.submitted);
+    counter("maps_jobs_completed_total", j.completed);
+    counter("maps_jobs_failed_total", j.failed);
+    counter("maps_jobs_cancelled_total", j.cancelled);
+    counter("maps_jobs_resumed_total", j.resumed);
+    counter("maps_jobs_shed_total", j.shed);
+    counter("maps_jobs_steps_total", j.steps);
+    gauge("maps_jobs_running", static_cast<double>(j.running));
+    gauge("maps_jobs_queued", static_cast<double>(j.queued));
+  }
+  return os.str();
 }
 
 }  // namespace maps::serve

@@ -6,10 +6,32 @@
 
 #include "math/csr.hpp"
 #include "math/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/fault.hpp"
 
 namespace maps::solver {
+
+namespace {
+
+// Stage histograms for the serve scrape (stable refs, created on first
+// use). Spans attach to the ambient obs::current_trace() installed by the
+// serving layer's worker thread — the solver interfaces stay trace-free.
+obs::Histogram& factorize_hist() {
+  static obs::Histogram& h = obs::registry().histogram("solver.factorize_ms");
+  return h;
+}
+obs::Histogram& solve_hist() {
+  static obs::Histogram& h = obs::registry().histogram("solver.solve_ms");
+  return h;
+}
+obs::Histogram& refine_hist() {
+  static obs::Histogram& h = obs::registry().histogram("solver.refine_ms");
+  return h;
+}
+
+}  // namespace
 
 bool interleaved_solver_requested() { return maps::math::interleaved_fallback_requested(); }
 
@@ -79,6 +101,9 @@ void DirectBandedBackend::factorize_locked() {
   // stall this exact point (MAPS_FAULTS "solver.factorize").
   runtime::check_deadline("DirectBandedBackend::factorize");
   runtime::fault::point("solver.factorize");
+  // A cached factorization records a ~0 span — the trace then shows the
+  // request only paid back-substitution.
+  obs::ScopedSpan span("solver.factorize", obs::current_trace(), &factorize_hist());
   if (interleaved_) {
     if (!lu_) {
       lu_ = maps::math::to_band(csr_op_->A);
@@ -158,6 +183,7 @@ void DirectBandedBackend::fall_back_to_double() {
 bool DirectBandedBackend::refine_batch(std::span<const std::vector<cplx>> rhs,
                                        std::vector<std::vector<cplx>>& xs,
                                        bool transposed) {
+  obs::ScopedSpan span("solver.refine", obs::current_trace(), &refine_hist());
   const auto& A = op().A;
   const std::size_t nrhs = rhs.size();
   std::vector<double> bnorm(nrhs), prev_rel(nrhs, std::numeric_limits<double>::max());
@@ -206,6 +232,7 @@ bool DirectBandedBackend::refine_batch(std::span<const std::vector<cplx>> rhs,
 std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
   runtime::fault::point("solver.solve");
   factorize();
+  obs::ScopedSpan span("solver.solve", obs::current_trace(), &solve_hist());
   ++solves_;
   std::vector<cplx> x = rhs;
   if (interleaved_) {
@@ -229,6 +256,7 @@ std::vector<cplx> DirectBandedBackend::solve(const std::vector<cplx>& rhs) {
 
 std::vector<cplx> DirectBandedBackend::solve_transposed(const std::vector<cplx>& rhs) {
   factorize();
+  obs::ScopedSpan span("solver.solve", obs::current_trace(), &solve_hist());
   ++solves_;
   std::vector<cplx> x = rhs;
   if (interleaved_) {
@@ -253,6 +281,7 @@ std::vector<cplx> DirectBandedBackend::solve_transposed(const std::vector<cplx>&
 std::vector<std::vector<cplx>> DirectBandedBackend::batch_solve_impl(
     std::span<const std::vector<cplx>> rhs, bool transposed) {
   factorize();
+  obs::ScopedSpan span("solver.solve", obs::current_trace(), &solve_hist());
   solves_ += static_cast<int>(rhs.size());
   std::vector<std::vector<cplx>> out(rhs.begin(), rhs.end());
   if (out.empty()) return out;

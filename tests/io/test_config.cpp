@@ -346,3 +346,37 @@ TEST(Config, SweepJobDefaultsAndValidation) {
                    mio::json_parse(R"({"unknown_key": 1})")),
                maps::MapsError);
 }
+
+TEST(Config, ServeObservabilityKeys) {
+  // Defaults: metrics on, slow-request dump disarmed, info-level text logs.
+  const auto plain = mio::ServeConfig::from_json(mio::json_parse("{}"));
+  EXPECT_TRUE(plain.metrics);
+  EXPECT_EQ(plain.slow_request_ms, -1.0);
+  EXPECT_EQ(plain.log_level, "info");
+  EXPECT_EQ(plain.log_format, "text");
+  EXPECT_EQ(plain.serve.slow_request_ms, -1.0);
+
+  const auto cfg = mio::ServeConfig::from_json(mio::json_parse(
+      R"({"metrics": false, "slow_request_ms": 250.5,
+          "log_level": "debug", "log_format": "json"})"));
+  EXPECT_FALSE(cfg.metrics);
+  EXPECT_EQ(cfg.slow_request_ms, 250.5);
+  EXPECT_EQ(cfg.serve.slow_request_ms, 250.5);  // plumbed into ServeOptions
+  EXPECT_EQ(cfg.log_level, "debug");
+  EXPECT_EQ(cfg.log_format, "json");
+
+  // Round trip.
+  const auto back = mio::ServeConfig::from_json(cfg.to_json());
+  EXPECT_FALSE(back.metrics);
+  EXPECT_EQ(back.slow_request_ms, 250.5);
+  EXPECT_EQ(back.log_level, "debug");
+  EXPECT_EQ(back.log_format, "json");
+
+  // Spellings are validated at parse time.
+  EXPECT_THROW(mio::ServeConfig::from_json(
+                   mio::json_parse(R"({"log_level": "verbose"})")),
+               maps::MapsError);
+  EXPECT_THROW(mio::ServeConfig::from_json(
+                   mio::json_parse(R"({"log_format": "xml"})")),
+               maps::MapsError);
+}

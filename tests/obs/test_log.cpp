@@ -1,0 +1,103 @@
+// Structured logging: level filter, text/json formats and the sink plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json.hpp"
+#include "obs/log.hpp"
+
+namespace {
+
+using namespace maps;
+
+/// Restore the process log state on scope exit so tests do not leak their
+/// level/format/sink into later suites in the same binary.
+struct LogStateGuard {
+  obs::LogLevel level = obs::log_level();
+  obs::LogFormat format = obs::log_format();
+  ~LogStateGuard() {
+    obs::set_log_level(level);
+    obs::set_log_format(format);
+    obs::set_log_sink(nullptr);
+  }
+};
+
+TEST(Log, ParseRoundTrip) {
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::Debug);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::Warn);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::Off);
+  EXPECT_STREQ(obs::level_name(obs::LogLevel::Error), "error");
+  EXPECT_EQ(obs::parse_log_format("json"), obs::LogFormat::Json);
+  EXPECT_THROW(obs::parse_log_level("verbose"), std::runtime_error);
+  EXPECT_THROW(obs::parse_log_format("xml"), std::runtime_error);
+}
+
+TEST(Log, LevelFilter) {
+  LogStateGuard guard;
+  obs::set_log_level(obs::LogLevel::Warn);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Debug));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Info));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Warn));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Error));
+  obs::set_log_level(obs::LogLevel::Off);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Error));
+  // Off as a message level never passes, whatever the filter.
+  obs::set_log_level(obs::LogLevel::Debug);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Off));
+}
+
+TEST(Log, TextFormatKeepsHistoricalShape) {
+  LogStateGuard guard;
+  obs::set_log_format(obs::LogFormat::Text);
+  EXPECT_EQ(obs::format_line(obs::LogLevel::Info, "serve", "listening on 1:2"),
+            "[serve] listening on 1:2\n");
+  EXPECT_EQ(obs::format_line(obs::LogLevel::Info, "http", "hi", "r-1-2"),
+            "[http] hi trace=r-1-2\n");
+}
+
+TEST(Log, JsonFormatIsOneParsableObjectPerLine) {
+  LogStateGuard guard;
+  obs::set_log_format(obs::LogFormat::Json);
+  const std::string line =
+      obs::format_line(obs::LogLevel::Warn, "jobs", "queue full", "r-7-0");
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one line
+  const io::JsonValue doc = io::json_parse(line);
+  EXPECT_EQ(doc.at("component").as_string(), "jobs");
+  EXPECT_EQ(doc.at("level").as_string(), "warn");
+  EXPECT_EQ(doc.at("msg").as_string(), "queue full");
+  EXPECT_EQ(doc.at("trace").as_string(), "r-7-0");
+  EXPECT_GT(doc.at("ts").as_number(), 0.0);
+  // No trace => no trace key.
+  const io::JsonValue bare =
+      io::json_parse(obs::format_line(obs::LogLevel::Info, "serve", "x"));
+  EXPECT_FALSE(bare.has("trace"));
+}
+
+TEST(Log, LogToFiltersAndIsNullSafe) {
+  LogStateGuard guard;
+  obs::set_log_format(obs::LogFormat::Text);
+  obs::set_log_level(obs::LogLevel::Warn);
+  std::ostringstream out;
+  obs::log_to(&out, obs::LogLevel::Info, "serve", "dropped");
+  EXPECT_TRUE(out.str().empty());
+  obs::log_to(&out, obs::LogLevel::Error, "serve", "kept");
+  EXPECT_EQ(out.str(), "[serve] kept\n");
+  obs::log_to(nullptr, obs::LogLevel::Error, "serve", "no sink");  // no crash
+}
+
+TEST(Log, GlobalSinkRedirects) {
+  LogStateGuard guard;
+  obs::set_log_format(obs::LogFormat::Text);
+  obs::set_log_level(obs::LogLevel::Info);
+  std::ostringstream sink;
+  obs::set_log_sink(&sink);
+  obs::log_global(obs::LogLevel::Info, "serve", "to the sink");
+  obs::write_raw_line("{\"event\":\"slow_request\"}");
+  obs::set_log_sink(nullptr);
+  EXPECT_EQ(sink.str(), "[serve] to the sink\n{\"event\":\"slow_request\"}\n");
+}
+
+}  // namespace

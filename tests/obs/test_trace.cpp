@@ -1,0 +1,136 @@
+// Request tracing: span recording, coalescing adopt, the ambient
+// thread-local scope and the slow-request span-tree rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+
+#include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace maps;
+
+TEST(Trace, GeneratedIdsAreUniqueAndPrefixed) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 100; ++i) {
+    const std::string id = obs::next_request_id();
+    EXPECT_EQ(id.rfind("r-", 0), 0u) << id;
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(Trace, HonorsSuppliedIdAndGeneratesWhenEmpty) {
+  obs::Trace supplied("client-abc");
+  EXPECT_EQ(supplied.id(), "client-abc");
+  obs::Trace generated;
+  EXPECT_EQ(generated.id().rfind("r-", 0), 0u);
+}
+
+TEST(Trace, SpansRecordInOrder) {
+  obs::Trace t("t");
+  t.add_span("cache.lookup", 1.0, 2.0);
+  t.add_span("batch.queue", 2.0, 5.0);
+  t.add_span("surrogate.forward", 5.0, 9.0);
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "cache.lookup");
+  EXPECT_EQ(spans[1].name, "batch.queue");
+  EXPECT_EQ(spans[2].name, "surrogate.forward");
+  EXPECT_DOUBLE_EQ(spans[1].end_ms - spans[1].start_ms, 3.0);
+}
+
+TEST(Trace, CapsSpansAndCountsDropped) {
+  obs::Trace t("t");
+  for (std::size_t i = 0; i < obs::Trace::kMaxSpans + 7; ++i) {
+    t.add_span("s", 0.0, 1.0);
+  }
+  EXPECT_EQ(t.spans().size(), obs::Trace::kMaxSpans);
+  EXPECT_EQ(t.dropped(), 7u);
+}
+
+TEST(Trace, AdoptCopiesLeaderSpans) {
+  obs::Trace leader("leader");
+  leader.add_span("solver.factorize", 1.0, 4.0);
+  leader.add_span("solver.solve", 4.0, 5.0);
+  obs::Trace waiter("waiter");
+  waiter.add_span("cache.lookup", 0.0, 0.1);
+  waiter.adopt(leader);
+  const auto spans = waiter.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "solver.factorize");
+  EXPECT_EQ(spans[2].name, "solver.solve");
+  // Self-adopt must not duplicate.
+  waiter.adopt(waiter);
+  EXPECT_EQ(waiter.spans().size(), 3u);
+}
+
+TEST(Trace, ClaimDumpIsOneShot) {
+  obs::Trace t("t");
+  EXPECT_TRUE(t.claim_dump());
+  EXPECT_FALSE(t.claim_dump());
+  EXPECT_FALSE(t.claim_dump());
+}
+
+TEST(Trace, TraceScopeInstallsAndRestores) {
+  EXPECT_EQ(obs::current_trace(), nullptr);
+  obs::Trace outer("outer");
+  {
+    obs::TraceScope a(&outer);
+    EXPECT_EQ(obs::current_trace(), &outer);
+    obs::Trace inner("inner");
+    {
+      obs::TraceScope b(&inner);
+      EXPECT_EQ(obs::current_trace(), &inner);
+    }
+    EXPECT_EQ(obs::current_trace(), &outer);
+  }
+  EXPECT_EQ(obs::current_trace(), nullptr);
+  // Thread-local: another thread starts clean.
+  std::thread([] { EXPECT_EQ(obs::current_trace(), nullptr); }).join();
+}
+
+TEST(Trace, ScopedSpanRecordsIntoTraceAndHistogram) {
+  obs::Trace t("t");
+  obs::Histogram h;
+  { obs::ScopedSpan span("work", &t, &h); }
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_EQ(t.spans()[0].name, "work");
+  EXPECT_GE(t.spans()[0].end_ms, t.spans()[0].start_ms);
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Trace, ScopedSpanNoopWithoutTargets) {
+  { obs::ScopedSpan span("work", nullptr, nullptr); }  // must not crash
+  obs::set_metrics_enabled(false);
+  obs::Histogram h;
+  { obs::ScopedSpan span("work", nullptr, &h); }
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(h.snapshot().count, 0u);  // disabled switch gated the record
+}
+
+TEST(Trace, RenderSpanTreeIsOneParsableObject) {
+  obs::Trace t("req-9");
+  const double origin = t.created_ms();
+  t.add_span("cache.lookup", origin + 1.0, origin + 2.0);
+  t.add_span("solver.solve", origin + 2.0, origin + 30.0);
+  const std::string line = obs::render_span_tree(t, 31.0, "ok");
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one NDJSON line
+  const io::JsonValue doc = io::json_parse(line);
+  EXPECT_EQ(doc.at("event").as_string(), "slow_request");
+  EXPECT_EQ(doc.at("trace").as_string(), "req-9");
+  EXPECT_DOUBLE_EQ(doc.at("total_ms").as_number(), 31.0);
+  EXPECT_EQ(doc.at("outcome").as_string(), "ok");
+  const auto& spans = doc.at("spans").as_array();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].at("name").as_string(), "cache.lookup");
+  EXPECT_NEAR(spans[0].at("start_ms").as_number(), 1.0, 1e-9);
+  EXPECT_NEAR(spans[1].at("dur_ms").as_number(), 28.0, 1e-9);
+  EXPECT_FALSE(doc.has("spans_dropped"));
+}
+
+}  // namespace

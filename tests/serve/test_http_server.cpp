@@ -830,3 +830,81 @@ TEST(HttpServe, JobsQueueFullAnswers429WithRetryAfter) {
   ASSERT_TRUE(client.read_reply(reply));
   EXPECT_EQ(reply.status, 200);
 }
+
+// --- observability -----------------------------------------------------------
+
+TEST(HttpServe, RequestIdEchoedAndGenerated) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+  HttpReply reply;
+
+  // A client-supplied X-Request-Id echoes back verbatim on every endpoint.
+  ASSERT_TRUE(client.send_raw(http_request(
+      "GET", "/healthz", "", "X-Request-Id: cli-42\r\n")));
+  ASSERT_TRUE(client.read_reply(reply));
+  ASSERT_NE(reply.header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*reply.header("X-Request-Id"), "cli-42");
+
+  ASSERT_TRUE(client.send_raw(http_request(
+      "GET", "/stats", "", "X-Request-Id: cli-43\r\n")));
+  ASSERT_TRUE(client.read_reply(reply));
+  ASSERT_NE(reply.header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*reply.header("X-Request-Id"), "cli-43");
+
+  ASSERT_TRUE(client.send_raw(http_request(
+      "POST", "/predict", predict_body(1, 2.5), "X-Request-Id: cli-44\r\n")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  ASSERT_NE(reply.header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*reply.header("X-Request-Id"), "cli-44");
+
+  // Without the header the server generates one (r-<hex>-<n>), distinct per
+  // request.
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  ASSERT_NE(reply.header("X-Request-Id"), nullptr);
+  const std::string first = *reply.header("X-Request-Id");
+  EXPECT_EQ(first.rfind("r-", 0), 0u) << first;
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/healthz")));
+  ASSERT_TRUE(client.read_reply(reply));
+  ASSERT_NE(reply.header("X-Request-Id"), nullptr);
+  EXPECT_NE(*reply.header("X-Request-Id"), first);
+}
+
+TEST(HttpServe, MetricsEndpointServesPrometheusText) {
+  FaultGuard guard("");
+  HttpHarness h(small_options());
+  HttpClient client(h.port.load());
+  ASSERT_GE(client.fd, 0);
+  HttpReply reply;
+
+  // Drive one predict so the per-stage histograms have samples.
+  ASSERT_TRUE(client.send_raw(
+      http_request("POST", "/predict", predict_body(5, 2.5))));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/v1/metrics")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  ASSERT_NE(reply.header("Content-Type"), nullptr);
+  EXPECT_NE(reply.header("Content-Type")->find("text/plain"),
+            std::string::npos);
+  const std::string& text = reply.body;
+  EXPECT_NE(text.find("maps_serve_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("maps_serve_ingress_parse_ms_bucket{le="),
+            std::string::npos);
+  EXPECT_NE(text.find("maps_serve_request_total_ms_p50"), std::string::npos);
+  EXPECT_NE(text.find("maps_serve_cache_shard_hit_ratio{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("maps_serve_breaker_state{state=\"closed\"} 1"),
+            std::string::npos);
+
+  // The bare alias answers too (same router family as /healthz | /stats).
+  ASSERT_TRUE(client.send_raw(http_request("GET", "/metrics")));
+  ASSERT_TRUE(client.read_reply(reply));
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("maps_serve_requests_total"), std::string::npos);
+}

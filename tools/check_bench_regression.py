@@ -44,6 +44,12 @@ Tracked ratios:
                                     each other (BENCH_speedup.json; the
                                     coalesced run pays one surrogate forward
                                     where the stampede pays N)
+  serve_obs_overhead                observability disabled over fully
+                                    instrumented (metrics + per-request
+                                    traces) on the coalesced stampede
+                                    workload (BENCH_speedup.json; baseline
+                                    sits near 1.0 — the gate fails if
+                                    instrumentation cost leaves the noise)
 
 Usage: check_bench_regression.py [fresh_dir] [baseline_dir]
   fresh_dir     directory with the just-emitted BENCH_*.json
@@ -168,6 +174,12 @@ TRACKED = [
         "file": "BENCH_speedup.json",
         "ratio": lambda doc: ratio_from_benchmarks(
             doc, "BM_ServeStampede", "BM_ServeStampedeCoalesced"),
+    },
+    {
+        "name": "serve_obs_overhead",
+        "file": "BENCH_speedup.json",
+        "ratio": lambda doc: ratio_from_benchmarks(
+            doc, "BM_ServeObsOff", "BM_ServeObsInstrumented"),
     },
 ]
 

@@ -50,13 +50,15 @@ int usage() {
       "                                    --shard/--resume select a datagen shard slice\n"
       "  maps_cli merge <config.json>      merge a sharded datagen run into its output\n"
       "  maps_cli serve <config.json> [--port N] [--http] [--bind ADDR]\n"
-      "                               [--jobs-dir DIR]\n"
+      "                               [--jobs-dir DIR] [--log-level LEVEL]\n"
       "                                    run the prediction server: ndjson requests\n"
       "                                    on stdin -> replies on stdout (or TCP with\n"
       "                                    --port, or HTTP/1.1 with --http); --bind\n"
       "                                    sets the listen address (default loopback);\n"
       "                                    --jobs-dir mounts the /v1/jobs API with its\n"
       "                                    crash-safe journal in DIR (HTTP only);\n"
+      "                                    --log-level sets the structured-log\n"
+      "                                    filter (debug|info|warn|error|off);\n"
       "                                    the stats report lands on stderr\n"
       "  maps_cli validate <config.json>   parse and echo the normalized config\n"
       "  maps_cli example-config <task>    print a starter config for a task\n"
@@ -191,6 +193,11 @@ int cmd_serve(const std::string& path, const std::vector<std::string>& flags) {
         return fail("config", "--bind requires an IPv4 address");
       }
       doc["bind_address"] = flags[++k];
+    } else if (flags[k] == "--log-level") {
+      if (k + 1 >= flags.size()) {
+        return fail("config", "--log-level requires debug|info|warn|error|off");
+      }
+      doc["log_level"] = flags[++k];
     } else if (flags[k] == "--jobs-dir") {
       if (k + 1 >= flags.size()) {
         return fail("config", "--jobs-dir requires a directory path");
